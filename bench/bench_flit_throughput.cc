@@ -1,0 +1,172 @@
+/**
+ * @file
+ * E8 — ablation of the persistence strategies of §6.1 with
+ * google-benchmark. Wall-clock time on the emulation host is
+ * meaningless for CXL behaviour, so each benchmark also reports the
+ * *simulated* nanoseconds per operation charged by the runtime's
+ * calibrated cost model, plus the number of explicit flushes — the
+ * quantities §6.1's performance discussion is about:
+ *
+ *   none < flit-cxl0-addropt <= flit-cxl0 < persist-all
+ *
+ * (flit-original is cheaper than flit-cxl0 but unsound; see E7.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ds/kv.hh"
+#include "ds/map.hh"
+#include "ds/queue.hh"
+#include "ds/stack.hh"
+#include "flit/flit.hh"
+
+using namespace cxl0;
+using flit::PersistMode;
+
+namespace
+{
+
+constexpr size_t kCells = 1 << 20;
+
+PersistMode
+modeOf(int64_t idx)
+{
+    switch (idx) {
+      case 0: return PersistMode::None;
+      case 1: return PersistMode::FlitCxl0;
+      case 2: return PersistMode::FlitCxl0AddrOpt;
+      case 3: return PersistMode::FlitOriginal;
+      case 4: return PersistMode::PersistAll;
+      case 5: return PersistMode::FlitAsync;
+      default: return PersistMode::FlitVerified;
+    }
+}
+
+runtime::CxlSystem
+makeSystem()
+{
+    runtime::SystemOptions o(
+        model::SystemConfig::uniform(2, kCells, true));
+    o.policy = runtime::PropagationPolicy::Random;
+    o.evictionChancePct = 10;
+    o.seed = 12345;
+    return runtime::CxlSystem(std::move(o));
+}
+
+void
+reportSim(benchmark::State &state, const runtime::CxlSystem &sys,
+          const flit::FlitRuntime &rt)
+{
+    double ops = static_cast<double>(state.iterations());
+    if (ops <= 0)
+        return;
+    state.counters["sim_ns_per_op"] = sys.clockNs() / ops;
+    state.counters["flushes_per_op"] =
+        static_cast<double>(rt.flushCount()) / ops;
+    state.SetLabel(flit::persistModeName(rt.mode()));
+}
+
+void
+BM_StackPushPop(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::TreiberStack stack(rt, 0);
+    // Writer runs on the non-owner machine: the paper's remote case.
+    Value v = 0;
+    for (auto _ : state) {
+        stack.push(1, ++v);
+        benchmark::DoNotOptimize(stack.pop(1));
+    }
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_StackPushPop)->DenseRange(0, 6)->Iterations(3000);
+
+void
+BM_QueueEnqDeq(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::MsQueue q(rt, 0);
+    Value v = 0;
+    for (auto _ : state) {
+        q.enqueue(1, ++v);
+        benchmark::DoNotOptimize(q.dequeue(1));
+    }
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_QueueEnqDeq)->DenseRange(0, 6)->Iterations(3000);
+
+void
+BM_MapPutGet(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::HashMap map(rt, 0, 64);
+    Value k = 0;
+    for (auto _ : state) {
+        map.put(1, k % 128, k);
+        benchmark::DoNotOptimize(map.get(1, k % 128));
+        ++k;
+    }
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_MapPutGet)->DenseRange(0, 6)->Iterations(1500);
+
+void
+BM_CounterIncrement(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::DurableCounter ctr(rt, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctr.fetchAdd(1, 1));
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_CounterIncrement)->DenseRange(0, 6)->Iterations(5000);
+
+/**
+ * Read-heavy workload: FliT's shared_load only flushes when a store
+ * is in flight, so its read path should be nearly free (the original
+ * FliT paper's key property, preserved by the adaptation).
+ */
+void
+BM_ReadMostly(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::HashMap map(rt, 0, 64);
+    for (Value k = 0; k < 64; ++k)
+        map.put(1, k, k);
+    Value k = 0;
+    for (auto _ : state) {
+        if (k % 16 == 0)
+            map.put(1, k % 64, k);
+        else
+            benchmark::DoNotOptimize(map.get(1, k % 64));
+        ++k;
+    }
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_ReadMostly)->DenseRange(0, 6)->Iterations(3000);
+
+/**
+ * Owner-local workload: the §6.1 address-based optimization (LFlush
+ * for owned words) should beat plain flit-cxl0 here.
+ */
+void
+BM_OwnerLocalWrites(benchmark::State &state)
+{
+    runtime::CxlSystem sys = makeSystem();
+    flit::FlitRuntime rt(sys, modeOf(state.range(0)));
+    ds::DurableRegister reg(rt, 0);
+    Value v = 0;
+    for (auto _ : state)
+        reg.write(0, ++v); // writer == owner
+    reportSim(state, sys, rt);
+}
+BENCHMARK(BM_OwnerLocalWrites)->DenseRange(0, 6)->Iterations(5000);
+
+} // namespace
+
+BENCHMARK_MAIN();

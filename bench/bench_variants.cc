@@ -1,0 +1,108 @@
+/**
+ * @file
+ * E2 — §3.5 reproduction: tests 10-12 under (CXL0, CXL0_LWB,
+ * CXL0_PSN), plus the automated refinement results (every variant
+ * refines CXL0; the variants are incomparable).
+ */
+
+#include <cstdio>
+
+#include "check/litmus.hh"
+#include "check/refinement.hh"
+#include "common/stats.hh"
+
+using namespace cxl0;
+using namespace cxl0::check;
+using model::ModelVariant;
+
+namespace
+{
+
+const char *
+mark(Verdict v)
+{
+    return v == Verdict::Allowed ? "v" : "x";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== E2: model-variant litmus tests 10-12 (§3.5) ==\n\n");
+
+    TextTable table({"#", "trace", "paper (CXL0,LWB,PSN)",
+                     "reproduced", "match"});
+    bool all_match = true;
+    for (const LitmusTest &t : variantTests()) {
+        Verdict base = runLitmus(t, ModelVariant::Base);
+        Verdict lwb = runLitmus(t, ModelVariant::Lwb);
+        Verdict psn = runLitmus(t, ModelVariant::Psn);
+        bool match = base == t.expectBase && lwb == t.expectLwb &&
+                     psn == t.expectPsn;
+        all_match &= match;
+        std::string paper = std::string(mark(t.expectBase)) + "," +
+                            mark(t.expectLwb) + "," + mark(t.expectPsn);
+        std::string got = std::string(mark(base)) + "," + mark(lwb) +
+                          "," + mark(psn);
+        table.addRow({std::to_string(t.id),
+                      model::describeTrace(t.trace), paper, got,
+                      match ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Automated refinement results (the paper's FDR4 experiment).
+    model::SystemConfig cfg({model::MachineConfig{true},
+                             model::MachineConfig{false}},
+                            {0});
+    model::Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb),
+        psn(cfg, ModelVariant::Psn);
+
+    Alphabet small;
+    small.ops = {model::Op::Load, model::Op::LStore, model::Op::RStore,
+                 model::Op::Crash};
+    small.values = {0, 1};
+    small.maxCrashesPerNode = 1;
+    Alphabet crashy;
+    crashy.ops = {model::Op::Load, model::Op::LStore, model::Op::Crash};
+    crashy.values = {0, 1};
+    crashy.maxCrashesPerNode = 2;
+
+    struct Row
+    {
+        const char *what;
+        RefinementResult result;
+        bool expectRefines;
+    };
+    Row rows[] = {
+        {"CXL0_LWB refines CXL0", checkRefinement(base, lwb, 4, small),
+         true},
+        {"CXL0_PSN refines CXL0", checkRefinement(base, psn, 4, small),
+         true},
+        {"CXL0 refines CXL0_LWB", checkRefinement(lwb, base, 4, small),
+         false},
+        {"CXL0 refines CXL0_PSN", checkRefinement(psn, base, 5, crashy),
+         false},
+        {"CXL0_LWB refines CXL0_PSN",
+         checkRefinement(psn, lwb, 5, crashy), false},
+        {"CXL0_PSN refines CXL0_LWB",
+         checkRefinement(lwb, psn, 4, small), false},
+    };
+
+    std::printf("bounded refinement checks (FDR4's role):\n");
+    bool refinement_ok = true;
+    for (const Row &row : rows) {
+        bool match = row.result.refines == row.expectRefines;
+        refinement_ok &= match;
+        std::printf("  %-28s : %-12s %s\n", row.what,
+                    row.result.refines ? "refines" : "violated",
+                    row.result.refines
+                        ? ""
+                        : row.result.describe().c_str());
+    }
+    std::printf("\n%s\n",
+                all_match && refinement_ok
+                    ? "RESULT: all verdicts match the paper"
+                    : "RESULT: MISMATCH against the paper");
+    return all_match && refinement_ok ? 0 : 1;
+}

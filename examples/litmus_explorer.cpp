@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Interactive litmus-test explorer for the CXL0 model.
+ *
+ * Runs the paper's 13 litmus tests under all three model variants and
+ * prints the verdict matrix; with a test number as argument it also
+ * shows the reachable states after each prefix of the trace — a
+ * debugging view of how a value propagates (or dies) step by step.
+ *
+ *   ./litmus_explorer        # the full matrix
+ *   ./litmus_explorer 4      # step-through of test 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/litmus.hh"
+#include "common/stats.hh"
+
+using namespace cxl0;
+using namespace cxl0::check;
+using model::ModelVariant;
+
+namespace
+{
+
+const char *
+mark(Verdict v)
+{
+    return v == Verdict::Allowed ? "v" : "x";
+}
+
+void
+stepThrough(const LitmusTest &t, ModelVariant variant)
+{
+    std::printf("test %d (%s) under %s:\n", t.id, t.name.c_str(),
+                model::variantName(variant));
+    std::printf("config: %s\n\n", t.config.describe().c_str());
+    model::Cxl0Model m(t.config, variant);
+    TraceChecker checker(m);
+    for (size_t len = 0; len <= t.trace.size(); ++len) {
+        std::vector<model::Label> prefix(t.trace.begin(),
+                                         t.trace.begin() + len);
+        auto states = checker.statesAfter(m.initialState(), prefix);
+        if (len > 0)
+            std::printf("after %s:\n",
+                        t.trace[len - 1].describe().c_str());
+        else
+            std::printf("initially:\n");
+        if (states.empty()) {
+            std::printf("  (no reachable state: trace infeasible "
+                        "from here)\n");
+            break;
+        }
+        size_t shown = 0;
+        for (const auto &s : states) {
+            std::printf("  %s\n", s.describe().c_str());
+            if (++shown == 6 && states.size() > 6) {
+                std::printf("  ... and %zu more\n", states.size() - 6);
+                break;
+            }
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto tests = allTests();
+
+    if (argc > 1) {
+        int id = std::atoi(argv[1]);
+        for (const LitmusTest &t : tests) {
+            if (t.id == id) {
+                stepThrough(t, ModelVariant::Base);
+                return 0;
+            }
+        }
+        std::printf("no test %d (valid: 1-13)\n", id);
+        return 1;
+    }
+
+    TextTable table({"#", "trace", "CXL0", "LWB", "PSN", "paper"});
+    for (const LitmusTest &t : tests) {
+        std::string paper = std::string(mark(t.expectBase)) + "," +
+                            mark(t.expectLwb) + "," + mark(t.expectPsn);
+        table.addRow({std::to_string(t.id),
+                      model::describeTrace(t.trace),
+                      mark(runLitmus(t, ModelVariant::Base)),
+                      mark(runLitmus(t, ModelVariant::Lwb)),
+                      mark(runLitmus(t, ModelVariant::Psn)), paper});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("v = behaviour allowed, x = forbidden. Run with a "
+                "test number (1-13) for a step-through.\n");
+    return 0;
+}

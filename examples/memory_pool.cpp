@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Disaggregated memory pools (Fig. 4b) in both flavours.
+ *
+ * Part 1 — partitioned pool: each host extends its memory with a
+ * private partition that survives the host's own crash (checkpoint /
+ * restart pattern).
+ *
+ * Part 2 — shared pool without coherence: only the cache-bypassing
+ * primitives are available (§4); we run a work-queue handoff between
+ * two hosts through the pool using M-RMWs.
+ *
+ *   ./memory_pool
+ */
+
+#include <cstdio>
+
+#include "model/topology.hh"
+#include "runtime/system.hh"
+
+using namespace cxl0;
+
+namespace
+{
+
+void
+partitionedPoolDemo()
+{
+    std::printf("-- partitioned pool: per-host checkpointing --\n");
+    // Two hosts, 8 cells of pool partition each; partitions live in
+    // an external failure domain.
+    model::Cxl0Model m = model::makePartitionedPool(2, 8);
+    runtime::SystemOptions opts = runtime::SystemOptions::fromModel(m);
+    opts.policy = runtime::PropagationPolicy::Manual;
+    runtime::CxlSystem sys(std::move(opts));
+
+    // Host 0 computes a running sum, checkpointing every step with
+    // MStore (its partition's cells persist across its crashes).
+    Addr checkpoint = sys.allocate(0);
+    Value sum = 0;
+    for (Value step = 1; step <= 5; ++step) {
+        sum += step;
+        sys.mstore(0, checkpoint, sum);
+    }
+    std::printf("host 0 checkpointed sum=%lld, then crashes...\n",
+                static_cast<long long>(sum));
+    sys.crash(0);
+    Value recovered = sys.load(0, checkpoint);
+    std::printf("host 0 recovers sum=%lld from its partition\n\n",
+                static_cast<long long>(recovered));
+}
+
+void
+sharedPoolDemo()
+{
+    std::printf("-- shared pool (non-coherent): M-RMW work handoff --\n");
+    // Two hosts + a pool node owning every cell; no coherent caching,
+    // so the runtime uses only MStore / LOAD-from-M / M-RMW.
+    model::Cxl0Model m = model::makeSharedPool(2, 8, /*coherent=*/false);
+    runtime::SystemOptions opts = runtime::SystemOptions::fromModel(m);
+    opts.policy = runtime::PropagationPolicy::Manual;
+    runtime::CxlSystem sys(std::move(opts));
+
+    Addr lock = sys.allocate(2);   // 0 = free, else holder+1
+    Addr work = sys.allocate(2);   // the shared accumulator
+
+    // Each host grabs the lock with an M-RMW (the only atomic
+    // available without coherence), bumps the accumulator, releases.
+    for (int round = 0; round < 6; ++round) {
+        NodeId host = static_cast<NodeId>(round % 2);
+        while (!sys.casM(host, lock, 0, host + 1).success) {
+            // spin: in the bypass pool every retry is a memory RMW
+        }
+        Value v = sys.load(host, work);
+        sys.mstore(host, work, v + 1);
+        sys.mstore(host, lock, 0);
+    }
+    std::printf("6 critical sections later: work=%lld\n",
+                static_cast<long long>(sys.load(0, work)));
+
+    // Even a crash of both hosts loses nothing: everything already
+    // lives in pool memory.
+    sys.crash(0);
+    sys.crash(1);
+    std::printf("after both hosts crash: work=%lld (pool is its own "
+                "failure domain)\n\n",
+                static_cast<long long>(sys.load(1, work)));
+}
+
+} // namespace
+
+int
+main()
+{
+    partitionedPoolDemo();
+    sharedPoolDemo();
+    std::printf("memory_pool done\n");
+    return 0;
+}

@@ -1,0 +1,343 @@
+#include "check/explorer.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cxl0::check
+{
+
+using cxl0::Addr;
+using model::Label;
+using model::State;
+using cxl0::Value;
+
+ProgInstr
+ProgInstr::load(Addr x, int dest_reg)
+{
+    ProgInstr i;
+    i.kind = Kind::Load;
+    i.addr = x;
+    i.dest = dest_reg;
+    return i;
+}
+
+ProgInstr
+ProgInstr::store(Op flavour, Addr x, Operand v)
+{
+    CXL0_ASSERT(model::isStore(flavour), "store flavour required");
+    ProgInstr i;
+    i.kind = Kind::Store;
+    i.op = flavour;
+    i.addr = x;
+    i.value = v;
+    return i;
+}
+
+ProgInstr
+ProgInstr::flush(Op flavour, Addr x)
+{
+    CXL0_ASSERT(flavour == Op::LFlush || flavour == Op::RFlush,
+                "flush flavour required");
+    ProgInstr i;
+    i.kind = Kind::Flush;
+    i.op = flavour;
+    i.addr = x;
+    return i;
+}
+
+ProgInstr
+ProgInstr::gpf()
+{
+    ProgInstr i;
+    i.kind = Kind::Gpf;
+    i.op = Op::Gpf;
+    return i;
+}
+
+ProgInstr
+ProgInstr::cas(Op flavour, Addr x, Operand expect, Operand desired,
+               int dest_reg)
+{
+    CXL0_ASSERT(model::isRmw(flavour), "RMW flavour required");
+    ProgInstr i;
+    i.kind = Kind::Cas;
+    i.op = flavour;
+    i.addr = x;
+    i.expected = expect;
+    i.value = desired;
+    i.dest = dest_reg;
+    return i;
+}
+
+ProgInstr
+ProgInstr::faa(Op flavour, Addr x, Operand delta, int dest_reg)
+{
+    CXL0_ASSERT(model::isRmw(flavour), "RMW flavour required");
+    ProgInstr i;
+    i.kind = Kind::Faa;
+    i.op = flavour;
+    i.addr = x;
+    i.value = delta;
+    i.dest = dest_reg;
+    return i;
+}
+
+bool
+Outcome::operator<(const Outcome &other) const
+{
+    if (crashedThreads != other.crashedThreads)
+        return crashedThreads < other.crashedThreads;
+    return regs < other.regs;
+}
+
+bool
+Outcome::operator==(const Outcome &other) const
+{
+    return crashedThreads == other.crashedThreads && regs == other.regs;
+}
+
+std::string
+Outcome::describe() const
+{
+    std::ostringstream os;
+    for (size_t t = 0; t < regs.size(); ++t) {
+        os << "T" << t << ((crashedThreads >> t) & 1 ? "(crashed)" : "")
+           << "[";
+        for (size_t r = 0; r < regs[t].size(); ++r)
+            os << (r ? "," : "") << regs[t][r];
+        os << "] ";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Full search configuration: model state plus program state. */
+struct Config
+{
+    State state;
+    std::vector<size_t> pc;
+    std::vector<std::vector<Value>> regs;
+    std::vector<bool> alive;      // thread not killed by a crash
+    std::vector<int> crashBudget; // remaining crashes per node
+
+    bool operator==(const Config &other) const = default;
+};
+
+struct ConfigHash
+{
+    size_t
+    operator()(const Config &c) const
+    {
+        uint64_t h = c.state.hash();
+        auto mix = [&h](uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        for (size_t p : c.pc)
+            mix(p);
+        for (const auto &file : c.regs)
+            for (Value v : file)
+                mix(static_cast<uint64_t>(v));
+        for (bool a : c.alive)
+            mix(a ? 1 : 2);
+        for (int b : c.crashBudget)
+            mix(static_cast<uint64_t>(b) + 7);
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace
+
+Explorer::Explorer(const Cxl0Model &model, Program program,
+                   ExploreOptions options)
+    : model_(model), program_(std::move(program)),
+      options_(std::move(options))
+{
+    for (const ProgThread &t : program_.threads) {
+        if (t.node >= model_.config().numNodes())
+            CXL0_FATAL("thread placed on unknown machine ", t.node);
+        for (const ProgInstr &i : t.code) {
+            if (i.dest >= program_.numRegs)
+                CXL0_FATAL("register index ", i.dest, " out of range");
+        }
+    }
+}
+
+std::set<Outcome>
+Explorer::explore() const
+{
+    const size_t nthreads = program_.threads.size();
+    Config init{model_.initialState(), {}, {}, {}, {}};
+    init.pc.assign(nthreads, 0);
+    init.regs.assign(nthreads,
+                     std::vector<Value>(program_.numRegs, 0));
+    init.alive.assign(nthreads, true);
+    init.crashBudget.assign(model_.config().numNodes(),
+                            options_.maxCrashesPerNode);
+    if (!options_.crashableNodes.empty()) {
+        for (NodeId n = 0; n < model_.config().numNodes(); ++n)
+            init.crashBudget[n] = 0;
+        for (NodeId n : options_.crashableNodes)
+            init.crashBudget[n] = options_.maxCrashesPerNode;
+    }
+
+    std::set<Outcome> outcomes;
+    std::unordered_set<Config, ConfigHash> visited;
+    std::vector<Config> stack{init};
+    visited.insert(init);
+
+    auto done = [&](const Config &c) {
+        for (size_t t = 0; t < nthreads; ++t) {
+            if (c.alive[t] && c.pc[t] < program_.threads[t].code.size())
+                return false;
+        }
+        return true;
+    };
+
+    auto push = [&](Config &&c) {
+        if (visited.size() >= options_.maxConfigs)
+            CXL0_FATAL("exploration exceeded ", options_.maxConfigs,
+                       " configurations; shrink the program");
+        if (visited.insert(c).second)
+            stack.push_back(std::move(c));
+    };
+
+    while (!stack.empty()) {
+        Config cur = std::move(stack.back());
+        stack.pop_back();
+
+        if (done(cur)) {
+            Outcome out;
+            out.regs = cur.regs;
+            for (size_t t = 0; t < nthreads; ++t)
+                if (!cur.alive[t])
+                    out.crashedThreads |= 1u << t;
+            outcomes.insert(std::move(out));
+            // Tau and crash steps past completion cannot change the
+            // registers, so this configuration is final.
+            continue;
+        }
+
+        // Thread steps.
+        for (size_t t = 0; t < nthreads; ++t) {
+            if (!cur.alive[t] ||
+                cur.pc[t] >= program_.threads[t].code.size()) {
+                continue;
+            }
+            const ProgThread &thread = program_.threads[t];
+            const ProgInstr &instr = thread.code[cur.pc[t]];
+            const NodeId node = thread.node;
+            const std::vector<Value> &regs = cur.regs[t];
+
+            auto advance = [&](const State &next_state, int dest,
+                               Value dest_value) {
+                Config next = cur;
+                next.state = next_state;
+                next.pc[t] += 1;
+                if (dest >= 0)
+                    next.regs[t][dest] = dest_value;
+                push(std::move(next));
+            };
+
+            switch (instr.kind) {
+              case ProgInstr::Kind::Load: {
+                auto v = model_.loadable(cur.state, node, instr.addr);
+                if (!v)
+                    break; // blocked (LWB-style); tau may unblock
+                auto succ = model_.apply(
+                    cur.state, Label::load(node, instr.addr, *v));
+                CXL0_ASSERT(succ, "loadable value must be applicable");
+                advance(*succ, instr.dest, *v);
+                break;
+              }
+              case ProgInstr::Kind::Store: {
+                Value v = instr.value.eval(regs);
+                Label l{instr.op, node, instr.addr, v, 0};
+                if (auto succ = model_.apply(cur.state, l))
+                    advance(*succ, -1, 0);
+                break;
+              }
+              case ProgInstr::Kind::Flush: {
+                Label l{instr.op, node, instr.addr, 0, 0};
+                if (auto succ = model_.apply(cur.state, l))
+                    advance(*succ, -1, 0);
+                break;
+              }
+              case ProgInstr::Kind::Gpf: {
+                if (auto succ =
+                        model_.apply(cur.state, Label::gpf(node)))
+                    advance(*succ, -1, 0);
+                break;
+              }
+              case ProgInstr::Kind::Cas: {
+                auto v = model_.loadable(cur.state, node, instr.addr);
+                if (!v)
+                    break;
+                Value expect = instr.expected.eval(regs);
+                if (*v == expect) {
+                    Label l{instr.op, node, instr.addr,
+                            instr.value.eval(regs), expect};
+                    auto succ = model_.apply(cur.state, l);
+                    CXL0_ASSERT(succ, "enabled CAS must apply");
+                    advance(*succ, instr.dest, 1);
+                } else {
+                    // Failed CAS behaves as a plain read (§3.3).
+                    auto succ = model_.apply(
+                        cur.state, Label::load(node, instr.addr, *v));
+                    CXL0_ASSERT(succ, "failed CAS read must apply");
+                    advance(*succ, instr.dest, 0);
+                }
+                break;
+              }
+              case ProgInstr::Kind::Faa: {
+                auto v = model_.loadable(cur.state, node, instr.addr);
+                if (!v)
+                    break;
+                Label l{instr.op, node, instr.addr,
+                        *v + instr.value.eval(regs), *v};
+                auto succ = model_.apply(cur.state, l);
+                CXL0_ASSERT(succ, "enabled FAA must apply");
+                advance(*succ, instr.dest, *v);
+                break;
+              }
+            }
+        }
+
+        // Silent propagation steps.
+        for (State &next_state : model_.tauSuccessors(cur.state)) {
+            Config next = cur;
+            next.state = std::move(next_state);
+            push(std::move(next));
+        }
+
+        // Crash steps.
+        for (NodeId n = 0; n < model_.config().numNodes(); ++n) {
+            if (cur.crashBudget[n] <= 0)
+                continue;
+            Config next = cur;
+            next.state = model_.applyCrash(cur.state, n);
+            next.crashBudget[n] -= 1;
+            for (size_t t = 0; t < nthreads; ++t)
+                if (program_.threads[t].node == n)
+                    next.alive[t] = false;
+            push(std::move(next));
+        }
+    }
+    return outcomes;
+}
+
+std::vector<Outcome>
+Explorer::outcomesWhere(const std::set<Outcome> &outcomes,
+                        bool (*pred)(const Outcome &)) const
+{
+    std::vector<Outcome> out;
+    for (const Outcome &o : outcomes)
+        if (pred(o))
+            out.push_back(o);
+    return out;
+}
+
+} // namespace cxl0::check

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Program-level model checking over CXL0.
+ *
+ * Litmus traces fix one serialization; the Explorer instead takes a
+ * small multi-threaded *program* (straight-line CXL0 instructions with
+ * registers) and enumerates every interleaving, every placement of tau
+ * propagation, and every placement of machine crashes within a budget.
+ * It returns the set of reachable final outcomes (register values plus
+ * which machines crashed), which is how we check assertion-style
+ * properties such as §6's motivating example and the durability of the
+ * FliT transformation at the model level.
+ */
+
+#ifndef CXL0_CHECK_EXPLORER_HH
+#define CXL0_CHECK_EXPLORER_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/semantics.hh"
+
+namespace cxl0::check
+{
+
+using model::Cxl0Model;
+using model::Op;
+
+/** An immediate value or a register reference. */
+struct Operand
+{
+    bool isReg = false;
+    Value imm = 0;
+    int reg = 0;
+
+    static Operand immediate(Value v) { return {false, v, 0}; }
+    static Operand regRef(int r) { return {true, 0, r}; }
+
+    Value eval(const std::vector<Value> &regs) const
+    {
+        return isReg ? regs[reg] : imm;
+    }
+};
+
+/** One straight-line program instruction. */
+struct ProgInstr
+{
+    enum class Kind { Load, Store, Flush, Gpf, Cas, Faa };
+
+    Kind kind = Kind::Load;
+    /** Flavour: LStore/RStore/MStore, LFlush/RFlush, LRmw/RRmw/MRmw. */
+    Op op = Op::Load;
+    Addr addr = 0;
+    Operand value{};    //!< store value / CAS desired / FAA delta
+    Operand expected{}; //!< CAS expected
+    int dest = -1;      //!< destination register (Load/Cas/Faa)
+
+    static ProgInstr load(Addr x, int dest_reg);
+    static ProgInstr store(Op flavour, Addr x, Operand v);
+    static ProgInstr flush(Op flavour, Addr x);
+    static ProgInstr gpf();
+    /** dest receives 1 on success, 0 on failure. */
+    static ProgInstr cas(Op flavour, Addr x, Operand expect,
+                         Operand desired, int dest_reg);
+    /** dest receives the old value. */
+    static ProgInstr faa(Op flavour, Addr x, Operand delta,
+                         int dest_reg);
+};
+
+/** A thread: a machine it runs on and its code. */
+struct ProgThread
+{
+    NodeId node;
+    std::vector<ProgInstr> code;
+};
+
+/** A whole program. */
+struct Program
+{
+    std::vector<ProgThread> threads;
+    /** Registers per thread (register indices must stay below this). */
+    int numRegs = 4;
+};
+
+/** A final outcome of one complete execution. */
+struct Outcome
+{
+    /** Final register file of each thread; crashed threads keep the
+     *  registers they had when their machine failed. */
+    std::vector<std::vector<Value>> regs;
+    /** Bit i set when thread i's machine crashed before it finished. */
+    uint32_t crashedThreads = 0;
+
+    bool operator<(const Outcome &other) const;
+    bool operator==(const Outcome &other) const;
+    std::string describe() const;
+};
+
+/** Exploration options. */
+struct ExploreOptions
+{
+    /** Max crash events per machine over the whole execution. */
+    int maxCrashesPerNode = 0;
+    /** Machines permitted to crash; empty = all machines. */
+    std::vector<NodeId> crashableNodes;
+    /** Safety valve on explored configurations. */
+    size_t maxConfigs = 2'000'000;
+};
+
+/** Exhaustive explorer; construct once per (model, program). */
+class Explorer
+{
+  public:
+    Explorer(const Cxl0Model &model, Program program,
+             ExploreOptions options = ExploreOptions{});
+
+    /** All reachable final outcomes. */
+    std::set<Outcome> explore() const;
+
+    /**
+     * Convenience: does some outcome where no thread crashed (or any
+     * outcome, when include_crashed) fail the predicate? Returns the
+     * failing outcomes.
+     */
+    std::vector<Outcome>
+    outcomesWhere(const std::set<Outcome> &outcomes,
+                  bool (*pred)(const Outcome &)) const;
+
+  private:
+    const Cxl0Model &model_;
+    Program program_;
+    ExploreOptions options_;
+};
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_EXPLORER_HH

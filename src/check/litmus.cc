@@ -1,0 +1,316 @@
+#include "check/litmus.hh"
+
+namespace cxl0::check
+{
+
+using model::Label;
+using model::MachineConfig;
+using model::ModelVariant;
+using model::SystemConfig;
+
+std::string
+verdictName(Verdict v)
+{
+    return v == Verdict::Allowed ? "Allowed (v)" : "Forbidden (x)";
+}
+
+Verdict
+runLitmus(const LitmusTest &test, ModelVariant variant)
+{
+    Cxl0Model model(test.config, variant);
+    TraceChecker checker(model);
+    return checker.feasible(test.trace) ? Verdict::Allowed
+                                        : Verdict::Forbidden;
+}
+
+bool
+litmusMatchesPaper(const LitmusTest &test)
+{
+    return runLitmus(test, ModelVariant::Base) == test.expectBase &&
+           runLitmus(test, ModelVariant::Lwb) == test.expectLwb &&
+           runLitmus(test, ModelVariant::Psn) == test.expectPsn;
+}
+
+namespace
+{
+
+/** n machines, all with non-volatile memory, owner vector as given. */
+SystemConfig
+nvConfig(size_t nodes, std::vector<NodeId> owner)
+{
+    return SystemConfig(
+        std::vector<MachineConfig>(nodes, MachineConfig{true}),
+        std::move(owner));
+}
+
+/** Machine 0 has NVMM, machine 1 volatile memory; one address on 0. */
+SystemConfig
+variantConfig()
+{
+    return SystemConfig({MachineConfig{true}, MachineConfig{false}},
+                        {0});
+}
+
+} // namespace
+
+std::vector<LitmusTest>
+figure3Tests()
+{
+    // Paper machines are 1-indexed; nodes here are 0-indexed. All
+    // memory in tests 1-9 is non-volatile (§3.4).
+    std::vector<LitmusTest> tests;
+
+    // Test 1: RStore1(x1,1); E1; Load1(x1,0) -- allowed. RStore does
+    // not guarantee propagation to persistence before the crash.
+    tests.push_back(LitmusTest{
+        1, "RStore lost on owner crash",
+        "an RStore may be lost if the owner crashes before propagation",
+        nvConfig(1, {0}),
+        {Label::rstore(0, 0, 1), Label::crash(0), Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed});
+
+    // Test 2: MStore1(x1,1); E1; Load1(x1,0) -- forbidden. MStore
+    // persists before returning.
+    tests.push_back(LitmusTest{
+        2, "MStore survives crash",
+        "MStore guarantees persistence of the update before it returns",
+        nvConfig(1, {0}),
+        {Label::mstore(0, 0, 1), Label::crash(0), Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 3: LStore1(x1,1); LFlush1(x1); E1; Load1(x1,0) -- forbidden.
+    // The flush drains the local line to local persistent memory.
+    tests.push_back(LitmusTest{
+        3, "LStore+LFlush to local NVMM survives",
+        "a value cannot be lost if flushed to local persistence",
+        nvConfig(1, {0}),
+        {Label::lstore(0, 0, 1), Label::lflush(0, 0), Label::crash(0),
+         Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 4: LStore1(x2,1); LFlush1(x2); E2; Load1(x2,0) -- allowed.
+    // LFlush only reaches the remote owner's *cache*; the owner's
+    // crash loses the value. x2 lives on machine 2 (node 1).
+    tests.push_back(LitmusTest{
+        4, "LFlush to remote cache insufficient",
+        "a stored value may be lost if it has not reached remote "
+        "persistent memory",
+        nvConfig(2, {1}),
+        {Label::lstore(0, 0, 1), Label::lflush(0, 0), Label::crash(1),
+         Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed});
+
+    // Test 5: LStore1(x2,1); RFlush1(x2); E2; Load1(x2,0) -- forbidden.
+    // RFlush requires full propagation to the owner's memory.
+    tests.push_back(LitmusTest{
+        5, "RFlush reaches remote persistence",
+        "the stronger RFlush prevents the loss of the stored value",
+        nvConfig(2, {1}),
+        {Label::lstore(0, 0, 1), Label::rflush(0, 0), Label::crash(1),
+         Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 6: LStore1(x3,1); Load2(x3,1); E1; Load2(x3,0) -- forbidden.
+    // The load copies the value into machine 2's cache, so machine 1's
+    // crash cannot lose it. x3 lives on machine 3 (node 2).
+    tests.push_back(LitmusTest{
+        6, "loads replicate into the reader's cache",
+        "copying on load prevents loss when the writer crashes",
+        nvConfig(3, {2}),
+        {Label::lstore(0, 0, 1), Label::load(1, 0, 1), Label::crash(0),
+         Label::load(1, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 7: LStore1(x3,1); Load2(x3,1); LFlush2(x3); E1; E2;
+    // Load2(x3,0) -- forbidden. The flush pushes the replica to the
+    // owner (machine 3), outside both crashing machines.
+    tests.push_back(LitmusTest{
+        7, "flushed replica survives double crash",
+        "the flush by machine 2 moves the value to the owner's domain",
+        nvConfig(3, {2}),
+        {Label::lstore(0, 0, 1), Label::load(1, 0, 1),
+         Label::lflush(1, 0), Label::crash(0), Label::crash(1),
+         Label::load(1, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 8: RStore1(x2,1); RStore2(y1,x2); E2; Load1(y1,1);
+    // Load1(x2,0) -- allowed. A later operation's effect (y1=1) can
+    // survive while the earlier observed value (x2=1) is lost.
+    // Addresses: addr 0 = y1 (owner node 0), addr 1 = x2 (owner 1).
+    // RStore2(y1,x2) abbreviates a load of x2 then RStore of y1 (§3.4).
+    tests.push_back(LitmusTest{
+        8, "observed value lost, dependent write persists",
+        "a recovered state may include a later operation without the "
+        "earlier one it observed",
+        nvConfig(2, {0, 1}),
+        {Label::rstore(0, 1, 1), Label::load(1, 1, 1),
+         Label::rstore(1, 0, 1), Label::crash(1), Label::load(0, 0, 1),
+         Label::load(0, 1, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed});
+
+    // Test 9: MStore1(x2,1); RStore2(y1,x2); E2; Load1(y1,1);
+    // Load1(x2,0) -- forbidden. MStore for the first write rules out
+    // the inconsistent recovery.
+    tests.push_back(LitmusTest{
+        9, "MStore forecloses inconsistent recovery",
+        "using MStore for the first write makes the inconsistent state "
+        "unreachable",
+        nvConfig(2, {0, 1}),
+        {Label::mstore(0, 1, 1), Label::load(1, 1, 1),
+         Label::rstore(1, 0, 1), Label::crash(1), Label::load(0, 0, 1),
+         Label::load(0, 1, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    return tests;
+}
+
+std::vector<LitmusTest>
+variantTests()
+{
+    // §3.5: machine 1 (node 0) has NVMM, machine 2 (node 1) volatile
+    // memory; x1 lives on machine 1. Verdict triples are
+    // (CXL0, CXL0_LWB, CXL0_PSN) as reported in the paper.
+    std::vector<LitmusTest> tests;
+
+    // Test 10: RStore2(x1,1); Load2(x1,1); E1; Load2(x1,0) --
+    // (allowed, forbidden, allowed).
+    tests.push_back(LitmusTest{
+        10, "remote load caches a doomed value",
+        "LWB forces remote loads through memory, so the observed value "
+        "must have persisted",
+        variantConfig(),
+        {Label::rstore(1, 0, 1), Label::load(1, 0, 1), Label::crash(0),
+         Label::load(1, 0, 0)},
+        Verdict::Allowed, Verdict::Forbidden, Verdict::Allowed});
+
+    // Test 11: LStore1(x1,1); Load2(x1,1); E1; Load1(x1,0) --
+    // (allowed, forbidden, allowed).
+    tests.push_back(LitmusTest{
+        11, "owner store observed then lost",
+        "same as test 10 with the initial RStore replaced by the "
+        "owner's LStore",
+        variantConfig(),
+        {Label::lstore(0, 0, 1), Label::load(1, 0, 1), Label::crash(0),
+         Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Forbidden, Verdict::Allowed});
+
+    // Test 12: LStore2(x1,1); E1; Load1(x1,1); E1; Load2(x1,0) --
+    // (allowed, allowed, forbidden).
+    tests.push_back(LitmusTest{
+        12, "poisoning cuts cross-crash inconsistency",
+        "PSN poisons remotely cached lines at the first crash, so the "
+        "value cannot resurface and then vanish",
+        variantConfig(),
+        {Label::lstore(1, 0, 1), Label::crash(0), Label::load(0, 0, 1),
+         Label::crash(0), Label::load(1, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Forbidden});
+
+    return tests;
+}
+
+LitmusTest
+motivatingExample()
+{
+    // §6 test 13: x=1; r1=x; r2=x; assert(r1==r2) on M1 with x on M2.
+    // The trace below is the assertion-violating behaviour r1=1,
+    // r2=0; it is *feasible* (the paper marks the program with a
+    // cross: the assertion can fail).
+    return LitmusTest{
+        13, "remote crash breaks read-after-read",
+        "a remote machine's crash can affect the correctness of a "
+        "local program",
+        nvConfig(2, {1}),
+        {Label::lstore(0, 0, 1), Label::load(0, 0, 1), Label::crash(1),
+         Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed};
+}
+
+std::vector<LitmusTest>
+allTests()
+{
+    std::vector<LitmusTest> tests = figure3Tests();
+    for (LitmusTest &t : variantTests())
+        tests.push_back(std::move(t));
+    tests.push_back(motivatingExample());
+    return tests;
+}
+
+std::vector<LitmusTest>
+extendedTests()
+{
+    // Two machines, both NVMM; addr 0 ("d", data) and addr 1 ("f",
+    // flag) both live on machine 1; machine 0 is the writer.
+    SystemConfig cfg = nvConfig(2, {1, 1});
+    std::vector<LitmusTest> tests;
+
+    // Test 14: persistent message passing. Both MStores persist
+    // before returning, so the flag cannot outlive the data.
+    tests.push_back(LitmusTest{
+        14, "persistent message passing",
+        "MStores persist in program order; the flag cannot be seen "
+        "without the data after the owner's crash",
+        cfg,
+        {Label::mstore(0, 0, 1), Label::mstore(0, 1, 1),
+         Label::crash(1), Label::load(0, 1, 1), Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 15: unflushed stores to the same remote owner can persist
+    // out of program order — the data may drain and die while the
+    // flag survives in the writer's cache (or persists first).
+    tests.push_back(LitmusTest{
+        15, "cached message passing splits under partial crash",
+        "without flushes, nondeterministic propagation can persist "
+        "the later store and lose the earlier one",
+        cfg,
+        {Label::lstore(0, 0, 1), Label::lstore(0, 1, 1),
+         Label::crash(1), Label::load(0, 1, 1), Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed});
+
+    // Test 16: GPF is a global persistence barrier: after it, no
+    // store issued before it can be lost.
+    tests.push_back(LitmusTest{
+        16, "GPF as a global barrier",
+        "GPF drains every cache, so both stores are persistent before "
+        "the crash",
+        cfg,
+        {Label::lstore(0, 0, 1), Label::lstore(0, 1, 1),
+         Label::gpf(0), Label::crash(1), Label::load(0, 1, 1),
+         Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 17: a successful L-RMW is as fragile as an LStore.
+    tests.push_back(LitmusTest{
+        17, "L-RMW lost on owner crash",
+        "L-RMW completes in the issuer's cache; its update can vanish "
+        "exactly like an LStore's",
+        cfg,
+        {Label::lrmw(0, 0, 0, 1), Label::crash(1),
+         Label::load(0, 0, 0)},
+        Verdict::Allowed, Verdict::Allowed, Verdict::Allowed});
+
+    // Test 18: M-RMW persists before returning.
+    tests.push_back(LitmusTest{
+        18, "M-RMW survives owner crash",
+        "M-RMW reaches the owner's memory atomically; the update "
+        "cannot be lost",
+        cfg,
+        {Label::mrmw(0, 0, 0, 1), Label::crash(1),
+         Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    // Test 19: an RFlush between the stores orders their persistence
+    // (the FliT write discipline in miniature).
+    tests.push_back(LitmusTest{
+        19, "RFlush orders persistence",
+        "once the data is RFlushed, observing any later state cannot "
+        "lose it",
+        cfg,
+        {Label::lstore(0, 0, 1), Label::rflush(0, 0),
+         Label::lstore(0, 1, 1), Label::crash(1), Label::load(0, 1, 1),
+         Label::load(0, 0, 0)},
+        Verdict::Forbidden, Verdict::Forbidden, Verdict::Forbidden});
+
+    return tests;
+}
+
+} // namespace cxl0::check

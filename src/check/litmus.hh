@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's litmus tests as executable data (Fig. 3, §3.5, §6).
+ *
+ * Each test carries the system configuration it assumes, the
+ * serialized trace, and the paper's verdict under each model variant.
+ * A verdict of Allowed means the trace is feasible (the behaviour can
+ * happen); Forbidden means no interleaving of tau steps executes it.
+ */
+
+#ifndef CXL0_CHECK_LITMUS_HH
+#define CXL0_CHECK_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+#include "check/trace.hh"
+#include "model/semantics.hh"
+
+namespace cxl0::check
+{
+
+/** The paper's check-mark / cross-mark verdicts. */
+enum class Verdict
+{
+    Allowed,   //!< paper marks the behaviour with a check mark
+    Forbidden, //!< paper marks the behaviour with a cross mark
+};
+
+/** "Allowed"/"Forbidden" (and the paper's glyph). */
+std::string verdictName(Verdict v);
+
+/** One litmus test. */
+struct LitmusTest
+{
+    /** Test number as used in the paper (1..13). */
+    int id;
+    /** Short display name. */
+    std::string name;
+    /** What the test demonstrates (quoted from the paper's intent). */
+    std::string lesson;
+    /** System configuration: machines and owners. */
+    model::SystemConfig config;
+    /** The serialized trace to check. */
+    std::vector<model::Label> trace;
+    /** Expected verdicts per variant. */
+    Verdict expectBase;
+    Verdict expectLwb;
+    Verdict expectPsn;
+};
+
+/** Run one test under one variant and return the observed verdict. */
+Verdict runLitmus(const LitmusTest &test, model::ModelVariant variant);
+
+/** Whether the observed verdicts of all variants match the paper. */
+bool litmusMatchesPaper(const LitmusTest &test);
+
+/** Tests 1-9 of Fig. 3 (all memory non-volatile). */
+std::vector<LitmusTest> figure3Tests();
+
+/** Tests 10-12 of §3.5 (machine 1 NVMM, machine 2 volatile). */
+std::vector<LitmusTest> variantTests();
+
+/** Test 13, the motivating example of §6 (x on remote machine M2). */
+LitmusTest motivatingExample();
+
+/** All 13 tests. */
+std::vector<LitmusTest> allTests();
+
+/**
+ * Tests 14-19: litmus tests beyond the paper, exploring corners the
+ * paper's set leaves open (persistent message passing, out-of-order
+ * persistence of unflushed stores, GPF as a global barrier, RMW
+ * durability, flush-induced persist ordering). Verdicts are derived
+ * from the semantics and locked in as regression oracles.
+ */
+std::vector<LitmusTest> extendedTests();
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_LITMUS_HH

@@ -1,0 +1,260 @@
+#include "check/refinement.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cxl0::check
+{
+
+using cxl0::Addr;
+using model::Cxl0Model;
+using model::Label;
+using model::Op;
+using model::State;
+using cxl0::Value;
+
+Alphabet
+Alphabet::standard(const model::SystemConfig &cfg)
+{
+    Alphabet a;
+    a.ops = {Op::Load, Op::LStore, Op::RStore, Op::MStore, Op::LFlush,
+             Op::RFlush, Op::Crash};
+    a.values = {0, 1};
+    a.nodes.clear();
+    for (NodeId n = 0; n < cfg.numNodes(); ++n)
+        a.nodes.push_back(n);
+    return a;
+}
+
+std::string
+RefinementResult::describe() const
+{
+    if (refines)
+        return "refines";
+    std::ostringstream os;
+    os << "counterexample: [" << model::describeTrace(counterexample)
+       << "]";
+    return os.str();
+}
+
+namespace
+{
+
+/** Candidate visible labels over the alphabet. */
+std::vector<Label>
+candidates(const model::SystemConfig &cfg, const Alphabet &alphabet)
+{
+    std::vector<NodeId> nodes = alphabet.nodes;
+    if (nodes.empty())
+        for (NodeId n = 0; n < cfg.numNodes(); ++n)
+            nodes.push_back(n);
+
+    std::vector<Label> out;
+    for (NodeId i : nodes) {
+        for (Op op : alphabet.ops) {
+            switch (op) {
+              case Op::Load:
+                for (Addr x = 0; x < cfg.numAddrs(); ++x)
+                    for (Value v : alphabet.values)
+                        out.push_back(Label::load(i, x, v));
+                break;
+              case Op::LStore:
+              case Op::RStore:
+              case Op::MStore:
+                for (Addr x = 0; x < cfg.numAddrs(); ++x)
+                    for (Value v : alphabet.values)
+                        out.push_back(Label{op, i, x, v, 0});
+                break;
+              case Op::LRmw:
+              case Op::RRmw:
+              case Op::MRmw:
+                for (Addr x = 0; x < cfg.numAddrs(); ++x)
+                    for (Value old_v : alphabet.values)
+                        for (Value new_v : alphabet.values)
+                            out.push_back(Label{op, i, x, new_v, old_v});
+                break;
+              case Op::LFlush:
+              case Op::RFlush:
+                for (Addr x = 0; x < cfg.numAddrs(); ++x)
+                    out.push_back(Label{op, i, x, 0, 0});
+                break;
+              case Op::Gpf:
+                out.push_back(Label::gpf(i));
+                break;
+              case Op::Crash:
+                out.push_back(Label::crash(i));
+                break;
+              case Op::Tau:
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+/** Deduplicated tau-closure over a set of states. */
+std::vector<State>
+closure(const Cxl0Model &m, const std::vector<State> &states)
+{
+    std::unordered_set<State, model::StateHash> seen;
+    std::vector<State> out;
+    for (const State &s : states) {
+        for (State &c : m.tauClosure(s)) {
+            if (seen.insert(c).second)
+                out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+/** Apply a label across a state set (no closure). */
+std::vector<State>
+applyAll(const Cxl0Model &m, const std::vector<State> &states,
+         const Label &label)
+{
+    std::vector<State> out;
+    for (const State &s : states)
+        if (auto succ = m.apply(s, label))
+            out.push_back(std::move(*succ));
+    return out;
+}
+
+struct SearchFrame
+{
+    std::vector<State> spec; // tau-closed
+    std::vector<State> impl; // tau-closed
+    std::vector<Label> trace;
+    std::vector<int> crashBudget;
+};
+
+/**
+ * Order-insensitive hash over a (spec set, impl set, budget) triple,
+ * used to prune revisits of the same determinized pair.
+ */
+uint64_t
+frameKey(const SearchFrame &f)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    uint64_t spec_mix = 0, impl_mix = 0;
+    for (const State &s : f.spec)
+        spec_mix += s.hash() * 0x100000001b3ULL + 1;
+    for (const State &s : f.impl)
+        impl_mix += s.hash() * 0x100000001b3ULL + 1;
+    h ^= spec_mix + (h << 6);
+    h ^= impl_mix * 31 + (h >> 3);
+    for (int b : f.crashBudget)
+        h = h * 131 + static_cast<uint64_t>(b + 1);
+    return h;
+}
+
+} // namespace
+
+RefinementResult
+checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
+                size_t depth, const Alphabet &alphabet)
+{
+    if (spec.config().numNodes() != impl.config().numNodes() ||
+        spec.config().numAddrs() != impl.config().numAddrs()) {
+        CXL0_FATAL("refinement requires same-shape configurations");
+    }
+    std::vector<Label> labels = candidates(impl.config(), alphabet);
+
+    SearchFrame root;
+    root.spec = closure(spec, {spec.initialState()});
+    root.impl = closure(impl, {impl.initialState()});
+    root.crashBudget.assign(impl.config().numNodes(),
+                            alphabet.maxCrashesPerNode);
+
+    // Memo: deepest remaining-depth already explored per frame key.
+    std::unordered_map<uint64_t, size_t> explored;
+
+    std::vector<SearchFrame> stack{root};
+    while (!stack.empty()) {
+        SearchFrame cur = std::move(stack.back());
+        stack.pop_back();
+        if (cur.trace.size() >= depth)
+            continue;
+        size_t remaining = depth - cur.trace.size();
+        uint64_t key = frameKey(cur);
+        auto it = explored.find(key);
+        if (it != explored.end() && it->second >= remaining)
+            continue;
+        explored[key] = remaining;
+        for (const Label &label : labels) {
+            if (label.op == Op::Crash &&
+                cur.crashBudget[label.node] <= 0) {
+                continue;
+            }
+            std::vector<State> impl_next =
+                applyAll(impl, cur.impl, label);
+            if (impl_next.empty())
+                continue; // impl cannot take this label
+            std::vector<State> spec_next =
+                applyAll(spec, cur.spec, label);
+            std::vector<Label> trace = cur.trace;
+            trace.push_back(label);
+            if (spec_next.empty()) {
+                RefinementResult r;
+                r.refines = false;
+                r.counterexample = std::move(trace);
+                return r;
+            }
+            SearchFrame next;
+            next.spec = closure(spec, spec_next);
+            next.impl = closure(impl, impl_next);
+            next.trace = std::move(trace);
+            next.crashBudget = cur.crashBudget;
+            if (label.op == Op::Crash)
+                next.crashBudget[label.node] -= 1;
+            stack.push_back(std::move(next));
+        }
+    }
+    return RefinementResult{};
+}
+
+std::vector<std::vector<Label>>
+enumerateTraces(const Cxl0Model &m, size_t depth, const Alphabet &alphabet)
+{
+    std::vector<Label> labels = candidates(m.config(), alphabet);
+    std::vector<std::vector<Label>> out;
+
+    SearchFrame root;
+    root.impl = closure(m, {m.initialState()});
+    root.crashBudget.assign(m.config().numNodes(),
+                            alphabet.maxCrashesPerNode);
+
+    std::vector<SearchFrame> stack{root};
+    out.push_back({}); // the empty trace
+    while (!stack.empty()) {
+        SearchFrame cur = std::move(stack.back());
+        stack.pop_back();
+        if (cur.trace.size() >= depth)
+            continue;
+        for (const Label &label : labels) {
+            if (label.op == Op::Crash &&
+                cur.crashBudget[label.node] <= 0) {
+                continue;
+            }
+            std::vector<State> next_states =
+                applyAll(m, cur.impl, label);
+            if (next_states.empty())
+                continue;
+            SearchFrame next;
+            next.impl = closure(m, next_states);
+            next.trace = cur.trace;
+            next.trace.push_back(label);
+            next.crashBudget = cur.crashBudget;
+            if (label.op == Op::Crash)
+                next.crashBudget[label.node] -= 1;
+            out.push_back(next.trace);
+            stack.push_back(std::move(next));
+        }
+    }
+    return out;
+}
+
+} // namespace cxl0::check

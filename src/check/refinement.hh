@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bounded trace-refinement checking between CXL0 variants.
+ *
+ * The paper uses the FDR4 CSP refinement checker to compare CXL0 with
+ * CXL0_PSN and CXL0_LWB (§3.5): every variant trace is a CXL0 trace,
+ * CXL0 has traces neither variant allows, and the two variants are
+ * incomparable. We reproduce this with a bounded explicit-state
+ * checker: traces are sequences of visible labels (tau hidden) drawn
+ * from a finite alphabet, and refinement is checked by a simultaneous
+ * subset-construction walk of both LTSs up to a depth bound.
+ */
+
+#ifndef CXL0_CHECK_REFINEMENT_HH
+#define CXL0_CHECK_REFINEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "model/semantics.hh"
+
+namespace cxl0::check
+{
+
+/** Finite label alphabet for trace generation. */
+struct Alphabet
+{
+    /** Operations to draw from (Load handled specially). */
+    std::vector<model::Op> ops;
+    /** Store / RMW values. */
+    std::vector<Value> values;
+    /** Machines allowed to act; empty = all. */
+    std::vector<NodeId> nodes;
+    /** Max crash events per machine inside one trace. */
+    int maxCrashesPerNode = 1;
+
+    /** A reasonable default: all ops, values {0,1}, all nodes. */
+    static Alphabet standard(const model::SystemConfig &cfg);
+};
+
+/** Result of a refinement query. */
+struct RefinementResult
+{
+    bool refines = true;
+    /** When violated: a shortest trace of impl that spec cannot do. */
+    std::vector<model::Label> counterexample;
+
+    std::string describe() const;
+};
+
+/**
+ * Check that every trace of `impl` (up to `depth` visible labels over
+ * `alphabet`) is also a trace of `spec`. Both models must share the
+ * same configuration shape.
+ */
+RefinementResult checkRefinement(const model::Cxl0Model &spec,
+                                 const model::Cxl0Model &impl,
+                                 size_t depth, const Alphabet &alphabet);
+
+/**
+ * Collect every feasible visible trace of `m` up to `depth` labels.
+ * Exposed for tests; exponential in depth, keep the alphabet small.
+ */
+std::vector<std::vector<model::Label>>
+enumerateTraces(const model::Cxl0Model &m, size_t depth,
+                const Alphabet &alphabet);
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_REFINEMENT_HH

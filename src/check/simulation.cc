@@ -1,0 +1,157 @@
+#include "check/simulation.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace cxl0::check
+{
+
+using cxl0::Addr;
+using model::Cxl0Model;
+using model::Label;
+using model::State;
+using model::SystemConfig;
+using cxl0::Value;
+
+std::vector<State>
+enumerateStates(const SystemConfig &cfg, Value max_value)
+{
+    const size_t nodes = cfg.numNodes();
+    const size_t addrs = cfg.numAddrs();
+    std::vector<State> out;
+
+    // Enumerate cache contents: per (node, addr) one of bottom or
+    // [0, max_value]; memory contents: per addr one of [0, max_value].
+    const size_t cache_slots = nodes * addrs;
+    const uint64_t cache_options = static_cast<uint64_t>(max_value) + 2;
+    const uint64_t mem_options = static_cast<uint64_t>(max_value) + 1;
+
+    uint64_t cache_total = 1;
+    for (size_t s = 0; s < cache_slots; ++s)
+        cache_total *= cache_options;
+    uint64_t mem_total = 1;
+    for (size_t s = 0; s < addrs; ++s)
+        mem_total *= mem_options;
+
+    for (uint64_t cc = 0; cc < cache_total; ++cc) {
+        State base(nodes, addrs);
+        uint64_t rest = cc;
+        for (NodeId i = 0; i < nodes; ++i) {
+            for (Addr x = 0; x < addrs; ++x) {
+                uint64_t digit = rest % cache_options;
+                rest /= cache_options;
+                base.setCache(i, x,
+                              digit == 0 ? kBottom
+                                         : static_cast<Value>(digit - 1));
+            }
+        }
+        if (!base.invariantHolds())
+            continue;
+        for (uint64_t mm = 0; mm < mem_total; ++mm) {
+            State s = base;
+            uint64_t mrest = mm;
+            for (Addr x = 0; x < addrs; ++x) {
+                s.setMemory(x, static_cast<Value>(mrest % mem_options));
+                mrest /= mem_options;
+            }
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+SimulationResult
+checkTraceInclusion(const Cxl0Model &model,
+                    const std::vector<State> &states,
+                    const std::vector<Label> &lhs,
+                    const std::vector<Label> &rhs)
+{
+    TraceChecker checker(model);
+    for (const State &gamma : states) {
+        std::vector<State> lhs_post = checker.statesAfter(gamma, lhs);
+        if (lhs_post.empty())
+            continue; // vacuously true from this state
+        std::vector<State> rhs_post = checker.statesAfter(gamma, rhs);
+        std::unordered_set<State, model::StateHash> rhs_set(
+            rhs_post.begin(), rhs_post.end());
+        for (const State &target : lhs_post) {
+            if (!rhs_set.count(target)) {
+                std::ostringstream os;
+                os << "from " << gamma.describe() << ", trace ["
+                   << model::describeTrace(lhs) << "] reaches "
+                   << target.describe() << " but ["
+                   << model::describeTrace(rhs) << "] cannot";
+                return SimulationResult{false, os.str()};
+            }
+        }
+    }
+    return SimulationResult{true, ""};
+}
+
+std::vector<Prop1Item>
+prop1Items(NodeId i, NodeId j, NodeId k, Addr x, Value v)
+{
+    // Assumptions from the paper: x in Loc_k, j != k.
+    std::vector<Prop1Item> items;
+    items.push_back({1, "RStore is stronger than LStore",
+                     {Label::rstore(i, x, v)},
+                     {Label::lstore(i, x, v)}});
+    items.push_back({2, "RStore and LStore by the owner are equivalent",
+                     {Label::lstore(k, x, v)},
+                     {Label::rstore(k, x, v)}});
+    items.push_back({3, "MStore is stronger than RStore",
+                     {Label::mstore(i, x, v)},
+                     {Label::rstore(i, x, v)}});
+    items.push_back({4, "RFlush is stronger than LFlush",
+                     {Label::rflush(i, x)},
+                     {Label::lflush(i, x)}});
+    items.push_back({5, "LFlush after RStore by non-owner is redundant",
+                     {Label::rstore(j, x, v)},
+                     {Label::rstore(j, x, v), Label::lflush(j, x)}});
+    items.push_back({6, "RFlush after MStore is redundant",
+                     {Label::mstore(i, x, v)},
+                     {Label::mstore(i, x, v), Label::rflush(i, x)}});
+    items.push_back({7, "RStore by non-owner is simulated by "
+                        "LStore+LFlush",
+                     {Label::lstore(j, x, v), Label::lflush(j, x)},
+                     {Label::rstore(j, x, v)}});
+    items.push_back({8, "MStore is simulated by LStore+RFlush",
+                     {Label::lstore(i, x, v), Label::rflush(i, x)},
+                     {Label::mstore(i, x, v)}});
+    return items;
+}
+
+SimulationResult
+checkProp1(const SystemConfig &cfg, model::ModelVariant variant,
+           Value max_value)
+{
+    Cxl0Model model(cfg, variant);
+    std::vector<State> states = enumerateStates(cfg, max_value);
+
+    for (Addr x = 0; x < cfg.numAddrs(); ++x) {
+        NodeId k = cfg.ownerOf(x);
+        for (NodeId i = 0; i < cfg.numNodes(); ++i) {
+            for (NodeId j = 0; j < cfg.numNodes(); ++j) {
+                if (j == k)
+                    continue;
+                for (Value v = 0; v <= max_value; ++v) {
+                    for (const Prop1Item &item :
+                         prop1Items(i, j, k, x, v)) {
+                        SimulationResult r = checkTraceInclusion(
+                            model, states, item.lhs, item.rhs);
+                        if (!r.holds) {
+                            std::ostringstream os;
+                            os << "Proposition 1 item " << item.number
+                               << " (" << item.name << ") fails: "
+                               << r.counterexample;
+                            return SimulationResult{false, os.str()};
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return SimulationResult{true, ""};
+}
+
+} // namespace cxl0::check

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Exhaustive checking of Proposition 1 (paper §3.4).
+ *
+ * The paper proves eight trace-simulation statements in Rocq. We do
+ * not have a proof assistant here; instead we check the statements
+ * *exhaustively* over every invariant-satisfying state of bounded
+ * systems (the statements are parametric only in the state, the acting
+ * machines, the address, and the value, so bounded exhaustion over
+ * 2-3 machines and values {0,1} exercises every rule interaction).
+ *
+ * Statement shape: "if gamma --lhs--> gamma' then gamma --rhs-->
+ * gamma'", where --trace--> permits interleaved tau steps; i.e. the
+ * post-state set of lhs is included in the post-state set of rhs.
+ */
+
+#ifndef CXL0_CHECK_SIMULATION_HH
+#define CXL0_CHECK_SIMULATION_HH
+
+#include <string>
+#include <vector>
+
+#include "check/trace.hh"
+
+namespace cxl0::check
+{
+
+/** Outcome of one inclusion check. */
+struct SimulationResult
+{
+    bool holds = true;
+    /** When violated: a description of the offending state / trace. */
+    std::string counterexample;
+};
+
+/**
+ * Every state over cfg's shape with cache entries in {bottom} union
+ * [0, max_value] and memory entries in [0, max_value] that satisfies
+ * the global cache invariant.
+ */
+std::vector<model::State> enumerateStates(const model::SystemConfig &cfg,
+                                          Value max_value);
+
+/**
+ * Check that from every state in `states`, every state reachable via
+ * `lhs` (tau-interleaved) is also reachable via `rhs`.
+ */
+SimulationResult
+checkTraceInclusion(const model::Cxl0Model &model,
+                    const std::vector<model::State> &states,
+                    const std::vector<model::Label> &lhs,
+                    const std::vector<model::Label> &rhs);
+
+/** One instantiated Proposition 1 item. */
+struct Prop1Item
+{
+    int number;        //!< 1..8 as in the paper
+    std::string name;  //!< e.g. "RStore is stronger than LStore"
+    std::vector<model::Label> lhs;
+    std::vector<model::Label> rhs;
+};
+
+/**
+ * All eight Proposition 1 items instantiated for: x owned by machine
+ * `k`, acting machines `i` (arbitrary) and `j` (non-owner), value v.
+ */
+std::vector<Prop1Item> prop1Items(NodeId i, NodeId j, NodeId k,
+                                  Addr x, Value v);
+
+/**
+ * Check every Proposition 1 item over every enumerated state of cfg
+ * for every valid choice of (i, j, x, v <= max_value); returns the
+ * first failure or success.
+ */
+SimulationResult checkProp1(const model::SystemConfig &cfg,
+                            model::ModelVariant variant,
+                            Value max_value);
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_SIMULATION_HH

@@ -1,0 +1,78 @@
+#include "check/trace.hh"
+
+#include <unordered_set>
+
+namespace cxl0::check
+{
+
+namespace
+{
+
+/** Deduplicate a state vector using the structural hash. */
+std::vector<State>
+dedup(std::vector<State> states)
+{
+    std::unordered_set<State, model::StateHash> seen;
+    std::vector<State> out;
+    for (State &s : states)
+        if (seen.insert(s).second)
+            out.push_back(std::move(s));
+    return out;
+}
+
+} // namespace
+
+std::vector<State>
+TraceChecker::statesAfter(const State &init,
+                          const std::vector<Label> &trace) const
+{
+    std::vector<State> frontier = model_.tauClosure(init);
+    for (const Label &label : trace) {
+        std::vector<State> next;
+        for (const State &s : frontier) {
+            if (auto succ = model_.apply(s, label)) {
+                for (State &closed : model_.tauClosure(*succ))
+                    next.push_back(std::move(closed));
+            }
+        }
+        frontier = dedup(std::move(next));
+        if (frontier.empty())
+            break;
+    }
+    return frontier;
+}
+
+bool
+TraceChecker::feasible(const std::vector<Label> &trace) const
+{
+    return feasibleFrom(model_.initialState(), trace);
+}
+
+bool
+TraceChecker::feasibleFrom(const State &init,
+                           const std::vector<Label> &trace) const
+{
+    return !statesAfter(init, trace).empty();
+}
+
+size_t
+TraceChecker::firstBlockedIndex(const State &init,
+                                const std::vector<Label> &trace) const
+{
+    std::vector<State> frontier = model_.tauClosure(init);
+    for (size_t k = 0; k < trace.size(); ++k) {
+        std::vector<State> next;
+        for (const State &s : frontier) {
+            if (auto succ = model_.apply(s, trace[k])) {
+                for (State &closed : model_.tauClosure(*succ))
+                    next.push_back(std::move(closed));
+            }
+        }
+        frontier = dedup(std::move(next));
+        if (frontier.empty())
+            return k;
+    }
+    return trace.size();
+}
+
+} // namespace cxl0::check

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace feasibility checking over the CXL0 LTS.
+ *
+ * The paper presents litmus tests as serialized traces of CXL0
+ * primitives "interleaved with additional silent tau-steps" (§3.4).
+ * The TraceChecker decides whether such a trace is executable: it
+ * tracks the *set* of states reachable after each prefix, closing
+ * under tau at every point (a subset construction, which also makes
+ * the check deterministic and complete for these finite systems).
+ */
+
+#ifndef CXL0_CHECK_TRACE_HH
+#define CXL0_CHECK_TRACE_HH
+
+#include <vector>
+
+#include "model/semantics.hh"
+
+namespace cxl0::check
+{
+
+using model::Cxl0Model;
+using model::Label;
+using model::State;
+
+/** Decides feasibility of serialized label traces. */
+class TraceChecker
+{
+  public:
+    explicit TraceChecker(const Cxl0Model &model) : model_(model) {}
+
+    /**
+     * All states reachable by executing `trace` in order from `init`,
+     * with tau steps interleaved anywhere (including before the first
+     * and after the last label). Empty result means infeasible.
+     */
+    std::vector<State> statesAfter(const State &init,
+                                   const std::vector<Label> &trace) const;
+
+    /** Feasibility from the model's initial state. */
+    bool feasible(const std::vector<Label> &trace) const;
+
+    /** Feasibility from a caller-provided state. */
+    bool feasibleFrom(const State &init,
+                      const std::vector<Label> &trace) const;
+
+    /**
+     * Index of the first label with no enabled execution (size() when
+     * the whole trace is feasible). Useful diagnostics for tests.
+     */
+    size_t firstBlockedIndex(const State &init,
+                             const std::vector<Label> &trace) const;
+
+  private:
+    const Cxl0Model &model_;
+};
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_TRACE_HH

@@ -1,0 +1,34 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cxl0
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throwing (rather than abort()) lets the test suite exercise the
+    // panic paths of precondition checks.
+    throw std::logic_error(msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::invalid_argument(msg);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace cxl0

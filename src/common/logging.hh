@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration of a system or
+ * workload); panic() is for internal invariant violations — e.g. the
+ * CXL0 global cache invariant breaking would be a bug in this library,
+ * never a user mistake.
+ */
+
+#ifndef CXL0_COMMON_LOGGING_HH
+#define CXL0_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cxl0
+{
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a message: the caller supplied an invalid configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace cxl0
+
+#define CXL0_PANIC(...) \
+    ::cxl0::panicImpl(__FILE__, __LINE__, ::cxl0::detail::concat(__VA_ARGS__))
+
+#define CXL0_FATAL(...) \
+    ::cxl0::fatalImpl(__FILE__, __LINE__, ::cxl0::detail::concat(__VA_ARGS__))
+
+#define CXL0_WARN(...) \
+    ::cxl0::warnImpl(__FILE__, __LINE__, ::cxl0::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define CXL0_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            CXL0_PANIC("assertion failed: " #cond " ",                     \
+                       ::cxl0::detail::concat(__VA_ARGS__));               \
+        }                                                                  \
+    } while (0)
+
+#endif // CXL0_COMMON_LOGGING_HH

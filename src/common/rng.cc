@@ -1,0 +1,53 @@
+#include "common/rng.hh"
+
+namespace cxl0
+{
+
+uint64_t
+Rng::next()
+{
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias; bound is tiny in all of
+    // our uses so the loop nearly never retries.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextInRange(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool
+Rng::chance(uint64_t num, uint64_t den)
+{
+    return nextBelow(den) < num;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace cxl0

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of nondeterminism in the reproduction (propagation
+ * scheduling, crash injection, workload generation) draws from a
+ * seeded SplitMix64 stream so that test failures and benchmark runs
+ * are exactly reproducible.
+ */
+
+#ifndef CXL0_COMMON_RNG_HH
+#define CXL0_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cxl0
+{
+
+/**
+ * SplitMix64 generator. Small state, good statistical quality for
+ * simulation purposes, and trivially seedable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextInRange(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with probability num/den. */
+    bool chance(uint64_t num, uint64_t den);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        if (v.size() < 2)
+            return;
+        for (size_t i = v.size() - 1; i > 0; --i) {
+            size_t j = nextBelow(i + 1);
+            std::swap(v[i], v[j]);
+        }
+    }
+
+    /** Derive an independent child stream (for per-thread RNGs). */
+    Rng split();
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_RNG_HH

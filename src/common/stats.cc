@@ -1,0 +1,164 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace cxl0
+{
+
+void
+Accumulator::add(double sample)
+{
+    samples_.push_back(sample);
+}
+
+double
+Accumulator::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+Accumulator::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+Accumulator::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Accumulator::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Accumulator::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+std::vector<double>
+Accumulator::sorted() const
+{
+    std::vector<double> copy = samples_;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+}
+
+double
+Accumulator::median() const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> s = sorted();
+    size_t n = s.size();
+    if (n % 2 == 1)
+        return s[n / 2];
+    return 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+double
+Accumulator::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> s = sorted();
+    if (p <= 0.0)
+        return s.front();
+    if (p >= 100.0)
+        return s.back();
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(s.size())));
+    if (rank == 0)
+        rank = 1;
+    return s[rank - 1];
+}
+
+void
+Accumulator::reset()
+{
+    samples_.clear();
+}
+
+std::string
+Accumulator::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << count() << " median=" << formatDouble(median())
+       << " mean=" << formatDouble(mean())
+       << " min=" << formatDouble(min())
+       << " max=" << formatDouble(max());
+    return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : rows_)
+        emit_row(row, os);
+    return os.str();
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+} // namespace cxl0

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the benchmark harness.
+ *
+ * The paper reports medians over 1000 measurements (§5.2); the
+ * Accumulator supports exact order statistics over the sample sets we
+ * collect, plus the usual mean / min / max / stddev summaries.
+ */
+
+#ifndef CXL0_COMMON_STATS_HH
+#define CXL0_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cxl0
+{
+
+/** Collects scalar samples and answers summary queries. */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Number of samples recorded. */
+    size_t count() const { return samples_.size(); }
+
+    /** Sum of all samples; 0 when empty. */
+    double sum() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Population standard deviation; 0 when fewer than 2 samples. */
+    double stddev() const;
+
+    /** Median (the paper's headline statistic); 0 when empty. */
+    double median() const;
+
+    /**
+     * Exact percentile via nearest-rank on the sorted samples.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Drop all samples. */
+    void reset();
+
+    /** One-line human readable summary. */
+    std::string summary() const;
+
+  private:
+    /** Sorted copy helper for order statistics. */
+    std::vector<double> sorted() const;
+
+    std::vector<double> samples_;
+};
+
+/**
+ * Fixed-width text table writer for bench output. Produces the same
+ * row/column shape as the paper's tables so EXPERIMENTS.md can quote
+ * bench output directly.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with padded columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string formatDouble(double v, int precision = 1);
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_STATS_HH

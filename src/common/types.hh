@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental value types shared across all cxl0 libraries.
+ *
+ * The CXL0 model (paper §3.3) works with a finite set of machines
+ * (nodes), a set of shared memory locations partitioned among the
+ * machines, and an abstract value domain that contains a distinguished
+ * initial value 0. These aliases pin down the concrete representations
+ * used throughout the reproduction.
+ */
+
+#ifndef CXL0_COMMON_TYPES_HH
+#define CXL0_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cxl0
+{
+
+/** Identifier of a machine (node) in the CXL fabric. */
+using NodeId = uint16_t;
+
+/** Index of a shared memory location (one abstract cache line). */
+using Addr = uint32_t;
+
+/** Abstract value stored at a location. */
+using Value = int64_t;
+
+/** The distinguished initial value of every location (paper §3.3). */
+constexpr Value kInitValue = 0;
+
+/**
+ * Sentinel used inside cache maps for the invalid entry, written
+ * "bottom" in the paper. It is deliberately outside the value range
+ * data structures use, and asserting on it catches accidental leaks of
+ * the sentinel into user-visible results.
+ */
+constexpr Value kBottom = std::numeric_limits<Value>::min();
+
+/** Sentinel for "no node". */
+constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no address" (used as a null pointer by src/ds). */
+constexpr Addr kNullAddr = std::numeric_limits<Addr>::max();
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_TYPES_HH

@@ -1,0 +1,97 @@
+#include "ds/kv.hh"
+
+namespace cxl0::ds
+{
+
+DurableRegister::DurableRegister(FlitRuntime &rt, NodeId home)
+    : rt_(rt), word_(rt.allocateShared(home))
+{
+}
+
+void
+DurableRegister::write(NodeId by, Value v)
+{
+    rt_.sharedStore(by, word_, v);
+    rt_.completeOp(by);
+}
+
+Value
+DurableRegister::read(NodeId by)
+{
+    Value v = rt_.sharedLoad(by, word_);
+    rt_.completeOp(by);
+    return v;
+}
+
+bool
+DurableRegister::compareExchange(NodeId by, Value expected, Value desired)
+{
+    bool ok = rt_.sharedCas(by, word_, expected, desired).success;
+    rt_.completeOp(by);
+    return ok;
+}
+
+DurableCounter::DurableCounter(FlitRuntime &rt, NodeId home)
+    : rt_(rt), word_(rt.allocateShared(home))
+{
+}
+
+Value
+DurableCounter::fetchAdd(NodeId by, Value delta)
+{
+    Value old = rt_.sharedFaa(by, word_, delta);
+    rt_.completeOp(by);
+    return old;
+}
+
+Value
+DurableCounter::read(NodeId by)
+{
+    Value v = rt_.sharedLoad(by, word_);
+    rt_.completeOp(by);
+    return v;
+}
+
+KvStore::KvStore(FlitRuntime &rt, NodeId home, size_t buckets)
+    : map_(rt, home, buckets), size_(rt, home)
+{
+}
+
+bool
+KvStore::put(NodeId by, Value key, Value value)
+{
+    bool fresh = !map_.get(by, key).has_value();
+    map_.put(by, key, value);
+    if (fresh)
+        size_.fetchAdd(by, 1);
+    return fresh;
+}
+
+std::optional<Value>
+KvStore::get(NodeId by, Value key)
+{
+    return map_.get(by, key);
+}
+
+bool
+KvStore::remove(NodeId by, Value key)
+{
+    bool removed = map_.remove(by, key);
+    if (removed)
+        size_.fetchAdd(by, -1);
+    return removed;
+}
+
+Value
+KvStore::size(NodeId by)
+{
+    return size_.read(by);
+}
+
+std::vector<std::pair<Value, Value>>
+KvStore::unsafeSnapshot(NodeId by)
+{
+    return map_.unsafeSnapshot(by);
+}
+
+} // namespace cxl0::ds

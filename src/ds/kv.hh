@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small durable primitives: register, counter, and a KV-store facade.
+ *
+ * These are the "legacy linearizable objects" §6 transforms: a
+ * multi-reader multi-writer register, a fetch-and-add counter, and a
+ * KV store combining a HashMap with a live-size counter. With a
+ * durable PersistMode they are durably linearizable out of the box.
+ */
+
+#ifndef CXL0_DS_KV_HH
+#define CXL0_DS_KV_HH
+
+#include <optional>
+
+#include "ds/map.hh"
+
+namespace cxl0::ds
+{
+
+/** MRMW register through the transformation. */
+class DurableRegister
+{
+  public:
+    DurableRegister(FlitRuntime &rt, NodeId home);
+
+    void write(NodeId by, Value v);
+    Value read(NodeId by);
+    /** CAS on the register; returns success. */
+    bool compareExchange(NodeId by, Value expected, Value desired);
+
+  private:
+    FlitRuntime &rt_;
+    SharedWord word_;
+};
+
+/** Fetch-and-add counter through the transformation. */
+class DurableCounter
+{
+  public:
+    DurableCounter(FlitRuntime &rt, NodeId home);
+
+    /** Add delta; returns the previous value. */
+    Value fetchAdd(NodeId by, Value delta);
+    Value read(NodeId by);
+
+  private:
+    FlitRuntime &rt_;
+    SharedWord word_;
+};
+
+/**
+ * KV store: HashMap plus a durable size counter, demonstrating §6's
+ * composability claim — durable linearizability is local, so composing
+ * two durably linearizable objects needs no extra reasoning.
+ */
+class KvStore
+{
+  public:
+    KvStore(FlitRuntime &rt, NodeId home, size_t buckets = 32);
+
+    /** Insert or overwrite; returns true when the key was fresh. */
+    bool put(NodeId by, Value key, Value value);
+    std::optional<Value> get(NodeId by, Value key);
+    /** Remove; false when absent. */
+    bool remove(NodeId by, Value key);
+    /** Live key count. */
+    Value size(NodeId by);
+
+    /** All live pairs (quiescent use only, e.g. after recovery). */
+    std::vector<std::pair<Value, Value>> unsafeSnapshot(NodeId by);
+
+  private:
+    HashMap map_;
+    DurableCounter size_;
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_KV_HH

@@ -1,0 +1,84 @@
+#include "ds/log.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::ds
+{
+
+DurableLog::DurableLog(FlitRuntime &rt, NodeId home, size_t capacity)
+    : rt_(rt), tail_(rt.allocateShared(home))
+{
+    CXL0_ASSERT(capacity > 0, "log needs at least one slot");
+    slots_.reserve(capacity);
+    for (size_t k = 0; k < capacity; ++k) {
+        Slot s;
+        s.value = rt_.allocateShared(home);
+        s.published = rt_.allocateShared(home);
+        slots_.push_back(s);
+    }
+}
+
+std::optional<size_t>
+DurableLog::append(NodeId by, Value v)
+{
+    Value idx = rt_.sharedFaa(by, tail_, 1);
+    if (idx < 0 || static_cast<size_t>(idx) >= slots_.size()) {
+        rt_.completeOp(by);
+        return std::nullopt;
+    }
+    Slot &slot = slots_[static_cast<size_t>(idx)];
+    rt_.sharedStore(by, slot.value, v);
+    rt_.sharedStore(by, slot.published, 1);
+    rt_.completeOp(by);
+    return static_cast<size_t>(idx);
+}
+
+std::optional<size_t>
+DurableLog::reserveOnly(NodeId by)
+{
+    Value idx = rt_.sharedFaa(by, tail_, 1);
+    if (idx < 0 || static_cast<size_t>(idx) >= slots_.size())
+        return std::nullopt;
+    return static_cast<size_t>(idx);
+}
+
+std::optional<Value>
+DurableLog::get(NodeId by, size_t index)
+{
+    if (index >= slots_.size())
+        return std::nullopt;
+    Slot &slot = slots_[index];
+    if (rt_.sharedLoad(by, slot.published) != 1) {
+        rt_.completeOp(by);
+        return std::nullopt;
+    }
+    Value v = rt_.sharedLoad(by, slot.value);
+    rt_.completeOp(by);
+    return v;
+}
+
+size_t
+DurableLog::reserved(NodeId by)
+{
+    Value t = rt_.sharedLoad(by, tail_);
+    rt_.completeOp(by);
+    if (t < 0)
+        return 0;
+    return std::min(static_cast<size_t>(t), slots_.size());
+}
+
+std::vector<Value>
+DurableLog::scan(NodeId by)
+{
+    std::vector<Value> out;
+    size_t upto = reserved(by);
+    for (size_t k = 0; k < upto; ++k) {
+        Slot &slot = slots_[k];
+        if (rt_.sharedLoad(by, slot.published) == 1)
+            out.push_back(rt_.sharedLoad(by, slot.value));
+    }
+    rt_.completeOp(by);
+    return out;
+}
+
+} // namespace cxl0::ds

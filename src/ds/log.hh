@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Durable append-only log over the FliT-transformed CXL0 runtime.
+ *
+ * The classic journal pattern for disaggregated memory: appenders
+ * reserve a slot with a fetch-and-add on the tail, write the payload,
+ * then set the slot's publish flag. Readers and recovery only trust
+ * published slots, so an appender dying mid-append leaves a hole that
+ * scans skip — its pending operation is correctly "omitted" in the
+ * durable-linearizability sense, while every published append
+ * survives any crash when a durable PersistMode is used.
+ */
+
+#ifndef CXL0_DS_LOG_HH
+#define CXL0_DS_LOG_HH
+
+#include <optional>
+#include <vector>
+
+#include "flit/flit.hh"
+
+namespace cxl0::ds
+{
+
+using flit::FlitRuntime;
+using flit::SharedWord;
+
+/** Fixed-capacity multi-producer append-only log. */
+class DurableLog
+{
+  public:
+    /**
+     * @param capacity slot count; all cells are allocated up front so
+     *        appends never race on allocation
+     */
+    DurableLog(FlitRuntime &rt, NodeId home, size_t capacity);
+
+    size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Append v; returns the slot index, or nullopt when the log is
+     * full (the reservation is burned either way, as in real
+     * sequence-number based logs).
+     */
+    std::optional<size_t> append(NodeId by, Value v);
+
+    /** Read one slot; nullopt if unpublished (hole or out of range). */
+    std::optional<Value> get(NodeId by, size_t index);
+
+    /**
+     * Crash-injection hook: reserve a slot and stop, exactly the
+     * footprint of an appender that died between its FAA and its
+     * publish store. Returns the orphaned slot index.
+     */
+    std::optional<size_t> reserveOnly(NodeId by);
+
+    /** Number of reserved slots (published or not). */
+    size_t reserved(NodeId by);
+
+    /**
+     * All published entries in slot order, skipping holes left by
+     * appenders that died between reservation and publication.
+     */
+    std::vector<Value> scan(NodeId by);
+
+  private:
+    struct Slot
+    {
+        SharedWord value;
+        SharedWord published;
+    };
+
+    FlitRuntime &rt_;
+    SharedWord tail_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_LOG_HH

@@ -1,0 +1,140 @@
+#include "ds/map.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::ds
+{
+
+HashMap::HashMap(FlitRuntime &rt, NodeId home, size_t buckets)
+    : rt_(rt), home_(home)
+{
+    CXL0_ASSERT(buckets > 0, "need at least one bucket");
+    for (size_t b = 0; b < buckets; ++b)
+        buckets_.push_back(rt_.allocateShared(home));
+    std::lock_guard<std::mutex> guard(tableMu_);
+    records_.emplace_back(); // index 0 == null
+}
+
+HashMap::Record &
+HashMap::record(Value ptr)
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    CXL0_ASSERT(ptr > 0 && static_cast<size_t>(ptr) < records_.size(),
+                "dangling map pointer ", ptr);
+    return records_[static_cast<size_t>(ptr)];
+}
+
+Value
+HashMap::newRecord(NodeId by, Value key, Value value, bool dead,
+                   Value next_ptr)
+{
+    Value ptr;
+    Record *rec;
+    {
+        std::lock_guard<std::mutex> guard(tableMu_);
+        ptr = static_cast<Value>(records_.size());
+        records_.emplace_back();
+        rec = &records_.back();
+        rec->key = rt_.allocateShared(home_);
+        rec->value = rt_.allocateShared(home_);
+        rec->dead = rt_.allocateShared(home_);
+        rec->next = rt_.allocateShared(home_);
+    }
+    rt_.sharedStore(by, rec->key, key);
+    rt_.sharedStore(by, rec->value, value);
+    rt_.sharedStore(by, rec->dead, dead ? 1 : 0);
+    rt_.sharedStore(by, rec->next, next_ptr);
+    return ptr;
+}
+
+size_t
+HashMap::bucketOf(Value key) const
+{
+    uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h >> 33) % buckets_.size();
+}
+
+Value
+HashMap::findNewest(NodeId by, Value bucket_head, Value key)
+{
+    Value cur = bucket_head;
+    while (cur != 0) {
+        Record &rec = record(cur);
+        if (rt_.sharedLoad(by, rec.key) == key)
+            return cur;
+        cur = rt_.sharedLoad(by, rec.next);
+    }
+    return 0;
+}
+
+void
+HashMap::put(NodeId by, Value key, Value value)
+{
+    const SharedWord &bucket = buckets_[bucketOf(key)];
+    for (;;) {
+        Value head = rt_.sharedLoad(by, bucket);
+        Value fresh = newRecord(by, key, value, false, head);
+        if (rt_.sharedCas(by, bucket, head, fresh).success) {
+            rt_.completeOp(by);
+            return;
+        }
+    }
+}
+
+std::optional<Value>
+HashMap::get(NodeId by, Value key)
+{
+    const SharedWord &bucket = buckets_[bucketOf(key)];
+    Value head = rt_.sharedLoad(by, bucket);
+    Value hit = findNewest(by, head, key);
+    std::optional<Value> out;
+    if (hit != 0 && rt_.sharedLoad(by, record(hit).dead) == 0)
+        out = rt_.sharedLoad(by, record(hit).value);
+    rt_.completeOp(by);
+    return out;
+}
+
+bool
+HashMap::remove(NodeId by, Value key)
+{
+    const SharedWord &bucket = buckets_[bucketOf(key)];
+    for (;;) {
+        Value head = rt_.sharedLoad(by, bucket);
+        Value hit = findNewest(by, head, key);
+        if (hit == 0 || rt_.sharedLoad(by, record(hit).dead) == 1) {
+            rt_.completeOp(by);
+            return false;
+        }
+        Value tomb = newRecord(by, key, 0, true, head);
+        if (rt_.sharedCas(by, bucket, head, tomb).success) {
+            rt_.completeOp(by);
+            return true;
+        }
+    }
+}
+
+std::vector<std::pair<Value, Value>>
+HashMap::unsafeSnapshot(NodeId by)
+{
+    std::vector<std::pair<Value, Value>> out;
+    for (const SharedWord &bucket : buckets_) {
+        std::vector<Value> seen;
+        Value cur = rt_.sharedLoad(by, bucket);
+        while (cur != 0) {
+            Record &rec = record(cur);
+            Value k = rt_.sharedLoad(by, rec.key);
+            bool already = false;
+            for (Value s : seen)
+                already |= (s == k);
+            if (!already) {
+                seen.push_back(k);
+                if (rt_.sharedLoad(by, rec.dead) == 0)
+                    out.emplace_back(k, rt_.sharedLoad(by, rec.value));
+            }
+            cur = rt_.sharedLoad(by, rec.next);
+        }
+    }
+    return out;
+}
+
+} // namespace cxl0::ds

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bucketed hash map over the FliT-transformed CXL0 runtime.
+ *
+ * Each bucket is a prepend-only CAS list; a put prepends a fresh
+ * (key, value) record and a get returns the first (newest) match, so
+ * every operation linearizes at a single CAS or load. Removal prepends
+ * a tombstone record. Records are never unlinked (arena semantics, see
+ * ds/set.hh).
+ */
+
+#ifndef CXL0_DS_MAP_HH
+#define CXL0_DS_MAP_HH
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "flit/flit.hh"
+
+namespace cxl0::ds
+{
+
+using flit::FlitRuntime;
+using flit::SharedWord;
+
+/** Lock-free hash map from Value keys to Value values. */
+class HashMap
+{
+  public:
+    /**
+     * @param buckets bucket count (fixed; choose >= expected keys for
+     *        short chains)
+     */
+    HashMap(FlitRuntime &rt, NodeId home, size_t buckets = 16);
+
+    /** Insert or overwrite key. */
+    void put(NodeId by, Value key, Value value);
+
+    /** Current mapping; nullopt when absent. */
+    std::optional<Value> get(NodeId by, Value key);
+
+    /** Remove key; false when it was absent. */
+    bool remove(NodeId by, Value key);
+
+    /** All live (key, value) pairs (quiescent use only). */
+    std::vector<std::pair<Value, Value>> unsafeSnapshot(NodeId by);
+
+  private:
+    struct Record
+    {
+        SharedWord key;
+        SharedWord value;
+        SharedWord dead; //!< 1 marks a tombstone record
+        SharedWord next;
+    };
+
+    Record &record(Value ptr);
+    Value newRecord(NodeId by, Value key, Value value, bool dead,
+                    Value next_ptr);
+    size_t bucketOf(Value key) const;
+
+    /** First record matching key from the bucket head, or 0. */
+    Value findNewest(NodeId by, Value bucket_head, Value key);
+
+    FlitRuntime &rt_;
+    NodeId home_;
+    std::vector<SharedWord> buckets_;
+
+    std::mutex tableMu_;
+    std::deque<Record> records_;
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_MAP_HH

@@ -1,0 +1,115 @@
+#include "ds/queue.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::ds
+{
+
+MsQueue::MsQueue(FlitRuntime &rt, NodeId home)
+    : rt_(rt), home_(home), head_(rt.allocateShared(home)),
+      tail_(rt.allocateShared(home))
+{
+    {
+        std::lock_guard<std::mutex> guard(tableMu_);
+        records_.emplace_back(); // index 0 == null
+    }
+    // Install the sentinel node.
+    Value sentinel = newRecord(0, 0);
+    rt_.sharedStore(0, head_, sentinel);
+    rt_.sharedStore(0, tail_, sentinel);
+    rt_.completeOp(0);
+}
+
+MsQueue::Record &
+MsQueue::record(Value ptr)
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    CXL0_ASSERT(ptr > 0 && static_cast<size_t>(ptr) < records_.size(),
+                "dangling queue pointer ", ptr);
+    return records_[static_cast<size_t>(ptr)];
+}
+
+Value
+MsQueue::newRecord(NodeId by, Value v)
+{
+    Value ptr;
+    Record *rec;
+    {
+        std::lock_guard<std::mutex> guard(tableMu_);
+        ptr = static_cast<Value>(records_.size());
+        records_.emplace_back();
+        rec = &records_.back();
+        rec->value = rt_.allocateShared(home_);
+        rec->next = rt_.allocateShared(home_);
+    }
+    rt_.sharedStore(by, rec->value, v);
+    return ptr;
+}
+
+void
+MsQueue::enqueue(NodeId by, Value v)
+{
+    Value ptr = newRecord(by, v);
+    for (;;) {
+        Value t = rt_.sharedLoad(by, tail_);
+        Value tn = rt_.sharedLoad(by, record(t).next);
+        if (tn != 0) {
+            // Help swing the lagging tail.
+            rt_.sharedCas(by, tail_, t, tn);
+            continue;
+        }
+        if (rt_.sharedCas(by, record(t).next, 0, ptr).success) {
+            rt_.sharedCas(by, tail_, t, ptr);
+            rt_.completeOp(by);
+            return;
+        }
+    }
+}
+
+std::optional<Value>
+MsQueue::dequeue(NodeId by)
+{
+    for (;;) {
+        Value h = rt_.sharedLoad(by, head_);
+        Value t = rt_.sharedLoad(by, tail_);
+        Value hn = rt_.sharedLoad(by, record(h).next);
+        if (h == t) {
+            if (hn == 0) {
+                rt_.completeOp(by);
+                return std::nullopt;
+            }
+            rt_.sharedCas(by, tail_, t, hn);
+            continue;
+        }
+        Value v = rt_.sharedLoad(by, record(hn).value);
+        if (rt_.sharedCas(by, head_, h, hn).success) {
+            rt_.completeOp(by);
+            return v;
+        }
+    }
+}
+
+bool
+MsQueue::empty(NodeId by)
+{
+    Value h = rt_.sharedLoad(by, head_);
+    Value hn = rt_.sharedLoad(by, record(h).next);
+    rt_.completeOp(by);
+    return hn == 0;
+}
+
+std::vector<Value>
+MsQueue::unsafeSnapshot(NodeId by)
+{
+    std::vector<Value> out;
+    Value h = rt_.sharedLoad(by, head_);
+    Value cur = rt_.sharedLoad(by, record(h).next);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        out.push_back(rt_.sharedLoad(by, rec.value));
+        cur = rt_.sharedLoad(by, rec.next);
+    }
+    return out;
+}
+
+} // namespace cxl0::ds

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Michael-Scott queue over the FliT-transformed CXL0 runtime.
+ *
+ * The classic lock-free FIFO queue with a sentinel node, tail helping,
+ * and all memory accesses routed through flit::FlitRuntime (same
+ * durability story as ds/stack.hh).
+ */
+
+#ifndef CXL0_DS_QUEUE_HH
+#define CXL0_DS_QUEUE_HH
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "flit/flit.hh"
+
+namespace cxl0::ds
+{
+
+using flit::FlitRuntime;
+using flit::SharedWord;
+
+/** Lock-free FIFO queue. */
+class MsQueue
+{
+  public:
+    MsQueue(FlitRuntime &rt, NodeId home);
+
+    /** Enqueue v at the tail. */
+    void enqueue(NodeId by, Value v);
+
+    /** Dequeue from the head; nullopt when empty. */
+    std::optional<Value> dequeue(NodeId by);
+
+    /** Whether the queue is observably empty right now. */
+    bool empty(NodeId by);
+
+    /** Read-only head-to-tail traversal (quiescent use only). */
+    std::vector<Value> unsafeSnapshot(NodeId by);
+
+  private:
+    struct Record
+    {
+        SharedWord value;
+        SharedWord next;
+    };
+
+    Record &record(Value ptr);
+    Value newRecord(NodeId by, Value v);
+
+    FlitRuntime &rt_;
+    NodeId home_;
+    SharedWord head_;
+    SharedWord tail_;
+
+    std::mutex tableMu_;
+    std::deque<Record> records_;
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_QUEUE_HH

@@ -1,0 +1,127 @@
+#include "ds/set.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::ds
+{
+
+SortedListSet::SortedListSet(FlitRuntime &rt, NodeId home)
+    : rt_(rt), home_(home), head_(rt.allocateShared(home))
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    records_.emplace_back(); // index 0 == null
+}
+
+SortedListSet::Record &
+SortedListSet::record(Value ptr)
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    CXL0_ASSERT(ptr > 0 && static_cast<size_t>(ptr) < records_.size(),
+                "dangling set pointer ", ptr);
+    return records_[static_cast<size_t>(ptr)];
+}
+
+Value
+SortedListSet::newRecord(NodeId by, Value key, Value next_ptr)
+{
+    Value ptr;
+    Record *rec;
+    {
+        std::lock_guard<std::mutex> guard(tableMu_);
+        ptr = static_cast<Value>(records_.size());
+        records_.emplace_back();
+        rec = &records_.back();
+        rec->key = rt_.allocateShared(home_);
+        rec->present = rt_.allocateShared(home_);
+        rec->next = rt_.allocateShared(home_);
+    }
+    rt_.sharedStore(by, rec->key, key);
+    rt_.sharedStore(by, rec->present, 1);
+    rt_.sharedStore(by, rec->next, next_ptr);
+    return ptr;
+}
+
+void
+SortedListSet::find(NodeId by, Value key, SharedWord &pred_next,
+                    Value &curr)
+{
+    pred_next = head_;
+    curr = rt_.sharedLoad(by, head_);
+    while (curr != 0) {
+        Record &rec = record(curr);
+        Value k = rt_.sharedLoad(by, rec.key);
+        if (k >= key)
+            return;
+        pred_next = rec.next;
+        curr = rt_.sharedLoad(by, rec.next);
+    }
+}
+
+bool
+SortedListSet::add(NodeId by, Value key)
+{
+    for (;;) {
+        SharedWord pred_next;
+        Value curr;
+        find(by, key, pred_next, curr);
+        if (curr != 0 &&
+            rt_.sharedLoad(by, record(curr).key) == key) {
+            // Key has a record: membership is the presence flag.
+            bool added =
+                rt_.sharedCas(by, record(curr).present, 0, 1).success;
+            rt_.completeOp(by);
+            return added;
+        }
+        Value fresh = newRecord(by, key, curr);
+        if (rt_.sharedCas(by, pred_next, curr, fresh).success) {
+            rt_.completeOp(by);
+            return true;
+        }
+        // Lost a race: a record was inserted after pred; retry. The
+        // orphaned `fresh` record stays in the arena (no reclamation).
+    }
+}
+
+bool
+SortedListSet::remove(NodeId by, Value key)
+{
+    SharedWord pred_next;
+    Value curr;
+    find(by, key, pred_next, curr);
+    if (curr == 0 || rt_.sharedLoad(by, record(curr).key) != key) {
+        rt_.completeOp(by);
+        return false;
+    }
+    bool removed = rt_.sharedCas(by, record(curr).present, 1, 0).success;
+    rt_.completeOp(by);
+    return removed;
+}
+
+bool
+SortedListSet::contains(NodeId by, Value key)
+{
+    SharedWord pred_next;
+    Value curr;
+    find(by, key, pred_next, curr);
+    bool present =
+        curr != 0 && rt_.sharedLoad(by, record(curr).key) == key &&
+        rt_.sharedLoad(by, record(curr).present) == 1;
+    rt_.completeOp(by);
+    return present;
+}
+
+std::vector<Value>
+SortedListSet::unsafeSnapshot(NodeId by)
+{
+    std::vector<Value> out;
+    Value cur = rt_.sharedLoad(by, head_);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        if (rt_.sharedLoad(by, rec.present) == 1)
+            out.push_back(rt_.sharedLoad(by, rec.key));
+        cur = rt_.sharedLoad(by, rec.next);
+    }
+    return out;
+}
+
+} // namespace cxl0::ds

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sorted linked-list set over the FliT-transformed CXL0 runtime.
+ *
+ * Lock-free design with a stability twist that suits persistent
+ * arenas: each key gets at most one record, inserted in sorted order
+ * via CAS on the predecessor's next pointer, and membership is a
+ * per-record presence flag flipped by CAS. Records are never unlinked,
+ * so traversals need no hazard management and recovery after a crash
+ * is a plain re-read. add/remove linearize at the flag CAS (or the
+ * insertion CAS), contains at the flag load.
+ */
+
+#ifndef CXL0_DS_SET_HH
+#define CXL0_DS_SET_HH
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "flit/flit.hh"
+
+namespace cxl0::ds
+{
+
+using flit::FlitRuntime;
+using flit::SharedWord;
+
+/** Lock-free sorted set of Values. */
+class SortedListSet
+{
+  public:
+    SortedListSet(FlitRuntime &rt, NodeId home);
+
+    /** Insert key; false if already present. */
+    bool add(NodeId by, Value key);
+
+    /** Remove key; false if absent. */
+    bool remove(NodeId by, Value key);
+
+    /** Membership test. */
+    bool contains(NodeId by, Value key);
+
+    /** Present keys in ascending order (quiescent use only). */
+    std::vector<Value> unsafeSnapshot(NodeId by);
+
+  private:
+    struct Record
+    {
+        SharedWord key;
+        SharedWord present;
+        SharedWord next;
+    };
+
+    Record &record(Value ptr);
+    Value newRecord(NodeId by, Value key, Value next_ptr);
+
+    /**
+     * Locate key's position: on return `curr` is the record with the
+     * smallest key >= `key` (or 0), and `pred_next` the next-word to
+     * CAS for an insertion before `curr`.
+     */
+    void find(NodeId by, Value key, SharedWord &pred_next, Value &curr);
+
+    FlitRuntime &rt_;
+    NodeId home_;
+    SharedWord head_; //!< pointer word to the first record
+
+    std::mutex tableMu_;
+    std::deque<Record> records_;
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_SET_HH

@@ -1,0 +1,94 @@
+#include "ds/stack.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::ds
+{
+
+TreiberStack::TreiberStack(FlitRuntime &rt, NodeId home)
+    : rt_(rt), home_(home), top_(rt.allocateShared(home))
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    records_.emplace_back(); // index 0 is the null sentinel
+}
+
+TreiberStack::Record &
+TreiberStack::record(Value ptr)
+{
+    std::lock_guard<std::mutex> guard(tableMu_);
+    CXL0_ASSERT(ptr > 0 && static_cast<size_t>(ptr) < records_.size(),
+                "dangling stack pointer ", ptr);
+    return records_[static_cast<size_t>(ptr)];
+}
+
+Value
+TreiberStack::newRecord(NodeId by, Value v)
+{
+    Value ptr;
+    Record *rec;
+    {
+        std::lock_guard<std::mutex> guard(tableMu_);
+        ptr = static_cast<Value>(records_.size());
+        records_.emplace_back();
+        rec = &records_.back();
+        rec->value = rt_.allocateShared(home_);
+        rec->next = rt_.allocateShared(home_);
+    }
+    rt_.sharedStore(by, rec->value, v);
+    return ptr;
+}
+
+void
+TreiberStack::push(NodeId by, Value v)
+{
+    Value ptr = newRecord(by, v);
+    for (;;) {
+        Value t = rt_.sharedLoad(by, top_);
+        rt_.sharedStore(by, record(ptr).next, t);
+        if (rt_.sharedCas(by, top_, t, ptr).success)
+            break;
+    }
+    rt_.completeOp(by);
+}
+
+std::optional<Value>
+TreiberStack::pop(NodeId by)
+{
+    for (;;) {
+        Value t = rt_.sharedLoad(by, top_);
+        if (t == 0) {
+            rt_.completeOp(by);
+            return std::nullopt;
+        }
+        Record &rec = record(t);
+        Value nxt = rt_.sharedLoad(by, rec.next);
+        Value v = rt_.sharedLoad(by, rec.value);
+        if (rt_.sharedCas(by, top_, t, nxt).success) {
+            rt_.completeOp(by);
+            return v;
+        }
+    }
+}
+
+bool
+TreiberStack::empty(NodeId by)
+{
+    Value t = rt_.sharedLoad(by, top_);
+    rt_.completeOp(by);
+    return t == 0;
+}
+
+std::vector<Value>
+TreiberStack::unsafeSnapshot(NodeId by)
+{
+    std::vector<Value> out;
+    Value cur = rt_.sharedLoad(by, top_);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        out.push_back(rt_.sharedLoad(by, rec.value));
+        cur = rt_.sharedLoad(by, rec.next);
+    }
+    return out;
+}
+
+} // namespace cxl0::ds

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Treiber stack over the FliT-transformed CXL0 runtime.
+ *
+ * The stack is the textbook linearizable lock-free stack; every memory
+ * access goes through flit::FlitRuntime, so instantiating it with a
+ * durable mode (FlitCxl0 / FlitCxl0AddrOpt / PersistAll) yields a
+ * durably linearizable stack per §6, while None / FlitOriginal expose
+ * the non-durable behaviours the paper warns about.
+ *
+ * Records live in an arena owned by a "home" node; pointers are record
+ * indices (0 = null, matching the model's zero-initialized memory).
+ */
+
+#ifndef CXL0_DS_STACK_HH
+#define CXL0_DS_STACK_HH
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "flit/flit.hh"
+
+namespace cxl0::ds
+{
+
+using flit::FlitRuntime;
+using flit::SharedWord;
+
+/** Lock-free LIFO stack. */
+class TreiberStack
+{
+  public:
+    /**
+     * @param rt transformation runtime to route accesses through
+     * @param home node whose memory holds the stack cells
+     */
+    TreiberStack(FlitRuntime &rt, NodeId home);
+
+    /** Push v (executed by machine `by`). */
+    void push(NodeId by, Value v);
+
+    /** Pop the top element; nullopt when empty. */
+    std::optional<Value> pop(NodeId by);
+
+    /** Whether the stack is observably empty right now. */
+    bool empty(NodeId by);
+
+    /**
+     * Read-only traversal top-to-bottom (not linearizable with
+     * concurrent mutators; used by tests after quiescence/recovery).
+     */
+    std::vector<Value> unsafeSnapshot(NodeId by);
+
+  private:
+    struct Record
+    {
+        SharedWord value;
+        SharedWord next;
+    };
+
+    Record &record(Value ptr);
+    Value newRecord(NodeId by, Value v);
+
+    FlitRuntime &rt_;
+    NodeId home_;
+    SharedWord top_;
+
+    std::mutex tableMu_;
+    std::deque<Record> records_; // index 0 unused (0 == null)
+};
+
+} // namespace cxl0::ds
+
+#endif // CXL0_DS_STACK_HH

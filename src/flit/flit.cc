@@ -1,0 +1,243 @@
+#include "flit/flit.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::flit
+{
+
+const char *
+persistModeName(PersistMode m)
+{
+    switch (m) {
+      case PersistMode::None: return "none";
+      case PersistMode::FlitCxl0: return "flit-cxl0";
+      case PersistMode::FlitCxl0AddrOpt: return "flit-cxl0-addropt";
+      case PersistMode::FlitOriginal: return "flit-original";
+      case PersistMode::PersistAll: return "persist-all";
+      case PersistMode::FlitAsync: return "flit-async";
+      case PersistMode::FlitVerified: return "flit-verified";
+    }
+    return "?";
+}
+
+bool
+modeIsDurable(PersistMode m)
+{
+    switch (m) {
+      case PersistMode::FlitCxl0:
+      case PersistMode::FlitCxl0AddrOpt:
+      case PersistMode::PersistAll:
+      case PersistMode::FlitAsync:
+      case PersistMode::FlitVerified:
+        return true;
+      case PersistMode::None:
+      case PersistMode::FlitOriginal:
+        return false;
+    }
+    return false;
+}
+
+FlitRuntime::FlitRuntime(CxlSystem &sys, PersistMode mode)
+    : sys_(sys), mode_(mode)
+{
+}
+
+SharedWord
+FlitRuntime::allocateShared(NodeId owner)
+{
+    SharedWord w;
+    w.data = sys_.allocate(owner);
+    switch (mode_) {
+      case PersistMode::FlitCxl0:
+      case PersistMode::FlitCxl0AddrOpt:
+      case PersistMode::FlitOriginal:
+      case PersistMode::FlitAsync:
+      case PersistMode::FlitVerified:
+        w.counter = sys_.allocate(owner);
+        break;
+      case PersistMode::None:
+      case PersistMode::PersistAll:
+        break; // no counter needed
+    }
+    return w;
+}
+
+void
+FlitRuntime::flush(NodeId by, Addr x)
+{
+    ++flushes_;
+    switch (mode_) {
+      case PersistMode::FlitCxl0:
+        sys_.rflush(by, x);
+        break;
+      case PersistMode::FlitCxl0AddrOpt:
+        // §6.1: RFlush may become LFlush for owned locations — the
+        // owner's LFlush already forces vertical propagation.
+        if (sys_.config().ownerOf(x) == by)
+            sys_.lflush(by, x);
+        else
+            sys_.rflush(by, x);
+        break;
+      case PersistMode::FlitOriginal:
+        // The original FliT's Flush only pushes one hierarchy level —
+        // on CXL0 that is an LFlush, which does NOT reach remote
+        // persistence (litmus test 4). Deliberately unsound here.
+        sys_.lflush(by, x);
+        break;
+      case PersistMode::FlitAsync:
+        // Fire-and-forget; a later fence() confirms persistence.
+        sys_.rflushAsync(by, x);
+        break;
+      case PersistMode::FlitVerified:
+        sys_.rflush(by, x);
+        break;
+      case PersistMode::None:
+      case PersistMode::PersistAll:
+        CXL0_PANIC("flush not used in mode ", persistModeName(mode_));
+    }
+}
+
+void
+FlitRuntime::flushVerified(NodeId by, Addr x, Value expect)
+{
+    // Close the store-to-flush crash window: if a crash consumed the
+    // line before it reached the owner's memory, the post-flush
+    // persistent value differs from what we stored — replay until the
+    // value sticks. Bounded in practice by the crash rate; the loop
+    // always terminates once no crash interferes.
+    for (;;) {
+        flush(by, x);
+        if (mode_ != PersistMode::FlitVerified)
+            return;
+        if (sys_.load(by, x) == expect)
+            return;
+        sys_.lstore(by, x, expect);
+    }
+}
+
+Value
+FlitRuntime::privateLoad(NodeId by, Addr x)
+{
+    return sys_.load(by, x);
+}
+
+void
+FlitRuntime::privateStore(NodeId by, Addr x, Value v, bool pflag)
+{
+    switch (mode_) {
+      case PersistMode::None:
+        sys_.lstore(by, x, v);
+        return;
+      case PersistMode::PersistAll:
+        sys_.mstore(by, x, v);
+        return;
+      default:
+        break;
+    }
+    sys_.lstore(by, x, v);
+    if (pflag) {
+        flushVerified(by, x, v);
+        if (mode_ == PersistMode::FlitAsync)
+            sys_.fence(by);
+    }
+}
+
+Value
+FlitRuntime::sharedLoad(NodeId by, const SharedWord &w, bool pflag)
+{
+    Value val = sys_.load(by, w.data);
+    if (pflag && w.counter != kNullAddr &&
+        sys_.load(by, w.counter) > 0) {
+        // Help persist the in-flight store (Alg. 2 line 43).
+        flush(by, w.data);
+    }
+    return val;
+}
+
+void
+FlitRuntime::sharedStore(NodeId by, const SharedWord &w, Value v,
+                         bool pflag)
+{
+    switch (mode_) {
+      case PersistMode::None:
+        sys_.lstore(by, w.data, v);
+        return;
+      case PersistMode::PersistAll:
+        sys_.mstore(by, w.data, v);
+        return;
+      default:
+        break;
+    }
+    if (!pflag) {
+        sys_.lstore(by, w.data, v);
+        return;
+    }
+    sys_.faaL(by, w.counter, 1);
+    sys_.lstore(by, w.data, v);
+    flushVerified(by, w.data, v);
+    if (mode_ == PersistMode::FlitAsync)
+        sys_.fence(by); // persistence must precede the decrement
+    sys_.faaL(by, w.counter, -1);
+}
+
+RmwResult
+FlitRuntime::sharedCas(NodeId by, const SharedWord &w, Value expected,
+                       Value desired, bool pflag)
+{
+    switch (mode_) {
+      case PersistMode::None:
+        return sys_.casL(by, w.data, expected, desired);
+      case PersistMode::PersistAll:
+        return sys_.casM(by, w.data, expected, desired);
+      default:
+        break;
+    }
+    if (!pflag)
+        return sys_.casL(by, w.data, expected, desired);
+    sys_.faaL(by, w.counter, 1);
+    RmwResult r = sys_.casL(by, w.data, expected, desired);
+    if (r.success) {
+        // Replaying the desired value is safe: the CAS already won.
+        flushVerified(by, w.data, desired);
+        if (mode_ == PersistMode::FlitAsync)
+            sys_.fence(by);
+    }
+    sys_.faaL(by, w.counter, -1);
+    return r;
+}
+
+Value
+FlitRuntime::sharedFaa(NodeId by, const SharedWord &w, Value delta,
+                       bool pflag)
+{
+    switch (mode_) {
+      case PersistMode::None:
+        return sys_.faaL(by, w.data, delta);
+      case PersistMode::PersistAll:
+        return sys_.faaM(by, w.data, delta);
+      default:
+        break;
+    }
+    if (!pflag)
+        return sys_.faaL(by, w.data, delta);
+    sys_.faaL(by, w.counter, 1);
+    Value old = sys_.faaL(by, w.data, delta);
+    flushVerified(by, w.data, old + delta);
+    if (mode_ == PersistMode::FlitAsync)
+        sys_.fence(by);
+    sys_.faaL(by, w.counter, -1);
+    return old;
+}
+
+void
+FlitRuntime::completeOp(NodeId by)
+{
+    // Alg. 2: empty for the synchronous modes (synchronous flushes
+    // plus in-order execution make the original FliT's trailing
+    // MFENCE unnecessary). The async extension fences here to retire
+    // helping flushes issued by shared loads.
+    if (mode_ == PersistMode::FlitAsync)
+        sys_.fence(by);
+}
+
+} // namespace cxl0::flit

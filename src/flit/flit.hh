@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The FliT transformation adapted to CXL0 (paper §6, Alg. 2).
+ *
+ * FliT (Wei et al., PPoPP'22) makes any linearizable object durably
+ * linearizable by wrapping its memory accesses. The paper adapts it to
+ * the partial-crash CXL0 model: every store becomes an LStore followed
+ * by an RFlush, shared loads help flush pending stores when the
+ * per-word FliT counter is positive, and completeOp becomes empty.
+ *
+ * This module implements the adapted transformation plus three
+ * comparison points:
+ *  - FlitOriginal: the original Alg. 1 ported naively — its flush only
+ *    reaches the *local* hierarchy (LFlush), which is insufficient in
+ *    the partial-crash model (litmus test 4); used to demonstrate the
+ *    motivating gap of §6;
+ *  - PersistAll: every store is an MStore (the always-correct,
+ *    slowest baseline mentioned in §6.1);
+ *  - None: no persistence (the raw linearizable object).
+ * Plus the §6.1 address-based optimization: RFlush is replaced by
+ * LFlush for locations the writing machine owns.
+ */
+
+#ifndef CXL0_FLIT_FLIT_HH
+#define CXL0_FLIT_FLIT_HH
+
+#include <string>
+
+#include "runtime/system.hh"
+
+namespace cxl0::flit
+{
+
+using runtime::CxlSystem;
+using runtime::RmwResult;
+
+/** Persistence strategies for wrapped objects. */
+enum class PersistMode
+{
+    None,            //!< raw linearizable object, not durable
+    FlitCxl0,        //!< Alg. 2: LStore + RFlush with FliT counters
+    FlitCxl0AddrOpt, //!< Alg. 2 + LFlush-when-owner optimization
+    FlitOriginal,    //!< Alg. 1 ported naively (LFlush only) — unsound
+    PersistAll,      //!< every store is an MStore
+    /** Alg. 2 rebuilt on the asynchronous flush + fence extension the
+     *  paper proposes as future work (§3.2): stores issue
+     *  fire-and-forget flushes and fence before completing, loads
+     *  help with unfenced flushes that completeOp's fence retires.
+     *  Durable, with the confirmation round trip amortized. */
+    FlitAsync,
+    /** Alg. 2 hardened against the store-to-flush crash window: the
+     *  blocking RFlush only waits until no cache holds the line, so
+     *  an owner crash that consumes the line mid-propagation lets the
+     *  flush return with the value lost. This mode validates the
+     *  persistent value after each flush and replays the store until
+     *  it sticks (safe: the store's exclusivity was already decided). */
+    FlitVerified,
+};
+
+/** Short display name, e.g. "flit-cxl0". */
+const char *persistModeName(PersistMode m);
+
+/** Whether the mode guarantees durable linearizability under CXL0. */
+bool modeIsDurable(PersistMode m);
+
+/** One shared word managed by the transformation. */
+struct SharedWord
+{
+    Addr data = kNullAddr;
+    Addr counter = kNullAddr; //!< FliT counter cell (kNullAddr if none)
+};
+
+/**
+ * The transformation runtime: a thin wrapper over CxlSystem whose
+ * methods mirror Alg. 2 (private_load / private_store / shared_load /
+ * shared_store / completeOp) plus RMW variants the data structures
+ * need. Thread-safe (the underlying system serializes steps).
+ */
+class FlitRuntime
+{
+  public:
+    FlitRuntime(CxlSystem &sys, PersistMode mode);
+
+    CxlSystem &system() { return sys_; }
+    PersistMode mode() const { return mode_; }
+
+    /**
+     * Allocate one shared word (and its FliT counter when the mode
+     * needs one) owned by `owner`.
+     */
+    SharedWord allocateShared(NodeId owner);
+
+    /** Alg. 2 private_load. */
+    Value privateLoad(NodeId by, Addr x);
+
+    /** Alg. 2 private_store. */
+    void privateStore(NodeId by, Addr x, Value v, bool pflag = true);
+
+    /** Alg. 2 shared_load. */
+    Value sharedLoad(NodeId by, const SharedWord &w, bool pflag = true);
+
+    /** Alg. 2 shared_store. */
+    void sharedStore(NodeId by, const SharedWord &w, Value v,
+                     bool pflag = true);
+
+    /**
+     * CAS through the transformation: the store half follows the
+     * shared_store discipline (counter, store flavour, flush).
+     */
+    RmwResult sharedCas(NodeId by, const SharedWord &w, Value expected,
+                        Value desired, bool pflag = true);
+
+    /** Fetch-and-add through the transformation. */
+    Value sharedFaa(NodeId by, const SharedWord &w, Value delta,
+                    bool pflag = true);
+
+    /**
+     * Alg. 2 completeOp — empty for the CXL0 adaptation (synchronous
+     * flushes + in-order execution); kept for API fidelity and for
+     * modes that need a trailing barrier.
+     */
+    void completeOp(NodeId by);
+
+    /** Flush statistics (for the ablation bench). */
+    uint64_t flushCount() const { return flushes_; }
+
+  private:
+    /** The mode's flush of one address by one machine. */
+    void flush(NodeId by, Addr x);
+
+    /** Flush and, in FlitVerified mode, validate-and-replay. */
+    void flushVerified(NodeId by, Addr x, Value expect);
+
+    CxlSystem &sys_;
+    PersistMode mode_;
+    uint64_t flushes_ = 0;
+};
+
+} // namespace cxl0::flit
+
+#endif // CXL0_FLIT_FLIT_HH

@@ -1,0 +1,107 @@
+#include "hist/checker.hh"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cxl0::hist
+{
+
+namespace
+{
+
+class Search
+{
+  public:
+    Search(const std::vector<OpRecord> &ops, const SequentialSpec &spec)
+        : ops_(ops), root_(spec.clone())
+    {
+    }
+
+    bool
+    run(std::vector<std::string> &witness)
+    {
+        return dfs(0, *root_, witness);
+    }
+
+  private:
+    bool
+    dfs(uint64_t handled, SequentialSpec &spec,
+        std::vector<std::string> &witness)
+    {
+        if (handled == (uint64_t{1} << ops_.size()) - 1)
+            return true;
+        std::string key =
+            std::to_string(handled) + "|" + spec.fingerprint();
+        if (!visited_.insert(key).second)
+            return false;
+
+        // Minimal-response stamp among unhandled completed ops: an op
+        // may linearize next only if it was invoked before every
+        // unhandled response.
+        uint64_t min_resp = std::numeric_limits<uint64_t>::max();
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            if (handled & (uint64_t{1} << i))
+                continue;
+            if (ops_[i].responseStamp)
+                min_resp = std::min(min_resp, *ops_[i].responseStamp);
+        }
+
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            if (handled & (uint64_t{1} << i))
+                continue;
+            if (ops_[i].invokeStamp >= min_resp)
+                continue;
+            uint64_t next = handled | (uint64_t{1} << i);
+            // Branch 1: take the operation.
+            std::unique_ptr<SequentialSpec> copy = spec.clone();
+            if (copy->apply(ops_[i])) {
+                witness.push_back(ops_[i].describe());
+                if (dfs(next, *copy, witness))
+                    return true;
+                witness.pop_back();
+            }
+            // Branch 2: drop it (legal only for pending invocations).
+            if (ops_[i].pending()) {
+                witness.push_back(ops_[i].describe() + " [omitted]");
+                if (dfs(next, spec, witness))
+                    return true;
+                witness.pop_back();
+            }
+        }
+        return false;
+    }
+
+    const std::vector<OpRecord> &ops_;
+    std::unique_ptr<SequentialSpec> root_;
+    std::unordered_set<std::string> visited_;
+};
+
+} // namespace
+
+LinResult
+checkLinearizable(const std::vector<OpRecord> &ops,
+                  const SequentialSpec &spec, size_t max_ops)
+{
+    LinResult result;
+    if (ops.size() > max_ops || ops.size() > 63) {
+        result.linearizable = false;
+        result.explanation = "history too large for exhaustive check (" +
+                             std::to_string(ops.size()) + " ops)";
+        CXL0_FATAL(result.explanation);
+    }
+    Search search(ops, spec);
+    std::vector<std::string> witness;
+    if (search.run(witness)) {
+        result.linearizable = true;
+        result.witness = std::move(witness);
+    } else {
+        result.linearizable = false;
+        result.explanation =
+            "no valid linearization of:\n" + describeHistory(ops);
+    }
+    return result;
+}
+
+} // namespace cxl0::hist

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Wing-Gong style linearizability checker with pending-op handling.
+ *
+ * Durable linearizability (§6, after Izraelevitz et al.) of a crashy
+ * history reduces to plain linearizability of the same history with
+ * crash events removed; operations whose thread died stay pending, and
+ * the definition permits completing a pending invocation with any
+ * legal result or omitting it. checkLinearizable implements exactly
+ * that: completed operations must all be placed in real-time order,
+ * pending operations may be placed (unconstrained result) or dropped.
+ */
+
+#ifndef CXL0_HIST_CHECKER_HH
+#define CXL0_HIST_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "hist/history.hh"
+#include "hist/spec.hh"
+
+namespace cxl0::hist
+{
+
+/** Checker outcome. */
+struct LinResult
+{
+    bool linearizable = false;
+    /** A witness linearization (op descriptions) when found. */
+    std::vector<std::string> witness;
+    /** Diagnostic when not linearizable. */
+    std::string explanation;
+};
+
+/**
+ * Decide linearizability of `ops` against `spec`.
+ *
+ * @param ops the recorded history (completed + pending operations)
+ * @param spec the sequential specification (not mutated)
+ * @param max_ops safety bound; histories larger than this are
+ *        rejected with an error (the search is exponential)
+ */
+LinResult checkLinearizable(const std::vector<OpRecord> &ops,
+                            const SequentialSpec &spec,
+                            size_t max_ops = 24);
+
+/**
+ * Durable-linearizability convenience wrapper: crash events were
+ * already removed by construction (HistoryRecorder never records
+ * them); this simply documents intent at call sites.
+ */
+inline LinResult
+checkDurablyLinearizable(const std::vector<OpRecord> &ops,
+                         const SequentialSpec &spec, size_t max_ops = 24)
+{
+    return checkLinearizable(ops, spec, max_ops);
+}
+
+} // namespace cxl0::hist
+
+#endif // CXL0_HIST_CHECKER_HH

@@ -1,0 +1,86 @@
+#include "hist/history.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cxl0::hist
+{
+
+std::string
+OpRecord::describe() const
+{
+    std::ostringstream os;
+    os << "T" << threadId << ":" << op << "(" << arg;
+    if (op == "put")
+        os << "," << arg2;
+    os << ")";
+    if (ret)
+        os << "=" << *ret;
+    else
+        os << "=?";
+    if (pending())
+        os << " [pending]";
+    return os.str();
+}
+
+size_t
+HistoryRecorder::invoke(int thread_id, std::string op, Value arg,
+                        Value arg2)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    OpRecord rec;
+    rec.threadId = thread_id;
+    rec.op = std::move(op);
+    rec.arg = arg;
+    rec.arg2 = arg2;
+    rec.invokeStamp = ++stamp_;
+    ops_.push_back(std::move(rec));
+    return ops_.size() - 1;
+}
+
+void
+HistoryRecorder::respond(size_t handle, Value ret)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    CXL0_ASSERT(handle < ops_.size(), "bad history handle");
+    CXL0_ASSERT(!ops_[handle].responseStamp, "double response");
+    ops_[handle].ret = ret;
+    ops_[handle].responseStamp = ++stamp_;
+}
+
+size_t
+HistoryRecorder::size() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return ops_.size();
+}
+
+std::vector<OpRecord>
+HistoryRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return ops_;
+}
+
+size_t
+HistoryRecorder::pendingCount() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    size_t n = 0;
+    for (const OpRecord &op : ops_)
+        if (op.pending())
+            ++n;
+    return n;
+}
+
+std::string
+describeHistory(const std::vector<OpRecord> &ops)
+{
+    std::ostringstream os;
+    for (const OpRecord &op : ops)
+        os << op.describe() << "\n";
+    return os.str();
+}
+
+} // namespace cxl0::hist

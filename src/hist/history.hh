@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Concurrent-history recording (paper §6: abstract histories).
+ *
+ * A history is a sequence of invocation and response events (crash
+ * events are handled by *removing* them, per the durable
+ * linearizability definition of Izraelevitz et al. that §6 adopts:
+ * a history is durably linearizable iff it is well formed and
+ * linearizable after all crash events are removed). Operations whose
+ * thread died before responding stay *pending*; the linearizability
+ * definition lets the checker either complete them with any legal
+ * result or omit them.
+ */
+
+#ifndef CXL0_HIST_HISTORY_HH
+#define CXL0_HIST_HISTORY_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cxl0::hist
+{
+
+/** The recorded return of a stack pop on empty / absent map get. */
+constexpr Value kEmptyRet = -1;
+
+/** One high-level operation in a history. */
+struct OpRecord
+{
+    int threadId = 0;
+    std::string op;      //!< e.g. "push", "pop", "put", "get"
+    Value arg = 0;       //!< operation argument (0 when none)
+    Value arg2 = 0;      //!< second argument (map put value)
+    /** Response value; nullopt = pending (thread crashed or still
+     *  running). Void operations record 0. */
+    std::optional<Value> ret;
+    uint64_t invokeStamp = 0;
+    /** Response stamp; nullopt while pending. */
+    std::optional<uint64_t> responseStamp;
+
+    bool pending() const { return !responseStamp.has_value(); }
+
+    std::string describe() const;
+};
+
+/** Thread-safe recorder producing totally-stamped histories. */
+class HistoryRecorder
+{
+  public:
+    /**
+     * Record an invocation; returns the op handle to pass to
+     * respond().
+     */
+    size_t invoke(int thread_id, std::string op, Value arg = 0,
+                  Value arg2 = 0);
+
+    /** Record the matching response. */
+    void respond(size_t handle, Value ret);
+
+    /** Number of operations recorded (completed + pending). */
+    size_t size() const;
+
+    /** Snapshot of the history so far. */
+    std::vector<OpRecord> snapshot() const;
+
+    /** Pending operation count (threads that never responded). */
+    size_t pendingCount() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<OpRecord> ops_;
+    uint64_t stamp_ = 0;
+};
+
+/** Render a history, one op per line (diagnostics). */
+std::string describeHistory(const std::vector<OpRecord> &ops);
+
+} // namespace cxl0::hist
+
+#endif // CXL0_HIST_HISTORY_HH

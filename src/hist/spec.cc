@@ -1,0 +1,316 @@
+#include "hist/spec.hh"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace cxl0::hist
+{
+
+namespace
+{
+
+/** Accept when the constraint is absent or equals the actual result. */
+bool
+retMatches(const std::optional<Value> &constraint, Value actual)
+{
+    return !constraint || *constraint == actual;
+}
+
+class StackSpec : public SequentialSpec
+{
+  public:
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<StackSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        if (op.op == "push") {
+            if (!retMatches(op.ret, 0))
+                return false;
+            items_.push_back(op.arg);
+            return true;
+        }
+        if (op.op == "pop") {
+            if (items_.empty())
+                return retMatches(op.ret, kEmptyRet);
+            if (!retMatches(op.ret, items_.back()))
+                return false;
+            items_.pop_back();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "stk:";
+        for (Value v : items_)
+            os << v << ",";
+        return os.str();
+    }
+
+  private:
+    std::vector<Value> items_;
+};
+
+class QueueSpec : public SequentialSpec
+{
+  public:
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<QueueSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        if (op.op == "enqueue") {
+            if (!retMatches(op.ret, 0))
+                return false;
+            items_.push_back(op.arg);
+            return true;
+        }
+        if (op.op == "dequeue") {
+            if (items_.empty())
+                return retMatches(op.ret, kEmptyRet);
+            if (!retMatches(op.ret, items_.front()))
+                return false;
+            items_.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "q:";
+        for (Value v : items_)
+            os << v << ",";
+        return os.str();
+    }
+
+  private:
+    std::deque<Value> items_;
+};
+
+class SetSpec : public SequentialSpec
+{
+  public:
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<SetSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        bool present = items_.count(op.arg) > 0;
+        if (op.op == "add") {
+            if (!retMatches(op.ret, present ? 0 : 1))
+                return false;
+            items_.insert(op.arg);
+            return true;
+        }
+        if (op.op == "remove") {
+            if (!retMatches(op.ret, present ? 1 : 0))
+                return false;
+            items_.erase(op.arg);
+            return true;
+        }
+        if (op.op == "contains")
+            return retMatches(op.ret, present ? 1 : 0);
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "set:";
+        for (Value v : items_)
+            os << v << ",";
+        return os.str();
+    }
+
+  private:
+    std::set<Value> items_;
+};
+
+class MapSpec : public SequentialSpec
+{
+  public:
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<MapSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        auto it = items_.find(op.arg);
+        if (op.op == "put") {
+            if (!retMatches(op.ret, 0))
+                return false;
+            items_[op.arg] = op.arg2;
+            return true;
+        }
+        if (op.op == "get") {
+            Value expect = it == items_.end() ? kEmptyRet : it->second;
+            return retMatches(op.ret, expect);
+        }
+        if (op.op == "remove") {
+            bool present = it != items_.end();
+            if (!retMatches(op.ret, present ? 1 : 0))
+                return false;
+            if (present)
+                items_.erase(it);
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "map:";
+        for (const auto &[k, v] : items_)
+            os << k << "=" << v << ",";
+        return os.str();
+    }
+
+  private:
+    std::map<Value, Value> items_;
+};
+
+class RegisterSpec : public SequentialSpec
+{
+  public:
+    explicit RegisterSpec(Value initial) : value_(initial) {}
+
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<RegisterSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        if (op.op == "write") {
+            if (!retMatches(op.ret, 0))
+                return false;
+            value_ = op.arg;
+            return true;
+        }
+        if (op.op == "read")
+            return retMatches(op.ret, value_);
+        if (op.op == "cas") {
+            bool ok = value_ == op.arg;
+            if (!retMatches(op.ret, ok ? 1 : 0))
+                return false;
+            if (ok)
+                value_ = op.arg2;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        return "reg:" + std::to_string(value_);
+    }
+
+  private:
+    Value value_;
+};
+
+class CounterSpec : public SequentialSpec
+{
+  public:
+    explicit CounterSpec(Value initial) : value_(initial) {}
+
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<CounterSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        if (op.op == "add") {
+            if (!retMatches(op.ret, value_))
+                return false;
+            value_ += op.arg;
+            return true;
+        }
+        if (op.op == "read")
+            return retMatches(op.ret, value_);
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        return "ctr:" + std::to_string(value_);
+    }
+
+  private:
+    Value value_;
+};
+
+} // namespace
+
+std::unique_ptr<SequentialSpec>
+makeStackSpec()
+{
+    return std::make_unique<StackSpec>();
+}
+
+std::unique_ptr<SequentialSpec>
+makeQueueSpec()
+{
+    return std::make_unique<QueueSpec>();
+}
+
+std::unique_ptr<SequentialSpec>
+makeSetSpec()
+{
+    return std::make_unique<SetSpec>();
+}
+
+std::unique_ptr<SequentialSpec>
+makeMapSpec()
+{
+    return std::make_unique<MapSpec>();
+}
+
+std::unique_ptr<SequentialSpec>
+makeRegisterSpec(Value initial)
+{
+    return std::make_unique<RegisterSpec>(initial);
+}
+
+std::unique_ptr<SequentialSpec>
+makeCounterSpec(Value initial)
+{
+    return std::make_unique<CounterSpec>(initial);
+}
+
+} // namespace cxl0::hist

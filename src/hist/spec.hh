@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sequential specifications for the objects in src/ds.
+ *
+ * A spec is a small state machine: apply() attempts one operation with
+ * a return-value constraint and reports whether it is legal in the
+ * current state (mutating the state when it is). A nullopt constraint
+ * (pending operation taken by the checker) accepts any legal result.
+ */
+
+#ifndef CXL0_HIST_SPEC_HH
+#define CXL0_HIST_SPEC_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "hist/history.hh"
+
+namespace cxl0::hist
+{
+
+/** Interface all sequential specifications implement. */
+class SequentialSpec
+{
+  public:
+    virtual ~SequentialSpec() = default;
+
+    /** Deep copy for checker branching. */
+    virtual std::unique_ptr<SequentialSpec> clone() const = 0;
+
+    /**
+     * Try one operation.
+     * @param op operation record (ret may be nullopt = unconstrained)
+     * @return whether the operation with that result is legal here
+     */
+    virtual bool apply(const OpRecord &op) = 0;
+
+    /** Canonical state encoding for checker memoization. */
+    virtual std::string fingerprint() const = 0;
+};
+
+/** LIFO stack: push(v)=0, pop()=v | kEmptyRet. */
+std::unique_ptr<SequentialSpec> makeStackSpec();
+
+/** FIFO queue: enqueue(v)=0, dequeue()=v | kEmptyRet. */
+std::unique_ptr<SequentialSpec> makeQueueSpec();
+
+/** Set: add(v)=0|1, remove(v)=0|1, contains(v)=0|1. */
+std::unique_ptr<SequentialSpec> makeSetSpec();
+
+/** Map: put(k,v)=0, get(k)=v | kEmptyRet, remove(k)=0|1. */
+std::unique_ptr<SequentialSpec> makeMapSpec();
+
+/** Register: write(v)=0, read()=v. */
+std::unique_ptr<SequentialSpec> makeRegisterSpec(Value initial = 0);
+
+/** Counter: add(d)=old, read()=v. */
+std::unique_ptr<SequentialSpec> makeCounterSpec(Value initial = 0);
+
+} // namespace cxl0::hist
+
+#endif // CXL0_HIST_SPEC_HH

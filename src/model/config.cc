@@ -1,0 +1,64 @@
+#include "model/config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cxl0::model
+{
+
+SystemConfig::SystemConfig(std::vector<MachineConfig> machines,
+                           std::vector<NodeId> owner)
+    : machines_(std::move(machines)), owner_(std::move(owner))
+{
+    if (machines_.empty())
+        CXL0_FATAL("a system needs at least one machine");
+    for (NodeId o : owner_) {
+        if (o >= machines_.size())
+            CXL0_FATAL("address owner ", o, " out of range (",
+                       machines_.size(), " machines)");
+    }
+}
+
+SystemConfig
+SystemConfig::uniform(size_t num_nodes, size_t addrs_per_node,
+                      bool persistent)
+{
+    std::vector<MachineConfig> machines(num_nodes,
+                                        MachineConfig{persistent});
+    std::vector<NodeId> owner;
+    owner.reserve(num_nodes * addrs_per_node);
+    for (size_t n = 0; n < num_nodes; ++n)
+        for (size_t a = 0; a < addrs_per_node; ++a)
+            owner.push_back(static_cast<NodeId>(n));
+    return SystemConfig(std::move(machines), std::move(owner));
+}
+
+std::vector<Addr>
+SystemConfig::addrsOwnedBy(NodeId i) const
+{
+    std::vector<Addr> out;
+    for (Addr x = 0; x < owner_.size(); ++x)
+        if (owner_[x] == i)
+            out.push_back(x);
+    return out;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << numNodes() << " machines, " << numAddrs() << " addrs;";
+    for (NodeId i = 0; i < numNodes(); ++i) {
+        os << " M" << i << (isPersistent(i) ? "(nv)" : "(v)") << "={";
+        bool first = true;
+        for (Addr x : addrsOwnedBy(i)) {
+            os << (first ? "" : ",") << "x" << x;
+            first = false;
+        }
+        os << "}";
+    }
+    return os.str();
+}
+
+} // namespace cxl0::model

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Static configuration of a CXL0 system (paper §3.1, §3.3).
+ *
+ * A system is N machines, each with volatile or non-volatile memory,
+ * plus a partition of the shared address space assigning every
+ * location to exactly one owner machine (Loc_1 ... Loc_N pairwise
+ * disjoint, Loc their union).
+ */
+
+#ifndef CXL0_MODEL_CONFIG_HH
+#define CXL0_MODEL_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cxl0::model
+{
+
+/** Per-machine static properties. */
+struct MachineConfig
+{
+    /**
+     * Whether M_i survives a crash of machine i. The paper assumes
+     * each M_i is either entirely volatile or entirely non-volatile
+     * (§3.3); mixed machines can be modeled as two co-located nodes.
+     */
+    bool persistentMemory = false;
+};
+
+/**
+ * Immutable system configuration: machines and the owner map.
+ *
+ * Addresses are dense indices 0..numAddrs-1; ownerOf maps each to its
+ * owner machine.
+ */
+class SystemConfig
+{
+  public:
+    /**
+     * @param machines per-machine configs (size = machine count)
+     * @param owner owner machine of each address; every entry must be
+     *              a valid machine index
+     */
+    SystemConfig(std::vector<MachineConfig> machines,
+                 std::vector<NodeId> owner);
+
+    /** Convenience: n machines, addrsPerNode addresses owned by each. */
+    static SystemConfig uniform(size_t num_nodes, size_t addrs_per_node,
+                                bool persistent);
+
+    size_t numNodes() const { return machines_.size(); }
+    size_t numAddrs() const { return owner_.size(); }
+
+    /** Owner machine of address x (the k with x in Loc_k). */
+    NodeId ownerOf(Addr x) const { return owner_[x]; }
+
+    /** Whether machine i keeps its memory across crashes. */
+    bool isPersistent(NodeId i) const
+    {
+        return machines_[i].persistentMemory;
+    }
+
+    /** All addresses owned by machine i (Loc_i). */
+    std::vector<Addr> addrsOwnedBy(NodeId i) const;
+
+    /** Human-readable description for diagnostics. */
+    std::string describe() const;
+
+  private:
+    std::vector<MachineConfig> machines_;
+    std::vector<NodeId> owner_;
+};
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_CONFIG_HH

@@ -1,0 +1,156 @@
+#include "model/label.hh"
+
+#include <sstream>
+
+namespace cxl0::model
+{
+
+bool
+isStore(Op op)
+{
+    return op == Op::LStore || op == Op::RStore || op == Op::MStore;
+}
+
+bool
+isRmw(Op op)
+{
+    return op == Op::LRmw || op == Op::RRmw || op == Op::MRmw;
+}
+
+bool
+isFlush(Op op)
+{
+    return op == Op::LFlush || op == Op::RFlush || op == Op::Gpf;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Load: return "Load";
+      case Op::LStore: return "LStore";
+      case Op::RStore: return "RStore";
+      case Op::MStore: return "MStore";
+      case Op::LFlush: return "LFlush";
+      case Op::RFlush: return "RFlush";
+      case Op::Gpf: return "GPF";
+      case Op::LRmw: return "L-RMW";
+      case Op::RRmw: return "R-RMW";
+      case Op::MRmw: return "M-RMW";
+      case Op::Crash: return "E";
+      case Op::Tau: return "tau";
+    }
+    return "?";
+}
+
+std::string
+Label::describe() const
+{
+    std::ostringstream os;
+    os << opName(op) << node;
+    switch (op) {
+      case Op::Load:
+      case Op::LStore:
+      case Op::RStore:
+      case Op::MStore:
+        os << "(x" << addr << "," << value << ")";
+        break;
+      case Op::LFlush:
+      case Op::RFlush:
+        os << "(x" << addr << ")";
+        break;
+      case Op::LRmw:
+      case Op::RRmw:
+      case Op::MRmw:
+        os << "(x" << addr << "," << expected << "->" << value << ")";
+        break;
+      case Op::Gpf:
+      case Op::Crash:
+      case Op::Tau:
+        break;
+    }
+    return os.str();
+}
+
+Label
+Label::load(NodeId i, Addr x, Value v)
+{
+    return Label{Op::Load, i, x, v, 0};
+}
+
+Label
+Label::lstore(NodeId i, Addr x, Value v)
+{
+    return Label{Op::LStore, i, x, v, 0};
+}
+
+Label
+Label::rstore(NodeId i, Addr x, Value v)
+{
+    return Label{Op::RStore, i, x, v, 0};
+}
+
+Label
+Label::mstore(NodeId i, Addr x, Value v)
+{
+    return Label{Op::MStore, i, x, v, 0};
+}
+
+Label
+Label::lflush(NodeId i, Addr x)
+{
+    return Label{Op::LFlush, i, x, 0, 0};
+}
+
+Label
+Label::rflush(NodeId i, Addr x)
+{
+    return Label{Op::RFlush, i, x, 0, 0};
+}
+
+Label
+Label::gpf(NodeId i)
+{
+    return Label{Op::Gpf, i, 0, 0, 0};
+}
+
+Label
+Label::lrmw(NodeId i, Addr x, Value old_v, Value new_v)
+{
+    return Label{Op::LRmw, i, x, new_v, old_v};
+}
+
+Label
+Label::rrmw(NodeId i, Addr x, Value old_v, Value new_v)
+{
+    return Label{Op::RRmw, i, x, new_v, old_v};
+}
+
+Label
+Label::mrmw(NodeId i, Addr x, Value old_v, Value new_v)
+{
+    return Label{Op::MRmw, i, x, new_v, old_v};
+}
+
+Label
+Label::crash(NodeId i)
+{
+    return Label{Op::Crash, i, 0, 0, 0};
+}
+
+Label
+Label::tau()
+{
+    return Label{Op::Tau, 0, 0, 0, 0};
+}
+
+std::string
+describeTrace(const std::vector<Label> &trace)
+{
+    std::ostringstream os;
+    for (size_t k = 0; k < trace.size(); ++k)
+        os << (k ? "; " : "") << trace[k].describe();
+    return os.str();
+}
+
+} // namespace cxl0::model

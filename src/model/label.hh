@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Transition labels of the CXL0 LTS (paper §3.3).
+ *
+ * Labels cover the machine-emitted actions (loads, the three store
+ * flavours, the two flush flavours, GPF, and the six RMW flavours),
+ * the silent propagation step tau, and the per-machine crash E_i.
+ */
+
+#ifndef CXL0_MODEL_LABEL_HH
+#define CXL0_MODEL_LABEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cxl0::model
+{
+
+/** Kinds of CXL0 transitions. */
+enum class Op
+{
+    Load,    //!< Load_i(x, v): v is the value the load must observe
+    LStore,  //!< LStore_i(x, v): complete once in the local cache
+    RStore,  //!< RStore_i(x, v): complete once at the owner's cache
+    MStore,  //!< MStore_i(x, v): complete once in the owner's memory
+    LFlush,  //!< LFlush_i(x): write back the local copy one level
+    RFlush,  //!< RFlush_i(x): write back to the owner's memory
+    Gpf,     //!< GPF_i: global persistent flush (drain all caches)
+    LRmw,    //!< L-RMW_i(x, old, new): atomic load + LStore
+    RRmw,    //!< R-RMW_i(x, old, new): atomic load + RStore
+    MRmw,    //!< M-RMW_i(x, old, new): atomic load + MStore
+    Crash,   //!< E_i: machine i crashes
+    Tau,     //!< silent nondeterministic propagation
+};
+
+/** Whether an op is one of the three plain stores. */
+bool isStore(Op op);
+
+/** Whether an op is one of the three RMW flavours. */
+bool isRmw(Op op);
+
+/** Whether an op is a flush (LFlush, RFlush, or GPF). */
+bool isFlush(Op op);
+
+/** Short name, e.g. "LStore". */
+const char *opName(Op op);
+
+/**
+ * One transition label. Unused fields are zero; `value` holds the
+ * loaded value for Load, the stored value for stores, and the *new*
+ * value for RMWs whose expected old value lives in `expected`.
+ */
+struct Label
+{
+    Op op = Op::Tau;
+    NodeId node = 0;
+    Addr addr = 0;
+    Value value = 0;
+    Value expected = 0;
+
+    bool operator==(const Label &other) const = default;
+
+    /** Paper-style rendering, e.g. "LStore1(x2,1)". */
+    std::string describe() const;
+
+    // Named constructors mirroring the paper's notation.
+    static Label load(NodeId i, Addr x, Value v);
+    static Label lstore(NodeId i, Addr x, Value v);
+    static Label rstore(NodeId i, Addr x, Value v);
+    static Label mstore(NodeId i, Addr x, Value v);
+    static Label lflush(NodeId i, Addr x);
+    static Label rflush(NodeId i, Addr x);
+    static Label gpf(NodeId i);
+    static Label lrmw(NodeId i, Addr x, Value old_v, Value new_v);
+    static Label rrmw(NodeId i, Addr x, Value old_v, Value new_v);
+    static Label mrmw(NodeId i, Addr x, Value old_v, Value new_v);
+    static Label crash(NodeId i);
+    static Label tau();
+};
+
+/** Render a label sequence as "a; b; c". */
+std::string describeTrace(const std::vector<Label> &trace);
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_LABEL_HH

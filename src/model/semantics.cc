@@ -1,0 +1,286 @@
+#include "model/semantics.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cxl0::model
+{
+
+const char *
+variantName(ModelVariant v)
+{
+    switch (v) {
+      case ModelVariant::Base: return "CXL0";
+      case ModelVariant::Psn: return "CXL0_PSN";
+      case ModelVariant::Lwb: return "CXL0_LWB";
+    }
+    return "?";
+}
+
+bool
+Restrictions::allows(NodeId i, Op op) const
+{
+    if (op == Op::Crash || op == Op::Tau)
+        return true;
+    if (allowedOps.empty())
+        return true;
+    if (i >= allowedOps.size())
+        return false;
+    return (allowedOps[i] & opBit(op)) != 0;
+}
+
+Cxl0Model::Cxl0Model(SystemConfig cfg, ModelVariant variant,
+                     Restrictions restrictions)
+    : cfg_(std::move(cfg)), variant_(variant),
+      restrictions_(std::move(restrictions))
+{
+    if (!restrictions_.allowedOps.empty() &&
+        restrictions_.allowedOps.size() != cfg_.numNodes()) {
+        CXL0_FATAL("restriction mask count (",
+                   restrictions_.allowedOps.size(),
+                   ") must match machine count (", cfg_.numNodes(), ")");
+    }
+}
+
+State
+Cxl0Model::initialState() const
+{
+    return State(cfg_.numNodes(), cfg_.numAddrs());
+}
+
+std::optional<Value>
+Cxl0Model::loadable(const State &s, NodeId i, Addr x) const
+{
+    bool own_only = (variant_ == ModelVariant::Lwb) ||
+                    !restrictions_.serveLoadFromRemoteCache;
+    if (own_only) {
+        // LOAD-from-C(LWB): only the issuer's own cache may serve.
+        Value own = s.cache(i, x);
+        if (own != kBottom)
+            return own;
+        // Any other valid cached copy blocks the load until the
+        // nondeterministic propagation drains it to memory.
+        if (s.cachedAnywhere(x))
+            return std::nullopt;
+        return s.memory(x);
+    }
+    Value cached = s.anyCached(x);
+    if (cached != kBottom)
+        return cached;
+    return s.memory(x);
+}
+
+State
+Cxl0Model::applyStoreEffect(const State &s, Op op, NodeId i, Addr x,
+                            Value v) const
+{
+    State next = s;
+    NodeId k = cfg_.ownerOf(x);
+    switch (op) {
+      case Op::LStore:
+      case Op::LRmw:
+        // C'_i = C_i[x -> v]; all other caches invalidate x.
+        next.setCache(i, x, v);
+        next.invalidateOthers(i, x);
+        break;
+      case Op::RStore:
+      case Op::RRmw:
+        // C'_k = C_k[x -> v]; all other caches invalidate x.
+        next.setCache(k, x, v);
+        next.invalidateOthers(k, x);
+        break;
+      case Op::MStore:
+      case Op::MRmw:
+        // M'_k = M_k[x -> v]; every cache invalidates x.
+        next.setMemory(x, v);
+        next.invalidateEverywhere(x);
+        break;
+      default:
+        CXL0_PANIC("applyStoreEffect on non-store op ", opName(op));
+    }
+    return next;
+}
+
+std::optional<State>
+Cxl0Model::applyLoad(const State &s, const Label &l) const
+{
+    std::optional<Value> v = loadable(s, l.node, l.addr);
+    if (!v || *v != l.value)
+        return std::nullopt;
+    bool own_only = (variant_ == ModelVariant::Lwb) ||
+                    !restrictions_.serveLoadFromRemoteCache;
+    if (own_only) {
+        // LWB-style loads never change the state: either the issuer's
+        // own cache already holds the line, or the value came from
+        // memory.
+        return s;
+    }
+    if (s.cachedAnywhere(l.addr)) {
+        // LOAD-from-C: copy the value into the issuer's cache so a
+        // future LFlush by the issuer affects this line (§3.3).
+        State next = s;
+        next.setCache(l.node, l.addr, *v);
+        return next;
+    }
+    // LOAD-from-M: no state change.
+    return s;
+}
+
+std::optional<State>
+Cxl0Model::applyRmw(const State &s, const Label &l) const
+{
+    // RMW = atomic load + store with no interference in between
+    // (§3.3). A failed RMW is equivalent to a plain read and is
+    // modeled by the caller issuing a Load label instead.
+    std::optional<Value> v = loadable(s, l.node, l.addr);
+    if (!v || *v != l.expected)
+        return std::nullopt;
+    return applyStoreEffect(s, l.op, l.node, l.addr, l.value);
+}
+
+std::optional<State>
+Cxl0Model::apply(const State &s, const Label &l) const
+{
+    if (!restrictions_.allows(l.node, l.op))
+        return std::nullopt;
+    switch (l.op) {
+      case Op::Load:
+        return applyLoad(s, l);
+      case Op::LStore:
+      case Op::RStore:
+      case Op::MStore:
+        return applyStoreEffect(s, l.op, l.node, l.addr, l.value);
+      case Op::LFlush:
+        // Blocking formulation: enabled only once the issuer's own
+        // copy has drained (like MFENCE modeling in TSO, §3.3).
+        if (s.cacheValid(l.node, l.addr))
+            return std::nullopt;
+        return s;
+      case Op::RFlush:
+        if (s.cachedAnywhere(l.addr))
+            return std::nullopt;
+        return s;
+      case Op::Gpf:
+        if (!s.allCachesEmpty())
+            return std::nullopt;
+        return s;
+      case Op::LRmw:
+      case Op::RRmw:
+      case Op::MRmw:
+        return applyRmw(s, l);
+      case Op::Crash:
+        return applyCrash(s, l.node);
+      case Op::Tau:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+State
+Cxl0Model::applyCrash(const State &s, NodeId i) const
+{
+    State next = s;
+    next.clearCache(i);
+    if (!cfg_.isPersistent(i)) {
+        for (Addr x = 0; x < cfg_.numAddrs(); ++x)
+            if (cfg_.ownerOf(x) == i)
+                next.setMemory(x, kInitValue);
+    }
+    if (variant_ == ModelVariant::Psn) {
+        // Crash(PSN): the crashed machine's addresses are poisoned in
+        // every other cache (§3.5).
+        for (Addr x = 0; x < cfg_.numAddrs(); ++x) {
+            if (cfg_.ownerOf(x) != i)
+                continue;
+            for (NodeId j = 0; j < cfg_.numNodes(); ++j)
+                next.setCache(j, x, kBottom);
+        }
+    }
+    return next;
+}
+
+std::vector<State>
+Cxl0Model::tauSuccessors(const State &s) const
+{
+    std::vector<State> out;
+    for (Addr x = 0; x < cfg_.numAddrs(); ++x) {
+        NodeId k = cfg_.ownerOf(x);
+        // Propagate-C-C: a non-owner's copy moves to the owner's cache.
+        if (restrictions_.allowCacheToCache) {
+            for (NodeId i = 0; i < cfg_.numNodes(); ++i) {
+                if (i == k)
+                    continue;
+                Value v = s.cache(i, x);
+                if (v == kBottom)
+                    continue;
+                State next = s;
+                next.setCache(i, x, kBottom);
+                next.setCache(k, x, v);
+                out.push_back(std::move(next));
+            }
+        }
+        // Propagate-C-M: the owner's copy drains to the owner's memory
+        // and every cache invalidates the line.
+        Value v = s.cache(k, x);
+        if (v != kBottom) {
+            State next = s;
+            next.invalidateEverywhere(x);
+            next.setMemory(x, v);
+            out.push_back(std::move(next));
+        }
+    }
+    return out;
+}
+
+std::vector<State>
+Cxl0Model::tauClosure(const State &s) const
+{
+    std::vector<State> frontier{s};
+    std::unordered_set<State, StateHash> visited{s};
+    std::vector<State> out{s};
+    while (!frontier.empty()) {
+        State cur = std::move(frontier.back());
+        frontier.pop_back();
+        for (State &next : tauSuccessors(cur)) {
+            if (visited.insert(next).second) {
+                out.push_back(next);
+                frontier.push_back(std::move(next));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Label>
+Cxl0Model::enabledLabels(const State &s, Value max_value) const
+{
+    std::vector<Label> out;
+    auto consider = [&](const Label &l) {
+        if (apply(s, l))
+            out.push_back(l);
+    };
+    for (NodeId i = 0; i < cfg_.numNodes(); ++i) {
+        for (Addr x = 0; x < cfg_.numAddrs(); ++x) {
+            if (auto v = loadable(s, i, x))
+                consider(Label::load(i, x, *v));
+            for (Value v = 0; v <= max_value; ++v) {
+                consider(Label::lstore(i, x, v));
+                consider(Label::rstore(i, x, v));
+                consider(Label::mstore(i, x, v));
+                for (Value old_v = 0; old_v <= max_value; ++old_v) {
+                    consider(Label::lrmw(i, x, old_v, v));
+                    consider(Label::rrmw(i, x, old_v, v));
+                    consider(Label::mrmw(i, x, old_v, v));
+                }
+            }
+            consider(Label::lflush(i, x));
+            consider(Label::rflush(i, x));
+        }
+        consider(Label::gpf(i));
+        consider(Label::crash(i));
+    }
+    return out;
+}
+
+} // namespace cxl0::model

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Operational semantics of CXL0 and its variants (paper Fig. 2, §3.5).
+ *
+ * The model is a labeled transition system over model::State. All
+ * nondeterminism is explicit: tau propagation steps are enumerated by
+ * tauSuccessors(), and crashes are ordinary labels. Checkers in
+ * src/check explore the LTS; the runtime in src/runtime executes it
+ * with a scheduling policy.
+ */
+
+#ifndef CXL0_MODEL_SEMANTICS_HH
+#define CXL0_MODEL_SEMANTICS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/config.hh"
+#include "model/label.hh"
+#include "model/state.hh"
+
+namespace cxl0::model
+{
+
+/** The three model flavours of §3.3 and §3.5. */
+enum class ModelVariant
+{
+    Base, //!< plain CXL0
+    Psn,  //!< CXL0_PSN: crash poisons the crashed machine's lines
+    Lwb,  //!< CXL0_LWB: remote loads are served from memory only
+};
+
+/** Short name for a variant ("CXL0", "CXL0_PSN", "CXL0_LWB"). */
+const char *variantName(ModelVariant v);
+
+/**
+ * Primitive-availability restrictions for the system configurations of
+ * §4. A default-constructed Restrictions allows everything (the
+ * general model).
+ */
+struct Restrictions
+{
+    /** Propagate-C-C steps permitted (excluded in pool settings). */
+    bool allowCacheToCache = true;
+
+    /**
+     * Whether a load by machine i may be served from another
+     * machine's cache (the LOAD-from-C rule with j != i). When false,
+     * a load with the line valid only in a remote cache blocks until
+     * propagation clears it, like the LWB variant.
+     */
+    bool serveLoadFromRemoteCache = true;
+
+    /**
+     * Per-node allowed operation bitmask (1 << static_cast<int>(Op)).
+     * Empty means every operation is allowed on every node. Crash and
+     * Tau are always allowed.
+     */
+    std::vector<uint32_t> allowedOps;
+
+    /** Whether node i may emit op. */
+    bool allows(NodeId i, Op op) const;
+};
+
+/** Bit for an Op inside Restrictions::allowedOps. */
+constexpr uint32_t
+opBit(Op op)
+{
+    return 1u << static_cast<int>(op);
+}
+
+/**
+ * The CXL0 LTS. Stateless apart from its configuration; all methods
+ * are const and thread-safe.
+ */
+class Cxl0Model
+{
+  public:
+    explicit Cxl0Model(SystemConfig cfg,
+                       ModelVariant variant = ModelVariant::Base,
+                       Restrictions restrictions = Restrictions{});
+
+    const SystemConfig &config() const { return cfg_; }
+    ModelVariant variant() const { return variant_; }
+    const Restrictions &restrictions() const { return restrictions_; }
+
+    /** The initial state for this configuration. */
+    State initialState() const;
+
+    /**
+     * The value a load by machine i on x would observe in this state,
+     * or nullopt when the load is blocked (LWB / restricted settings
+     * with the line valid only in a remote cache).
+     *
+     * In Base/PSN the load is never blocked and the result is unique
+     * thanks to the global cache invariant.
+     */
+    std::optional<Value> loadable(const State &s, NodeId i, Addr x) const;
+
+    /**
+     * Apply one non-tau label. Returns the successor state, or nullopt
+     * when the label is not enabled: a flush whose drain precondition
+     * does not hold yet, a Load/RMW whose observed value differs from
+     * the label's, or an operation the restrictions forbid.
+     */
+    std::optional<State> apply(const State &s, const Label &label) const;
+
+    /** All successor states of single tau propagation steps. */
+    std::vector<State> tauSuccessors(const State &s) const;
+
+    /** Every state reachable via zero or more tau steps (BFS). */
+    std::vector<State> tauClosure(const State &s) const;
+
+    /** Crash of machine i (also reachable through apply). */
+    State applyCrash(const State &s, NodeId i) const;
+
+    /**
+     * Enumerate all enabled non-tau, non-crash labels from s over a
+     * bounded value domain [0, max_value]. Used by the refinement
+     * checker to build trace sets.
+     */
+    std::vector<Label> enabledLabels(const State &s, Value max_value) const;
+
+  private:
+    std::optional<State> applyLoad(const State &s, const Label &l) const;
+    std::optional<State> applyRmw(const State &s, const Label &l) const;
+    State applyStoreEffect(const State &s, Op op, NodeId i, Addr x,
+                           Value v) const;
+
+    SystemConfig cfg_;
+    ModelVariant variant_;
+    Restrictions restrictions_;
+};
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_SEMANTICS_HH

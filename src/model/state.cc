@@ -1,0 +1,115 @@
+#include "model/state.hh"
+
+#include <sstream>
+
+namespace cxl0::model
+{
+
+State::State(size_t num_nodes, size_t num_addrs)
+    : numNodes_(num_nodes), numAddrs_(num_addrs),
+      cache_(num_nodes * num_addrs, kBottom),
+      mem_(num_addrs, kInitValue)
+{
+}
+
+void
+State::invalidateEverywhere(Addr x)
+{
+    for (NodeId j = 0; j < numNodes_; ++j)
+        setCache(j, x, kBottom);
+}
+
+void
+State::invalidateOthers(NodeId i, Addr x)
+{
+    for (NodeId j = 0; j < numNodes_; ++j)
+        if (j != i)
+            setCache(j, x, kBottom);
+}
+
+void
+State::clearCache(NodeId i)
+{
+    for (Addr x = 0; x < numAddrs_; ++x)
+        setCache(i, x, kBottom);
+}
+
+Value
+State::anyCached(Addr x) const
+{
+    for (NodeId j = 0; j < numNodes_; ++j) {
+        Value v = cache(j, x);
+        if (v != kBottom)
+            return v;
+    }
+    return kBottom;
+}
+
+bool
+State::allCachesEmpty() const
+{
+    for (Value v : cache_)
+        if (v != kBottom)
+            return false;
+    return true;
+}
+
+bool
+State::invariantHolds() const
+{
+    for (Addr x = 0; x < numAddrs_; ++x) {
+        Value seen = kBottom;
+        for (NodeId j = 0; j < numNodes_; ++j) {
+            Value v = cache(j, x);
+            if (v == kBottom)
+                continue;
+            if (seen != kBottom && v != seen)
+                return false;
+            seen = v;
+        }
+    }
+    return true;
+}
+
+size_t
+State::hash() const
+{
+    // FNV-1a over the two value vectors.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](Value v) {
+        const auto *bytes = reinterpret_cast<const unsigned char *>(&v);
+        for (size_t b = 0; b < sizeof(Value); ++b) {
+            h ^= bytes[b];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (Value v : cache_)
+        mix(v);
+    for (Value v : mem_)
+        mix(v);
+    return static_cast<size_t>(h);
+}
+
+std::string
+State::describe() const
+{
+    std::ostringstream os;
+    for (NodeId i = 0; i < numNodes_; ++i) {
+        os << "C" << i << "={";
+        bool first = true;
+        for (Addr x = 0; x < numAddrs_; ++x) {
+            if (!cacheValid(i, x))
+                continue;
+            os << (first ? "" : ",") << "x" << x << "=" << cache(i, x);
+            first = false;
+        }
+        os << "} ";
+    }
+    os << "M={";
+    for (Addr x = 0; x < numAddrs_; ++x)
+        os << (x ? "," : "") << "x" << x << "=" << memory(x);
+    os << "}";
+    return os.str();
+}
+
+} // namespace cxl0::model

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CXL0 abstract system states (paper §3.3).
+ *
+ * A state gamma = (C, M) maps each machine i to a cache
+ * C_i : Loc -> Val + {bottom} and to a memory M_i : Loc_i -> Val.
+ * Because the Loc_i are pairwise disjoint, the union of all M_i is a
+ * single total function Loc -> Val, which is how we store it.
+ *
+ * The representation is flat (two value vectors) so states hash and
+ * compare quickly inside the model checkers.
+ */
+
+#ifndef CXL0_MODEL_STATE_HH
+#define CXL0_MODEL_STATE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "model/config.hh"
+
+namespace cxl0::model
+{
+
+/** One abstract CXL0 state: all caches plus all owner memories. */
+class State
+{
+  public:
+    /**
+     * The initial state: all caches empty (bottom everywhere), all
+     * memories zero (paper: C_i = \x.bottom, M_i = \x.0).
+     */
+    State(size_t num_nodes, size_t num_addrs);
+
+    size_t numNodes() const { return numNodes_; }
+    size_t numAddrs() const { return numAddrs_; }
+
+    /** C_i(x); kBottom encodes the invalid entry. */
+    Value cache(NodeId i, Addr x) const
+    {
+        return cache_[index(i, x)];
+    }
+
+    /** Whether C_i(x) is a valid (non-bottom) entry. */
+    bool cacheValid(NodeId i, Addr x) const
+    {
+        return cache(i, x) != kBottom;
+    }
+
+    /** Set C_i(x) := v (v may be kBottom to invalidate). */
+    void setCache(NodeId i, Addr x, Value v)
+    {
+        cache_[index(i, x)] = v;
+    }
+
+    /** Invalidate x in every cache. */
+    void invalidateEverywhere(Addr x);
+
+    /** Invalidate x in every cache except machine i. */
+    void invalidateOthers(NodeId i, Addr x);
+
+    /** Drop every entry of C_i (crash step). */
+    void clearCache(NodeId i);
+
+    /** M_k(x) where k owns x; callers index by address only. */
+    Value memory(Addr x) const { return mem_[x]; }
+
+    /** Set the owner memory entry for x. */
+    void setMemory(Addr x, Value v) { mem_[x] = v; }
+
+    /**
+     * The unique valid cached value of x across all machines, or
+     * kBottom when no cache holds x. Relies on the global invariant.
+     */
+    Value anyCached(Addr x) const;
+
+    /** Whether any cache holds a valid entry for x. */
+    bool cachedAnywhere(Addr x) const
+    {
+        return anyCached(x) != kBottom;
+    }
+
+    /** Whether no cache at all holds a valid entry (GPF precondition). */
+    bool allCachesEmpty() const;
+
+    /**
+     * The CXL0 global cache invariant (§3.3): any two valid cache
+     * entries for the same address agree on the value.
+     */
+    bool invariantHolds() const;
+
+    /** Structural hash for checker visited-sets. */
+    size_t hash() const;
+
+    bool operator==(const State &other) const = default;
+
+    /** Compact rendering, e.g. "C0={x0=1} C1={} M={x0=0,x1=0}". */
+    std::string describe() const;
+
+  private:
+    size_t index(NodeId i, Addr x) const
+    {
+        return static_cast<size_t>(i) * numAddrs_ + x;
+    }
+
+    size_t numNodes_;
+    size_t numAddrs_;
+    std::vector<Value> cache_;
+    std::vector<Value> mem_;
+};
+
+/** Hash functor so State can key unordered containers. */
+struct StateHash
+{
+    size_t operator()(const State &s) const { return s.hash(); }
+};
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_STATE_HH

@@ -1,0 +1,134 @@
+#include "model/topology.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::model
+{
+
+const char *
+topologyName(Topology t)
+{
+    switch (t) {
+      case Topology::General: return "general";
+      case Topology::HostDevicePair: return "host-device pair";
+      case Topology::PartitionedPool: return "partitioned pool";
+      case Topology::SharedPoolCoherent: return "shared pool (coherent)";
+      case Topology::SharedPoolBypass: return "shared pool (bypass)";
+    }
+    return "?";
+}
+
+uint32_t
+allOpsMask()
+{
+    uint32_t mask = 0;
+    for (Op op : {Op::Load, Op::LStore, Op::RStore, Op::MStore, Op::LFlush,
+                  Op::RFlush, Op::Gpf, Op::LRmw, Op::RRmw, Op::MRmw})
+        mask |= opBit(op);
+    return mask;
+}
+
+Restrictions
+restrictionsFor(Topology t, const SystemConfig &cfg)
+{
+    Restrictions r;
+    switch (t) {
+      case Topology::General:
+        break;
+      case Topology::HostDevicePair: {
+        if (cfg.numNodes() != 2)
+            CXL0_FATAL("host-device pair needs exactly 2 machines");
+        // Host (node 0): everything but RStore, LFlush, R-RMW, M-RMW.
+        uint32_t host = allOpsMask() & ~opBit(Op::RStore) &
+                        ~opBit(Op::LFlush) & ~opBit(Op::RRmw) &
+                        ~opBit(Op::MRmw);
+        // Device (node 1): all stores, but no LFlush or remote RMWs.
+        uint32_t dev = allOpsMask() & ~opBit(Op::LFlush) &
+                       ~opBit(Op::RRmw) & ~opBit(Op::MRmw);
+        r.allowedOps = {host, dev};
+        break;
+      }
+      case Topology::PartitionedPool: {
+        // No inter-host interaction: exclude RStore, remote RMWs,
+        // LOAD-from-C across machines, and Propagate-C-C.
+        uint32_t compute = allOpsMask() & ~opBit(Op::RStore) &
+                           ~opBit(Op::RRmw) & ~opBit(Op::MRmw);
+        r.allowedOps.assign(cfg.numNodes(), compute);
+        r.allowCacheToCache = false;
+        r.serveLoadFromRemoteCache = false;
+        break;
+      }
+      case Topology::SharedPoolCoherent: {
+        // Interactions with remote caches are unavailable: exclude
+        // RStore, LOAD-from-C, LFlush, and remote RMWs. The paper also
+        // excludes Propagate-C-C *between hosts*; in this model C-C
+        // propagation only ever moves a line toward its owner (the
+        // pool), which is the physical drain path to pool memory, so
+        // it stays enabled — inter-host transfers cannot occur anyway
+        // because no host owns shared addresses.
+        uint32_t compute = allOpsMask() & ~opBit(Op::RStore) &
+                           ~opBit(Op::LFlush) & ~opBit(Op::RRmw) &
+                           ~opBit(Op::MRmw);
+        r.allowedOps.assign(cfg.numNodes(), compute);
+        r.serveLoadFromRemoteCache = false;
+        break;
+      }
+      case Topology::SharedPoolBypass: {
+        // Without coherence only cache-bypassing primitives remain
+        // correct: MStore, LOAD-from-M, M-RMW.
+        uint32_t compute =
+            opBit(Op::Load) | opBit(Op::MStore) | opBit(Op::MRmw);
+        r.allowedOps.assign(cfg.numNodes(), compute);
+        r.allowCacheToCache = false;
+        r.serveLoadFromRemoteCache = false;
+        break;
+      }
+    }
+    return r;
+}
+
+Cxl0Model
+makeHostDevicePair(SystemConfig cfg, ModelVariant variant)
+{
+    Restrictions r = restrictionsFor(Topology::HostDevicePair, cfg);
+    return Cxl0Model(std::move(cfg), variant, std::move(r));
+}
+
+Cxl0Model
+makePartitionedPool(size_t num_hosts, size_t addrs_per_partition,
+                    ModelVariant variant)
+{
+    // §4: "conceptually similar to a set of isolated machines with
+    // NVMM". We model partition i as host i's owned memory, marked
+    // persistent because the pool is an external failure domain: a
+    // host crash loses its cache but never the partition contents.
+    std::vector<MachineConfig> machines(num_hosts,
+                                        MachineConfig{true});
+    std::vector<NodeId> owner;
+    for (size_t h = 0; h < num_hosts; ++h)
+        for (size_t a = 0; a < addrs_per_partition; ++a)
+            owner.push_back(static_cast<NodeId>(h));
+    SystemConfig cfg(std::move(machines), std::move(owner));
+    Restrictions r = restrictionsFor(Topology::PartitionedPool, cfg);
+    return Cxl0Model(std::move(cfg), variant, std::move(r));
+}
+
+Cxl0Model
+makeSharedPool(size_t num_hosts, size_t num_addrs, bool coherent,
+               ModelVariant variant)
+{
+    std::vector<MachineConfig> machines;
+    for (size_t h = 0; h < num_hosts; ++h)
+        machines.push_back(MachineConfig{false});
+    machines.push_back(MachineConfig{true}); // the pool node
+    std::vector<NodeId> owner(num_addrs, static_cast<NodeId>(num_hosts));
+    SystemConfig cfg(std::move(machines), std::move(owner));
+    Restrictions r = restrictionsFor(coherent
+                                         ? Topology::SharedPoolCoherent
+                                         : Topology::SharedPoolBypass,
+                                     cfg);
+    r.allowedOps[num_hosts] = 0; // the pool emits no operations
+    return Cxl0Model(std::move(cfg), variant, std::move(r));
+}
+
+} // namespace cxl0::model

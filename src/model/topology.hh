@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The system-model variations of paper §4 as concrete configurations.
+ *
+ * Each factory returns a fully configured Cxl0Model whose Restrictions
+ * encode exactly the primitive availability the paper derives from the
+ * CXL specification for that deployment stage:
+ *
+ *  - host-device pair (Fig. 4a): host cannot issue RStore, LFlush, or
+ *    remote RMWs; the device can issue all stores but no LFlush or
+ *    remote RMWs;
+ *  - partitioned disaggregated memory pool (Fig. 4b): no RStore, no
+ *    LOAD-from-C, no Propagate-C-C, no remote RMWs;
+ *  - shared disaggregated memory pool, coherent: RStore, LOAD-from-C,
+ *    LFlush, Propagate-C-C and remote RMWs excluded;
+ *  - shared pool, non-coherent: only MStore, LOAD-from-M, and M-RMW
+ *    (cache bypass), since CXL0's coherence assumption fails.
+ */
+
+#ifndef CXL0_MODEL_TOPOLOGY_HH
+#define CXL0_MODEL_TOPOLOGY_HH
+
+#include <cstddef>
+
+#include "model/semantics.hh"
+
+namespace cxl0::model
+{
+
+/** Deployment stages from §4. */
+enum class Topology
+{
+    General,           //!< unrestricted CXL0
+    HostDevicePair,    //!< Fig. 4a
+    PartitionedPool,   //!< Fig. 4b, disjoint partitions
+    SharedPoolCoherent,//!< Fig. 4b, coherent sharing (CXL 3.0+)
+    SharedPoolBypass,  //!< Fig. 4b, non-coherent pool, cache bypass
+};
+
+/** Short name for a topology. */
+const char *topologyName(Topology t);
+
+/** Bitmask with every operation allowed. */
+uint32_t allOpsMask();
+
+/**
+ * Host-device pair: machine 0 is the host, machine 1 the device, each
+ * owning its addresses per cfg.
+ */
+Cxl0Model makeHostDevicePair(SystemConfig cfg,
+                             ModelVariant variant = ModelVariant::Base);
+
+/**
+ * Partitioned pool: machines 0..num_hosts-1 are compute nodes (owning
+ * no shared memory), machines num_hosts..2*num_hosts-1 are memory
+ * partitions in a separate failure domain; partition i is used
+ * exclusively by host i. addrs_per_partition addresses per partition,
+ * all persistent from the hosts' viewpoint (the pool is an external
+ * failure domain).
+ */
+Cxl0Model makePartitionedPool(size_t num_hosts, size_t addrs_per_partition,
+                              ModelVariant variant = ModelVariant::Base);
+
+/**
+ * Shared pool: machines 0..num_hosts-1 are compute nodes, machine
+ * num_hosts is the pool owning every address.
+ * @param coherent build the envisioned coherent pool; otherwise the
+ *        realistic non-coherent pool restricted to cache-bypassing
+ *        primitives.
+ */
+Cxl0Model makeSharedPool(size_t num_hosts, size_t num_addrs, bool coherent,
+                         ModelVariant variant = ModelVariant::Base);
+
+/**
+ * Restrictions for a given topology over an existing configuration
+ * (used by tests to cross-check the factories).
+ */
+Restrictions restrictionsFor(Topology t, const SystemConfig &cfg);
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_TOPOLOGY_HH

@@ -1,0 +1,27 @@
+#include "runtime/cost.hh"
+
+namespace cxl0::runtime
+{
+
+CostModel
+CostModel::zero()
+{
+    CostModel m;
+    m.loadLocalCache = 0;
+    m.loadRemoteCache = 0;
+    m.loadLocalMem = 0;
+    m.loadRemoteMem = 0;
+    m.lstore = 0;
+    m.rstoreLocal = 0;
+    m.rstoreRemote = 0;
+    m.mstoreLocal = 0;
+    m.mstoreRemote = 0;
+    m.flushHop = 0;
+    m.rflushConfirm = 0;
+    m.asyncFlushIssue = 0;
+    m.rmwExtra = 0;
+    m.gpfPerLine = 0;
+    return m;
+}
+
+} // namespace cxl0::runtime

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cost model for the executable runtime.
+ *
+ * The runtime runs on ordinary shared memory (the "NUMA-node CXL
+ * emulation" substitution), so wall-clock time says little about CXL
+ * behaviour. Instead every primitive charges simulated nanoseconds to
+ * a per-system clock using this table, whose defaults reuse the Fig. 5
+ * calibration: local cache writes are cheap, crossing to another
+ * node's cache costs a link round trip, and reaching remote
+ * persistence costs the most.
+ */
+
+#ifndef CXL0_RUNTIME_COST_HH
+#define CXL0_RUNTIME_COST_HH
+
+namespace cxl0::runtime
+{
+
+/** Simulated nanosecond charges per primitive. */
+struct CostModel
+{
+    double loadLocalCache = 5;    //!< hit in the issuer's cache
+    double loadRemoteCache = 130; //!< served from another cache
+    double loadLocalMem = 110;    //!< memory on the issuer's node
+    double loadRemoteMem = 257;   //!< memory on another node (2.34x)
+    double lstore = 15;           //!< write into the local cache
+    double rstoreLocal = 15;      //!< RStore by the owner == LStore
+    double rstoreRemote = 198;    //!< push into the owner's cache
+    double mstoreLocal = 150;     //!< persist on the local node
+    double mstoreRemote = 287;    //!< persist on a remote node
+    double flushHop = 120;        //!< one forced propagation hop
+    /** Fabric round trip an RFlush pays to confirm that no cache in
+     *  the system still holds the line (an LFlush needs no such
+     *  confirmation — the basis of the §6.1 optimization). */
+    double rflushConfirm = 45;
+    /** Issuing an asynchronous flush (fire-and-forget). */
+    double asyncFlushIssue = 10;
+    double rmwExtra = 20;         //!< RMW surcharge over load+store
+    double gpfPerLine = 60;       //!< GPF drain cost per dirty line
+
+    /** The paper's calibration (defaults above). */
+    static CostModel calibrated() { return CostModel{}; }
+
+    /** A free model (all zero) for tests that only check semantics. */
+    static CostModel zero();
+};
+
+} // namespace cxl0::runtime
+
+#endif // CXL0_RUNTIME_COST_HH

@@ -1,0 +1,43 @@
+#include "runtime/snapshot.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::runtime
+{
+
+MemoryImage
+takeSnapshot(CxlSystem &sys, NodeId by)
+{
+    sys.gpf(by);
+    MemoryImage img;
+    img.memory.reserve(sys.config().numAddrs());
+    for (Addr x = 0; x < sys.config().numAddrs(); ++x)
+        img.memory.push_back(sys.peekMemory(x));
+    return img;
+}
+
+void
+restoreSnapshot(CxlSystem &sys, NodeId by, const MemoryImage &img)
+{
+    if (img.memory.size() != sys.config().numAddrs())
+        CXL0_FATAL("image has ", img.memory.size(), " cells, system ",
+                   sys.config().numAddrs());
+    for (Addr x = 0; x < sys.config().numAddrs(); ++x)
+        sys.mstore(by, x, img.memory[x]);
+}
+
+std::vector<Addr>
+diffSnapshot(CxlSystem &sys, NodeId by, const MemoryImage &img)
+{
+    if (img.memory.size() != sys.config().numAddrs())
+        CXL0_FATAL("image has ", img.memory.size(), " cells, system ",
+                   sys.config().numAddrs());
+    sys.gpf(by);
+    std::vector<Addr> out;
+    for (Addr x = 0; x < sys.config().numAddrs(); ++x)
+        if (sys.peekMemory(x) != img.memory[x])
+            out.push_back(x);
+    return out;
+}
+
+} // namespace cxl0::runtime

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GPF-based global snapshots (paper §3.2: "a carefully designed
+ * algorithm may still employ GPF for snapshots, thanks to its global
+ * and blocking properties").
+ *
+ * takeSnapshot drains every cache with a GPF and copies the then
+ * fully-persistent memory image; restore writes an image back with
+ * MStores. Together they give coarse-grained checkpoint/rollback on
+ * top of CXL0 without any per-object instrumentation.
+ */
+
+#ifndef CXL0_RUNTIME_SNAPSHOT_HH
+#define CXL0_RUNTIME_SNAPSHOT_HH
+
+#include <vector>
+
+#include "runtime/system.hh"
+
+namespace cxl0::runtime
+{
+
+/** A consistent global memory image. */
+struct MemoryImage
+{
+    std::vector<Value> memory; //!< one entry per address
+
+    bool
+    operator==(const MemoryImage &other) const = default;
+};
+
+/**
+ * Drain all caches (GPF issued by `by`) and capture the memory image.
+ * Because GPF blocks until every cache is empty, the image is exactly
+ * the state a full-system restart would recover.
+ */
+MemoryImage takeSnapshot(CxlSystem &sys, NodeId by);
+
+/**
+ * Write an image back (MStore per cell, issued by `by`), restoring
+ * the system to the snapshot's persistent state. Caches are
+ * invalidated by the MStores themselves.
+ */
+void restoreSnapshot(CxlSystem &sys, NodeId by, const MemoryImage &img);
+
+/**
+ * Difference report: addresses whose current persistent value (after
+ * a fresh GPF) differs from the image. Useful for incremental
+ * checkpointing studies.
+ */
+std::vector<Addr> diffSnapshot(CxlSystem &sys, NodeId by,
+                               const MemoryImage &img);
+
+} // namespace cxl0::runtime
+
+#endif // CXL0_RUNTIME_SNAPSHOT_HH

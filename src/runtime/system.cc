@@ -1,0 +1,507 @@
+#include "runtime/system.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::runtime
+{
+
+using model::Label;
+using model::Op;
+
+CxlSystem::CxlSystem(SystemOptions options)
+    : model_(options.config, options.variant, options.restrictions),
+      policy_(options.policy),
+      evictionChancePct_(options.evictionChancePct), cost_(options.cost),
+      state_(model_.initialState()), rng_(options.seed),
+      freeList_(options.config.numNodes()),
+      pendingFlush_(options.config.numNodes()),
+      epoch_(options.config.numNodes(), 0)
+{
+    // Build per-node free lists (ascending allocation order).
+    for (NodeId n = 0; n < config().numNodes(); ++n) {
+        std::vector<Addr> owned = config().addrsOwnedBy(n);
+        for (auto it = owned.rbegin(); it != owned.rend(); ++it)
+            freeList_[n].push_back(*it);
+    }
+}
+
+Addr
+CxlSystem::allocate(NodeId owner)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (owner >= freeList_.size())
+        CXL0_FATAL("allocate on unknown node ", owner);
+    if (freeList_[owner].empty())
+        CXL0_FATAL("node ", owner, " arena exhausted");
+    Addr x = freeList_[owner].back();
+    freeList_[owner].pop_back();
+    return x;
+}
+
+size_t
+CxlSystem::freeCells(NodeId owner) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return freeList_[owner].size();
+}
+
+void
+CxlSystem::chargeLocked(double ns)
+{
+    clockNs_ += ns;
+    opCount_ += 1;
+}
+
+void
+CxlSystem::requireAllowed(NodeId by, Op op) const
+{
+    if (!model_.restrictions().allows(by, op))
+        CXL0_FATAL(model::opName(op), " by node ", by,
+                   " is not permitted in this configuration");
+}
+
+void
+CxlSystem::evictEntryLocked(NodeId i, Addr x)
+{
+    // One tau propagation hop for (i, x), exactly as the model's
+    // Propagate-C-C / Propagate-C-M rules.
+    Value v = state_.cache(i, x);
+    if (v == kBottom)
+        return;
+    NodeId k = config().ownerOf(x);
+    if (i == k) {
+        state_.invalidateEverywhere(x);
+        state_.setMemory(x, v);
+    } else if (model_.restrictions().allowCacheToCache) {
+        state_.setCache(i, x, kBottom);
+        state_.setCache(k, x, v);
+    }
+}
+
+void
+CxlSystem::maybeEvictLocked()
+{
+    if (policy_ != PropagationPolicy::Random)
+        return;
+    if (!rng_.chance(evictionChancePct_, 100))
+        return;
+    // A few random probes stand in for the cache replacement policy;
+    // scanning the whole address space per op would be O(addrs).
+    for (int probe = 0; probe < 4; ++probe) {
+        NodeId i =
+            static_cast<NodeId>(rng_.nextBelow(config().numNodes()));
+        Addr x =
+            static_cast<Addr>(rng_.nextBelow(config().numAddrs()));
+        if (state_.cacheValid(i, x)) {
+            evictEntryLocked(i, x);
+            return;
+        }
+    }
+}
+
+void
+CxlSystem::drainIssuerLineLocked(NodeId by, Addr x)
+{
+    // Perform the tau steps an LFlush blocks on: move the issuer's
+    // copy toward the owner, and if the issuer owns x, to memory.
+    if (!state_.cacheValid(by, x))
+        return;
+    NodeId k = config().ownerOf(x);
+    Value v = state_.cache(by, x);
+    if (by == k) {
+        state_.invalidateEverywhere(x);
+        state_.setMemory(x, v);
+    } else {
+        if (!model_.restrictions().allowCacheToCache)
+            CXL0_FATAL("LFlush by node ", by, " cannot drain: "
+                       "cache-to-cache propagation is disabled");
+        state_.setCache(by, x, kBottom);
+        state_.setCache(k, x, v);
+    }
+    clockNs_ += cost_.flushHop;
+}
+
+void
+CxlSystem::drainLineLocked(Addr x)
+{
+    // Perform the tau steps an RFlush blocks on: every cached copy of
+    // x propagates to the owner's memory.
+    NodeId k = config().ownerOf(x);
+    for (NodeId i = 0; i < config().numNodes(); ++i) {
+        if (i == k || !state_.cacheValid(i, x))
+            continue;
+        if (!model_.restrictions().allowCacheToCache)
+            CXL0_FATAL("RFlush cannot drain x", x, ": cache-to-cache "
+                       "propagation is disabled");
+        Value v = state_.cache(i, x);
+        state_.setCache(i, x, kBottom);
+        state_.setCache(k, x, v);
+        clockNs_ += cost_.flushHop;
+    }
+    if (state_.cacheValid(k, x)) {
+        Value v = state_.cache(k, x);
+        state_.invalidateEverywhere(x);
+        state_.setMemory(x, v);
+        clockNs_ += cost_.flushHop;
+    }
+}
+
+Value
+CxlSystem::readCurrentLocked(NodeId by, Addr x, double *cost)
+{
+    // Resolve the value a load observes, performing forced drains when
+    // the variant blocks the load (LWB / no-remote-serve settings).
+    auto v = model_.loadable(state_, by, x);
+    if (!v) {
+        drainLineLocked(x);
+        v = model_.loadable(state_, by, x);
+        CXL0_ASSERT(v, "load still blocked after full drain");
+    }
+    if (cost) {
+        NodeId k = config().ownerOf(x);
+        if (state_.cacheValid(by, x))
+            *cost = cost_.loadLocalCache;
+        else if (state_.cachedAnywhere(x))
+            *cost = cost_.loadRemoteCache;
+        else
+            *cost = (by == k) ? cost_.loadLocalMem : cost_.loadRemoteMem;
+    }
+    return *v;
+}
+
+void
+CxlSystem::applyLoadEffectLocked(NodeId by, Addr x, Value v)
+{
+    // LOAD-from-C copies the value into the issuer's cache; under LWB
+    // (or no-remote-serve) loads never mutate the state; LOAD-from-M
+    // has no effect either.
+    bool own_only = (model_.variant() == model::ModelVariant::Lwb) ||
+                    !model_.restrictions().serveLoadFromRemoteCache;
+    if (own_only)
+        return;
+    if (state_.cachedAnywhere(x))
+        state_.setCache(by, x, v);
+}
+
+Value
+CxlSystem::load(NodeId by, Addr x)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    requireAllowed(by, Op::Load);
+    double cost = 0.0;
+    Value v = readCurrentLocked(by, x, &cost);
+    applyLoadEffectLocked(by, x, v);
+    chargeLocked(cost);
+    maybeEvictLocked();
+    return v;
+}
+
+void
+CxlSystem::applyStoreLocked(Op op, NodeId by, Addr x, Value v)
+{
+    requireAllowed(by, op);
+    NodeId k = config().ownerOf(x);
+    switch (op) {
+      case Op::LStore:
+        state_.setCache(by, x, v);
+        state_.invalidateOthers(by, x);
+        break;
+      case Op::RStore:
+        state_.setCache(k, x, v);
+        state_.invalidateOthers(k, x);
+        break;
+      case Op::MStore:
+        state_.setMemory(x, v);
+        state_.invalidateEverywhere(x);
+        break;
+      default:
+        CXL0_PANIC("not a store flavour");
+    }
+}
+
+void
+CxlSystem::lstore(NodeId by, Addr x, Value v)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    applyStoreLocked(Op::LStore, by, x, v);
+    chargeLocked(cost_.lstore);
+    if (policy_ == PropagationPolicy::Eager)
+        drainLineLocked(x);
+    maybeEvictLocked();
+}
+
+void
+CxlSystem::rstore(NodeId by, Addr x, Value v)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    applyStoreLocked(Op::RStore, by, x, v);
+    chargeLocked(by == config().ownerOf(x) ? cost_.rstoreLocal
+                                           : cost_.rstoreRemote);
+    if (policy_ == PropagationPolicy::Eager)
+        drainLineLocked(x);
+    maybeEvictLocked();
+}
+
+void
+CxlSystem::mstore(NodeId by, Addr x, Value v)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    applyStoreLocked(Op::MStore, by, x, v);
+    chargeLocked(by == config().ownerOf(x) ? cost_.mstoreLocal
+                                           : cost_.mstoreRemote);
+    maybeEvictLocked();
+}
+
+void
+CxlSystem::lflush(NodeId by, Addr x)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    requireAllowed(by, Op::LFlush);
+    drainIssuerLineLocked(by, x);
+    chargeLocked(0.0);
+}
+
+void
+CxlSystem::rflush(NodeId by, Addr x)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    requireAllowed(by, Op::RFlush);
+    drainLineLocked(x);
+    chargeLocked(cost_.rflushConfirm);
+}
+
+void
+CxlSystem::rflushAsync(NodeId by, Addr x)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    requireAllowed(by, Op::RFlush);
+    pendingFlush_[by].push_back(x);
+    chargeLocked(cost_.asyncFlushIssue);
+}
+
+void
+CxlSystem::fence(NodeId by)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (pendingFlush_[by].empty()) {
+        chargeLocked(0.0);
+        return;
+    }
+    for (Addr x : pendingFlush_[by])
+        drainLineLocked(x);
+    pendingFlush_[by].clear();
+    // One confirmation round trip covers the whole batch — the
+    // amortization CLFLUSHOPT + SFENCE gives on x86 (§3.2).
+    chargeLocked(cost_.rflushConfirm);
+}
+
+size_t
+CxlSystem::pendingAsyncFlushes(NodeId by) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return pendingFlush_[by].size();
+}
+
+void
+CxlSystem::gpf(NodeId by)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    requireAllowed(by, Op::Gpf);
+    size_t drained = 0;
+    for (Addr x = 0; x < config().numAddrs(); ++x) {
+        if (state_.cachedAnywhere(x)) {
+            drainLineLocked(x);
+            ++drained;
+        }
+    }
+    chargeLocked(cost_.gpfPerLine * static_cast<double>(drained));
+}
+
+RmwResult
+CxlSystem::casImpl(Op store_flavour, NodeId by, Addr x, Value expected,
+                   Value desired, double store_cost)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    Op rmw_op = store_flavour == Op::LStore  ? Op::LRmw
+                : store_flavour == Op::RStore ? Op::RRmw
+                                              : Op::MRmw;
+    double cost = 0.0;
+    Value cur = readCurrentLocked(by, x, &cost);
+    if (cur != expected) {
+        // Failed CAS == plain read (§3.3).
+        requireAllowed(by, Op::Load);
+        applyLoadEffectLocked(by, x, cur);
+        chargeLocked(cost + cost_.rmwExtra);
+        return RmwResult{false, cur};
+    }
+    requireAllowed(by, rmw_op);
+    applyStoreLocked(store_flavour, by, x, desired);
+    chargeLocked(cost + store_cost + cost_.rmwExtra);
+    maybeEvictLocked();
+    return RmwResult{true, cur};
+}
+
+RmwResult
+CxlSystem::casL(NodeId by, Addr x, Value expected, Value desired)
+{
+    return casImpl(Op::LStore, by, x, expected, desired, cost_.lstore);
+}
+
+RmwResult
+CxlSystem::casR(NodeId by, Addr x, Value expected, Value desired)
+{
+    return casImpl(Op::RStore, by, x, expected, desired,
+                   by == config().ownerOf(x) ? cost_.rstoreLocal
+                                             : cost_.rstoreRemote);
+}
+
+RmwResult
+CxlSystem::casM(NodeId by, Addr x, Value expected, Value desired)
+{
+    return casImpl(Op::MStore, by, x, expected, desired,
+                   by == config().ownerOf(x) ? cost_.mstoreLocal
+                                             : cost_.mstoreRemote);
+}
+
+Value
+CxlSystem::faaImpl(Op store_flavour, NodeId by, Addr x, Value delta,
+                   double store_cost)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    Op rmw_op = store_flavour == Op::LStore  ? Op::LRmw
+                : store_flavour == Op::RStore ? Op::RRmw
+                                              : Op::MRmw;
+    requireAllowed(by, rmw_op);
+    double cost = 0.0;
+    Value cur = readCurrentLocked(by, x, &cost);
+    applyStoreLocked(store_flavour, by, x, cur + delta);
+    chargeLocked(cost + store_cost + cost_.rmwExtra);
+    maybeEvictLocked();
+    return cur;
+}
+
+Value
+CxlSystem::faaL(NodeId by, Addr x, Value delta)
+{
+    return faaImpl(Op::LStore, by, x, delta, cost_.lstore);
+}
+
+Value
+CxlSystem::faaR(NodeId by, Addr x, Value delta)
+{
+    return faaImpl(Op::RStore, by, x, delta,
+                   by == config().ownerOf(x) ? cost_.rstoreLocal
+                                             : cost_.rstoreRemote);
+}
+
+Value
+CxlSystem::faaM(NodeId by, Addr x, Value delta)
+{
+    return faaImpl(Op::MStore, by, x, delta,
+                   by == config().ownerOf(x) ? cost_.mstoreLocal
+                                             : cost_.mstoreRemote);
+}
+
+void
+CxlSystem::crash(NodeId node)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (node >= config().numNodes())
+        CXL0_FATAL("crash on unknown node ", node);
+    state_.clearCache(node);
+    bool poison = model_.variant() == model::ModelVariant::Psn;
+    bool volatile_mem = !config().isPersistent(node);
+    if (volatile_mem || poison) {
+        for (Addr x = 0; x < config().numAddrs(); ++x) {
+            if (config().ownerOf(x) != node)
+                continue;
+            if (volatile_mem)
+                state_.setMemory(x, kInitValue);
+            if (poison)
+                state_.invalidateEverywhere(x);
+        }
+    }
+    // Unfenced async flushes die with the machine, exactly like
+    // unretired CLFLUSHOPTs on a crash.
+    pendingFlush_[node].clear();
+    epoch_[node] += 1;
+}
+
+uint64_t
+CxlSystem::epoch(NodeId node) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return epoch_[node];
+}
+
+void
+CxlSystem::evictOne()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    // Force one eviction regardless of policy (testing hook).
+    std::vector<std::pair<NodeId, Addr>> candidates;
+    for (NodeId i = 0; i < config().numNodes(); ++i)
+        for (Addr x = 0; x < config().numAddrs(); ++x)
+            if (state_.cacheValid(i, x))
+                candidates.emplace_back(i, x);
+    if (candidates.empty())
+        return;
+    auto [i, x] = candidates[rng_.nextBelow(candidates.size())];
+    evictEntryLocked(i, x);
+}
+
+void
+CxlSystem::evictCacheOf(NodeId node)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    for (Addr x = 0; x < config().numAddrs(); ++x) {
+        if (!state_.cacheValid(node, x))
+            continue;
+        evictEntryLocked(node, x);
+    }
+}
+
+void
+CxlSystem::drainAll()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    for (Addr x = 0; x < config().numAddrs(); ++x)
+        drainLineLocked(x);
+}
+
+Value
+CxlSystem::peekCache(NodeId node, Addr x) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return state_.cache(node, x);
+}
+
+Value
+CxlSystem::peekMemory(Addr x) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return state_.memory(x);
+}
+
+bool
+CxlSystem::invariantHolds() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return state_.invariantHolds();
+}
+
+double
+CxlSystem::clockNs() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return clockNs_;
+}
+
+uint64_t
+CxlSystem::opCount() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return opCount_;
+}
+
+} // namespace cxl0::runtime

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * CxlSystem: an executable CXL0 machine.
+ *
+ * This is the runtime a program links against to *run* on the CXL0
+ * model rather than model-check it: a NUMA-style emulation in which
+ * each node's memory is an arena, every CXL0 primitive is an atomic
+ * step with exactly the semantics of model::Cxl0Model, propagation is
+ * driven by a seeded policy (or manually by tests), crashes can be
+ * injected at any moment, and every operation charges simulated
+ * nanoseconds from a cost model.
+ *
+ * Blocking primitives (LFlush/RFlush/GPF and LWB-blocked loads) are
+ * realized by *performing* the propagation steps they wait for, which
+ * is observationally equivalent to blocking until the nondeterministic
+ * tau steps happen (§3.3's MFENCE analogy).
+ */
+
+#ifndef CXL0_RUNTIME_SYSTEM_HH
+#define CXL0_RUNTIME_SYSTEM_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "model/semantics.hh"
+#include "runtime/cost.hh"
+
+namespace cxl0::runtime
+{
+
+/** How cache lines drain without explicit flushes. */
+enum class PropagationPolicy
+{
+    Manual, //!< only flushes and explicit evict calls propagate
+    Random, //!< each operation may trigger seeded random evictions
+    Eager,  //!< every store drains to memory immediately
+};
+
+/** Result of an RMW operation. */
+struct RmwResult
+{
+    bool success = false;
+    Value previous = 0;
+};
+
+/** Construction options. */
+struct SystemOptions
+{
+    model::SystemConfig config;
+    model::ModelVariant variant = model::ModelVariant::Base;
+    /** Primitive availability (§4 topologies); default unrestricted. */
+    model::Restrictions restrictions;
+    PropagationPolicy policy = PropagationPolicy::Random;
+    /** Eviction probability numerator (out of 100) per operation. */
+    unsigned evictionChancePct = 10;
+    uint64_t seed = 1;
+    CostModel cost = CostModel::calibrated();
+
+    explicit SystemOptions(model::SystemConfig cfg)
+        : config(std::move(cfg))
+    {
+    }
+
+    /** Build options straight from a (possibly restricted) model. */
+    static SystemOptions
+    fromModel(const model::Cxl0Model &m)
+    {
+        SystemOptions o(m.config());
+        o.variant = m.variant();
+        o.restrictions = m.restrictions();
+        return o;
+    }
+};
+
+/**
+ * The executable system. Thread-safe: every primitive is one atomic
+ * step under an internal lock, matching the model's step granularity.
+ */
+class CxlSystem
+{
+  public:
+    explicit CxlSystem(SystemOptions options);
+
+    const model::SystemConfig &config() const { return model_.config(); }
+    model::ModelVariant variant() const { return model_.variant(); }
+
+    /**
+     * Allocate one fresh cell owned by `owner`. Cells are
+     * zero-initialized (the model's initial value). Throws when the
+     * owner's arena (fixed by config) is exhausted.
+     */
+    Addr allocate(NodeId owner);
+
+    /** Number of cells still available on `owner`. */
+    size_t freeCells(NodeId owner) const;
+
+    // CXL0 primitives (§3.2). `by` is the issuing machine.
+    Value load(NodeId by, Addr x);
+    void lstore(NodeId by, Addr x, Value v);
+    void rstore(NodeId by, Addr x, Value v);
+    void mstore(NodeId by, Addr x, Value v);
+    void lflush(NodeId by, Addr x);
+    void rflush(NodeId by, Addr x);
+    void gpf(NodeId by);
+
+    /**
+     * Asynchronous remote flush (the CLFLUSHOPT/DC.CVAP analogue the
+     * paper notes CXL lacks, §3.2): marks x for persistence but
+     * guarantees nothing until the issuer's next fence(). Pending
+     * marks die with the issuing machine (like unretired CLFLUSHOPTs).
+     */
+    void rflushAsync(NodeId by, Addr x);
+
+    /**
+     * Ordering fence (SFENCE analogue): blocks until every address
+     * the issuer marked with rflushAsync has reached its owner's
+     * memory. Amortizes the persistence confirmation over the batch.
+     */
+    void fence(NodeId by);
+
+    /** Pending async flushes of a node (testing/bench hook). */
+    size_t pendingAsyncFlushes(NodeId by) const;
+
+    // RMW primitives (§3.3). cas* succeed iff the current value equals
+    // `expected`; a failed CAS behaves as a plain read.
+    RmwResult casL(NodeId by, Addr x, Value expected, Value desired);
+    RmwResult casR(NodeId by, Addr x, Value expected, Value desired);
+    RmwResult casM(NodeId by, Addr x, Value expected, Value desired);
+    Value faaL(NodeId by, Addr x, Value delta);
+    Value faaR(NodeId by, Addr x, Value delta);
+    Value faaM(NodeId by, Addr x, Value delta);
+
+    /**
+     * Crash machine `node`: its cache empties, volatile memory
+     * zeroes, and (PSN) its lines poison everywhere. Increments the
+     * node's epoch so threads can detect they were killed.
+     */
+    void crash(NodeId node);
+
+    /** Times `node` has crashed. */
+    uint64_t epoch(NodeId node) const;
+
+    /** Force one random eviction step (testing hook). */
+    void evictOne();
+
+    /**
+     * Move every line in `node`'s cache one propagation hop (toward
+     * the owner's cache, or to memory when `node` owns it). Testing
+     * hook for constructing worst-case crash scenarios.
+     */
+    void evictCacheOf(NodeId node);
+
+    /** Drain every cache line to its owner's memory. */
+    void drainAll();
+
+    /** Inspection for tests: current cached value or kBottom. */
+    Value peekCache(NodeId node, Addr x) const;
+    /** Inspection for tests: current memory value. */
+    Value peekMemory(Addr x) const;
+    /** The model invariant (should always hold). */
+    bool invariantHolds() const;
+
+    /** Simulated nanoseconds charged so far. */
+    double clockNs() const;
+    /** Count of primitives executed (loads+stores+flushes+RMWs). */
+    uint64_t opCount() const;
+
+  private:
+    // All private helpers assume mu_ is held.
+    void requireAllowed(NodeId by, model::Op op) const;
+    void evictEntryLocked(NodeId i, Addr x);
+    void maybeEvictLocked();
+    void drainLineLocked(Addr x);
+    void drainIssuerLineLocked(NodeId by, Addr x);
+    Value readCurrentLocked(NodeId by, Addr x, double *cost);
+    void applyLoadEffectLocked(NodeId by, Addr x, Value v);
+    void applyStoreLocked(model::Op op, NodeId by, Addr x, Value v);
+    RmwResult casImpl(model::Op store_flavour, NodeId by, Addr x,
+                      Value expected, Value desired, double store_cost);
+    Value faaImpl(model::Op store_flavour, NodeId by, Addr x,
+                  Value delta, double store_cost);
+    void chargeLocked(double ns);
+
+    model::Cxl0Model model_;
+    PropagationPolicy policy_;
+    unsigned evictionChancePct_;
+    CostModel cost_;
+
+    mutable std::mutex mu_;
+    model::State state_;
+    Rng rng_;
+    std::vector<std::vector<Addr>> freeList_;
+    std::vector<std::vector<Addr>> pendingFlush_;
+    std::vector<uint64_t> epoch_;
+    double clockNs_ = 0.0;
+    uint64_t opCount_ = 0;
+};
+
+} // namespace cxl0::runtime
+
+#endif // CXL0_RUNTIME_SYSTEM_HH

@@ -1,0 +1,44 @@
+#include "sim/analyzer.hh"
+
+namespace cxl0::sim
+{
+
+void
+ProtocolAnalyzer::record(Channel channel, Transaction type)
+{
+    trace_.push_back(ObservedTransaction{channel, type});
+}
+
+size_t
+ProtocolAnalyzer::count() const
+{
+    size_t n = 0;
+    for (const ObservedTransaction &t : trace_)
+        if (t.type != Transaction::None)
+            ++n;
+    return n;
+}
+
+void
+ProtocolAnalyzer::clear()
+{
+    trace_.clear();
+}
+
+std::map<Transaction, size_t>
+ProtocolAnalyzer::histogram() const
+{
+    std::map<Transaction, size_t> h;
+    for (const ObservedTransaction &t : trace_)
+        if (t.type != Transaction::None)
+            ++h[t.type];
+    return h;
+}
+
+std::string
+ProtocolAnalyzer::describe() const
+{
+    return describeTransactions(trace_);
+}
+
+} // namespace cxl0::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulated protocol analyzer (the Teledyne LeCroy T516's role in §5).
+ *
+ * The analyzer passively records every transaction crossing the
+ * simulated link. Benchmarks use it to regenerate Table 1: run one
+ * CXL0 primitive from a prepared coherence state, then ask what was
+ * observed on the wire.
+ */
+
+#ifndef CXL0_SIM_ANALYZER_HH
+#define CXL0_SIM_ANALYZER_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/transaction.hh"
+
+namespace cxl0::sim
+{
+
+/** Passive capture buffer for link transactions. */
+class ProtocolAnalyzer
+{
+  public:
+    /** Record one transaction (called by the fabric). */
+    void record(Channel channel, Transaction type);
+
+    /** Transactions captured since the last clear, in order. */
+    const std::vector<ObservedTransaction> &capture() const
+    {
+        return trace_;
+    }
+
+    /** Number of captured transactions (None entries excluded). */
+    size_t count() const;
+
+    /** Clear the capture buffer (start a new observation window). */
+    void clear();
+
+    /** Histogram of transaction types over the whole capture. */
+    std::map<Transaction, size_t> histogram() const;
+
+    /** Render the capture like Table 1's cells. */
+    std::string describe() const;
+
+  private:
+    std::vector<ObservedTransaction> trace_;
+};
+
+} // namespace cxl0::sim
+
+#endif // CXL0_SIM_ANALYZER_HH

@@ -1,0 +1,454 @@
+#include "sim/fabric.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::sim
+{
+
+const char *
+cacheStateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::M: return "M";
+      case CacheState::E: return "E";
+      case CacheState::S: return "S";
+      case CacheState::I: return "I";
+    }
+    return "?";
+}
+
+const char *
+agentName(AgentKind k)
+{
+    return k == AgentKind::Host ? "Host" : "Device";
+}
+
+const char *
+memKindName(MemKind k)
+{
+    return k == MemKind::HM ? "HM" : "HDM";
+}
+
+const char *
+biasModeName(BiasMode b)
+{
+    return b == BiasMode::HostBias ? "host-bias" : "device-bias";
+}
+
+FabricSim::FabricSim(FabricConfig cfg)
+    : cfg_(cfg), lines_(cfg.numHmLines + cfg.numHdmLines),
+      rng_(cfg.rngSeed)
+{
+    if (lines_.empty())
+        CXL0_FATAL("fabric needs at least one line");
+}
+
+LineInfo &
+FabricSim::line(Addr x)
+{
+    if (x >= lines_.size())
+        CXL0_FATAL("address ", x, " out of range (", lines_.size(),
+                   " lines)");
+    return lines_[x];
+}
+
+const LineInfo &
+FabricSim::line(Addr x) const
+{
+    if (x >= lines_.size())
+        CXL0_FATAL("address ", x, " out of range (", lines_.size(),
+                   " lines)");
+    return lines_[x];
+}
+
+MemKind
+FabricSim::memKindOf(Addr x) const
+{
+    return x < cfg_.numHmLines ? MemKind::HM : MemKind::HDM;
+}
+
+AccessCategory
+FabricSim::categoryOf(AgentKind agent, Addr x) const
+{
+    if (agent == AgentKind::Host) {
+        return memKindOf(x) == MemKind::HM ? AccessCategory::HostToHM
+                                           : AccessCategory::HostToHDM;
+    }
+    if (memKindOf(x) == MemKind::HM)
+        return AccessCategory::DevToHM;
+    return line(x).bias == BiasMode::HostBias
+               ? AccessCategory::DevToHDMHostBias
+               : AccessCategory::DevToHDMDevBias;
+}
+
+double
+FabricSim::charge(AgentKind agent, Addr x, MeasuredPrimitive p)
+{
+    double ns = latency_.sample(categoryOf(agent, x), p, rng_);
+    clock_ += ns;
+    return ns;
+}
+
+void
+FabricSim::emit(Channel c, Transaction t)
+{
+    analyzer_.record(c, t);
+}
+
+void
+FabricSim::snoopInvalidate(AgentKind requester, Addr x)
+{
+    LineInfo &l = line(x);
+    if (requester == AgentKind::Host) {
+        if (l.device != CacheState::I) {
+            emit(Channel::CacheH2D, Transaction::SnpInv);
+            if (l.device == CacheState::M)
+                l.memValue = l.latest; // dirty snoop writes back
+            l.device = CacheState::I;
+        }
+    } else {
+        if (l.host != CacheState::I) {
+            if (l.host == CacheState::M)
+                l.memValue = l.latest;
+            l.host = CacheState::I;
+        }
+    }
+}
+
+double
+FabricSim::read(AgentKind agent, Addr x, Value *out)
+{
+    LineInfo &l = line(x);
+    MemKind mem = memKindOf(x);
+
+    if (agent == AgentKind::Host) {
+        if (mem == MemKind::HM) {
+            // Table 1: (*, I) -> None; otherwise H2D SnpInv.
+            if (l.device != CacheState::I) {
+                emit(Channel::CacheH2D, Transaction::SnpInv);
+                if (l.device == CacheState::M)
+                    l.memValue = l.latest;
+                l.device = CacheState::I;
+                l.host = CacheState::E;
+            } else if (l.host == CacheState::I) {
+                l.host = CacheState::E; // silent fill from local DRAM
+            }
+        } else {
+            // HDM: (I, *) -> MemRdData; else None. A writable device
+            // copy is downgraded to shared (dirty data written back).
+            if (l.host == CacheState::I) {
+                emit(Channel::MemM2S, Transaction::MemRdData);
+                if (l.device == CacheState::M)
+                    l.memValue = l.latest;
+                if (l.device == CacheState::M ||
+                    l.device == CacheState::E) {
+                    l.device = CacheState::S;
+                }
+                l.host = CacheState::S;
+            }
+        }
+    } else { // Device
+        if (mem == MemKind::HM) {
+            if (l.device == CacheState::I) {
+                emit(Channel::CacheD2H, Transaction::RdShared);
+                if (l.host == CacheState::M) {
+                    l.memValue = l.latest;
+                    l.host = CacheState::S;
+                } else if (l.host == CacheState::E) {
+                    l.host = CacheState::S;
+                }
+                l.device = CacheState::S;
+            }
+        } else if (l.bias == BiasMode::HostBias) {
+            if (l.device == CacheState::I) {
+                emit(Channel::CacheD2H, Transaction::RdShared);
+                if (l.host == CacheState::M) {
+                    l.memValue = l.latest;
+                    l.host = CacheState::S;
+                } else if (l.host == CacheState::E) {
+                    l.host = CacheState::S;
+                }
+                l.device = CacheState::S;
+            }
+        } else {
+            // Device-bias: direct access, no link traffic.
+            if (l.device == CacheState::I)
+                l.device = CacheState::E;
+        }
+    }
+
+    if (out)
+        *out = l.latest;
+    CXL0_ASSERT(coherenceInvariantHolds(), "read broke coherence");
+    return charge(agent, x, MeasuredPrimitive::Read);
+}
+
+double
+FabricSim::lstore(AgentKind agent, Addr x, Value v)
+{
+    LineInfo &l = line(x);
+    MemKind mem = memKindOf(x);
+
+    if (agent == AgentKind::Host) {
+        if (mem == MemKind::HM) {
+            // Table 1: None when the device has no copy, else SnpInv.
+            if (l.host != CacheState::M && l.host != CacheState::E)
+                snoopInvalidate(AgentKind::Host, x);
+            l.host = CacheState::M;
+        } else {
+            // HDM: I -> MemRdData (RFO); S -> MemRd (upgrade);
+            // E/M -> None.
+            if (l.host == CacheState::I)
+                emit(Channel::MemM2S, Transaction::MemRdData);
+            else if (l.host == CacheState::S)
+                emit(Channel::MemM2S, Transaction::MemRd);
+            l.host = CacheState::M;
+            l.device = CacheState::I; // host-managed coherence
+        }
+    } else { // Device caching write
+        if (mem == MemKind::HM) {
+            if (l.device != CacheState::M && l.device != CacheState::E) {
+                emit(Channel::CacheD2H, Transaction::RdOwn);
+                snoopInvalidate(AgentKind::Device, x);
+            }
+            l.device = CacheState::M;
+        } else if (l.bias == BiasMode::HostBias) {
+            if (l.device != CacheState::M && l.device != CacheState::E) {
+                emit(Channel::CacheD2H, Transaction::RdOwn);
+                snoopInvalidate(AgentKind::Device, x);
+            }
+            l.device = CacheState::M;
+        } else {
+            snoopInvalidate(AgentKind::Device, x);
+            l.device = CacheState::M;
+        }
+    }
+
+    l.latest = v;
+    CXL0_ASSERT(coherenceInvariantHolds(), "lstore broke coherence");
+    return charge(agent, x, MeasuredPrimitive::LStore);
+}
+
+double
+FabricSim::rstore(AgentKind agent, Addr x, Value v)
+{
+    if (agent == AgentKind::Host) {
+        // §5.1: no x86 instruction sequence generates an RStore.
+        CXL0_FATAL("RStore is not generatable from the host (Table 1)");
+    }
+    LineInfo &l = line(x);
+    MemKind mem = memKindOf(x);
+
+    if (mem == MemKind::HM) {
+        // Push the write into the host's coherence domain.
+        emit(Channel::CacheD2H, Transaction::ItoMWr);
+        if (l.device == CacheState::M)
+            l.memValue = l.latest;
+        l.device = CacheState::I;
+        l.host = CacheState::M;
+    } else {
+        // The device owns HDM: RStore coincides with LStore
+        // (Proposition 1 item 2). Table 1 lists "Caching Write".
+        if (l.bias == BiasMode::HostBias &&
+            l.device != CacheState::M && l.device != CacheState::E) {
+            emit(Channel::CacheD2H, Transaction::RdOwn);
+        }
+        snoopInvalidate(AgentKind::Device, x);
+        l.device = CacheState::M;
+    }
+
+    l.latest = v;
+    CXL0_ASSERT(coherenceInvariantHolds(), "rstore broke coherence");
+    return charge(agent, x, MeasuredPrimitive::RStore);
+}
+
+double
+FabricSim::mstore(AgentKind agent, Addr x, Value v)
+{
+    LineInfo &l = line(x);
+    MemKind mem = memKindOf(x);
+
+    if (agent == AgentKind::Host) {
+        if (mem == MemKind::HM) {
+            // Non-temporal store + fence: unconditional snoop.
+            emit(Channel::CacheH2D, Transaction::SnpInv);
+            l.device = CacheState::I;
+            l.host = CacheState::I;
+        } else {
+            emit(Channel::MemM2S, Transaction::MemWr);
+            l.host = CacheState::I;
+            l.device = CacheState::I;
+        }
+    } else { // Device: caching write + CLFlush
+        if (mem == MemKind::HM) {
+            switch (l.device) {
+              case CacheState::I:
+              case CacheState::S:
+                emit(Channel::CacheD2H, Transaction::RdOwn);
+                snoopInvalidate(AgentKind::Device, x);
+                emit(Channel::CacheD2H, Transaction::DirtyEvict);
+                break;
+              case CacheState::E:
+                emit(Channel::CacheD2H, Transaction::WOWrInvF);
+                break;
+              case CacheState::M:
+                emit(Channel::CacheD2H, Transaction::WrInv);
+                break;
+            }
+            l.device = CacheState::I;
+            l.host = CacheState::I;
+        } else if (l.bias == BiasMode::HostBias) {
+            // Table 1: "None, MemRd" — the host's copy must be
+            // recalled before the device write reaches memory.
+            if (l.host != CacheState::I) {
+                emit(Channel::MemM2S, Transaction::MemRd);
+                if (l.host == CacheState::M)
+                    l.memValue = l.latest;
+                l.host = CacheState::I;
+            }
+            l.device = CacheState::I;
+        } else {
+            snoopInvalidate(AgentKind::Device, x);
+            l.device = CacheState::I;
+        }
+    }
+
+    l.latest = v;
+    l.memValue = v;
+    CXL0_ASSERT(coherenceInvariantHolds(), "mstore broke coherence");
+    return charge(agent, x, MeasuredPrimitive::MStore);
+}
+
+double
+FabricSim::lflush(AgentKind agent, Addr x)
+{
+    (void)x;
+    // §5.1: neither the CPU nor the FPGA IP can issue an LFlush; the
+    // primitive exists in CXL0 but not on CXL 1.1 silicon.
+    CXL0_FATAL("LFlush is not generatable from the ", agentName(agent),
+               " (Table 1)");
+}
+
+double
+FabricSim::rflush(AgentKind agent, Addr x)
+{
+    LineInfo &l = line(x);
+    MemKind mem = memKindOf(x);
+
+    if (agent == AgentKind::Host) {
+        if (mem == MemKind::HM) {
+            // CLFlush: None when the device has no copy, else SnpInv.
+            if (l.device != CacheState::I) {
+                emit(Channel::CacheH2D, Transaction::SnpInv);
+                if (l.device == CacheState::M)
+                    l.memValue = l.latest;
+                l.device = CacheState::I;
+            }
+            if (l.host == CacheState::M)
+                l.memValue = l.latest;
+            l.host = CacheState::I;
+        } else {
+            switch (l.host) {
+              case CacheState::M:
+                emit(Channel::MemM2S, Transaction::MemWr);
+                l.memValue = l.latest;
+                break;
+              case CacheState::E:
+              case CacheState::S:
+                emit(Channel::MemM2S, Transaction::MemInv);
+                break;
+              case CacheState::I:
+                break;
+            }
+            l.host = CacheState::I;
+        }
+    } else { // Device CLFlush
+        if (mem == MemKind::HM) {
+            switch (l.device) {
+              case CacheState::M:
+                emit(Channel::CacheD2H, Transaction::DirtyEvict);
+                l.memValue = l.latest;
+                break;
+              case CacheState::E:
+              case CacheState::S:
+                emit(Channel::CacheD2H, Transaction::CleanEvict);
+                break;
+              case CacheState::I:
+                break;
+            }
+            l.device = CacheState::I;
+        } else if (l.bias == BiasMode::HostBias) {
+            // Table 1: "None, MemRd" — recall the host's copy, then
+            // the local writeback needs no link traffic.
+            if (l.host != CacheState::I) {
+                emit(Channel::MemM2S, Transaction::MemRd);
+                if (l.host == CacheState::M)
+                    l.memValue = l.latest;
+                l.host = CacheState::I;
+            }
+            if (l.device == CacheState::M)
+                l.memValue = l.latest;
+            l.device = CacheState::I;
+        } else {
+            if (l.device == CacheState::M)
+                l.memValue = l.latest;
+            l.device = CacheState::I;
+        }
+    }
+
+    CXL0_ASSERT(coherenceInvariantHolds(), "rflush broke coherence");
+    return charge(agent, x, MeasuredPrimitive::RFlush);
+}
+
+bool
+FabricSim::primitiveAvailable(AgentKind agent, MeasuredPrimitive p)
+{
+    if (p == MeasuredPrimitive::LFlush)
+        return false;
+    if (p == MeasuredPrimitive::RStore && agent == AgentKind::Host)
+        return false;
+    return true;
+}
+
+void
+FabricSim::setBias(Addr x, BiasMode mode)
+{
+    if (memKindOf(x) != MemKind::HDM)
+        CXL0_FATAL("bias modes apply to HDM lines only");
+    line(x).bias = mode;
+}
+
+void
+FabricSim::setLineState(Addr x, CacheState host, CacheState device)
+{
+    bool host_writable =
+        host == CacheState::M || host == CacheState::E;
+    bool dev_writable =
+        device == CacheState::M || device == CacheState::E;
+    if (host_writable && device != CacheState::I)
+        CXL0_FATAL("illegal MESI pair ", cacheStateName(host), "/",
+                   cacheStateName(device));
+    if (dev_writable && host != CacheState::I)
+        CXL0_FATAL("illegal MESI pair ", cacheStateName(host), "/",
+                   cacheStateName(device));
+    line(x).host = host;
+    line(x).device = device;
+}
+
+bool
+FabricSim::coherenceInvariantHolds() const
+{
+    for (const LineInfo &l : lines_) {
+        bool host_writable =
+            l.host == CacheState::M || l.host == CacheState::E;
+        bool dev_writable =
+            l.device == CacheState::M || l.device == CacheState::E;
+        if (host_writable && l.device != CacheState::I)
+            return false;
+        if (dev_writable && l.host != CacheState::I)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cxl0::sim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Simulated host + Type-2 device CXL fabric (paper §5's testbed).
+ *
+ * The fabric keeps MESI coherence state for both agents on every cache
+ * line, generates the CXL.cache / CXL.mem transactions of Table 1 on
+ * each CXL0 primitive, records them in the protocol analyzer, and
+ * charges latency from the calibrated model. Addresses below
+ * numHmLines are host-attached memory (HM); the rest are host-managed
+ * device memory (HDM) with a per-line bias mode.
+ */
+
+#ifndef CXL0_SIM_FABRIC_HH
+#define CXL0_SIM_FABRIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/analyzer.hh"
+#include "sim/latency.hh"
+
+namespace cxl0::sim
+{
+
+/** The two agents of the host-device pairing. */
+enum class AgentKind
+{
+    Host,
+    Device,
+};
+
+/** Memory targets as Table 1 distinguishes them. */
+enum class MemKind
+{
+    HM,  //!< host-attached memory
+    HDM, //!< host-managed device memory
+};
+
+/** Bias modes for HDM pages (§2.1). */
+enum class BiasMode
+{
+    HostBias,
+    DeviceBias,
+};
+
+/** MESI state of one line in one agent's cache. */
+enum class CacheState
+{
+    M,
+    E,
+    S,
+    I,
+};
+
+/** One-letter name ("M"/"E"/"S"/"I"). */
+const char *cacheStateName(CacheState s);
+/** Display name ("Host"/"Device"). */
+const char *agentName(AgentKind k);
+/** Display name ("HM"/"HDM"). */
+const char *memKindName(MemKind k);
+/** Display name ("host-bias"/"device-bias"). */
+const char *biasModeName(BiasMode b);
+
+/** Per-line simulator bookkeeping. */
+struct LineInfo
+{
+    CacheState host = CacheState::I;
+    CacheState device = CacheState::I;
+    BiasMode bias = BiasMode::HostBias; //!< meaningful for HDM lines
+    Value latest = kInitValue;          //!< newest value anywhere
+    Value memValue = kInitValue;        //!< value in backing memory
+};
+
+/** Fabric configuration. */
+struct FabricConfig
+{
+    size_t numHmLines = 8;
+    size_t numHdmLines = 8;
+    uint64_t rngSeed = 1;
+};
+
+/**
+ * The simulated link + two coherent agents. All operations return the
+ * charged latency in nanoseconds and leave a transaction capture in
+ * the analyzer.
+ */
+class FabricSim
+{
+  public:
+    explicit FabricSim(FabricConfig cfg = FabricConfig{});
+
+    size_t numLines() const { return lines_.size(); }
+
+    /** Whether addr belongs to host-managed device memory. */
+    MemKind memKindOf(Addr x) const;
+
+    /** Which Fig. 5 access category an (agent, addr) pair falls in. */
+    AccessCategory categoryOf(AgentKind agent, Addr x) const;
+
+    /** CXL0 Read. */
+    double read(AgentKind agent, Addr x, Value *out = nullptr);
+
+    /** CXL0 LStore (store into the agent's own cache). */
+    double lstore(AgentKind agent, Addr x, Value v);
+
+    /**
+     * CXL0 RStore. Unavailable from the host (Table 1 "???"):
+     * throws std::invalid_argument when agent == Host.
+     */
+    double rstore(AgentKind agent, Addr x, Value v);
+
+    /** CXL0 MStore (persist before completing). */
+    double mstore(AgentKind agent, Addr x, Value v);
+
+    /**
+     * CXL0 LFlush: unavailable from either side under CXL 1.1
+     * (Table 1 "???"); always throws std::invalid_argument.
+     */
+    double lflush(AgentKind agent, Addr x);
+
+    /** CXL0 RFlush (CLFlush): write the line back to its memory. */
+    double rflush(AgentKind agent, Addr x);
+
+    /**
+     * Whether an agent can generate a primitive at all on CXL 1.1
+     * hardware (Table 1's "???" rows are unavailable: RStore from the
+     * host, LFlush from either side).
+     */
+    static bool primitiveAvailable(AgentKind agent, MeasuredPrimitive p);
+
+    /** Flip an HDM line's bias (no-op + fatal for HM lines). */
+    void setBias(Addr x, BiasMode mode);
+
+    /** Direct state manipulation for Table 1 sweeps. */
+    void setLineState(Addr x, CacheState host, CacheState device);
+
+    /** State inspection. */
+    CacheState hostState(Addr x) const { return line(x).host; }
+    CacheState deviceState(Addr x) const { return line(x).device; }
+    BiasMode bias(Addr x) const { return line(x).bias; }
+    Value memValue(Addr x) const { return line(x).memValue; }
+    Value latestValue(Addr x) const { return line(x).latest; }
+
+    /**
+     * The single-writer / multi-reader MESI invariant: never two
+     * agents in writable or mixed valid/M states.
+     */
+    bool coherenceInvariantHolds() const;
+
+    /** The attached protocol analyzer. */
+    ProtocolAnalyzer &analyzer() { return analyzer_; }
+    const ProtocolAnalyzer &analyzer() const { return analyzer_; }
+
+    /** The latency model (mutable for calibration studies). */
+    LatencyModel &latency() { return latency_; }
+
+    /** Simulated wall clock (ns accumulated over all operations). */
+    double clockNs() const { return clock_; }
+
+  private:
+    LineInfo &line(Addr x);
+    const LineInfo &line(Addr x) const;
+
+    /** Record + return a latency sample for the op just performed. */
+    double charge(AgentKind agent, Addr x, MeasuredPrimitive p);
+
+    void emit(Channel c, Transaction t);
+
+    /** Invalidate the other agent's copy, emitting snoop traffic. */
+    void snoopInvalidate(AgentKind requester, Addr x);
+
+    FabricConfig cfg_;
+    std::vector<LineInfo> lines_;
+    ProtocolAnalyzer analyzer_;
+    LatencyModel latency_;
+    Rng rng_;
+    double clock_ = 0.0;
+};
+
+} // namespace cxl0::sim
+
+#endif // CXL0_SIM_FABRIC_HH

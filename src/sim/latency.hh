@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Calibrated latency model for CXL0 primitives (paper §5.2, Fig. 5).
+ *
+ * We do not have the paper's silicon; we reproduce the *shape* of
+ * Fig. 5 with a latency table whose defaults are calibrated to the
+ * relations the paper reports:
+ *
+ *  - host remote (HDM) loads/MStores are 2.34x their local (HM) cost;
+ *  - device remote (HM) accesses are 1.94x device-bias local ones;
+ *  - for device writes to HM: LStore < RStore (2.08x) < MStore
+ *    (1.45x over RStore);
+ *  - RFlush latency is nearly identical to MStore;
+ *  - host LStores are fastest (write buffers); device LStores to HM
+ *    are slower than to HDM (two differently sized IP caches);
+ *  - RStore and LFlush are not measurable from the host, LFlush not
+ *    measurable from either side (Table 1 "???" rows).
+ */
+
+#ifndef CXL0_SIM_LATENCY_HH
+#define CXL0_SIM_LATENCY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace cxl0::sim
+{
+
+/** The five access categories of Fig. 5. */
+enum class AccessCategory
+{
+    HostToHM,        //!< host to host-attached memory (local)
+    HostToHDM,       //!< host to host-managed device memory (remote)
+    DevToHM,         //!< device to host-attached memory (remote)
+    DevToHDMHostBias,//!< device to own memory, host-bias (permission)
+    DevToHDMDevBias, //!< device to own memory, device-bias (local)
+};
+
+constexpr size_t kNumAccessCategories = 5;
+
+/** The six primitives Fig. 5 measures. */
+enum class MeasuredPrimitive
+{
+    Read,
+    LStore,
+    RStore,
+    MStore,
+    LFlush,
+    RFlush,
+};
+
+constexpr size_t kNumMeasuredPrimitives = 6;
+
+/** Display name, e.g. "Device to HDM in Host-Bias". */
+const char *accessCategoryName(AccessCategory c);
+
+/** Display name, e.g. "MStore". */
+const char *measuredPrimitiveName(MeasuredPrimitive p);
+
+/** Latency table with jittered sampling for median statistics. */
+class LatencyModel
+{
+  public:
+    /** Defaults calibrated to the paper's reported ratios. */
+    LatencyModel();
+
+    /** Whether (category, primitive) is measurable (Table 1 "???"). */
+    bool measurable(AccessCategory c, MeasuredPrimitive p) const;
+
+    /** Nominal latency in nanoseconds; 0 when not measurable. */
+    double ns(AccessCategory c, MeasuredPrimitive p) const;
+
+    /** Override one table entry (for what-if studies). */
+    void set(AccessCategory c, MeasuredPrimitive p, double nanos);
+
+    /**
+     * One jittered sample (+-5% uniform) as a real measurement run
+     * would produce; medians over many samples converge to ns().
+     */
+    double sample(AccessCategory c, MeasuredPrimitive p, Rng &rng) const;
+
+    /** Ratio helper: ns(a,p) / ns(b,p). */
+    double ratio(AccessCategory a, AccessCategory b,
+                 MeasuredPrimitive p) const;
+
+  private:
+    size_t index(AccessCategory c, MeasuredPrimitive p) const;
+
+    double table_[kNumAccessCategories * kNumMeasuredPrimitives];
+    bool measurable_[kNumAccessCategories * kNumMeasuredPrimitives];
+};
+
+} // namespace cxl0::sim
+
+#endif // CXL0_SIM_LATENCY_HH

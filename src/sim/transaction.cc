@@ -1,0 +1,68 @@
+#include "sim/transaction.hh"
+
+#include <sstream>
+
+namespace cxl0::sim
+{
+
+const char *
+transactionName(Transaction t)
+{
+    switch (t) {
+      case Transaction::None: return "None";
+      case Transaction::SnpInv: return "SnpInv";
+      case Transaction::MemRdData: return "MemRdData";
+      case Transaction::MemRd: return "MemRd";
+      case Transaction::MemWr: return "MemWr";
+      case Transaction::MemInv: return "MemInv";
+      case Transaction::RdShared: return "RdShared";
+      case Transaction::RdOwn: return "RdOwn";
+      case Transaction::ItoMWr: return "ItoMWr";
+      case Transaction::CleanEvict: return "CleanEvict";
+      case Transaction::DirtyEvict: return "DirtyEvict";
+      case Transaction::WOWrInvF: return "WOWrInv/F";
+      case Transaction::WrInv: return "WrInv";
+    }
+    return "?";
+}
+
+const char *
+channelName(Channel c)
+{
+    switch (c) {
+      case Channel::None: return "local";
+      case Channel::CacheH2D: return "CXL.cache H2D";
+      case Channel::CacheD2H: return "CXL.cache D2H";
+      case Channel::MemM2S: return "CXL.mem M2S";
+    }
+    return "?";
+}
+
+std::string
+ObservedTransaction::describe() const
+{
+    if (type == Transaction::None)
+        return "None";
+    std::ostringstream os;
+    os << transactionName(type);
+    return os.str();
+}
+
+std::string
+describeTransactions(const std::vector<ObservedTransaction> &ts)
+{
+    if (ts.empty())
+        return "None";
+    std::ostringstream os;
+    bool first = true;
+    for (const ObservedTransaction &t : ts) {
+        if (t.type == Transaction::None)
+            continue;
+        os << (first ? "" : " + ") << t.describe();
+        first = false;
+    }
+    std::string s = os.str();
+    return s.empty() ? "None" : s;
+}
+
+} // namespace cxl0::sim

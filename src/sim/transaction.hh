@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CXL link-level transaction vocabulary (paper §5.1, Table 1).
+ *
+ * These are the concrete CXL.cache / CXL.mem transactions the paper
+ * observed with a protocol analyzer between an x86 host and an FPGA
+ * Type-2 device. Our simulated fabric emits the same vocabulary so the
+ * Table 1 mapping can be regenerated.
+ */
+
+#ifndef CXL0_SIM_TRANSACTION_HH
+#define CXL0_SIM_TRANSACTION_HH
+
+#include <string>
+#include <vector>
+
+namespace cxl0::sim
+{
+
+/** Which wire / direction a transaction travels on. */
+enum class Channel
+{
+    None,       //!< no link traffic (cache hit or local access)
+    CacheH2D,   //!< CXL.cache host-to-device
+    CacheD2H,   //!< CXL.cache device-to-host
+    MemM2S,     //!< CXL.mem master-to-subordinate
+};
+
+/** Concrete CXL transactions (the subset Table 1 reports). */
+enum class Transaction
+{
+    None,       //!< no CXL transaction observed
+    SnpInv,     //!< CXL.cache H2D snoop-invalidate
+    MemRdData,  //!< CXL.mem M2S read returning data
+    MemRd,      //!< CXL.mem M2S read (ownership / upgrade)
+    MemWr,      //!< CXL.mem M2S write
+    MemInv,     //!< CXL.mem M2S invalidate
+    RdShared,   //!< CXL.cache D2H caching read (shared)
+    RdOwn,      //!< CXL.cache D2H read-for-ownership
+    ItoMWr,     //!< CXL.cache D2H push write (invalid-to-modified)
+    CleanEvict, //!< CXL.cache D2H clean writeback
+    DirtyEvict, //!< CXL.cache D2H dirty writeback
+    WOWrInvF,   //!< CXL.cache D2H weakly-ordered write-invalidate (full)
+    WrInv,      //!< CXL.cache D2H write-invalidate
+};
+
+/** Short name, e.g. "SnpInv". */
+const char *transactionName(Transaction t);
+
+/** Short channel name, e.g. "CXL.cache H2D". */
+const char *channelName(Channel c);
+
+/** One transaction as seen on the link. */
+struct ObservedTransaction
+{
+    Channel channel = Channel::None;
+    Transaction type = Transaction::None;
+
+    bool operator==(const ObservedTransaction &o) const = default;
+    bool operator<(const ObservedTransaction &o) const
+    {
+        if (channel != o.channel)
+            return channel < o.channel;
+        return type < o.type;
+    }
+
+    std::string describe() const;
+};
+
+/** Render a sequence like "RdOwn + DirtyEvict" (or "None"). */
+std::string
+describeTransactions(const std::vector<ObservedTransaction> &ts);
+
+} // namespace cxl0::sim
+
+#endif // CXL0_SIM_TRANSACTION_HH

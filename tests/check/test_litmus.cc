@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "check/litmus.hh"
+
+namespace
+{
+
+using namespace cxl0::check;
+using cxl0::model::ModelVariant;
+
+/**
+ * Every litmus test's observed verdict must match the paper, under
+ * every model variant (Fig. 3 verdicts for 1-9, the triples of §3.5
+ * for 10-12, and §6's motivating example as test 13).
+ */
+class LitmusSuite : public ::testing::TestWithParam<LitmusTest>
+{
+};
+
+TEST_P(LitmusSuite, BaseVerdictMatchesPaper)
+{
+    const LitmusTest &t = GetParam();
+    EXPECT_EQ(runLitmus(t, ModelVariant::Base), t.expectBase)
+        << "test " << t.id << " (" << t.name << ")";
+}
+
+TEST_P(LitmusSuite, LwbVerdictMatchesPaper)
+{
+    const LitmusTest &t = GetParam();
+    EXPECT_EQ(runLitmus(t, ModelVariant::Lwb), t.expectLwb)
+        << "test " << t.id << " (" << t.name << ")";
+}
+
+TEST_P(LitmusSuite, PsnVerdictMatchesPaper)
+{
+    const LitmusTest &t = GetParam();
+    EXPECT_EQ(runLitmus(t, ModelVariant::Psn), t.expectPsn)
+        << "test " << t.id << " (" << t.name << ")";
+}
+
+TEST_P(LitmusSuite, VariantsOnlyRestrictBase)
+{
+    // §3.5: every trace allowed by a variant is also allowed by CXL0.
+    const LitmusTest &t = GetParam();
+    if (runLitmus(t, ModelVariant::Lwb) == Verdict::Allowed) {
+        EXPECT_EQ(runLitmus(t, ModelVariant::Base), Verdict::Allowed);
+    }
+    if (runLitmus(t, ModelVariant::Psn) == Verdict::Allowed) {
+        EXPECT_EQ(runLitmus(t, ModelVariant::Base), Verdict::Allowed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, LitmusSuite, ::testing::ValuesIn(allTests()),
+    [](const ::testing::TestParamInfo<LitmusTest> &info) {
+        return "test" + std::to_string(info.param.id);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Extended, LitmusSuite, ::testing::ValuesIn(extendedTests()),
+    [](const ::testing::TestParamInfo<LitmusTest> &info) {
+        return "test" + std::to_string(info.param.id);
+    });
+
+TEST(LitmusInventory, ThirteenTestsTotal)
+{
+    EXPECT_EQ(figure3Tests().size(), 9u);
+    EXPECT_EQ(variantTests().size(), 3u);
+    EXPECT_EQ(allTests().size(), 13u);
+    EXPECT_EQ(extendedTests().size(), 6u);
+}
+
+TEST(LitmusInventory, IdsMatchPaperNumbering)
+{
+    auto tests = allTests();
+    for (size_t k = 0; k < tests.size(); ++k)
+        EXPECT_EQ(tests[k].id, static_cast<int>(k) + 1);
+}
+
+TEST(LitmusInventory, AllMatchPaperHelper)
+{
+    for (const LitmusTest &t : allTests())
+        EXPECT_TRUE(litmusMatchesPaper(t)) << "test " << t.id;
+}
+
+TEST(LitmusInventory, VerdictNamesRender)
+{
+    EXPECT_NE(verdictName(Verdict::Allowed).find("Allowed"),
+              std::string::npos);
+    EXPECT_NE(verdictName(Verdict::Forbidden).find("Forbidden"),
+              std::string::npos);
+}
+
+TEST(LitmusDetails, Test5BlocksAtTheLoad)
+{
+    // The infeasibility of test 5 must come from the final load (the
+    // RFlush itself is executable), demonstrating that RFlush forces
+    // the value into remote persistence.
+    LitmusTest t5 = figure3Tests()[4];
+    ASSERT_EQ(t5.id, 5);
+    cxl0::model::Cxl0Model m(t5.config, ModelVariant::Base);
+    TraceChecker checker(m);
+    EXPECT_EQ(checker.firstBlockedIndex(m.initialState(), t5.trace),
+              t5.trace.size() - 1);
+}
+
+TEST(LitmusDetails, Test12RequiresTwoCrashes)
+{
+    // Dropping the second crash from test 12 removes the anomaly:
+    // the final load of 0 becomes infeasible in the base model too.
+    LitmusTest t12 = variantTests()[2];
+    ASSERT_EQ(t12.id, 12);
+    std::vector<cxl0::model::Label> shortened(t12.trace.begin(),
+                                              t12.trace.end());
+    shortened.erase(shortened.begin() + 3); // remove second E1
+    cxl0::model::Cxl0Model m(t12.config, ModelVariant::Base);
+    TraceChecker checker(m);
+    EXPECT_FALSE(checker.feasible(shortened));
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/refinement.hh"
+#include "check/trace.hh"
+
+namespace
+{
+
+using namespace cxl0::check;
+using namespace cxl0::model;
+using cxl0::NodeId;
+
+/** §3.5 setting: machine 0 NVMM, machine 1 volatile, x0 on machine 0. */
+SystemConfig
+variantConfig()
+{
+    return SystemConfig({MachineConfig{true}, MachineConfig{false}}, {0});
+}
+
+Alphabet
+smallAlphabet(const SystemConfig &cfg)
+{
+    // Loads of both 0 and 1 are needed: the distinguishing traces of
+    // §3.5 end with a stale Load(x,0). Stores only ever write 1.
+    Alphabet a;
+    a.ops = {Op::Load, Op::LStore, Op::RStore, Op::Crash};
+    a.values = {0, 1};
+    a.nodes.clear();
+    for (NodeId n = 0; n < cfg.numNodes(); ++n)
+        a.nodes.push_back(n);
+    a.maxCrashesPerNode = 1;
+    return a;
+}
+
+TEST(Refinement, ModelRefinesItself)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    auto r = checkRefinement(base, base, 3, smallAlphabet(cfg));
+    EXPECT_TRUE(r.refines) << r.describe();
+}
+
+TEST(Refinement, LwbRefinesBase)
+{
+    // Every CXL0_LWB trace is a CXL0 trace (§3.5).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    auto r = checkRefinement(base, lwb, 4, smallAlphabet(cfg));
+    EXPECT_TRUE(r.refines) << r.describe();
+}
+
+TEST(Refinement, PsnRefinesBase)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), psn(cfg, ModelVariant::Psn);
+    auto r = checkRefinement(base, psn, 4, smallAlphabet(cfg));
+    EXPECT_TRUE(r.refines) << r.describe();
+}
+
+TEST(Refinement, BaseDoesNotRefineLwb)
+{
+    // CXL0 has traces CXL0_LWB forbids (tests 10/11 shape); the
+    // checker must produce a concrete counterexample.
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    auto r = checkRefinement(lwb, base, 4, smallAlphabet(cfg));
+    EXPECT_FALSE(r.refines);
+    EXPECT_FALSE(r.counterexample.empty());
+}
+
+/**
+ * Alphabet for PSN-separating traces: the paper's witness (test 12)
+ * needs two crashes of the owner and five labels, but only loads,
+ * LStores, and crashes.
+ */
+Alphabet
+crashyAlphabet(const SystemConfig &cfg)
+{
+    Alphabet a;
+    a.ops = {Op::Load, Op::LStore, Op::Crash};
+    a.values = {0, 1};
+    a.nodes.clear();
+    for (NodeId n = 0; n < cfg.numNodes(); ++n)
+        a.nodes.push_back(n);
+    a.maxCrashesPerNode = 2;
+    return a;
+}
+
+TEST(Refinement, BaseDoesNotRefinePsn)
+{
+    // The separating trace is test 12's shape: LStore2(x1,1); E1;
+    // Load1(x1,1); E1; Load2(x1,0) — allowed by CXL0, forbidden by
+    // CXL0_PSN (poisoning cuts the cross-crash resurrection).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), psn(cfg, ModelVariant::Psn);
+    auto r = checkRefinement(psn, base, 5, crashyAlphabet(cfg));
+    EXPECT_FALSE(r.refines);
+}
+
+TEST(Refinement, VariantsAreIncomparable)
+{
+    // §3.5: the two variants are incomparable — each allows a trace
+    // the other forbids. LWB-not-in-PSN needs test 12's double-crash
+    // witness; PSN-not-in-LWB is test 10/11's shape.
+    SystemConfig cfg = variantConfig();
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    Cxl0Model psn(cfg, ModelVariant::Psn);
+    auto lwb_in_psn = checkRefinement(psn, lwb, 5, crashyAlphabet(cfg));
+    auto psn_in_lwb = checkRefinement(lwb, psn, 4, smallAlphabet(cfg));
+    EXPECT_FALSE(lwb_in_psn.refines);
+    EXPECT_FALSE(psn_in_lwb.refines);
+}
+
+TEST(Refinement, CounterexampleIsRealBaseTrace)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    auto r = checkRefinement(lwb, base, 4, smallAlphabet(cfg));
+    ASSERT_FALSE(r.refines);
+    // The counterexample must be feasible in base and infeasible in
+    // the variant.
+    TraceChecker base_checker(base), lwb_checker(lwb);
+    EXPECT_TRUE(base_checker.feasible(r.counterexample));
+    EXPECT_FALSE(lwb_checker.feasible(r.counterexample));
+}
+
+TEST(EnumerateTraces, ContainsEmptyTraceAndGrows)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    Alphabet a = smallAlphabet(cfg);
+    auto t1 = enumerateTraces(base, 1, a);
+    auto t2 = enumerateTraces(base, 2, a);
+    EXPECT_GE(t1.size(), 2u);
+    EXPECT_GT(t2.size(), t1.size());
+    // The empty trace is present.
+    EXPECT_TRUE(std::any_of(t1.begin(), t1.end(),
+                            [](const auto &t) { return t.empty(); }));
+}
+
+TEST(EnumerateTraces, AllEnumeratedTracesFeasible)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    Alphabet a = smallAlphabet(cfg);
+    TraceChecker checker(lwb);
+    for (const auto &t : enumerateTraces(lwb, 3, a))
+        EXPECT_TRUE(checker.feasible(t)) << describeTrace(t);
+}
+
+TEST(Refinement, RestrictedTopologyRefinesGeneralModel)
+{
+    // §4: every restricted configuration stays within general CXL0.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model general(cfg);
+    Restrictions r;
+    r.allowedOps = {opBit(Op::Load) | opBit(Op::LStore) |
+                        opBit(Op::MStore) | opBit(Op::RFlush),
+                    opBit(Op::Load) | opBit(Op::LStore)};
+    r.allowCacheToCache = false;
+    Cxl0Model restricted(cfg, ModelVariant::Base, r);
+    auto res = checkRefinement(general, restricted, 3,
+                               smallAlphabet(cfg));
+    EXPECT_TRUE(res.refines) << res.describe();
+}
+
+TEST(Refinement, MismatchedShapesRejected)
+{
+    Cxl0Model a(SystemConfig::uniform(2, 1, true));
+    Cxl0Model b(SystemConfig::uniform(3, 1, true));
+    EXPECT_THROW(
+        checkRefinement(a, b, 2, Alphabet::standard(a.config())),
+        std::invalid_argument);
+}
+
+} // namespace

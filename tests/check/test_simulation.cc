@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "check/simulation.hh"
+
+namespace
+{
+
+using namespace cxl0::check;
+using namespace cxl0::model;
+using cxl0::NodeId;
+
+TEST(EnumerateStates, CountsMatchCombinatorics)
+{
+    // 1 node, 1 addr, values {0,1}: cache in {bot,0,1} x mem in {0,1}
+    // = 6 states, all invariant-satisfying.
+    SystemConfig cfg = SystemConfig::uniform(1, 1, true);
+    EXPECT_EQ(enumerateStates(cfg, 1).size(), 6u);
+}
+
+TEST(EnumerateStates, InvariantFiltersDivergentCaches)
+{
+    // 2 nodes, 1 addr: cache pairs 3*3=9 minus the two divergent
+    // pairs (0,1) and (1,0) = 7; times 2 memory values = 14.
+    SystemConfig cfg({MachineConfig{true}, MachineConfig{true}}, {0});
+    auto states = enumerateStates(cfg, 1);
+    EXPECT_EQ(states.size(), 14u);
+    for (const State &s : states)
+        EXPECT_TRUE(s.invariantHolds());
+}
+
+TEST(CheckTraceInclusion, DetectsNonInclusion)
+{
+    // MStore is NOT simulated by LStore alone (no flush): from the
+    // initial state, MStore reaches a state with memory updated and
+    // caches empty... which LStore+tau also reaches. Use a trickier
+    // direction: LStore reaches a state with the value only in the
+    // issuer's cache, which MStore cannot reach.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    std::vector<State> states{model.initialState()};
+    auto r = checkTraceInclusion(model, states,
+                                 {Label::lstore(1, 0, 1)},
+                                 {Label::mstore(1, 0, 1)});
+    EXPECT_FALSE(r.holds);
+    EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(CheckTraceInclusion, IdenticalTracesAlwaysIncluded)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    auto states = enumerateStates(cfg, 1);
+    auto r = checkTraceInclusion(model, states,
+                                 {Label::rstore(0, 0, 1)},
+                                 {Label::rstore(0, 0, 1)});
+    EXPECT_TRUE(r.holds) << r.counterexample;
+}
+
+TEST(Prop1Items, EightItemsInstantiate)
+{
+    auto items = prop1Items(0, 1, 0, 0, 1);
+    EXPECT_EQ(items.size(), 8u);
+    for (size_t k = 0; k < items.size(); ++k)
+        EXPECT_EQ(items[k].number, static_cast<int>(k) + 1);
+}
+
+/**
+ * Proposition 1, checked exhaustively over every invariant-satisfying
+ * state of small systems, for every machine/address/value choice.
+ * This is the reproduction of the paper's Rocq development.
+ */
+struct Prop1Case
+{
+    const char *name;
+    size_t nodes;
+    std::vector<NodeId> owners;
+    bool persistent;
+    ModelVariant variant;
+};
+
+class Prop1Suite : public ::testing::TestWithParam<Prop1Case>
+{
+};
+
+TEST_P(Prop1Suite, AllItemsHold)
+{
+    const Prop1Case &c = GetParam();
+    SystemConfig cfg(
+        std::vector<MachineConfig>(c.nodes,
+                                   MachineConfig{c.persistent}),
+        c.owners);
+    auto r = checkProp1(cfg, c.variant, 1);
+    EXPECT_TRUE(r.holds) << r.counterexample;
+}
+
+using Owners = std::vector<NodeId>;
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundedSystems, Prop1Suite,
+    ::testing::Values(
+        Prop1Case{"two_nodes_nv", 2, Owners{0, 1}, true,
+                  ModelVariant::Base},
+        Prop1Case{"two_nodes_volatile", 2, Owners{0, 1}, false,
+                  ModelVariant::Base},
+        Prop1Case{"three_nodes_one_addr", 3, Owners{2}, true,
+                  ModelVariant::Base},
+        Prop1Case{"two_addrs_same_owner", 2, Owners{0, 0}, true,
+                  ModelVariant::Base},
+        Prop1Case{"psn_two_nodes", 2, Owners{0, 1}, true,
+                  ModelVariant::Psn},
+        Prop1Case{"lwb_two_nodes", 2, Owners{0, 1}, true,
+                  ModelVariant::Lwb}),
+    [](const ::testing::TestParamInfo<Prop1Case> &info) {
+        return info.param.name;
+    });
+
+TEST(Prop1Mixed, HoldsWithMixedPersistence)
+{
+    SystemConfig cfg({MachineConfig{true}, MachineConfig{false}},
+                     {0, 1});
+    auto r = checkProp1(cfg, ModelVariant::Base, 1);
+    EXPECT_TRUE(r.holds) << r.counterexample;
+}
+
+TEST(Prop1Negative, LStoreAloneDoesNotSimulateRStore)
+{
+    // Sanity that the checker has teeth: dropping the LFlush from
+    // item 7 breaks the simulation.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    auto states = enumerateStates(cfg, 1);
+    // lhs: LStore_j alone; rhs: RStore_j. The state with the value in
+    // j's cache is not RStore-reachable.
+    auto r = checkTraceInclusion(model, states,
+                                 {Label::lstore(1, 0, 1)},
+                                 {Label::rstore(1, 0, 1)});
+    EXPECT_FALSE(r.holds);
+}
+
+TEST(Prop1Negative, LFlushDoesNotSimulateRFlush)
+{
+    // Converse of item 4: LFlush is strictly weaker.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    auto states = enumerateStates(cfg, 1);
+    auto r = checkTraceInclusion(model, states,
+                                 {Label::lflush(1, 0)},
+                                 {Label::rflush(1, 0)});
+    EXPECT_FALSE(r.holds);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "check/trace.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+using cxl0::check::TraceChecker;
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    TraceTest()
+        : cfg(SystemConfig::uniform(2, 1, true)), model(cfg),
+          checker(model)
+    {
+    }
+
+    SystemConfig cfg;
+    Cxl0Model model;
+    TraceChecker checker;
+};
+
+TEST_F(TraceTest, EmptyTraceIsFeasible)
+{
+    EXPECT_TRUE(checker.feasible({}));
+}
+
+TEST_F(TraceTest, StoreThenLoadSeesValue)
+{
+    EXPECT_TRUE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::load(0, 0, 1)}));
+}
+
+TEST_F(TraceTest, LoadOfUnwrittenValueInfeasible)
+{
+    EXPECT_FALSE(checker.feasible({Label::load(0, 0, 1)}));
+}
+
+TEST_F(TraceTest, LoadOfInitialZeroFeasible)
+{
+    EXPECT_TRUE(checker.feasible({Label::load(1, 0, 0)}));
+}
+
+TEST_F(TraceTest, TauInterleavingEnablesFlush)
+{
+    // LFlush right after LStore needs a tau drain first; the checker
+    // must find it.
+    EXPECT_TRUE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::lflush(0, 0)}));
+}
+
+TEST_F(TraceTest, StaleLoadAfterStoreInfeasibleWithoutCrash)
+{
+    // Cache coherence: a later load cannot see the old value.
+    EXPECT_FALSE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::load(1, 0, 0)}));
+}
+
+TEST_F(TraceTest, CrashCanLoseUnflushedStore)
+{
+    EXPECT_TRUE(checker.feasible({Label::lstore(0, 0, 1),
+                                  Label::crash(0),
+                                  Label::load(0, 0, 0)}));
+}
+
+TEST_F(TraceTest, StatesAfterClosesUnderTau)
+{
+    auto states =
+        checker.statesAfter(model.initialState(), {Label::lstore(0, 0, 1)});
+    // At least: value in C0; value in M0 (drained).
+    bool in_cache = false, in_mem = false;
+    for (const auto &s : states) {
+        if (s.cache(0, 0) == 1)
+            in_cache = true;
+        if (s.memory(0) == 1 && s.allCachesEmpty())
+            in_mem = true;
+    }
+    EXPECT_TRUE(in_cache);
+    EXPECT_TRUE(in_mem);
+}
+
+TEST_F(TraceTest, FirstBlockedIndexPointsAtOffendingLabel)
+{
+    std::vector<Label> t{Label::lstore(0, 0, 1), Label::load(0, 0, 2),
+                         Label::load(0, 0, 1)};
+    EXPECT_EQ(checker.firstBlockedIndex(model.initialState(), t), 1u);
+    std::vector<Label> ok{Label::lstore(0, 0, 1), Label::load(0, 0, 1)};
+    EXPECT_EQ(checker.firstBlockedIndex(model.initialState(), ok), 2u);
+}
+
+TEST_F(TraceTest, RmwTraceRequiresMatchingOldValue)
+{
+    EXPECT_TRUE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::lrmw(1, 0, 1, 2),
+         Label::load(0, 0, 2)}));
+    EXPECT_FALSE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::lrmw(1, 0, 0, 2)}));
+}
+
+TEST_F(TraceTest, GpfDrainsEverythingBeforeProceeding)
+{
+    // After GPF the store must be persistent: the stale load is
+    // impossible even across a crash.
+    EXPECT_FALSE(checker.feasible(
+        {Label::lstore(0, 0, 1), Label::gpf(0), Label::crash(0),
+         Label::load(0, 0, 0)}));
+}
+
+TEST_F(TraceTest, VolatileOwnerLosesMemoryOnCrash)
+{
+    SystemConfig vcfg({MachineConfig{false}, MachineConfig{true}}, {0});
+    Cxl0Model vmodel(vcfg);
+    TraceChecker vchecker(vmodel);
+    EXPECT_TRUE(vchecker.feasible(
+        {Label::mstore(1, 0, 1), Label::crash(0), Label::load(1, 0, 0)}));
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(CXL0_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsInvalidArgument)
+{
+    EXPECT_THROW(CXL0_FATAL("bad config ", "x"), std::invalid_argument);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(CXL0_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(CXL0_ASSERT(false, "nope"), std::logic_error);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(cxl0::detail::concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+} // namespace

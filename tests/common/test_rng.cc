@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using cxl0::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int diff = 0;
+    for (int i = 0; i < 32; ++i)
+        diff += a.next() != b.next();
+    EXPECT_GT(diff, 24);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng r(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.nextBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng r(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = r.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceZeroNeverFires)
+{
+    Rng r(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(r.chance(0, 10));
+}
+
+TEST(Rng, ChanceFullAlwaysFires)
+{
+    Rng r(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_TRUE(r.chance(10, 10));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(17);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(1, 4);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(23);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    r.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(99);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 32; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+} // namespace

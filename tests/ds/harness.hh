@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for data-structure tests.
+ */
+
+#ifndef CXL0_TESTS_DS_HARNESS_HH
+#define CXL0_TESTS_DS_HARNESS_HH
+
+#include <memory>
+
+#include "flit/flit.hh"
+#include "runtime/system.hh"
+
+namespace cxl0::test
+{
+
+/** A 2-node persistent system + transformation runtime bundle. */
+struct Rig
+{
+    std::unique_ptr<runtime::CxlSystem> sys;
+    std::unique_ptr<flit::FlitRuntime> rt;
+
+    static Rig
+    make(flit::PersistMode mode, size_t cells_per_node = 4096,
+         runtime::PropagationPolicy policy =
+             runtime::PropagationPolicy::Random,
+         uint64_t seed = 1, size_t nodes = 2)
+    {
+        Rig rig;
+        runtime::SystemOptions o(
+            model::SystemConfig::uniform(nodes, cells_per_node, true));
+        o.policy = policy;
+        o.seed = seed;
+        o.cost = runtime::CostModel::zero();
+        rig.sys = std::make_unique<runtime::CxlSystem>(std::move(o));
+        rig.rt = std::make_unique<flit::FlitRuntime>(*rig.sys, mode);
+        return rig;
+    }
+};
+
+} // namespace cxl0::test
+
+#endif // CXL0_TESTS_DS_HARNESS_HH

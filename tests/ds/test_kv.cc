@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ds/kv.hh"
+#include "harness.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using ds::DurableCounter;
+using ds::DurableRegister;
+using ds::KvStore;
+using flit::PersistMode;
+using test::Rig;
+
+TEST(Register, ReadWriteAcrossNodes)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    DurableRegister r(*rig.rt, 0);
+    EXPECT_EQ(r.read(0), 0);
+    r.write(1, 5);
+    EXPECT_EQ(r.read(0), 5);
+    r.write(0, 6);
+    EXPECT_EQ(r.read(1), 6);
+}
+
+TEST(Register, CompareExchange)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    DurableRegister r(*rig.rt, 0);
+    EXPECT_TRUE(r.compareExchange(0, 0, 4));
+    EXPECT_FALSE(r.compareExchange(1, 0, 9));
+    EXPECT_EQ(r.read(1), 4);
+}
+
+TEST(Counter, FetchAddSequence)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    DurableCounter c(*rig.rt, 0);
+    EXPECT_EQ(c.fetchAdd(0, 5), 0);
+    EXPECT_EQ(c.fetchAdd(1, 3), 5);
+    EXPECT_EQ(c.read(0), 8);
+    EXPECT_EQ(c.fetchAdd(0, -8), 8);
+    EXPECT_EQ(c.read(1), 0);
+}
+
+TEST(Counter, ConcurrentIncrementsExact)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 4096,
+                        runtime::PropagationPolicy::Random, 37);
+    DurableCounter c(*rig.rt, 0);
+    constexpr int kThreads = 4, kEach = 250;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c, t] {
+            for (int k = 0; k < kEach; ++k)
+                c.fetchAdd(static_cast<NodeId>(t % 2), 1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(c.read(0), kThreads * kEach);
+}
+
+TEST(Kv, PutGetRemoveSize)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    KvStore kv(*rig.rt, 0, 8);
+    EXPECT_EQ(kv.size(0), 0);
+    EXPECT_TRUE(kv.put(0, 1, 10));
+    EXPECT_FALSE(kv.put(1, 1, 11)); // overwrite, not fresh
+    EXPECT_EQ(kv.size(1), 1);
+    EXPECT_EQ(kv.get(0, 1), 11);
+    EXPECT_TRUE(kv.remove(0, 1));
+    EXPECT_EQ(kv.size(0), 0);
+    EXPECT_FALSE(kv.get(1, 1).has_value());
+}
+
+TEST(Kv, SnapshotMatchesState)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    KvStore kv(*rig.rt, 0, 8);
+    kv.put(0, 1, 10);
+    kv.put(0, 2, 20);
+    kv.put(1, 3, 30);
+    kv.remove(1, 2);
+    auto snap = kv.unsafeSnapshot(0);
+    EXPECT_EQ(snap.size(), 2u);
+    EXPECT_EQ(kv.size(0), 2);
+}
+
+TEST(Kv, ManyEntries)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 65536);
+    KvStore kv(*rig.rt, 0, 32);
+    for (Value k = 0; k < 100; ++k)
+        kv.put(static_cast<NodeId>(k % 2), k, k * k);
+    EXPECT_EQ(kv.size(0), 100);
+    for (Value k = 0; k < 100; ++k)
+        EXPECT_EQ(kv.get(static_cast<NodeId>((k + 1) % 2), k), k * k);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "ds/map.hh"
+#include "harness.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using ds::HashMap;
+using flit::PersistMode;
+using test::Rig;
+
+TEST(Map, PutGetRemove)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    HashMap m(*rig.rt, 0, 8);
+    EXPECT_FALSE(m.get(0, 1).has_value());
+    m.put(0, 1, 100);
+    EXPECT_EQ(m.get(1, 1), 100);
+    EXPECT_TRUE(m.remove(0, 1));
+    EXPECT_FALSE(m.get(0, 1).has_value());
+    EXPECT_FALSE(m.remove(1, 1));
+}
+
+TEST(Map, OverwriteTakesNewestValue)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    HashMap m(*rig.rt, 0, 4);
+    m.put(0, 5, 1);
+    m.put(1, 5, 2);
+    m.put(0, 5, 3);
+    EXPECT_EQ(m.get(1, 5), 3);
+}
+
+TEST(Map, ReinsertAfterRemove)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    HashMap m(*rig.rt, 0, 4);
+    m.put(0, 9, 90);
+    m.remove(0, 9);
+    m.put(0, 9, 91);
+    EXPECT_EQ(m.get(1, 9), 91);
+}
+
+TEST(Map, CollidingKeysCoexist)
+{
+    // One bucket forces every key into the same chain.
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 8192);
+    HashMap m(*rig.rt, 0, 1);
+    for (Value k = 0; k < 20; ++k)
+        m.put(0, k, k * 10);
+    for (Value k = 0; k < 20; ++k)
+        EXPECT_EQ(m.get(1, k), k * 10);
+}
+
+TEST(Map, SnapshotReflectsLiveEntries)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    HashMap m(*rig.rt, 0, 4);
+    m.put(0, 1, 10);
+    m.put(0, 2, 20);
+    m.put(0, 1, 11); // overwrite
+    m.remove(0, 2);
+    auto snap = m.unsafeSnapshot(1);
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].first, 1);
+    EXPECT_EQ(snap[0].second, 11);
+}
+
+TEST(Map, ConcurrentDisjointWriters)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 32768);
+    HashMap m(*rig.rt, 0, 16);
+    constexpr int kThreads = 4, kEach = 30;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < kEach; ++k)
+                m.put(by, t * 1000 + k, t);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        for (int k = 0; k < kEach; ++k)
+            EXPECT_EQ(m.get(0, t * 1000 + k), t);
+}
+
+TEST(Map, ConcurrentSameKeyLastWriteWins)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 32768,
+                        runtime::PropagationPolicy::Random, 29);
+    HashMap m(*rig.rt, 0, 4);
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < 25; ++k)
+                m.put(by, 7, t * 100 + k);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    auto v = m.get(0, 7);
+    ASSERT_TRUE(v.has_value());
+    // The winner must be some thread's final write... or at least a
+    // written value; precise last-write needs a linearizability
+    // checker (see test_recovery.cc). Here: value was truly written.
+    bool legal = false;
+    for (int t = 0; t < kThreads; ++t)
+        legal |= (*v >= t * 100 && *v < t * 100 + 25);
+    EXPECT_TRUE(legal);
+}
+
+} // namespace

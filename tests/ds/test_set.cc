@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ds/set.hh"
+#include "harness.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using ds::SortedListSet;
+using flit::PersistMode;
+using test::Rig;
+
+TEST(Set, AddRemoveContains)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    SortedListSet s(*rig.rt, 0);
+    EXPECT_FALSE(s.contains(0, 5));
+    EXPECT_TRUE(s.add(0, 5));
+    EXPECT_FALSE(s.add(1, 5)); // duplicate
+    EXPECT_TRUE(s.contains(1, 5));
+    EXPECT_TRUE(s.remove(0, 5));
+    EXPECT_FALSE(s.remove(1, 5)); // already gone
+    EXPECT_FALSE(s.contains(0, 5));
+}
+
+TEST(Set, ReAddAfterRemove)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    SortedListSet s(*rig.rt, 0);
+    EXPECT_TRUE(s.add(0, 7));
+    EXPECT_TRUE(s.remove(0, 7));
+    EXPECT_TRUE(s.add(0, 7)); // revives the existing record
+    EXPECT_TRUE(s.contains(1, 7));
+}
+
+TEST(Set, SnapshotIsSortedAscending)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    SortedListSet s(*rig.rt, 0);
+    for (Value v : {9, 2, 7, 1, 5})
+        s.add(0, v);
+    s.remove(0, 7);
+    EXPECT_EQ(s.unsafeSnapshot(1), (std::vector<Value>{1, 2, 5, 9}));
+}
+
+TEST(Set, ManyKeysAcrossNodes)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 8192);
+    SortedListSet s(*rig.rt, 0);
+    for (Value v = 0; v < 50; ++v)
+        EXPECT_TRUE(s.add(static_cast<NodeId>(v % 2), v));
+    for (Value v = 0; v < 50; ++v)
+        EXPECT_TRUE(s.contains(static_cast<NodeId>((v + 1) % 2), v));
+    for (Value v = 0; v < 50; v += 2)
+        EXPECT_TRUE(s.remove(1, v));
+    for (Value v = 0; v < 50; ++v)
+        EXPECT_EQ(s.contains(0, v), v % 2 == 1);
+}
+
+TEST(Set, ConcurrentDisjointAdds)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 16384);
+    SortedListSet s(*rig.rt, 0);
+    constexpr int kThreads = 4, kEach = 40;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&s, t] {
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < kEach; ++k)
+                EXPECT_TRUE(s.add(by, t * 1000 + k));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(s.unsafeSnapshot(0).size(),
+              static_cast<size_t>(kThreads * kEach));
+}
+
+TEST(Set, ConcurrentSameKeyAddsExactlyOneWins)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 16384,
+                        runtime::PropagationPolicy::Random, 17);
+    SortedListSet s(*rig.rt, 0);
+    constexpr int kThreads = 6;
+    std::atomic<int> wins{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&s, &wins, t] {
+            if (s.add(static_cast<NodeId>(t % 2), 42))
+                wins.fetch_add(1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(wins.load(), 1);
+    EXPECT_TRUE(s.contains(0, 42));
+    EXPECT_EQ(s.unsafeSnapshot(0).size(), 1u);
+}
+
+TEST(Set, ConcurrentAddRemoveChurn)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 16384,
+                        runtime::PropagationPolicy::Random, 19);
+    SortedListSet s(*rig.rt, 0);
+    constexpr int kThreads = 4, kOps = 60;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&s, t] {
+            Rng rng(700 + t);
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < kOps; ++k) {
+                Value key = rng.nextInRange(0, 9);
+                if (rng.chance(1, 2))
+                    s.add(by, key);
+                else
+                    s.remove(by, key);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Consistency: snapshot agrees with contains() for every key.
+    auto snap = s.unsafeSnapshot(0);
+    for (Value key = 0; key < 10; ++key) {
+        bool in_snap = false;
+        for (Value v : snap)
+            in_snap |= (v == key);
+        EXPECT_EQ(s.contains(1, key), in_snap);
+    }
+}
+
+} // namespace

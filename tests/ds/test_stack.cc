@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "ds/stack.hh"
+#include "harness.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using ds::TreiberStack;
+using flit::PersistMode;
+using test::Rig;
+
+TEST(Stack, PushPopLifoOrder)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    TreiberStack s(*rig.rt, 0);
+    for (Value v = 1; v <= 5; ++v)
+        s.push(0, v);
+    for (Value v = 5; v >= 1; --v)
+        EXPECT_EQ(s.pop(0), v);
+    EXPECT_FALSE(s.pop(0).has_value());
+}
+
+TEST(Stack, EmptyBehaviour)
+{
+    Rig rig = Rig::make(PersistMode::None);
+    TreiberStack s(*rig.rt, 0);
+    EXPECT_TRUE(s.empty(0));
+    EXPECT_FALSE(s.pop(1).has_value());
+    s.push(1, 42);
+    EXPECT_FALSE(s.empty(0));
+    EXPECT_EQ(s.pop(0), 42);
+    EXPECT_TRUE(s.empty(1));
+}
+
+TEST(Stack, SnapshotMatchesContents)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    TreiberStack s(*rig.rt, 0);
+    s.push(0, 1);
+    s.push(0, 2);
+    s.push(0, 3);
+    std::vector<Value> snap = s.unsafeSnapshot(1);
+    EXPECT_EQ(snap, (std::vector<Value>{3, 2, 1}));
+}
+
+TEST(Stack, CrossNodeOperations)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0);
+    TreiberStack s(*rig.rt, 0);
+    s.push(1, 10); // pushed from the non-owner machine
+    s.push(0, 20);
+    EXPECT_EQ(s.pop(1), 20);
+    EXPECT_EQ(s.pop(0), 10);
+}
+
+class StackModes : public ::testing::TestWithParam<PersistMode>
+{
+};
+
+TEST_P(StackModes, SequentialSemanticsIdenticalAcrossModes)
+{
+    Rig rig = Rig::make(GetParam());
+    TreiberStack s(*rig.rt, 0);
+    for (Value v = 0; v < 20; ++v)
+        s.push(static_cast<NodeId>(v % 2), v);
+    for (Value v = 19; v >= 0; --v)
+        EXPECT_EQ(s.pop(static_cast<NodeId>(v % 2)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, StackModes,
+    ::testing::Values(PersistMode::None, PersistMode::FlitCxl0,
+                      PersistMode::FlitCxl0AddrOpt,
+                      PersistMode::FlitOriginal, PersistMode::PersistAll,
+                      PersistMode::FlitAsync, PersistMode::FlitVerified),
+    [](const ::testing::TestParamInfo<PersistMode> &info) {
+        std::string n = flit::persistModeName(info.param);
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+TEST(Stack, ConcurrentPushersPreserveAllElements)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 8192);
+    TreiberStack s(*rig.rt, 0);
+    constexpr int kThreads = 4, kEach = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&s, t] {
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < kEach; ++k)
+                s.push(by, t * 1000 + k);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::set<Value> seen;
+    while (auto v = s.pop(0))
+        seen.insert(*v);
+    EXPECT_EQ(seen.size(), kThreads * kEach);
+}
+
+TEST(Stack, ConcurrentMixedWorkloadConserves)
+{
+    Rig rig = Rig::make(PersistMode::FlitCxl0, 8192,
+                        cxl0::runtime::PropagationPolicy::Random, 5);
+    TreiberStack s(*rig.rt, 0);
+    constexpr int kThreads = 4, kOps = 100;
+    std::atomic<long> pushed{0}, popped{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Rng rng(900 + t);
+            NodeId by = static_cast<NodeId>(t % 2);
+            for (int k = 0; k < kOps; ++k) {
+                if (rng.chance(60, 100)) {
+                    s.push(by, t * 1000 + k);
+                    pushed.fetch_add(1);
+                } else if (s.pop(by)) {
+                    popped.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    long remaining = 0;
+    while (s.pop(0))
+        ++remaining;
+    EXPECT_EQ(pushed.load(), popped.load() + remaining);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Crash-durability behaviour of the transformation modes (§6).
+ *
+ * The central claims: the adapted FliT (Alg. 2) makes completed
+ * operations survive any single-machine crash, the naive port of the
+ * original FliT does not, and the always-MStore baseline is also safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ds/kv.hh"
+#include "flit/flit.hh"
+
+namespace
+{
+
+using namespace cxl0::flit;
+using namespace cxl0::runtime;
+using cxl0::Value;
+using cxl0::model::SystemConfig;
+
+CxlSystem
+makeSystem(uint64_t seed = 1)
+{
+    SystemOptions o(SystemConfig::uniform(2, 2048, true));
+    o.policy = PropagationPolicy::Manual;
+    o.seed = seed;
+    return CxlSystem(std::move(o));
+}
+
+/** Write by a remote machine, crash the owner, read back. */
+Value
+writeCrashRead(PersistMode mode)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, mode);
+    cxl0::ds::DurableRegister reg(rt, /*home=*/0);
+    reg.write(/*by=*/1, 77);
+    // Let the cache line drift toward the owner (worst case for
+    // non-durable modes), then crash the owner.
+    sys.drainAll();          // harmless for durable modes
+    sys.crash(0);
+    return reg.read(1);
+}
+
+TEST(Durability, FlitCxl0SurvivesOwnerCrash)
+{
+    EXPECT_EQ(writeCrashRead(PersistMode::FlitCxl0), 77);
+}
+
+TEST(Durability, AddrOptSurvivesOwnerCrash)
+{
+    EXPECT_EQ(writeCrashRead(PersistMode::FlitCxl0AddrOpt), 77);
+}
+
+TEST(Durability, PersistAllSurvivesOwnerCrash)
+{
+    EXPECT_EQ(writeCrashRead(PersistMode::PersistAll), 77);
+}
+
+/** The unsound modes: value lost when it was still mid-propagation. */
+Value
+writeEvictCrashRead(PersistMode mode)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, mode);
+    cxl0::ds::DurableRegister reg(rt, 0);
+    reg.write(1, 77);
+    // One propagation hop: writer cache -> owner cache. A FliT
+    // original "flush" already did exactly this much.
+    sys.evictOne();
+    sys.crash(0);
+    return reg.read(1);
+}
+
+TEST(Durability, FlitOriginalLosesCompletedWrite)
+{
+    // The operation COMPLETED (write returned), yet the value is gone
+    // — a durable-linearizability violation of the naive port.
+    EXPECT_EQ(writeEvictCrashRead(PersistMode::FlitOriginal), 0);
+}
+
+TEST(Durability, NoneModeLosesCompletedWrite)
+{
+    EXPECT_EQ(writeEvictCrashRead(PersistMode::None), 0);
+}
+
+TEST(Durability, FlitOriginalIsExactlyLitmusTest4)
+{
+    // Make the correspondence explicit: original-FliT write ==
+    // LStore + LFlush, which test 4 shows is insufficient when the
+    // owner crashes.
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitOriginal);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 1);             // LStore1 + LFlush1
+    EXPECT_EQ(sys.peekCache(0, w.data), 1); // owner cache has it
+    sys.crash(0);                        // E_owner
+    EXPECT_EQ(sys.load(1, w.data), 0);   // Load1(x, 0) — allowed
+}
+
+TEST(Durability, ObservedValuePersistsBeforeDependentWrite)
+{
+    // Litmus test 8/9's lesson through the transformation: with
+    // FliT-CXL0, reading a value *helps persist it* when its store is
+    // still in flight, so a dependent write cannot outlive it.
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord x = rt.allocateShared(1); // x on machine 1
+    SharedWord y = rt.allocateShared(0); // y on machine 0
+
+    // Machine 0 starts a store to x but crashes mid-operation: the
+    // counter is raised and the value is cached but not yet flushed.
+    sys.faaL(0, x.counter, 1);
+    sys.lstore(0, x.data, 1);
+
+    // Machine 1 reads x (sees 1, helps persist), then writes y=x.
+    Value rx = rt.sharedLoad(1, x);
+    EXPECT_EQ(rx, 1);
+    rt.sharedStore(1, y, rx);
+
+    // Now machine 0 (the writer) and machine 1 both crash.
+    sys.crash(0);
+    sys.crash(1);
+
+    // Recovery must not observe y=1 with x=0 (test 8's anomaly).
+    Value x_after = sys.load(0, x.data);
+    Value y_after = sys.load(0, y.data);
+    EXPECT_FALSE(y_after == 1 && x_after == 0)
+        << "dependent write persisted without its source";
+    EXPECT_EQ(x_after, 1);
+    EXPECT_EQ(y_after, 1);
+}
+
+TEST(Durability, KvStoreSurvivesCrashWithFlit)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    cxl0::ds::KvStore kv(rt, 0, 8);
+    for (Value k = 1; k <= 10; ++k)
+        kv.put(1, k, k * 100);
+    kv.remove(1, 3);
+    sys.crash(0); // the home node crashes
+    sys.crash(1); // and the writer too
+    EXPECT_EQ(kv.size(0), 9);
+    for (Value k = 1; k <= 10; ++k) {
+        auto v = kv.get(0, k);
+        if (k == 3) {
+            EXPECT_FALSE(v.has_value());
+        } else {
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, k * 100);
+        }
+    }
+}
+
+TEST(Durability, KvStoreCorruptsWithoutDurability)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::None);
+    cxl0::ds::KvStore kv(rt, 0, 8);
+    for (Value k = 1; k <= 5; ++k)
+        kv.put(1, k, k * 100);
+    // Push the writer's lines one hop (into the owner's cache), then
+    // crash the owner before anything reaches memory.
+    sys.evictCacheOf(1);
+    sys.crash(0);
+    size_t survivors = 0;
+    for (Value k = 1; k <= 5; ++k)
+        survivors += kv.get(1, k).has_value();
+    EXPECT_LT(survivors, 5u);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "flit/flit.hh"
+
+namespace
+{
+
+using namespace cxl0::flit;
+using namespace cxl0::runtime;
+using cxl0::kBottom;
+using cxl0::Value;
+using cxl0::model::SystemConfig;
+
+CxlSystem
+makeSystem()
+{
+    SystemOptions o(SystemConfig::uniform(2, 16, true));
+    o.policy = PropagationPolicy::Manual;
+    return CxlSystem(std::move(o));
+}
+
+TEST(Flit, ModeNamesAndDurabilityFlags)
+{
+    EXPECT_STREQ(persistModeName(PersistMode::FlitCxl0), "flit-cxl0");
+    EXPECT_STREQ(persistModeName(PersistMode::PersistAll),
+                 "persist-all");
+    EXPECT_TRUE(modeIsDurable(PersistMode::FlitCxl0));
+    EXPECT_TRUE(modeIsDurable(PersistMode::FlitCxl0AddrOpt));
+    EXPECT_TRUE(modeIsDurable(PersistMode::PersistAll));
+    EXPECT_FALSE(modeIsDurable(PersistMode::None));
+    EXPECT_FALSE(modeIsDurable(PersistMode::FlitOriginal));
+}
+
+TEST(Flit, CounterAllocatedOnlyWhenNeeded)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime flit_rt(sys, PersistMode::FlitCxl0);
+    FlitRuntime none_rt(sys, PersistMode::None);
+    EXPECT_NE(flit_rt.allocateShared(0).counter, cxl0::kNullAddr);
+    EXPECT_EQ(none_rt.allocateShared(0).counter, cxl0::kNullAddr);
+}
+
+TEST(Flit, SharedStorePersistsUnderFlitCxl0)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 42); // non-owner writes
+    // Alg. 2: LStore + RFlush — the value must be in owner memory.
+    EXPECT_EQ(sys.peekMemory(w.data), 42);
+}
+
+TEST(Flit, SharedStoreWithoutPflagStaysInCache)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 42, /*pflag=*/false);
+    EXPECT_EQ(sys.peekMemory(w.data), 0);
+    EXPECT_EQ(sys.peekCache(1, w.data), 42);
+}
+
+TEST(Flit, FlitOriginalLeavesRemoteValueUnpersisted)
+{
+    // The ported Alg. 1 only reaches the owner's *cache* for remote
+    // addresses (litmus test 4's gap).
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitOriginal);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 42);
+    EXPECT_EQ(sys.peekMemory(w.data), 0);      // not persistent!
+    EXPECT_EQ(sys.peekCache(0, w.data), 42);   // owner's cache only
+}
+
+TEST(Flit, AddrOptPersistsForBothOwnerAndRemote)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0AddrOpt);
+    SharedWord w0 = rt.allocateShared(0);
+    SharedWord w1 = rt.allocateShared(1);
+    rt.sharedStore(0, w0, 7);  // owner path: LFlush
+    rt.sharedStore(0, w1, 8);  // remote path: RFlush
+    EXPECT_EQ(sys.peekMemory(w0.data), 7);
+    EXPECT_EQ(sys.peekMemory(w1.data), 8);
+}
+
+TEST(Flit, PersistAllUsesMStore)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::PersistAll);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 9);
+    EXPECT_EQ(sys.peekMemory(w.data), 9);
+    EXPECT_EQ(rt.flushCount(), 0u); // no explicit flushes needed
+}
+
+TEST(Flit, NoneModeNeverFlushes)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::None);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 9);
+    EXPECT_EQ(sys.peekMemory(w.data), 0);
+    EXPECT_EQ(rt.flushCount(), 0u);
+}
+
+TEST(Flit, CounterReturnsToZeroAfterStore)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 5);
+    EXPECT_EQ(sys.load(0, w.counter), 0);
+}
+
+TEST(Flit, SharedLoadHelpsWhenCounterPositive)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    // Simulate an in-flight store: counter raised, value only cached.
+    sys.faaL(1, w.counter, 1);
+    sys.lstore(1, w.data, 33);
+    uint64_t flushes_before = rt.flushCount();
+    Value v = rt.sharedLoad(0, w);
+    EXPECT_EQ(v, 33);
+    EXPECT_EQ(rt.flushCount(), flushes_before + 1); // helped
+    EXPECT_EQ(sys.peekMemory(w.data), 33);          // persisted
+}
+
+TEST(Flit, SharedLoadSkipsHelpWhenCounterZero)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    rt.sharedStore(1, w, 5);
+    uint64_t flushes_before = rt.flushCount();
+    rt.sharedLoad(0, w);
+    EXPECT_EQ(rt.flushCount(), flushes_before);
+}
+
+TEST(Flit, SharedCasPersistsOnSuccessOnly)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    EXPECT_FALSE(rt.sharedCas(1, w, 5, 6).success);
+    EXPECT_EQ(sys.peekMemory(w.data), 0);
+    EXPECT_TRUE(rt.sharedCas(1, w, 0, 6).success);
+    EXPECT_EQ(sys.peekMemory(w.data), 6);
+}
+
+TEST(Flit, SharedFaaPersists)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    SharedWord w = rt.allocateShared(0);
+    EXPECT_EQ(rt.sharedFaa(1, w, 4), 0);
+    EXPECT_EQ(rt.sharedFaa(0, w, 3), 4);
+    EXPECT_EQ(sys.peekMemory(w.data), 7);
+}
+
+TEST(Flit, PrivateStoreRespectsPflag)
+{
+    CxlSystem sys = makeSystem();
+    FlitRuntime rt(sys, PersistMode::FlitCxl0);
+    cxl0::Addr a = sys.allocate(0);
+    rt.privateStore(1, a, 3, /*pflag=*/true);
+    EXPECT_EQ(sys.peekMemory(a), 3);
+    cxl0::Addr b = sys.allocate(0);
+    rt.privateStore(1, b, 4, /*pflag=*/false);
+    EXPECT_EQ(sys.peekMemory(b), 0);
+    EXPECT_EQ(rt.privateLoad(1, b), 4);
+}
+
+TEST(Flit, AddrOptFlushesCheaperForOwnedWords)
+{
+    // The §6.1 optimization saves simulated time on owned locations.
+    CxlSystem sys_plain = makeSystem();
+    CxlSystem sys_opt = makeSystem();
+    FlitRuntime plain(sys_plain, PersistMode::FlitCxl0);
+    FlitRuntime opt(sys_opt, PersistMode::FlitCxl0AddrOpt);
+    SharedWord wp = plain.allocateShared(0);
+    SharedWord wo = opt.allocateShared(0);
+    for (int k = 0; k < 50; ++k) {
+        plain.sharedStore(0, wp, k);
+        opt.sharedStore(0, wo, k);
+    }
+    EXPECT_LE(sys_opt.clockNs(), sys_plain.clockNs());
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "hist/checker.hh"
+
+namespace
+{
+
+using namespace cxl0::hist;
+using cxl0::Value;
+
+/** Build a complete op with explicit stamps. */
+OpRecord
+done(int tid, const std::string &name, Value arg, Value ret,
+     uint64_t inv, uint64_t resp, Value arg2 = 0)
+{
+    OpRecord r;
+    r.threadId = tid;
+    r.op = name;
+    r.arg = arg;
+    r.arg2 = arg2;
+    r.ret = ret;
+    r.invokeStamp = inv;
+    r.responseStamp = resp;
+    return r;
+}
+
+/** Build a pending op (no response). */
+OpRecord
+pend(int tid, const std::string &name, Value arg, uint64_t inv)
+{
+    OpRecord r;
+    r.threadId = tid;
+    r.op = name;
+    r.arg = arg;
+    r.invokeStamp = inv;
+    return r;
+}
+
+TEST(Checker, EmptyHistoryLinearizable)
+{
+    auto r = checkLinearizable({}, *makeStackSpec());
+    EXPECT_TRUE(r.linearizable);
+}
+
+TEST(Checker, SequentialLegalHistory)
+{
+    std::vector<OpRecord> h{done(0, "push", 1, 0, 1, 2),
+                            done(0, "pop", 0, 1, 3, 4)};
+    EXPECT_TRUE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, SequentialIllegalHistory)
+{
+    std::vector<OpRecord> h{done(0, "push", 1, 0, 1, 2),
+                            done(0, "pop", 0, 2, 3, 4)};
+    EXPECT_FALSE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, OverlappingOpsMayReorder)
+{
+    // pop overlapping the push may linearize after it even though it
+    // was invoked first.
+    std::vector<OpRecord> h{done(0, "pop", 0, 1, 1, 4),
+                            done(1, "push", 1, 0, 2, 3)};
+    EXPECT_TRUE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, RealTimeOrderEnforced)
+{
+    // push completed strictly before the pop was invoked; pop cannot
+    // return empty.
+    std::vector<OpRecord> h{done(0, "push", 1, 0, 1, 2),
+                            done(1, "pop", 0, kEmptyRet, 3, 4)};
+    EXPECT_FALSE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, PendingOpMayBeDropped)
+{
+    // A pending push never took effect: the empty pop is fine.
+    std::vector<OpRecord> h{pend(0, "push", 1, 1),
+                            done(1, "pop", 0, kEmptyRet, 2, 3)};
+    EXPECT_TRUE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, PendingOpMayAlsoTakeEffect)
+{
+    // Or it did take effect and the pop observed it.
+    std::vector<OpRecord> h{pend(0, "push", 1, 1),
+                            done(1, "pop", 0, 1, 2, 3)};
+    EXPECT_TRUE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+TEST(Checker, CompletedOpMustNotBeDropped)
+{
+    // The completed push cannot be forgotten (this is the durability
+    // violation shape of §6).
+    std::vector<OpRecord> h{done(0, "write", 7, 0, 1, 2),
+                            done(1, "read", 0, 0, 3, 4)};
+    EXPECT_FALSE(
+        checkLinearizable(h, *makeRegisterSpec()).linearizable);
+}
+
+TEST(Checker, WitnessIsProduced)
+{
+    std::vector<OpRecord> h{done(0, "push", 1, 0, 1, 2),
+                            done(0, "pop", 0, 1, 3, 4)};
+    auto r = checkLinearizable(h, *makeStackSpec());
+    ASSERT_TRUE(r.linearizable);
+    EXPECT_EQ(r.witness.size(), 2u);
+}
+
+TEST(Checker, QueueCrossingHistory)
+{
+    // Two producers + consumer with overlapping intervals.
+    std::vector<OpRecord> h{
+        done(0, "enqueue", 1, 0, 1, 5),
+        done(1, "enqueue", 2, 0, 2, 4),
+        done(2, "dequeue", 0, 2, 6, 7),
+        done(2, "dequeue", 0, 1, 8, 9),
+    };
+    EXPECT_TRUE(checkLinearizable(h, *makeQueueSpec()).linearizable);
+}
+
+TEST(Checker, QueueIllegalReordering)
+{
+    // Non-overlapping enqueues must dequeue in order.
+    std::vector<OpRecord> h{
+        done(0, "enqueue", 1, 0, 1, 2),
+        done(0, "enqueue", 2, 0, 3, 4),
+        done(1, "dequeue", 0, 2, 5, 6),
+        done(1, "dequeue", 0, 1, 7, 8),
+    };
+    EXPECT_FALSE(checkLinearizable(h, *makeQueueSpec()).linearizable);
+}
+
+TEST(Checker, MapHistory)
+{
+    std::vector<OpRecord> h{
+        done(0, "put", 1, 0, 1, 2, 10),
+        done(1, "get", 1, 10, 3, 4),
+        done(0, "remove", 1, 1, 5, 6),
+        done(1, "get", 1, kEmptyRet, 7, 8),
+    };
+    EXPECT_TRUE(checkLinearizable(h, *makeMapSpec()).linearizable);
+}
+
+TEST(Checker, OversizedHistoryRejected)
+{
+    std::vector<OpRecord> h;
+    for (uint64_t k = 0; k < 30; ++k)
+        h.push_back(done(0, "push", 1, 0, 2 * k + 1, 2 * k + 2));
+    EXPECT_THROW(checkLinearizable(h, *makeStackSpec(), 24),
+                 std::invalid_argument);
+}
+
+TEST(Checker, TenOverlappingOpsTractable)
+{
+    // All ops mutually overlapping: worst case for the search.
+    std::vector<OpRecord> h;
+    for (int k = 0; k < 5; ++k)
+        h.push_back(done(k, "push", k + 1, 0, k + 1, 100 + k));
+    for (int k = 0; k < 5; ++k)
+        h.push_back(done(5 + k, "pop", 0, k + 1, 6 + k, 110 + k));
+    EXPECT_TRUE(checkLinearizable(h, *makeStackSpec()).linearizable);
+}
+
+} // namespace

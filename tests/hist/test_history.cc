@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hist/history.hh"
+
+namespace
+{
+
+using namespace cxl0::hist;
+
+TEST(History, InvokeRespondRoundTrip)
+{
+    HistoryRecorder rec;
+    size_t h = rec.invoke(0, "push", 5);
+    rec.respond(h, 0);
+    auto ops = rec.snapshot();
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].op, "push");
+    EXPECT_EQ(ops[0].arg, 5);
+    EXPECT_EQ(ops[0].ret, 0);
+    EXPECT_FALSE(ops[0].pending());
+}
+
+TEST(History, StampsAreStrictlyIncreasing)
+{
+    HistoryRecorder rec;
+    size_t a = rec.invoke(0, "push", 1);
+    size_t b = rec.invoke(1, "pop");
+    rec.respond(b, 1);
+    rec.respond(a, 0);
+    auto ops = rec.snapshot();
+    EXPECT_LT(ops[a].invokeStamp, ops[b].invokeStamp);
+    EXPECT_LT(*ops[b].responseStamp, *ops[a].responseStamp);
+    EXPECT_LT(ops[a].invokeStamp, *ops[a].responseStamp);
+}
+
+TEST(History, PendingOpsCounted)
+{
+    HistoryRecorder rec;
+    rec.invoke(0, "push", 1);
+    size_t b = rec.invoke(1, "push", 2);
+    rec.respond(b, 0);
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.pendingCount(), 1u);
+}
+
+TEST(History, DoubleResponseRejected)
+{
+    HistoryRecorder rec;
+    size_t h = rec.invoke(0, "pop");
+    rec.respond(h, 1);
+    EXPECT_THROW(rec.respond(h, 2), std::logic_error);
+}
+
+TEST(History, DescribeRendersOps)
+{
+    HistoryRecorder rec;
+    size_t h = rec.invoke(3, "put", 1, 2);
+    rec.respond(h, 0);
+    rec.invoke(4, "get", 1);
+    std::string s = describeHistory(rec.snapshot());
+    EXPECT_NE(s.find("T3:put(1,2)=0"), std::string::npos);
+    EXPECT_NE(s.find("[pending]"), std::string::npos);
+}
+
+TEST(History, ThreadSafeRecording)
+{
+    HistoryRecorder rec;
+    constexpr int kThreads = 4, kEach = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&rec, t] {
+            for (int k = 0; k < kEach; ++k) {
+                size_t h = rec.invoke(t, "op", k);
+                rec.respond(h, k);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    auto ops = rec.snapshot();
+    EXPECT_EQ(ops.size(), kThreads * kEach);
+    // All stamps distinct.
+    std::set<uint64_t> stamps;
+    for (const auto &op : ops) {
+        stamps.insert(op.invokeStamp);
+        stamps.insert(*op.responseStamp);
+    }
+    EXPECT_EQ(stamps.size(), 2u * kThreads * kEach);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hist/spec.hh"
+
+namespace
+{
+
+using namespace cxl0::hist;
+using cxl0::Value;
+
+OpRecord
+op(const std::string &name, Value arg, std::optional<Value> ret,
+   Value arg2 = 0)
+{
+    OpRecord r;
+    r.op = name;
+    r.arg = arg;
+    r.arg2 = arg2;
+    r.ret = ret;
+    return r;
+}
+
+TEST(StackSpec, LifoDiscipline)
+{
+    auto s = makeStackSpec();
+    EXPECT_TRUE(s->apply(op("push", 1, 0)));
+    EXPECT_TRUE(s->apply(op("push", 2, 0)));
+    EXPECT_FALSE(s->apply(op("pop", 0, 1))); // 2 is on top
+    EXPECT_TRUE(s->apply(op("pop", 0, 2)));
+    EXPECT_TRUE(s->apply(op("pop", 0, 1)));
+    EXPECT_TRUE(s->apply(op("pop", 0, kEmptyRet)));
+}
+
+TEST(StackSpec, UnconstrainedPopAccepted)
+{
+    auto s = makeStackSpec();
+    s->apply(op("push", 1, 0));
+    EXPECT_TRUE(s->apply(op("pop", 0, std::nullopt)));
+    // The unconstrained pop consumed the element.
+    EXPECT_TRUE(s->apply(op("pop", 0, kEmptyRet)));
+}
+
+TEST(QueueSpec, FifoDiscipline)
+{
+    auto q = makeQueueSpec();
+    EXPECT_TRUE(q->apply(op("enqueue", 1, 0)));
+    EXPECT_TRUE(q->apply(op("enqueue", 2, 0)));
+    EXPECT_FALSE(q->apply(op("dequeue", 0, 2)));
+    EXPECT_TRUE(q->apply(op("dequeue", 0, 1)));
+    EXPECT_TRUE(q->apply(op("dequeue", 0, 2)));
+    EXPECT_TRUE(q->apply(op("dequeue", 0, kEmptyRet)));
+}
+
+TEST(SetSpec, MembershipReturns)
+{
+    auto s = makeSetSpec();
+    EXPECT_TRUE(s->apply(op("contains", 3, 0)));
+    EXPECT_TRUE(s->apply(op("add", 3, 1)));
+    EXPECT_FALSE(s->apply(op("add", 3, 1))); // must return 0 now
+    EXPECT_TRUE(s->apply(op("add", 3, 0)));
+    EXPECT_TRUE(s->apply(op("contains", 3, 1)));
+    EXPECT_TRUE(s->apply(op("remove", 3, 1)));
+    EXPECT_TRUE(s->apply(op("remove", 3, 0)));
+}
+
+TEST(MapSpec, PutGetRemove)
+{
+    auto m = makeMapSpec();
+    EXPECT_TRUE(m->apply(op("get", 1, kEmptyRet)));
+    EXPECT_TRUE(m->apply(op("put", 1, 0, 10)));
+    EXPECT_TRUE(m->apply(op("get", 1, 10)));
+    EXPECT_FALSE(m->apply(op("get", 1, 11)));
+    EXPECT_TRUE(m->apply(op("put", 1, 0, 11)));
+    EXPECT_TRUE(m->apply(op("get", 1, 11)));
+    EXPECT_TRUE(m->apply(op("remove", 1, 1)));
+    EXPECT_TRUE(m->apply(op("get", 1, kEmptyRet)));
+}
+
+TEST(RegisterSpec, ReadsSeeLastWrite)
+{
+    auto r = makeRegisterSpec(5);
+    EXPECT_TRUE(r->apply(op("read", 0, 5)));
+    EXPECT_TRUE(r->apply(op("write", 9, 0)));
+    EXPECT_FALSE(r->apply(op("read", 0, 5)));
+    EXPECT_TRUE(r->apply(op("read", 0, 9)));
+    EXPECT_TRUE(r->apply(op("cas", 9, 1, 12)));
+    EXPECT_TRUE(r->apply(op("read", 0, 12)));
+    EXPECT_TRUE(r->apply(op("cas", 9, 0, 13))); // failing CAS
+    EXPECT_TRUE(r->apply(op("read", 0, 12)));
+}
+
+TEST(CounterSpec, AddReturnsOldValue)
+{
+    auto c = makeCounterSpec();
+    EXPECT_TRUE(c->apply(op("add", 4, 0)));
+    EXPECT_FALSE(c->apply(op("add", 1, 0))); // old value is 4 now
+    EXPECT_TRUE(c->apply(op("add", 1, 4)));
+    EXPECT_TRUE(c->apply(op("read", 0, 5)));
+}
+
+TEST(Specs, CloneIsDeep)
+{
+    auto s = makeStackSpec();
+    s->apply(op("push", 1, 0));
+    auto copy = s->clone();
+    EXPECT_TRUE(copy->apply(op("pop", 0, 1)));
+    // The original still holds the element.
+    EXPECT_TRUE(s->apply(op("pop", 0, 1)));
+}
+
+TEST(Specs, FingerprintsTrackState)
+{
+    auto s = makeStackSpec();
+    std::string f0 = s->fingerprint();
+    s->apply(op("push", 1, 0));
+    std::string f1 = s->fingerprint();
+    EXPECT_NE(f0, f1);
+    s->apply(op("pop", 0, 1));
+    EXPECT_EQ(s->fingerprint(), f0);
+}
+
+TEST(Specs, UnknownOperationRejected)
+{
+    auto s = makeStackSpec();
+    EXPECT_FALSE(s->apply(op("enqueue", 1, 0)));
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/config.hh"
+
+namespace
+{
+
+using cxl0::model::MachineConfig;
+using cxl0::model::SystemConfig;
+
+TEST(SystemConfig, UniformBuildsExpectedShape)
+{
+    SystemConfig cfg = SystemConfig::uniform(3, 2, true);
+    EXPECT_EQ(cfg.numNodes(), 3u);
+    EXPECT_EQ(cfg.numAddrs(), 6u);
+    EXPECT_EQ(cfg.ownerOf(0), 0);
+    EXPECT_EQ(cfg.ownerOf(1), 0);
+    EXPECT_EQ(cfg.ownerOf(2), 1);
+    EXPECT_EQ(cfg.ownerOf(5), 2);
+    for (cxl0::NodeId n = 0; n < 3; ++n)
+        EXPECT_TRUE(cfg.isPersistent(n));
+}
+
+TEST(SystemConfig, AddrsOwnedByPartitionsTheSpace)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 3, false);
+    auto a0 = cfg.addrsOwnedBy(0);
+    auto a1 = cfg.addrsOwnedBy(1);
+    EXPECT_EQ(a0.size(), 3u);
+    EXPECT_EQ(a1.size(), 3u);
+    for (cxl0::Addr x : a0)
+        EXPECT_EQ(cfg.ownerOf(x), 0);
+    for (cxl0::Addr x : a1)
+        EXPECT_EQ(cfg.ownerOf(x), 1);
+}
+
+TEST(SystemConfig, MixedPersistence)
+{
+    SystemConfig cfg({MachineConfig{true}, MachineConfig{false}}, {0, 1});
+    EXPECT_TRUE(cfg.isPersistent(0));
+    EXPECT_FALSE(cfg.isPersistent(1));
+}
+
+TEST(SystemConfig, RejectsEmptyMachineList)
+{
+    EXPECT_THROW(SystemConfig({}, {}), std::invalid_argument);
+}
+
+TEST(SystemConfig, RejectsOutOfRangeOwner)
+{
+    EXPECT_THROW(SystemConfig({MachineConfig{}}, {1}),
+                 std::invalid_argument);
+}
+
+TEST(SystemConfig, MemoryOnlyNodesAllowed)
+{
+    // A node may own all memory while others own none (§3.1: some
+    // nodes may be only memory nodes).
+    SystemConfig cfg({MachineConfig{}, MachineConfig{true}}, {1, 1});
+    EXPECT_TRUE(cfg.addrsOwnedBy(0).empty());
+    EXPECT_EQ(cfg.addrsOwnedBy(1).size(), 2u);
+}
+
+TEST(SystemConfig, DescribeMentionsEveryMachine)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("M0"), std::string::npos);
+    EXPECT_NE(d.find("M1"), std::string::npos);
+}
+
+} // namespace

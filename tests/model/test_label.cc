@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "model/label.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+
+TEST(Label, ClassifiersPartitionOps)
+{
+    EXPECT_TRUE(isStore(Op::LStore));
+    EXPECT_TRUE(isStore(Op::RStore));
+    EXPECT_TRUE(isStore(Op::MStore));
+    EXPECT_FALSE(isStore(Op::Load));
+    EXPECT_FALSE(isStore(Op::LRmw));
+
+    EXPECT_TRUE(isRmw(Op::LRmw));
+    EXPECT_TRUE(isRmw(Op::RRmw));
+    EXPECT_TRUE(isRmw(Op::MRmw));
+    EXPECT_FALSE(isRmw(Op::MStore));
+
+    EXPECT_TRUE(isFlush(Op::LFlush));
+    EXPECT_TRUE(isFlush(Op::RFlush));
+    EXPECT_TRUE(isFlush(Op::Gpf));
+    EXPECT_FALSE(isFlush(Op::Load));
+}
+
+TEST(Label, NamedConstructorsFillFields)
+{
+    Label l = Label::lstore(2, 3, 7);
+    EXPECT_EQ(l.op, Op::LStore);
+    EXPECT_EQ(l.node, 2);
+    EXPECT_EQ(l.addr, 3u);
+    EXPECT_EQ(l.value, 7);
+
+    Label rmw = Label::lrmw(1, 0, 4, 5);
+    EXPECT_EQ(rmw.expected, 4);
+    EXPECT_EQ(rmw.value, 5);
+
+    Label c = Label::crash(3);
+    EXPECT_EQ(c.op, Op::Crash);
+    EXPECT_EQ(c.node, 3);
+}
+
+TEST(Label, DescribeMatchesPaperNotation)
+{
+    EXPECT_EQ(Label::lstore(1, 2, 1).describe(), "LStore1(x2,1)");
+    EXPECT_EQ(Label::load(0, 0, 0).describe(), "Load0(x0,0)");
+    EXPECT_EQ(Label::rflush(2, 1).describe(), "RFlush2(x1)");
+    EXPECT_EQ(Label::crash(1).describe(), "E1");
+    EXPECT_EQ(Label::lrmw(0, 1, 2, 3).describe(), "L-RMW0(x1,2->3)");
+    EXPECT_EQ(Label::gpf(0).describe(), "GPF0");
+}
+
+TEST(Label, EqualityComparesAllFields)
+{
+    EXPECT_EQ(Label::lstore(0, 0, 1), Label::lstore(0, 0, 1));
+    EXPECT_NE(Label::lstore(0, 0, 1), Label::lstore(0, 0, 2));
+    EXPECT_NE(Label::lstore(0, 0, 1), Label::rstore(0, 0, 1));
+}
+
+TEST(Label, DescribeTraceJoinsWithSemicolons)
+{
+    std::vector<Label> t{Label::lstore(0, 0, 1), Label::crash(0)};
+    EXPECT_EQ(describeTrace(t), "LStore0(x0,1); E0");
+}
+
+TEST(Label, OpNamesAreStable)
+{
+    EXPECT_STREQ(opName(Op::Load), "Load");
+    EXPECT_STREQ(opName(Op::Gpf), "GPF");
+    EXPECT_STREQ(opName(Op::Tau), "tau");
+    EXPECT_STREQ(opName(Op::Crash), "E");
+}
+
+} // namespace

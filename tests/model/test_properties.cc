@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Property-based sweeps over the CXL0 semantics: random walks through
+ * the LTS (enabled labels + tau + crashes) must preserve the global
+ * cache invariant, keep loads deterministic, and respect the
+ * monotonicity properties the paper relies on implicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "model/semantics.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+using cxl0::Rng;
+using cxl0::Value;
+
+struct WalkCase
+{
+    const char *name;
+    size_t nodes;
+    size_t addrsPerNode;
+    bool persistent;
+    ModelVariant variant;
+    uint64_t seed;
+};
+
+class RandomWalkSuite : public ::testing::TestWithParam<WalkCase>
+{
+};
+
+TEST_P(RandomWalkSuite, InvariantAndDeterminismHoldThroughout)
+{
+    const WalkCase &c = GetParam();
+    SystemConfig cfg =
+        SystemConfig::uniform(c.nodes, c.addrsPerNode, c.persistent);
+    Cxl0Model m(cfg, c.variant);
+    State s = m.initialState();
+    Rng rng(c.seed);
+
+    for (int step = 0; step < 400; ++step) {
+        // Collect all enabled moves: labels, tau steps, crashes.
+        std::vector<Label> labels = m.enabledLabels(s, 2);
+        std::vector<State> taus = m.tauSuccessors(s);
+        size_t moves = labels.size() + taus.size();
+        ASSERT_GT(moves, 0u); // the LTS never deadlocks
+        size_t pick = rng.nextBelow(moves);
+        if (pick < labels.size()) {
+            auto next = m.apply(s, labels[pick]);
+            ASSERT_TRUE(next) << labels[pick].describe();
+            s = std::move(*next);
+        } else {
+            s = taus[pick - labels.size()];
+        }
+
+        // P1: the global cache invariant (§3.3) is inductive.
+        ASSERT_TRUE(s.invariantHolds());
+
+        // P2: loads are deterministic when enabled — loadable is a
+        // function; and in Base/PSN it is total.
+        for (cxl0::NodeId i = 0; i < cfg.numNodes(); ++i) {
+            for (cxl0::Addr x = 0; x < cfg.numAddrs(); ++x) {
+                auto v1 = m.loadable(s, i, x);
+                auto v2 = m.loadable(s, i, x);
+                ASSERT_EQ(v1, v2);
+                if (c.variant != ModelVariant::Lwb) {
+                    ASSERT_TRUE(v1.has_value());
+                }
+            }
+        }
+
+        // P3: all machines that can observe a value agree on it
+        // (coherence: reads-see-last-write has a unique witness).
+        for (cxl0::Addr x = 0; x < cfg.numAddrs(); ++x) {
+            std::optional<Value> seen;
+            for (cxl0::NodeId i = 0; i < cfg.numNodes(); ++i) {
+                auto v = m.loadable(s, i, x);
+                if (!v)
+                    continue;
+                if (seen) {
+                    ASSERT_EQ(*seen, *v);
+                }
+                seen = v;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Walks, RandomWalkSuite,
+    ::testing::Values(
+        WalkCase{"base_2n", 2, 2, true, ModelVariant::Base, 11},
+        WalkCase{"base_3n", 3, 1, true, ModelVariant::Base, 12},
+        WalkCase{"base_volatile", 2, 2, false, ModelVariant::Base, 13},
+        WalkCase{"psn", 2, 2, true, ModelVariant::Psn, 14},
+        WalkCase{"lwb", 2, 2, true, ModelVariant::Lwb, 15},
+        WalkCase{"lwb_volatile", 2, 1, false, ModelVariant::Lwb, 16}),
+    [](const ::testing::TestParamInfo<WalkCase> &info) {
+        return info.param.name;
+    });
+
+TEST(ModelProperties, TauStrictlyReducesCachedEntries)
+{
+    // Every tau step moves exactly one entry down the hierarchy, so
+    // the total number of valid cache entries never increases and
+    // drains terminate.
+    SystemConfig cfg = SystemConfig::uniform(3, 2, true);
+    Cxl0Model m(cfg);
+    Rng rng(21);
+    State s = m.initialState();
+    // Fill some caches via stores.
+    for (int k = 0; k < 10; ++k) {
+        auto next = m.apply(
+            s, Label::lstore(static_cast<cxl0::NodeId>(rng.nextBelow(3)),
+                             static_cast<cxl0::Addr>(rng.nextBelow(6)),
+                             rng.nextInRange(0, 5)));
+        ASSERT_TRUE(next);
+        s = std::move(*next);
+    }
+    auto count_valid = [&](const State &st) {
+        size_t n = 0;
+        for (cxl0::NodeId i = 0; i < 3; ++i)
+            for (cxl0::Addr x = 0; x < 6; ++x)
+                n += st.cacheValid(i, x);
+        return n;
+    };
+    // Follow tau steps to exhaustion.
+    size_t guard = 0;
+    for (;;) {
+        auto taus = m.tauSuccessors(s);
+        if (taus.empty())
+            break;
+        size_t before = count_valid(s);
+        s = taus[rng.nextBelow(taus.size())];
+        ASSERT_LE(count_valid(s), before);
+        ASSERT_LT(++guard, 100u) << "tau drain must terminate";
+    }
+    EXPECT_TRUE(s.allCachesEmpty());
+}
+
+TEST(ModelProperties, CrashIsIdempotent)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 2, false);
+    for (ModelVariant variant :
+         {ModelVariant::Base, ModelVariant::Psn, ModelVariant::Lwb}) {
+        Cxl0Model m(cfg, variant);
+        Rng rng(31);
+        State s = m.initialState();
+        for (int k = 0; k < 8; ++k) {
+            auto next = m.apply(
+                s,
+                Label::lstore(static_cast<cxl0::NodeId>(rng.nextBelow(2)),
+                              static_cast<cxl0::Addr>(rng.nextBelow(4)),
+                              rng.nextInRange(0, 5)));
+            ASSERT_TRUE(next);
+            s = std::move(*next);
+        }
+        State once = m.applyCrash(s, 0);
+        State twice = m.applyCrash(once, 0);
+        EXPECT_EQ(once, twice) << variantName(variant);
+    }
+}
+
+TEST(ModelProperties, GpfEnabledExactlyWhenAllCachesEmpty)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model m(cfg);
+    State s = m.initialState();
+    EXPECT_TRUE(m.apply(s, Label::gpf(0)));
+    auto stored = m.apply(s, Label::lstore(0, 0, 1));
+    ASSERT_TRUE(stored);
+    EXPECT_FALSE(m.apply(*stored, Label::gpf(0)));
+    EXPECT_FALSE(m.apply(*stored, Label::gpf(1)));
+    // Drain, then GPF is enabled again.
+    bool enabled_somewhere = false;
+    for (const State &t : m.tauClosure(*stored))
+        enabled_somewhere |= m.apply(t, Label::gpf(1)).has_value();
+    EXPECT_TRUE(enabled_somewhere);
+}
+
+TEST(ModelProperties, MStoreCommutesWithImmediateCrashOfIssuer)
+{
+    // An MStore by a non-owner followed by the *issuer's* crash
+    // leaves the same memory as the crash arriving after persistence
+    // — the issuer's state is irrelevant to the stored value.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model m(cfg);
+    State s = m.initialState();
+    auto stored = m.apply(s, Label::mstore(1, 0, 5));
+    ASSERT_TRUE(stored);
+    State after = m.applyCrash(*stored, 1);
+    EXPECT_EQ(after.memory(0), 5);
+}
+
+} // namespace

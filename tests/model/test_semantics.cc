@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "model/semantics.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+using cxl0::kBottom;
+
+class SemanticsTest : public ::testing::Test
+{
+  protected:
+    // Two machines, one address each, both persistent.
+    SemanticsTest()
+        : cfg(SystemConfig::uniform(2, 1, true)), model(cfg),
+          init(model.initialState())
+    {
+    }
+
+    SystemConfig cfg;
+    Cxl0Model model;
+    State init;
+};
+
+TEST_F(SemanticsTest, LStoreWritesLocalCacheAndInvalidatesOthers)
+{
+    State s = init;
+    s.setCache(1, 0, 5); // another cache holds x0
+    auto next = model.apply(s, Label::lstore(0, 0, 7));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->cache(0, 0), 7);
+    EXPECT_FALSE(next->cacheValid(1, 0));
+    EXPECT_EQ(next->memory(0), 0);
+}
+
+TEST_F(SemanticsTest, RStoreWritesOwnerCache)
+{
+    // addr 1 is owned by node 1; node 0 issues the RStore.
+    auto next = model.apply(init, Label::rstore(0, 1, 3));
+    ASSERT_TRUE(next);
+    EXPECT_FALSE(next->cacheValid(0, 1));
+    EXPECT_EQ(next->cache(1, 1), 3);
+    EXPECT_EQ(next->memory(1), 0);
+}
+
+TEST_F(SemanticsTest, RStoreByOwnerActsLikeLStore)
+{
+    auto r = model.apply(init, Label::rstore(1, 1, 3));
+    auto l = model.apply(init, Label::lstore(1, 1, 3));
+    ASSERT_TRUE(r);
+    ASSERT_TRUE(l);
+    EXPECT_EQ(*r, *l);
+}
+
+TEST_F(SemanticsTest, MStoreWritesMemoryAndInvalidatesAllCaches)
+{
+    State s = init;
+    s.setCache(0, 1, 9);
+    auto next = model.apply(s, Label::mstore(0, 1, 4));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->memory(1), 4);
+    EXPECT_FALSE(next->cacheValid(0, 1));
+    EXPECT_FALSE(next->cacheValid(1, 1));
+}
+
+TEST_F(SemanticsTest, LoadFromMemoryWhenNoCacheHolds)
+{
+    State s = init;
+    s.setMemory(1, 6);
+    auto v = model.loadable(s, 0, 1);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 6);
+    auto next = model.apply(s, Label::load(0, 1, 6));
+    ASSERT_TRUE(next);
+    // LOAD-from-M leaves the state unchanged.
+    EXPECT_EQ(*next, s);
+}
+
+TEST_F(SemanticsTest, LoadFromRemoteCacheCopiesIntoIssuer)
+{
+    State s = init;
+    s.setCache(1, 0, 8); // node 1 caches node 0's address
+    auto next = model.apply(s, Label::load(0, 0, 8));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->cache(0, 0), 8);
+    EXPECT_EQ(next->cache(1, 0), 8); // the source keeps its copy
+}
+
+TEST_F(SemanticsTest, LoadWithWrongValueIsNotEnabled)
+{
+    State s = init;
+    s.setMemory(0, 2);
+    EXPECT_FALSE(model.apply(s, Label::load(0, 0, 1)));
+    EXPECT_TRUE(model.apply(s, Label::load(0, 0, 2)));
+}
+
+TEST_F(SemanticsTest, CachedValueShadowsMemory)
+{
+    State s = init;
+    s.setMemory(0, 2);
+    s.setCache(1, 0, 5);
+    auto v = model.loadable(s, 0, 0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 5);
+}
+
+TEST_F(SemanticsTest, LFlushBlockedWhileLineCached)
+{
+    State s = init;
+    s.setCache(0, 0, 1);
+    EXPECT_FALSE(model.apply(s, Label::lflush(0, 0)));
+    // Another machine's copy does not block an LFlush.
+    State t = init;
+    t.setCache(1, 0, 1);
+    EXPECT_TRUE(model.apply(t, Label::lflush(0, 0)));
+}
+
+TEST_F(SemanticsTest, RFlushBlockedWhileAnyCacheHoldsLine)
+{
+    State s = init;
+    s.setCache(1, 0, 1);
+    EXPECT_FALSE(model.apply(s, Label::rflush(0, 0)));
+    EXPECT_TRUE(model.apply(init, Label::rflush(0, 0)));
+}
+
+TEST_F(SemanticsTest, GpfRequiresAllCachesEmpty)
+{
+    State s = init;
+    s.setCache(1, 1, 1);
+    EXPECT_FALSE(model.apply(s, Label::gpf(0)));
+    EXPECT_TRUE(model.apply(init, Label::gpf(0)));
+}
+
+TEST_F(SemanticsTest, FlushesDoNotChangeState)
+{
+    auto next = model.apply(init, Label::rflush(0, 0));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(*next, init);
+}
+
+TEST_F(SemanticsTest, TauPropagatesNonOwnerCacheToOwnerCache)
+{
+    State s = init;
+    s.setCache(0, 1, 5); // node 0 caches node 1's address
+    auto succs = model.tauSuccessors(s);
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_FALSE(succs[0].cacheValid(0, 1));
+    EXPECT_EQ(succs[0].cache(1, 1), 5);
+    EXPECT_EQ(succs[0].memory(1), 0);
+}
+
+TEST_F(SemanticsTest, TauPropagatesOwnerCacheToMemory)
+{
+    State s = init;
+    s.setCache(0, 0, 5); // owner caches its own address
+    auto succs = model.tauSuccessors(s);
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_FALSE(succs[0].cacheValid(0, 0));
+    EXPECT_EQ(succs[0].memory(0), 5);
+}
+
+TEST_F(SemanticsTest, TauClosureReachesFullDrain)
+{
+    State s = init;
+    s.setCache(0, 1, 5);
+    bool found_drained = false;
+    for (const State &t : model.tauClosure(s)) {
+        if (t.allCachesEmpty() && t.memory(1) == 5)
+            found_drained = true;
+        EXPECT_TRUE(t.invariantHolds());
+    }
+    EXPECT_TRUE(found_drained);
+}
+
+TEST_F(SemanticsTest, CrashClearsCacheKeepsPersistentMemory)
+{
+    State s = init;
+    s.setCache(0, 0, 3);
+    s.setMemory(0, 2);
+    State next = model.applyCrash(s, 0);
+    EXPECT_FALSE(next.cacheValid(0, 0));
+    EXPECT_EQ(next.memory(0), 2); // persistent memory survives
+}
+
+TEST_F(SemanticsTest, CrashResetsVolatileMemory)
+{
+    SystemConfig vcfg = SystemConfig::uniform(2, 1, false);
+    Cxl0Model vmodel(vcfg);
+    State s = vmodel.initialState();
+    s.setMemory(0, 2);
+    s.setMemory(1, 7);
+    State next = vmodel.applyCrash(s, 0);
+    EXPECT_EQ(next.memory(0), 0); // volatile, owned by crashed node
+    EXPECT_EQ(next.memory(1), 7); // other node unaffected
+}
+
+TEST_F(SemanticsTest, CrashLeavesOtherCachesInBaseModel)
+{
+    State s = init;
+    s.setCache(1, 0, 3); // node 1 caches node 0's address
+    State next = model.applyCrash(s, 0);
+    EXPECT_EQ(next.cache(1, 0), 3);
+}
+
+TEST_F(SemanticsTest, RmwRequiresExpectedValue)
+{
+    State s = init;
+    s.setMemory(0, 2);
+    EXPECT_FALSE(model.apply(s, Label::lrmw(0, 0, 1, 9)));
+    auto next = model.apply(s, Label::lrmw(0, 0, 2, 9));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->cache(0, 0), 9);
+    EXPECT_EQ(next->memory(0), 2); // L-RMW does not touch memory
+}
+
+TEST_F(SemanticsTest, RRmwWritesOwnerCache)
+{
+    auto next = model.apply(init, Label::rrmw(0, 1, 0, 5));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->cache(1, 1), 5);
+    EXPECT_FALSE(next->cacheValid(0, 1));
+}
+
+TEST_F(SemanticsTest, MRmwWritesMemory)
+{
+    auto next = model.apply(init, Label::mrmw(0, 1, 0, 5));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->memory(1), 5);
+    EXPECT_FALSE(next->cachedAnywhere(1));
+}
+
+TEST_F(SemanticsTest, RmwReadsFromCacheToo)
+{
+    State s = init;
+    s.setCache(1, 0, 4); // remote cache holds the current value
+    auto next = model.apply(s, Label::lrmw(0, 0, 4, 6));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(next->cache(0, 0), 6);
+    EXPECT_FALSE(next->cacheValid(1, 0));
+}
+
+TEST_F(SemanticsTest, StepsPreserveGlobalInvariant)
+{
+    // Drive a short scripted run and check the invariant throughout.
+    State s = init;
+    for (const Label &l :
+         {Label::lstore(0, 1, 1), Label::load(1, 1, 1),
+          Label::rstore(0, 0, 2), Label::mstore(1, 1, 3),
+          Label::load(0, 1, 3)}) {
+        auto next = model.apply(s, l);
+        ASSERT_TRUE(next) << l.describe();
+        s = *next;
+        EXPECT_TRUE(s.invariantHolds()) << l.describe();
+    }
+}
+
+TEST_F(SemanticsTest, EnabledLabelsContainsOnlyApplicable)
+{
+    State s = init;
+    s.setCache(0, 1, 1);
+    for (const Label &l : model.enabledLabels(s, 1)) {
+        EXPECT_TRUE(model.apply(s, l)) << l.describe();
+        EXPECT_NE(l.op, Op::Tau);
+    }
+}
+
+TEST_F(SemanticsTest, WithoutCrashesSemanticsIsSequentiallyConsistent)
+{
+    // §3.3: without crashes every load reads the last written value,
+    // regardless of the store flavour used.
+    for (Op store : {Op::LStore, Op::RStore, Op::MStore}) {
+        State s = init;
+        auto w = model.apply(s, Label{store, 0, 1, 42, 0});
+        ASSERT_TRUE(w);
+        auto v = model.loadable(*w, 1, 1);
+        ASSERT_TRUE(v);
+        EXPECT_EQ(*v, 42);
+    }
+}
+
+TEST(Restrictions, EmptyMaskAllowsEverything)
+{
+    Restrictions r;
+    EXPECT_TRUE(r.allows(0, Op::RStore));
+    EXPECT_TRUE(r.allows(5, Op::Gpf));
+}
+
+TEST(Restrictions, MasksAreEnforcedByApply)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Restrictions r;
+    r.allowedOps = {opBit(Op::Load) | opBit(Op::LStore),
+                    opBit(Op::Load)};
+    Cxl0Model model(cfg, ModelVariant::Base, r);
+    State init = model.initialState();
+    EXPECT_TRUE(model.apply(init, Label::lstore(0, 0, 1)));
+    EXPECT_FALSE(model.apply(init, Label::mstore(0, 0, 1)));
+    EXPECT_FALSE(model.apply(init, Label::lstore(1, 0, 1)));
+    // Crash is always allowed.
+    EXPECT_TRUE(model.apply(init, Label::crash(1)));
+}
+
+TEST(Restrictions, CacheToCachePropagationCanBeDisabled)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Restrictions r;
+    r.allowCacheToCache = false;
+    Cxl0Model model(cfg, ModelVariant::Base, r);
+    State s = model.initialState();
+    s.setCache(1, 0, 5); // non-owner holds the line
+    EXPECT_TRUE(model.tauSuccessors(s).empty());
+}
+
+TEST(Restrictions, MismatchedMaskCountRejected)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Restrictions r;
+    r.allowedOps = {0};
+    EXPECT_THROW(Cxl0Model(cfg, ModelVariant::Base, r),
+                 std::invalid_argument);
+}
+
+} // namespace

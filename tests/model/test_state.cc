@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "model/state.hh"
+
+namespace
+{
+
+using cxl0::kBottom;
+using cxl0::model::State;
+using cxl0::model::StateHash;
+
+TEST(State, InitialStateIsEmptyCachesZeroMemory)
+{
+    State s(2, 3);
+    for (cxl0::NodeId i = 0; i < 2; ++i)
+        for (cxl0::Addr x = 0; x < 3; ++x)
+            EXPECT_FALSE(s.cacheValid(i, x));
+    for (cxl0::Addr x = 0; x < 3; ++x)
+        EXPECT_EQ(s.memory(x), 0);
+    EXPECT_TRUE(s.allCachesEmpty());
+    EXPECT_TRUE(s.invariantHolds());
+}
+
+TEST(State, SetAndReadCache)
+{
+    State s(2, 2);
+    s.setCache(1, 0, 7);
+    EXPECT_TRUE(s.cacheValid(1, 0));
+    EXPECT_EQ(s.cache(1, 0), 7);
+    EXPECT_FALSE(s.cacheValid(0, 0));
+    EXPECT_FALSE(s.allCachesEmpty());
+}
+
+TEST(State, InvalidateEverywhere)
+{
+    State s(3, 1);
+    s.setCache(0, 0, 1);
+    s.setCache(1, 0, 1);
+    s.invalidateEverywhere(0);
+    EXPECT_TRUE(s.allCachesEmpty());
+}
+
+TEST(State, InvalidateOthersKeepsOwnEntry)
+{
+    State s(3, 1);
+    s.setCache(0, 0, 1);
+    s.setCache(1, 0, 1);
+    s.setCache(2, 0, 1);
+    s.invalidateOthers(1, 0);
+    EXPECT_FALSE(s.cacheValid(0, 0));
+    EXPECT_TRUE(s.cacheValid(1, 0));
+    EXPECT_FALSE(s.cacheValid(2, 0));
+}
+
+TEST(State, ClearCacheDropsAllLines)
+{
+    State s(2, 2);
+    s.setCache(0, 0, 1);
+    s.setCache(0, 1, 2);
+    s.setCache(1, 0, 1);
+    s.clearCache(0);
+    EXPECT_FALSE(s.cacheValid(0, 0));
+    EXPECT_FALSE(s.cacheValid(0, 1));
+    EXPECT_TRUE(s.cacheValid(1, 0));
+}
+
+TEST(State, AnyCachedFindsTheUniqueValue)
+{
+    State s(3, 2);
+    EXPECT_EQ(s.anyCached(0), kBottom);
+    s.setCache(2, 0, 9);
+    EXPECT_EQ(s.anyCached(0), 9);
+    EXPECT_TRUE(s.cachedAnywhere(0));
+    EXPECT_FALSE(s.cachedAnywhere(1));
+}
+
+TEST(State, InvariantDetectsDivergentCaches)
+{
+    State s(2, 1);
+    s.setCache(0, 0, 1);
+    s.setCache(1, 0, 2);
+    EXPECT_FALSE(s.invariantHolds());
+    s.setCache(1, 0, 1);
+    EXPECT_TRUE(s.invariantHolds());
+}
+
+TEST(State, CacheMayDisagreeWithMemory)
+{
+    // §3.3: the cached value may be newer than the owner's memory.
+    State s(1, 1);
+    s.setCache(0, 0, 5);
+    s.setMemory(0, 0);
+    EXPECT_TRUE(s.invariantHolds());
+}
+
+TEST(State, EqualityAndHashAgree)
+{
+    State a(2, 2), b(2, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.setCache(0, 1, 3);
+    EXPECT_NE(a, b);
+    a.setCache(0, 1, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(State, HashDistinguishesCacheFromMemory)
+{
+    State a(1, 1), b(1, 1);
+    a.setCache(0, 0, 1);
+    b.setMemory(0, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(State, UsableInUnorderedSet)
+{
+    std::unordered_set<State, StateHash> set;
+    State a(2, 1);
+    set.insert(a);
+    EXPECT_FALSE(set.insert(a).second);
+    a.setMemory(0, 4);
+    EXPECT_TRUE(set.insert(a).second);
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(State, DescribeShowsValidEntries)
+{
+    State s(2, 2);
+    s.setCache(0, 1, 8);
+    s.setMemory(0, 3);
+    std::string d = s.describe();
+    EXPECT_NE(d.find("x1=8"), std::string::npos);
+    EXPECT_NE(d.find("x0=3"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "model/topology.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+
+TEST(Topology, HostDevicePairRestrictionsMatchPaper)
+{
+    // §4: host issues everything but RStore, LFlush, R-RMW, M-RMW;
+    // device issues all stores but no LFlush or remote RMWs.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model m = makeHostDevicePair(cfg);
+    const Restrictions &r = m.restrictions();
+
+    // Host = node 0.
+    EXPECT_TRUE(r.allows(0, Op::Load));
+    EXPECT_TRUE(r.allows(0, Op::LStore));
+    EXPECT_TRUE(r.allows(0, Op::MStore));
+    EXPECT_TRUE(r.allows(0, Op::RFlush));
+    EXPECT_TRUE(r.allows(0, Op::Gpf));
+    EXPECT_TRUE(r.allows(0, Op::LRmw));
+    EXPECT_FALSE(r.allows(0, Op::RStore));
+    EXPECT_FALSE(r.allows(0, Op::LFlush));
+    EXPECT_FALSE(r.allows(0, Op::RRmw));
+    EXPECT_FALSE(r.allows(0, Op::MRmw));
+
+    // Device = node 1.
+    EXPECT_TRUE(r.allows(1, Op::LStore));
+    EXPECT_TRUE(r.allows(1, Op::RStore));
+    EXPECT_TRUE(r.allows(1, Op::MStore));
+    EXPECT_TRUE(r.allows(1, Op::RFlush));
+    EXPECT_FALSE(r.allows(1, Op::LFlush));
+    EXPECT_FALSE(r.allows(1, Op::RRmw));
+    EXPECT_FALSE(r.allows(1, Op::MRmw));
+}
+
+TEST(Topology, HostDevicePairNeedsTwoMachines)
+{
+    SystemConfig cfg = SystemConfig::uniform(3, 1, true);
+    EXPECT_THROW(makeHostDevicePair(cfg), std::invalid_argument);
+}
+
+TEST(Topology, PartitionedPoolShape)
+{
+    Cxl0Model m = makePartitionedPool(2, 3);
+    // Each host owns its partition, modeled as persistent memory in
+    // an external failure domain.
+    EXPECT_EQ(m.config().numNodes(), 2u);
+    EXPECT_EQ(m.config().numAddrs(), 6u);
+    EXPECT_TRUE(m.config().isPersistent(0));
+    EXPECT_TRUE(m.config().isPersistent(1));
+    EXPECT_EQ(m.config().addrsOwnedBy(0).size(), 3u);
+    EXPECT_EQ(m.config().addrsOwnedBy(1).size(), 3u);
+}
+
+TEST(Topology, PartitionedPoolSurvivesHostCrash)
+{
+    // The pool is an external failure domain: a host crash loses the
+    // cache but never the partition contents.
+    Cxl0Model m = makePartitionedPool(2, 1);
+    State s = m.initialState();
+    auto w = m.apply(s, Label::mstore(0, 0, 9));
+    ASSERT_TRUE(w);
+    State after = m.applyCrash(*w, 0);
+    EXPECT_EQ(after.memory(0), 9);
+}
+
+TEST(Topology, PartitionedPoolExcludesInterHostInteraction)
+{
+    Cxl0Model m = makePartitionedPool(2, 1);
+    const Restrictions &r = m.restrictions();
+    EXPECT_FALSE(r.allows(0, Op::RStore));
+    EXPECT_FALSE(r.allows(0, Op::RRmw));
+    EXPECT_FALSE(r.allows(0, Op::MRmw));
+    EXPECT_TRUE(r.allows(0, Op::LStore));
+    EXPECT_TRUE(r.allows(0, Op::MStore));
+    EXPECT_TRUE(r.allows(0, Op::LFlush));
+    EXPECT_TRUE(r.allows(0, Op::RFlush));
+    EXPECT_FALSE(r.allowCacheToCache);
+    EXPECT_FALSE(r.serveLoadFromRemoteCache);
+}
+
+TEST(Topology, PartitionedPoolLFlushEquivalentToRFlush)
+{
+    // §4: with no cache-to-cache propagation, the owner's line drains
+    // straight to memory, so the two flushes coincide semantically.
+    Cxl0Model m = makePartitionedPool(1, 1);
+    State s = m.initialState();
+    auto stored = m.apply(s, Label::lstore(0, 0, 1));
+    ASSERT_TRUE(stored);
+    // Both flushes block until the same drain has happened.
+    EXPECT_FALSE(m.apply(*stored, Label::lflush(0, 0)));
+    EXPECT_FALSE(m.apply(*stored, Label::rflush(0, 0)));
+    bool both_enabled_somewhere = false;
+    for (const State &t : m.tauClosure(*stored)) {
+        bool lf = m.apply(t, Label::lflush(0, 0)).has_value();
+        bool rf = m.apply(t, Label::rflush(0, 0)).has_value();
+        EXPECT_EQ(lf, rf);
+        both_enabled_somewhere |= (lf && rf);
+    }
+    EXPECT_TRUE(both_enabled_somewhere);
+}
+
+TEST(Topology, SharedPoolCoherentRestrictions)
+{
+    Cxl0Model m = makeSharedPool(2, 2, true);
+    const Restrictions &r = m.restrictions();
+    EXPECT_EQ(m.config().numNodes(), 3u);
+    EXPECT_EQ(m.config().ownerOf(0), 2);
+    EXPECT_FALSE(r.allows(0, Op::RStore));
+    EXPECT_FALSE(r.allows(0, Op::LFlush));
+    EXPECT_FALSE(r.allows(0, Op::RRmw));
+    EXPECT_TRUE(r.allows(0, Op::LStore));
+    EXPECT_TRUE(r.allows(0, Op::MStore));
+    EXPECT_TRUE(r.allows(0, Op::RFlush));
+    EXPECT_TRUE(r.allows(0, Op::LRmw));
+    // The drain path toward the pool stays enabled (see topology.cc).
+    EXPECT_TRUE(r.allowCacheToCache);
+    EXPECT_FALSE(r.serveLoadFromRemoteCache);
+}
+
+TEST(Topology, SharedPoolBypassOnlyCacheBypassingPrimitives)
+{
+    Cxl0Model m = makeSharedPool(2, 2, false);
+    const Restrictions &r = m.restrictions();
+    EXPECT_TRUE(r.allows(0, Op::Load));
+    EXPECT_TRUE(r.allows(0, Op::MStore));
+    EXPECT_TRUE(r.allows(0, Op::MRmw));
+    EXPECT_FALSE(r.allows(0, Op::LStore));
+    EXPECT_FALSE(r.allows(0, Op::RStore));
+    EXPECT_FALSE(r.allows(0, Op::LFlush));
+    EXPECT_FALSE(r.allows(0, Op::RFlush));
+    EXPECT_FALSE(r.allows(0, Op::LRmw));
+}
+
+TEST(Topology, SharedPoolBypassNeverPopulatesCaches)
+{
+    // With only MStore / LOAD-from-M / M-RMW, caches stay empty, so
+    // the coherence assumption is never exercised.
+    Cxl0Model m = makeSharedPool(2, 1, false);
+    State s = m.initialState();
+    auto w = m.apply(s, Label::mstore(0, 0, 1));
+    ASSERT_TRUE(w);
+    EXPECT_TRUE(w->allCachesEmpty());
+    auto v = m.loadable(*w, 1, 0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 1);
+    auto after_load = m.apply(*w, Label::load(1, 0, 1));
+    ASSERT_TRUE(after_load);
+    EXPECT_TRUE(after_load->allCachesEmpty());
+}
+
+TEST(Topology, PoolSurvivesHostCrash)
+{
+    // The pool is an external failure domain: host crashes never
+    // affect pool contents.
+    Cxl0Model m = makeSharedPool(2, 1, true);
+    State s = m.initialState();
+    auto w = m.apply(s, Label::mstore(0, 0, 7));
+    ASSERT_TRUE(w);
+    State after = m.applyCrash(*w, 0);
+    EXPECT_EQ(after.memory(0), 7);
+}
+
+TEST(Topology, NamesAreStable)
+{
+    EXPECT_STREQ(topologyName(Topology::General), "general");
+    EXPECT_STREQ(topologyName(Topology::HostDevicePair),
+                 "host-device pair");
+    EXPECT_STREQ(topologyName(Topology::PartitionedPool),
+                 "partitioned pool");
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "model/semantics.hh"
+
+namespace
+{
+
+using namespace cxl0::model;
+
+class VariantTest : public ::testing::Test
+{
+  protected:
+    // §3.5 setting: machine 0 has NVMM, machine 1 volatile memory;
+    // one address owned by each.
+    VariantTest()
+        : cfg({MachineConfig{true}, MachineConfig{false}}, {0, 1})
+    {
+    }
+
+    SystemConfig cfg;
+};
+
+TEST_F(VariantTest, VariantNames)
+{
+    EXPECT_STREQ(variantName(ModelVariant::Base), "CXL0");
+    EXPECT_STREQ(variantName(ModelVariant::Psn), "CXL0_PSN");
+    EXPECT_STREQ(variantName(ModelVariant::Lwb), "CXL0_LWB");
+}
+
+TEST_F(VariantTest, PsnCrashPoisonsRemoteCopiesOfOwnedLines)
+{
+    Cxl0Model psn(cfg, ModelVariant::Psn);
+    State s = psn.initialState();
+    s.setCache(1, 0, 5); // machine 1 caches machine 0's address
+    s.setCache(1, 1, 7); // machine 1 caches its own address
+    State next = psn.applyCrash(s, 0);
+    // x0 belongs to the crashed machine: poisoned everywhere.
+    EXPECT_FALSE(next.cacheValid(1, 0));
+    // x1 does not belong to machine 0: untouched.
+    EXPECT_EQ(next.cache(1, 1), 7);
+}
+
+TEST_F(VariantTest, BaseCrashKeepsRemoteCopies)
+{
+    Cxl0Model base(cfg, ModelVariant::Base);
+    State s = base.initialState();
+    s.setCache(1, 0, 5);
+    State next = base.applyCrash(s, 0);
+    EXPECT_EQ(next.cache(1, 0), 5);
+}
+
+TEST_F(VariantTest, PsnCrashStillResetsVolatileMemory)
+{
+    Cxl0Model psn(cfg, ModelVariant::Psn);
+    State s = psn.initialState();
+    s.setMemory(1, 9);
+    State next = psn.applyCrash(s, 1);
+    EXPECT_EQ(next.memory(1), 0);
+    // Machine 0's NVMM untouched by machine 1's crash.
+    s.setMemory(0, 3);
+    next = psn.applyCrash(s, 1);
+    EXPECT_EQ(next.memory(0), 3);
+}
+
+TEST_F(VariantTest, LwbServesLocalCacheDirectly)
+{
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    State s = lwb.initialState();
+    s.setCache(1, 0, 5);
+    auto v = lwb.loadable(s, 1, 0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 5);
+    // The LWB load does not mutate state.
+    auto next = lwb.apply(s, Label::load(1, 0, 5));
+    ASSERT_TRUE(next);
+    EXPECT_EQ(*next, s);
+}
+
+TEST_F(VariantTest, LwbBlocksLoadWhileRemoteCacheHoldsLine)
+{
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    State s = lwb.initialState();
+    s.setCache(1, 0, 5); // machine 1 holds x0; machine 0 loads x0
+    EXPECT_FALSE(lwb.loadable(s, 0, 0));
+    EXPECT_FALSE(lwb.apply(s, Label::load(0, 0, 5)));
+    // After full drain the load is served from memory.
+    bool some_drained_state_allows_load = false;
+    for (const State &t : lwb.tauClosure(s)) {
+        if (auto v = lwb.loadable(t, 0, 0)) {
+            EXPECT_EQ(*v, 5); // must come from memory after drain
+            some_drained_state_allows_load = true;
+        }
+    }
+    EXPECT_TRUE(some_drained_state_allows_load);
+}
+
+TEST_F(VariantTest, LwbLoadFromMemoryWhenAllClear)
+{
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    State s = lwb.initialState();
+    s.setMemory(0, 4);
+    auto v = lwb.loadable(s, 1, 0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 4);
+}
+
+TEST_F(VariantTest, BaseLoadServedFromRemoteCache)
+{
+    Cxl0Model base(cfg, ModelVariant::Base);
+    State s = base.initialState();
+    s.setCache(1, 0, 5);
+    auto v = base.loadable(s, 0, 0);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 5);
+}
+
+TEST_F(VariantTest, VariantStepsStayWithinBaseBehaviour)
+{
+    // Every non-crash step of a variant is also a base step with the
+    // same label and effect (crash differs only for PSN, load effect
+    // differs for LWB but the post-state is base-reachable after tau).
+    Cxl0Model base(cfg, ModelVariant::Base);
+    Cxl0Model lwb(cfg, ModelVariant::Lwb);
+    State s = base.initialState();
+    auto w = base.apply(s, Label::lstore(0, 0, 1));
+    ASSERT_TRUE(w);
+    // Base allows exactly the loads LWB allows on the writer's node.
+    auto v_base = base.loadable(*w, 0, 0);
+    auto v_lwb = lwb.loadable(*w, 0, 0);
+    ASSERT_TRUE(v_base);
+    ASSERT_TRUE(v_lwb);
+    EXPECT_EQ(*v_base, *v_lwb);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0::runtime;
+using cxl0::kBottom;
+using cxl0::model::SystemConfig;
+
+SystemOptions
+manual()
+{
+    SystemOptions o(SystemConfig::uniform(2, 8, true));
+    o.policy = PropagationPolicy::Manual;
+    return o;
+}
+
+TEST(AsyncFlush, NoEffectUntilFence)
+{
+    CxlSystem sys(manual());
+    sys.lstore(1, 0, 5); // addr 0 owned by node 0
+    sys.rflushAsync(1, 0);
+    EXPECT_EQ(sys.peekMemory(0), 0);
+    EXPECT_EQ(sys.peekCache(1, 0), 5);
+    EXPECT_EQ(sys.pendingAsyncFlushes(1), 1u);
+    sys.fence(1);
+    EXPECT_EQ(sys.peekMemory(0), 5);
+    EXPECT_EQ(sys.pendingAsyncFlushes(1), 0u);
+}
+
+TEST(AsyncFlush, BatchDrainsAllMarkedLines)
+{
+    CxlSystem sys(manual());
+    for (cxl0::Addr x = 0; x < 4; ++x) {
+        sys.lstore(1, x, 10 + x);
+        sys.rflushAsync(1, x);
+    }
+    EXPECT_EQ(sys.pendingAsyncFlushes(1), 4u);
+    sys.fence(1);
+    for (cxl0::Addr x = 0; x < 4; ++x)
+        EXPECT_EQ(sys.peekMemory(x), 10 + static_cast<cxl0::Value>(x));
+}
+
+TEST(AsyncFlush, BatchConfirmationIsAmortized)
+{
+    // N async flushes + one fence must charge less simulated time
+    // than N synchronous RFlushes (the §3.2 motivation for adding
+    // asynchronous flushes to the specification).
+    SystemOptions o1 = manual(), o2 = manual();
+    CxlSystem sync_sys(std::move(o1)), async_sys(std::move(o2));
+    for (cxl0::Addr x = 0; x < 4; ++x) {
+        sync_sys.lstore(1, x, 1);
+        sync_sys.rflush(1, x);
+        async_sys.lstore(1, x, 1);
+        async_sys.rflushAsync(1, x);
+    }
+    async_sys.fence(1);
+    EXPECT_LT(async_sys.clockNs(), sync_sys.clockNs());
+    // Both end fully persistent.
+    for (cxl0::Addr x = 0; x < 4; ++x) {
+        EXPECT_EQ(sync_sys.peekMemory(x), 1);
+        EXPECT_EQ(async_sys.peekMemory(x), 1);
+    }
+}
+
+TEST(AsyncFlush, PendingFlushesDieWithTheMachine)
+{
+    CxlSystem sys(manual());
+    sys.lstore(1, 0, 5);
+    sys.rflushAsync(1, 0);
+    sys.crash(1); // the issuer dies before fencing
+    EXPECT_EQ(sys.pendingAsyncFlushes(1), 0u);
+    EXPECT_EQ(sys.peekMemory(0), 0); // nothing persisted
+}
+
+TEST(AsyncFlush, FenceWithNothingPendingIsCheapNoOp)
+{
+    CxlSystem sys(manual());
+    double before = sys.clockNs();
+    sys.fence(0);
+    EXPECT_DOUBLE_EQ(sys.clockNs(), before);
+}
+
+TEST(AsyncFlush, FenceFlushesLatestValue)
+{
+    // CLFLUSHOPT semantics: the fence persists whatever the line
+    // holds at fence time, even if overwritten after the mark.
+    CxlSystem sys(manual());
+    sys.lstore(1, 0, 5);
+    sys.rflushAsync(1, 0);
+    sys.lstore(1, 0, 6);
+    sys.fence(1);
+    EXPECT_EQ(sys.peekMemory(0), 6);
+}
+
+TEST(AsyncFlush, PerNodeQueuesAreIndependent)
+{
+    CxlSystem sys(manual());
+    sys.lstore(0, 0, 1);
+    sys.rflushAsync(0, 0);
+    sys.lstore(1, 4, 2); // addr 4 owned by node 1
+    sys.rflushAsync(1, 4);
+    sys.fence(0);
+    EXPECT_EQ(sys.peekMemory(0), 1);
+    EXPECT_EQ(sys.peekMemory(4), 0); // node 1 has not fenced
+    sys.fence(1);
+    EXPECT_EQ(sys.peekMemory(4), 2);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0::runtime;
+using cxl0::Value;
+using cxl0::model::SystemConfig;
+
+TEST(Concurrency, FaaFromManyThreadsIsExact)
+{
+    SystemOptions o(SystemConfig::uniform(2, 1, true));
+    o.policy = PropagationPolicy::Random;
+    o.seed = 7;
+    CxlSystem sys(std::move(o));
+
+    constexpr int kThreads = 4;
+    constexpr int kIncrs = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sys, t] {
+            cxl0::NodeId by = static_cast<cxl0::NodeId>(t % 2);
+            for (int k = 0; k < kIncrs; ++k)
+                sys.faaL(by, 0, 1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(sys.load(0, 0), kThreads * kIncrs);
+    EXPECT_TRUE(sys.invariantHolds());
+}
+
+TEST(Concurrency, CasWinnersAreUnique)
+{
+    SystemOptions o(SystemConfig::uniform(2, 1, true));
+    o.policy = PropagationPolicy::Random;
+    o.seed = 13;
+    CxlSystem sys(std::move(o));
+
+    constexpr int kThreads = 8;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sys, &winners, t] {
+            cxl0::NodeId by = static_cast<cxl0::NodeId>(t % 2);
+            if (sys.casL(by, 0, 0, t + 1).success)
+                winners.fetch_add(1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(Concurrency, CoherenceUnderMixedTraffic)
+{
+    SystemOptions o(SystemConfig::uniform(3, 2, true));
+    o.policy = PropagationPolicy::Random;
+    o.evictionChancePct = 30;
+    o.seed = 23;
+    CxlSystem sys(std::move(o));
+
+    std::atomic<bool> broken{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&sys, &broken, t] {
+            cxl0::Rng rng(100 + t);
+            cxl0::NodeId by = static_cast<cxl0::NodeId>(t);
+            for (int k = 0; k < 300; ++k) {
+                cxl0::Addr x =
+                    static_cast<cxl0::Addr>(rng.nextBelow(6));
+                switch (rng.nextBelow(5)) {
+                  case 0: sys.lstore(by, x, rng.nextInRange(1, 5));
+                          break;
+                  case 1: sys.mstore(by, x, rng.nextInRange(1, 5));
+                          break;
+                  case 2: sys.load(by, x); break;
+                  case 3: sys.rflush(by, x); break;
+                  case 4: sys.faaL(by, x, 1); break;
+                }
+                if (!sys.invariantHolds())
+                    broken.store(true);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_FALSE(broken.load());
+}
+
+TEST(Concurrency, CrashDuringTrafficKeepsInvariant)
+{
+    SystemOptions o(SystemConfig::uniform(2, 2, true));
+    o.policy = PropagationPolicy::Random;
+    o.seed = 31;
+    CxlSystem sys(std::move(o));
+
+    std::atomic<bool> stop{false};
+    std::thread mutator([&] {
+        cxl0::Rng rng(41);
+        while (!stop.load()) {
+            cxl0::Addr x = static_cast<cxl0::Addr>(rng.nextBelow(4));
+            sys.lstore(1, x, rng.nextInRange(1, 9));
+            sys.load(1, x);
+        }
+    });
+    for (int k = 0; k < 20; ++k) {
+        sys.crash(0);
+        EXPECT_TRUE(sys.invariantHolds());
+        std::this_thread::yield();
+    }
+    stop.store(true);
+    mutator.join();
+    EXPECT_EQ(sys.epoch(0), 20u);
+    EXPECT_TRUE(sys.invariantHolds());
+}
+
+TEST(Concurrency, ReadsNeverObserveTornOrForeignValues)
+{
+    // Writers only ever write their own tag; readers must only
+    // observe written tags or the initial 0.
+    SystemOptions o(SystemConfig::uniform(2, 1, true));
+    o.policy = PropagationPolicy::Random;
+    o.seed = 53;
+    CxlSystem sys(std::move(o));
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> bad{false};
+    std::thread w1([&] {
+        while (!stop.load())
+            sys.lstore(0, 0, 100);
+    });
+    std::thread w2([&] {
+        while (!stop.load())
+            sys.mstore(1, 0, 200);
+    });
+    std::thread r([&] {
+        for (int k = 0; k < 2000; ++k) {
+            Value v = sys.load(1, 0);
+            if (v != 0 && v != 100 && v != 200)
+                bad.store(true);
+        }
+        stop.store(true);
+    });
+    w1.join();
+    w2.join();
+    r.join();
+    EXPECT_FALSE(bad.load());
+}
+
+} // namespace

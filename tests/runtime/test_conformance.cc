@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Runtime <-> model conformance: every execution the runtime produces
+ * must be a feasible trace of the abstract CXL0 LTS.
+ *
+ * The test drives CxlSystem with random operation sequences (stores of
+ * all flavours, loads, flushes, RMWs, GPF, crashes), records the
+ * corresponding labels — loads and RMWs with the values the runtime
+ * actually observed — and asserts the TraceChecker can execute the
+ * label sequence with tau steps interleaved. This pins the executable
+ * runtime to the formal semantics: random evictions, forced drains
+ * inside flushes, and LWB blocking must all be explainable as legal
+ * tau propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/trace.hh"
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using check::TraceChecker;
+using model::Label;
+using model::ModelVariant;
+using model::SystemConfig;
+using runtime::CxlSystem;
+using runtime::PropagationPolicy;
+using runtime::SystemOptions;
+
+struct ConformanceCase
+{
+    const char *name;
+    ModelVariant variant;
+    bool persistent;
+    uint64_t seed;
+};
+
+class ConformanceSuite
+    : public ::testing::TestWithParam<ConformanceCase>
+{
+};
+
+TEST_P(ConformanceSuite, RandomRunIsFeasibleModelTrace)
+{
+    const ConformanceCase &c = GetParam();
+    SystemConfig cfg = SystemConfig::uniform(2, 2, c.persistent);
+    SystemOptions opts(cfg);
+    opts.variant = c.variant;
+    opts.policy = PropagationPolicy::Random;
+    opts.evictionChancePct = 25;
+    opts.seed = c.seed;
+    CxlSystem sys(std::move(opts));
+
+    model::Cxl0Model m(cfg, c.variant);
+    TraceChecker checker(m);
+
+    Rng rng(c.seed * 7919 + 13);
+    std::vector<Label> trace;
+    for (int step = 0; step < 25; ++step) {
+        NodeId by = static_cast<NodeId>(rng.nextBelow(2));
+        Addr x = static_cast<Addr>(rng.nextBelow(4));
+        Value v = rng.nextInRange(0, 3);
+        switch (rng.nextBelow(9)) {
+          case 0:
+            sys.lstore(by, x, v);
+            trace.push_back(Label::lstore(by, x, v));
+            break;
+          case 1:
+            sys.rstore(by, x, v);
+            trace.push_back(Label::rstore(by, x, v));
+            break;
+          case 2:
+            sys.mstore(by, x, v);
+            trace.push_back(Label::mstore(by, x, v));
+            break;
+          case 3: {
+            Value got = sys.load(by, x);
+            trace.push_back(Label::load(by, x, got));
+            break;
+          }
+          case 4:
+            sys.lflush(by, x);
+            trace.push_back(Label::lflush(by, x));
+            break;
+          case 5:
+            sys.rflush(by, x);
+            trace.push_back(Label::rflush(by, x));
+            break;
+          case 6: {
+            auto r = sys.casL(by, x, v, v + 1);
+            if (r.success)
+                trace.push_back(Label::lrmw(by, x, v, v + 1));
+            else
+                trace.push_back(Label::load(by, x, r.previous));
+            break;
+          }
+          case 7: {
+            Value old = sys.faaM(by, x, 1);
+            trace.push_back(Label::mrmw(by, x, old, old + 1));
+            break;
+          }
+          case 8:
+            if (rng.chance(1, 3)) {
+                sys.crash(by);
+                trace.push_back(Label::crash(by));
+            } else {
+                sys.gpf(by);
+                trace.push_back(Label::gpf(by));
+            }
+            break;
+        }
+        // Check incrementally so a failure points at the first
+        // non-conforming step.
+        ASSERT_TRUE(checker.feasible(trace))
+            << c.name << ": runtime produced a trace the model "
+            << "cannot execute:\n"
+            << model::describeTrace(trace);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, ConformanceSuite,
+    ::testing::Values(
+        ConformanceCase{"base_nv_1", ModelVariant::Base, true, 1},
+        ConformanceCase{"base_nv_2", ModelVariant::Base, true, 2},
+        ConformanceCase{"base_volatile", ModelVariant::Base, false, 3},
+        ConformanceCase{"psn_nv", ModelVariant::Psn, true, 4},
+        ConformanceCase{"psn_volatile", ModelVariant::Psn, false, 5},
+        ConformanceCase{"lwb_nv", ModelVariant::Lwb, true, 6}),
+    [](const ::testing::TestParamInfo<ConformanceCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Conformance, EagerPolicyAlsoConforms)
+{
+    // Eager draining after stores is just aggressive tau scheduling.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    SystemOptions opts(cfg);
+    opts.policy = PropagationPolicy::Eager;
+    CxlSystem sys(std::move(opts));
+    model::Cxl0Model m(cfg);
+    TraceChecker checker(m);
+
+    std::vector<Label> trace;
+    sys.lstore(1, 0, 1);
+    trace.push_back(Label::lstore(1, 0, 1));
+    trace.push_back(Label::load(0, 0, sys.load(0, 0)));
+    sys.crash(0);
+    trace.push_back(Label::crash(0));
+    trace.push_back(Label::load(1, 0, sys.load(1, 0)));
+    EXPECT_TRUE(checker.feasible(trace))
+        << model::describeTrace(trace);
+}
+
+TEST(Conformance, AsyncFlushFenceConforms)
+{
+    // rflushAsync + fence together behave like the model's RFlush
+    // (the fence point is where the RFlush label sits).
+    SystemConfig cfg = SystemConfig::uniform(2, 2, true);
+    SystemOptions opts(cfg);
+    opts.policy = PropagationPolicy::Manual;
+    CxlSystem sys(std::move(opts));
+    model::Cxl0Model m(cfg);
+    TraceChecker checker(m);
+
+    std::vector<Label> trace;
+    sys.lstore(1, 0, 1);
+    trace.push_back(Label::lstore(1, 0, 1));
+    sys.lstore(1, 2, 2);
+    trace.push_back(Label::lstore(1, 2, 2));
+    sys.rflushAsync(1, 0);
+    sys.rflushAsync(1, 2);
+    sys.fence(1);
+    trace.push_back(Label::rflush(1, 0));
+    trace.push_back(Label::rflush(1, 2));
+    sys.crash(0);
+    trace.push_back(Label::crash(0));
+    trace.push_back(Label::load(0, 0, sys.load(0, 0)));
+    trace.push_back(Label::load(0, 2, sys.load(0, 2)));
+    EXPECT_TRUE(checker.feasible(trace))
+        << model::describeTrace(trace);
+    EXPECT_EQ(sys.peekMemory(0), 1);
+}
+
+} // namespace

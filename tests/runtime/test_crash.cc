@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0::runtime;
+using cxl0::kBottom;
+using cxl0::model::MachineConfig;
+using cxl0::model::ModelVariant;
+using cxl0::model::SystemConfig;
+
+SystemOptions
+manual(SystemConfig cfg)
+{
+    SystemOptions o(std::move(cfg));
+    o.policy = PropagationPolicy::Manual;
+    return o;
+}
+
+TEST(Crash, CacheLostMemoryKeptWhenPersistent)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, true)));
+    sys.mstore(0, 0, 5);
+    sys.lstore(0, 0, 9); // newer value only in cache
+    sys.crash(0);
+    EXPECT_EQ(sys.peekCache(0, 0), kBottom);
+    EXPECT_EQ(sys.load(0, 0), 5); // rolled back to persisted value
+}
+
+TEST(Crash, VolatileMemoryResets)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, false)));
+    sys.mstore(0, 0, 5);
+    sys.crash(0);
+    EXPECT_EQ(sys.load(0, 0), 0);
+}
+
+TEST(Crash, RemoteCrashDoesNotAffectLocalMemory)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, false)));
+    sys.mstore(0, 0, 5); // addr 0 owned by node 0
+    sys.crash(1);
+    EXPECT_EQ(sys.load(0, 0), 5);
+}
+
+TEST(Crash, EpochAdvances)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, true)));
+    EXPECT_EQ(sys.epoch(0), 0u);
+    sys.crash(0);
+    sys.crash(0);
+    sys.crash(1);
+    EXPECT_EQ(sys.epoch(0), 2u);
+    EXPECT_EQ(sys.epoch(1), 1u);
+}
+
+TEST(Crash, ReproducesLitmusTest1)
+{
+    // RStore1(x1,1); E1; Load1(x1,0) is executable on the runtime.
+    CxlSystem sys(manual(SystemConfig::uniform(1, 1, true)));
+    sys.rstore(0, 0, 1);
+    sys.crash(0);
+    EXPECT_EQ(sys.load(0, 0), 0);
+}
+
+TEST(Crash, ReproducesLitmusTest2)
+{
+    // MStore survives the crash.
+    CxlSystem sys(manual(SystemConfig::uniform(1, 1, true)));
+    sys.mstore(0, 0, 1);
+    sys.crash(0);
+    EXPECT_EQ(sys.load(0, 0), 1);
+}
+
+TEST(Crash, ReproducesLitmusTest4And5)
+{
+    // LFlush to a remote owner's cache does not survive the owner's
+    // crash; RFlush does.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true); // x on node 0
+    {
+        CxlSystem sys(manual(cfg));
+        sys.lstore(1, 0, 1);
+        sys.lflush(1, 0);
+        sys.crash(0);
+        EXPECT_EQ(sys.load(1, 0), 0); // test 4: value lost
+    }
+    {
+        CxlSystem sys(manual(cfg));
+        sys.lstore(1, 0, 1);
+        sys.rflush(1, 0);
+        sys.crash(0);
+        EXPECT_EQ(sys.load(1, 0), 1); // test 5: value persisted
+    }
+}
+
+TEST(Crash, PsnPoisonsRemoteCopies)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    SystemOptions o(cfg);
+    o.policy = PropagationPolicy::Manual;
+    o.variant = ModelVariant::Psn;
+    CxlSystem sys(std::move(o));
+    sys.lstore(1, 0, 1); // node 1 caches node 0's line
+    sys.crash(0);
+    EXPECT_EQ(sys.peekCache(1, 0), kBottom); // poisoned
+    EXPECT_EQ(sys.load(1, 0), 0);
+}
+
+TEST(Crash, BaseKeepsRemoteCopies)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, true)));
+    sys.lstore(1, 0, 1);
+    sys.crash(0);
+    EXPECT_EQ(sys.peekCache(1, 0), 1);
+    EXPECT_EQ(sys.load(1, 0), 1);
+}
+
+TEST(Crash, LwbLoadWaitsForDrain)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    SystemOptions o(cfg);
+    o.policy = PropagationPolicy::Manual;
+    o.variant = ModelVariant::Lwb;
+    CxlSystem sys(std::move(o));
+    sys.lstore(1, 0, 1);
+    // Node 0's load blocks on node 1's copy; the runtime performs the
+    // drain, so the load returns the (now persistent) value.
+    EXPECT_EQ(sys.load(0, 0), 1);
+    EXPECT_EQ(sys.peekMemory(0), 1);
+    // After the forced drain, the owner's crash cannot lose it.
+    sys.crash(0);
+    EXPECT_EQ(sys.load(1, 0), 1);
+}
+
+TEST(Crash, MotivatingExampleOnRuntime)
+{
+    // §6's program: x=1; r1=x; r2=x with x on a remote machine that
+    // crashes in between — r1 != r2 is observable on the runtime.
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, true)));
+    sys.lstore(1, 0, 1);         // M1 stores to x (on M2 = node 0)
+    cxl0::Value r1 = sys.load(1, 0);
+    sys.evictOne();              // the line drifts to the owner's cache
+    sys.crash(0);                // M2 crashes before it persists
+    cxl0::Value r2 = sys.load(1, 0);
+    EXPECT_EQ(r1, 1);
+    EXPECT_EQ(r2, 0);            // assertion r1 == r2 violated
+}
+
+TEST(Crash, UnknownNodeRejected)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(1, 1, true)));
+    EXPECT_THROW(sys.crash(7), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "model/topology.hh"
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0::runtime;
+using cxl0::kBottom;
+using cxl0::model::MachineConfig;
+using cxl0::model::ModelVariant;
+using cxl0::model::SystemConfig;
+
+SystemOptions
+manualOptions(size_t nodes, size_t addrs_per_node, bool persistent)
+{
+    SystemOptions o(
+        SystemConfig::uniform(nodes, addrs_per_node, persistent));
+    o.policy = PropagationPolicy::Manual;
+    return o;
+}
+
+TEST(System, AllocateHandsOutOwnedCells)
+{
+    CxlSystem sys(manualOptions(2, 3, true));
+    for (int k = 0; k < 3; ++k) {
+        cxl0::Addr x = sys.allocate(1);
+        EXPECT_EQ(sys.config().ownerOf(x), 1);
+    }
+    EXPECT_EQ(sys.freeCells(1), 0u);
+    EXPECT_EQ(sys.freeCells(0), 3u);
+    EXPECT_THROW(sys.allocate(1), std::invalid_argument);
+}
+
+TEST(System, StoreLoadRoundTrip)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    sys.lstore(0, 0, 5);
+    EXPECT_EQ(sys.load(0, 0), 5);
+    EXPECT_EQ(sys.load(1, 0), 5); // coherence across nodes
+}
+
+TEST(System, LStoreStaysInCacheUnderManualPolicy)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    sys.lstore(1, 0, 7); // node 1 stores to node 0's address
+    EXPECT_EQ(sys.peekCache(1, 0), 7);
+    EXPECT_EQ(sys.peekMemory(0), 0);
+}
+
+TEST(System, MStoreReachesMemoryImmediately)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    sys.mstore(1, 0, 7);
+    EXPECT_EQ(sys.peekMemory(0), 7);
+    EXPECT_EQ(sys.peekCache(1, 0), kBottom);
+}
+
+TEST(System, RStoreLandsInOwnerCache)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    sys.rstore(1, 0, 9);
+    EXPECT_EQ(sys.peekCache(0, 0), 9);
+    EXPECT_EQ(sys.peekCache(1, 0), kBottom);
+    EXPECT_EQ(sys.peekMemory(0), 0);
+}
+
+TEST(System, LFlushMovesLineOneHop)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    // Non-owner flush pushes the line to the owner's cache only
+    // (litmus test 4's insufficiency).
+    sys.lstore(1, 0, 3);
+    sys.lflush(1, 0);
+    EXPECT_EQ(sys.peekCache(1, 0), kBottom);
+    EXPECT_EQ(sys.peekCache(0, 0), 3);
+    EXPECT_EQ(sys.peekMemory(0), 0);
+    // The owner's LFlush forces vertical propagation to memory.
+    sys.lflush(0, 0);
+    EXPECT_EQ(sys.peekCache(0, 0), kBottom);
+    EXPECT_EQ(sys.peekMemory(0), 3);
+}
+
+TEST(System, RFlushForcesFullPersistence)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    sys.lstore(1, 0, 4);
+    sys.rflush(1, 0);
+    EXPECT_EQ(sys.peekMemory(0), 4);
+    EXPECT_EQ(sys.peekCache(0, 0), kBottom);
+    EXPECT_EQ(sys.peekCache(1, 0), kBottom);
+}
+
+TEST(System, GpfDrainsEverything)
+{
+    CxlSystem sys(manualOptions(2, 2, true));
+    sys.lstore(0, 0, 1);
+    sys.lstore(0, 2, 2); // node 1's address
+    sys.lstore(1, 3, 3);
+    sys.gpf(0);
+    EXPECT_EQ(sys.peekMemory(0), 1);
+    EXPECT_EQ(sys.peekMemory(2), 2);
+    EXPECT_EQ(sys.peekMemory(3), 3);
+    EXPECT_TRUE(sys.invariantHolds());
+}
+
+TEST(System, CasSemantics)
+{
+    CxlSystem sys(manualOptions(1, 1, true));
+    auto r1 = sys.casL(0, 0, 0, 5);
+    EXPECT_TRUE(r1.success);
+    EXPECT_EQ(r1.previous, 0);
+    auto r2 = sys.casL(0, 0, 0, 6);
+    EXPECT_FALSE(r2.success);
+    EXPECT_EQ(r2.previous, 5);
+    EXPECT_EQ(sys.load(0, 0), 5);
+}
+
+TEST(System, CasMPersists)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    EXPECT_TRUE(sys.casM(1, 0, 0, 8).success);
+    EXPECT_EQ(sys.peekMemory(0), 8);
+}
+
+TEST(System, FaaAccumulates)
+{
+    CxlSystem sys(manualOptions(1, 1, true));
+    EXPECT_EQ(sys.faaL(0, 0, 3), 0);
+    EXPECT_EQ(sys.faaL(0, 0, 4), 3);
+    EXPECT_EQ(sys.load(0, 0), 7);
+}
+
+TEST(System, EagerPolicyDrainsEveryStore)
+{
+    SystemOptions o(SystemConfig::uniform(2, 1, true));
+    o.policy = PropagationPolicy::Eager;
+    CxlSystem sys(std::move(o));
+    sys.lstore(1, 0, 6);
+    EXPECT_EQ(sys.peekMemory(0), 6);
+}
+
+TEST(System, RandomPolicyEventuallyDrains)
+{
+    SystemOptions o(SystemConfig::uniform(2, 1, true));
+    o.policy = PropagationPolicy::Random;
+    o.evictionChancePct = 50;
+    o.seed = 3;
+    CxlSystem sys(std::move(o));
+    sys.lstore(1, 0, 2);
+    // Loads trigger eviction opportunities; eventually memory sees it.
+    for (int k = 0; k < 200 && sys.peekMemory(0) != 2; ++k)
+        sys.load(1, 0);
+    EXPECT_EQ(sys.peekMemory(0), 2);
+}
+
+TEST(System, ClockAccumulatesCosts)
+{
+    CxlSystem sys(manualOptions(2, 1, true));
+    double c0 = sys.clockNs();
+    sys.lstore(0, 0, 1);
+    double c1 = sys.clockNs();
+    EXPECT_GT(c1, c0);
+    sys.mstore(1, 0, 2); // remote MStore is the most expensive
+    double c2 = sys.clockNs();
+    EXPECT_GT(c2 - c1, c1 - c0);
+    EXPECT_EQ(sys.opCount(), 2u);
+}
+
+TEST(System, RemoteAccessCostsMoreThanLocal)
+{
+    CxlSystem a(manualOptions(2, 1, true));
+    CxlSystem b(manualOptions(2, 1, true));
+    a.mstore(0, 0, 1); // owner: local persist
+    b.mstore(1, 0, 1); // non-owner: remote persist
+    EXPECT_LT(a.clockNs(), b.clockNs());
+}
+
+TEST(System, TopologyRestrictionsEnforced)
+{
+    using cxl0::model::makeSharedPool;
+    auto m = makeSharedPool(2, 2, false); // bypass pool
+    SystemOptions o(m.config());
+    o.policy = PropagationPolicy::Manual;
+    CxlSystem sys(std::move(o));
+    // The runtime itself built from a plain config allows LStore; use
+    // the restricted config path: stores via model must be permitted.
+    // (Here we just check the unrestricted system accepts it, and the
+    // restricted model path is covered in model tests.)
+    sys.mstore(0, 0, 1);
+    EXPECT_EQ(sys.load(1, 0), 1);
+}
+
+TEST(System, InvariantHoldsAfterMixedWorkload)
+{
+    SystemOptions o(SystemConfig::uniform(3, 2, true));
+    o.policy = PropagationPolicy::Random;
+    o.seed = 11;
+    CxlSystem sys(std::move(o));
+    cxl0::Rng rng(5);
+    for (int k = 0; k < 500; ++k) {
+        cxl0::NodeId by = static_cast<cxl0::NodeId>(rng.nextBelow(3));
+        cxl0::Addr x = static_cast<cxl0::Addr>(rng.nextBelow(6));
+        switch (rng.nextBelow(6)) {
+          case 0: sys.lstore(by, x, rng.nextInRange(0, 9)); break;
+          case 1: sys.rstore(by, x, rng.nextInRange(0, 9)); break;
+          case 2: sys.mstore(by, x, rng.nextInRange(0, 9)); break;
+          case 3: sys.load(by, x); break;
+          case 4: sys.rflush(by, x); break;
+          case 5: sys.faaL(by, x, 1); break;
+        }
+        ASSERT_TRUE(sys.invariantHolds());
+    }
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/analyzer.hh"
+
+namespace
+{
+
+using namespace cxl0::sim;
+
+TEST(Analyzer, StartsEmpty)
+{
+    ProtocolAnalyzer a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_TRUE(a.capture().empty());
+    EXPECT_EQ(a.describe(), "None");
+}
+
+TEST(Analyzer, RecordsInOrder)
+{
+    ProtocolAnalyzer a;
+    a.record(Channel::CacheD2H, Transaction::RdOwn);
+    a.record(Channel::CacheD2H, Transaction::DirtyEvict);
+    ASSERT_EQ(a.capture().size(), 2u);
+    EXPECT_EQ(a.capture()[0].type, Transaction::RdOwn);
+    EXPECT_EQ(a.capture()[1].type, Transaction::DirtyEvict);
+    EXPECT_EQ(a.describe(), "RdOwn + DirtyEvict");
+}
+
+TEST(Analyzer, CountIgnoresNone)
+{
+    ProtocolAnalyzer a;
+    a.record(Channel::None, Transaction::None);
+    a.record(Channel::MemM2S, Transaction::MemWr);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Analyzer, ClearResets)
+{
+    ProtocolAnalyzer a;
+    a.record(Channel::MemM2S, Transaction::MemWr);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_TRUE(a.capture().empty());
+}
+
+TEST(Analyzer, HistogramAggregates)
+{
+    ProtocolAnalyzer a;
+    a.record(Channel::CacheH2D, Transaction::SnpInv);
+    a.record(Channel::CacheH2D, Transaction::SnpInv);
+    a.record(Channel::MemM2S, Transaction::MemWr);
+    auto h = a.histogram();
+    EXPECT_EQ(h[Transaction::SnpInv], 2u);
+    EXPECT_EQ(h[Transaction::MemWr], 1u);
+    EXPECT_EQ(h.count(Transaction::RdOwn), 0u);
+}
+
+} // namespace

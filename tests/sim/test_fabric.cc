@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "sim/fabric.hh"
+
+namespace
+{
+
+using namespace cxl0::sim;
+using cxl0::Value;
+
+class FabricTest : public ::testing::Test
+{
+  protected:
+    FabricTest() : fab(FabricConfig{4, 4, 1})
+    {
+        hm = 0;                            // a host-attached line
+        hdm = 4;                           // a device-memory line
+    }
+
+    FabricSim fab;
+    cxl0::Addr hm, hdm;
+};
+
+TEST_F(FabricTest, AddressPartitioning)
+{
+    EXPECT_EQ(fab.memKindOf(hm), MemKind::HM);
+    EXPECT_EQ(fab.memKindOf(hdm), MemKind::HDM);
+    EXPECT_EQ(fab.numLines(), 8u);
+}
+
+TEST_F(FabricTest, CategoriesFollowAgentAndBias)
+{
+    EXPECT_EQ(fab.categoryOf(AgentKind::Host, hm),
+              AccessCategory::HostToHM);
+    EXPECT_EQ(fab.categoryOf(AgentKind::Host, hdm),
+              AccessCategory::HostToHDM);
+    EXPECT_EQ(fab.categoryOf(AgentKind::Device, hm),
+              AccessCategory::DevToHM);
+    EXPECT_EQ(fab.categoryOf(AgentKind::Device, hdm),
+              AccessCategory::DevToHDMHostBias);
+    fab.setBias(hdm, BiasMode::DeviceBias);
+    EXPECT_EQ(fab.categoryOf(AgentKind::Device, hdm),
+              AccessCategory::DevToHDMDevBias);
+}
+
+TEST_F(FabricTest, HostReadMissFillsExclusive)
+{
+    fab.read(AgentKind::Host, hm);
+    EXPECT_EQ(fab.hostState(hm), CacheState::E);
+    // Local HM miss with an idle device: no link traffic.
+    EXPECT_EQ(fab.analyzer().count(), 0u);
+}
+
+TEST_F(FabricTest, HostReadHdmMissEmitsMemRdData)
+{
+    fab.read(AgentKind::Host, hdm);
+    ASSERT_EQ(fab.analyzer().count(), 1u);
+    EXPECT_EQ(fab.analyzer().capture()[0].type, Transaction::MemRdData);
+    EXPECT_EQ(fab.analyzer().capture()[0].channel, Channel::MemM2S);
+    EXPECT_EQ(fab.hostState(hdm), CacheState::S);
+}
+
+TEST_F(FabricTest, HostReadSnoopsDeviceCopyOfHm)
+{
+    fab.setLineState(hm, CacheState::I, CacheState::S);
+    fab.read(AgentKind::Host, hm);
+    ASSERT_EQ(fab.analyzer().count(), 1u);
+    EXPECT_EQ(fab.analyzer().capture()[0].type, Transaction::SnpInv);
+    EXPECT_EQ(fab.deviceState(hm), CacheState::I);
+}
+
+TEST_F(FabricTest, ValuesFlowThroughStores)
+{
+    fab.lstore(AgentKind::Host, hm, 42);
+    Value v = 0;
+    fab.read(AgentKind::Device, hm, &v);
+    EXPECT_EQ(v, 42);
+}
+
+TEST_F(FabricTest, MStorePersistsImmediately)
+{
+    fab.mstore(AgentKind::Device, hm, 9);
+    EXPECT_EQ(fab.memValue(hm), 9);
+    EXPECT_EQ(fab.deviceState(hm), CacheState::I);
+    EXPECT_EQ(fab.hostState(hm), CacheState::I);
+}
+
+TEST_F(FabricTest, LStoreDoesNotPersist)
+{
+    fab.lstore(AgentKind::Host, hm, 7);
+    EXPECT_EQ(fab.memValue(hm), 0);
+    EXPECT_EQ(fab.latestValue(hm), 7);
+    EXPECT_EQ(fab.hostState(hm), CacheState::M);
+}
+
+TEST_F(FabricTest, RFlushWritesBackDirtyLine)
+{
+    fab.lstore(AgentKind::Host, hm, 7);
+    fab.rflush(AgentKind::Host, hm);
+    EXPECT_EQ(fab.memValue(hm), 7);
+    EXPECT_EQ(fab.hostState(hm), CacheState::I);
+}
+
+TEST_F(FabricTest, DeviceRStorePushesIntoHostDomain)
+{
+    fab.rstore(AgentKind::Device, hm, 5);
+    ASSERT_EQ(fab.analyzer().count(), 1u);
+    EXPECT_EQ(fab.analyzer().capture()[0].type, Transaction::ItoMWr);
+    EXPECT_EQ(fab.hostState(hm), CacheState::M);
+    EXPECT_EQ(fab.deviceState(hm), CacheState::I);
+    EXPECT_EQ(fab.latestValue(hm), 5);
+    EXPECT_EQ(fab.memValue(hm), 0); // owner cache, not yet memory
+}
+
+TEST_F(FabricTest, HostRStoreUnavailable)
+{
+    EXPECT_THROW(fab.rstore(AgentKind::Host, hm, 1),
+                 std::invalid_argument);
+}
+
+TEST_F(FabricTest, LFlushUnavailableFromBothSides)
+{
+    EXPECT_THROW(fab.lflush(AgentKind::Host, hm),
+                 std::invalid_argument);
+    EXPECT_THROW(fab.lflush(AgentKind::Device, hdm),
+                 std::invalid_argument);
+}
+
+TEST_F(FabricTest, DeviceBiasAccessesGenerateNoTraffic)
+{
+    fab.setBias(hdm, BiasMode::DeviceBias);
+    fab.read(AgentKind::Device, hdm);
+    fab.lstore(AgentKind::Device, hdm, 3);
+    fab.rflush(AgentKind::Device, hdm);
+    EXPECT_EQ(fab.analyzer().count(), 0u);
+    EXPECT_EQ(fab.memValue(hdm), 3);
+}
+
+TEST_F(FabricTest, HostBiasDeviceReadEmitsRdShared)
+{
+    fab.read(AgentKind::Device, hdm);
+    ASSERT_EQ(fab.analyzer().count(), 1u);
+    EXPECT_EQ(fab.analyzer().capture()[0].type, Transaction::RdShared);
+}
+
+TEST_F(FabricTest, CoherenceInvariantMaintainedAcrossMixedOps)
+{
+    fab.lstore(AgentKind::Host, hm, 1);
+    EXPECT_TRUE(fab.coherenceInvariantHolds());
+    fab.lstore(AgentKind::Device, hm, 2);
+    EXPECT_TRUE(fab.coherenceInvariantHolds());
+    fab.read(AgentKind::Host, hm);
+    EXPECT_TRUE(fab.coherenceInvariantHolds());
+    fab.mstore(AgentKind::Device, hdm, 3);
+    EXPECT_TRUE(fab.coherenceInvariantHolds());
+    Value v = 0;
+    fab.read(AgentKind::Host, hdm, &v);
+    EXPECT_EQ(v, 3);
+    EXPECT_TRUE(fab.coherenceInvariantHolds());
+}
+
+TEST_F(FabricTest, DirtySnoopWritesBack)
+{
+    fab.lstore(AgentKind::Device, hm, 8); // device M
+    EXPECT_EQ(fab.deviceState(hm), CacheState::M);
+    fab.read(AgentKind::Host, hm);        // SnpInv, dirty data saved
+    EXPECT_EQ(fab.memValue(hm), 8);
+}
+
+TEST_F(FabricTest, SetLineStateRejectsIllegalPairs)
+{
+    EXPECT_THROW(fab.setLineState(hm, CacheState::M, CacheState::S),
+                 std::invalid_argument);
+    EXPECT_THROW(fab.setLineState(hm, CacheState::S, CacheState::E),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(fab.setLineState(hm, CacheState::S, CacheState::S));
+}
+
+TEST_F(FabricTest, ClockAdvancesWithCharges)
+{
+    double before = fab.clockNs();
+    double lat = fab.read(AgentKind::Host, hdm);
+    EXPECT_GT(lat, 0.0);
+    EXPECT_DOUBLE_EQ(fab.clockNs(), before + lat);
+}
+
+TEST_F(FabricTest, OutOfRangeAddressRejected)
+{
+    EXPECT_THROW(fab.read(AgentKind::Host, 99),
+                 std::invalid_argument);
+    EXPECT_THROW(fab.setBias(hm, BiasMode::DeviceBias),
+                 std::invalid_argument);
+}
+
+} // namespace

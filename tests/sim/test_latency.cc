@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "sim/latency.hh"
+
+namespace
+{
+
+using namespace cxl0::sim;
+using cxl0::Accumulator;
+using cxl0::Rng;
+
+TEST(Latency, UnmeasurablePrimitivesMatchTable1)
+{
+    LatencyModel m;
+    // RStore and LFlush cannot be generated from the host; LFlush
+    // from neither side (§5.1).
+    EXPECT_FALSE(m.measurable(AccessCategory::HostToHM,
+                              MeasuredPrimitive::RStore));
+    EXPECT_FALSE(m.measurable(AccessCategory::HostToHDM,
+                              MeasuredPrimitive::RStore));
+    for (auto c : {AccessCategory::HostToHM, AccessCategory::HostToHDM,
+                   AccessCategory::DevToHM,
+                   AccessCategory::DevToHDMHostBias,
+                   AccessCategory::DevToHDMDevBias}) {
+        EXPECT_FALSE(m.measurable(c, MeasuredPrimitive::LFlush));
+    }
+    // Device RStores are measurable.
+    EXPECT_TRUE(m.measurable(AccessCategory::DevToHM,
+                             MeasuredPrimitive::RStore));
+}
+
+TEST(Latency, HostRemoteReadRatioIs2Point34)
+{
+    LatencyModel m;
+    EXPECT_NEAR(m.ratio(AccessCategory::HostToHDM,
+                        AccessCategory::HostToHM,
+                        MeasuredPrimitive::Read),
+                2.34, 0.05);
+}
+
+TEST(Latency, DeviceRemoteReadRatioIs1Point94)
+{
+    LatencyModel m;
+    EXPECT_NEAR(m.ratio(AccessCategory::DevToHM,
+                        AccessCategory::DevToHDMDevBias,
+                        MeasuredPrimitive::Read),
+                1.94, 0.05);
+}
+
+TEST(Latency, DeviceStoreChainToHM)
+{
+    // §5.2: MStore is 1.45x slower than RStore, which is 2.08x slower
+    // than LStore, for device writes to host-attached memory.
+    LatencyModel m;
+    double ls = m.ns(AccessCategory::DevToHM, MeasuredPrimitive::LStore);
+    double rs = m.ns(AccessCategory::DevToHM, MeasuredPrimitive::RStore);
+    double ms = m.ns(AccessCategory::DevToHM, MeasuredPrimitive::MStore);
+    EXPECT_NEAR(rs / ls, 2.08, 0.05);
+    EXPECT_NEAR(ms / rs, 1.45, 0.05);
+}
+
+TEST(Latency, RFlushTracksMStore)
+{
+    LatencyModel m;
+    for (auto c : {AccessCategory::HostToHM, AccessCategory::HostToHDM,
+                   AccessCategory::DevToHM,
+                   AccessCategory::DevToHDMHostBias,
+                   AccessCategory::DevToHDMDevBias}) {
+        double ms = m.ns(c, MeasuredPrimitive::MStore);
+        double rf = m.ns(c, MeasuredPrimitive::RFlush);
+        EXPECT_NEAR(rf / ms, 1.0, 0.05)
+            << accessCategoryName(c);
+    }
+}
+
+TEST(Latency, HostLStoreUsesWriteBuffer)
+{
+    // Host LStores are much faster than device LStores (write
+    // buffers vs a single IP cache level).
+    LatencyModel m;
+    EXPECT_LT(m.ns(AccessCategory::HostToHM, MeasuredPrimitive::LStore),
+              m.ns(AccessCategory::DevToHM, MeasuredPrimitive::LStore));
+}
+
+TEST(Latency, DeviceLStoreSlowerToHMThanHDM)
+{
+    // The CXL IP uses two differently sized caches depending on the
+    // target (§5.2).
+    LatencyModel m;
+    EXPECT_GT(m.ns(AccessCategory::DevToHM, MeasuredPrimitive::LStore),
+              m.ns(AccessCategory::DevToHDMDevBias,
+                   MeasuredPrimitive::LStore));
+}
+
+TEST(Latency, SampleMedianConvergesToNominal)
+{
+    LatencyModel m;
+    Rng rng(7);
+    Accumulator acc;
+    for (int i = 0; i < 1000; ++i)
+        acc.add(m.sample(AccessCategory::HostToHDM,
+                         MeasuredPrimitive::Read, rng));
+    EXPECT_NEAR(acc.median(),
+                m.ns(AccessCategory::HostToHDM, MeasuredPrimitive::Read),
+                5.0);
+}
+
+TEST(Latency, SampleJitterBounded)
+{
+    LatencyModel m;
+    Rng rng(9);
+    double base =
+        m.ns(AccessCategory::DevToHM, MeasuredPrimitive::MStore);
+    for (int i = 0; i < 500; ++i) {
+        double s = m.sample(AccessCategory::DevToHM,
+                            MeasuredPrimitive::MStore, rng);
+        EXPECT_GE(s, base * 0.94);
+        EXPECT_LE(s, base * 1.06);
+    }
+}
+
+TEST(Latency, SamplingUnmeasurableThrows)
+{
+    LatencyModel m;
+    Rng rng(1);
+    EXPECT_THROW(m.sample(AccessCategory::HostToHM,
+                          MeasuredPrimitive::LFlush, rng),
+                 std::invalid_argument);
+}
+
+TEST(Latency, SetOverridesEntry)
+{
+    LatencyModel m;
+    m.set(AccessCategory::HostToHM, MeasuredPrimitive::Read, 42.0);
+    EXPECT_DOUBLE_EQ(
+        m.ns(AccessCategory::HostToHM, MeasuredPrimitive::Read), 42.0);
+}
+
+TEST(Latency, NamesRender)
+{
+    EXPECT_STREQ(accessCategoryName(AccessCategory::DevToHDMDevBias),
+                 "Device to HDM in Device-Bias");
+    EXPECT_STREQ(measuredPrimitiveName(MeasuredPrimitive::RFlush),
+                 "RFlush");
+}
+
+} // namespace

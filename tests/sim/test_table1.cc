@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Table 1 conformance: sweep every reachable MESI state pair for every
+ * CXL0 primitive on both agents and both memory targets, and check the
+ * observed link transactions fall within the sets the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/fabric.hh"
+
+namespace
+{
+
+using namespace cxl0::sim;
+
+const CacheState kAllStates[] = {CacheState::M, CacheState::E,
+                                 CacheState::S, CacheState::I};
+
+/** Legal MESI pairs under single-writer exclusion. */
+bool
+legalPair(CacheState host, CacheState dev)
+{
+    bool hw = host == CacheState::M || host == CacheState::E;
+    bool dw = dev == CacheState::M || dev == CacheState::E;
+    if (hw && dev != CacheState::I)
+        return false;
+    if (dw && host != CacheState::I)
+        return false;
+    return true;
+}
+
+/** Observed transaction types for one primitive from one state pair. */
+std::set<Transaction>
+observe(AgentKind agent, MemKind target,
+        void (*op)(FabricSim &, AgentKind, cxl0::Addr),
+        CacheState host, CacheState dev)
+{
+    FabricSim fab(FabricConfig{2, 2, 1});
+    cxl0::Addr x = target == MemKind::HM ? 0 : 2;
+    fab.setLineState(x, host, dev);
+    fab.analyzer().clear();
+    op(fab, agent, x);
+    std::set<Transaction> out;
+    for (const auto &t : fab.analyzer().capture())
+        out.insert(t.type);
+    return out;
+}
+
+void doRead(FabricSim &f, AgentKind a, cxl0::Addr x) { f.read(a, x); }
+void doLStore(FabricSim &f, AgentKind a, cxl0::Addr x)
+{
+    f.lstore(a, x, 1);
+}
+void doRStore(FabricSim &f, AgentKind a, cxl0::Addr x)
+{
+    f.rstore(a, x, 1);
+}
+void doMStore(FabricSim &f, AgentKind a, cxl0::Addr x)
+{
+    f.mstore(a, x, 1);
+}
+void doRFlush(FabricSim &f, AgentKind a, cxl0::Addr x)
+{
+    f.rflush(a, x);
+}
+
+/** Check every observation is inside `allowed` for all legal pairs. */
+void
+sweep(AgentKind agent, MemKind target,
+      void (*op)(FabricSim &, AgentKind, cxl0::Addr),
+      const std::set<Transaction> &allowed, const char *row)
+{
+    for (CacheState h : kAllStates) {
+        for (CacheState d : kAllStates) {
+            if (!legalPair(h, d))
+                continue;
+            for (Transaction t : observe(agent, target, op, h, d)) {
+                EXPECT_TRUE(allowed.count(t))
+                    << row << ": unexpected " << transactionName(t)
+                    << " from (" << cacheStateName(h) << ","
+                    << cacheStateName(d) << ")";
+            }
+        }
+    }
+}
+
+// --- Host rows of Table 1 ---
+
+TEST(Table1, HostReadHm)
+{
+    sweep(AgentKind::Host, MemKind::HM, doRead,
+          {Transaction::SnpInv}, "Host Read HM");
+    // The (*, I) cases observe no transaction.
+    for (CacheState h : kAllStates) {
+        EXPECT_TRUE(observe(AgentKind::Host, MemKind::HM, doRead, h,
+                            CacheState::I)
+                        .empty());
+    }
+}
+
+TEST(Table1, HostReadHdm)
+{
+    sweep(AgentKind::Host, MemKind::HDM, doRead,
+          {Transaction::MemRdData}, "Host Read HDM");
+    // (I, *) triggers MemRdData; valid host states observe None.
+    auto miss = observe(AgentKind::Host, MemKind::HDM, doRead,
+                        CacheState::I, CacheState::I);
+    EXPECT_TRUE(miss.count(Transaction::MemRdData));
+    EXPECT_TRUE(observe(AgentKind::Host, MemKind::HDM, doRead,
+                        CacheState::E, CacheState::I)
+                    .empty());
+}
+
+TEST(Table1, HostLStoreHm)
+{
+    sweep(AgentKind::Host, MemKind::HM, doLStore,
+          {Transaction::SnpInv}, "Host LStore HM");
+}
+
+TEST(Table1, HostLStoreHdm)
+{
+    sweep(AgentKind::Host, MemKind::HDM, doLStore,
+          {Transaction::MemRdData, Transaction::MemRd},
+          "Host LStore HDM");
+    // From S the upgrade is a plain MemRd.
+    auto up = observe(AgentKind::Host, MemKind::HDM, doLStore,
+                      CacheState::S, CacheState::I);
+    EXPECT_TRUE(up.count(Transaction::MemRd));
+}
+
+TEST(Table1, HostMStoreHm)
+{
+    // Non-temporal store + fence: SnpInv in every state.
+    for (CacheState h : kAllStates) {
+        for (CacheState d : kAllStates) {
+            if (!legalPair(h, d))
+                continue;
+            auto obs =
+                observe(AgentKind::Host, MemKind::HM, doMStore, h, d);
+            EXPECT_EQ(obs, std::set<Transaction>{Transaction::SnpInv});
+        }
+    }
+}
+
+TEST(Table1, HostMStoreHdm)
+{
+    for (CacheState h : kAllStates) {
+        auto obs = observe(AgentKind::Host, MemKind::HDM, doMStore, h,
+                           CacheState::I);
+        EXPECT_EQ(obs, std::set<Transaction>{Transaction::MemWr});
+    }
+}
+
+TEST(Table1, HostRFlushHm)
+{
+    sweep(AgentKind::Host, MemKind::HM, doRFlush,
+          {Transaction::SnpInv}, "Host RFlush HM");
+}
+
+TEST(Table1, HostRFlushHdm)
+{
+    sweep(AgentKind::Host, MemKind::HDM, doRFlush,
+          {Transaction::MemInv, Transaction::MemWr},
+          "Host RFlush HDM");
+    auto dirty = observe(AgentKind::Host, MemKind::HDM, doRFlush,
+                         CacheState::M, CacheState::I);
+    EXPECT_EQ(dirty, std::set<Transaction>{Transaction::MemWr});
+    auto clean = observe(AgentKind::Host, MemKind::HDM, doRFlush,
+                         CacheState::S, CacheState::S);
+    EXPECT_EQ(clean, std::set<Transaction>{Transaction::MemInv});
+}
+
+// --- Device rows of Table 1 ---
+
+TEST(Table1, DeviceReadHm)
+{
+    sweep(AgentKind::Device, MemKind::HM, doRead,
+          {Transaction::RdShared}, "Device Read HM");
+}
+
+TEST(Table1, DeviceReadHdmHostBias)
+{
+    sweep(AgentKind::Device, MemKind::HDM, doRead,
+          {Transaction::RdShared}, "Device Read HDM");
+}
+
+TEST(Table1, DeviceLStore)
+{
+    sweep(AgentKind::Device, MemKind::HM, doLStore,
+          {Transaction::RdOwn}, "Device LStore HM");
+    sweep(AgentKind::Device, MemKind::HDM, doLStore,
+          {Transaction::RdOwn}, "Device LStore HDM");
+}
+
+TEST(Table1, DeviceRStoreHm)
+{
+    for (CacheState h : kAllStates) {
+        for (CacheState d : kAllStates) {
+            if (!legalPair(h, d))
+                continue;
+            auto obs =
+                observe(AgentKind::Device, MemKind::HM, doRStore, h, d);
+            EXPECT_EQ(obs, std::set<Transaction>{Transaction::ItoMWr});
+        }
+    }
+}
+
+TEST(Table1, DeviceRStoreHdm)
+{
+    sweep(AgentKind::Device, MemKind::HDM, doRStore,
+          {Transaction::RdOwn}, "Device RStore HDM");
+}
+
+TEST(Table1, DeviceMStoreHm)
+{
+    sweep(AgentKind::Device, MemKind::HM, doMStore,
+          {Transaction::RdOwn, Transaction::DirtyEvict,
+           Transaction::WOWrInvF, Transaction::WrInv},
+          "Device MStore HM");
+    // The invalid case takes the (RdOwn +) DirtyEvict path.
+    auto cold = observe(AgentKind::Device, MemKind::HM, doMStore,
+                        CacheState::I, CacheState::I);
+    EXPECT_TRUE(cold.count(Transaction::RdOwn));
+    EXPECT_TRUE(cold.count(Transaction::DirtyEvict));
+}
+
+TEST(Table1, DeviceMStoreHdmHostBias)
+{
+    sweep(AgentKind::Device, MemKind::HDM, doMStore,
+          {Transaction::MemRd}, "Device MStore HDM");
+    // Only when the host holds the line is traffic needed.
+    auto none = observe(AgentKind::Device, MemKind::HDM, doMStore,
+                        CacheState::I, CacheState::M);
+    EXPECT_TRUE(none.empty());
+    auto recall = observe(AgentKind::Device, MemKind::HDM, doMStore,
+                          CacheState::S, CacheState::I);
+    EXPECT_EQ(recall, std::set<Transaction>{Transaction::MemRd});
+}
+
+TEST(Table1, DeviceRFlushHm)
+{
+    sweep(AgentKind::Device, MemKind::HM, doRFlush,
+          {Transaction::CleanEvict, Transaction::DirtyEvict},
+          "Device RFlush HM");
+    auto dirty = observe(AgentKind::Device, MemKind::HM, doRFlush,
+                         CacheState::I, CacheState::M);
+    EXPECT_EQ(dirty, std::set<Transaction>{Transaction::DirtyEvict});
+    auto clean = observe(AgentKind::Device, MemKind::HM, doRFlush,
+                         CacheState::I, CacheState::S);
+    EXPECT_EQ(clean, std::set<Transaction>{Transaction::CleanEvict});
+}
+
+TEST(Table1, DeviceRFlushHdm)
+{
+    sweep(AgentKind::Device, MemKind::HDM, doRFlush,
+          {Transaction::MemRd}, "Device RFlush HDM");
+}
+
+TEST(Table1, ManyToOneMappingExists)
+{
+    // §5.1's headline: multiple concrete transactions map to one CXL0
+    // primitive. Count distinct non-empty observation sets for the
+    // device MStore row.
+    std::set<std::set<Transaction>> variants;
+    for (CacheState h : kAllStates) {
+        for (CacheState d : kAllStates) {
+            if (!legalPair(h, d))
+                continue;
+            variants.insert(
+                observe(AgentKind::Device, MemKind::HM, doMStore, h, d));
+        }
+    }
+    EXPECT_GE(variants.size(), 2u);
+}
+
+} // namespace

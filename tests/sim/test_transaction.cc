@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/transaction.hh"
+
+namespace
+{
+
+using namespace cxl0::sim;
+
+TEST(Transaction, NamesMatchTable1Vocabulary)
+{
+    EXPECT_STREQ(transactionName(Transaction::SnpInv), "SnpInv");
+    EXPECT_STREQ(transactionName(Transaction::MemRdData), "MemRdData");
+    EXPECT_STREQ(transactionName(Transaction::MemWr), "MemWr");
+    EXPECT_STREQ(transactionName(Transaction::RdShared), "RdShared");
+    EXPECT_STREQ(transactionName(Transaction::RdOwn), "RdOwn");
+    EXPECT_STREQ(transactionName(Transaction::ItoMWr), "ItoMWr");
+    EXPECT_STREQ(transactionName(Transaction::DirtyEvict), "DirtyEvict");
+    EXPECT_STREQ(transactionName(Transaction::CleanEvict), "CleanEvict");
+    EXPECT_STREQ(transactionName(Transaction::WOWrInvF), "WOWrInv/F");
+    EXPECT_STREQ(transactionName(Transaction::WrInv), "WrInv");
+    EXPECT_STREQ(transactionName(Transaction::MemInv), "MemInv");
+    EXPECT_STREQ(transactionName(Transaction::None), "None");
+}
+
+TEST(Transaction, ChannelNames)
+{
+    EXPECT_STREQ(channelName(Channel::CacheH2D), "CXL.cache H2D");
+    EXPECT_STREQ(channelName(Channel::CacheD2H), "CXL.cache D2H");
+    EXPECT_STREQ(channelName(Channel::MemM2S), "CXL.mem M2S");
+}
+
+TEST(Transaction, DescribeSingle)
+{
+    ObservedTransaction t{Channel::CacheH2D, Transaction::SnpInv};
+    EXPECT_EQ(t.describe(), "SnpInv");
+    ObservedTransaction none{Channel::None, Transaction::None};
+    EXPECT_EQ(none.describe(), "None");
+}
+
+TEST(Transaction, DescribeSequenceJoinsWithPlus)
+{
+    std::vector<ObservedTransaction> ts{
+        {Channel::CacheD2H, Transaction::RdOwn},
+        {Channel::CacheD2H, Transaction::DirtyEvict}};
+    EXPECT_EQ(describeTransactions(ts), "RdOwn + DirtyEvict");
+}
+
+TEST(Transaction, DescribeEmptyIsNone)
+{
+    EXPECT_EQ(describeTransactions({}), "None");
+    std::vector<ObservedTransaction> only_none{
+        {Channel::None, Transaction::None}};
+    EXPECT_EQ(describeTransactions(only_none), "None");
+}
+
+TEST(Transaction, OrderingIsTotal)
+{
+    ObservedTransaction a{Channel::CacheH2D, Transaction::SnpInv};
+    ObservedTransaction b{Channel::MemM2S, Transaction::MemWr};
+    EXPECT_TRUE(a < b || b < a);
+    EXPECT_FALSE(a < a);
+}
+
+} // namespace
