@@ -39,7 +39,14 @@ runVariant(const Variant &v, size_t *outcomes, size_t *violations)
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0};
-    auto set = Explorer(m, p, opts).explore();
+    auto result = Explorer(m, p, opts).explore();
+    if (result.truncated) {
+        std::fprintf(stderr,
+                     "error: exploration truncated; results would "
+                     "undercount outcomes\n");
+        return false;
+    }
+    const auto &set = result.outcomes;
     *outcomes = set.size();
     *violations = 0;
     for (const Outcome &o : set)

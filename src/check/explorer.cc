@@ -1,9 +1,14 @@
 #include "check/explorer.hh"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
 #include <sstream>
 #include <unordered_set>
 
+#include "common/hashmix.hh"
 #include "common/logging.hh"
+#include "model/state_table.hh"
 
 namespace cxl0::check
 {
@@ -11,6 +16,10 @@ namespace cxl0::check
 using cxl0::Addr;
 using model::Label;
 using model::State;
+using model::StateId;
+using model::StateTable;
+using model::TauMove;
+using model::ValueSpanTable;
 using cxl0::Value;
 
 ProgInstr
@@ -115,8 +124,533 @@ Outcome::describe() const
 namespace
 {
 
-/** Full search configuration: model state plus program state. */
-struct Config
+/** What applying one program instruction did. */
+struct StepEffect
+{
+    bool enabled = false; //!< false: blocked/disabled, state untouched
+    int destReg = -1;     //!< register to write, -1 for none
+    Value destVal = 0;
+};
+
+/**
+ * Apply one program instruction in place. `tregs` is the issuing
+ * thread's register file (read-only). The single source of truth for
+ * instruction semantics: both the packed search and the reference
+ * search step through here.
+ */
+StepEffect
+stepInstrInPlace(const Cxl0Model &model, const ProgInstr &instr,
+                 NodeId node, const Value *tregs, State &state)
+{
+    StepEffect eff;
+    switch (instr.kind) {
+      case ProgInstr::Kind::Load: {
+        auto v = model.loadable(state, node, instr.addr);
+        if (!v)
+            return eff; // blocked (LWB-style); tau may unblock
+        bool ok = model.applyInPlace(
+            state, Label::load(node, instr.addr, *v));
+        CXL0_ASSERT(ok, "loadable value must be applicable");
+        eff.enabled = true;
+        eff.destReg = instr.dest;
+        eff.destVal = *v;
+        return eff;
+      }
+      case ProgInstr::Kind::Store: {
+        Label l{instr.op, node, instr.addr, instr.value.eval(tregs), 0};
+        eff.enabled = model.applyInPlace(state, l);
+        return eff;
+      }
+      case ProgInstr::Kind::Flush: {
+        Label l{instr.op, node, instr.addr, 0, 0};
+        eff.enabled = model.applyInPlace(state, l);
+        return eff;
+      }
+      case ProgInstr::Kind::Gpf: {
+        eff.enabled = model.applyInPlace(state, Label::gpf(node));
+        return eff;
+      }
+      case ProgInstr::Kind::Cas: {
+        auto v = model.loadable(state, node, instr.addr);
+        if (!v)
+            return eff;
+        Value expect = instr.expected.eval(tregs);
+        if (*v == expect) {
+            Label l{instr.op, node, instr.addr,
+                    instr.value.eval(tregs), expect};
+            bool ok = model.applyInPlace(state, l);
+            CXL0_ASSERT(ok, "enabled CAS must apply");
+            eff.destVal = 1;
+        } else {
+            // Failed CAS behaves as a plain read (§3.3).
+            bool ok = model.applyInPlace(
+                state, Label::load(node, instr.addr, *v));
+            CXL0_ASSERT(ok, "failed CAS read must apply");
+            eff.destVal = 0;
+        }
+        eff.enabled = true;
+        eff.destReg = instr.dest;
+        return eff;
+      }
+      case ProgInstr::Kind::Faa: {
+        auto v = model.loadable(state, node, instr.addr);
+        if (!v)
+            return eff;
+        Label l{instr.op, node, instr.addr,
+                *v + instr.value.eval(tregs), *v};
+        bool ok = model.applyInPlace(state, l);
+        CXL0_ASSERT(ok, "enabled FAA must apply");
+        eff.enabled = true;
+        eff.destReg = instr.dest;
+        eff.destVal = *v;
+        return eff;
+      }
+    }
+    return eff;
+}
+
+/**
+ * One packed search configuration: every component is either an
+ * interned id or a fixed-width bitfield word, so the visited set and
+ * the DFS stack hold 32-byte PODs instead of multi-vector objects.
+ */
+struct PackedConfig
+{
+    StateId state = 0;   //!< interned model::State
+    uint32_t regs = 0;   //!< interned flat register file (all threads)
+    uint64_t pc = 0;     //!< bitsPerPc bits per thread
+    uint32_t alive = 0;  //!< bit t set while thread t's machine is up
+    uint64_t crash = 0;  //!< bitsPerBudget bits of crash budget per node
+
+    bool operator==(const PackedConfig &other) const = default;
+};
+
+static_assert(sizeof(PackedConfig) == 32,
+              "visited-set entries are expected to pack to 32 bytes");
+
+uint64_t
+hashPacked(const PackedConfig &c)
+{
+    uint64_t h =
+        mixBits((static_cast<uint64_t>(c.state) << 32) ^ c.regs);
+    h = mixBits(h ^ c.pc);
+    h = mixBits(h ^ (static_cast<uint64_t>(c.alive) << 32) ^ c.crash);
+    return h;
+}
+
+/**
+ * Open-addressed set of PackedConfigs (linear probing, power-of-two
+ * capacity, no deletion). Entries with state == kNoStateId are empty
+ * slots; real configs always carry a valid interned id.
+ */
+class FlatConfigSet
+{
+  public:
+    FlatConfigSet() : slots_(kInitial, empty()), mask_(kInitial - 1) {}
+
+    bool
+    contains(const PackedConfig &c) const
+    {
+        size_t i = hashPacked(c) & mask_;
+        while (slots_[i].state != model::kNoStateId) {
+            if (slots_[i] == c)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Insert; returns true when the config was not present. */
+    bool
+    insert(const PackedConfig &c)
+    {
+        size_t i = hashPacked(c) & mask_;
+        while (slots_[i].state != model::kNoStateId) {
+            if (slots_[i] == c)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = c;
+        ++count_;
+        if ((count_ + 1) * 10 > slots_.size() * 7)
+            grow();
+        return true;
+    }
+
+    size_t size() const { return count_; }
+
+    size_t bytes() const
+    {
+        return slots_.capacity() * sizeof(PackedConfig);
+    }
+
+  private:
+    static constexpr size_t kInitial = 64;
+
+    static PackedConfig
+    empty()
+    {
+        PackedConfig c;
+        c.state = model::kNoStateId;
+        return c;
+    }
+
+    void
+    grow()
+    {
+        std::vector<PackedConfig> bigger(slots_.size() * 2, empty());
+        size_t mask = bigger.size() - 1;
+        for (const PackedConfig &c : slots_) {
+            if (c.state == model::kNoStateId)
+                continue;
+            size_t i = hashPacked(c) & mask;
+            while (bigger[i].state != model::kNoStateId)
+                i = (i + 1) & mask;
+            bigger[i] = c;
+        }
+        slots_ = std::move(bigger);
+        mask_ = mask;
+    }
+
+    std::vector<PackedConfig> slots_;
+    size_t mask_;
+    size_t count_ = 0;
+};
+
+/** Low `bits` set, safe for bits in [0, 64]. */
+constexpr uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+/**
+ * Per-state successor memo. Tau and crash successor *states* depend
+ * only on the model state — not on pcs, registers, or budgets — so
+ * each interned state computes them once and every configuration
+ * sharing the state reuses the ids.
+ */
+struct StateSuccs
+{
+    bool tauDone = false;
+    bool crashDone = false;
+    /** (address moved, successor state) per enabled tau move. */
+    std::vector<std::pair<Addr, StateId>> tau;
+    /** Successor state of a crash of node n, indexed by n. */
+    std::vector<StateId> crash;
+};
+
+} // namespace
+
+Explorer::Explorer(const Cxl0Model &model, Program program,
+                   ExploreOptions options)
+    : model_(model), program_(std::move(program)),
+      options_(std::move(options))
+{
+    if (program_.threads.size() > 32)
+        CXL0_FATAL("explorer supports at most 32 threads, got ",
+                   program_.threads.size());
+    for (const ProgThread &t : program_.threads) {
+        if (t.node >= model_.config().numNodes())
+            CXL0_FATAL("thread placed on unknown machine ", t.node);
+        for (const ProgInstr &i : t.code) {
+            if (i.dest >= program_.numRegs)
+                CXL0_FATAL("register index ", i.dest, " out of range");
+        }
+    }
+}
+
+ExploreResult
+Explorer::explore() const
+{
+    auto t_start = std::chrono::steady_clock::now();
+    const size_t nthreads = program_.threads.size();
+    const size_t nnodes = model_.config().numNodes();
+    const size_t naddrs = model_.config().numAddrs();
+    const size_t nregs = static_cast<size_t>(
+        std::max(program_.numRegs, 0));
+
+    // ---- bitfield layout of the packed configuration ------------------
+    size_t max_len = 0;
+    for (const ProgThread &t : program_.threads)
+        max_len = std::max(max_len, t.code.size());
+    const unsigned pc_bits = std::bit_width(max_len);
+    if (nthreads * pc_bits > 64)
+        CXL0_FATAL("program too large for the packed explorer: ",
+                   nthreads, " threads x ", pc_bits, " pc bits > 64");
+    const int max_crash = std::max(options_.maxCrashesPerNode, 0);
+    const unsigned budget_bits =
+        std::bit_width(static_cast<unsigned>(max_crash));
+    if (nnodes * budget_bits > 64)
+        CXL0_FATAL("crash budget too large for the packed explorer: ",
+                   nnodes, " nodes x ", budget_bits, " bits > 64");
+
+    auto pcOf = [&](uint64_t word, size_t t) -> size_t {
+        return pc_bits == 0
+                   ? 0
+                   : (word >> (t * pc_bits)) & lowMask(pc_bits);
+    };
+    auto withPc = [&](uint64_t word, size_t t, size_t pc) -> uint64_t {
+        uint64_t m = lowMask(pc_bits) << (t * pc_bits);
+        return (word & ~m) | (static_cast<uint64_t>(pc) << (t * pc_bits));
+    };
+    auto budgetOf = [&](uint64_t word, size_t n) -> int {
+        return budget_bits == 0
+                   ? 0
+                   : static_cast<int>((word >> (n * budget_bits)) &
+                                      lowMask(budget_bits));
+    };
+    auto withBudget = [&](uint64_t word, size_t n, int b) -> uint64_t {
+        uint64_t m = lowMask(budget_bits) << (n * budget_bits);
+        return (word & ~m) |
+               (static_cast<uint64_t>(b) << (n * budget_bits));
+    };
+
+    // ---- tau reduction: per-thread suffix footprints ------------------
+    // addr_mask[t][pc] = addresses instructions pc.. of thread t can
+    // touch; gpf_after[t][pc] = whether a GPF is still ahead. A tau
+    // move on an address outside every live thread's future footprint
+    // (with no pending GPF) cannot influence any outcome and is
+    // skipped; see src/check/README.md for the argument.
+    const bool can_reduce = options_.reduceTau && naddrs <= 64;
+    std::vector<std::vector<uint64_t>> addr_mask(nthreads);
+    std::vector<std::vector<uint8_t>> gpf_after(nthreads);
+    if (can_reduce) {
+        for (size_t t = 0; t < nthreads; ++t) {
+            const auto &code = program_.threads[t].code;
+            addr_mask[t].assign(code.size() + 1, 0);
+            gpf_after[t].assign(code.size() + 1, 0);
+            for (size_t pc = code.size(); pc-- > 0;) {
+                addr_mask[t][pc] = addr_mask[t][pc + 1];
+                gpf_after[t][pc] = gpf_after[t][pc + 1];
+                if (code[pc].kind == ProgInstr::Kind::Gpf)
+                    gpf_after[t][pc] = 1;
+                else
+                    addr_mask[t][pc] |= 1ull << code[pc].addr;
+            }
+        }
+    }
+
+    // ---- interning tables and scratch buffers -------------------------
+    ExploreResult res;
+    StateTable states(nnodes, naddrs);
+    const size_t reg_stride = std::max<size_t>(nthreads * nregs, 1);
+    ValueSpanTable reg_files(reg_stride);
+
+    State scratch = model_.initialState(); // current config's state
+    State work = scratch;                  // successor under mutation
+    std::vector<Value> cur_regs(reg_stride, 0);
+    std::vector<Value> reg_buf(reg_stride, 0);
+
+    const uint32_t all_alive =
+        nthreads >= 32 ? ~0u : (1u << nthreads) - 1;
+    uint64_t crash0 = 0;
+    {
+        std::vector<int> budget(nnodes, max_crash);
+        if (!options_.crashableNodes.empty()) {
+            budget.assign(nnodes, 0);
+            for (NodeId n : options_.crashableNodes)
+                budget[n] = max_crash;
+        }
+        for (size_t n = 0; n < nnodes; ++n)
+            crash0 = withBudget(crash0, n, budget[n]);
+    }
+
+    PackedConfig init;
+    init.state = states.intern(scratch);
+    init.regs = reg_files.intern(
+        cur_regs.data(), model::hashValueSpan(cur_regs.data(),
+                                              reg_stride));
+    init.alive = all_alive;
+    init.crash = crash0;
+
+    FlatConfigSet visited;
+    std::vector<PackedConfig> stack{init};
+    visited.insert(init);
+    // (register-file id, crashed mask) pairs already emitted as
+    // outcomes; lets done configurations skip Outcome materialization.
+    std::unordered_set<uint64_t> emitted;
+
+    auto push = [&](const PackedConfig &c) {
+        if (visited.size() >= options_.maxConfigs) {
+            // Only a genuinely new configuration is being dropped; a
+            // duplicate would have been ignored anyway, so a search
+            // that exactly fills the budget still reports complete.
+            if (!visited.contains(c))
+                res.truncated = true;
+            return;
+        }
+        if (visited.insert(c))
+            stack.push_back(c);
+    };
+
+    std::vector<TauMove> moves;
+    std::vector<StateSuccs> succs;
+    while (!stack.empty()) {
+        PackedConfig cur = stack.back();
+        stack.pop_back();
+        ++res.stats.configsVisited;
+
+        if (succs.size() < states.size())
+            succs.resize(states.size());
+        states.materialize(cur.state, scratch);
+        // Copy the register span: interning a successor's file may
+        // grow the arena and invalidate pointers into it.
+        std::copy(reg_files.at(cur.regs),
+                  reg_files.at(cur.regs) + reg_stride, cur_regs.begin());
+
+        bool done = true;
+        for (size_t t = 0; t < nthreads; ++t) {
+            if ((cur.alive >> t & 1) &&
+                pcOf(cur.pc, t) < program_.threads[t].code.size()) {
+                done = false;
+                break;
+            }
+        }
+        if (done) {
+            uint32_t crashed = all_alive & ~cur.alive;
+            uint64_t key =
+                (static_cast<uint64_t>(cur.regs) << 32) | crashed;
+            if (emitted.insert(key).second) {
+                Outcome out;
+                out.regs.resize(nthreads);
+                for (size_t t = 0; t < nthreads; ++t)
+                    out.regs[t].assign(
+                        cur_regs.begin() + t * nregs,
+                        cur_regs.begin() + (t + 1) * nregs);
+                out.crashedThreads = crashed;
+                res.outcomes.insert(std::move(out));
+            }
+            // Tau and crash steps past completion cannot change the
+            // registers, so this configuration is final.
+            continue;
+        }
+
+        // Thread steps.
+        for (size_t t = 0; t < nthreads; ++t) {
+            if (!(cur.alive >> t & 1))
+                continue;
+            const ProgThread &thread = program_.threads[t];
+            size_t pc = pcOf(cur.pc, t);
+            if (pc >= thread.code.size())
+                continue;
+            work = scratch;
+            StepEffect eff =
+                stepInstrInPlace(model_, thread.code[pc], thread.node,
+                                 cur_regs.data() + t * nregs, work);
+            if (!eff.enabled)
+                continue;
+            PackedConfig next = cur;
+            next.state = states.intern(work);
+            next.pc = withPc(cur.pc, t, pc + 1);
+            size_t slot = t * nregs + eff.destReg;
+            if (eff.destReg >= 0 && cur_regs[slot] != eff.destVal) {
+                reg_buf = cur_regs;
+                reg_buf[slot] = eff.destVal;
+                next.regs = reg_files.intern(
+                    reg_buf.data(),
+                    model::updateValueSpanHash(
+                        reg_files.hashOf(cur.regs), slot,
+                        cur_regs[slot], eff.destVal));
+            }
+            push(next);
+        }
+
+        // Silent propagation steps (successor states memoized per
+        // interned state).
+        if (!succs[cur.state].tauDone) {
+            std::vector<std::pair<Addr, StateId>> tau;
+            model_.tauMoves(scratch, moves);
+            for (const TauMove &m : moves) {
+                work = scratch;
+                model_.applyTauInPlace(work, m);
+                tau.emplace_back(m.addr, states.intern(work));
+            }
+            succs[cur.state].tau = std::move(tau);
+            succs[cur.state].tauDone = true;
+        }
+        if (!succs[cur.state].tau.empty()) {
+            uint64_t live_mask = 0;
+            bool future_gpf = false;
+            if (can_reduce) {
+                for (size_t t = 0; t < nthreads; ++t) {
+                    if (!(cur.alive >> t & 1))
+                        continue;
+                    size_t pc = pcOf(cur.pc, t);
+                    live_mask |= addr_mask[t][pc];
+                    future_gpf |= gpf_after[t][pc] != 0;
+                }
+            }
+            for (const auto &[addr, succ] : succs[cur.state].tau) {
+                if (can_reduce && !future_gpf &&
+                    !(live_mask >> addr & 1)) {
+                    ++res.stats.tauMovesSkipped;
+                    continue;
+                }
+                PackedConfig next = cur;
+                next.state = succ;
+                push(next);
+            }
+        }
+
+        // Crash steps (successor states memoized the same way; nodes
+        // that can never crash under the options keep kNoStateId and
+        // are never interned).
+        bool any_budget = false;
+        for (size_t n = 0; n < nnodes && !any_budget; ++n)
+            any_budget = budgetOf(cur.crash, n) > 0;
+        if (any_budget) {
+            if (!succs[cur.state].crashDone) {
+                std::vector<StateId> crash(nnodes,
+                                           model::kNoStateId);
+                for (size_t n = 0; n < nnodes; ++n) {
+                    if (budgetOf(crash0, n) <= 0)
+                        continue;
+                    work = scratch;
+                    model_.applyCrashInPlace(work,
+                                             static_cast<NodeId>(n));
+                    crash[n] = states.intern(work);
+                }
+                succs[cur.state].crash = std::move(crash);
+                succs[cur.state].crashDone = true;
+            }
+            for (size_t n = 0; n < nnodes; ++n) {
+                int budget = budgetOf(cur.crash, n);
+                if (budget <= 0)
+                    continue;
+                PackedConfig next = cur;
+                next.state = succs[cur.state].crash[n];
+                next.crash = withBudget(cur.crash, n, budget - 1);
+                for (size_t t = 0; t < nthreads; ++t)
+                    if (program_.threads[t].node == n)
+                        next.alive &= ~(1u << t);
+                push(next);
+            }
+        }
+    }
+
+    size_t succ_bytes = succs.capacity() * sizeof(StateSuccs);
+    for (const StateSuccs &s : succs)
+        succ_bytes += s.tau.capacity() *
+                          sizeof(std::pair<Addr, StateId>) +
+                      s.crash.capacity() * sizeof(StateId);
+    res.stats.configsInterned = visited.size();
+    res.stats.statesInterned = states.size();
+    res.stats.peakVisitedBytes =
+        visited.bytes() + states.bytes() + reg_files.bytes() +
+        succ_bytes + stack.capacity() * sizeof(PackedConfig);
+    res.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    return res;
+}
+
+namespace
+{
+
+/** Full deep-copy search configuration (reference implementation). */
+struct RefConfig
 {
     State state;
     std::vector<size_t> pc;
@@ -124,15 +658,19 @@ struct Config
     std::vector<bool> alive;      // thread not killed by a crash
     std::vector<int> crashBudget; // remaining crashes per node
 
-    bool operator==(const Config &other) const = default;
+    bool operator==(const RefConfig &other) const = default;
 };
 
-struct ConfigHash
+struct RefConfigHash
 {
     size_t
-    operator()(const Config &c) const
+    operator()(const RefConfig &c) const
     {
-        uint64_t h = c.state.hash();
+        // Full rescan, as the seed implementation hashed states before
+        // the digest became incrementally maintained. Keeping the
+        // rescan here preserves the reference's original cost profile
+        // for before/after benchmarking.
+        uint64_t h = c.state.recomputeHash();
         auto mix = [&h](uint64_t v) {
             h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
         };
@@ -149,28 +687,30 @@ struct ConfigHash
     }
 };
 
-} // namespace
-
-Explorer::Explorer(const Cxl0Model &model, Program program,
-                   ExploreOptions options)
-    : model_(model), program_(std::move(program)),
-      options_(std::move(options))
+/** Estimated resident bytes of one deep-copy configuration. */
+size_t
+refConfigBytes(const RefConfig &c)
 {
-    for (const ProgThread &t : program_.threads) {
-        if (t.node >= model_.config().numNodes())
-            CXL0_FATAL("thread placed on unknown machine ", t.node);
-        for (const ProgInstr &i : t.code) {
-            if (i.dest >= program_.numRegs)
-                CXL0_FATAL("register index ", i.dest, " out of range");
-        }
-    }
+    size_t b = sizeof(RefConfig);
+    b += c.state.cacheLines().capacity() * sizeof(Value);
+    b += c.state.memLines().capacity() * sizeof(Value);
+    b += c.pc.capacity() * sizeof(size_t);
+    b += c.regs.capacity() * sizeof(std::vector<Value>);
+    for (const auto &file : c.regs)
+        b += file.capacity() * sizeof(Value);
+    b += c.alive.capacity() / 8;
+    b += c.crashBudget.capacity() * sizeof(int);
+    return b;
 }
 
-std::set<Outcome>
-Explorer::explore() const
+} // namespace
+
+ExploreResult
+Explorer::exploreReference() const
 {
+    auto t_start = std::chrono::steady_clock::now();
     const size_t nthreads = program_.threads.size();
-    Config init{model_.initialState(), {}, {}, {}, {}};
+    RefConfig init{model_.initialState(), {}, {}, {}, {}};
     init.pc.assign(nthreads, 0);
     init.regs.assign(nthreads,
                      std::vector<Value>(program_.numRegs, 0));
@@ -184,12 +724,15 @@ Explorer::explore() const
             init.crashBudget[n] = options_.maxCrashesPerNode;
     }
 
-    std::set<Outcome> outcomes;
-    std::unordered_set<Config, ConfigHash> visited;
-    std::vector<Config> stack{init};
+    ExploreResult res;
+    std::unordered_set<RefConfig, RefConfigHash> visited;
+    std::vector<RefConfig> stack{init};
     visited.insert(init);
+    // Estimated bytes: per-config heap plus ~2 words of hash-node
+    // overhead each; bucket array added at the end.
+    size_t config_bytes = refConfigBytes(init) + 2 * sizeof(void *);
 
-    auto done = [&](const Config &c) {
+    auto done = [&](const RefConfig &c) {
         for (size_t t = 0; t < nthreads; ++t) {
             if (c.alive[t] && c.pc[t] < program_.threads[t].code.size())
                 return false;
@@ -197,17 +740,23 @@ Explorer::explore() const
         return true;
     };
 
-    auto push = [&](Config &&c) {
-        if (visited.size() >= options_.maxConfigs)
-            CXL0_FATAL("exploration exceeded ", options_.maxConfigs,
-                       " configurations; shrink the program");
-        if (visited.insert(c).second)
+    auto push = [&](RefConfig &&c) {
+        if (visited.size() >= options_.maxConfigs) {
+            if (!visited.count(c))
+                res.truncated = true;
+            return;
+        }
+        size_t b = refConfigBytes(c) + 2 * sizeof(void *);
+        if (visited.insert(c).second) {
+            config_bytes += b;
             stack.push_back(std::move(c));
+        }
     };
 
     while (!stack.empty()) {
-        Config cur = std::move(stack.back());
+        RefConfig cur = std::move(stack.back());
         stack.pop_back();
+        ++res.stats.configsVisited;
 
         if (done(cur)) {
             Outcome out;
@@ -215,7 +764,7 @@ Explorer::explore() const
             for (size_t t = 0; t < nthreads; ++t)
                 if (!cur.alive[t])
                     out.crashedThreads |= 1u << t;
-            outcomes.insert(std::move(out));
+            res.outcomes.insert(std::move(out));
             // Tau and crash steps past completion cannot change the
             // registers, so this configuration is final.
             continue;
@@ -228,87 +777,25 @@ Explorer::explore() const
                 continue;
             }
             const ProgThread &thread = program_.threads[t];
-            const ProgInstr &instr = thread.code[cur.pc[t]];
-            const NodeId node = thread.node;
-            const std::vector<Value> &regs = cur.regs[t];
-
-            auto advance = [&](const State &next_state, int dest,
-                               Value dest_value) {
-                Config next = cur;
-                next.state = next_state;
-                next.pc[t] += 1;
-                if (dest >= 0)
-                    next.regs[t][dest] = dest_value;
-                push(std::move(next));
-            };
-
-            switch (instr.kind) {
-              case ProgInstr::Kind::Load: {
-                auto v = model_.loadable(cur.state, node, instr.addr);
-                if (!v)
-                    break; // blocked (LWB-style); tau may unblock
-                auto succ = model_.apply(
-                    cur.state, Label::load(node, instr.addr, *v));
-                CXL0_ASSERT(succ, "loadable value must be applicable");
-                advance(*succ, instr.dest, *v);
-                break;
-              }
-              case ProgInstr::Kind::Store: {
-                Value v = instr.value.eval(regs);
-                Label l{instr.op, node, instr.addr, v, 0};
-                if (auto succ = model_.apply(cur.state, l))
-                    advance(*succ, -1, 0);
-                break;
-              }
-              case ProgInstr::Kind::Flush: {
-                Label l{instr.op, node, instr.addr, 0, 0};
-                if (auto succ = model_.apply(cur.state, l))
-                    advance(*succ, -1, 0);
-                break;
-              }
-              case ProgInstr::Kind::Gpf: {
-                if (auto succ =
-                        model_.apply(cur.state, Label::gpf(node)))
-                    advance(*succ, -1, 0);
-                break;
-              }
-              case ProgInstr::Kind::Cas: {
-                auto v = model_.loadable(cur.state, node, instr.addr);
-                if (!v)
-                    break;
-                Value expect = instr.expected.eval(regs);
-                if (*v == expect) {
-                    Label l{instr.op, node, instr.addr,
-                            instr.value.eval(regs), expect};
-                    auto succ = model_.apply(cur.state, l);
-                    CXL0_ASSERT(succ, "enabled CAS must apply");
-                    advance(*succ, instr.dest, 1);
-                } else {
-                    // Failed CAS behaves as a plain read (§3.3).
-                    auto succ = model_.apply(
-                        cur.state, Label::load(node, instr.addr, *v));
-                    CXL0_ASSERT(succ, "failed CAS read must apply");
-                    advance(*succ, instr.dest, 0);
-                }
-                break;
-              }
-              case ProgInstr::Kind::Faa: {
-                auto v = model_.loadable(cur.state, node, instr.addr);
-                if (!v)
-                    break;
-                Label l{instr.op, node, instr.addr,
-                        *v + instr.value.eval(regs), *v};
-                auto succ = model_.apply(cur.state, l);
-                CXL0_ASSERT(succ, "enabled FAA must apply");
-                advance(*succ, instr.dest, *v);
-                break;
-              }
-            }
+            // Copy only the state until the step is known enabled,
+            // matching the seed's cost profile for blocked steps.
+            State next_state = cur.state;
+            StepEffect eff = stepInstrInPlace(
+                model_, thread.code[cur.pc[t]], thread.node,
+                cur.regs[t].data(), next_state);
+            if (!eff.enabled)
+                continue;
+            RefConfig next = cur;
+            next.state = std::move(next_state);
+            next.pc[t] += 1;
+            if (eff.destReg >= 0)
+                next.regs[t][eff.destReg] = eff.destVal;
+            push(std::move(next));
         }
 
         // Silent propagation steps.
         for (State &next_state : model_.tauSuccessors(cur.state)) {
-            Config next = cur;
+            RefConfig next = cur;
             next.state = std::move(next_state);
             push(std::move(next));
         }
@@ -317,7 +804,7 @@ Explorer::explore() const
         for (NodeId n = 0; n < model_.config().numNodes(); ++n) {
             if (cur.crashBudget[n] <= 0)
                 continue;
-            Config next = cur;
+            RefConfig next = cur;
             next.state = model_.applyCrash(cur.state, n);
             next.crashBudget[n] -= 1;
             for (size_t t = 0; t < nthreads; ++t)
@@ -326,7 +813,17 @@ Explorer::explore() const
             push(std::move(next));
         }
     }
-    return outcomes;
+
+    res.stats.configsInterned = visited.size();
+    res.stats.statesInterned = visited.size();
+    res.stats.peakVisitedBytes =
+        config_bytes + visited.bucket_count() * sizeof(void *) +
+        stack.capacity() * sizeof(RefConfig);
+    res.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    return res;
 }
 
 std::vector<Outcome>

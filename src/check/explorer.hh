@@ -10,6 +10,13 @@
  * which machines crashed), which is how we check assertion-style
  * properties such as §6's motivating example and the durability of the
  * FliT transformation at the model level.
+ *
+ * The hot path is hash-consed: model states and register files are
+ * interned once (model/state_table.hh) and the search works over
+ * 32-byte packed configurations, generating successors by in-place
+ * mutation of a scratch state instead of deep-copying whole
+ * configurations. See src/check/README.md for the architecture and
+ * the soundness argument of the tau reduction.
  */
 
 #ifndef CXL0_CHECK_EXPLORER_HH
@@ -38,9 +45,14 @@ struct Operand
     static Operand immediate(Value v) { return {false, v, 0}; }
     static Operand regRef(int r) { return {true, 0, r}; }
 
-    Value eval(const std::vector<Value> &regs) const
+    Value eval(const Value *regs) const
     {
         return isReg ? regs[reg] : imm;
+    }
+
+    Value eval(const std::vector<Value> &regs) const
+    {
+        return eval(regs.data());
     }
 };
 
@@ -105,8 +117,48 @@ struct ExploreOptions
     int maxCrashesPerNode = 0;
     /** Machines permitted to crash; empty = all machines. */
     std::vector<NodeId> crashableNodes;
-    /** Safety valve on explored configurations. */
+    /**
+     * Safety valve on explored configurations. When the limit is hit
+     * the search stops adding configurations, finishes draining what
+     * it has, and reports truncated=true with the partial outcome set
+     * (it no longer aborts the process).
+     */
     size_t maxConfigs = 2'000'000;
+    /**
+     * Skip tau moves on addresses that no live thread's remaining
+     * code can ever touch again (and no GPF is pending). Sound: such
+     * moves only shuffle lines the program will never observe, so
+     * every outcome stays reachable — see src/check/README.md. Off
+     * switch exists for A/B validation and debugging.
+     */
+    bool reduceTau = true;
+};
+
+/** Counters describing one exploration run. */
+struct ExploreStats
+{
+    /** Configurations popped and expanded. */
+    size_t configsVisited = 0;
+    /** Distinct packed configurations in the visited set. */
+    size_t configsInterned = 0;
+    /** Distinct model states in the interning table. */
+    size_t statesInterned = 0;
+    /** Resident bytes of visited set + interning tables + stack. */
+    size_t peakVisitedBytes = 0;
+    /** Tau successors pruned by the footprint reduction. */
+    size_t tauMovesSkipped = 0;
+    /** Wall-clock seconds inside explore(). */
+    double seconds = 0.0;
+};
+
+/** Result of an exploration: outcomes plus how the run went. */
+struct ExploreResult
+{
+    std::set<Outcome> outcomes;
+    /** True when maxConfigs stopped the search early; outcomes is
+     *  then a (still valid) subset of the reachable set. */
+    bool truncated = false;
+    ExploreStats stats;
 };
 
 /** Exhaustive explorer; construct once per (model, program). */
@@ -116,8 +168,20 @@ class Explorer
     Explorer(const Cxl0Model &model, Program program,
              ExploreOptions options = ExploreOptions{});
 
-    /** All reachable final outcomes. */
-    std::set<Outcome> explore() const;
+    /**
+     * All reachable final outcomes, via the interned/packed search.
+     * Requires ≤32 threads and packable pc/crash words (any program
+     * that exhaustive exploration could realistically finish fits).
+     */
+    ExploreResult explore() const;
+
+    /**
+     * The original deep-copy search kept as an executable reference:
+     * no interning, no packing, no tau reduction. Outcome sets must be
+     * identical to explore(); regression tests and the scaling bench
+     * compare the two.
+     */
+    ExploreResult exploreReference() const;
 
     /**
      * Convenience: does some outcome where no thread crashed (or any

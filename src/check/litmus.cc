@@ -235,6 +235,47 @@ allTests()
     return tests;
 }
 
+LitmusProgram
+litmus4Program()
+{
+    LitmusProgram lp{4, "litmus-4: LFlush to remote cache insufficient",
+                     nvConfig(2, {1}), // x0 owned by node 1
+                     ModelVariant::Base, Program{}, ExploreOptions{}};
+    Program p;
+    p.threads.push_back(
+        {0,
+         {ProgInstr::store(Op::LStore, 0, Operand::immediate(1)),
+          ProgInstr::flush(Op::LFlush, 0), ProgInstr::load(0, 0)}});
+    lp.program = std::move(p);
+    lp.options.maxCrashesPerNode = 1;
+    lp.options.crashableNodes = {1}; // only the remote owner crashes
+    return lp;
+}
+
+LitmusProgram
+motivatingProgram()
+{
+    LitmusProgram lp{13,
+                     "section-6: x=1; r1=x; r2=x under a remote crash",
+                     nvConfig(2, {0}), // x0 owned by node 0 ("M2")
+                     ModelVariant::Base, Program{}, ExploreOptions{}};
+    Program p;
+    p.threads.push_back(
+        {1,
+         {ProgInstr::store(Op::LStore, 0, Operand::immediate(1)),
+          ProgInstr::load(0, 0), ProgInstr::load(0, 1)}});
+    lp.program = std::move(p);
+    lp.options.maxCrashesPerNode = 1;
+    lp.options.crashableNodes = {0};
+    return lp;
+}
+
+std::vector<LitmusProgram>
+explorerPrograms()
+{
+    return {litmus4Program(), motivatingProgram()};
+}
+
 std::vector<LitmusTest>
 extendedTests()
 {

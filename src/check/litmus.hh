@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/explorer.hh"
 #include "check/trace.hh"
 #include "model/semantics.hh"
 
@@ -75,6 +76,35 @@ std::vector<LitmusTest> allTests();
  * from the semantics and locked in as regression oracles.
  */
 std::vector<LitmusTest> extendedTests();
+
+/**
+ * A litmus scenario recast as an explorer Program: instead of one
+ * serialized trace, the whole reachable outcome set of the program
+ * under crashes. These are the regression anchors for the explorer
+ * rewrite (outcome sets must stay bit-identical across explorer
+ * implementations) and the workloads of the scaling benchmark.
+ */
+struct LitmusProgram
+{
+    /** Litmus test id the program derives from. */
+    int id;
+    std::string name;
+    model::SystemConfig config;
+    model::ModelVariant variant = model::ModelVariant::Base;
+    Program program;
+    ExploreOptions options;
+};
+
+/** Test 4 as a program: LStore + LFlush to a remote owner that may
+ *  crash, then a read-back — both final values reachable. */
+LitmusProgram litmus4Program();
+
+/** Test 13 (§6 motivating example) as a program: x=1; r1=x; r2=x on
+ *  M1 with x owned by a crashable M2. */
+LitmusProgram motivatingProgram();
+
+/** All explorer-program litmus scenarios. */
+std::vector<LitmusProgram> explorerPrograms();
 
 } // namespace cxl0::check
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.hh"
+#include "model/state_table.hh"
 
 namespace cxl0::check
 {
@@ -100,11 +100,14 @@ candidates(const model::SystemConfig &cfg, const Alphabet &alphabet)
 std::vector<State>
 closure(const Cxl0Model &m, const std::vector<State> &states)
 {
-    std::unordered_set<State, model::StateHash> seen;
+    model::StateTable table(m.config().numNodes(),
+                            m.config().numAddrs());
     std::vector<State> out;
     for (const State &s : states) {
         for (State &c : m.tauClosure(s)) {
-            if (seen.insert(c).second)
+            bool fresh = false;
+            table.intern(c, &fresh);
+            if (fresh)
                 out.push_back(std::move(c));
         }
     }

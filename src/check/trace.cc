@@ -1,6 +1,6 @@
 #include "check/trace.hh"
 
-#include <unordered_set>
+#include "model/state_table.hh"
 
 namespace cxl0::check
 {
@@ -8,15 +8,25 @@ namespace cxl0::check
 namespace
 {
 
-/** Deduplicate a state vector using the structural hash. */
+/**
+ * Deduplicate a state vector by interning into a StateTable: O(1)
+ * hashing (states maintain their digest incrementally) and no
+ * per-entry node allocation.
+ */
 std::vector<State>
 dedup(std::vector<State> states)
 {
-    std::unordered_set<State, model::StateHash> seen;
+    if (states.empty())
+        return states;
+    model::StateTable table(states[0].numNodes(),
+                            states[0].numAddrs());
     std::vector<State> out;
-    for (State &s : states)
-        if (seen.insert(s).second)
+    for (State &s : states) {
+        bool fresh = false;
+        table.intern(s, &fresh);
+        if (fresh)
             out.push_back(std::move(s));
+    }
     return out;
 }
 

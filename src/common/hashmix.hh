@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared hashing primitives.
+ *
+ * One definition of the splitmix64-style avalanche finalizer and the
+ * per-slot Zobrist term built on it. The incremental State hash, the
+ * span interning tables, and the explorer's packed-config hash all
+ * combine through these, which is what keeps their digests mutually
+ * consistent (and keeps the constants in one place).
+ */
+
+#ifndef CXL0_COMMON_HASHMIX_HH
+#define CXL0_COMMON_HASHMIX_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cxl0
+{
+
+/** splitmix64 finalizer: full-avalanche mix of one 64-bit word. */
+constexpr uint64_t
+mixBits(uint64_t z)
+{
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+}
+
+/**
+ * Independent per-(slot, value) Zobrist term. XORing these over a
+ * container's slots yields a path-independent content digest that can
+ * be updated in O(1) when one slot changes.
+ */
+constexpr uint64_t
+hashSlot(uint64_t slot, int64_t value)
+{
+    return mixBits((slot + 1) * 0x9e3779b97f4a7c15ULL ^
+                   static_cast<uint64_t>(value));
+}
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_HASHMIX_HH

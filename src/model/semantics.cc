@@ -1,8 +1,7 @@
 #include "model/semantics.hh"
 
-#include <unordered_set>
-
 #include "common/logging.hh"
+#include "model/state_table.hh"
 
 namespace cxl0::model
 {
@@ -71,121 +70,130 @@ Cxl0Model::loadable(const State &s, NodeId i, Addr x) const
     return s.memory(x);
 }
 
-State
-Cxl0Model::applyStoreEffect(const State &s, Op op, NodeId i, Addr x,
-                            Value v) const
+void
+Cxl0Model::applyStoreEffectInPlace(State &s, Op op, NodeId i, Addr x,
+                                   Value v) const
 {
-    State next = s;
     NodeId k = cfg_.ownerOf(x);
     switch (op) {
       case Op::LStore:
       case Op::LRmw:
         // C'_i = C_i[x -> v]; all other caches invalidate x.
-        next.setCache(i, x, v);
-        next.invalidateOthers(i, x);
+        s.setCache(i, x, v);
+        s.invalidateOthers(i, x);
         break;
       case Op::RStore:
       case Op::RRmw:
         // C'_k = C_k[x -> v]; all other caches invalidate x.
-        next.setCache(k, x, v);
-        next.invalidateOthers(k, x);
+        s.setCache(k, x, v);
+        s.invalidateOthers(k, x);
         break;
       case Op::MStore:
       case Op::MRmw:
         // M'_k = M_k[x -> v]; every cache invalidates x.
-        next.setMemory(x, v);
-        next.invalidateEverywhere(x);
+        s.setMemory(x, v);
+        s.invalidateEverywhere(x);
         break;
       default:
         CXL0_PANIC("applyStoreEffect on non-store op ", opName(op));
     }
-    return next;
 }
 
-std::optional<State>
-Cxl0Model::applyLoad(const State &s, const Label &l) const
+bool
+Cxl0Model::applyLoadInPlace(State &s, const Label &l) const
 {
     std::optional<Value> v = loadable(s, l.node, l.addr);
     if (!v || *v != l.value)
-        return std::nullopt;
+        return false;
     bool own_only = (variant_ == ModelVariant::Lwb) ||
                     !restrictions_.serveLoadFromRemoteCache;
     if (own_only) {
         // LWB-style loads never change the state: either the issuer's
         // own cache already holds the line, or the value came from
         // memory.
-        return s;
+        return true;
     }
     if (s.cachedAnywhere(l.addr)) {
         // LOAD-from-C: copy the value into the issuer's cache so a
         // future LFlush by the issuer affects this line (§3.3).
-        State next = s;
-        next.setCache(l.node, l.addr, *v);
-        return next;
+        s.setCache(l.node, l.addr, *v);
     }
     // LOAD-from-M: no state change.
-    return s;
+    return true;
 }
 
-std::optional<State>
-Cxl0Model::applyRmw(const State &s, const Label &l) const
+bool
+Cxl0Model::applyRmwInPlace(State &s, const Label &l) const
 {
     // RMW = atomic load + store with no interference in between
     // (§3.3). A failed RMW is equivalent to a plain read and is
     // modeled by the caller issuing a Load label instead.
     std::optional<Value> v = loadable(s, l.node, l.addr);
     if (!v || *v != l.expected)
-        return std::nullopt;
-    return applyStoreEffect(s, l.op, l.node, l.addr, l.value);
+        return false;
+    applyStoreEffectInPlace(s, l.op, l.node, l.addr, l.value);
+    return true;
+}
+
+bool
+Cxl0Model::applyInPlace(State &s, const Label &l) const
+{
+    if (!restrictions_.allows(l.node, l.op))
+        return false;
+    switch (l.op) {
+      case Op::Load:
+        return applyLoadInPlace(s, l);
+      case Op::LStore:
+      case Op::RStore:
+      case Op::MStore:
+        applyStoreEffectInPlace(s, l.op, l.node, l.addr, l.value);
+        return true;
+      case Op::LFlush:
+        // Blocking formulation: enabled only once the issuer's own
+        // copy has drained (like MFENCE modeling in TSO, §3.3).
+        return !s.cacheValid(l.node, l.addr);
+      case Op::RFlush:
+        return !s.cachedAnywhere(l.addr);
+      case Op::Gpf:
+        return s.allCachesEmpty();
+      case Op::LRmw:
+      case Op::RRmw:
+      case Op::MRmw:
+        return applyRmwInPlace(s, l);
+      case Op::Crash:
+        applyCrashInPlace(s, l.node);
+        return true;
+      case Op::Tau:
+        return false;
+    }
+    return false;
 }
 
 std::optional<State>
 Cxl0Model::apply(const State &s, const Label &l) const
 {
-    if (!restrictions_.allows(l.node, l.op))
+    State next = s;
+    if (!applyInPlace(next, l))
         return std::nullopt;
-    switch (l.op) {
-      case Op::Load:
-        return applyLoad(s, l);
-      case Op::LStore:
-      case Op::RStore:
-      case Op::MStore:
-        return applyStoreEffect(s, l.op, l.node, l.addr, l.value);
-      case Op::LFlush:
-        // Blocking formulation: enabled only once the issuer's own
-        // copy has drained (like MFENCE modeling in TSO, §3.3).
-        if (s.cacheValid(l.node, l.addr))
-            return std::nullopt;
-        return s;
-      case Op::RFlush:
-        if (s.cachedAnywhere(l.addr))
-            return std::nullopt;
-        return s;
-      case Op::Gpf:
-        if (!s.allCachesEmpty())
-            return std::nullopt;
-        return s;
-      case Op::LRmw:
-      case Op::RRmw:
-      case Op::MRmw:
-        return applyRmw(s, l);
-      case Op::Crash:
-        return applyCrash(s, l.node);
-      case Op::Tau:
-        return std::nullopt;
-    }
-    return std::nullopt;
+    return next;
 }
 
 State
 Cxl0Model::applyCrash(const State &s, NodeId i) const
 {
     State next = s;
-    next.clearCache(i);
+    applyCrashInPlace(next, i);
+    return next;
+}
+
+void
+Cxl0Model::applyCrashInPlace(State &s, NodeId i) const
+{
+    s.clearCache(i);
     if (!cfg_.isPersistent(i)) {
         for (Addr x = 0; x < cfg_.numAddrs(); ++x)
             if (cfg_.ownerOf(x) == i)
-                next.setMemory(x, kInitValue);
+                s.setMemory(x, kInitValue);
     }
     if (variant_ == ModelVariant::Psn) {
         // Crash(PSN): the crashed machine's addresses are poisoned in
@@ -194,41 +202,60 @@ Cxl0Model::applyCrash(const State &s, NodeId i) const
             if (cfg_.ownerOf(x) != i)
                 continue;
             for (NodeId j = 0; j < cfg_.numNodes(); ++j)
-                next.setCache(j, x, kBottom);
+                s.setCache(j, x, kBottom);
         }
     }
-    return next;
 }
 
-std::vector<State>
-Cxl0Model::tauSuccessors(const State &s) const
+void
+Cxl0Model::tauMoves(const State &s, std::vector<TauMove> &out) const
 {
-    std::vector<State> out;
+    out.clear();
     for (Addr x = 0; x < cfg_.numAddrs(); ++x) {
         NodeId k = cfg_.ownerOf(x);
         // Propagate-C-C: a non-owner's copy moves to the owner's cache.
         if (restrictions_.allowCacheToCache) {
             for (NodeId i = 0; i < cfg_.numNodes(); ++i) {
-                if (i == k)
+                if (i == k || s.cache(i, x) == kBottom)
                     continue;
-                Value v = s.cache(i, x);
-                if (v == kBottom)
-                    continue;
-                State next = s;
-                next.setCache(i, x, kBottom);
-                next.setCache(k, x, v);
-                out.push_back(std::move(next));
+                out.push_back(TauMove{x, i, false});
             }
         }
         // Propagate-C-M: the owner's copy drains to the owner's memory
         // and every cache invalidates the line.
-        Value v = s.cache(k, x);
-        if (v != kBottom) {
-            State next = s;
-            next.invalidateEverywhere(x);
-            next.setMemory(x, v);
-            out.push_back(std::move(next));
-        }
+        if (s.cache(k, x) != kBottom)
+            out.push_back(TauMove{x, k, true});
+    }
+}
+
+void
+Cxl0Model::applyTauInPlace(State &s, const TauMove &m) const
+{
+    NodeId k = cfg_.ownerOf(m.addr);
+    if (m.toMemory) {
+        Value v = s.cache(k, m.addr);
+        CXL0_ASSERT(v != kBottom, "C-M tau move on an empty owner line");
+        s.invalidateEverywhere(m.addr);
+        s.setMemory(m.addr, v);
+    } else {
+        Value v = s.cache(m.from, m.addr);
+        CXL0_ASSERT(v != kBottom, "C-C tau move on an empty line");
+        s.setCache(m.from, m.addr, kBottom);
+        s.setCache(k, m.addr, v);
+    }
+}
+
+std::vector<State>
+Cxl0Model::tauSuccessors(const State &s) const
+{
+    std::vector<TauMove> moves;
+    tauMoves(s, moves);
+    std::vector<State> out;
+    out.reserve(moves.size());
+    for (const TauMove &m : moves) {
+        State next = s;
+        applyTauInPlace(next, m);
+        out.push_back(std::move(next));
     }
     return out;
 }
@@ -236,14 +263,21 @@ Cxl0Model::tauSuccessors(const State &s) const
 std::vector<State>
 Cxl0Model::tauClosure(const State &s) const
 {
+    StateTable table(s.numNodes(), s.numAddrs());
+    table.intern(s);
     std::vector<State> frontier{s};
-    std::unordered_set<State, StateHash> visited{s};
     std::vector<State> out{s};
+    std::vector<TauMove> moves;
     while (!frontier.empty()) {
         State cur = std::move(frontier.back());
         frontier.pop_back();
-        for (State &next : tauSuccessors(cur)) {
-            if (visited.insert(next).second) {
+        tauMoves(cur, moves);
+        for (const TauMove &m : moves) {
+            State next = cur;
+            applyTauInPlace(next, m);
+            bool fresh = false;
+            table.intern(next, &fresh);
+            if (fresh) {
                 out.push_back(next);
                 frontier.push_back(std::move(next));
             }

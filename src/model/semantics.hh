@@ -71,6 +71,22 @@ opBit(Op op)
 }
 
 /**
+ * One silent propagation step, in enumerable form. Checkers that
+ * generate successors in place (explorer hot path) first enumerate
+ * the enabled moves with Cxl0Model::tauMoves and then apply each with
+ * applyTauInPlace, avoiding a State copy per candidate.
+ */
+struct TauMove
+{
+    Addr addr = 0;
+    /** Source cache of a Propagate-C-C move (unused for C-M). */
+    NodeId from = 0;
+    /** True: Propagate-C-M (owner cache drains to owner memory).
+     *  False: Propagate-C-C (non-owner copy moves to owner cache). */
+    bool toMemory = false;
+};
+
+/**
  * The CXL0 LTS. Stateless apart from its configuration; all methods
  * are const and thread-safe.
  */
@@ -106,14 +122,37 @@ class Cxl0Model
      */
     std::optional<State> apply(const State &s, const Label &label) const;
 
+    /**
+     * In-place variant of apply: mutate `s` into the successor and
+     * return true, or return false leaving `s` untouched when the
+     * label is not enabled. All preconditions are checked before the
+     * first mutation, so a false return never corrupts `s`. This is
+     * the allocation-free path the explorer's successor generation
+     * uses; apply() is a copying wrapper around it.
+     */
+    bool applyInPlace(State &s, const Label &label) const;
+
     /** All successor states of single tau propagation steps. */
     std::vector<State> tauSuccessors(const State &s) const;
+
+    /**
+     * Enumerate the enabled silent propagation steps without building
+     * successor states. Appends to `out` (which is cleared first) in
+     * the same order tauSuccessors produces its states.
+     */
+    void tauMoves(const State &s, std::vector<TauMove> &out) const;
+
+    /** Apply one enumerated tau move in place (must be enabled). */
+    void applyTauInPlace(State &s, const TauMove &m) const;
 
     /** Every state reachable via zero or more tau steps (BFS). */
     std::vector<State> tauClosure(const State &s) const;
 
     /** Crash of machine i (also reachable through apply). */
     State applyCrash(const State &s, NodeId i) const;
+
+    /** In-place crash of machine i (always enabled). */
+    void applyCrashInPlace(State &s, NodeId i) const;
 
     /**
      * Enumerate all enabled non-tau, non-crash labels from s over a
@@ -123,10 +162,10 @@ class Cxl0Model
     std::vector<Label> enabledLabels(const State &s, Value max_value) const;
 
   private:
-    std::optional<State> applyLoad(const State &s, const Label &l) const;
-    std::optional<State> applyRmw(const State &s, const Label &l) const;
-    State applyStoreEffect(const State &s, Op op, NodeId i, Addr x,
-                           Value v) const;
+    bool applyLoadInPlace(State &s, const Label &l) const;
+    bool applyRmwInPlace(State &s, const Label &l) const;
+    void applyStoreEffectInPlace(State &s, Op op, NodeId i, Addr x,
+                                 Value v) const;
 
     SystemConfig cfg_;
     ModelVariant variant_;

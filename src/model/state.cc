@@ -10,6 +10,7 @@ State::State(size_t num_nodes, size_t num_addrs)
       cache_(num_nodes * num_addrs, kBottom),
       mem_(num_addrs, kInitValue)
 {
+    hash_ = recomputeHash();
 }
 
 void
@@ -71,23 +72,15 @@ State::invariantHolds() const
     return true;
 }
 
-size_t
-State::hash() const
+uint64_t
+State::recomputeHash() const
 {
-    // FNV-1a over the two value vectors.
-    uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](Value v) {
-        const auto *bytes = reinterpret_cast<const unsigned char *>(&v);
-        for (size_t b = 0; b < sizeof(Value); ++b) {
-            h ^= bytes[b];
-            h *= 0x100000001b3ULL;
-        }
-    };
-    for (Value v : cache_)
-        mix(v);
-    for (Value v : mem_)
-        mix(v);
-    return static_cast<size_t>(h);
+    uint64_t h = 0;
+    for (size_t i = 0; i < cache_.size(); ++i)
+        h ^= slotMix(i, cache_[i]);
+    for (size_t x = 0; x < mem_.size(); ++x)
+        h ^= slotMix(cache_.size() + x, mem_[x]);
+    return h;
 }
 
 std::string

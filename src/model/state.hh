@@ -7,17 +7,22 @@
  * Because the Loc_i are pairwise disjoint, the union of all M_i is a
  * single total function Loc -> Val, which is how we store it.
  *
- * The representation is flat (two value vectors) so states hash and
- * compare quickly inside the model checkers.
+ * The representation is flat (two value vectors) and the structural
+ * hash is maintained *incrementally*: every slot contributes an
+ * independent Zobrist-style term, XORed into a running digest on each
+ * mutation. hash() is therefore O(1), which is what makes hash-consed
+ * interning (model/state_table.hh) and the checker visited-sets cheap.
  */
 
 #ifndef CXL0_MODEL_STATE_HH
 #define CXL0_MODEL_STATE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/hashmix.hh"
 #include "common/types.hh"
 #include "model/config.hh"
 
@@ -52,7 +57,9 @@ class State
     /** Set C_i(x) := v (v may be kBottom to invalidate). */
     void setCache(NodeId i, Addr x, Value v)
     {
-        cache_[index(i, x)] = v;
+        size_t idx = index(i, x);
+        hash_ ^= slotMix(idx, cache_[idx]) ^ slotMix(idx, v);
+        cache_[idx] = v;
     }
 
     /** Invalidate x in every cache. */
@@ -68,7 +75,12 @@ class State
     Value memory(Addr x) const { return mem_[x]; }
 
     /** Set the owner memory entry for x. */
-    void setMemory(Addr x, Value v) { mem_[x] = v; }
+    void setMemory(Addr x, Value v)
+    {
+        size_t idx = cache_.size() + x;
+        hash_ ^= slotMix(idx, mem_[x]) ^ slotMix(idx, v);
+        mem_[x] = v;
+    }
 
     /**
      * The unique valid cached value of x across all machines, or
@@ -91,24 +103,52 @@ class State
      */
     bool invariantHolds() const;
 
-    /** Structural hash for checker visited-sets. */
-    size_t hash() const;
+    /** Structural hash for checker visited-sets. O(1): maintained
+     *  incrementally by every mutator. */
+    size_t hash() const { return static_cast<size_t>(hash_); }
+
+    /**
+     * The hash recomputed by a full scan of both vectors. Always equal
+     * to hash(); exists so tests can validate the incremental
+     * maintenance under arbitrary mutation sequences.
+     */
+    uint64_t recomputeHash() const;
 
     bool operator==(const State &other) const = default;
 
     /** Compact rendering, e.g. "C0={x0=1} C1={} M={x0=0,x1=0}". */
     std::string describe() const;
 
+    /** Read-only access to the flat cache vector (interning/debug). */
+    const std::vector<Value> &cacheLines() const { return cache_; }
+
+    /** Read-only access to the flat memory vector (interning/debug). */
+    const std::vector<Value> &memLines() const { return mem_; }
+
   private:
+    friend class StateTable;
+
     size_t index(NodeId i, Addr x) const
     {
         return static_cast<size_t>(i) * numAddrs_ + x;
+    }
+
+    /**
+     * Per-slot Zobrist term (common/hashmix.hh): each slot's
+     * contribution is independent and the XOR of all of them is
+     * path-independent (any mutation order reaching the same content
+     * yields the same digest).
+     */
+    static uint64_t slotMix(uint64_t slot, Value v)
+    {
+        return hashSlot(slot, v);
     }
 
     size_t numNodes_;
     size_t numAddrs_;
     std::vector<Value> cache_;
     std::vector<Value> mem_;
+    uint64_t hash_ = 0;
 };
 
 /** Hash functor so State can key unordered containers. */

@@ -1,0 +1,140 @@
+#include "model/state_table.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hashmix.hh"
+#include "common/logging.hh"
+
+namespace cxl0::model
+{
+
+namespace
+{
+
+/** Initial probe-index capacity (power of two). */
+constexpr size_t kInitialSlots = 64;
+
+} // namespace
+
+uint64_t
+hashValueSpan(const Value *data, size_t n)
+{
+    uint64_t h = 0;
+    for (size_t i = 0; i < n; ++i)
+        h ^= hashSlot(i, data[i]);
+    return h;
+}
+
+uint64_t
+updateValueSpanHash(uint64_t hash, size_t idx, Value old_v, Value new_v)
+{
+    return hash ^ hashSlot(idx, old_v) ^ hashSlot(idx, new_v);
+}
+
+ValueSpanTable::ValueSpanTable(size_t stride)
+    : stride_(stride), slots_(kInitialSlots, kNoStateId),
+      mask_(kInitialSlots - 1)
+{
+    CXL0_ASSERT(stride > 0, "span stride must be positive");
+}
+
+uint32_t
+ValueSpanTable::intern(const Value *data, uint64_t hash, bool *is_new)
+{
+    return intern2(data, stride_, data + stride_, hash, is_new);
+}
+
+uint32_t
+ValueSpanTable::intern2(const Value *a, size_t na, const Value *b,
+                        uint64_t hash, bool *is_new)
+{
+    CXL0_ASSERT(na <= stride_, "first piece exceeds the stride");
+    const size_t nb = stride_ - na;
+    size_t i = hash & mask_;
+    while (slots_[i] != kNoStateId) {
+        uint32_t id = slots_[i];
+        const Value *have = at(id);
+        if (hashes_[id] == hash &&
+            std::memcmp(have, a, na * sizeof(Value)) == 0 &&
+            std::memcmp(have + na, b, nb * sizeof(Value)) == 0) {
+            if (is_new)
+                *is_new = false;
+            return id;
+        }
+        i = (i + 1) & mask_;
+    }
+    uint32_t id = static_cast<uint32_t>(hashes_.size());
+    arena_.insert(arena_.end(), a, a + na);
+    arena_.insert(arena_.end(), b, b + nb);
+    hashes_.push_back(hash);
+    slots_[i] = id;
+    if (is_new)
+        *is_new = true;
+    // Keep the load factor below ~0.7 so probes stay short.
+    if ((hashes_.size() + 1) * 10 > slots_.size() * 7)
+        grow();
+    return id;
+}
+
+void
+ValueSpanTable::grow()
+{
+    std::vector<uint32_t> bigger(slots_.size() * 2, kNoStateId);
+    size_t mask = bigger.size() - 1;
+    for (uint32_t id = 0; id < hashes_.size(); ++id) {
+        size_t i = hashes_[id] & mask;
+        while (bigger[i] != kNoStateId)
+            i = (i + 1) & mask;
+        bigger[i] = id;
+    }
+    slots_ = std::move(bigger);
+    mask_ = mask;
+}
+
+size_t
+ValueSpanTable::bytes() const
+{
+    return arena_.capacity() * sizeof(Value) +
+           hashes_.capacity() * sizeof(uint64_t) +
+           slots_.capacity() * sizeof(uint32_t);
+}
+
+StateTable::StateTable(size_t num_nodes, size_t num_addrs)
+    : numNodes_(num_nodes), numAddrs_(num_addrs),
+      cacheLen_(num_nodes * num_addrs),
+      spans_(num_nodes * num_addrs + num_addrs)
+{
+}
+
+StateId
+StateTable::intern(const State &s, bool *is_new)
+{
+    CXL0_ASSERT(s.numNodes() == numNodes_ && s.numAddrs() == numAddrs_,
+                "state shape does not match the table");
+    return spans_.intern2(s.cacheLines().data(), cacheLen_,
+                          s.memLines().data(), s.hash(), is_new);
+}
+
+void
+StateTable::materialize(StateId id, State &out) const
+{
+    CXL0_ASSERT(out.numNodes() == numNodes_ &&
+                    out.numAddrs() == numAddrs_,
+                "output state shape does not match the table");
+    const Value *base = spans_.at(id);
+    std::copy(base, base + cacheLen_, out.cache_.begin());
+    std::copy(base + cacheLen_, base + spans_.stride(),
+              out.mem_.begin());
+    out.hash_ = spans_.hashOf(id);
+}
+
+State
+StateTable::materialize(StateId id) const
+{
+    State out(numNodes_, numAddrs_);
+    materialize(id, out);
+    return out;
+}
+
+} // namespace cxl0::model

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Hash-consed interning of CXL0 states.
+ *
+ * The model checkers visit the same abstract states astronomically
+ * often: every interleaving prefix, tau placement, and crash placement
+ * re-derives states that differ in a handful of slots. A StateTable
+ * stores each distinct state exactly once in a flat value arena and
+ * hands out dense 32-bit StateIds, so visited-sets and search frontiers
+ * can hold 4-byte ids instead of multi-vector State objects, and state
+ * equality becomes an id comparison.
+ *
+ * The index is open-addressed (linear probing, power-of-two capacity)
+ * and keyed by State::hash(), which is maintained incrementally by the
+ * State mutators — interning a successor state never rescans the
+ * vectors except for the final equality confirmation on a hash hit.
+ *
+ * ValueSpanTable is the underlying shape-agnostic interner for flat
+ * spans of Values; the explorer reuses it for register files.
+ */
+
+#ifndef CXL0_MODEL_STATE_TABLE_HH
+#define CXL0_MODEL_STATE_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "model/state.hh"
+
+namespace cxl0::model
+{
+
+/**
+ * Content hash of a flat span of Values, with the same per-slot
+ * avalanche quality the incremental State hash uses. Callers interning
+ * non-State spans (e.g. register files) into a ValueSpanTable use this
+ * to produce the hash intern() requires.
+ */
+uint64_t hashValueSpan(const Value *data, size_t n);
+
+/**
+ * Update a hashValueSpan digest for a single slot changing from
+ * old_v to new_v. O(1); the digest is an XOR of independent per-slot
+ * terms, so updates commute and are order-independent.
+ */
+uint64_t updateValueSpanHash(uint64_t hash, size_t idx, Value old_v,
+                             Value new_v);
+
+/** Dense id of an interned state (index into the arena). */
+using StateId = uint32_t;
+
+/** Sentinel: no state / empty table slot. */
+constexpr StateId kNoStateId = static_cast<StateId>(-1);
+
+/**
+ * Interns fixed-stride spans of Values. Ids are dense and stable; the
+ * arena never shrinks or moves an interned entry's contents.
+ */
+class ValueSpanTable
+{
+  public:
+    explicit ValueSpanTable(size_t stride);
+
+    /**
+     * Intern `stride()` values starting at `data` with the given
+     * content hash. Returns the existing id when an equal span is
+     * already present; `is_new` (optional) reports which case ran.
+     * The hash must be a pure function of the span's contents.
+     */
+    uint32_t intern(const Value *data, uint64_t hash,
+                    bool *is_new = nullptr);
+
+    /**
+     * Intern a span given as two consecutive pieces (sizes must sum
+     * to stride()). Lets StateTable intern a State's cache and memory
+     * vectors without first flattening them into one buffer.
+     */
+    uint32_t intern2(const Value *a, size_t na, const Value *b,
+                     uint64_t hash, bool *is_new = nullptr);
+
+    /** Start of the interned span for `id`. */
+    const Value *at(uint32_t id) const
+    {
+        return arena_.data() + static_cast<size_t>(id) * stride_;
+    }
+
+    /** Content hash the span was interned under. */
+    uint64_t hashOf(uint32_t id) const { return hashes_[id]; }
+
+    /** Number of distinct spans interned. */
+    size_t size() const { return hashes_.size(); }
+
+    /** Values per span. */
+    size_t stride() const { return stride_; }
+
+    /** Resident bytes: arena + hashes + probe index. */
+    size_t bytes() const;
+
+  private:
+    void grow();
+
+    size_t stride_;
+    std::vector<Value> arena_;
+    std::vector<uint64_t> hashes_;
+    std::vector<uint32_t> slots_; //!< open-addressed; kNoStateId = empty
+    size_t mask_ = 0;             //!< slots_.size() - 1
+};
+
+/**
+ * Hash-consing table for model::State. All states must share one shape
+ * (numNodes, numAddrs); the shape is fixed at construction.
+ */
+class StateTable
+{
+  public:
+    StateTable(size_t num_nodes, size_t num_addrs);
+
+    /**
+     * Intern a state, returning its dense id. Idempotent: equal states
+     * always map to the same id. `is_new` (optional) is set to whether
+     * this call inserted a fresh entry.
+     */
+    StateId intern(const State &s, bool *is_new = nullptr);
+
+    /**
+     * Rebuild the state for `id` into `out`, which must have the
+     * table's shape (reuses out's buffers; no allocation).
+     */
+    void materialize(StateId id, State &out) const;
+
+    /** Convenience: a freshly allocated copy of state `id`. */
+    State materialize(StateId id) const;
+
+    /** Content hash of state `id` (equals materialize(id).hash()). */
+    uint64_t hashOf(StateId id) const { return spans_.hashOf(id); }
+
+    /** Number of distinct states interned. */
+    size_t size() const { return spans_.size(); }
+
+    /** Resident bytes of the arena and index. */
+    size_t bytes() const { return spans_.bytes(); }
+
+    size_t numNodes() const { return numNodes_; }
+    size_t numAddrs() const { return numAddrs_; }
+
+  private:
+    size_t numNodes_;
+    size_t numAddrs_;
+    size_t cacheLen_; //!< numNodes * numAddrs
+    ValueSpanTable spans_;
+};
+
+} // namespace cxl0::model
+
+#endif // CXL0_MODEL_STATE_TABLE_HH

@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "check/explorer.hh"
+#include "check/litmus.hh"
+#include "common/rng.hh"
 
 namespace
 {
 
 using namespace cxl0::check;
 using namespace cxl0::model;
+using cxl0::Addr;
+using cxl0::NodeId;
 using cxl0::Value;
 
 Operand
@@ -25,7 +29,7 @@ TEST(Explorer, SingleThreadStoreLoad)
     p.threads.push_back(
         {0,
          {ProgInstr::store(Op::LStore, 0, imm(5)), ProgInstr::load(0, 0)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     ASSERT_EQ(outcomes.size(), 1u);
     EXPECT_EQ(outcomes.begin()->regs[0][0], 5);
     EXPECT_EQ(outcomes.begin()->crashedThreads, 0u);
@@ -44,7 +48,7 @@ TEST(Explorer, TwoThreadsRaceOnStore)
     p.threads.push_back(
         {0, {ProgInstr::store(Op::LStore, 0, imm(2)),
              ProgInstr::load(0, 0)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     EXPECT_GT(outcomes.size(), 1u);
     for (const Outcome &o : outcomes) {
         // Readers may see 1 or 2 but never the initial 0 for the
@@ -68,7 +72,7 @@ TEST(Explorer, MotivatingExampleAssertionCanFail)
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0}; // only the remote owner crashes
-    auto outcomes = Explorer(model, p, opts).explore();
+    auto outcomes = Explorer(model, p, opts).explore().outcomes;
     bool violation = false;
     bool equal_seen = false;
     for (const Outcome &o : outcomes) {
@@ -95,7 +99,7 @@ TEST(Explorer, MotivatingExampleFixedByMStore)
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0};
-    auto outcomes = Explorer(model, p, opts).explore();
+    auto outcomes = Explorer(model, p, opts).explore().outcomes;
     for (const Outcome &o : outcomes)
         EXPECT_EQ(o.regs[0][0], o.regs[0][1]) << o.describe();
 }
@@ -109,7 +113,7 @@ TEST(Explorer, CasSucceedsExactlyOnceUnderContention)
         p.threads.push_back(
             {0, {ProgInstr::cas(Op::LRmw, 0, imm(0), imm(t + 1), 0)}});
     }
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     for (const Outcome &o : outcomes) {
         int successes = static_cast<int>(o.regs[0][0] + o.regs[1][0]);
         EXPECT_EQ(successes, 1) << o.describe();
@@ -124,7 +128,7 @@ TEST(Explorer, FaaReturnsOldValueAndAccumulates)
     p.threads.push_back({0, {ProgInstr::faa(Op::LRmw, 0, imm(3), 0)}});
     p.threads.push_back({0, {ProgInstr::faa(Op::LRmw, 0, imm(5), 0),
                              ProgInstr::load(0, 1)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     for (const Outcome &o : outcomes) {
         // Old values must be {0,3} or {0,5} depending on order.
         Value a = o.regs[0][0], b = o.regs[1][0];
@@ -143,7 +147,7 @@ TEST(Explorer, CrashKillsThreadsOnThatMachine)
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {1};
-    auto outcomes = Explorer(model, p, opts).explore();
+    auto outcomes = Explorer(model, p, opts).explore().outcomes;
     bool killed = false;
     for (const Outcome &o : outcomes)
         if (o.crashedThreads & 2u)
@@ -164,7 +168,7 @@ TEST(Explorer, RegisterOperandsFlowBetweenInstructions)
              ProgInstr::load(0, 0),
              ProgInstr::store(Op::LStore, 1, Operand::regRef(0)),
              ProgInstr::load(1, 1)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     ASSERT_EQ(outcomes.size(), 1u);
     EXPECT_EQ(outcomes.begin()->regs[0][1], 7);
 }
@@ -181,7 +185,7 @@ TEST(Explorer, MStorePersistsAcrossCrashInExploration)
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0};
-    auto outcomes = Explorer(model, p, opts).explore();
+    auto outcomes = Explorer(model, p, opts).explore().outcomes;
     for (const Outcome &o : outcomes)
         EXPECT_EQ(o.regs[0][0], 1) << o.describe();
 }
@@ -198,12 +202,12 @@ TEST(Explorer, FlushBlocksUntilTauDrains)
                              ProgInstr::flush(Op::LFlush, 0)}});
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
-    auto outcomes = Explorer(model, p, opts).explore();
+    auto outcomes = Explorer(model, p, opts).explore().outcomes;
     // Follow-up: check memory persisted in every completed outcome by
     // re-running with a trailing load.
     Program p2 = p;
     p2.threads[0].code.push_back(ProgInstr::load(0, 0));
-    auto outcomes2 = Explorer(model, p2, ExploreOptions{}).explore();
+    auto outcomes2 = Explorer(model, p2, ExploreOptions{}).explore().outcomes;
     for (const Outcome &o : outcomes2)
         EXPECT_EQ(o.regs[0][0], 1);
     EXPECT_FALSE(outcomes.empty());
@@ -242,14 +246,14 @@ TEST(Explorer, GpfInstructionForcesPersistence)
         {1, {ProgInstr::store(Op::LStore, 0, imm(1)), ProgInstr::gpf(),
              ProgInstr::load(0, 0)}});
 
-    auto no_crash = Explorer(model, p).explore();
+    auto no_crash = Explorer(model, p).explore().outcomes;
     for (const Outcome &o : no_crash)
         EXPECT_EQ(o.regs[0][0], 1) << o.describe();
 
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0};
-    auto crashy = Explorer(model, p, opts).explore();
+    auto crashy = Explorer(model, p, opts).explore().outcomes;
     bool saw_kept = false, saw_lost = false;
     for (const Outcome &o : crashy) {
         saw_kept |= o.regs[0][0] == 1;
@@ -267,7 +271,7 @@ TEST(Explorer, RStoreVisibleToOwnerImmediately)
     p.threads.push_back(
         {1, {ProgInstr::store(Op::RStore, 0, imm(4))}});
     p.threads.push_back({0, {ProgInstr::load(0, 0)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     bool saw_new = false, saw_old = false;
     for (const Outcome &o : outcomes) {
         saw_new |= o.regs[1][0] == 4;
@@ -295,14 +299,14 @@ TEST(Explorer, RFlushCrashWindowExists)
         {1, {ProgInstr::store(Op::LStore, 0, imm(1)),
              ProgInstr::flush(Op::RFlush, 0), ProgInstr::load(0, 0)}});
 
-    auto no_crash = Explorer(model, p).explore();
+    auto no_crash = Explorer(model, p).explore().outcomes;
     for (const Outcome &o : no_crash)
         EXPECT_EQ(o.regs[0][0], 1) << o.describe();
 
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
     opts.crashableNodes = {0};
-    auto crashy = Explorer(model, p, opts).explore();
+    auto crashy = Explorer(model, p, opts).explore().outcomes;
     bool lost_after_flush = false;
     for (const Outcome &o : crashy)
         lost_after_flush |= o.regs[0][0] == 0;
@@ -316,9 +320,197 @@ TEST(Explorer, CrashBudgetZeroMeansNoCrashOutcomes)
     Cxl0Model model(cfg);
     Program p;
     p.threads.push_back({0, {ProgInstr::load(0, 0)}});
-    auto outcomes = Explorer(model, p).explore();
+    auto outcomes = Explorer(model, p).explore().outcomes;
     ASSERT_EQ(outcomes.size(), 1u);
     EXPECT_EQ(outcomes.begin()->crashedThreads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Regression: the packed/interned search must produce outcome sets
+// bit-identical to the deep-copy reference implementation (the seed
+// algorithm), with and without the tau reduction.
+// ---------------------------------------------------------------------
+
+void
+expectAllModesAgree(const Cxl0Model &model, const Program &p,
+                    ExploreOptions opts, const char *what)
+{
+    opts.reduceTau = true;
+    Explorer reduced(model, p, opts);
+    opts.reduceTau = false;
+    Explorer unreduced(model, p, opts);
+
+    auto ref = reduced.exploreReference();
+    auto fast = reduced.explore();
+    auto fast_full = unreduced.explore();
+    ASSERT_FALSE(ref.truncated) << what;
+    ASSERT_FALSE(fast.truncated) << what;
+    EXPECT_EQ(fast.outcomes, ref.outcomes) << what;
+    EXPECT_EQ(fast_full.outcomes, ref.outcomes)
+        << what << " (reduction off)";
+}
+
+TEST(ExplorerRegression, PackedMatchesReferenceOnLitmusPrograms)
+{
+    for (const LitmusProgram &lp : explorerPrograms()) {
+        Cxl0Model model(lp.config, lp.variant);
+        expectAllModesAgree(model, lp.program, lp.options,
+                            lp.name.c_str());
+    }
+}
+
+TEST(ExplorerRegression, MotivatingProgramKeepsItsOutcomeSet)
+{
+    // The §6 program's exact reachable (r1, r2) set, locked in as a
+    // regression oracle: (1,1) crash-free or crash-after-reads; (1,0)
+    // the paper's assertion violation (value observed then lost);
+    // (0,0) the store's line migrates to the owner's cache and dies
+    // in the crash before either read.
+    LitmusProgram lp = motivatingProgram();
+    Cxl0Model model(lp.config, lp.variant);
+    auto res = Explorer(model, lp.program, lp.options).explore();
+    ASSERT_FALSE(res.truncated);
+    std::set<std::pair<Value, Value>> seen;
+    for (const Outcome &o : res.outcomes)
+        seen.insert({o.regs[0][0], o.regs[0][1]});
+    std::set<std::pair<Value, Value>> expected{{0, 0}, {1, 0}, {1, 1}};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(ExplorerRegression, PackedMatchesReferenceOnRandomPrograms)
+{
+    // Differential fuzzing across variants, flavours, crash budgets,
+    // and thread mixes. Sizes stay small so the reference search is
+    // cheap, but every instruction kind and both explorers' corner
+    // paths get exercised.
+    cxl0::Rng rng(0xc0ffeeULL);
+    for (int trial = 0; trial < 40; ++trial) {
+        size_t nodes = 1 + rng.nextBelow(3);
+        size_t addrs_per = 1 + rng.nextBelow(2);
+        bool persistent = rng.chance(1, 2);
+        SystemConfig cfg =
+            SystemConfig::uniform(nodes, addrs_per, persistent);
+        auto variant = static_cast<ModelVariant>(rng.nextBelow(3));
+        Cxl0Model model(cfg, variant);
+
+        Program p;
+        p.numRegs = 2;
+        size_t nthreads = 1 + rng.nextBelow(2);
+        size_t naddrs = cfg.numAddrs();
+        for (size_t t = 0; t < nthreads; ++t) {
+            ProgThread thread;
+            thread.node = static_cast<NodeId>(rng.nextBelow(nodes));
+            size_t len = 1 + rng.nextBelow(3);
+            for (size_t i = 0; i < len; ++i) {
+                Addr x = static_cast<Addr>(rng.nextBelow(naddrs));
+                Value v = static_cast<Value>(rng.nextInRange(0, 2));
+                switch (rng.nextBelow(6)) {
+                  case 0:
+                    thread.code.push_back(ProgInstr::load(x, 0));
+                    break;
+                  case 1: {
+                    Op flavours[] = {Op::LStore, Op::RStore,
+                                     Op::MStore};
+                    thread.code.push_back(ProgInstr::store(
+                        flavours[rng.nextBelow(3)], x,
+                        Operand::immediate(v)));
+                    break;
+                  }
+                  case 2:
+                    thread.code.push_back(ProgInstr::flush(
+                        rng.chance(1, 2) ? Op::LFlush : Op::RFlush,
+                        x));
+                    break;
+                  case 3:
+                    thread.code.push_back(ProgInstr::gpf());
+                    break;
+                  case 4:
+                    thread.code.push_back(ProgInstr::cas(
+                        Op::LRmw, x, Operand::immediate(0),
+                        Operand::immediate(v), 1));
+                    break;
+                  case 5:
+                    thread.code.push_back(
+                        ProgInstr::faa(Op::MRmw, x,
+                                       Operand::immediate(1), 1));
+                    break;
+                }
+            }
+            p.threads.push_back(std::move(thread));
+        }
+
+        ExploreOptions opts;
+        opts.maxCrashesPerNode = static_cast<int>(rng.nextBelow(2));
+        expectAllModesAgree(model, p, opts,
+                            ("random trial " + std::to_string(trial))
+                                .c_str());
+    }
+}
+
+TEST(ExplorerRegression, TruncationDegradesGracefully)
+{
+    // A crashy two-thread program whose config count exceeds a tiny
+    // budget: both explorers must report truncated=true, keep a
+    // nonempty partial outcome set, and not abort the process.
+    LitmusProgram lp = motivatingProgram();
+    Cxl0Model model(lp.config, lp.variant);
+    ExploreOptions opts = lp.options;
+    auto full = Explorer(model, lp.program, opts).explore();
+    ASSERT_FALSE(full.truncated);
+
+    opts.maxConfigs = 4;
+    auto partial = Explorer(model, lp.program, opts).explore();
+    EXPECT_TRUE(partial.truncated);
+    auto partial_ref =
+        Explorer(model, lp.program, opts).exploreReference();
+    EXPECT_TRUE(partial_ref.truncated);
+
+    for (const Outcome &o : partial.outcomes)
+        EXPECT_TRUE(full.outcomes.count(o))
+            << "partial outcome not in the full set: " << o.describe();
+}
+
+TEST(ExplorerRegression, StatsDescribeTheRun)
+{
+    LitmusProgram lp = litmus4Program();
+    Cxl0Model model(lp.config, lp.variant);
+    auto res = Explorer(model, lp.program, lp.options).explore();
+    EXPECT_GT(res.stats.configsVisited, 0u);
+    EXPECT_GT(res.stats.configsInterned, 0u);
+    EXPECT_GT(res.stats.statesInterned, 0u);
+    EXPECT_GT(res.stats.peakVisitedBytes, 0u);
+    EXPECT_GE(res.stats.seconds, 0.0);
+}
+
+TEST(ExplorerRegression, PackedVisitedSetIsLeanerAtScale)
+{
+    // On a workload large enough to amortize table pre-allocation,
+    // interning + 32-byte packed entries must beat deep copies on
+    // resident visited-set bytes by a wide margin.
+    SystemConfig cfg = SystemConfig::uniform(3, 1, true);
+    Cxl0Model model(cfg);
+    Program p;
+    for (int t = 0; t < 3; ++t) {
+        NodeId node = static_cast<NodeId>(t);
+        Addr own = static_cast<Addr>(t);
+        Addr next = static_cast<Addr>((t + 1) % 3);
+        p.threads.push_back(
+            {node,
+             {ProgInstr::store(Op::LStore, own,
+                               Operand::immediate(t + 1)),
+              ProgInstr::load(next, 0), ProgInstr::load(own, 1)}});
+    }
+    ExploreOptions opts;
+    opts.maxCrashesPerNode = 1;
+    opts.reduceTau = false; // compare identical search graphs
+    Explorer ex(model, p, opts);
+    auto fast = ex.explore();
+    auto ref = ex.exploreReference();
+    ASSERT_FALSE(fast.truncated);
+    EXPECT_EQ(fast.outcomes, ref.outcomes);
+    EXPECT_EQ(fast.stats.configsInterned, ref.stats.configsInterned);
+    EXPECT_LT(fast.stats.peakVisitedBytes * 5,
+              ref.stats.peakVisitedBytes);
 }
 
 } // namespace

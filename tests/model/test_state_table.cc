@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/state_table.hh"
+
+namespace
+{
+
+using cxl0::kBottom;
+using cxl0::Rng;
+using cxl0::Value;
+using cxl0::model::State;
+using cxl0::model::StateId;
+using cxl0::model::StateTable;
+using cxl0::model::ValueSpanTable;
+
+TEST(StateTable, InterningIsIdempotent)
+{
+    StateTable table(2, 3);
+    State s(2, 3);
+    s.setCache(0, 1, 7);
+    s.setMemory(2, 9);
+
+    bool fresh = false;
+    StateId a = table.intern(s, &fresh);
+    EXPECT_TRUE(fresh);
+    StateId b = table.intern(s, &fresh);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(table.size(), 1u);
+
+    // An equal state built independently maps to the same id.
+    State t(2, 3);
+    t.setMemory(2, 9);
+    t.setCache(0, 1, 7);
+    EXPECT_EQ(table.intern(t), a);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(StateTable, DistinctStatesGetDistinctIds)
+{
+    StateTable table(2, 2);
+    State s(2, 2);
+    StateId base = table.intern(s);
+    s.setCache(1, 0, 5);
+    StateId cached = table.intern(s);
+    s.setMemory(1, 5);
+    StateId stored = table.intern(s);
+    EXPECT_NE(base, cached);
+    EXPECT_NE(cached, stored);
+    EXPECT_NE(base, stored);
+    EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(StateTable, MaterializeRoundTrips)
+{
+    StateTable table(3, 2);
+    State s(3, 2);
+    s.setCache(2, 1, 11);
+    s.setCache(0, 0, 4);
+    s.setMemory(0, 4);
+    StateId id = table.intern(s);
+
+    State out = table.materialize(id);
+    EXPECT_EQ(out, s);
+    EXPECT_EQ(out.hash(), s.hash());
+    EXPECT_EQ(table.hashOf(id), s.hash());
+
+    // In-place materialization reuses the buffers of a shaped state.
+    State reuse(3, 2);
+    table.materialize(id, reuse);
+    EXPECT_EQ(reuse, s);
+}
+
+TEST(StateTable, IdsSurviveTableGrowth)
+{
+    // Intern well past the initial index capacity, then verify every
+    // id still resolves to its original contents (the arena must never
+    // move or corrupt entries while the probe index rehashes).
+    StateTable table(2, 2);
+    Rng rng(0xfeedULL);
+    std::vector<State> originals;
+    std::vector<StateId> ids;
+    for (int i = 0; i < 2000; ++i) {
+        State s(2, 2);
+        for (cxl0::NodeId n = 0; n < 2; ++n)
+            for (cxl0::Addr x = 0; x < 2; ++x)
+                if (rng.chance(1, 2))
+                    s.setCache(n, x, rng.nextInRange(0, 200));
+        for (cxl0::Addr x = 0; x < 2; ++x)
+            s.setMemory(x, rng.nextInRange(0, 200));
+        ids.push_back(table.intern(s));
+        originals.push_back(std::move(s));
+    }
+    for (size_t i = 0; i < originals.size(); ++i) {
+        EXPECT_EQ(table.materialize(ids[i]), originals[i]);
+        EXPECT_EQ(table.intern(originals[i]), ids[i]);
+    }
+}
+
+TEST(StateHash, IncrementalEqualsFullRehashUnderRandomMutations)
+{
+    // Drive a state through a long random mutation sequence; after
+    // every mutation the incrementally maintained digest must equal a
+    // full rescan of both vectors.
+    const size_t nodes = 3, addrs = 4;
+    Rng rng(0x5eedULL);
+    State s(nodes, addrs);
+    ASSERT_EQ(s.hash(), s.recomputeHash());
+    for (int step = 0; step < 5000; ++step) {
+        switch (rng.nextBelow(6)) {
+          case 0:
+            s.setCache(rng.nextBelow(nodes), rng.nextBelow(addrs),
+                       rng.nextInRange(-50, 50));
+            break;
+          case 1:
+            s.setCache(rng.nextBelow(nodes), rng.nextBelow(addrs),
+                       kBottom);
+            break;
+          case 2:
+            s.setMemory(rng.nextBelow(addrs), rng.nextInRange(-50, 50));
+            break;
+          case 3:
+            s.invalidateEverywhere(rng.nextBelow(addrs));
+            break;
+          case 4:
+            s.invalidateOthers(rng.nextBelow(nodes),
+                               rng.nextBelow(addrs));
+            break;
+          case 5:
+            s.clearCache(rng.nextBelow(nodes));
+            break;
+        }
+        ASSERT_EQ(s.hash(), s.recomputeHash()) << "after step " << step;
+    }
+}
+
+TEST(StateHash, PathIndependent)
+{
+    // Zobrist hashing: any mutation order reaching the same content
+    // yields the same digest (required for interning correctness).
+    State a(2, 2), b(2, 2);
+    a.setCache(0, 0, 1);
+    a.setCache(1, 1, 2);
+    a.setMemory(0, 3);
+
+    b.setMemory(0, 3);
+    b.setCache(1, 1, 2);
+    b.setCache(0, 0, 9); // overwritten below
+    b.setCache(0, 0, 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ValueSpanTable, InternsFixedStrideSpans)
+{
+    ValueSpanTable table(3);
+    Value a[3] = {1, 2, 3};
+    Value b[3] = {1, 2, 4};
+    uint64_t ha = cxl0::model::hashValueSpan(a, 3);
+    uint64_t hb = cxl0::model::hashValueSpan(b, 3);
+    EXPECT_NE(ha, hb);
+
+    uint32_t ia = table.intern(a, ha);
+    uint32_t ib = table.intern(b, hb);
+    EXPECT_NE(ia, ib);
+    EXPECT_EQ(table.intern(a, ha), ia);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.at(ia)[2], 3);
+    EXPECT_EQ(table.at(ib)[2], 4);
+    EXPECT_GT(table.bytes(), 0u);
+}
+
+} // namespace
