@@ -1,0 +1,210 @@
+/**
+ * @file
+ * R-scale — refinement throughput/memory scaling, with JSON output
+ * for trajectory tracking (BENCH_*.json), shaped like
+ * bench_explorer_scaling.
+ *
+ * Workloads: depth-bounded trace-refinement queries over the §3.5
+ * variant configuration and uniform systems, all drawing labels from
+ * Alphabet::standard (the full op/value/node vocabulary).
+ *
+ * For every case two modes run:
+ *   interned    the frame-interned engine search (the default)
+ *   reference   the deep-copy seed algorithm
+ * and the JSON reports configs/sec, peak visited-set bytes, interned
+ * frame counts, verdicts, plus interned-vs-reference speedup and
+ * memory ratios. Two gates make this a correctness/architecture
+ * smoke check: verdicts must agree across modes on every case, and
+ * the cases marked `standard_gate` (the standard-alphabet
+ * depth-bounded runs of the ISSUE acceptance criteria) must show a
+ * >= 2x peak-memory improvement from frame interning.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/refinement.hh"
+
+using namespace cxl0;
+using namespace cxl0::check;
+using model::Cxl0Model;
+using model::MachineConfig;
+using model::ModelVariant;
+using model::SystemConfig;
+
+namespace
+{
+
+struct Case
+{
+    std::string name;
+    SystemConfig config;
+    ModelVariant spec;
+    ModelVariant impl;
+    size_t depth;
+    /** Counts toward the >= 2x standard-alphabet memory gate. */
+    bool standardGate;
+};
+
+/** §3.5 setting: machine 0 NVMM, machine 1 volatile, x0 on machine 0. */
+SystemConfig
+variantConfig()
+{
+    return SystemConfig({MachineConfig{true}, MachineConfig{false}},
+                        {0});
+}
+
+struct ModeResult
+{
+    CheckReport report;
+    double configsPerSec = 0;
+};
+
+ModeResult
+run(const Case &c, bool reference)
+{
+    Cxl0Model spec(c.config, c.spec), impl(c.config, c.impl);
+    Alphabet alphabet = Alphabet::standard(c.config);
+    CheckRequest req;
+    req.maxDepth = c.depth;
+    // Best of three: the search is deterministic, so the fastest run
+    // is the least-perturbed one and tracks best across machines.
+    ModeResult m;
+    for (int rep = 0; rep < 3; ++rep) {
+        CheckReport r =
+            reference
+                ? checkRefinementReference(spec, impl, alphabet, req)
+                : checkRefinement(spec, impl, alphabet, req);
+        if (rep == 0 || r.stats.seconds < m.report.stats.seconds)
+            m.report = std::move(r);
+    }
+    double sec = m.report.stats.seconds > 0 ? m.report.stats.seconds
+                                            : 1e-9;
+    m.configsPerSec =
+        static_cast<double>(m.report.stats.configsVisited) / sec;
+    return m;
+}
+
+void
+emitMode(std::string *out, const char *mode, const ModeResult &m,
+         bool last)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
+        "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
+        "\"frames_interned\": %zu, \"verdict\": \"%s\", "
+        "\"truncated\": %s}%s\n",
+        mode, m.report.stats.configsVisited, m.report.stats.seconds,
+        m.configsPerSec, m.report.stats.peakVisitedBytes,
+        m.report.stats.framesInterned,
+        checkVerdictName(m.report.verdict),
+        m.report.truncated ? "true" : "false", last ? "" : ",");
+    *out += buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --out requires a path\n");
+                return 2;
+            }
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out <json-path>]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<Case> cases{
+        // The standard-alphabet depth-bounded runs of the acceptance
+        // criteria: §3.5 variant pairs and a two-machine uniform
+        // system, depth 4.
+        {"std_variant_base_lwb_d4", variantConfig(),
+         ModelVariant::Base, ModelVariant::Lwb, 4, true},
+        {"std_variant_base_psn_d4", variantConfig(),
+         ModelVariant::Base, ModelVariant::Psn, 4, true},
+        {"std_uniform2x1_self_d4", SystemConfig::uniform(2, 1, true),
+         ModelVariant::Base, ModelVariant::Base, 4, true},
+        // A violated refinement: verdicts (and counterexample
+        // discovery) must agree; the run fails fast, so no memory
+        // gate.
+        {"variant_lwb_base_d4", variantConfig(), ModelVariant::Lwb,
+         ModelVariant::Base, 4, false},
+        // Scale cases for the speed trajectory.
+        {"uniform2x2_self_d3", SystemConfig::uniform(2, 2, true),
+         ModelVariant::Base, ModelVariant::Base, 3, false},
+        {"uniform3x1_self_d3", SystemConfig::uniform(3, 1, true),
+         ModelVariant::Base, ModelVariant::Base, 3, false},
+        {"uniform2x1_self_d5", SystemConfig::uniform(2, 1, true),
+         ModelVariant::Base, ModelVariant::Base, 5, false},
+    };
+
+    std::string json = "{\n  \"bench\": \"refinement_scaling\",\n"
+                       "  \"cases\": {\n";
+    bool all_match = true;
+    bool mem_gate = true;
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const Case &c = cases[i];
+        ModeResult fast = run(c, false);
+        ModeResult ref = run(c, true);
+
+        bool match = fast.report.verdict == ref.report.verdict;
+        all_match &= match;
+
+        double speedup =
+            ref.report.stats.seconds /
+            (fast.report.stats.seconds > 0 ? fast.report.stats.seconds
+                                           : 1e-9);
+        double mem_ratio =
+            fast.report.stats.peakVisitedBytes > 0
+                ? static_cast<double>(
+                      ref.report.stats.peakVisitedBytes) /
+                      static_cast<double>(
+                          fast.report.stats.peakVisitedBytes)
+                : 0;
+        bool gate_ok = !c.standardGate || mem_ratio >= 2.0;
+        mem_gate &= gate_ok;
+
+        json += "    \"" + c.name + "\": {\n";
+        emitMode(&json, "interned", fast, false);
+        emitMode(&json, "reference", ref, false);
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "      \"verdicts_match\": %s, "
+                      "\"speedup_vs_reference\": %.2f, "
+                      "\"memory_ratio_vs_reference\": %.2f, "
+                      "\"standard_gate\": %s\n    }%s\n",
+                      match ? "true" : "false", speedup, mem_ratio,
+                      c.standardGate ? "true" : "false",
+                      i + 1 < cases.size() ? "," : "");
+        json += buf;
+    }
+    json += "  },\n  \"all_verdicts_match\": ";
+    json += all_match ? "true" : "false";
+    json += ",\n  \"standard_memory_gate_passed\": ";
+    json += mem_gate ? "true" : "false";
+    json += "\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n", out_path);
+            return 2;
+        }
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    }
+    return all_match && mem_gate ? 0 : 1;
+}

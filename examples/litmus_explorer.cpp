@@ -35,8 +35,14 @@ stepThrough(const LitmusTest &t, ModelVariant variant)
 {
     std::printf("test %d (%s) under %s:\n", t.id, t.name.c_str(),
                 model::variantName(variant));
-    std::printf("config: %s\n\n", t.config.describe().c_str());
+    std::printf("config: %s\n", t.config.describe().c_str());
     model::Cxl0Model m(t.config, variant);
+
+    // The unified Request/Report API in one line: verdict, stats,
+    // and (for infeasible traces) the blocking label.
+    CheckReport report = checkTraceFeasible(m, t.trace);
+    std::printf("report: %s\n\n", report.describe().c_str());
+
     TraceChecker checker(m);
     for (size_t len = 0; len <= t.trace.size(); ++len) {
         std::vector<model::Label> prefix(t.trace.begin(),

@@ -1,0 +1,361 @@
+#include "check/engine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hashmix.hh"
+#include "common/logging.hh"
+
+namespace cxl0::check
+{
+
+using model::kNoFrameId;
+using model::kNoStateId;
+using model::TauMove;
+
+const char *
+checkVerdictName(CheckVerdict v)
+{
+    switch (v) {
+      case CheckVerdict::Pass:
+        return "pass";
+      case CheckVerdict::Fail:
+        return "fail";
+      case CheckVerdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+std::string
+Counterexample::describe() const
+{
+    if (empty())
+        return "(none)";
+    std::ostringstream os;
+    if (!trace.empty())
+        os << "[" << model::describeTrace(trace) << "]";
+    if (!description.empty()) {
+        if (!trace.empty())
+            os << " ";
+        os << description;
+    }
+    return os.str();
+}
+
+bool
+Outcome::operator<(const Outcome &other) const
+{
+    if (crashedThreads != other.crashedThreads)
+        return crashedThreads < other.crashedThreads;
+    return regs < other.regs;
+}
+
+bool
+Outcome::operator==(const Outcome &other) const
+{
+    return crashedThreads == other.crashedThreads && regs == other.regs;
+}
+
+std::string
+Outcome::describe() const
+{
+    std::ostringstream os;
+    for (size_t t = 0; t < regs.size(); ++t) {
+        os << "T" << t << ((crashedThreads >> t) & 1 ? "(crashed)" : "")
+           << "[";
+        for (size_t r = 0; r < regs[t].size(); ++r)
+            os << (r ? "," : "") << regs[t][r];
+        os << "] ";
+    }
+    return os.str();
+}
+
+std::string
+CheckReport::describe() const
+{
+    std::ostringstream os;
+    os << checkVerdictName(verdict);
+    if (truncated)
+        os << " (truncated)";
+    if (!outcomes.empty())
+        os << ", " << outcomes.size() << " outcomes";
+    if (verdict == CheckVerdict::Fail)
+        os << ", counterexample: " << counterexample.describe();
+    os << " [" << stats.configsVisited << " configs, "
+       << stats.statesInterned << " states, " << stats.framesInterned
+       << " frames]";
+    return os.str();
+}
+
+uint64_t
+hashPacked(const PackedConfig &c)
+{
+    uint64_t h =
+        mixBits((static_cast<uint64_t>(c.state) << 32) ^ c.regs);
+    h = mixBits(h ^ c.pc);
+    h = mixBits(h ^ (static_cast<uint64_t>(c.alive) << 32) ^ c.crash);
+    return h;
+}
+
+// ------------------------------------------------------------------
+// FlatConfigSet
+// ------------------------------------------------------------------
+
+namespace
+{
+
+constexpr size_t kInitialSlots = 64;
+
+} // namespace
+
+FlatConfigSet::FlatConfigSet()
+    : slots_(kInitialSlots, empty()), mask_(kInitialSlots - 1)
+{
+}
+
+PackedConfig
+FlatConfigSet::empty()
+{
+    PackedConfig c;
+    c.state = kNoStateId;
+    return c;
+}
+
+bool
+FlatConfigSet::contains(const PackedConfig &c) const
+{
+    size_t i = hashPacked(c) & mask_;
+    while (slots_[i].state != kNoStateId) {
+        if (slots_[i] == c)
+            return true;
+        i = (i + 1) & mask_;
+    }
+    return false;
+}
+
+bool
+FlatConfigSet::insert(const PackedConfig &c)
+{
+    size_t i = hashPacked(c) & mask_;
+    while (slots_[i].state != kNoStateId) {
+        if (slots_[i] == c)
+            return false;
+        i = (i + 1) & mask_;
+    }
+    slots_[i] = c;
+    ++count_;
+    // Keep the load factor below ~0.7 so probes stay short.
+    if ((count_ + 1) * 10 > slots_.size() * 7)
+        grow();
+    return true;
+}
+
+void
+FlatConfigSet::grow()
+{
+    std::vector<PackedConfig> bigger(slots_.size() * 2, empty());
+    size_t mask = bigger.size() - 1;
+    for (const PackedConfig &c : slots_) {
+        if (c.state == kNoStateId)
+            continue;
+        size_t i = hashPacked(c) & mask;
+        while (bigger[i].state != kNoStateId)
+            i = (i + 1) & mask;
+        bigger[i] = c;
+    }
+    slots_ = std::move(bigger);
+    mask_ = mask;
+}
+
+PackedConfig
+ConfigFrontier::pop()
+{
+    if (policy_ == FrontierPolicy::DepthFirst) {
+        PackedConfig c = stack_.back();
+        stack_.pop_back();
+        return c;
+    }
+    PackedConfig c = queue_.front();
+    queue_.pop_front();
+    return c;
+}
+
+// ------------------------------------------------------------------
+// SearchEngine
+// ------------------------------------------------------------------
+
+SearchEngine::SearchEngine(const Cxl0Model &model)
+    : model_(model),
+      states_(model.config().numNodes(), model.config().numAddrs()),
+      frames_(), scratch_(model.initialState()), work_(scratch_)
+{
+}
+
+SearchEngine::StateSuccs &
+SearchEngine::succsFor(StateId s)
+{
+    if (succs_.size() <= s)
+        succs_.resize(states_.size());
+    return succs_[s];
+}
+
+const std::vector<std::pair<Addr, StateId>> &
+SearchEngine::tauSuccessorsOf(StateId s)
+{
+    StateSuccs &e = succsFor(s);
+    if (!e.tauDone) {
+        states_.materialize(s, scratch_);
+        model_.tauMoves(scratch_, moveBuf_);
+        std::vector<std::pair<Addr, StateId>> tau;
+        tau.reserve(moveBuf_.size());
+        for (const TauMove &m : moveBuf_) {
+            work_ = scratch_;
+            model_.applyTauInPlace(work_, m);
+            tau.emplace_back(m.addr, states_.intern(work_));
+        }
+        succHeapBytes_ +=
+            tau.capacity() * sizeof(std::pair<Addr, StateId>);
+        succs_[s].tau = std::move(tau);
+        succs_[s].tauDone = true;
+    }
+    return succs_[s].tau;
+}
+
+StateId
+SearchEngine::crashSuccessorOf(StateId s, NodeId n)
+{
+    StateSuccs &e = succsFor(s);
+    if (e.crash.empty()) {
+        e.crash.assign(model_.config().numNodes(), kNoStateId);
+        succHeapBytes_ += e.crash.capacity() * sizeof(StateId);
+    }
+    if (e.crash[n] == kNoStateId) {
+        states_.materialize(s, scratch_);
+        model_.applyCrashInPlace(scratch_, n);
+        StateId succ = states_.intern(scratch_);
+        succs_[s].crash[n] = succ;
+        return succ;
+    }
+    return e.crash[n];
+}
+
+FrameId
+SearchEngine::closedSingleton(const State &s)
+{
+    idBuf_.clear();
+    idBuf_.push_back(states_.intern(s));
+    return tauClosureFrame(frames_.intern(idBuf_));
+}
+
+FrameId
+SearchEngine::tauClosureOfRaw(std::vector<StateId> &ids)
+{
+    // BFS over the member states through the memoized per-state tau
+    // successors. Mark states with an epoch stamp instead of a
+    // per-call set allocation.
+    ++epoch_;
+    if (mark_.size() < states_.size())
+        mark_.resize(states_.size(), 0);
+    size_t keep = 0;
+    for (StateId id : ids) {
+        if (mark_[id] != epoch_) {
+            mark_[id] = epoch_;
+            ids[keep++] = id;
+        }
+    }
+    ids.resize(keep);
+    for (size_t head = 0; head < ids.size(); ++head) {
+        const auto &tau = tauSuccessorsOf(ids[head]);
+        for (const auto &[addr, succ] : tau) {
+            (void)addr;
+            if (mark_.size() <= succ)
+                mark_.resize(states_.size(), 0);
+            if (mark_[succ] != epoch_) {
+                mark_[succ] = epoch_;
+                ids.push_back(succ);
+            }
+        }
+    }
+    return frames_.intern(ids);
+}
+
+FrameId
+SearchEngine::tauClosureFrame(FrameId f)
+{
+    if (f < closureMemo_.size() && closureMemo_[f] != kNoFrameId)
+        return closureMemo_[f];
+
+    std::vector<StateId> result(frames_.begin(f), frames_.end(f));
+    FrameId closed = tauClosureOfRaw(result);
+
+    if (closureMemo_.size() < frames_.size())
+        closureMemo_.resize(frames_.size(), kNoFrameId);
+    closureMemo_[f] = closed;
+    closureMemo_[closed] = closed; // closure is idempotent
+    return closed;
+}
+
+bool
+SearchEngine::applyFrameRaw(FrameId f, const Label &label,
+                            std::vector<StateId> &out)
+{
+    out.clear();
+    // The frame span stays put while only the state table grows (the
+    // frame arena is untouched during this loop).
+    const StateId *it = frames_.begin(f);
+    const StateId *last = frames_.end(f);
+    for (; it != last; ++it) {
+        states_.materialize(*it, scratch_);
+        if (model_.applyInPlace(scratch_, label))
+            out.push_back(states_.intern(scratch_));
+    }
+    return !out.empty();
+}
+
+FrameId
+SearchEngine::applyFrame(FrameId f, const Label &label)
+{
+    if (!applyFrameRaw(f, label, idBuf_))
+        return kNoFrameId;
+    return frames_.intern(idBuf_);
+}
+
+void
+SearchEngine::materializeFrame(FrameId f, std::vector<State> &out) const
+{
+    out.clear();
+    out.reserve(frames_.sizeOf(f));
+    const StateId *it = frames_.begin(f);
+    const StateId *last = frames_.end(f);
+    for (; it != last; ++it)
+        out.push_back(states_.materialize(*it));
+}
+
+bool
+SearchEngine::frameSubsumes(FrameId sup, FrameId sub) const
+{
+    const StateId *a = frames_.begin(sub), *ae = frames_.end(sub);
+    const StateId *b = frames_.begin(sup), *be = frames_.end(sup);
+    while (a != ae) {
+        while (b != be && *b < *a)
+            ++b;
+        if (b == be || *b != *a)
+            return false;
+        ++a;
+    }
+    return true;
+}
+
+size_t
+SearchEngine::bytes() const
+{
+    // O(1): the memo heap total is maintained incrementally, so
+    // checkers can sample peak memory inside their hot loops.
+    return states_.bytes() + frames_.bytes() +
+           succs_.capacity() * sizeof(StateSuccs) + succHeapBytes_ +
+           closureMemo_.capacity() * sizeof(FrameId) +
+           mark_.capacity() * sizeof(uint32_t);
+}
+
+} // namespace cxl0::check

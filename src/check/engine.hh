@@ -1,0 +1,470 @@
+/**
+ * @file
+ * The shared search engine and the unified Request/Report API.
+ *
+ * Every checker in src/check explores the same CXL0 LTS; what used to
+ * differ was plumbing: the explorer had a private interned/packed hot
+ * path, refinement deep-copied whole state-set frames per step, and
+ * each checker invented its own options/stats/counterexample
+ * vocabulary. This header extracts the common core:
+ *
+ *   - SearchEngine: one per model. Owns the interning tables
+ *     (model::StateTable for states, model::FrameTable for state-set
+ *     frames), the reusable scratch states for in-place successor
+ *     generation, and per-state memoized tau/crash successors. Frame
+ *     operations (apply a label across a frame, tau-close a frame)
+ *     work entirely over dense ids — no checker copies a
+ *     vector<State> per search step anymore.
+ *
+ *   - PackedConfig / FlatConfigSet / ConfigFrontier: the 32-byte POD
+ *     configuration, the flat open-addressed visited set, and the
+ *     frontier with a pluggable policy (DFS stack / BFS queue). The
+ *     frontier is the sharding seam for the planned parallel
+ *     explorer: a worker-per-shard design instantiates one frontier
+ *     and one visited set per config-hash shard without touching the
+ *     search logic.
+ *
+ *   - CheckRequest / CheckReport: the uniform vocabulary. A request
+ *     carries budgets (configs, depth), reduction toggles, and crash
+ *     settings; a report carries a verdict, outcome set, truncation
+ *     flag, unified SearchStats, and a typed counterexample. All four
+ *     checkers (Explorer, checkTraceFeasible, checkRefinement,
+ *     checkTraceInclusion) speak this vocabulary; their historical
+ *     entry points remain as thin shims.
+ */
+
+#ifndef CXL0_CHECK_ENGINE_HH
+#define CXL0_CHECK_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/label.hh"
+#include "model/semantics.hh"
+#include "model/state_table.hh"
+
+namespace cxl0::check
+{
+
+using model::Cxl0Model;
+using model::FrameId;
+using model::Label;
+using model::State;
+using model::StateId;
+
+// ===================================================================
+// Request / Report vocabulary
+// ===================================================================
+
+/** How the configurations awaiting expansion are ordered. */
+enum class FrontierPolicy
+{
+    DepthFirst,   //!< LIFO stack (default; lowest memory)
+    BreadthFirst, //!< FIFO queue (shortest-counterexample order)
+};
+
+/**
+ * A checking request: budgets and toggles every checker understands.
+ * Checker-specific inputs (the program, the trace, the alphabet) stay
+ * positional; this struct is the shared part.
+ */
+struct CheckRequest
+{
+    /**
+     * Budget on distinct configurations (explorer: packed configs in
+     * the visited set; refinement: determinized frame pairs; trace
+     * checkers: interned states). Hitting it stops the search
+     * gracefully and sets CheckReport::truncated.
+     */
+    size_t maxConfigs = 2'000'000;
+
+    /**
+     * Depth bound for trace-generating searches (visible labels per
+     * trace). 0 means unbounded; checkers that cannot terminate
+     * without a bound (refinement) reject 0. The explorer ignores it:
+     * programs are straight-line and finite.
+     */
+    size_t maxDepth = 0;
+
+    /** Max crash events per machine over one execution (explorer). */
+    int maxCrashesPerNode = 0;
+
+    /** Machines permitted to crash; empty = all machines. */
+    std::vector<NodeId> crashableNodes;
+
+    /**
+     * Skip tau moves on addresses that no live thread's remaining
+     * code can ever touch again (and no GPF is pending). Sound for
+     * the explorer — see src/check/README.md; ignored by checkers
+     * whose traces observe tau placement indirectly.
+     */
+    bool reduceTau = true;
+
+    /** Frontier ordering (outcome sets are order-independent). */
+    FrontierPolicy frontier = FrontierPolicy::DepthFirst;
+};
+
+/** Three-valued verdict shared by every checker. */
+enum class CheckVerdict
+{
+    Pass,         //!< property holds / enumeration complete
+    Fail,         //!< property violated (counterexample attached)
+    Inconclusive, //!< budget or bound cut the search before an answer
+};
+
+/** "pass" / "fail" / "inconclusive". */
+const char *checkVerdictName(CheckVerdict v);
+
+/** Counters describing one search run, shared by all checkers. */
+struct SearchStats
+{
+    /** Configurations (or frames) popped and expanded. */
+    size_t configsVisited = 0;
+    /** Distinct packed configurations / frame pairs seen. */
+    size_t configsInterned = 0;
+    /** Distinct model states in the interning table(s). */
+    size_t statesInterned = 0;
+    /** Distinct state-set frames in the frame table(s). */
+    size_t framesInterned = 0;
+    /** Resident bytes of visited set + tables + frontier (peak). */
+    size_t peakVisitedBytes = 0;
+    /** Tau successors pruned by the footprint reduction. */
+    size_t tauMovesSkipped = 0;
+    /** Wall-clock seconds inside the checker. */
+    double seconds = 0.0;
+};
+
+/** A typed counterexample: a label trace and/or a description. */
+struct Counterexample
+{
+    /** The violating visible trace (refinement, inclusion). */
+    std::vector<model::Label> trace;
+    /** Human-readable context (offending state, blocked index, ...). */
+    std::string description;
+
+    bool empty() const { return trace.empty() && description.empty(); }
+    std::string describe() const;
+};
+
+/** A final outcome of one complete explorer execution. */
+struct Outcome
+{
+    /** Final register file of each thread; crashed threads keep the
+     *  registers they had when their machine failed. */
+    std::vector<std::vector<Value>> regs;
+    /** Bit i set when thread i's machine crashed before it finished. */
+    uint32_t crashedThreads = 0;
+
+    bool operator<(const Outcome &other) const;
+    bool operator==(const Outcome &other) const;
+    std::string describe() const;
+};
+
+/**
+ * The uniform result of any checking request. Checkers fill the
+ * fields that apply: the explorer reports outcomes, refinement and
+ * inclusion report a counterexample on failure; everyone reports the
+ * verdict, truncation, and SearchStats.
+ */
+struct CheckReport
+{
+    CheckVerdict verdict = CheckVerdict::Pass;
+    /** Reachable final outcomes (explorer; empty elsewhere). When
+     *  truncated, a still-valid subset of the reachable set. */
+    std::set<Outcome> outcomes;
+    /** True when a budget or bound stopped the search early. */
+    bool truncated = false;
+    SearchStats stats;
+    /** Populated when verdict == Fail. */
+    Counterexample counterexample;
+
+    /** One-line summary: verdict, counterexample, key stats. */
+    std::string describe() const;
+};
+
+// ===================================================================
+// Packed configurations, visited set, frontier
+// ===================================================================
+
+/**
+ * One packed search configuration: every component is either an
+ * interned id or a fixed-width bitfield word, so the visited set and
+ * the frontier hold 32-byte PODs instead of multi-vector objects.
+ * The field names follow the explorer's use; other checkers may
+ * repurpose the slots (documented at their packing site).
+ */
+struct PackedConfig
+{
+    StateId state = 0;   //!< interned model::State (or frame id)
+    uint32_t regs = 0;   //!< interned flat register file (all threads)
+    uint64_t pc = 0;     //!< bitsPerPc bits per thread
+    uint32_t alive = 0;  //!< bit t set while thread t's machine is up
+    uint64_t crash = 0;  //!< bitsPerBudget bits of crash budget per node
+
+    bool operator==(const PackedConfig &other) const = default;
+};
+
+static_assert(sizeof(PackedConfig) == 32,
+              "visited-set entries are expected to pack to 32 bytes");
+
+/** Mixed content hash of a packed configuration. */
+uint64_t hashPacked(const PackedConfig &c);
+
+/**
+ * Open-addressed set of PackedConfigs (linear probing, power-of-two
+ * capacity, no deletion). Entries with state == kNoStateId are empty
+ * slots; real configs always carry a valid interned id. One instance
+ * per shard in the planned parallel frontier.
+ */
+class FlatConfigSet
+{
+  public:
+    FlatConfigSet();
+
+    bool contains(const PackedConfig &c) const;
+
+    /** Insert; returns true when the config was not present. */
+    bool insert(const PackedConfig &c);
+
+    size_t size() const { return count_; }
+    size_t bytes() const
+    {
+        return slots_.capacity() * sizeof(PackedConfig);
+    }
+
+  private:
+    static PackedConfig empty();
+    void grow();
+
+    std::vector<PackedConfig> slots_;
+    size_t mask_;
+    size_t count_ = 0;
+};
+
+/**
+ * The set of configurations awaiting expansion, behind a policy seam:
+ * DFS uses a contiguous stack, BFS a deque. A future sharded parallel
+ * frontier drops in per-shard instances keyed by config hash without
+ * changing any search loop.
+ */
+class ConfigFrontier
+{
+  public:
+    explicit ConfigFrontier(
+        FrontierPolicy policy = FrontierPolicy::DepthFirst)
+        : policy_(policy)
+    {
+    }
+
+    void push(const PackedConfig &c)
+    {
+        if (policy_ == FrontierPolicy::DepthFirst)
+            stack_.push_back(c);
+        else
+            queue_.push_back(c);
+    }
+
+    bool empty() const
+    {
+        return policy_ == FrontierPolicy::DepthFirst ? stack_.empty()
+                                                     : queue_.empty();
+    }
+
+    PackedConfig pop();
+
+    /** Resident bytes (approximate for the deque). */
+    size_t bytes() const
+    {
+        return policy_ == FrontierPolicy::DepthFirst
+                   ? stack_.capacity() * sizeof(PackedConfig)
+                   : queue_.size() * sizeof(PackedConfig);
+    }
+
+  private:
+    FrontierPolicy policy_;
+    std::vector<PackedConfig> stack_;
+    std::deque<PackedConfig> queue_;
+};
+
+/**
+ * Fixed-width per-index bitfields packed into one 64-bit word: the
+ * explorer's pc and crash-budget words and refinement's crash-budget
+ * word all encode through this.
+ */
+class BitfieldWord
+{
+  public:
+    BitfieldWord() = default;
+    explicit BitfieldWord(unsigned bits_per_field)
+        : bits_(bits_per_field),
+          mask_(bits_per_field >= 64 ? ~0ull
+                                     : (1ull << bits_per_field) - 1)
+    {
+    }
+
+    unsigned bits() const { return bits_; }
+
+    /** Whether `fields` entries fit into one word. */
+    bool fits(size_t fields) const
+    {
+        return bits_ == 0 || fields * bits_ <= 64;
+    }
+
+    uint64_t get(uint64_t word, size_t i) const
+    {
+        return bits_ == 0 ? 0 : (word >> (i * bits_)) & mask_;
+    }
+
+    uint64_t set(uint64_t word, size_t i, uint64_t v) const
+    {
+        if (bits_ == 0)
+            return word;
+        uint64_t m = mask_ << (i * bits_);
+        return (word & ~m) | (v << (i * bits_));
+    }
+
+  private:
+    unsigned bits_ = 0;
+    uint64_t mask_ = 0;
+};
+
+// ===================================================================
+// SearchEngine
+// ===================================================================
+
+/**
+ * The reusable search core, one per (model, search). Construction is
+ * cheap; tables grow on demand. Not thread-safe: the planned parallel
+ * explorer shards configurations and gives each worker its own
+ * engine.
+ */
+class SearchEngine
+{
+  public:
+    explicit SearchEngine(const Cxl0Model &model);
+
+    const Cxl0Model &model() const { return model_; }
+    model::StateTable &states() { return states_; }
+    const model::StateTable &states() const { return states_; }
+    model::FrameTable &frames() { return frames_; }
+    const model::FrameTable &frames() const { return frames_; }
+
+    /** Intern one state. */
+    StateId internState(const State &s) { return states_.intern(s); }
+
+    /** Rebuild state `id` into `out` (no allocation). */
+    void materializeState(StateId id, State &out) const
+    {
+        states_.materialize(id, out);
+    }
+
+    /**
+     * Tau successor states of `s`, as (address moved, successor id)
+     * pairs, computed once per interned state. The reference is only
+     * valid until the next tauSuccessorsOf/crashSuccessorOf call
+     * (either may grow the memo vector); copy it out before asking
+     * about another state.
+     */
+    const std::vector<std::pair<Addr, StateId>> &
+    tauSuccessorsOf(StateId s);
+
+    /** Successor of a crash of node `n` in state `s`, memoized. */
+    StateId crashSuccessorOf(StateId s, NodeId n);
+
+    /**
+     * Intern a frame from a scratch id vector (sorted/deduped in
+     * place). An empty vector interns the empty frame.
+     */
+    FrameId internFrame(std::vector<StateId> &ids)
+    {
+        return frames_.intern(ids);
+    }
+
+    /** The tau closure of a single state, as an interned frame. */
+    FrameId closedSingleton(const State &s);
+
+    /**
+     * The tau closure of frame `f`, memoized per frame: checkers that
+     * revisit a determinized state set (every subset-construction
+     * search does, constantly) pay for the closure once.
+     */
+    FrameId tauClosureFrame(FrameId f);
+
+    /**
+     * Apply one non-tau label across frame `f`: the frame of all
+     * successor states (not tau-closed), or model::kNoFrameId when no
+     * member state enables the label.
+     */
+    FrameId applyFrame(FrameId f, const Label &label);
+
+    /**
+     * As applyFrame, but into a raw id vector without interning a
+     * frame (successor ids, unsorted, possibly duplicated). Returns
+     * false when no member state enables the label. For callers that
+     * memoize (frame, label) steps themselves and only want the
+     * closure interned — interning every intermediate unclosed frame
+     * is pure arena growth.
+     */
+    bool applyFrameRaw(FrameId f, const Label &label,
+                       std::vector<StateId> &out);
+
+    /**
+     * Tau-close a raw id set (consumed as scratch) and intern only
+     * the closed frame.
+     */
+    FrameId tauClosureOfRaw(std::vector<StateId> &ids);
+
+    /** Materialize every state of frame `f` into `out` (cleared). */
+    void materializeFrame(FrameId f, std::vector<State> &out) const;
+
+    /**
+     * Whether every state of frame `sub` is a member of frame `sup`.
+     * Frames are sorted id spans over one table, so this is a linear
+     * merge walk — no hashing, no materialization.
+     */
+    bool frameSubsumes(FrameId sup, FrameId sub) const;
+
+    /** Resident bytes of the tables and memos. */
+    size_t bytes() const;
+
+    /** Fill the table-derived fields of a SearchStats. */
+    void fillStats(SearchStats &stats) const
+    {
+        stats.statesInterned = states_.size();
+        stats.framesInterned = frames_.size();
+    }
+
+  private:
+    /** Per-state successor memo: tau and crash successor *states*
+     *  depend only on the model state, so every configuration sharing
+     *  the state reuses the ids. */
+    struct StateSuccs
+    {
+        bool tauDone = false;
+        std::vector<std::pair<Addr, StateId>> tau;
+        /** Successor of a crash of node n, kNoStateId = uncomputed. */
+        std::vector<StateId> crash;
+    };
+
+    StateSuccs &succsFor(StateId s);
+
+    const Cxl0Model &model_;
+    model::StateTable states_;
+    model::FrameTable frames_;
+    State scratch_; //!< materialization / apply buffer
+    State work_;    //!< successor under mutation
+    std::vector<model::TauMove> moveBuf_;
+    std::vector<StateSuccs> succs_;
+    size_t succHeapBytes_ = 0; //!< memo heap, tracked so bytes() is O(1)
+    std::vector<FrameId> closureMemo_; //!< FrameId -> closed FrameId
+    std::vector<StateId> idBuf_;       //!< frame assembly scratch
+    std::vector<uint32_t> mark_;       //!< epoch marks over StateIds
+    uint32_t epoch_ = 0;
+};
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_ENGINE_HH

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <sstream>
 #include <unordered_set>
 
 #include "common/hashmix.hh"
@@ -14,13 +13,12 @@ namespace cxl0::check
 {
 
 using cxl0::Addr;
+using cxl0::Value;
 using model::Label;
 using model::State;
 using model::StateId;
-using model::StateTable;
 using model::TauMove;
 using model::ValueSpanTable;
-using cxl0::Value;
 
 ProgInstr
 ProgInstr::load(Addr x, int dest_reg)
@@ -91,34 +89,6 @@ ProgInstr::faa(Op flavour, Addr x, Operand delta, int dest_reg)
     i.value = delta;
     i.dest = dest_reg;
     return i;
-}
-
-bool
-Outcome::operator<(const Outcome &other) const
-{
-    if (crashedThreads != other.crashedThreads)
-        return crashedThreads < other.crashedThreads;
-    return regs < other.regs;
-}
-
-bool
-Outcome::operator==(const Outcome &other) const
-{
-    return crashedThreads == other.crashedThreads && regs == other.regs;
-}
-
-std::string
-Outcome::describe() const
-{
-    std::ostringstream os;
-    for (size_t t = 0; t < regs.size(); ++t) {
-        os << "T" << t << ((crashedThreads >> t) & 1 ? "(crashed)" : "")
-           << "[";
-        for (size_t r = 0; r < regs[t].size(); ++r)
-            os << (r ? "," : "") << regs[t][r];
-        os << "] ";
-    }
-    return os.str();
 }
 
 namespace
@@ -209,143 +179,12 @@ stepInstrInPlace(const Cxl0Model &model, const ProgInstr &instr,
     return eff;
 }
 
-/**
- * One packed search configuration: every component is either an
- * interned id or a fixed-width bitfield word, so the visited set and
- * the DFS stack hold 32-byte PODs instead of multi-vector objects.
- */
-struct PackedConfig
-{
-    StateId state = 0;   //!< interned model::State
-    uint32_t regs = 0;   //!< interned flat register file (all threads)
-    uint64_t pc = 0;     //!< bitsPerPc bits per thread
-    uint32_t alive = 0;  //!< bit t set while thread t's machine is up
-    uint64_t crash = 0;  //!< bitsPerBudget bits of crash budget per node
-
-    bool operator==(const PackedConfig &other) const = default;
-};
-
-static_assert(sizeof(PackedConfig) == 32,
-              "visited-set entries are expected to pack to 32 bytes");
-
-uint64_t
-hashPacked(const PackedConfig &c)
-{
-    uint64_t h =
-        mixBits((static_cast<uint64_t>(c.state) << 32) ^ c.regs);
-    h = mixBits(h ^ c.pc);
-    h = mixBits(h ^ (static_cast<uint64_t>(c.alive) << 32) ^ c.crash);
-    return h;
-}
-
-/**
- * Open-addressed set of PackedConfigs (linear probing, power-of-two
- * capacity, no deletion). Entries with state == kNoStateId are empty
- * slots; real configs always carry a valid interned id.
- */
-class FlatConfigSet
-{
-  public:
-    FlatConfigSet() : slots_(kInitial, empty()), mask_(kInitial - 1) {}
-
-    bool
-    contains(const PackedConfig &c) const
-    {
-        size_t i = hashPacked(c) & mask_;
-        while (slots_[i].state != model::kNoStateId) {
-            if (slots_[i] == c)
-                return true;
-            i = (i + 1) & mask_;
-        }
-        return false;
-    }
-
-    /** Insert; returns true when the config was not present. */
-    bool
-    insert(const PackedConfig &c)
-    {
-        size_t i = hashPacked(c) & mask_;
-        while (slots_[i].state != model::kNoStateId) {
-            if (slots_[i] == c)
-                return false;
-            i = (i + 1) & mask_;
-        }
-        slots_[i] = c;
-        ++count_;
-        if ((count_ + 1) * 10 > slots_.size() * 7)
-            grow();
-        return true;
-    }
-
-    size_t size() const { return count_; }
-
-    size_t bytes() const
-    {
-        return slots_.capacity() * sizeof(PackedConfig);
-    }
-
-  private:
-    static constexpr size_t kInitial = 64;
-
-    static PackedConfig
-    empty()
-    {
-        PackedConfig c;
-        c.state = model::kNoStateId;
-        return c;
-    }
-
-    void
-    grow()
-    {
-        std::vector<PackedConfig> bigger(slots_.size() * 2, empty());
-        size_t mask = bigger.size() - 1;
-        for (const PackedConfig &c : slots_) {
-            if (c.state == model::kNoStateId)
-                continue;
-            size_t i = hashPacked(c) & mask;
-            while (bigger[i].state != model::kNoStateId)
-                i = (i + 1) & mask;
-            bigger[i] = c;
-        }
-        slots_ = std::move(bigger);
-        mask_ = mask;
-    }
-
-    std::vector<PackedConfig> slots_;
-    size_t mask_;
-    size_t count_ = 0;
-};
-
-/** Low `bits` set, safe for bits in [0, 64]. */
-constexpr uint64_t
-lowMask(unsigned bits)
-{
-    return bits >= 64 ? ~0ull : (1ull << bits) - 1;
-}
-
-/**
- * Per-state successor memo. Tau and crash successor *states* depend
- * only on the model state — not on pcs, registers, or budgets — so
- * each interned state computes them once and every configuration
- * sharing the state reuses the ids.
- */
-struct StateSuccs
-{
-    bool tauDone = false;
-    bool crashDone = false;
-    /** (address moved, successor state) per enabled tau move. */
-    std::vector<std::pair<Addr, StateId>> tau;
-    /** Successor state of a crash of node n, indexed by n. */
-    std::vector<StateId> crash;
-};
-
 } // namespace
 
 Explorer::Explorer(const Cxl0Model &model, Program program,
-                   ExploreOptions options)
+                   CheckRequest request)
     : model_(model), program_(std::move(program)),
-      options_(std::move(options))
+      request_(std::move(request))
 {
     if (program_.threads.size() > 32)
         CXL0_FATAL("explorer supports at most 32 threads, got ",
@@ -360,8 +199,8 @@ Explorer::Explorer(const Cxl0Model &model, Program program,
     }
 }
 
-ExploreResult
-Explorer::explore() const
+CheckReport
+Explorer::check() const
 {
     auto t_start = std::chrono::steady_clock::now();
     const size_t nthreads = program_.threads.size();
@@ -374,36 +213,20 @@ Explorer::explore() const
     size_t max_len = 0;
     for (const ProgThread &t : program_.threads)
         max_len = std::max(max_len, t.code.size());
-    const unsigned pc_bits = std::bit_width(max_len);
-    if (nthreads * pc_bits > 64)
+    const BitfieldWord pcw(std::bit_width(max_len));
+    if (!pcw.fits(nthreads))
         CXL0_FATAL("program too large for the packed explorer: ",
-                   nthreads, " threads x ", pc_bits, " pc bits > 64");
-    const int max_crash = std::max(options_.maxCrashesPerNode, 0);
-    const unsigned budget_bits =
-        std::bit_width(static_cast<unsigned>(max_crash));
-    if (nnodes * budget_bits > 64)
+                   nthreads, " threads x ", pcw.bits(),
+                   " pc bits > 64");
+    const int max_crash = std::max(request_.maxCrashesPerNode, 0);
+    const BitfieldWord budgetw(
+        std::bit_width(static_cast<unsigned>(max_crash)));
+    if (!budgetw.fits(nnodes))
         CXL0_FATAL("crash budget too large for the packed explorer: ",
-                   nnodes, " nodes x ", budget_bits, " bits > 64");
+                   nnodes, " nodes x ", budgetw.bits(), " bits > 64");
 
     auto pcOf = [&](uint64_t word, size_t t) -> size_t {
-        return pc_bits == 0
-                   ? 0
-                   : (word >> (t * pc_bits)) & lowMask(pc_bits);
-    };
-    auto withPc = [&](uint64_t word, size_t t, size_t pc) -> uint64_t {
-        uint64_t m = lowMask(pc_bits) << (t * pc_bits);
-        return (word & ~m) | (static_cast<uint64_t>(pc) << (t * pc_bits));
-    };
-    auto budgetOf = [&](uint64_t word, size_t n) -> int {
-        return budget_bits == 0
-                   ? 0
-                   : static_cast<int>((word >> (n * budget_bits)) &
-                                      lowMask(budget_bits));
-    };
-    auto withBudget = [&](uint64_t word, size_t n, int b) -> uint64_t {
-        uint64_t m = lowMask(budget_bits) << (n * budget_bits);
-        return (word & ~m) |
-               (static_cast<uint64_t>(b) << (n * budget_bits));
+        return static_cast<size_t>(pcw.get(word, t));
     };
 
     // ---- tau reduction: per-thread suffix footprints ------------------
@@ -412,7 +235,7 @@ Explorer::explore() const
     // move on an address outside every live thread's future footprint
     // (with no pending GPF) cannot influence any outcome and is
     // skipped; see src/check/README.md for the argument.
-    const bool can_reduce = options_.reduceTau && naddrs <= 64;
+    const bool can_reduce = request_.reduceTau && naddrs <= 64;
     std::vector<std::vector<uint64_t>> addr_mask(nthreads);
     std::vector<std::vector<uint8_t>> gpf_after(nthreads);
     if (can_reduce) {
@@ -431,9 +254,9 @@ Explorer::explore() const
         }
     }
 
-    // ---- interning tables and scratch buffers -------------------------
-    ExploreResult res;
-    StateTable states(nnodes, naddrs);
+    // ---- engine, register interning, and scratch buffers --------------
+    CheckReport res;
+    SearchEngine engine(model_);
     const size_t reg_stride = std::max<size_t>(nthreads * nregs, 1);
     ValueSpanTable reg_files(reg_stride);
 
@@ -447,17 +270,17 @@ Explorer::explore() const
     uint64_t crash0 = 0;
     {
         std::vector<int> budget(nnodes, max_crash);
-        if (!options_.crashableNodes.empty()) {
+        if (!request_.crashableNodes.empty()) {
             budget.assign(nnodes, 0);
-            for (NodeId n : options_.crashableNodes)
+            for (NodeId n : request_.crashableNodes)
                 budget[n] = max_crash;
         }
         for (size_t n = 0; n < nnodes; ++n)
-            crash0 = withBudget(crash0, n, budget[n]);
+            crash0 = budgetw.set(crash0, n, budget[n]);
     }
 
     PackedConfig init;
-    init.state = states.intern(scratch);
+    init.state = engine.internState(scratch);
     init.regs = reg_files.intern(
         cur_regs.data(), model::hashValueSpan(cur_regs.data(),
                                               reg_stride));
@@ -465,14 +288,15 @@ Explorer::explore() const
     init.crash = crash0;
 
     FlatConfigSet visited;
-    std::vector<PackedConfig> stack{init};
+    ConfigFrontier frontier(request_.frontier);
+    frontier.push(init);
     visited.insert(init);
     // (register-file id, crashed mask) pairs already emitted as
     // outcomes; lets done configurations skip Outcome materialization.
     std::unordered_set<uint64_t> emitted;
 
     auto push = [&](const PackedConfig &c) {
-        if (visited.size() >= options_.maxConfigs) {
+        if (visited.size() >= request_.maxConfigs) {
             // Only a genuinely new configuration is being dropped; a
             // duplicate would have been ignored anyway, so a search
             // that exactly fills the budget still reports complete.
@@ -481,19 +305,14 @@ Explorer::explore() const
             return;
         }
         if (visited.insert(c))
-            stack.push_back(c);
+            frontier.push(c);
     };
 
-    std::vector<TauMove> moves;
-    std::vector<StateSuccs> succs;
-    while (!stack.empty()) {
-        PackedConfig cur = stack.back();
-        stack.pop_back();
+    while (!frontier.empty()) {
+        PackedConfig cur = frontier.pop();
         ++res.stats.configsVisited;
 
-        if (succs.size() < states.size())
-            succs.resize(states.size());
-        states.materialize(cur.state, scratch);
+        engine.materializeState(cur.state, scratch);
         // Copy the register span: interning a successor's file may
         // grow the arena and invalidate pointers into it.
         std::copy(reg_files.at(cur.regs),
@@ -541,8 +360,8 @@ Explorer::explore() const
             if (!eff.enabled)
                 continue;
             PackedConfig next = cur;
-            next.state = states.intern(work);
-            next.pc = withPc(cur.pc, t, pc + 1);
+            next.state = engine.internState(work);
+            next.pc = pcw.set(cur.pc, t, pc + 1);
             size_t slot = t * nregs + eff.destReg;
             if (eff.destReg >= 0 && cur_regs[slot] != eff.destVal) {
                 reg_buf = cur_regs;
@@ -557,19 +376,9 @@ Explorer::explore() const
         }
 
         // Silent propagation steps (successor states memoized per
-        // interned state).
-        if (!succs[cur.state].tauDone) {
-            std::vector<std::pair<Addr, StateId>> tau;
-            model_.tauMoves(scratch, moves);
-            for (const TauMove &m : moves) {
-                work = scratch;
-                model_.applyTauInPlace(work, m);
-                tau.emplace_back(m.addr, states.intern(work));
-            }
-            succs[cur.state].tau = std::move(tau);
-            succs[cur.state].tauDone = true;
-        }
-        if (!succs[cur.state].tau.empty()) {
+        // interned state by the engine).
+        const auto &tau = engine.tauSuccessorsOf(cur.state);
+        if (!tau.empty()) {
             uint64_t live_mask = 0;
             bool future_gpf = false;
             if (can_reduce) {
@@ -581,7 +390,7 @@ Explorer::explore() const
                     future_gpf |= gpf_after[t][pc] != 0;
                 }
             }
-            for (const auto &[addr, succ] : succs[cur.state].tau) {
+            for (const auto &[addr, succ] : tau) {
                 if (can_reduce && !future_gpf &&
                     !(live_mask >> addr & 1)) {
                     ++res.stats.tauMovesSkipped;
@@ -593,52 +402,30 @@ Explorer::explore() const
             }
         }
 
-        // Crash steps (successor states memoized the same way; nodes
-        // that can never crash under the options keep kNoStateId and
-        // are never interned).
-        bool any_budget = false;
-        for (size_t n = 0; n < nnodes && !any_budget; ++n)
-            any_budget = budgetOf(cur.crash, n) > 0;
-        if (any_budget) {
-            if (!succs[cur.state].crashDone) {
-                std::vector<StateId> crash(nnodes,
-                                           model::kNoStateId);
-                for (size_t n = 0; n < nnodes; ++n) {
-                    if (budgetOf(crash0, n) <= 0)
-                        continue;
-                    work = scratch;
-                    model_.applyCrashInPlace(work,
-                                             static_cast<NodeId>(n));
-                    crash[n] = states.intern(work);
-                }
-                succs[cur.state].crash = std::move(crash);
-                succs[cur.state].crashDone = true;
-            }
-            for (size_t n = 0; n < nnodes; ++n) {
-                int budget = budgetOf(cur.crash, n);
-                if (budget <= 0)
-                    continue;
-                PackedConfig next = cur;
-                next.state = succs[cur.state].crash[n];
-                next.crash = withBudget(cur.crash, n, budget - 1);
-                for (size_t t = 0; t < nthreads; ++t)
-                    if (program_.threads[t].node == n)
-                        next.alive &= ~(1u << t);
-                push(next);
-            }
+        // Crash steps (successor states memoized per (state, node);
+        // nodes that can never crash under the request are never
+        // interned).
+        for (size_t n = 0; n < nnodes; ++n) {
+            int budget = static_cast<int>(budgetw.get(cur.crash, n));
+            if (budget <= 0)
+                continue;
+            PackedConfig next = cur;
+            next.state = engine.crashSuccessorOf(
+                cur.state, static_cast<NodeId>(n));
+            next.crash = budgetw.set(cur.crash, n, budget - 1);
+            for (size_t t = 0; t < nthreads; ++t)
+                if (program_.threads[t].node == n)
+                    next.alive &= ~(1u << t);
+            push(next);
         }
     }
 
-    size_t succ_bytes = succs.capacity() * sizeof(StateSuccs);
-    for (const StateSuccs &s : succs)
-        succ_bytes += s.tau.capacity() *
-                          sizeof(std::pair<Addr, StateId>) +
-                      s.crash.capacity() * sizeof(StateId);
+    res.verdict = res.truncated ? CheckVerdict::Inconclusive
+                                : CheckVerdict::Pass;
     res.stats.configsInterned = visited.size();
-    res.stats.statesInterned = states.size();
-    res.stats.peakVisitedBytes =
-        visited.bytes() + states.bytes() + reg_files.bytes() +
-        succ_bytes + stack.capacity() * sizeof(PackedConfig);
+    engine.fillStats(res.stats);
+    res.stats.peakVisitedBytes = visited.bytes() + engine.bytes() +
+                                 reg_files.bytes() + frontier.bytes();
     res.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_start)
@@ -705,8 +492,8 @@ refConfigBytes(const RefConfig &c)
 
 } // namespace
 
-ExploreResult
-Explorer::exploreReference() const
+CheckReport
+Explorer::checkReference() const
 {
     auto t_start = std::chrono::steady_clock::now();
     const size_t nthreads = program_.threads.size();
@@ -716,15 +503,15 @@ Explorer::exploreReference() const
                      std::vector<Value>(program_.numRegs, 0));
     init.alive.assign(nthreads, true);
     init.crashBudget.assign(model_.config().numNodes(),
-                            options_.maxCrashesPerNode);
-    if (!options_.crashableNodes.empty()) {
+                            request_.maxCrashesPerNode);
+    if (!request_.crashableNodes.empty()) {
         for (NodeId n = 0; n < model_.config().numNodes(); ++n)
             init.crashBudget[n] = 0;
-        for (NodeId n : options_.crashableNodes)
-            init.crashBudget[n] = options_.maxCrashesPerNode;
+        for (NodeId n : request_.crashableNodes)
+            init.crashBudget[n] = request_.maxCrashesPerNode;
     }
 
-    ExploreResult res;
+    CheckReport res;
     std::unordered_set<RefConfig, RefConfigHash> visited;
     std::vector<RefConfig> stack{init};
     visited.insert(init);
@@ -741,7 +528,7 @@ Explorer::exploreReference() const
     };
 
     auto push = [&](RefConfig &&c) {
-        if (visited.size() >= options_.maxConfigs) {
+        if (visited.size() >= request_.maxConfigs) {
             if (!visited.count(c))
                 res.truncated = true;
             return;
@@ -814,6 +601,8 @@ Explorer::exploreReference() const
         }
     }
 
+    res.verdict = res.truncated ? CheckVerdict::Inconclusive
+                                : CheckVerdict::Pass;
     res.stats.configsInterned = visited.size();
     res.stats.statesInterned = visited.size();
     res.stats.peakVisitedBytes =
@@ -824,17 +613,6 @@ Explorer::exploreReference() const
                                       t_start)
             .count();
     return res;
-}
-
-std::vector<Outcome>
-Explorer::outcomesWhere(const std::set<Outcome> &outcomes,
-                        bool (*pred)(const Outcome &)) const
-{
-    std::vector<Outcome> out;
-    for (const Outcome &o : outcomes)
-        if (pred(o))
-            out.push_back(o);
-    return out;
 }
 
 } // namespace cxl0::check

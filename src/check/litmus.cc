@@ -270,10 +270,66 @@ motivatingProgram()
     return lp;
 }
 
+namespace
+{
+
+/**
+ * Shared shape of the §3.5-style message-passing programs 14-16: a
+ * writer on machine 0 stores data (addr 0) then flag (addr 1), both
+ * owned by a crashable machine 1, then reads flag into r0 and data
+ * into r1. The store flavour (and an optional GPF) decides whether
+ * the flag can outlive the data, i.e. whether (r0,r1) = (1,0) is
+ * reachable.
+ */
+LitmusProgram
+messagePassingProgram(int id, const std::string &name, Op flavour,
+                      bool gpf_between)
+{
+    LitmusProgram lp{id, name, nvConfig(2, {1, 1}),
+                     ModelVariant::Base, Program{}, ExploreOptions{}};
+    std::vector<ProgInstr> code{
+        ProgInstr::store(flavour, 0, Operand::immediate(1)),
+        ProgInstr::store(flavour, 1, Operand::immediate(1))};
+    if (gpf_between)
+        code.push_back(ProgInstr::gpf());
+    code.push_back(ProgInstr::load(1, 0));
+    code.push_back(ProgInstr::load(0, 1));
+    lp.program.threads.push_back({0, std::move(code)});
+    lp.options.maxCrashesPerNode = 1;
+    lp.options.crashableNodes = {1}; // only the owner crashes
+    return lp;
+}
+
+} // namespace
+
+LitmusProgram
+litmus14Program()
+{
+    return messagePassingProgram(
+        14, "litmus-14: persistent message passing", Op::MStore,
+        false);
+}
+
+LitmusProgram
+litmus15Program()
+{
+    return messagePassingProgram(
+        15, "litmus-15: cached message passing splits under crash",
+        Op::LStore, false);
+}
+
+LitmusProgram
+litmus16Program()
+{
+    return messagePassingProgram(16, "litmus-16: GPF as a barrier",
+                                 Op::LStore, true);
+}
+
 std::vector<LitmusProgram>
 explorerPrograms()
 {
-    return {litmus4Program(), motivatingProgram()};
+    return {litmus4Program(), motivatingProgram(), litmus14Program(),
+            litmus15Program(), litmus16Program()};
 }
 
 std::vector<LitmusTest>

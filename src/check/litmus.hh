@@ -103,6 +103,23 @@ LitmusProgram litmus4Program();
  *  M1 with x owned by a crashable M2. */
 LitmusProgram motivatingProgram();
 
+/** Test 14 as a program: MStore d; MStore f; r0=f; r1=d with the
+ *  owner of both crashable — the flag can never outlive the data
+ *  ((r0,r1) = (1,0) unreachable). */
+LitmusProgram litmus14Program();
+
+/** Test 15 as a program: the same shape with plain LStores — the
+ *  later store may persist while the earlier one dies, so (1,0) is
+ *  reachable. */
+LitmusProgram litmus15Program();
+
+/** Test 16 as a program: LStore d; LStore f; GPF; r0=f; r1=d.
+ *  Unlike the serialized trace (which pins the crash after the GPF
+ *  and is Forbidden), the program form lets the crash strike before
+ *  the barrier, so every (r0,r1) combination including the (1,0)
+ *  split stays reachable — GPF protects only against later crashes. */
+LitmusProgram litmus16Program();
+
 /** All explorer-program litmus scenarios. */
 std::vector<LitmusProgram> explorerPrograms();
 

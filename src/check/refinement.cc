@@ -1,9 +1,12 @@
 #include "check/refinement.hh"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/hashmix.hh"
 #include "common/logging.hh"
 #include "model/state_table.hh"
 
@@ -11,11 +14,13 @@ namespace cxl0::check
 {
 
 using cxl0::Addr;
+using cxl0::Value;
 using model::Cxl0Model;
+using model::FrameId;
+using model::kNoFrameId;
 using model::Label;
 using model::Op;
 using model::State;
-using cxl0::Value;
 
 Alphabet
 Alphabet::standard(const model::SystemConfig &cfg)
@@ -96,7 +101,213 @@ candidates(const model::SystemConfig &cfg, const Alphabet &alphabet)
     return out;
 }
 
-/** Deduplicated tau-closure over a set of states. */
+/** Sentinel for the root of the counterexample-trace DAG. */
+constexpr uint32_t kNoTraceNode = static_cast<uint32_t>(-1);
+
+/** One edge of the trace DAG: 8 bytes — an index into the candidate
+ *  label vector and the parent node. */
+struct TraceNode
+{
+    uint32_t labelIdx;
+    uint32_t parent;
+};
+
+/** Rebuild the label sequence ending at `node`. */
+std::vector<Label>
+rebuildTrace(const std::vector<TraceNode> &nodes,
+             const std::vector<Label> &labels, uint32_t node)
+{
+    std::vector<Label> out;
+    for (uint32_t n = node; n != kNoTraceNode; n = nodes[n].parent)
+        out.push_back(labels[nodes[n].labelIdx]);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+/**
+ * One determinized search configuration of the frame-interned walk:
+ * a (spec frame, impl frame) pair, the packed per-node crash budgets,
+ * the depth, and the trace-DAG node that reached it. 24 bytes; the
+ * old SearchFrame deep-copied two vector<State>s, a label vector, and
+ * a budget vector per configuration.
+ */
+struct PairConfig
+{
+    FrameId spec = kNoFrameId;
+    FrameId impl = kNoFrameId;
+    uint32_t traceNode = kNoTraceNode;
+    uint32_t depth = 0;
+    uint64_t crash = 0;
+};
+
+/** Exact revisit key: frames are interned, so ids identify the
+ *  determinized pair; no hash-only pruning like the old frameKey. */
+struct PairKey
+{
+    uint32_t spec;
+    uint32_t impl;
+    uint64_t crash;
+
+    bool operator==(const PairKey &other) const = default;
+};
+
+struct PairKeyHash
+{
+    size_t
+    operator()(const PairKey &k) const
+    {
+        uint64_t h = mixBits(
+            (static_cast<uint64_t>(k.spec) << 32) ^ k.impl);
+        return static_cast<size_t>(mixBits(h ^ k.crash));
+    }
+};
+
+} // namespace
+
+CheckReport
+checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
+                const Alphabet &alphabet, const CheckRequest &request)
+{
+    auto t_start = std::chrono::steady_clock::now();
+    if (spec.config().numNodes() != impl.config().numNodes() ||
+        spec.config().numAddrs() != impl.config().numAddrs()) {
+        CXL0_FATAL("refinement requires same-shape configurations");
+    }
+    if (request.maxDepth == 0)
+        CXL0_FATAL("refinement requires a nonzero depth bound "
+                   "(CheckRequest::maxDepth)");
+
+    const size_t nnodes = impl.config().numNodes();
+    const int max_crash = std::max(alphabet.maxCrashesPerNode, 0);
+    const BitfieldWord budgetw(
+        std::bit_width(static_cast<unsigned>(max_crash)));
+    if (!budgetw.fits(nnodes))
+        CXL0_FATAL("crash budget too large to pack: ", nnodes,
+                   " nodes x ", budgetw.bits(), " bits > 64");
+
+    std::vector<Label> labels = candidates(impl.config(), alphabet);
+
+    CheckReport res;
+    SearchEngine spec_eng(spec), impl_eng(impl);
+
+    PairConfig root;
+    root.spec = spec_eng.closedSingleton(spec.initialState());
+    root.impl = impl_eng.closedSingleton(impl.initialState());
+    for (size_t n = 0; n < nnodes; ++n)
+        root.crash = budgetw.set(root.crash, n, max_crash);
+
+    // Deepest remaining-depth already explored per (frame pair,
+    // budget); exact ids, so no collision can wrongly prune.
+    std::unordered_map<PairKey, uint32_t, PairKeyHash> explored;
+    std::vector<model::StateId> impl_raw, spec_raw;
+    std::vector<TraceNode> trace_nodes;
+    std::vector<PairConfig> stack{root};
+
+    size_t peak = 0;
+    auto sample_peak = [&] {
+        size_t b = spec_eng.bytes() + impl_eng.bytes() +
+                   stack.capacity() * sizeof(PairConfig) +
+                   trace_nodes.capacity() * sizeof(TraceNode) +
+                   explored.size() *
+                       (sizeof(PairKey) + sizeof(uint32_t) +
+                        2 * sizeof(void *)) +
+                   explored.bucket_count() * sizeof(void *);
+        peak = std::max(peak, b);
+    };
+
+    auto finalize = [&] {
+        sample_peak();
+        res.stats.configsInterned = explored.size();
+        res.stats.statesInterned =
+            spec_eng.states().size() + impl_eng.states().size();
+        res.stats.framesInterned =
+            spec_eng.frames().size() + impl_eng.frames().size();
+        res.stats.peakVisitedBytes = peak;
+        res.stats.seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                t_start)
+                                .count();
+    };
+
+    while (!stack.empty()) {
+        PairConfig cur = stack.back();
+        stack.pop_back();
+        ++res.stats.configsVisited;
+        if ((res.stats.configsVisited & 63) == 0)
+            sample_peak();
+
+        uint32_t remaining =
+            static_cast<uint32_t>(request.maxDepth - cur.depth);
+        PairKey key{cur.spec, cur.impl, cur.crash};
+        auto it = explored.find(key);
+        if (it != explored.end() && it->second >= remaining)
+            continue;
+        if (it == explored.end() &&
+            explored.size() >= request.maxConfigs) {
+            // Config budget spent: stop expanding new pairs.
+            res.truncated = true;
+            continue;
+        }
+        explored[key] = remaining;
+
+        const bool leaf = cur.depth + 1 >= request.maxDepth;
+        for (uint32_t li = 0; li < labels.size(); ++li) {
+            const Label &label = labels[li];
+            if (label.op == Op::Crash &&
+                budgetw.get(cur.crash, label.node) == 0) {
+                continue;
+            }
+            if (!impl_eng.applyFrameRaw(cur.impl, label, impl_raw))
+                continue; // impl cannot take this label
+            if (spec_eng.applyFrameRaw(cur.spec, label, spec_raw)) {
+                if (leaf) {
+                    // The depth bound cuts this successor's subtree:
+                    // the violation check above is all that remains —
+                    // pay for no closure and intern nothing.
+                    res.truncated = true;
+                    continue;
+                }
+                PairConfig next;
+                next.spec = spec_eng.tauClosureOfRaw(spec_raw);
+                next.impl = impl_eng.tauClosureOfRaw(impl_raw);
+                next.depth = cur.depth + 1;
+                next.crash = cur.crash;
+                if (label.op == Op::Crash)
+                    next.crash = budgetw.set(
+                        next.crash, label.node,
+                        budgetw.get(cur.crash, label.node) - 1);
+                trace_nodes.push_back({li, cur.traceNode});
+                next.traceNode =
+                    static_cast<uint32_t>(trace_nodes.size() - 1);
+                stack.push_back(next);
+                continue;
+            }
+            // impl takes the label, spec cannot: violation.
+            res.verdict = CheckVerdict::Fail;
+            res.counterexample.trace =
+                rebuildTrace(trace_nodes, labels, cur.traceNode);
+            res.counterexample.trace.push_back(label);
+            res.counterexample.description =
+                "impl trace the spec cannot follow";
+            finalize();
+            return res;
+        }
+    }
+
+    res.verdict = res.truncated ? CheckVerdict::Inconclusive
+                                : CheckVerdict::Pass;
+    finalize();
+    return res;
+}
+
+// -------------------------------------------------------------------
+// Reference implementation: the pre-engine deep-copy search.
+// -------------------------------------------------------------------
+
+namespace
+{
+
+/** Deduplicated tau-closure over a set of states (deep copies). */
 std::vector<State>
 closure(const Cxl0Model &m, const std::vector<State> &states)
 {
@@ -136,7 +347,8 @@ struct SearchFrame
 
 /**
  * Order-insensitive hash over a (spec set, impl set, budget) triple,
- * used to prune revisits of the same determinized pair.
+ * used to prune revisits of the same determinized pair. Hash-only: a
+ * collision can wrongly prune (kept as the seed behaved).
  */
 uint64_t
 frameKey(const SearchFrame &f)
@@ -154,18 +366,44 @@ frameKey(const SearchFrame &f)
     return h;
 }
 
+/** Estimated resident bytes of one deep-copy search frame. */
+size_t
+frameBytes(const SearchFrame &f)
+{
+    size_t b = sizeof(SearchFrame);
+    for (const State &s : f.spec)
+        b += sizeof(State) +
+             s.cacheLines().capacity() * sizeof(Value) +
+             s.memLines().capacity() * sizeof(Value);
+    for (const State &s : f.impl)
+        b += sizeof(State) +
+             s.cacheLines().capacity() * sizeof(Value) +
+             s.memLines().capacity() * sizeof(Value);
+    b += f.spec.capacity() * sizeof(State);
+    b += f.impl.capacity() * sizeof(State);
+    b += f.trace.capacity() * sizeof(Label);
+    b += f.crashBudget.capacity() * sizeof(int);
+    return b;
+}
+
 } // namespace
 
-RefinementResult
-checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
-                size_t depth, const Alphabet &alphabet)
+CheckReport
+checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
+                         const Alphabet &alphabet,
+                         const CheckRequest &request)
 {
+    auto t_start = std::chrono::steady_clock::now();
     if (spec.config().numNodes() != impl.config().numNodes() ||
         spec.config().numAddrs() != impl.config().numAddrs()) {
         CXL0_FATAL("refinement requires same-shape configurations");
     }
+    if (request.maxDepth == 0)
+        CXL0_FATAL("refinement requires a nonzero depth bound "
+                   "(CheckRequest::maxDepth)");
     std::vector<Label> labels = candidates(impl.config(), alphabet);
 
+    CheckReport res;
     SearchFrame root;
     root.spec = closure(spec, {spec.initialState()});
     root.impl = closure(impl, {impl.initialState()});
@@ -176,16 +414,41 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
     std::unordered_map<uint64_t, size_t> explored;
 
     std::vector<SearchFrame> stack{root};
+    size_t live_bytes = frameBytes(root);
+    size_t peak = live_bytes;
+
+    auto finalize = [&] {
+        res.stats.configsInterned = explored.size();
+        res.stats.peakVisitedBytes =
+            peak + explored.size() *
+                       (sizeof(uint64_t) + sizeof(size_t) +
+                        2 * sizeof(void *)) +
+            explored.bucket_count() * sizeof(void *);
+        res.stats.seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                t_start)
+                                .count();
+    };
+
     while (!stack.empty()) {
         SearchFrame cur = std::move(stack.back());
         stack.pop_back();
-        if (cur.trace.size() >= depth)
+        live_bytes -= frameBytes(cur);
+        ++res.stats.configsVisited;
+        if (cur.trace.size() >= request.maxDepth) {
+            res.truncated = true;
             continue;
-        size_t remaining = depth - cur.trace.size();
+        }
+        size_t remaining = request.maxDepth - cur.trace.size();
         uint64_t key = frameKey(cur);
         auto it = explored.find(key);
         if (it != explored.end() && it->second >= remaining)
             continue;
+        if (it == explored.end() &&
+            explored.size() >= request.maxConfigs) {
+            res.truncated = true;
+            continue;
+        }
         explored[key] = remaining;
         for (const Label &label : labels) {
             if (label.op == Op::Crash &&
@@ -201,10 +464,16 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
             std::vector<Label> trace = cur.trace;
             trace.push_back(label);
             if (spec_next.empty()) {
-                RefinementResult r;
-                r.refines = false;
-                r.counterexample = std::move(trace);
-                return r;
+                res.verdict = CheckVerdict::Fail;
+                res.counterexample.trace = std::move(trace);
+                res.counterexample.description =
+                    "impl trace the spec cannot follow";
+                finalize();
+                return res;
+            }
+            if (explored.size() >= request.maxConfigs) {
+                res.truncated = true;
+                continue;
             }
             SearchFrame next;
             next.spec = closure(spec, spec_next);
@@ -213,48 +482,95 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
             next.crashBudget = cur.crashBudget;
             if (label.op == Op::Crash)
                 next.crashBudget[label.node] -= 1;
+            live_bytes += frameBytes(next);
+            peak = std::max(
+                peak, live_bytes + stack.capacity() *
+                                       sizeof(SearchFrame));
             stack.push_back(std::move(next));
         }
     }
-    return RefinementResult{};
+    res.verdict = res.truncated ? CheckVerdict::Inconclusive
+                                : CheckVerdict::Pass;
+    finalize();
+    return res;
+}
+
+RefinementResult
+checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
+                size_t depth, const Alphabet &alphabet)
+{
+    RefinementResult out;
+    if (depth == 0)
+        return out; // no visible labels: trivially refines
+    CheckRequest request;
+    request.maxDepth = depth;
+    // The legacy API had no config budget and always completed the
+    // depth-bounded search; RefinementResult cannot express
+    // truncation, so don't let the default budget introduce it.
+    request.maxConfigs = static_cast<size_t>(-1);
+    CheckReport report = checkRefinement(spec, impl, alphabet, request);
+    out.refines = report.verdict != CheckVerdict::Fail;
+    out.counterexample = std::move(report.counterexample.trace);
+    return out;
 }
 
 std::vector<std::vector<Label>>
 enumerateTraces(const Cxl0Model &m, size_t depth, const Alphabet &alphabet)
 {
+    const size_t nnodes = m.config().numNodes();
+    const int max_crash = std::max(alphabet.maxCrashesPerNode, 0);
+    const BitfieldWord budgetw(
+        std::bit_width(static_cast<unsigned>(max_crash)));
+    CXL0_ASSERT(budgetw.fits(nnodes), "crash budget too large to pack");
     std::vector<Label> labels = candidates(m.config(), alphabet);
+
+    SearchEngine eng(m);
+    std::vector<TraceNode> trace_nodes;
+
+    struct EnumConfig
+    {
+        FrameId frame;
+        uint32_t traceNode;
+        uint32_t depth;
+        uint64_t crash;
+    };
+
+    EnumConfig root{eng.closedSingleton(m.initialState()), kNoTraceNode,
+                    0, 0};
+    for (size_t n = 0; n < nnodes; ++n)
+        root.crash = budgetw.set(root.crash, n, max_crash);
+
     std::vector<std::vector<Label>> out;
-
-    SearchFrame root;
-    root.impl = closure(m, {m.initialState()});
-    root.crashBudget.assign(m.config().numNodes(),
-                            alphabet.maxCrashesPerNode);
-
-    std::vector<SearchFrame> stack{root};
     out.push_back({}); // the empty trace
+    std::vector<EnumConfig> stack{root};
     while (!stack.empty()) {
-        SearchFrame cur = std::move(stack.back());
+        EnumConfig cur = stack.back();
         stack.pop_back();
-        if (cur.trace.size() >= depth)
+        if (cur.depth >= depth)
             continue;
-        for (const Label &label : labels) {
+        for (uint32_t li = 0; li < labels.size(); ++li) {
+            const Label &label = labels[li];
             if (label.op == Op::Crash &&
-                cur.crashBudget[label.node] <= 0) {
+                budgetw.get(cur.crash, label.node) == 0) {
                 continue;
             }
-            std::vector<State> next_states =
-                applyAll(m, cur.impl, label);
-            if (next_states.empty())
+            FrameId next_frame = eng.applyFrame(cur.frame, label);
+            if (next_frame == kNoFrameId)
                 continue;
-            SearchFrame next;
-            next.impl = closure(m, next_states);
-            next.trace = cur.trace;
-            next.trace.push_back(label);
-            next.crashBudget = cur.crashBudget;
+            EnumConfig next;
+            next.frame = eng.tauClosureFrame(next_frame);
+            next.depth = cur.depth + 1;
+            next.crash = cur.crash;
             if (label.op == Op::Crash)
-                next.crashBudget[label.node] -= 1;
-            out.push_back(next.trace);
-            stack.push_back(std::move(next));
+                next.crash = budgetw.set(
+                    next.crash, label.node,
+                    budgetw.get(cur.crash, label.node) - 1);
+            trace_nodes.push_back({li, cur.traceNode});
+            next.traceNode =
+                static_cast<uint32_t>(trace_nodes.size() - 1);
+            out.push_back(
+                rebuildTrace(trace_nodes, labels, next.traceNode));
+            stack.push_back(next);
         }
     }
     return out;

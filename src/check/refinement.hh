@@ -9,6 +9,15 @@
  * checker: traces are sequences of visible labels (tau hidden) drawn
  * from a finite alphabet, and refinement is checked by a simultaneous
  * subset-construction walk of both LTSs up to a depth bound.
+ *
+ * The walk runs on two check::SearchEngines (one per model): each
+ * determinized state set is an interned frame, so a search
+ * configuration is a few dense ids plus a packed crash-budget word —
+ * nothing deep-copies a state set per step anymore. The historical
+ * entry points shim onto the CheckRequest/CheckReport API;
+ * checkRefinementReference() keeps the original deep-copy search as
+ * an executable reference for the regression tests and
+ * bench_refinement_scaling.
  */
 
 #ifndef CXL0_CHECK_REFINEMENT_HH
@@ -17,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "check/engine.hh"
 #include "model/semantics.hh"
 
 namespace cxl0::check
@@ -38,7 +48,33 @@ struct Alphabet
     static Alphabet standard(const model::SystemConfig &cfg);
 };
 
-/** Result of a refinement query. */
+/**
+ * Check that every trace of `impl` (up to `request.maxDepth` visible
+ * labels over `alphabet`) is also a trace of `spec`. Both models must
+ * share the same configuration shape; the depth bound must be
+ * nonzero. Fail carries a violating impl trace as the typed
+ * counterexample; Inconclusive means the depth bound or the config
+ * budget cut the search with no violation found; Pass means the
+ * bounded search exhausted without a violation or a cut.
+ */
+CheckReport checkRefinement(const model::Cxl0Model &spec,
+                            const model::Cxl0Model &impl,
+                            const Alphabet &alphabet,
+                            const CheckRequest &request);
+
+/**
+ * The pre-engine implementation, kept executable: deep-copied
+ * vector<State> frames per search step and a hash-only (unverified)
+ * revisit memo. Verdicts must match checkRefinement();
+ * tests/check/test_refinement.cc and bench_refinement_scaling compare
+ * the two, and the bench tracks the frame-interning memory win.
+ */
+CheckReport checkRefinementReference(const model::Cxl0Model &spec,
+                                     const model::Cxl0Model &impl,
+                                     const Alphabet &alphabet,
+                                     const CheckRequest &request);
+
+/** Result of a refinement query (historical shim vocabulary). */
 struct RefinementResult
 {
     bool refines = true;
@@ -49,9 +85,8 @@ struct RefinementResult
 };
 
 /**
- * Check that every trace of `impl` (up to `depth` visible labels over
- * `alphabet`) is also a trace of `spec`. Both models must share the
- * same configuration shape.
+ * Historical entry point: bounded refinement up to `depth` labels.
+ * Thin shim over the CheckRequest/CheckReport form above.
  */
 RefinementResult checkRefinement(const model::Cxl0Model &spec,
                                  const model::Cxl0Model &impl,

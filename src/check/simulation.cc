@@ -1,17 +1,20 @@
 #include "check/simulation.hh"
 
+#include <chrono>
 #include <sstream>
-#include <unordered_set>
 
 namespace cxl0::check
 {
 
 using cxl0::Addr;
+using cxl0::Value;
 using model::Cxl0Model;
+using model::FrameId;
+using model::kNoFrameId;
 using model::Label;
 using model::State;
+using model::StateId;
 using model::SystemConfig;
-using cxl0::Value;
 
 std::vector<State>
 enumerateStates(const SystemConfig &cfg, Value max_value)
@@ -60,32 +63,94 @@ enumerateStates(const SystemConfig &cfg, Value max_value)
     return out;
 }
 
+CheckReport
+checkTraceInclusion(const Cxl0Model &model,
+                    const std::vector<State> &states,
+                    const std::vector<Label> &lhs,
+                    const std::vector<Label> &rhs,
+                    const CheckRequest &request)
+{
+    auto t_start = std::chrono::steady_clock::now();
+    CheckReport res;
+    // One engine for every start state: tau closures computed for one
+    // gamma's walk are memo hits for the next.
+    TraceChecker checker(model);
+    SearchEngine &eng = checker.engine();
+
+    auto finalize = [&] {
+        eng.fillStats(res.stats);
+        res.stats.configsInterned = eng.frames().size();
+        res.stats.peakVisitedBytes = eng.bytes();
+        res.stats.seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                t_start)
+                                .count();
+    };
+
+    for (const State &gamma : states) {
+        if (eng.states().size() >= request.maxConfigs) {
+            res.truncated = true;
+            res.verdict = CheckVerdict::Inconclusive;
+            finalize();
+            return res;
+        }
+        ++res.stats.configsVisited;
+        FrameId lhs_post = checker.frameAfter(gamma, lhs);
+        if (lhs_post == kNoFrameId)
+            continue; // vacuously true from this state
+        FrameId rhs_post = checker.frameAfter(gamma, rhs);
+        // Frames are sorted id spans over one table: inclusion is
+        // one merge walk, and the first missing id is the
+        // counterexample.
+        StateId missing = model::kNoStateId;
+        if (rhs_post == kNoFrameId) {
+            missing = *eng.frames().begin(lhs_post);
+        } else {
+            const StateId *a = eng.frames().begin(lhs_post);
+            const StateId *ae = eng.frames().end(lhs_post);
+            const StateId *b = eng.frames().begin(rhs_post);
+            const StateId *be = eng.frames().end(rhs_post);
+            for (; a != ae; ++a) {
+                while (b != be && *b < *a)
+                    ++b;
+                if (b == be || *b != *a) {
+                    missing = *a;
+                    break;
+                }
+            }
+        }
+        if (missing != model::kNoStateId) {
+            std::ostringstream os;
+            os << "from " << gamma.describe() << ", trace ["
+               << model::describeTrace(lhs) << "] reaches "
+               << eng.states().materialize(missing).describe()
+               << " but [" << model::describeTrace(rhs)
+               << "] cannot";
+            res.verdict = CheckVerdict::Fail;
+            res.counterexample.description = os.str();
+            finalize();
+            return res;
+        }
+    }
+    res.verdict = CheckVerdict::Pass;
+    finalize();
+    return res;
+}
+
 SimulationResult
 checkTraceInclusion(const Cxl0Model &model,
                     const std::vector<State> &states,
                     const std::vector<Label> &lhs,
                     const std::vector<Label> &rhs)
 {
-    TraceChecker checker(model);
-    for (const State &gamma : states) {
-        std::vector<State> lhs_post = checker.statesAfter(gamma, lhs);
-        if (lhs_post.empty())
-            continue; // vacuously true from this state
-        std::vector<State> rhs_post = checker.statesAfter(gamma, rhs);
-        std::unordered_set<State, model::StateHash> rhs_set(
-            rhs_post.begin(), rhs_post.end());
-        for (const State &target : lhs_post) {
-            if (!rhs_set.count(target)) {
-                std::ostringstream os;
-                os << "from " << gamma.describe() << ", trace ["
-                   << model::describeTrace(lhs) << "] reaches "
-                   << target.describe() << " but ["
-                   << model::describeTrace(rhs) << "] cannot";
-                return SimulationResult{false, os.str()};
-            }
-        }
-    }
-    return SimulationResult{true, ""};
+    // Legacy semantics: no config budget, so an Inconclusive verdict
+    // (which SimulationResult cannot express) is impossible.
+    CheckRequest request;
+    request.maxConfigs = static_cast<size_t>(-1);
+    CheckReport report =
+        checkTraceInclusion(model, states, lhs, rhs, request);
+    return SimulationResult{report.verdict != CheckVerdict::Fail,
+                            report.counterexample.description};
 }
 
 std::vector<Prop1Item>

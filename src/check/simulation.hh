@@ -43,8 +43,19 @@ std::vector<model::State> enumerateStates(const model::SystemConfig &cfg,
 
 /**
  * Check that from every state in `states`, every state reachable via
- * `lhs` (tau-interleaved) is also reachable via `rhs`.
+ * `lhs` (tau-interleaved) is also reachable via `rhs`. Unified form:
+ * the subset construction runs on one SearchEngine (closures memoized
+ * across start states), post-state inclusion is a sorted-frame merge
+ * walk, and the report carries the shared SearchStats. Fail attaches
+ * the offending start state / target in the counterexample.
  */
+CheckReport checkTraceInclusion(const model::Cxl0Model &model,
+                                const std::vector<model::State> &states,
+                                const std::vector<model::Label> &lhs,
+                                const std::vector<model::Label> &rhs,
+                                const CheckRequest &request);
+
+/** Historical entry point: thin shim over the unified form. */
 SimulationResult
 checkTraceInclusion(const model::Cxl0Model &model,
                     const std::vector<model::State> &states,

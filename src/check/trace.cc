@@ -1,55 +1,39 @@
 #include "check/trace.hh"
 
+#include <chrono>
+#include <sstream>
+
 #include "model/state_table.hh"
 
 namespace cxl0::check
 {
 
-namespace
-{
+using model::FrameId;
+using model::kNoFrameId;
 
-/**
- * Deduplicate a state vector by interning into a StateTable: O(1)
- * hashing (states maintain their digest incrementally) and no
- * per-entry node allocation.
- */
-std::vector<State>
-dedup(std::vector<State> states)
+FrameId
+TraceChecker::frameAfter(const State &init,
+                         const std::vector<Label> &trace) const
 {
-    if (states.empty())
-        return states;
-    model::StateTable table(states[0].numNodes(),
-                            states[0].numAddrs());
-    std::vector<State> out;
-    for (State &s : states) {
-        bool fresh = false;
-        table.intern(s, &fresh);
-        if (fresh)
-            out.push_back(std::move(s));
+    FrameId frontier = engine_.closedSingleton(init);
+    for (const Label &label : trace) {
+        FrameId next = engine_.applyFrame(frontier, label);
+        if (next == kNoFrameId)
+            return kNoFrameId;
+        frontier = engine_.tauClosureFrame(next);
     }
-    return out;
+    return frontier;
 }
-
-} // namespace
 
 std::vector<State>
 TraceChecker::statesAfter(const State &init,
                           const std::vector<Label> &trace) const
 {
-    std::vector<State> frontier = model_.tauClosure(init);
-    for (const Label &label : trace) {
-        std::vector<State> next;
-        for (const State &s : frontier) {
-            if (auto succ = model_.apply(s, label)) {
-                for (State &closed : model_.tauClosure(*succ))
-                    next.push_back(std::move(closed));
-            }
-        }
-        frontier = dedup(std::move(next));
-        if (frontier.empty())
-            break;
-    }
-    return frontier;
+    std::vector<State> out;
+    FrameId f = frameAfter(init, trace);
+    if (f != kNoFrameId)
+        engine_.materializeFrame(f, out);
+    return out;
 }
 
 bool
@@ -62,27 +46,76 @@ bool
 TraceChecker::feasibleFrom(const State &init,
                            const std::vector<Label> &trace) const
 {
-    return !statesAfter(init, trace).empty();
+    return frameAfter(init, trace) != kNoFrameId;
 }
 
 size_t
 TraceChecker::firstBlockedIndex(const State &init,
                                 const std::vector<Label> &trace) const
 {
-    std::vector<State> frontier = model_.tauClosure(init);
+    FrameId frontier = engine_.closedSingleton(init);
     for (size_t k = 0; k < trace.size(); ++k) {
-        std::vector<State> next;
-        for (const State &s : frontier) {
-            if (auto succ = model_.apply(s, trace[k])) {
-                for (State &closed : model_.tauClosure(*succ))
-                    next.push_back(std::move(closed));
-            }
-        }
-        frontier = dedup(std::move(next));
-        if (frontier.empty())
+        FrameId next = engine_.applyFrame(frontier, trace[k]);
+        if (next == kNoFrameId)
             return k;
+        frontier = engine_.tauClosureFrame(next);
     }
     return trace.size();
+}
+
+CheckReport
+checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
+                       const std::vector<Label> &trace,
+                       const CheckRequest &request)
+{
+    auto t_start = std::chrono::steady_clock::now();
+    CheckReport res;
+    SearchEngine engine(model);
+    FrameId frontier = engine.closedSingleton(init);
+    size_t k = 0;
+    for (; k < trace.size(); ++k) {
+        if (engine.states().size() >= request.maxConfigs ||
+            (request.maxDepth != 0 && k >= request.maxDepth)) {
+            res.truncated = true;
+            break;
+        }
+        FrameId next = engine.applyFrame(frontier, trace[k]);
+        if (next == kNoFrameId)
+            break;
+        frontier = engine.tauClosureFrame(next);
+        ++res.stats.configsVisited;
+    }
+
+    if (res.truncated) {
+        res.verdict = CheckVerdict::Inconclusive;
+    } else if (k == trace.size()) {
+        res.verdict = CheckVerdict::Pass;
+    } else {
+        res.verdict = CheckVerdict::Fail;
+        res.counterexample.trace.assign(trace.begin(),
+                                        trace.begin() + k + 1);
+        std::ostringstream os;
+        os << "blocked at index " << k << " ("
+           << trace[k].describe() << ")";
+        res.counterexample.description = os.str();
+    }
+    engine.fillStats(res.stats);
+    res.stats.configsInterned = engine.frames().size();
+    res.stats.peakVisitedBytes = engine.bytes();
+    res.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    return res;
+}
+
+CheckReport
+checkTraceFeasible(const Cxl0Model &model,
+                   const std::vector<Label> &trace,
+                   const CheckRequest &request)
+{
+    return checkTraceFeasibleFrom(model, model.initialState(), trace,
+                                  request);
 }
 
 } // namespace cxl0::check

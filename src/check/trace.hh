@@ -8,6 +8,13 @@
  * tracks the *set* of states reachable after each prefix, closing
  * under tau at every point (a subset construction, which also makes
  * the check deterministic and complete for these finite systems).
+ *
+ * The subset construction runs on the shared check::SearchEngine:
+ * each prefix's state set is an interned frame (a 4-byte id over the
+ * engine's state table), tau closures are memoized per frame, and no
+ * vector<State> is copied per step. checkTraceFeasible() is the
+ * uniform Request/Report entry point; the TraceChecker methods remain
+ * as the ergonomic per-model facade.
  */
 
 #ifndef CXL0_CHECK_TRACE_HH
@@ -15,6 +22,7 @@
 
 #include <vector>
 
+#include "check/engine.hh"
 #include "model/semantics.hh"
 
 namespace cxl0::check
@@ -24,11 +32,36 @@ using model::Cxl0Model;
 using model::Label;
 using model::State;
 
-/** Decides feasibility of serialized label traces. */
+/**
+ * Unified entry point: is `trace` executable from the model's initial
+ * state (tau steps interleaved anywhere)? Pass = feasible; Fail =
+ * infeasible, with the blocking index and label in the
+ * counterexample; Inconclusive = the state budget in `request`
+ * truncated the subset construction.
+ */
+CheckReport checkTraceFeasible(const Cxl0Model &model,
+                               const std::vector<Label> &trace,
+                               const CheckRequest &request = {});
+
+/** As above, from a caller-provided start state. */
+CheckReport checkTraceFeasibleFrom(const Cxl0Model &model,
+                                   const State &init,
+                                   const std::vector<Label> &trace,
+                                   const CheckRequest &request = {});
+
+/**
+ * Decides feasibility of serialized label traces. Holds a
+ * SearchEngine so closures computed for one query are reused by the
+ * next (prefix walks re-derive the same frames constantly). Not
+ * thread-safe; use one checker per thread.
+ */
 class TraceChecker
 {
   public:
-    explicit TraceChecker(const Cxl0Model &model) : model_(model) {}
+    explicit TraceChecker(const Cxl0Model &model)
+        : model_(model), engine_(model)
+    {
+    }
 
     /**
      * All states reachable by executing `trace` in order from `init`,
@@ -52,8 +85,22 @@ class TraceChecker
     size_t firstBlockedIndex(const State &init,
                              const std::vector<Label> &trace) const;
 
+    /**
+     * The frame (interned state set) reachable after `trace` from
+     * `init`, tau-closed; model::kNoFrameId when infeasible. The
+     * frame-level view other checkers (inclusion) build on.
+     */
+    model::FrameId frameAfter(const State &init,
+                              const std::vector<Label> &trace) const;
+
+    /** The engine backing this checker (tables, memos). */
+    SearchEngine &engine() const { return engine_; }
+
   private:
     const Cxl0Model &model_;
+    /** Mutable: queries are logically const but grow the memo tables
+     *  (the same interning pattern the explorer uses). */
+    mutable SearchEngine engine_;
 };
 
 } // namespace cxl0::check

@@ -137,4 +137,88 @@ StateTable::materialize(StateId id) const
     return out;
 }
 
+namespace
+{
+
+/** Content hash of a sorted StateId span (order-sensitive is fine:
+ *  frames are canonical, so equal sets hash identically). */
+uint64_t
+hashFrame(const StateId *data, size_t n)
+{
+    uint64_t h = mixBits(n + 0x51ed270b0a1cull);
+    for (size_t i = 0; i < n; ++i)
+        h = mixBits(h ^ (data[i] + 0x9e3779b97f4a7c15ULL));
+    return h;
+}
+
+} // namespace
+
+FrameTable::FrameTable()
+    : offsets_{0}, slots_(kInitialSlots, kNoFrameId),
+      mask_(kInitialSlots - 1)
+{
+}
+
+FrameId
+FrameTable::intern(std::vector<StateId> &ids, bool *is_new)
+{
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return internSorted(ids.data(), ids.size(), is_new);
+}
+
+FrameId
+FrameTable::internSorted(const StateId *data, size_t n, bool *is_new)
+{
+    uint64_t hash = hashFrame(data, n);
+    size_t i = hash & mask_;
+    while (slots_[i] != kNoFrameId) {
+        FrameId id = slots_[i];
+        // n == 0 short-circuits: memcmp takes nonnull pointers, and
+        // an empty input span has data == nullptr.
+        if (hashes_[id] == hash && sizeOf(id) == n &&
+            (n == 0 ||
+             std::memcmp(begin(id), data, n * sizeof(StateId)) == 0)) {
+            if (is_new)
+                *is_new = false;
+            return id;
+        }
+        i = (i + 1) & mask_;
+    }
+    FrameId id = static_cast<FrameId>(hashes_.size());
+    arena_.insert(arena_.end(), data, data + n);
+    offsets_.push_back(arena_.size());
+    hashes_.push_back(hash);
+    slots_[i] = id;
+    if (is_new)
+        *is_new = true;
+    if ((hashes_.size() + 1) * 10 > slots_.size() * 7)
+        grow();
+    return id;
+}
+
+void
+FrameTable::grow()
+{
+    std::vector<FrameId> bigger(slots_.size() * 2, kNoFrameId);
+    size_t mask = bigger.size() - 1;
+    for (FrameId id = 0; id < hashes_.size(); ++id) {
+        size_t i = hashes_[id] & mask;
+        while (bigger[i] != kNoFrameId)
+            i = (i + 1) & mask;
+        bigger[i] = id;
+    }
+    slots_ = std::move(bigger);
+    mask_ = mask;
+}
+
+size_t
+FrameTable::bytes() const
+{
+    return arena_.capacity() * sizeof(StateId) +
+           offsets_.capacity() * sizeof(size_t) +
+           hashes_.capacity() * sizeof(uint64_t) +
+           slots_.capacity() * sizeof(FrameId);
+}
+
 } // namespace cxl0::model

@@ -17,6 +17,13 @@
  *
  * ValueSpanTable is the underlying shape-agnostic interner for flat
  * spans of Values; the explorer reuses it for register files.
+ *
+ * FrameTable interns *frames*: sorted, duplicate-free spans of
+ * StateIds, i.e. whole state sets. Subset-construction checkers
+ * (trace feasibility, refinement) previously deep-copied a
+ * vector<State> per search step; with frames interned in one arena a
+ * state set is a 4-byte FrameId, set equality is an id comparison,
+ * and the per-step copies disappear.
  */
 
 #ifndef CXL0_MODEL_STATE_TABLE_HH
@@ -150,6 +157,72 @@ class StateTable
     size_t numAddrs_;
     size_t cacheLen_; //!< numNodes * numAddrs
     ValueSpanTable spans_;
+};
+
+/** Dense id of an interned frame (state set). */
+using FrameId = uint32_t;
+
+/** Sentinel: no frame / empty successor set. */
+constexpr FrameId kNoFrameId = static_cast<FrameId>(-1);
+
+/**
+ * Interns variable-length frames of StateIds in a flat arena. A frame
+ * is stored in canonical form (sorted, duplicate-free), so two state
+ * sets are equal iff their FrameIds are equal. Ids are dense and
+ * stable; the arena never moves an interned frame's contents.
+ */
+class FrameTable
+{
+  public:
+    FrameTable();
+
+    /**
+     * Intern the canonical form of `ids`. The vector is sorted and
+     * deduplicated in place (it is scratch, not kept). `is_new`
+     * (optional) reports whether a fresh entry was inserted. An empty
+     * input interns the (valid) empty frame.
+     */
+    FrameId intern(std::vector<StateId> &ids, bool *is_new = nullptr);
+
+    /** Intern an already sorted, duplicate-free span. */
+    FrameId internSorted(const StateId *data, size_t n,
+                         bool *is_new = nullptr);
+
+    /** Start of frame `id`'s states (sorted ascending). */
+    const StateId *begin(FrameId id) const
+    {
+        return arena_.data() + offsets_[id];
+    }
+
+    /** One past the last state of frame `id`. */
+    const StateId *end(FrameId id) const
+    {
+        return arena_.data() + offsets_[id + 1];
+    }
+
+    /** Number of states in frame `id`. */
+    size_t sizeOf(FrameId id) const
+    {
+        return offsets_[id + 1] - offsets_[id];
+    }
+
+    /** Content hash the frame was interned under. */
+    uint64_t hashOf(FrameId id) const { return hashes_[id]; }
+
+    /** Number of distinct frames interned. */
+    size_t size() const { return hashes_.size(); }
+
+    /** Resident bytes: arena + offsets + hashes + probe index. */
+    size_t bytes() const;
+
+  private:
+    void grow();
+
+    std::vector<StateId> arena_;
+    std::vector<size_t> offsets_; //!< size()+1 entries; [i, i+1) spans
+    std::vector<uint64_t> hashes_;
+    std::vector<FrameId> slots_; //!< open-addressed; kNoFrameId = empty
+    size_t mask_ = 0;            //!< slots_.size() - 1
 };
 
 } // namespace cxl0::model

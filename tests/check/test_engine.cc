@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "check/engine.hh"
+
+namespace
+{
+
+using namespace cxl0::check;
+using namespace cxl0::model;
+using cxl0::NodeId;
+using cxl0::Value;
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+        : cfg(SystemConfig::uniform(2, 1, true)), model(cfg),
+          engine(model)
+    {
+    }
+
+    SystemConfig cfg;
+    Cxl0Model model;
+    SearchEngine engine;
+};
+
+TEST_F(EngineTest, TauClosureFrameMatchesModelClosure)
+{
+    // Close the post-store state set through the engine and through
+    // the model directly; the state sets must coincide.
+    State s = model.initialState();
+    ASSERT_TRUE(model.applyInPlace(s, Label::lstore(0, 0, 1)));
+
+    FrameId closed = engine.closedSingleton(s);
+    std::set<uint64_t> via_engine;
+    std::vector<State> out;
+    engine.materializeFrame(closed, out);
+    for (const State &st : out)
+        via_engine.insert(st.hash());
+
+    std::set<uint64_t> via_model;
+    for (const State &st : model.tauClosure(s))
+        via_model.insert(st.hash());
+    EXPECT_EQ(via_engine, via_model);
+
+    // Closure is idempotent and memoized: the closed frame closes to
+    // itself.
+    EXPECT_EQ(engine.tauClosureFrame(closed), closed);
+}
+
+TEST_F(EngineTest, ApplyFrameMatchesPerStateApply)
+{
+    State s = model.initialState();
+    FrameId closed = engine.closedSingleton(s);
+    Label load = Label::load(1, 0, 0);
+
+    FrameId applied = engine.applyFrame(closed, load);
+    ASSERT_NE(applied, kNoFrameId);
+
+    std::vector<State> members;
+    engine.materializeFrame(closed, members);
+    size_t enabled = 0;
+    for (const State &m : members)
+        if (model.apply(m, load))
+            ++enabled;
+    // Deduplicated successors can be fewer, never more.
+    EXPECT_GT(enabled, 0u);
+    EXPECT_LE(engine.frames().sizeOf(applied), enabled);
+
+    // A label nothing enables returns kNoFrameId.
+    EXPECT_EQ(engine.applyFrame(closed, Label::load(0, 0, 7)),
+              kNoFrameId);
+}
+
+TEST_F(EngineTest, CrashSuccessorMemoIsStable)
+{
+    StateId init = engine.internState(model.initialState());
+    StateId a = engine.crashSuccessorOf(init, 0);
+    StateId b = engine.crashSuccessorOf(init, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(engine.states().materialize(a).hash(),
+              model.applyCrash(model.initialState(), 0).hash());
+}
+
+TEST_F(EngineTest, FrameSubsumesIsSetInclusion)
+{
+    std::vector<StateId> big{1, 3, 5, 9};
+    std::vector<StateId> small{3, 9};
+    std::vector<StateId> other{3, 7};
+    FrameId fb = engine.internFrame(big);
+    FrameId fs = engine.internFrame(small);
+    FrameId fo = engine.internFrame(other);
+    EXPECT_TRUE(engine.frameSubsumes(fb, fs));
+    EXPECT_TRUE(engine.frameSubsumes(fb, fb));
+    EXPECT_FALSE(engine.frameSubsumes(fs, fb));
+    EXPECT_FALSE(engine.frameSubsumes(fb, fo));
+}
+
+TEST(BitfieldWord, RoundTripsFields)
+{
+    BitfieldWord w(3);
+    uint64_t word = 0;
+    for (size_t i = 0; i < 8; ++i)
+        word = w.set(word, i, i % 8);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(w.get(word, i), i % 8);
+    // Overwrites only touch their own field.
+    word = w.set(word, 3, 7);
+    EXPECT_EQ(w.get(word, 3), 7u);
+    EXPECT_EQ(w.get(word, 2), 2u);
+    EXPECT_EQ(w.get(word, 4), 4u);
+
+    EXPECT_TRUE(BitfieldWord(0).fits(1000));
+    EXPECT_TRUE(BitfieldWord(2).fits(32));
+    EXPECT_FALSE(BitfieldWord(2).fits(33));
+    EXPECT_EQ(BitfieldWord(0).get(~0ull, 5), 0u);
+}
+
+TEST(ConfigFrontier, PolicyOrdersPops)
+{
+    PackedConfig a, b;
+    a.state = 1;
+    b.state = 2;
+
+    ConfigFrontier dfs(FrontierPolicy::DepthFirst);
+    dfs.push(a);
+    dfs.push(b);
+    EXPECT_EQ(dfs.pop().state, 2u); // LIFO
+    EXPECT_EQ(dfs.pop().state, 1u);
+    EXPECT_TRUE(dfs.empty());
+
+    ConfigFrontier bfs(FrontierPolicy::BreadthFirst);
+    bfs.push(a);
+    bfs.push(b);
+    EXPECT_EQ(bfs.pop().state, 1u); // FIFO
+    EXPECT_EQ(bfs.pop().state, 2u);
+    EXPECT_TRUE(bfs.empty());
+}
+
+TEST(FlatConfigSetTest, InsertContainsAndGrowth)
+{
+    FlatConfigSet set;
+    for (uint32_t i = 0; i < 1000; ++i) {
+        PackedConfig c;
+        c.state = i;
+        c.pc = i * 3;
+        EXPECT_TRUE(set.insert(c));
+        EXPECT_FALSE(set.insert(c));
+    }
+    EXPECT_EQ(set.size(), 1000u);
+    for (uint32_t i = 0; i < 1000; ++i) {
+        PackedConfig c;
+        c.state = i;
+        c.pc = i * 3;
+        EXPECT_TRUE(set.contains(c));
+        c.pc += 1;
+        EXPECT_FALSE(set.contains(c));
+    }
+    EXPECT_GT(set.bytes(), 1000 * sizeof(PackedConfig));
+}
+
+TEST(CheckReportTest, DescribeSummarizes)
+{
+    CheckReport r;
+    r.verdict = CheckVerdict::Fail;
+    r.truncated = true;
+    r.counterexample.description = "boom";
+    std::string s = r.describe();
+    EXPECT_NE(s.find("fail"), std::string::npos);
+    EXPECT_NE(s.find("truncated"), std::string::npos);
+    EXPECT_NE(s.find("boom"), std::string::npos);
+    EXPECT_EQ(std::string(checkVerdictName(CheckVerdict::Pass)),
+              "pass");
+    EXPECT_EQ(
+        std::string(checkVerdictName(CheckVerdict::Inconclusive)),
+        "inconclusive");
+
+    Counterexample none;
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(none.describe(), "(none)");
+}
+
+} // namespace

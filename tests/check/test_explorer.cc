@@ -470,6 +470,47 @@ TEST(ExplorerRegression, TruncationDegradesGracefully)
             << "partial outcome not in the full set: " << o.describe();
 }
 
+TEST(ExplorerRegression, CheckReportVerdictTracksTruncation)
+{
+    // The unified API: a complete run is Pass; a budget-cut run is
+    // Inconclusive with truncated=true and a valid partial outcome
+    // subset (never an abort).
+    LitmusProgram lp = motivatingProgram();
+    Cxl0Model model(lp.config, lp.variant);
+    CheckReport full = Explorer(model, lp.program, lp.options).check();
+    EXPECT_EQ(full.verdict, CheckVerdict::Pass);
+    EXPECT_FALSE(full.truncated);
+
+    CheckRequest tiny = lp.options;
+    tiny.maxConfigs = 4;
+    CheckReport partial = Explorer(model, lp.program, tiny).check();
+    EXPECT_EQ(partial.verdict, CheckVerdict::Inconclusive);
+    EXPECT_TRUE(partial.truncated);
+    EXPECT_GT(partial.stats.configsVisited, 0u);
+    for (const Outcome &o : partial.outcomes)
+        EXPECT_TRUE(full.outcomes.count(o)) << o.describe();
+}
+
+TEST(ExplorerRegression, FrontierPoliciesProduceIdenticalOutcomes)
+{
+    // The DFS/BFS seam (the sharded-frontier drop-in point) must not
+    // change any reachable set.
+    for (const LitmusProgram &lp : explorerPrograms()) {
+        Cxl0Model model(lp.config, lp.variant);
+        CheckRequest dfs = lp.options;
+        dfs.frontier = FrontierPolicy::DepthFirst;
+        CheckRequest bfs = lp.options;
+        bfs.frontier = FrontierPolicy::BreadthFirst;
+        CheckReport a = Explorer(model, lp.program, dfs).check();
+        CheckReport b = Explorer(model, lp.program, bfs).check();
+        ASSERT_FALSE(a.truncated) << lp.name;
+        ASSERT_FALSE(b.truncated) << lp.name;
+        EXPECT_EQ(a.outcomes, b.outcomes) << lp.name;
+        EXPECT_EQ(a.stats.configsInterned, b.stats.configsInterned)
+            << lp.name;
+    }
+}
+
 TEST(ExplorerRegression, StatsDescribeTheRun)
 {
     LitmusProgram lp = litmus4Program();

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "check/litmus.hh"
 
 namespace
@@ -102,6 +105,81 @@ TEST(LitmusDetails, Test5BlocksAtTheLoad)
     TraceChecker checker(m);
     EXPECT_EQ(checker.firstBlockedIndex(m.initialState(), t5.trace),
               t5.trace.size() - 1);
+}
+
+// ---------------------------------------------------------------------
+// Explorer-program recasts (tests 4, 13, and the §3.5-style 14-16):
+// whole reachable outcome sets as regression anchors.
+// ---------------------------------------------------------------------
+
+TEST(LitmusPrograms, InventoryCoversMessagePassingTrio)
+{
+    auto programs = explorerPrograms();
+    ASSERT_EQ(programs.size(), 5u);
+    EXPECT_EQ(programs[2].id, 14);
+    EXPECT_EQ(programs[3].id, 15);
+    EXPECT_EQ(programs[4].id, 16);
+}
+
+/**
+ * Exact (flag read, data read) outcome set of a message-passing
+ * program, locked in as a regression oracle. Also exercises
+ * outcomesWhere with a capturing lambda (the function-pointer form is
+ * deprecated).
+ */
+void
+expectOutcomePairs(const LitmusProgram &lp,
+                   const std::set<std::pair<cxl0::Value, cxl0::Value>>
+                       &expected)
+{
+    cxl0::model::Cxl0Model model(lp.config, lp.variant);
+    Explorer ex(model, lp.program, lp.options);
+    CheckReport res = ex.check();
+    ASSERT_FALSE(res.truncated) << lp.name;
+    ASSERT_EQ(res.verdict, CheckVerdict::Pass) << lp.name;
+
+    std::set<std::pair<cxl0::Value, cxl0::Value>> seen;
+    for (const Outcome &o : res.outcomes)
+        seen.insert({o.regs[0][0], o.regs[0][1]});
+    EXPECT_EQ(seen, expected) << lp.name;
+
+    // The writer itself never crashes (only the owner may), and the
+    // crash-free run (both stores observed) always exists.
+    const cxl0::Value stored = 1;
+    auto both = ex.outcomesWhere(res.outcomes, [&](const Outcome &o) {
+        return o.regs[0][0] == stored && o.regs[0][1] == stored;
+    });
+    EXPECT_FALSE(both.empty()) << lp.name;
+    for (const Outcome &o : res.outcomes)
+        EXPECT_EQ(o.crashedThreads, 0u) << lp.name;
+}
+
+TEST(LitmusPrograms, MStoresForecloseEveryLoss)
+{
+    // MStore persists atomically with the store, so no crash timing
+    // can lose either value: the only reachable read-back is (1,1) —
+    // in particular the flag can never outlive the data (test 14).
+    expectOutcomePairs(litmus14Program(), {{1, 1}});
+}
+
+TEST(LitmusPrograms, PlainLStoresAllowFlagWithoutData)
+{
+    // Unflushed stores persist out of order: (1,0) — flag observed,
+    // data lost — is reachable (test 15), alongside every other
+    // combination.
+    expectOutcomePairs(litmus15Program(),
+                       {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+}
+
+TEST(LitmusPrograms, GpfProtectsOnlyAgainstLaterCrashes)
+{
+    // Unlike serialized litmus test 16 (which pins the crash *after*
+    // the GPF and is Forbidden), the program form lets the crash
+    // strike before the barrier, so the full outcome set including
+    // the (1,0) split stays reachable. The trace-level verdict is
+    // covered by extendedTests(); this anchors the program-level set.
+    expectOutcomePairs(litmus16Program(),
+                       {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
 }
 
 TEST(LitmusDetails, Test12RequiresTwoCrashes)

@@ -166,6 +166,158 @@ TEST(Refinement, RestrictedTopologyRefinesGeneralModel)
     EXPECT_TRUE(res.refines) << res.describe();
 }
 
+// ---------------------------------------------------------------------
+// The unified CheckRequest/CheckReport API and the frame-interned
+// engine path.
+// ---------------------------------------------------------------------
+
+TEST(RefinementReport, CarriesFrameAndStateStats)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    CheckRequest req;
+    req.maxDepth = 4;
+    CheckReport r = checkRefinement(base, lwb, smallAlphabet(cfg), req);
+    EXPECT_NE(r.verdict, CheckVerdict::Fail);
+    EXPECT_GT(r.stats.configsVisited, 0u);
+    EXPECT_GT(r.stats.configsInterned, 0u);
+    EXPECT_GT(r.stats.statesInterned, 0u);
+    EXPECT_GT(r.stats.framesInterned, 0u);
+    EXPECT_GT(r.stats.peakVisitedBytes, 0u);
+    EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+TEST(RefinementReport, FailCarriesTypedCounterexample)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    CheckRequest req;
+    req.maxDepth = 4;
+    CheckReport r = checkRefinement(lwb, base, smallAlphabet(cfg), req);
+    ASSERT_EQ(r.verdict, CheckVerdict::Fail);
+    ASSERT_FALSE(r.counterexample.trace.empty());
+    // The typed counterexample is a real base trace the variant
+    // cannot take — same guarantee the legacy shim had.
+    TraceChecker base_checker(base), lwb_checker(lwb);
+    EXPECT_TRUE(base_checker.feasible(r.counterexample.trace));
+    EXPECT_FALSE(lwb_checker.feasible(r.counterexample.trace));
+    EXPECT_NE(r.describe().find("fail"), std::string::npos);
+}
+
+TEST(RefinementReport, TinyConfigBudgetTruncatesGracefully)
+{
+    // A config budget far below the reachable frame-pair count must
+    // stop the search with truncated=true and a valid (Inconclusive,
+    // counterexample-free) partial report — not abort.
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    CheckRequest req;
+    req.maxDepth = 4;
+    req.maxConfigs = 2;
+    CheckReport r = checkRefinement(base, base, smallAlphabet(cfg), req);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.verdict, CheckVerdict::Inconclusive);
+    EXPECT_TRUE(r.counterexample.empty());
+    EXPECT_LE(r.stats.configsInterned, 2u);
+    EXPECT_GT(r.stats.configsVisited, 0u);
+
+    // The reference implementation degrades the same way.
+    CheckReport ref =
+        checkRefinementReference(base, base, smallAlphabet(cfg), req);
+    EXPECT_TRUE(ref.truncated);
+    EXPECT_EQ(ref.verdict, CheckVerdict::Inconclusive);
+}
+
+TEST(RefinementReport, DepthBoundReportsTruncation)
+{
+    // A depth bound that cuts live configurations is reported as
+    // truncation: the bounded "refines" is Inconclusive, not Pass.
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    CheckRequest req;
+    req.maxDepth = 1;
+    CheckReport r = checkRefinement(base, base, smallAlphabet(cfg), req);
+    EXPECT_NE(r.verdict, CheckVerdict::Fail);
+    EXPECT_TRUE(r.truncated);
+    // The legacy shim still reports refines=true for compatibility.
+    EXPECT_TRUE(checkRefinement(base, base, 1, smallAlphabet(cfg))
+                    .refines);
+}
+
+TEST(RefinementReport, ReferenceImplementationAgreesOnAllPairs)
+{
+    // The frame-interned search and the deep-copy reference must
+    // produce identical verdicts on every §3.5 model pair (the same
+    // gate bench_refinement_scaling enforces).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb),
+        psn(cfg, ModelVariant::Psn);
+    struct Pair
+    {
+        const Cxl0Model *spec;
+        const Cxl0Model *impl;
+        size_t depth;
+        const char *what;
+    };
+    Alphabet small = smallAlphabet(cfg);
+    Alphabet crashy = crashyAlphabet(cfg);
+    std::vector<std::pair<Pair, const Alphabet *>> cases{
+        {{&base, &lwb, 4, "lwb in base"}, &small},
+        {{&base, &psn, 4, "psn in base"}, &small},
+        {{&lwb, &base, 4, "base in lwb"}, &small},
+        {{&psn, &base, 5, "base in psn"}, &crashy},
+        {{&psn, &lwb, 5, "lwb in psn"}, &crashy},
+        {{&lwb, &psn, 4, "psn in lwb"}, &small},
+    };
+    for (const auto &[c, alphabet] : cases) {
+        CheckRequest req;
+        req.maxDepth = c.depth;
+        CheckReport fast =
+            checkRefinement(*c.spec, *c.impl, *alphabet, req);
+        CheckReport ref =
+            checkRefinementReference(*c.spec, *c.impl, *alphabet, req);
+        EXPECT_EQ(fast.verdict, ref.verdict) << c.what;
+        if (fast.verdict == CheckVerdict::Fail) {
+            // Both counterexamples must be genuine impl traces.
+            TraceChecker impl_checker(*c.impl);
+            EXPECT_TRUE(impl_checker.feasible(fast.counterexample.trace))
+                << c.what;
+            EXPECT_TRUE(impl_checker.feasible(ref.counterexample.trace))
+                << c.what;
+        }
+    }
+}
+
+TEST(RefinementReport, InternedFramesUseLessMemoryThanReference)
+{
+    // The tentpole claim in miniature: on a depth-bounded
+    // standard-alphabet run the frame-interned search must not
+    // deep-copy state-set frames, which shows up as a large
+    // peak-memory gap versus the reference (the bench asserts >= 2x
+    // on the bigger runs; keep a conservative margin here).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb);
+    CheckRequest req;
+    req.maxDepth = 4;
+    Alphabet standard = Alphabet::standard(cfg);
+    CheckReport fast = checkRefinement(base, lwb, standard, req);
+    CheckReport ref =
+        checkRefinementReference(base, lwb, standard, req);
+    EXPECT_EQ(fast.verdict, ref.verdict);
+    ASSERT_GT(fast.stats.peakVisitedBytes, 0u);
+    EXPECT_LT(fast.stats.peakVisitedBytes * 2,
+              ref.stats.peakVisitedBytes);
+}
+
+TEST(RefinementReport, ZeroDepthRejected)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    CheckRequest req; // maxDepth stays 0
+    EXPECT_THROW(checkRefinement(base, base, smallAlphabet(cfg), req),
+                 std::invalid_argument);
+}
+
 TEST(Refinement, MismatchedShapesRejected)
 {
     Cxl0Model a(SystemConfig::uniform(2, 1, true));

@@ -108,6 +108,52 @@ TEST_F(TraceTest, GpfDrainsEverythingBeforeProceeding)
          Label::load(0, 0, 0)}));
 }
 
+TEST_F(TraceTest, CheckTraceFeasibleReportsPassWithStats)
+{
+    using cxl0::check::checkTraceFeasible;
+    auto r = checkTraceFeasible(
+        model, {Label::lstore(0, 0, 1), Label::load(0, 0, 1)});
+    EXPECT_EQ(r.verdict, cxl0::check::CheckVerdict::Pass);
+    EXPECT_FALSE(r.truncated);
+    EXPECT_GT(r.stats.statesInterned, 0u);
+    EXPECT_GT(r.stats.framesInterned, 0u);
+    EXPECT_GT(r.stats.peakVisitedBytes, 0u);
+}
+
+TEST_F(TraceTest, CheckTraceFeasibleFailPointsAtBlockedLabel)
+{
+    using cxl0::check::checkTraceFeasible;
+    // The middle load of a never-stored value blocks at index 1.
+    auto r = checkTraceFeasible(model,
+                                {Label::lstore(0, 0, 1),
+                                 Label::load(0, 0, 2),
+                                 Label::load(0, 0, 1)});
+    ASSERT_EQ(r.verdict, cxl0::check::CheckVerdict::Fail);
+    EXPECT_EQ(r.counterexample.trace.size(), 2u);
+    EXPECT_NE(r.counterexample.description.find("index 1"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, CheckTraceFeasibleTinyBudgetTruncates)
+{
+    using cxl0::check::checkTraceFeasible;
+    cxl0::check::CheckRequest req;
+    req.maxConfigs = 1; // below even the initial tau closure
+    auto r = checkTraceFeasible(
+        model, {Label::lstore(0, 0, 1), Label::load(0, 0, 1)}, req);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.verdict, cxl0::check::CheckVerdict::Inconclusive);
+}
+
+TEST_F(TraceTest, FrameAfterMatchesStatesAfter)
+{
+    std::vector<Label> t{Label::lstore(0, 0, 1)};
+    auto states = checker.statesAfter(model.initialState(), t);
+    auto frame = checker.frameAfter(model.initialState(), t);
+    ASSERT_NE(frame, cxl0::model::kNoFrameId);
+    EXPECT_EQ(checker.engine().frames().sizeOf(frame), states.size());
+}
+
 TEST_F(TraceTest, VolatileOwnerLosesMemoryOnCrash)
 {
     SystemConfig vcfg({MachineConfig{false}, MachineConfig{true}}, {0});

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hh"
@@ -152,6 +153,69 @@ TEST(StateHash, PathIndependent)
     b.setCache(0, 0, 1);
     EXPECT_EQ(a, b);
     EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(FrameTable, CanonicalizesAndDeduplicates)
+{
+    cxl0::model::FrameTable table;
+    std::vector<StateId> a{3, 1, 2, 1};
+    cxl0::model::FrameId fa = table.intern(a);
+    // The scratch vector is canonicalized in place.
+    EXPECT_EQ(a, (std::vector<StateId>{1, 2, 3}));
+    EXPECT_EQ(table.sizeOf(fa), 3u);
+    EXPECT_EQ(table.begin(fa)[0], 1u);
+    EXPECT_EQ(table.begin(fa)[2], 3u);
+
+    // Any permutation (with duplicates) of the same set maps to the
+    // same id; set equality is id equality.
+    std::vector<StateId> b{2, 3, 3, 1};
+    EXPECT_EQ(table.intern(b), fa);
+    EXPECT_EQ(table.size(), 1u);
+
+    std::vector<StateId> c{1, 2};
+    cxl0::model::FrameId fc = table.intern(c);
+    EXPECT_NE(fc, fa);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FrameTable, EmptyFrameIsValid)
+{
+    cxl0::model::FrameTable table;
+    std::vector<StateId> none;
+    cxl0::model::FrameId f = table.intern(none);
+    EXPECT_EQ(table.sizeOf(f), 0u);
+    std::vector<StateId> none2;
+    EXPECT_EQ(table.intern(none2), f);
+}
+
+TEST(FrameTable, IdsSurviveTableGrowth)
+{
+    // Intern far past the initial probe capacity; every id must still
+    // resolve to its original contents and re-intern to itself.
+    cxl0::model::FrameTable table;
+    Rng rng(0xabcdULL);
+    std::vector<std::vector<StateId>> originals;
+    std::vector<cxl0::model::FrameId> ids;
+    for (int i = 0; i < 1500; ++i) {
+        std::vector<StateId> frame;
+        size_t len = rng.nextBelow(6);
+        for (size_t k = 0; k < len; ++k)
+            frame.push_back(
+                static_cast<StateId>(rng.nextBelow(100000)));
+        std::vector<StateId> scratch = frame;
+        cxl0::model::FrameId id = table.intern(scratch);
+        ids.push_back(id);
+        originals.push_back(std::move(scratch)); // canonical form
+    }
+    for (size_t i = 0; i < originals.size(); ++i) {
+        ASSERT_EQ(table.sizeOf(ids[i]), originals[i].size());
+        EXPECT_TRUE(std::equal(originals[i].begin(),
+                               originals[i].end(),
+                               table.begin(ids[i])));
+        std::vector<StateId> again = originals[i];
+        EXPECT_EQ(table.intern(again), ids[i]);
+    }
+    EXPECT_GT(table.bytes(), 0u);
 }
 
 TEST(ValueSpanTable, InternsFixedStrideSpans)
