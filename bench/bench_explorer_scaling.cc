@@ -12,10 +12,12 @@
  *   interned           the packed/hash-consed search (the default)
  *   interned_noreduce  same, with the tau footprint reduction off
  *   reference          the deep-copy seed algorithm
- * and the JSON reports configs/sec, peak visited-set bytes, outcome
- * counts, plus interned-vs-reference speedup and memory ratios.
- * Outcome sets are asserted identical across modes before anything is
- * reported.
+ * plus a threads series (numThreads = 1/2/4 over the sharded
+ * frontier), and the JSON reports configs/sec, peak visited-set
+ * bytes, outcome counts, interned-vs-reference speedup and memory
+ * ratios, and the 4-thread-vs-1-thread throughput ratio. Outcome
+ * sets are asserted identical across every mode *and* every thread
+ * count before anything is reported.
  */
 
 #include <cstdio>
@@ -78,10 +80,12 @@ struct ModeResult
 };
 
 ModeResult
-run(const Cxl0Model &model, const Case &c, bool reduce, bool reference)
+run(const Cxl0Model &model, const Case &c, bool reduce, bool reference,
+    size_t num_threads = 1)
 {
     ExploreOptions opts = c.options;
     opts.reduceTau = reduce;
+    opts.numThreads = num_threads;
     Explorer ex(model, c.program, opts);
     // Best of five: exploration is deterministic, so the fastest run
     // is the least-perturbed one and tracks best across machines.
@@ -153,9 +157,24 @@ main(int argc, char **argv)
         ModeResult fast = run(model, c, true, false);
         ModeResult noreduce = run(model, c, false, false);
         ModeResult ref = run(model, c, false, true);
+        // Threads series over the sharded frontier: the 1-thread
+        // entry is the sequential search `fast` already measured,
+        // 2/4 exercise cross-shard handoff. Outcome sets must not
+        // move.
+        const size_t thread_series[] = {1, 2, 4};
+        ModeResult threads[3];
+        threads[0] = fast;
+        bool threads_match = true;
+        for (size_t ti = 1; ti < 3; ++ti) {
+            threads[ti] =
+                run(model, c, true, false, thread_series[ti]);
+            threads_match &= !threads[ti].res.truncated &&
+                             threads[ti].res.outcomes ==
+                                 fast.res.outcomes;
+        }
 
         bool match = !fast.res.truncated && !noreduce.res.truncated &&
-                     !ref.res.truncated &&
+                     !ref.res.truncated && threads_match &&
                      fast.res.outcomes == ref.res.outcomes &&
                      noreduce.res.outcomes == ref.res.outcomes;
         all_match &= match;
@@ -173,17 +192,40 @@ main(int argc, char **argv)
                           fast.res.stats.peakVisitedBytes)
                 : 0;
 
+        double speedup_4t =
+            threads[0].configsPerSec > 0
+                ? threads[2].configsPerSec / threads[0].configsPerSec
+                : 0;
+
         json += "    \"" + c.name + "\": {\n";
         emitMode(&json, "interned", fast, false);
         emitMode(&json, "interned_noreduce", noreduce, false);
         emitMode(&json, "reference", ref, false);
-        char buf[256];
+        json += "      \"threads\": {\n";
+        for (size_t ti = 0; ti < 3; ++ti) {
+            char tbuf[256];
+            std::snprintf(
+                tbuf, sizeof tbuf,
+                "        \"%zu\": {\"configs\": %zu, "
+                "\"seconds\": %.6f, \"configs_per_sec\": %.0f, "
+                "\"outcomes\": %zu}%s\n",
+                thread_series[ti],
+                threads[ti].res.stats.configsVisited,
+                threads[ti].res.stats.seconds,
+                threads[ti].configsPerSec,
+                threads[ti].res.outcomes.size(),
+                ti + 1 < 3 ? "," : "");
+            json += tbuf;
+        }
+        json += "      },\n";
+        char buf[320];
         std::snprintf(buf, sizeof buf,
                       "      \"outcomes_match\": %s, "
                       "\"speedup_vs_reference\": %.2f, "
-                      "\"memory_ratio_vs_reference\": %.2f\n    }%s\n",
+                      "\"memory_ratio_vs_reference\": %.2f, "
+                      "\"speedup_4t_vs_1t\": %.2f\n    }%s\n",
                       match ? "true" : "false", speedup, mem_ratio,
-                      i + 1 < cases.size() ? "," : "");
+                      speedup_4t, i + 1 < cases.size() ? "," : "");
         json += buf;
     }
     json += "  },\n  \"all_outcomes_match\": ";

@@ -11,11 +11,13 @@
  * For every case two modes run:
  *   interned    the frame-interned engine search (the default)
  *   reference   the deep-copy seed algorithm
- * and the JSON reports configs/sec, peak visited-set bytes, interned
- * frame counts, verdicts, plus interned-vs-reference speedup and
- * memory ratios. Two gates make this a correctness/architecture
- * smoke check: verdicts must agree across modes on every case, and
- * the cases marked `standard_gate` (the standard-alphabet
+ * plus a threads series (numThreads = 1/2/4 over the sharded pair
+ * search), and the JSON reports configs/sec, peak visited-set bytes,
+ * interned frame counts, verdicts, interned-vs-reference speedup and
+ * memory ratios, and the 4-thread-vs-1-thread throughput ratio. Two
+ * gates make this a correctness/architecture smoke check: verdicts
+ * must agree across modes *and* across thread counts on every case,
+ * and the cases marked `standard_gate` (the standard-alphabet
  * depth-bounded runs of the ISSUE acceptance criteria) must show a
  * >= 2x peak-memory improvement from frame interning.
  */
@@ -63,12 +65,13 @@ struct ModeResult
 };
 
 ModeResult
-run(const Case &c, bool reference)
+run(const Case &c, bool reference, size_t num_threads = 1)
 {
     Cxl0Model spec(c.config, c.spec), impl(c.config, c.impl);
     Alphabet alphabet = Alphabet::standard(c.config);
     CheckRequest req;
     req.maxDepth = c.depth;
+    req.numThreads = num_threads;
     // Best of three: the search is deterministic, so the fastest run
     // is the least-perturbed one and tracks best across machines.
     ModeResult m;
@@ -159,7 +162,21 @@ main(int argc, char **argv)
         ModeResult fast = run(c, false);
         ModeResult ref = run(c, true);
 
-        bool match = fast.report.verdict == ref.report.verdict;
+        // Threads series: verdicts must be invariant across worker
+        // counts (the ISSUE determinism criterion at bench scale).
+        // The 1-thread entry is the `fast` run already measured.
+        const size_t thread_series[] = {1, 2, 4};
+        ModeResult threads[3];
+        threads[0] = fast;
+        bool threads_match = true;
+        for (size_t ti = 1; ti < 3; ++ti) {
+            threads[ti] = run(c, false, thread_series[ti]);
+            threads_match &= threads[ti].report.verdict ==
+                             fast.report.verdict;
+        }
+
+        bool match =
+            fast.report.verdict == ref.report.verdict && threads_match;
         all_match &= match;
 
         double speedup =
@@ -176,17 +193,40 @@ main(int argc, char **argv)
         bool gate_ok = !c.standardGate || mem_ratio >= 2.0;
         mem_gate &= gate_ok;
 
+        double speedup_4t =
+            threads[0].configsPerSec > 0
+                ? threads[2].configsPerSec / threads[0].configsPerSec
+                : 0;
+
         json += "    \"" + c.name + "\": {\n";
         emitMode(&json, "interned", fast, false);
         emitMode(&json, "reference", ref, false);
-        char buf[256];
+        json += "      \"threads\": {\n";
+        for (size_t ti = 0; ti < 3; ++ti) {
+            char tbuf[256];
+            std::snprintf(
+                tbuf, sizeof tbuf,
+                "        \"%zu\": {\"configs\": %zu, "
+                "\"seconds\": %.6f, \"configs_per_sec\": %.0f, "
+                "\"verdict\": \"%s\"}%s\n",
+                thread_series[ti],
+                threads[ti].report.stats.configsVisited,
+                threads[ti].report.stats.seconds,
+                threads[ti].configsPerSec,
+                checkVerdictName(threads[ti].report.verdict),
+                ti + 1 < 3 ? "," : "");
+            json += tbuf;
+        }
+        json += "      },\n";
+        char buf[320];
         std::snprintf(buf, sizeof buf,
                       "      \"verdicts_match\": %s, "
                       "\"speedup_vs_reference\": %.2f, "
                       "\"memory_ratio_vs_reference\": %.2f, "
+                      "\"speedup_4t_vs_1t\": %.2f, "
                       "\"standard_gate\": %s\n    }%s\n",
                       match ? "true" : "false", speedup, mem_ratio,
-                      c.standardGate ? "true" : "false",
+                      speedup_4t, c.standardGate ? "true" : "false",
                       i + 1 < cases.size() ? "," : "");
         json += buf;
     }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
+
+#include <sys/resource.h>
 
 #include "common/hashmix.hh"
 #include "common/logging.hh"
@@ -25,6 +28,31 @@ checkVerdictName(CheckVerdict v)
         return "inconclusive";
     }
     return "?";
+}
+
+void
+SearchStats::merge(const SearchStats &other)
+{
+    configsVisited += other.configsVisited;
+    configsInterned += other.configsInterned;
+    tauMovesSkipped += other.tauMovesSkipped;
+    peakVisitedBytes += other.peakVisitedBytes;
+    statesInterned = std::max(statesInterned, other.statesInterned);
+    framesInterned = std::max(framesInterned, other.framesInterned);
+    tableBytes = std::max(tableBytes, other.tableBytes);
+    processPeakRssBytes =
+        std::max(processPeakRssBytes, other.processPeakRssBytes);
+    seconds = std::max(seconds, other.seconds);
+}
+
+size_t
+processPeakRssBytes()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<size_t>(ru.ru_maxrss) * 1024;
 }
 
 std::string
@@ -182,81 +210,194 @@ ConfigFrontier::pop()
 }
 
 // ------------------------------------------------------------------
-// SearchEngine
+// ShardedFrontier
 // ------------------------------------------------------------------
 
-SearchEngine::SearchEngine(const Cxl0Model &model)
-    : model_(model),
+ShardedFrontier::ShardedFrontier(size_t nshards, FrontierPolicy policy)
+{
+    CXL0_ASSERT(nshards > 0, "a sharded frontier needs >= 1 shard");
+    shards_.reserve(nshards);
+    for (size_t i = 0; i < nshards; ++i)
+        shards_.push_back(std::make_unique<Shard>(policy));
+}
+
+void
+ShardedFrontier::send(size_t shard, const PackedConfig &c)
+{
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    Shard &sh = *shards_[shard];
+    {
+        std::lock_guard<std::mutex> lock(sh.m);
+        sh.inbox.push_back(c);
+    }
+    sh.cv.notify_one();
+}
+
+void
+ShardedFrontier::pushLocal(size_t w, const PackedConfig &c)
+{
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    shards_[w]->frontier.push(c);
+}
+
+void
+ShardedFrontier::stopAll()
+{
+    stop_.store(true, std::memory_order_release);
+    wakeAll();
+}
+
+void
+ShardedFrontier::wakeAll()
+{
+    for (auto &shard : shards_) {
+        {
+            std::lock_guard<std::mutex> lock(shard->m);
+        }
+        shard->cv.notify_all();
+    }
+}
+
+void
+runOnWorkers(size_t nworkers, const std::function<void(size_t)> &fn)
+{
+    if (nworkers <= 1) {
+        fn(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(nworkers - 1);
+    for (size_t w = 1; w < nworkers; ++w)
+        threads.emplace_back([&fn, w] { fn(w); });
+    fn(0);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+size_t
+ShardedFrontier::bytes(size_t w) const
+{
+    Shard &sh = *shards_[w];
+    // frontier and drain belong to worker w (the only legitimate
+    // caller); the inbox is shared with senders, so its capacity is
+    // read under the shard mutex.
+    size_t inbox_bytes;
+    {
+        std::lock_guard<std::mutex> lock(sh.m);
+        inbox_bytes = sh.inbox.capacity() * sizeof(PackedConfig);
+    }
+    return sh.frontier.bytes() + inbox_bytes +
+           sh.drain.capacity() * sizeof(PackedConfig);
+}
+
+// ------------------------------------------------------------------
+// ModelContext
+// ------------------------------------------------------------------
+
+ModelContext::ModelContext(const Cxl0Model &model)
+    : model_(model), numNodes_(model.config().numNodes()),
       states_(model.config().numNodes(), model.config().numAddrs()),
-      frames_(), scratch_(model.initialState()), work_(scratch_)
+      frames_()
 {
 }
 
-SearchEngine::StateSuccs &
-SearchEngine::succsFor(StateId s)
+ModelContext::~ModelContext()
 {
-    if (succs_.size() <= s)
-        succs_.resize(states_.size());
-    return succs_[s];
+    // Published tau memos are heap vectors; reclaim them. Walk only
+    // the segments that exist — never-touched slots are null.
+    tauMemo_.forEachAllocated([](std::atomic<TauVec *> &slot) {
+        delete slot.load(std::memory_order_acquire);
+    });
+}
+
+size_t
+ModelContext::bytes() const
+{
+    return states_.bytes() + frames_.bytes() + tauMemo_.bytes() +
+           crashMemo_.bytes() + closureMemo_.bytes() +
+           tauHeapBytes_.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// ShardEngine
+// ------------------------------------------------------------------
+
+ShardEngine::ShardEngine(ModelContext &ctx)
+    : ctx_(ctx), scratch_(ctx.model().initialState()), work_(scratch_)
+{
 }
 
 const std::vector<std::pair<Addr, StateId>> &
-SearchEngine::tauSuccessorsOf(StateId s)
+ShardEngine::tauSuccessorsOf(StateId s)
 {
-    StateSuccs &e = succsFor(s);
-    if (!e.tauDone) {
-        states_.materialize(s, scratch_);
-        model_.tauMoves(scratch_, moveBuf_);
-        std::vector<std::pair<Addr, StateId>> tau;
-        tau.reserve(moveBuf_.size());
-        for (const TauMove &m : moveBuf_) {
-            work_ = scratch_;
-            model_.applyTauInPlace(work_, m);
-            tau.emplace_back(m.addr, states_.intern(work_));
-        }
-        succHeapBytes_ +=
-            tau.capacity() * sizeof(std::pair<Addr, StateId>);
-        succs_[s].tau = std::move(tau);
-        succs_[s].tauDone = true;
+    std::atomic<ModelContext::TauVec *> &slot = ctx_.tauSlot(s);
+    ModelContext::TauVec *have =
+        slot.load(std::memory_order_acquire);
+    if (have)
+        return *have;
+
+    ctx_.states().materialize(s, scratch_);
+    ctx_.model().tauMoves(scratch_, moveBuf_);
+    auto *fresh = new ModelContext::TauVec;
+    fresh->reserve(moveBuf_.size());
+    for (const TauMove &m : moveBuf_) {
+        work_ = scratch_;
+        ctx_.model().applyTauInPlace(work_, m);
+        fresh->emplace_back(m.addr, ctx_.states().intern(work_));
     }
-    return succs_[s].tau;
+    ModelContext::TauVec *expected = nullptr;
+    if (slot.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        ctx_.tauHeapBytes_.fetch_add(
+            sizeof(ModelContext::TauVec) +
+                fresh->capacity() *
+                    sizeof(std::pair<Addr, StateId>),
+            std::memory_order_relaxed);
+        return *fresh;
+    }
+    // Another worker published the same answer first.
+    delete fresh;
+    return *expected;
 }
 
 StateId
-SearchEngine::crashSuccessorOf(StateId s, NodeId n)
+ShardEngine::crashSuccessorOf(StateId s, NodeId n)
 {
-    StateSuccs &e = succsFor(s);
-    if (e.crash.empty()) {
-        e.crash.assign(model_.config().numNodes(), kNoStateId);
-        succHeapBytes_ += e.crash.capacity() * sizeof(StateId);
-    }
-    if (e.crash[n] == kNoStateId) {
-        states_.materialize(s, scratch_);
-        model_.applyCrashInPlace(scratch_, n);
-        StateId succ = states_.intern(scratch_);
-        succs_[s].crash[n] = succ;
-        return succ;
-    }
-    return e.crash[n];
+    std::atomic<uint32_t> &slot = ctx_.crashSlot(s, n);
+    uint32_t enc = slot.load(std::memory_order_acquire);
+    if (enc)
+        return enc - 1;
+    ctx_.states().materialize(s, scratch_);
+    ctx_.model().applyCrashInPlace(scratch_, n);
+    StateId succ = ctx_.states().intern(scratch_);
+    // Racing workers compute the same successor and intern the same
+    // content, hence store the same id: publication is idempotent.
+    slot.store(succ + 1, std::memory_order_release);
+    return succ;
 }
 
 FrameId
-SearchEngine::closedSingleton(const State &s)
+ShardEngine::closedSingleton(const State &s)
 {
     idBuf_.clear();
-    idBuf_.push_back(states_.intern(s));
-    return tauClosureFrame(frames_.intern(idBuf_));
+    idBuf_.push_back(ctx_.states().intern(s));
+    return tauClosureFrame(ctx_.frames().intern(idBuf_));
 }
 
 FrameId
-SearchEngine::tauClosureOfRaw(std::vector<StateId> &ids)
+ShardEngine::tauClosureOfRaw(std::vector<StateId> &ids)
 {
     // BFS over the member states through the memoized per-state tau
     // successors. Mark states with an epoch stamp instead of a
-    // per-call set allocation.
-    ++epoch_;
-    if (mark_.size() < states_.size())
-        mark_.resize(states_.size(), 0);
+    // per-call set allocation. Epoch 0 means "never marked", so on
+    // wraparound the marks must be wiped before reuse.
+    if (++epoch_ == 0) {
+        std::fill(mark_.begin(), mark_.end(), 0);
+        epoch_ = 1;
+    }
+    if (mark_.size() < ctx_.states().size())
+        mark_.resize(ctx_.states().size(), 0);
     size_t keep = 0;
     for (StateId id : ids) {
         if (mark_[id] != epoch_) {
@@ -270,73 +411,79 @@ SearchEngine::tauClosureOfRaw(std::vector<StateId> &ids)
         for (const auto &[addr, succ] : tau) {
             (void)addr;
             if (mark_.size() <= succ)
-                mark_.resize(states_.size(), 0);
+                mark_.resize(ctx_.states().size(), 0);
             if (mark_[succ] != epoch_) {
                 mark_[succ] = epoch_;
                 ids.push_back(succ);
             }
         }
     }
-    return frames_.intern(ids);
+    return ctx_.frames().intern(ids);
 }
 
 FrameId
-SearchEngine::tauClosureFrame(FrameId f)
+ShardEngine::tauClosureFrame(FrameId f)
 {
-    if (f < closureMemo_.size() && closureMemo_[f] != kNoFrameId)
-        return closureMemo_[f];
+    std::atomic<uint32_t> &slot = ctx_.closureSlot(f);
+    uint32_t enc = slot.load(std::memory_order_acquire);
+    if (enc)
+        return enc - 1;
 
-    std::vector<StateId> result(frames_.begin(f), frames_.end(f));
+    std::vector<StateId> result(ctx_.frames().begin(f),
+                                ctx_.frames().end(f));
     FrameId closed = tauClosureOfRaw(result);
 
-    if (closureMemo_.size() < frames_.size())
-        closureMemo_.resize(frames_.size(), kNoFrameId);
-    closureMemo_[f] = closed;
-    closureMemo_[closed] = closed; // closure is idempotent
+    // Idempotent publication (racers compute the same closed frame),
+    // and closure is idempotent: the closed frame closes to itself.
+    slot.store(closed + 1, std::memory_order_release);
+    ctx_.closureSlot(closed).store(closed + 1,
+                                   std::memory_order_release);
     return closed;
 }
 
 bool
-SearchEngine::applyFrameRaw(FrameId f, const Label &label,
-                            std::vector<StateId> &out)
+ShardEngine::applyFrameRaw(FrameId f, const Label &label,
+                           std::vector<StateId> &out)
 {
     out.clear();
-    // The frame span stays put while only the state table grows (the
-    // frame arena is untouched during this loop).
-    const StateId *it = frames_.begin(f);
-    const StateId *last = frames_.end(f);
+    // The frame span's address is stable (segmented arena), so the
+    // span stays valid while the state table grows under it.
+    const StateId *it = ctx_.frames().begin(f);
+    const StateId *last = ctx_.frames().end(f);
     for (; it != last; ++it) {
-        states_.materialize(*it, scratch_);
-        if (model_.applyInPlace(scratch_, label))
-            out.push_back(states_.intern(scratch_));
+        ctx_.states().materialize(*it, scratch_);
+        if (ctx_.model().applyInPlace(scratch_, label))
+            out.push_back(ctx_.states().intern(scratch_));
     }
     return !out.empty();
 }
 
 FrameId
-SearchEngine::applyFrame(FrameId f, const Label &label)
+ShardEngine::applyFrame(FrameId f, const Label &label)
 {
     if (!applyFrameRaw(f, label, idBuf_))
         return kNoFrameId;
-    return frames_.intern(idBuf_);
+    return ctx_.frames().intern(idBuf_);
 }
 
 void
-SearchEngine::materializeFrame(FrameId f, std::vector<State> &out) const
+ShardEngine::materializeFrame(FrameId f, std::vector<State> &out) const
 {
     out.clear();
-    out.reserve(frames_.sizeOf(f));
-    const StateId *it = frames_.begin(f);
-    const StateId *last = frames_.end(f);
+    out.reserve(ctx_.frames().sizeOf(f));
+    const StateId *it = ctx_.frames().begin(f);
+    const StateId *last = ctx_.frames().end(f);
     for (; it != last; ++it)
-        out.push_back(states_.materialize(*it));
+        out.push_back(ctx_.states().materialize(*it));
 }
 
 bool
-SearchEngine::frameSubsumes(FrameId sup, FrameId sub) const
+ShardEngine::frameSubsumes(FrameId sup, FrameId sub) const
 {
-    const StateId *a = frames_.begin(sub), *ae = frames_.end(sub);
-    const StateId *b = frames_.begin(sup), *be = frames_.end(sup);
+    const StateId *a = ctx_.frames().begin(sub);
+    const StateId *ae = ctx_.frames().end(sub);
+    const StateId *b = ctx_.frames().begin(sup);
+    const StateId *be = ctx_.frames().end(sup);
     while (a != ae) {
         while (b != be && *b < *a)
             ++b;
@@ -348,14 +495,28 @@ SearchEngine::frameSubsumes(FrameId sup, FrameId sub) const
 }
 
 size_t
-SearchEngine::bytes() const
+ShardEngine::bytes() const
 {
-    // O(1): the memo heap total is maintained incrementally, so
-    // checkers can sample peak memory inside their hot loops.
-    return states_.bytes() + frames_.bytes() +
-           succs_.capacity() * sizeof(StateSuccs) + succHeapBytes_ +
-           closureMemo_.capacity() * sizeof(FrameId) +
-           mark_.capacity() * sizeof(uint32_t);
+    return mark_.capacity() * sizeof(uint32_t) +
+           idBuf_.capacity() * sizeof(StateId) +
+           moveBuf_.capacity() * sizeof(TauMove) +
+           2 * (scratch_.cacheLines().capacity() +
+                scratch_.memLines().capacity()) *
+               sizeof(Value);
+}
+
+// ------------------------------------------------------------------
+// SearchEngine
+// ------------------------------------------------------------------
+
+SearchEngine::SearchEngine(const Cxl0Model &model)
+    : SearchEngine(std::make_unique<ModelContext>(model))
+{
+}
+
+SearchEngine::SearchEngine(std::unique_ptr<ModelContext> ctx)
+    : ShardEngine(*ctx), own_(std::move(ctx))
+{
 }
 
 } // namespace cxl0::check

@@ -1,47 +1,69 @@
 /**
  * @file
- * The shared search engine and the unified Request/Report API.
+ * The shared search core and the unified Request/Report API.
  *
- * Every checker in src/check explores the same CXL0 LTS; what used to
- * differ was plumbing: the explorer had a private interned/packed hot
- * path, refinement deep-copied whole state-set frames per step, and
- * each checker invented its own options/stats/counterexample
- * vocabulary. This header extracts the common core:
+ * Every checker in src/check explores the same CXL0 LTS. Since the
+ * sharded-search refactor the core is split into three concurrency
+ * tiers:
  *
- *   - SearchEngine: one per model. Owns the interning tables
+ *   - ModelContext: the immutable-model, shared-mutable-table tier.
+ *     One per (model, search); owns the concurrent interning tables
  *     (model::StateTable for states, model::FrameTable for state-set
- *     frames), the reusable scratch states for in-place successor
- *     generation, and per-state memoized tau/crash successors. Frame
- *     operations (apply a label across a frame, tau-close a frame)
- *     work entirely over dense ids — no checker copies a
- *     vector<State> per search step anymore.
+ *     frames) and the once-per-state successor memos (tau moves,
+ *     crash successors, frame tau-closures) behind atomic
+ *     publish-once slots. Every worker thread of a parallel search
+ *     shares one ModelContext: a StateId/FrameId minted by any worker
+ *     is meaningful to all of them.
+ *
+ *   - ShardEngine: the per-worker tier. Holds the scratch states,
+ *     move buffers, and epoch-mark vectors one search worker needs to
+ *     generate successors in place; delegates all interning and memo
+ *     publication to its ModelContext. Construction is cheap — the
+ *     sharded drivers build one per worker thread.
+ *
+ *   - SearchEngine: the historical single-threaded facade, now
+ *     exactly a ModelContext bundled with one ShardEngine. Existing
+ *     callers (trace feasibility, enumeration, tests) keep working
+ *     unchanged.
  *
  *   - PackedConfig / FlatConfigSet / ConfigFrontier: the 32-byte POD
  *     configuration, the flat open-addressed visited set, and the
- *     frontier with a pluggable policy (DFS stack / BFS queue). The
- *     frontier is the sharding seam for the planned parallel
- *     explorer: a worker-per-shard design instantiates one frontier
- *     and one visited set per config-hash shard without touching the
- *     search logic.
+ *     per-shard frontier (DFS stack / BFS queue policy).
+ *     ShardedFrontier composes N per-shard frontiers with cross-shard
+ *     handoff inboxes and a pending-count termination barrier — the
+ *     parallel drivers in explorer.cc and refinement.cc run on it.
+ *
+ *   - FlatDepthMap: the open-addressed (key -> best depth) memo the
+ *     depth-bounded searches use for revisit pruning; one probe-loop
+ *     template shared by the engine and reference refinement paths.
  *
  *   - CheckRequest / CheckReport: the uniform vocabulary. A request
- *     carries budgets (configs, depth), reduction toggles, and crash
- *     settings; a report carries a verdict, outcome set, truncation
- *     flag, unified SearchStats, and a typed counterexample. All four
- *     checkers (Explorer, checkTraceFeasible, checkRefinement,
- *     checkTraceInclusion) speak this vocabulary; their historical
- *     entry points remain as thin shims.
+ *     carries budgets (configs, depth), reduction toggles, crash
+ *     settings, and the worker-thread count; a report carries a
+ *     verdict, outcome set, truncation flag, unified SearchStats, and
+ *     a typed counterexample. All four checkers (Explorer,
+ *     checkTraceFeasible, checkRefinement, checkTraceInclusion) speak
+ *     this vocabulary; their historical entry points remain as thin
+ *     shims. For runs that complete within their budgets, verdicts,
+ *     outcome sets, and counterexample existence are independent of
+ *     CheckRequest::numThreads by construction.
  */
 
 #ifndef CXL0_CHECK_ENGINE_HH
 #define CXL0_CHECK_ENGINE_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/segmented.hh"
 #include "model/label.hh"
 #include "model/semantics.hh"
 #include "model/state_table.hh"
@@ -75,9 +97,11 @@ struct CheckRequest
 {
     /**
      * Budget on distinct configurations (explorer: packed configs in
-     * the visited set; refinement: determinized frame pairs; trace
+     * the visited sets; refinement: determinized frame pairs; trace
      * checkers: interned states). Hitting it stops the search
-     * gracefully and sets CheckReport::truncated.
+     * gracefully and sets CheckReport::truncated. With multiple
+     * workers the cut is approximate (each worker observes the shared
+     * count without a barrier), but never silently dropped.
      */
     size_t maxConfigs = 2'000'000;
 
@@ -105,6 +129,24 @@ struct CheckRequest
 
     /** Frontier ordering (outcome sets are order-independent). */
     FrontierPolicy frontier = FrontierPolicy::DepthFirst;
+
+    /**
+     * Worker threads for the sharded search. 1 (the default)
+     * reproduces the single-threaded search exactly — same pop
+     * order, same stats, no thread is spawned. N > 1 partitions
+     * configurations by hash across N shard workers over one shared
+     * ModelContext. For searches that complete within their budgets,
+     * verdicts, outcome sets, and counterexample *existence* are
+     * independent of this setting; wall-clock, the division of
+     * per-worker stats, and which counterexample is reported first
+     * are not. A run cut by maxConfigs is the exception: the
+     * scheduling decides which configurations fit under the budget,
+     * so truncated partial results (and with them the
+     * Pass-vs-Inconclusive line) can move with the worker count.
+     * Checkers whose search is a single serialized chain (trace
+     * feasibility) accept the field and run one worker.
+     */
+    size_t numThreads = 1;
 };
 
 /** Three-valued verdict shared by every checker. */
@@ -118,7 +160,18 @@ enum class CheckVerdict
 /** "pass" / "fail" / "inconclusive". */
 const char *checkVerdictName(CheckVerdict v);
 
-/** Counters describing one search run, shared by all checkers. */
+/**
+ * Counters describing one search run, shared by all checkers.
+ *
+ * Memory accounting is split so parallel runs do not double-count:
+ * `peakVisitedBytes` covers what a worker *owns* (visited set,
+ * frontier share, scratch) and is summed across workers by merge();
+ * `tableBytes` covers the *shared* arenas (state/frame/register
+ * tables, successor memos) and is counted once per report (merge
+ * takes the max, the drivers then fold it into the total exactly
+ * once). `processPeakRssBytes` is the kernel's view of the whole
+ * process, sampled at report finalization.
+ */
 struct SearchStats
 {
     /** Configurations (or frames) popped and expanded. */
@@ -129,13 +182,30 @@ struct SearchStats
     size_t statesInterned = 0;
     /** Distinct state-set frames in the frame table(s). */
     size_t framesInterned = 0;
-    /** Resident bytes of visited set + tables + frontier (peak). */
+    /** Resident bytes of visited set + tables + frontier (peak).
+     *  Inside a worker's partial stats: worker-owned bytes only. */
     size_t peakVisitedBytes = 0;
+    /** Arena-owned bytes of the shared tables/memos, counted once. */
+    size_t tableBytes = 0;
+    /** Peak resident set size of the whole process (ru_maxrss). */
+    size_t processPeakRssBytes = 0;
     /** Tau successors pruned by the footprint reduction. */
     size_t tauMovesSkipped = 0;
     /** Wall-clock seconds inside the checker. */
     double seconds = 0.0;
+
+    /**
+     * Fold another worker's partial stats into this one: per-worker
+     * counters (configs visited/interned, tau skips, worker-owned
+     * peak bytes) add; shared-table quantities (states/frames
+     * interned, tableBytes, process peak) and concurrent wall-clock
+     * take the max.
+     */
+    void merge(const SearchStats &other);
 };
+
+/** Peak resident set size of this process, in bytes (getrusage). */
+size_t processPeakRssBytes();
 
 /** A typed counterexample: a label trace and/or a description. */
 struct Counterexample
@@ -194,7 +264,9 @@ struct CheckReport
  * interned id or a fixed-width bitfield word, so the visited set and
  * the frontier hold 32-byte PODs instead of multi-vector objects.
  * The field names follow the explorer's use; other checkers may
- * repurpose the slots (documented at their packing site).
+ * repurpose the slots (documented at their packing site — refinement
+ * packs {spec frame, impl frame, trace node, depth, budgets} into
+ * {state, regs, pc, alive, crash}).
  */
 struct PackedConfig
 {
@@ -217,7 +289,7 @@ uint64_t hashPacked(const PackedConfig &c);
  * Open-addressed set of PackedConfigs (linear probing, power-of-two
  * capacity, no deletion). Entries with state == kNoStateId are empty
  * slots; real configs always carry a valid interned id. One instance
- * per shard in the planned parallel frontier.
+ * per shard worker; never shared across threads.
  */
 class FlatConfigSet
 {
@@ -245,10 +317,124 @@ class FlatConfigSet
 };
 
 /**
+ * Open-addressed (key -> deepest remaining depth) memo for the
+ * depth-bounded searches: a revisit of `key` with remaining depth no
+ * greater than the recorded one cannot reach anything new and is
+ * pruned. One probe-loop template serves both the frame-interned
+ * refinement search (Key = the frame-pair key) and the deep-copy
+ * reference search (Key = a 64-bit frame hash). Not thread-safe: one
+ * instance per shard worker.
+ */
+template <typename Key, typename HashFn>
+class FlatDepthMap
+{
+  public:
+    enum class Outcome
+    {
+        Inserted, //!< fresh key recorded
+        Raised,   //!< key existed with a shallower remaining depth
+        Pruned,   //!< key existed at least this deep — skip expansion
+        Rejected, //!< fresh key, but allow_insert was false (budget)
+    };
+
+    /** depthOf() result when the key was never recorded. */
+    static constexpr uint32_t kNoDepth = static_cast<uint32_t>(-1);
+
+    FlatDepthMap()
+        : keys_(kInitialSlots), depths_(kInitialSlots, kEmptyDepth),
+          mask_(kInitialSlots - 1)
+    {
+    }
+
+    /**
+     * The one probe loop: find `key`; prune or raise when present,
+     * insert when absent and allowed. `depth` is the *remaining*
+     * search depth (must stay below 2^32 - 1).
+     */
+    Outcome insertOrRaise(const Key &key, uint32_t depth,
+                          bool allow_insert)
+    {
+        size_t i = HashFn{}(key)&mask_;
+        while (depths_[i] != kEmptyDepth) {
+            if (keys_[i] == key) {
+                if (depths_[i] >= depth)
+                    return Outcome::Pruned;
+                depths_[i] = depth;
+                return Outcome::Raised;
+            }
+            i = (i + 1) & mask_;
+        }
+        if (!allow_insert)
+            return Outcome::Rejected;
+        keys_[i] = key;
+        depths_[i] = depth;
+        ++count_;
+        // Keep the load factor below ~0.7 so probes stay short.
+        if ((count_ + 1) * 10 > keys_.size() * 7)
+            grow();
+        return Outcome::Inserted;
+    }
+
+    /**
+     * The remaining depth recorded for `key`, or kNoDepth when
+     * absent. Once a search has drained, the recorded value is the
+     * *maximal* remaining depth the key was ever reached with — an
+     * order-independent quantity (every deeper rediscovery raises
+     * it), which is what makes post-hoc filtering on it
+     * deterministic.
+     */
+    uint32_t depthOf(const Key &key) const
+    {
+        size_t i = HashFn{}(key)&mask_;
+        while (depths_[i] != kEmptyDepth) {
+            if (keys_[i] == key)
+                return depths_[i];
+            i = (i + 1) & mask_;
+        }
+        return kNoDepth;
+    }
+
+    size_t size() const { return count_; }
+
+    size_t bytes() const
+    {
+        return keys_.capacity() * sizeof(Key) +
+               depths_.capacity() * sizeof(uint32_t);
+    }
+
+  private:
+    static constexpr size_t kInitialSlots = 16;
+    static constexpr uint32_t kEmptyDepth = kNoDepth;
+
+    void grow()
+    {
+        std::vector<Key> keys(keys_.size() * 2);
+        std::vector<uint32_t> depths(keys.size(), kEmptyDepth);
+        size_t mask = keys.size() - 1;
+        for (size_t j = 0; j < keys_.size(); ++j) {
+            if (depths_[j] == kEmptyDepth)
+                continue;
+            size_t i = HashFn{}(keys_[j]) & mask;
+            while (depths[i] != kEmptyDepth)
+                i = (i + 1) & mask;
+            keys[i] = keys_[j];
+            depths[i] = depths_[j];
+        }
+        keys_ = std::move(keys);
+        depths_ = std::move(depths);
+        mask_ = mask;
+    }
+
+    std::vector<Key> keys_;
+    std::vector<uint32_t> depths_;
+    size_t mask_;
+    size_t count_ = 0;
+};
+
+/**
  * The set of configurations awaiting expansion, behind a policy seam:
- * DFS uses a contiguous stack, BFS a deque. A future sharded parallel
- * frontier drops in per-shard instances keyed by config hash without
- * changing any search loop.
+ * DFS uses a contiguous stack, BFS a deque. One instance per shard;
+ * ShardedFrontier composes N of them with handoff inboxes.
  */
 class ConfigFrontier
 {
@@ -288,6 +474,139 @@ class ConfigFrontier
     std::vector<PackedConfig> stack_;
     std::deque<PackedConfig> queue_;
 };
+
+/**
+ * N per-shard frontiers with cross-shard handoff and termination
+ * detection — the spine of every parallel search here.
+ *
+ * Ownership: shard w's frontier is touched only by worker w. A
+ * successor owned by another shard is send()t to that shard's
+ * mutex-guarded inbox; pop() drains the inbox into the local frontier
+ * (through the caller's admission filter, which dedups and applies
+ * budgets) before it ever blocks.
+ *
+ * Termination: `pending_` counts configurations that are queued
+ * anywhere or currently being expanded. Every push/send increments
+ * it; the worker calls done() exactly once per popped (or rejected)
+ * configuration after its successors are enqueued — so pending_ can
+ * only reach zero when no work exists and none can appear. The
+ * worker that decrements it to zero wakes every sleeper.
+ *
+ * With one shard this degenerates to exactly the single frontier the
+ * sequential searches always used: same push/pop order, no locking
+ * on the hot path beyond two uncontended atomics.
+ */
+class ShardedFrontier
+{
+  public:
+    ShardedFrontier(size_t nshards, FrontierPolicy policy);
+
+    size_t shards() const { return shards_.size(); }
+
+    /** Owning shard of a configuration hash (multiply-shift). */
+    size_t ownerOf(uint64_t hash) const
+    {
+        return static_cast<size_t>(((hash >> 32) * shards_.size()) >>
+                                   32);
+    }
+
+    /** Cross-shard handoff; any thread. Counts as pending work. */
+    void send(size_t shard, const PackedConfig &c);
+
+    /** Push onto worker w's own frontier; only worker w (or the
+     *  driver before the workers start). Counts as pending work. */
+    void pushLocal(size_t w, const PackedConfig &c);
+
+    /**
+     * Next configuration for worker w. Inbox arrivals pass through
+     * `admit` (dedup + budget) before entering the frontier; a
+     * rejected arrival is accounted done automatically. Blocks until
+     * work arrives; returns false on global termination or stop.
+     * Every true return must be matched by one done() call.
+     */
+    template <typename Admit>
+    bool pop(size_t w, PackedConfig &out, Admit &&admit)
+    {
+        Shard &sh = *shards_[w];
+        for (;;) {
+            if (stopped())
+                return false;
+            if (!sh.frontier.empty()) {
+                out = sh.frontier.pop();
+                return true;
+            }
+            {
+                std::unique_lock<std::mutex> lock(sh.m);
+                if (sh.inbox.empty()) {
+                    if (pending_.load(std::memory_order_acquire) == 0)
+                        return false;
+                    sh.cv.wait(lock, [&] {
+                        return !sh.inbox.empty() ||
+                               pending_.load(
+                                   std::memory_order_acquire) == 0 ||
+                               stopped();
+                    });
+                    if (sh.inbox.empty())
+                        continue; // re-check stop/termination
+                }
+                sh.drain.clear();
+                sh.drain.swap(sh.inbox);
+            }
+            for (const PackedConfig &c : sh.drain) {
+                if (admit(c))
+                    sh.frontier.push(c);
+                else
+                    done();
+            }
+        }
+    }
+
+    /** One popped configuration is fully expanded (or rejected). */
+    void done()
+    {
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            wakeAll();
+    }
+
+    /** Abort the search everywhere (violation found, fail fast). */
+    void stopAll();
+
+    bool stopped() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /** Resident bytes of shard w's frontier + inbox. */
+    size_t bytes(size_t w) const;
+
+  private:
+    struct alignas(64) Shard
+    {
+        explicit Shard(FrontierPolicy policy) : frontier(policy) {}
+
+        std::mutex m;
+        std::condition_variable cv;
+        std::vector<PackedConfig> inbox; //!< guarded by m
+        ConfigFrontier frontier;         //!< owner-thread only
+        std::vector<PackedConfig> drain; //!< owner-thread only
+    };
+
+    void wakeAll();
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<size_t> pending_{0};
+    std::atomic<bool> stop_{false};
+};
+
+/**
+ * Run `fn(w)` for w in [0, nworkers): worker 0 inline on the calling
+ * thread, the rest on std::threads, joined before returning. One
+ * worker spawns nothing — the shared scaffold of every sharded
+ * driver here (a panic inside a spawned worker still terminates; the
+ * drivers validate all inputs before fanning out).
+ */
+void runOnWorkers(size_t nworkers,
+                  const std::function<void(size_t)> &fn);
 
 /**
  * Fixed-width per-index bitfields packed into one 64-bit word: the
@@ -332,19 +651,30 @@ class BitfieldWord
 };
 
 // ===================================================================
-// SearchEngine
+// ModelContext / ShardEngine / SearchEngine
 // ===================================================================
 
 /**
- * The reusable search core, one per (model, search). Construction is
- * cheap; tables grow on demand. Not thread-safe: the planned parallel
- * explorer shards configurations and gives each worker its own
- * engine.
+ * The shared tier of a search: the model reference, the concurrent
+ * interning tables, and the once-per-state successor memos. One per
+ * (model, search); every ShardEngine of that search points here.
+ *
+ * Memo discipline: each memo slot is an atomic that starts unset and
+ * is published exactly once with a value that is a pure function of
+ * shared content (the successor *states* of an interned state do not
+ * depend on which worker asks). Two workers racing on the same slot
+ * both compute the same answer; the loser's duplicate work is the
+ * only cost, and the winner's publication carries release/acquire
+ * ordering so the interned content behind the ids is visible.
  */
-class SearchEngine
+class ModelContext
 {
   public:
-    explicit SearchEngine(const Cxl0Model &model);
+    explicit ModelContext(const Cxl0Model &model);
+    ~ModelContext();
+
+    ModelContext(const ModelContext &) = delete;
+    ModelContext &operator=(const ModelContext &) = delete;
 
     const Cxl0Model &model() const { return model_; }
     model::StateTable &states() { return states_; }
@@ -352,21 +682,90 @@ class SearchEngine
     model::FrameTable &frames() { return frames_; }
     const model::FrameTable &frames() const { return frames_; }
 
+    /** Arena-owned bytes of the tables and memos (shared; report
+     *  once per search, not once per worker). */
+    size_t bytes() const;
+
+    /** Fill the shared-table fields of a SearchStats. */
+    void fillStats(SearchStats &stats) const
+    {
+        stats.statesInterned = states_.size();
+        stats.framesInterned = frames_.size();
+    }
+
+  private:
+    friend class ShardEngine;
+
+    /** Tau successors of one interned state, published once. */
+    using TauVec = std::vector<std::pair<Addr, StateId>>;
+
+    std::atomic<TauVec *> &tauSlot(StateId s)
+    {
+        tauMemo_.ensure(s + 1);
+        return tauMemo_[s];
+    }
+
+    /** Crash successor slots store id + 1 (0 = unset). */
+    std::atomic<uint32_t> &crashSlot(StateId s, NodeId n)
+    {
+        size_t i = static_cast<size_t>(s) * numNodes_ + n;
+        crashMemo_.ensure(i + 1);
+        return crashMemo_[i];
+    }
+
+    /** Closure slots store closed-frame id + 1 (0 = unset). */
+    std::atomic<uint32_t> &closureSlot(FrameId f)
+    {
+        closureMemo_.ensure(f + 1);
+        return closureMemo_[f];
+    }
+
+    const Cxl0Model &model_;
+    const size_t numNodes_;
+    model::StateTable states_;
+    model::FrameTable frames_;
+    SegmentedArray<std::atomic<TauVec *>, 6> tauMemo_;
+    SegmentedArray<std::atomic<uint32_t>, 6> crashMemo_;
+    SegmentedArray<std::atomic<uint32_t>, 6> closureMemo_;
+    std::atomic<size_t> tauHeapBytes_{0}; //!< published TauVec heap
+};
+
+/**
+ * The per-worker tier: scratch buffers for in-place successor
+ * generation over a shared ModelContext. Not thread-safe — one per
+ * worker thread — but any number of ShardEngines may share one
+ * context concurrently.
+ */
+class ShardEngine
+{
+  public:
+    explicit ShardEngine(ModelContext &ctx);
+
+    ModelContext &context() { return ctx_; }
+    const ModelContext &context() const { return ctx_; }
+
+    const Cxl0Model &model() const { return ctx_.model(); }
+    model::StateTable &states() { return ctx_.states(); }
+    const model::StateTable &states() const { return ctx_.states(); }
+    model::FrameTable &frames() { return ctx_.frames(); }
+    const model::FrameTable &frames() const { return ctx_.frames(); }
+
     /** Intern one state. */
-    StateId internState(const State &s) { return states_.intern(s); }
+    StateId internState(const State &s)
+    {
+        return ctx_.states().intern(s);
+    }
 
     /** Rebuild state `id` into `out` (no allocation). */
     void materializeState(StateId id, State &out) const
     {
-        states_.materialize(id, out);
+        ctx_.states().materialize(id, out);
     }
 
     /**
      * Tau successor states of `s`, as (address moved, successor id)
-     * pairs, computed once per interned state. The reference is only
-     * valid until the next tauSuccessorsOf/crashSuccessorOf call
-     * (either may grow the memo vector); copy it out before asking
-     * about another state.
+     * pairs, computed once per interned state across all workers.
+     * The returned reference is stable for the context's lifetime.
      */
     const std::vector<std::pair<Addr, StateId>> &
     tauSuccessorsOf(StateId s);
@@ -380,7 +779,7 @@ class SearchEngine
      */
     FrameId internFrame(std::vector<StateId> &ids)
     {
-        return frames_.intern(ids);
+        return ctx_.frames().intern(ids);
     }
 
     /** The tau closure of a single state, as an interned frame. */
@@ -427,42 +826,47 @@ class SearchEngine
      */
     bool frameSubsumes(FrameId sup, FrameId sub) const;
 
-    /** Resident bytes of the tables and memos. */
+    /** Worker-owned resident bytes (scratch buffers and marks). */
     size_t bytes() const;
 
     /** Fill the table-derived fields of a SearchStats. */
     void fillStats(SearchStats &stats) const
     {
-        stats.statesInterned = states_.size();
-        stats.framesInterned = frames_.size();
+        ctx_.fillStats(stats);
     }
 
   private:
-    /** Per-state successor memo: tau and crash successor *states*
-     *  depend only on the model state, so every configuration sharing
-     *  the state reuses the ids. */
-    struct StateSuccs
-    {
-        bool tauDone = false;
-        std::vector<std::pair<Addr, StateId>> tau;
-        /** Successor of a crash of node n, kNoStateId = uncomputed. */
-        std::vector<StateId> crash;
-    };
-
-    StateSuccs &succsFor(StateId s);
-
-    const Cxl0Model &model_;
-    model::StateTable states_;
-    model::FrameTable frames_;
+    ModelContext &ctx_;
     State scratch_; //!< materialization / apply buffer
     State work_;    //!< successor under mutation
     std::vector<model::TauMove> moveBuf_;
-    std::vector<StateSuccs> succs_;
-    size_t succHeapBytes_ = 0; //!< memo heap, tracked so bytes() is O(1)
-    std::vector<FrameId> closureMemo_; //!< FrameId -> closed FrameId
     std::vector<StateId> idBuf_;       //!< frame assembly scratch
     std::vector<uint32_t> mark_;       //!< epoch marks over StateIds
     uint32_t epoch_ = 0;
+};
+
+/**
+ * The historical single-threaded engine: one ModelContext bundled
+ * with one ShardEngine. Construction is cheap; tables grow on demand.
+ * The sharded drivers do not use this — they build one context and N
+ * ShardEngines — but sequential checkers and tests keep the familiar
+ * one-object surface.
+ */
+class SearchEngine : public ShardEngine
+{
+  public:
+    explicit SearchEngine(const Cxl0Model &model);
+
+    /** Resident bytes of the tables, memos, and scratch. */
+    size_t bytes() const
+    {
+        return context().bytes() + ShardEngine::bytes();
+    }
+
+  private:
+    explicit SearchEngine(std::unique_ptr<ModelContext> ctx);
+
+    std::unique_ptr<ModelContext> own_;
 };
 
 } // namespace cxl0::check

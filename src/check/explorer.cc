@@ -1,8 +1,11 @@
 #include "check/explorer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <deque>
+#include <thread>
 #include <unordered_set>
 
 #include "common/hashmix.hh"
@@ -199,6 +202,33 @@ Explorer::Explorer(const Cxl0Model &model, Program program,
     }
 }
 
+namespace
+{
+
+/** Per-worker state of the sharded explorer search. */
+struct ExplorerWorker
+{
+    ExplorerWorker(ModelContext &ctx, const State &init,
+                   size_t reg_stride)
+        : eng(ctx), scratch(init), work(init),
+          curRegs(reg_stride, 0), regBuf(reg_stride, 0)
+    {
+    }
+
+    ShardEngine eng;
+    FlatConfigSet visited;
+    /** (register-file id, crashed mask) pairs already emitted as
+     *  outcomes; lets done configurations skip materialization. */
+    std::unordered_set<uint64_t> emitted;
+    CheckReport partial;
+    State scratch; //!< current config's state
+    State work;    //!< successor under mutation
+    std::vector<Value> curRegs;
+    std::vector<Value> regBuf;
+};
+
+} // namespace
+
 CheckReport
 Explorer::check() const
 {
@@ -208,6 +238,7 @@ Explorer::check() const
     const size_t naddrs = model_.config().numAddrs();
     const size_t nregs = static_cast<size_t>(
         std::max(program_.numRegs, 0));
+    const size_t nworkers = std::max<size_t>(request_.numThreads, 1);
 
     // ---- bitfield layout of the packed configuration ------------------
     size_t max_len = 0;
@@ -254,16 +285,11 @@ Explorer::check() const
         }
     }
 
-    // ---- engine, register interning, and scratch buffers --------------
+    // ---- shared context, register interning, sharded frontier ---------
     CheckReport res;
-    SearchEngine engine(model_);
+    ModelContext ctx(model_);
     const size_t reg_stride = std::max<size_t>(nthreads * nregs, 1);
     ValueSpanTable reg_files(reg_stride);
-
-    State scratch = model_.initialState(); // current config's state
-    State work = scratch;                  // successor under mutation
-    std::vector<Value> cur_regs(reg_stride, 0);
-    std::vector<Value> reg_buf(reg_stride, 0);
 
     const uint32_t all_alive =
         nthreads >= 32 ? ~0u : (1u << nthreads) - 1;
@@ -279,153 +305,207 @@ Explorer::check() const
             crash0 = budgetw.set(crash0, n, budget[n]);
     }
 
+    // One worker per shard, sharing the context and register table.
+    std::deque<ExplorerWorker> workers;
+    const State init_state = model_.initialState();
+    for (size_t w = 0; w < nworkers; ++w)
+        workers.emplace_back(ctx, init_state, reg_stride);
+
     PackedConfig init;
-    init.state = engine.internState(scratch);
+    init.state = workers[0].eng.internState(init_state);
     init.regs = reg_files.intern(
-        cur_regs.data(), model::hashValueSpan(cur_regs.data(),
-                                              reg_stride));
+        workers[0].curRegs.data(),
+        model::hashValueSpan(workers[0].curRegs.data(), reg_stride));
     init.alive = all_alive;
     init.crash = crash0;
 
-    FlatConfigSet visited;
-    ConfigFrontier frontier(request_.frontier);
-    frontier.push(init);
-    visited.insert(init);
-    // (register-file id, crashed mask) pairs already emitted as
-    // outcomes; lets done configurations skip Outcome materialization.
-    std::unordered_set<uint64_t> emitted;
+    ShardedFrontier sf(nworkers, request_.frontier);
+    std::atomic<size_t> total_visited{0};
 
-    auto push = [&](const PackedConfig &c) {
-        if (visited.size() >= request_.maxConfigs) {
-            // Only a genuinely new configuration is being dropped; a
-            // duplicate would have been ignored anyway, so a search
-            // that exactly fills the budget still reports complete.
-            if (!visited.contains(c))
-                res.truncated = true;
-            return;
-        }
-        if (visited.insert(c))
-            frontier.push(c);
-    };
-
-    while (!frontier.empty()) {
-        PackedConfig cur = frontier.pop();
-        ++res.stats.configsVisited;
-
-        engine.materializeState(cur.state, scratch);
-        // Copy the register span: interning a successor's file may
-        // grow the arena and invalidate pointers into it.
-        std::copy(reg_files.at(cur.regs),
-                  reg_files.at(cur.regs) + reg_stride, cur_regs.begin());
-
-        bool done = true;
-        for (size_t t = 0; t < nthreads; ++t) {
-            if ((cur.alive >> t & 1) &&
-                pcOf(cur.pc, t) < program_.threads[t].code.size()) {
-                done = false;
-                break;
-            }
-        }
-        if (done) {
-            uint32_t crashed = all_alive & ~cur.alive;
-            uint64_t key =
-                (static_cast<uint64_t>(cur.regs) << 32) | crashed;
-            if (emitted.insert(key).second) {
-                Outcome out;
-                out.regs.resize(nthreads);
-                for (size_t t = 0; t < nthreads; ++t)
-                    out.regs[t].assign(
-                        cur_regs.begin() + t * nregs,
-                        cur_regs.begin() + (t + 1) * nregs);
-                out.crashedThreads = crashed;
-                res.outcomes.insert(std::move(out));
-            }
-            // Tau and crash steps past completion cannot change the
-            // registers, so this configuration is final.
-            continue;
-        }
-
-        // Thread steps.
-        for (size_t t = 0; t < nthreads; ++t) {
-            if (!(cur.alive >> t & 1))
-                continue;
-            const ProgThread &thread = program_.threads[t];
-            size_t pc = pcOf(cur.pc, t);
-            if (pc >= thread.code.size())
-                continue;
-            work = scratch;
-            StepEffect eff =
-                stepInstrInPlace(model_, thread.code[pc], thread.node,
-                                 cur_regs.data() + t * nregs, work);
-            if (!eff.enabled)
-                continue;
-            PackedConfig next = cur;
-            next.state = engine.internState(work);
-            next.pc = pcw.set(cur.pc, t, pc + 1);
-            size_t slot = t * nregs + eff.destReg;
-            if (eff.destReg >= 0 && cur_regs[slot] != eff.destVal) {
-                reg_buf = cur_regs;
-                reg_buf[slot] = eff.destVal;
-                next.regs = reg_files.intern(
-                    reg_buf.data(),
-                    model::updateValueSpanHash(
-                        reg_files.hashOf(cur.regs), slot,
-                        cur_regs[slot], eff.destVal));
-            }
-            push(next);
-        }
-
-        // Silent propagation steps (successor states memoized per
-        // interned state by the engine).
-        const auto &tau = engine.tauSuccessorsOf(cur.state);
-        if (!tau.empty()) {
-            uint64_t live_mask = 0;
-            bool future_gpf = false;
-            if (can_reduce) {
-                for (size_t t = 0; t < nthreads; ++t) {
-                    if (!(cur.alive >> t & 1))
-                        continue;
-                    size_t pc = pcOf(cur.pc, t);
-                    live_mask |= addr_mask[t][pc];
-                    future_gpf |= gpf_after[t][pc] != 0;
-                }
-            }
-            for (const auto &[addr, succ] : tau) {
-                if (can_reduce && !future_gpf &&
-                    !(live_mask >> addr & 1)) {
-                    ++res.stats.tauMovesSkipped;
-                    continue;
-                }
-                PackedConfig next = cur;
-                next.state = succ;
-                push(next);
-            }
-        }
-
-        // Crash steps (successor states memoized per (state, node);
-        // nodes that can never crash under the request are never
-        // interned).
-        for (size_t n = 0; n < nnodes; ++n) {
-            int budget = static_cast<int>(budgetw.get(cur.crash, n));
-            if (budget <= 0)
-                continue;
-            PackedConfig next = cur;
-            next.state = engine.crashSuccessorOf(
-                cur.state, static_cast<NodeId>(n));
-            next.crash = budgetw.set(cur.crash, n, budget - 1);
-            for (size_t t = 0; t < nthreads; ++t)
-                if (program_.threads[t].node == n)
-                    next.alive &= ~(1u << t);
-            push(next);
-        }
+    {
+        size_t owner = sf.ownerOf(hashPacked(init));
+        workers[owner].visited.insert(init);
+        total_visited.store(1, std::memory_order_relaxed);
+        sf.pushLocal(owner, init);
     }
 
+    auto run_worker = [&](size_t w) {
+        ExplorerWorker &me = workers[w];
+        State &scratch = me.scratch;
+        State &work = me.work;
+        std::vector<Value> &cur_regs = me.curRegs;
+        std::vector<Value> &reg_buf = me.regBuf;
+
+        // Owner-side admission: dedup against this shard's visited
+        // set under the shared config budget. With one worker this is
+        // exactly the sequential push rule.
+        auto admit = [&](const PackedConfig &c) {
+            if (total_visited.load(std::memory_order_relaxed) >=
+                request_.maxConfigs) {
+                // Only a genuinely new configuration is being
+                // dropped; a duplicate would have been ignored
+                // anyway, so a search that exactly fills the budget
+                // still reports complete.
+                if (!me.visited.contains(c))
+                    me.partial.truncated = true;
+                return false;
+            }
+            if (!me.visited.insert(c))
+                return false;
+            total_visited.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        };
+        auto push = [&](const PackedConfig &c) {
+            size_t owner = sf.ownerOf(hashPacked(c));
+            if (owner == w) {
+                if (admit(c))
+                    sf.pushLocal(w, c);
+            } else {
+                sf.send(owner, c);
+            }
+        };
+
+        PackedConfig cur;
+        while (sf.pop(w, cur, admit)) {
+            ++me.partial.stats.configsVisited;
+
+            me.eng.materializeState(cur.state, scratch);
+            // Copy the register span out of the shared table before
+            // interning successors into it.
+            std::copy(reg_files.at(cur.regs),
+                      reg_files.at(cur.regs) + reg_stride,
+                      cur_regs.begin());
+
+            bool done = true;
+            for (size_t t = 0; t < nthreads; ++t) {
+                if ((cur.alive >> t & 1) &&
+                    pcOf(cur.pc, t) < program_.threads[t].code.size()) {
+                    done = false;
+                    break;
+                }
+            }
+            if (done) {
+                uint32_t crashed = all_alive & ~cur.alive;
+                uint64_t key =
+                    (static_cast<uint64_t>(cur.regs) << 32) | crashed;
+                if (me.emitted.insert(key).second) {
+                    Outcome out;
+                    out.regs.resize(nthreads);
+                    for (size_t t = 0; t < nthreads; ++t)
+                        out.regs[t].assign(
+                            cur_regs.begin() + t * nregs,
+                            cur_regs.begin() + (t + 1) * nregs);
+                    out.crashedThreads = crashed;
+                    me.partial.outcomes.insert(std::move(out));
+                }
+                // Tau and crash steps past completion cannot change
+                // the registers, so this configuration is final.
+                sf.done();
+                continue;
+            }
+
+            // Thread steps.
+            for (size_t t = 0; t < nthreads; ++t) {
+                if (!(cur.alive >> t & 1))
+                    continue;
+                const ProgThread &thread = program_.threads[t];
+                size_t pc = pcOf(cur.pc, t);
+                if (pc >= thread.code.size())
+                    continue;
+                work = scratch;
+                StepEffect eff = stepInstrInPlace(
+                    model_, thread.code[pc], thread.node,
+                    cur_regs.data() + t * nregs, work);
+                if (!eff.enabled)
+                    continue;
+                PackedConfig next = cur;
+                next.state = me.eng.internState(work);
+                next.pc = pcw.set(cur.pc, t, pc + 1);
+                size_t slot = t * nregs + eff.destReg;
+                if (eff.destReg >= 0 &&
+                    cur_regs[slot] != eff.destVal) {
+                    reg_buf = cur_regs;
+                    reg_buf[slot] = eff.destVal;
+                    next.regs = reg_files.intern(
+                        reg_buf.data(),
+                        model::updateValueSpanHash(
+                            reg_files.hashOf(cur.regs), slot,
+                            cur_regs[slot], eff.destVal));
+                }
+                push(next);
+            }
+
+            // Silent propagation steps (successor states memoized
+            // once per interned state across all workers).
+            const auto &tau = me.eng.tauSuccessorsOf(cur.state);
+            if (!tau.empty()) {
+                uint64_t live_mask = 0;
+                bool future_gpf = false;
+                if (can_reduce) {
+                    for (size_t t = 0; t < nthreads; ++t) {
+                        if (!(cur.alive >> t & 1))
+                            continue;
+                        size_t pc = pcOf(cur.pc, t);
+                        live_mask |= addr_mask[t][pc];
+                        future_gpf |= gpf_after[t][pc] != 0;
+                    }
+                }
+                for (const auto &[addr, succ] : tau) {
+                    if (can_reduce && !future_gpf &&
+                        !(live_mask >> addr & 1)) {
+                        ++me.partial.stats.tauMovesSkipped;
+                        continue;
+                    }
+                    PackedConfig next = cur;
+                    next.state = succ;
+                    push(next);
+                }
+            }
+
+            // Crash steps (successor states memoized per (state,
+            // node); nodes that can never crash under the request are
+            // never interned).
+            for (size_t n = 0; n < nnodes; ++n) {
+                int budget =
+                    static_cast<int>(budgetw.get(cur.crash, n));
+                if (budget <= 0)
+                    continue;
+                PackedConfig next = cur;
+                next.state = me.eng.crashSuccessorOf(
+                    cur.state, static_cast<NodeId>(n));
+                next.crash = budgetw.set(cur.crash, n, budget - 1);
+                for (size_t t = 0; t < nthreads; ++t)
+                    if (program_.threads[t].node == n)
+                        next.alive &= ~(1u << t);
+                push(next);
+            }
+            sf.done();
+        }
+
+        // Worker-owned peak: visited set, this shard's frontier
+        // share, and the per-worker scratch engine.
+        me.partial.stats.peakVisitedBytes =
+            me.visited.bytes() + sf.bytes(w) + me.eng.bytes();
+    };
+
+    runOnWorkers(nworkers, run_worker);
+
+    // Deterministic merge: outcome sets union order-independently,
+    // additive counters sum, shared-table bytes count once.
+    for (ExplorerWorker &wkr : workers) {
+        res.outcomes.insert(wkr.partial.outcomes.begin(),
+                            wkr.partial.outcomes.end());
+        res.truncated |= wkr.partial.truncated;
+        res.stats.merge(wkr.partial.stats);
+    }
     res.verdict = res.truncated ? CheckVerdict::Inconclusive
                                 : CheckVerdict::Pass;
-    res.stats.configsInterned = visited.size();
-    engine.fillStats(res.stats);
-    res.stats.peakVisitedBytes = visited.bytes() + engine.bytes() +
-                                 reg_files.bytes() + frontier.bytes();
+    res.stats.configsInterned =
+        total_visited.load(std::memory_order_relaxed);
+    ctx.fillStats(res.stats);
+    res.stats.tableBytes = ctx.bytes() + reg_files.bytes();
+    res.stats.peakVisitedBytes += res.stats.tableBytes;
+    res.stats.processPeakRssBytes = processPeakRssBytes();
     res.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_start)
@@ -608,6 +688,7 @@ Explorer::checkReference() const
     res.stats.peakVisitedBytes =
         config_bytes + visited.bucket_count() * sizeof(void *) +
         stack.capacity() * sizeof(RefConfig);
+    res.stats.processPeakRssBytes = processPeakRssBytes();
     res.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_start)

@@ -325,11 +325,53 @@ litmus16Program()
                                  Op::LStore, true);
 }
 
+LitmusProgram
+litmus17Program()
+{
+    // Tests 17+18 in one program: both RMW flavours against a
+    // crashable owner. d (addr 0) takes an L-RMW FAA, f (addr 1) an
+    // M-RMW CAS; read-backs expose which update survived the crash.
+    LitmusProgram lp{17, "litmus-17: RMW flavours under owner crash",
+                     nvConfig(2, {1, 1}), ModelVariant::Base,
+                     Program{}, ExploreOptions{}};
+    lp.program.threads.push_back(
+        {0,
+         {ProgInstr::faa(Op::LRmw, 0, Operand::immediate(1), 0),
+          ProgInstr::cas(Op::MRmw, 1, Operand::immediate(0),
+                         Operand::immediate(1), 1),
+          ProgInstr::load(0, 2), ProgInstr::load(1, 3)}});
+    lp.options.maxCrashesPerNode = 1;
+    lp.options.crashableNodes = {1}; // only the owner crashes
+    return lp;
+}
+
+LitmusProgram
+litmus12Program()
+{
+    // Test 12's shape as a program under the *Base* model: machine 0
+    // (NVMM) owns x; the writer on machine 1 stores and reads twice
+    // while machine 0 may crash twice. Every placement of the two
+    // crashes is explored, unlike the serialized trace that pins
+    // them between the reads.
+    LitmusProgram lp{12, "litmus-12: double owner crash schedules",
+                     variantConfig(), ModelVariant::Base, Program{},
+                     ExploreOptions{}};
+    lp.program.threads.push_back(
+        {1,
+         {ProgInstr::store(Op::LStore, 0, Operand::immediate(1)),
+          ProgInstr::load(0, 0), ProgInstr::load(0, 1)}});
+    lp.options.maxCrashesPerNode = 2;
+    lp.options.crashableNodes = {0};
+    return lp;
+}
+
 std::vector<LitmusProgram>
 explorerPrograms()
 {
-    return {litmus4Program(), motivatingProgram(), litmus14Program(),
-            litmus15Program(), litmus16Program()};
+    return {litmus4Program(),  motivatingProgram(),
+            litmus14Program(), litmus15Program(),
+            litmus16Program(), litmus17Program(),
+            litmus12Program()};
 }
 
 std::vector<LitmusTest>

@@ -120,6 +120,22 @@ LitmusProgram litmus15Program();
  *  split stays reachable — GPF protects only against later crashes. */
 LitmusProgram litmus16Program();
 
+/** Tests 17+18 as one RMW-flavour program: r0 = FAA(L-RMW, d, +1);
+ *  r1 = CAS(M-RMW, f, 0 -> 1); r2 = d; r3 = f, with the owner of
+ *  both addresses crashable. The L-RMW's update may be lost exactly
+ *  like an LStore's (r2 in {0, 1}), the successful M-RMW's never
+ *  (r3 = 1 once the CAS ran); both RMWs return their paper-mandated
+ *  values (r0 = 0, r1 = 1). */
+LitmusProgram litmus17Program();
+
+/** Test 12 as a multi-crash program: the writer LStores x owned by a
+ *  machine that may crash *twice*, then reads it back twice. The
+ *  serialized trace pins crash/read alternation; the program form
+ *  explores every placement of both crashes, so the §3.5
+ *  observed-then-lost split (r0, r1) = (1, 0) is reachable alongside
+ *  (1, 1) and (0, 0) — and read coherence keeps (0, 1) out. */
+LitmusProgram litmus12Program();
+
 /** All explorer-program litmus scenarios. */
 std::vector<LitmusProgram> explorerPrograms();
 

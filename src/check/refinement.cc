@@ -1,13 +1,17 @@
 #include "check/refinement.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <sstream>
-#include <unordered_map>
+#include <thread>
 
 #include "common/hashmix.hh"
 #include "common/logging.hh"
+#include "common/segmented.hh"
 #include "model/state_table.hh"
 
 namespace cxl0::check
@@ -125,6 +129,43 @@ rebuildTrace(const std::vector<TraceNode> &nodes,
 }
 
 /**
+ * The counterexample-trace DAG shared by every refinement worker:
+ * parent-pointer edges appended via one atomic counter into a
+ * segmented arena (stable addresses, no reallocation under readers).
+ * An edge is written before the configuration carrying its index is
+ * handed to any other shard, so the cross-shard inbox mutex orders
+ * the write before every transitive read during reconstruction.
+ */
+class SharedTraceDag
+{
+  public:
+    uint32_t append(uint32_t label_idx, uint32_t parent)
+    {
+        uint32_t id = size_.fetch_add(1, std::memory_order_acq_rel);
+        nodes_.ensure(id + 1);
+        nodes_[id] = {label_idx, parent};
+        return id;
+    }
+
+    std::vector<Label> rebuild(const std::vector<Label> &labels,
+                               uint32_t node) const
+    {
+        std::vector<Label> out;
+        for (uint32_t n = node; n != kNoTraceNode;
+             n = nodes_[n].parent)
+            out.push_back(labels[nodes_[n].labelIdx]);
+        std::reverse(out.begin(), out.end());
+        return out;
+    }
+
+    size_t bytes() const { return nodes_.bytes(); }
+
+  private:
+    SegmentedArray<TraceNode, 8> nodes_;
+    std::atomic<uint32_t> size_{0};
+};
+
+/**
  * One determinized search configuration of the frame-interned walk:
  * a (spec frame, impl frame) pair, the packed per-node crash budgets,
  * the depth, and the trace-DAG node that reached it. 24 bytes; the
@@ -162,6 +203,44 @@ struct PairKeyHash
     }
 };
 
+/**
+ * PairConfigs ride the generic 32-byte PackedConfig through the
+ * sharded frontier (the slot reuse the engine header documents):
+ * {spec, impl, traceNode, depth, crash} map onto
+ * {state, regs, pc, alive, crash}.
+ */
+PackedConfig
+packPair(const PairConfig &p)
+{
+    PackedConfig c;
+    c.state = p.spec;
+    c.regs = p.impl;
+    c.pc = p.traceNode;
+    c.alive = p.depth;
+    c.crash = p.crash;
+    return c;
+}
+
+PairConfig
+unpackPair(const PackedConfig &c)
+{
+    PairConfig p;
+    p.spec = c.state;
+    p.impl = c.regs;
+    p.traceNode = static_cast<uint32_t>(c.pc);
+    p.depth = c.alive;
+    p.crash = c.crash;
+    return p;
+}
+
+/** Shard routing must ignore traceNode/depth: the same determinized
+ *  pair always lands on the same shard, so its depth memo is exact. */
+uint64_t
+pairShardHash(const PairConfig &p)
+{
+    return PairKeyHash{}(PairKey{p.spec, p.impl, p.crash});
+}
+
 } // namespace
 
 CheckReport
@@ -188,115 +267,218 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
     std::vector<Label> labels = candidates(impl.config(), alphabet);
 
     CheckReport res;
-    SearchEngine spec_eng(spec), impl_eng(impl);
+    const size_t nworkers = std::max<size_t>(request.numThreads, 1);
+    ModelContext spec_ctx(spec), impl_ctx(impl);
+    SharedTraceDag dag;
+    ShardedFrontier sf(nworkers, FrontierPolicy::DepthFirst);
+    std::atomic<size_t> explored_count{0};
+    std::atomic<bool> failed{false};
+    std::mutex fail_m;
 
-    PairConfig root;
-    root.spec = spec_eng.closedSingleton(spec.initialState());
-    root.impl = impl_eng.closedSingleton(impl.initialState());
-    for (size_t n = 0; n < nnodes; ++n)
-        root.crash = budgetw.set(root.crash, n, max_crash);
-
-    // Deepest remaining-depth already explored per (frame pair,
-    // budget); exact ids, so no collision can wrongly prune.
-    std::unordered_map<PairKey, uint32_t, PairKeyHash> explored;
-    std::vector<model::StateId> impl_raw, spec_raw;
-    std::vector<TraceNode> trace_nodes;
-    std::vector<PairConfig> stack{root};
-
-    size_t peak = 0;
-    auto sample_peak = [&] {
-        size_t b = spec_eng.bytes() + impl_eng.bytes() +
-                   stack.capacity() * sizeof(PairConfig) +
-                   trace_nodes.capacity() * sizeof(TraceNode) +
-                   explored.size() *
-                       (sizeof(PairKey) + sizeof(uint32_t) +
-                        2 * sizeof(void *)) +
-                   explored.bucket_count() * sizeof(void *);
-        peak = std::max(peak, b);
-    };
-
-    auto finalize = [&] {
-        sample_peak();
-        res.stats.configsInterned = explored.size();
-        res.stats.statesInterned =
-            spec_eng.states().size() + impl_eng.states().size();
-        res.stats.framesInterned =
-            spec_eng.frames().size() + impl_eng.frames().size();
-        res.stats.peakVisitedBytes = peak;
-        res.stats.seconds = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                t_start)
-                                .count();
-    };
-
-    while (!stack.empty()) {
-        PairConfig cur = stack.back();
-        stack.pop_back();
-        ++res.stats.configsVisited;
-        if ((res.stats.configsVisited & 63) == 0)
-            sample_peak();
-
-        uint32_t remaining =
-            static_cast<uint32_t>(request.maxDepth - cur.depth);
-        PairKey key{cur.spec, cur.impl, cur.crash};
-        auto it = explored.find(key);
-        if (it != explored.end() && it->second >= remaining)
-            continue;
-        if (it == explored.end() &&
-            explored.size() >= request.maxConfigs) {
-            // Config budget spent: stop expanding new pairs.
-            res.truncated = true;
-            continue;
+    /** Per-worker state: two scratch engines over the shared
+     *  contexts, the shard's exact (pair -> remaining depth) memo,
+     *  and raw apply buffers. */
+    struct Worker
+    {
+        Worker(ModelContext &sc, ModelContext &ic)
+            : specEng(sc), implEng(ic)
+        {
         }
-        explored[key] = remaining;
 
-        const bool leaf = cur.depth + 1 >= request.maxDepth;
-        for (uint32_t li = 0; li < labels.size(); ++li) {
-            const Label &label = labels[li];
-            if (label.op == Op::Crash &&
-                budgetw.get(cur.crash, label.node) == 0) {
-                continue;
-            }
-            if (!impl_eng.applyFrameRaw(cur.impl, label, impl_raw))
-                continue; // impl cannot take this label
-            if (spec_eng.applyFrameRaw(cur.spec, label, spec_raw)) {
-                if (leaf) {
-                    // The depth bound cuts this successor's subtree:
-                    // the violation check above is all that remains —
-                    // pay for no closure and intern nothing.
-                    res.truncated = true;
-                    continue;
-                }
-                PairConfig next;
-                next.spec = spec_eng.tauClosureOfRaw(spec_raw);
-                next.impl = impl_eng.tauClosureOfRaw(impl_raw);
-                next.depth = cur.depth + 1;
-                next.crash = cur.crash;
-                if (label.op == Op::Crash)
-                    next.crash = budgetw.set(
-                        next.crash, label.node,
-                        budgetw.get(cur.crash, label.node) - 1);
-                trace_nodes.push_back({li, cur.traceNode});
-                next.traceNode =
-                    static_cast<uint32_t>(trace_nodes.size() - 1);
-                stack.push_back(next);
-                continue;
-            }
-            // impl takes the label, spec cannot: violation.
-            res.verdict = CheckVerdict::Fail;
-            res.counterexample.trace =
-                rebuildTrace(trace_nodes, labels, cur.traceNode);
-            res.counterexample.trace.push_back(label);
-            res.counterexample.description =
-                "impl trace the spec cannot follow";
-            finalize();
-            return res;
-        }
+        ShardEngine specEng;
+        ShardEngine implEng;
+        FlatDepthMap<PairKey, PairKeyHash> explored;
+        std::vector<model::StateId> implRaw, specRaw;
+        /**
+         * Pairs whose expansion hit the depth-bound leaf cut on
+         * their *first* visit (inserted at remaining 1). Whether
+         * such a first visit happens at remaining 1 depends on
+         * scheduling — a pair reached deeper first never
+         * leaf-expands — so the cut is not declared eagerly.
+         * After the search drains, the memo holds each pair's
+         * maximal remaining depth (order-independent), and only
+         * candidates still at depth 1 count: anything raised deeper
+         * had its subtree explored within the bound elsewhere.
+         * That makes `truncated` identical for every thread count.
+         */
+        std::vector<PairKey> leafCuts;
+        CheckReport partial;
+        size_t peak = 0;
+    };
+    std::deque<Worker> workers;
+    for (size_t w = 0; w < nworkers; ++w)
+        workers.emplace_back(spec_ctx, impl_ctx);
+
+    {
+        PairConfig root;
+        root.spec =
+            workers[0].specEng.closedSingleton(spec.initialState());
+        root.impl =
+            workers[0].implEng.closedSingleton(impl.initialState());
+        for (size_t n = 0; n < nnodes; ++n)
+            root.crash = budgetw.set(root.crash, n, max_crash);
+        sf.pushLocal(sf.ownerOf(pairShardHash(root)), packPair(root));
     }
 
-    res.verdict = res.truncated ? CheckVerdict::Inconclusive
-                                : CheckVerdict::Pass;
-    finalize();
+    auto run_worker = [&](size_t w) {
+        Worker &me = workers[w];
+        auto sample_peak = [&] {
+            size_t b = me.explored.bytes() + sf.bytes(w) +
+                       me.specEng.bytes() + me.implEng.bytes() +
+                       (me.implRaw.capacity() +
+                        me.specRaw.capacity()) *
+                           sizeof(model::StateId);
+            me.peak = std::max(me.peak, b);
+        };
+        // Dedup happens at expansion (the memo is depth-aware), so
+        // inbox arrivals are admitted unconditionally.
+        auto admit_all = [](const PackedConfig &) { return true; };
+        auto route = [&](const PairConfig &next) {
+            size_t owner = sf.ownerOf(pairShardHash(next));
+            if (owner == w)
+                sf.pushLocal(w, packPair(next));
+            else
+                sf.send(owner, packPair(next));
+        };
+
+        PackedConfig packed;
+        while (sf.pop(w, packed, admit_all)) {
+            PairConfig cur = unpackPair(packed);
+            ++me.partial.stats.configsVisited;
+            if ((me.partial.stats.configsVisited & 63) == 0)
+                sample_peak();
+
+            uint32_t remaining =
+                static_cast<uint32_t>(request.maxDepth - cur.depth);
+            PairKey key{cur.spec, cur.impl, cur.crash};
+            bool allow =
+                explored_count.load(std::memory_order_relaxed) <
+                request.maxConfigs;
+            using MemoOutcome =
+                FlatDepthMap<PairKey, PairKeyHash>::Outcome;
+            MemoOutcome memo =
+                me.explored.insertOrRaise(key, remaining, allow);
+            switch (memo) {
+              case MemoOutcome::Pruned:
+                sf.done();
+                continue;
+              case MemoOutcome::Rejected:
+                // Config budget spent: stop expanding new pairs.
+                me.partial.truncated = true;
+                sf.done();
+                continue;
+              case MemoOutcome::Inserted:
+                explored_count.fetch_add(1,
+                                         std::memory_order_relaxed);
+                break;
+              case MemoOutcome::Raised:
+                break;
+            }
+
+            const bool leaf = cur.depth + 1 >= request.maxDepth;
+            bool leaf_cut = false;
+            for (uint32_t li = 0; li < labels.size(); ++li) {
+                const Label &label = labels[li];
+                if (label.op == Op::Crash &&
+                    budgetw.get(cur.crash, label.node) == 0) {
+                    continue;
+                }
+                if (!me.implEng.applyFrameRaw(cur.impl, label,
+                                              me.implRaw))
+                    continue; // impl cannot take this label
+                if (me.specEng.applyFrameRaw(cur.spec, label,
+                                             me.specRaw)) {
+                    if (leaf) {
+                        // The depth bound cuts this successor's
+                        // subtree: the violation check above is all
+                        // that remains — pay for no closure and
+                        // intern nothing. Whether this cut is real
+                        // is settled after the drain (see leafCuts).
+                        leaf_cut = true;
+                        continue;
+                    }
+                    PairConfig next;
+                    next.spec =
+                        me.specEng.tauClosureOfRaw(me.specRaw);
+                    next.impl =
+                        me.implEng.tauClosureOfRaw(me.implRaw);
+                    next.depth = cur.depth + 1;
+                    next.crash = cur.crash;
+                    if (label.op == Op::Crash)
+                        next.crash = budgetw.set(
+                            next.crash, label.node,
+                            budgetw.get(cur.crash, label.node) - 1);
+                    next.traceNode = dag.append(li, cur.traceNode);
+                    route(next);
+                    continue;
+                }
+                // impl takes the label, spec cannot: violation. The
+                // first finder wins; everyone else stops draining.
+                {
+                    std::lock_guard<std::mutex> lock(fail_m);
+                    if (!failed.load(std::memory_order_relaxed)) {
+                        failed.store(true,
+                                     std::memory_order_release);
+                        me.partial.verdict = CheckVerdict::Fail;
+                        me.partial.counterexample.trace =
+                            dag.rebuild(labels, cur.traceNode);
+                        me.partial.counterexample.trace.push_back(
+                            label);
+                        me.partial.counterexample.description =
+                            "impl trace the spec cannot follow";
+                    }
+                }
+                sf.stopAll();
+                break;
+            }
+            if (leaf_cut && memo == MemoOutcome::Inserted &&
+                remaining == 1)
+                me.leafCuts.push_back(key);
+            sf.done();
+            if (sf.stopped())
+                break;
+        }
+        // The memo for this shard's pairs is final (a pair's every
+        // visit happens on its home shard): a candidate still at
+        // maximal remaining depth 1 is a genuine cut.
+        for (const PairKey &key : me.leafCuts) {
+            if (me.explored.depthOf(key) == 1) {
+                me.partial.truncated = true;
+                break;
+            }
+        }
+        sample_peak();
+        me.partial.stats.peakVisitedBytes = me.peak;
+    };
+
+    runOnWorkers(nworkers, run_worker);
+
+    for (Worker &wkr : workers) {
+        if (wkr.partial.verdict == CheckVerdict::Fail) {
+            res.verdict = CheckVerdict::Fail;
+            res.counterexample = std::move(wkr.partial.counterexample);
+        }
+        res.truncated |= wkr.partial.truncated;
+        res.stats.merge(wkr.partial.stats);
+    }
+    if (res.verdict != CheckVerdict::Fail) {
+        res.verdict = res.truncated ? CheckVerdict::Inconclusive
+                                    : CheckVerdict::Pass;
+    }
+    res.stats.configsInterned =
+        explored_count.load(std::memory_order_relaxed);
+    res.stats.statesInterned =
+        spec_ctx.states().size() + impl_ctx.states().size();
+    res.stats.framesInterned =
+        spec_ctx.frames().size() + impl_ctx.frames().size();
+    res.stats.tableBytes =
+        spec_ctx.bytes() + impl_ctx.bytes() + dag.bytes();
+    res.stats.peakVisitedBytes += res.stats.tableBytes;
+    res.stats.processPeakRssBytes = processPeakRssBytes();
+    res.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
     return res;
 }
 
@@ -410,8 +592,17 @@ checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
     root.crashBudget.assign(impl.config().numNodes(),
                             alphabet.maxCrashesPerNode);
 
-    // Memo: deepest remaining-depth already explored per frame key.
-    std::unordered_map<uint64_t, size_t> explored;
+    // Memo: deepest remaining-depth already explored per frame key —
+    // the same open-addressed probe-loop template the engine search
+    // uses, keyed by the (collision-prone, as seeded) frame hash.
+    struct U64Hash
+    {
+        size_t operator()(uint64_t k) const
+        {
+            return static_cast<size_t>(mixBits(k));
+        }
+    };
+    FlatDepthMap<uint64_t, U64Hash> explored;
 
     std::vector<SearchFrame> stack{root};
     size_t live_bytes = frameBytes(root);
@@ -419,11 +610,8 @@ checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
 
     auto finalize = [&] {
         res.stats.configsInterned = explored.size();
-        res.stats.peakVisitedBytes =
-            peak + explored.size() *
-                       (sizeof(uint64_t) + sizeof(size_t) +
-                        2 * sizeof(void *)) +
-            explored.bucket_count() * sizeof(void *);
+        res.stats.peakVisitedBytes = peak + explored.bytes();
+        res.stats.processPeakRssBytes = processPeakRssBytes();
         res.stats.seconds = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() -
                                 t_start)
@@ -439,17 +627,18 @@ checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
             res.truncated = true;
             continue;
         }
-        size_t remaining = request.maxDepth - cur.trace.size();
+        uint32_t remaining = static_cast<uint32_t>(
+            request.maxDepth - cur.trace.size());
         uint64_t key = frameKey(cur);
-        auto it = explored.find(key);
-        if (it != explored.end() && it->second >= remaining)
+        using MemoOutcome = FlatDepthMap<uint64_t, U64Hash>::Outcome;
+        MemoOutcome memo = explored.insertOrRaise(
+            key, remaining, explored.size() < request.maxConfigs);
+        if (memo == MemoOutcome::Pruned)
             continue;
-        if (it == explored.end() &&
-            explored.size() >= request.maxConfigs) {
+        if (memo == MemoOutcome::Rejected) {
             res.truncated = true;
             continue;
         }
-        explored[key] = remaining;
         for (const Label &label : labels) {
             if (label.op == Op::Crash &&
                 cur.crashBudget[label.node] <= 0) {

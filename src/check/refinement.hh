@@ -10,14 +10,18 @@
  * from a finite alphabet, and refinement is checked by a simultaneous
  * subset-construction walk of both LTSs up to a depth bound.
  *
- * The walk runs on two check::SearchEngines (one per model): each
- * determinized state set is an interned frame, so a search
- * configuration is a few dense ids plus a packed crash-budget word —
- * nothing deep-copies a state set per step anymore. The historical
- * entry points shim onto the CheckRequest/CheckReport API;
- * checkRefinementReference() keeps the original deep-copy search as
- * an executable reference for the regression tests and
- * bench_refinement_scaling.
+ * The walk runs on two shared ModelContexts (one per model) drained
+ * by CheckRequest::numThreads shard workers: each determinized state
+ * set is an interned frame, so a search configuration is a few dense
+ * ids plus a packed crash-budget word — nothing deep-copies a state
+ * set per step anymore. Pairs partition across shards by
+ * (spec, impl, budget) hash, each shard keeps an exact flat
+ * (pair -> remaining depth) memo, counterexample traces reconstruct
+ * from a shared parent-pointer DAG, and verdicts are independent of
+ * the worker count. The historical entry points shim onto the
+ * CheckRequest/CheckReport API; checkRefinementReference() keeps the
+ * original deep-copy search as an executable reference for the
+ * regression tests and bench_refinement_scaling.
  */
 
 #ifndef CXL0_CHECK_REFINEMENT_HH

@@ -1,7 +1,11 @@
 #include "check/simulation.hh"
 
+#include <atomic>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace cxl0::check
 {
@@ -72,68 +76,115 @@ checkTraceInclusion(const Cxl0Model &model,
 {
     auto t_start = std::chrono::steady_clock::now();
     CheckReport res;
-    // One engine for every start state: tau closures computed for one
-    // gamma's walk are memo hits for the next.
-    TraceChecker checker(model);
-    SearchEngine &eng = checker.engine();
+    // One shared context for every start state and worker: tau
+    // closures computed for one gamma's walk are memo hits for every
+    // later walk, whichever worker runs it.
+    ModelContext ctx(model);
+    const size_t nworkers = std::max<size_t>(request.numThreads, 1);
 
-    auto finalize = [&] {
-        eng.fillStats(res.stats);
-        res.stats.configsInterned = eng.frames().size();
-        res.stats.peakVisitedBytes = eng.bytes();
-        res.stats.seconds = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                t_start)
-                                .count();
+    // Start states partition by stride; the *lowest* failing index
+    // wins, so the reported counterexample is independent of the
+    // worker count and of which worker happened to finish first.
+    std::atomic<size_t> fail_idx{states.size()};
+    std::atomic<bool> truncated{false};
+    std::mutex fail_m;
+    std::string fail_desc;
+
+    struct Worker
+    {
+        explicit Worker(ModelContext &ctx) : eng(ctx) {}
+        ShardEngine eng;
+        SearchStats stats;
     };
+    std::deque<Worker> workers;
+    for (size_t w = 0; w < nworkers; ++w)
+        workers.emplace_back(ctx);
 
-    for (const State &gamma : states) {
-        if (eng.states().size() >= request.maxConfigs) {
-            res.truncated = true;
-            res.verdict = CheckVerdict::Inconclusive;
-            finalize();
-            return res;
-        }
-        ++res.stats.configsVisited;
-        FrameId lhs_post = checker.frameAfter(gamma, lhs);
-        if (lhs_post == kNoFrameId)
-            continue; // vacuously true from this state
-        FrameId rhs_post = checker.frameAfter(gamma, rhs);
-        // Frames are sorted id spans over one table: inclusion is
-        // one merge walk, and the first missing id is the
-        // counterexample.
-        StateId missing = model::kNoStateId;
-        if (rhs_post == kNoFrameId) {
-            missing = *eng.frames().begin(lhs_post);
-        } else {
-            const StateId *a = eng.frames().begin(lhs_post);
-            const StateId *ae = eng.frames().end(lhs_post);
-            const StateId *b = eng.frames().begin(rhs_post);
-            const StateId *be = eng.frames().end(rhs_post);
-            for (; a != ae; ++a) {
-                while (b != be && *b < *a)
-                    ++b;
-                if (b == be || *b != *a) {
-                    missing = *a;
-                    break;
+    auto run_worker = [&](size_t w) {
+        Worker &me = workers[w];
+        for (size_t i = w; i < states.size(); i += nworkers) {
+            // A failure at an earlier index makes every later start
+            // state irrelevant; per-worker indices ascend, so stop.
+            if (fail_idx.load(std::memory_order_acquire) <= i)
+                break;
+            if (ctx.states().size() >= request.maxConfigs) {
+                truncated.store(true, std::memory_order_relaxed);
+                break;
+            }
+            const State &gamma = states[i];
+            ++me.stats.configsVisited;
+            FrameId lhs_post = frameAfterWalk(me.eng, gamma, lhs);
+            if (lhs_post == kNoFrameId)
+                continue; // vacuously true from this state
+            FrameId rhs_post = frameAfterWalk(me.eng, gamma, rhs);
+            // Frames are sorted id spans over one table: inclusion
+            // is one merge walk. The *reported* missing state is
+            // chosen by content (smallest rendering), not by id —
+            // StateId numbering depends on which worker interned a
+            // state first, and the counterexample text must be
+            // identical for every thread count.
+            std::string missing_desc;
+            auto consider = [&](StateId id) {
+                std::string d =
+                    ctx.states().materialize(id).describe();
+                if (missing_desc.empty() || d < missing_desc)
+                    missing_desc = std::move(d);
+            };
+            if (rhs_post == kNoFrameId) {
+                const StateId *a = ctx.frames().begin(lhs_post);
+                const StateId *ae = ctx.frames().end(lhs_post);
+                for (; a != ae; ++a)
+                    consider(*a);
+            } else {
+                const StateId *a = ctx.frames().begin(lhs_post);
+                const StateId *ae = ctx.frames().end(lhs_post);
+                const StateId *b = ctx.frames().begin(rhs_post);
+                const StateId *be = ctx.frames().end(rhs_post);
+                for (; a != ae; ++a) {
+                    while (b != be && *b < *a)
+                        ++b;
+                    if (b == be || *b != *a)
+                        consider(*a);
                 }
             }
+            if (!missing_desc.empty()) {
+                std::lock_guard<std::mutex> lock(fail_m);
+                if (i < fail_idx.load(std::memory_order_relaxed)) {
+                    fail_idx.store(i, std::memory_order_release);
+                    std::ostringstream os;
+                    os << "from " << gamma.describe() << ", trace ["
+                       << model::describeTrace(lhs) << "] reaches "
+                       << missing_desc << " but ["
+                       << model::describeTrace(rhs) << "] cannot";
+                    fail_desc = os.str();
+                }
+                break;
+            }
         }
-        if (missing != model::kNoStateId) {
-            std::ostringstream os;
-            os << "from " << gamma.describe() << ", trace ["
-               << model::describeTrace(lhs) << "] reaches "
-               << eng.states().materialize(missing).describe()
-               << " but [" << model::describeTrace(rhs)
-               << "] cannot";
-            res.verdict = CheckVerdict::Fail;
-            res.counterexample.description = os.str();
-            finalize();
-            return res;
-        }
+    };
+
+    runOnWorkers(nworkers, run_worker);
+
+    for (Worker &wkr : workers)
+        res.stats.merge(wkr.stats);
+    if (fail_idx.load(std::memory_order_acquire) < states.size()) {
+        res.verdict = CheckVerdict::Fail;
+        res.counterexample.description = fail_desc;
+    } else if (truncated.load(std::memory_order_relaxed)) {
+        res.truncated = true;
+        res.verdict = CheckVerdict::Inconclusive;
+    } else {
+        res.verdict = CheckVerdict::Pass;
     }
-    res.verdict = CheckVerdict::Pass;
-    finalize();
+    ctx.fillStats(res.stats);
+    res.stats.configsInterned = ctx.frames().size();
+    res.stats.tableBytes = ctx.bytes();
+    res.stats.peakVisitedBytes += res.stats.tableBytes;
+    res.stats.processPeakRssBytes = processPeakRssBytes();
+    res.stats.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            t_start)
+                            .count();
     return res;
 }
 

@@ -44,10 +44,14 @@ std::vector<model::State> enumerateStates(const model::SystemConfig &cfg,
 /**
  * Check that from every state in `states`, every state reachable via
  * `lhs` (tau-interleaved) is also reachable via `rhs`. Unified form:
- * the subset construction runs on one SearchEngine (closures memoized
- * across start states), post-state inclusion is a sorted-frame merge
- * walk, and the report carries the shared SearchStats. Fail attaches
- * the offending start state / target in the counterexample.
+ * the subset construction runs on one shared ModelContext (closures
+ * memoized across start states and workers), post-state inclusion is
+ * a sorted-frame merge walk, and the report carries the shared
+ * SearchStats. CheckRequest::numThreads partitions the start states
+ * across that many ShardEngine workers; the *lowest* failing start
+ * index wins, so the verdict and counterexample are independent of
+ * the worker count. Fail attaches the offending start state / target
+ * in the counterexample.
  */
 CheckReport checkTraceInclusion(const model::Cxl0Model &model,
                                 const std::vector<model::State> &states,

@@ -12,17 +12,24 @@ using model::FrameId;
 using model::kNoFrameId;
 
 FrameId
+frameAfterWalk(ShardEngine &eng, const State &init,
+               const std::vector<Label> &trace)
+{
+    FrameId frontier = eng.closedSingleton(init);
+    for (const Label &label : trace) {
+        FrameId next = eng.applyFrame(frontier, label);
+        if (next == kNoFrameId)
+            return kNoFrameId;
+        frontier = eng.tauClosureFrame(next);
+    }
+    return frontier;
+}
+
+FrameId
 TraceChecker::frameAfter(const State &init,
                          const std::vector<Label> &trace) const
 {
-    FrameId frontier = engine_.closedSingleton(init);
-    for (const Label &label : trace) {
-        FrameId next = engine_.applyFrame(frontier, label);
-        if (next == kNoFrameId)
-            return kNoFrameId;
-        frontier = engine_.tauClosureFrame(next);
-    }
-    return frontier;
+    return frameAfterWalk(engine_, init, trace);
 }
 
 std::vector<State>
@@ -70,6 +77,9 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
 {
     auto t_start = std::chrono::steady_clock::now();
     CheckReport res;
+    // One ModelContext + one ShardEngine (that's what a SearchEngine
+    // is): the prefix walk is a single dependency chain, so
+    // request.numThreads has nothing to fan out and one worker runs.
     SearchEngine engine(model);
     FrameId frontier = engine.closedSingleton(init);
     size_t k = 0;
@@ -101,7 +111,9 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
     }
     engine.fillStats(res.stats);
     res.stats.configsInterned = engine.frames().size();
+    res.stats.tableBytes = engine.context().bytes();
     res.stats.peakVisitedBytes = engine.bytes();
+    res.stats.processPeakRssBytes = processPeakRssBytes();
     res.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_start)

@@ -9,12 +9,16 @@
  * under tau at every point (a subset construction, which also makes
  * the check deterministic and complete for these finite systems).
  *
- * The subset construction runs on the shared check::SearchEngine:
- * each prefix's state set is an interned frame (a 4-byte id over the
- * engine's state table), tau closures are memoized per frame, and no
- * vector<State> is copied per step. checkTraceFeasible() is the
- * uniform Request/Report entry point; the TraceChecker methods remain
- * as the ergonomic per-model facade.
+ * The subset construction runs on the unified engine layering
+ * (check/engine.hh): a SearchEngine is one shared ModelContext plus
+ * one ShardEngine worker, each prefix's state set is an interned
+ * frame (a 4-byte id over the context's state table), tau closures
+ * are memoized per frame, and no vector<State> is copied per step.
+ * checkTraceFeasible() is the uniform Request/Report entry point; the
+ * TraceChecker methods remain as the ergonomic per-model facade. A
+ * serialized trace is one dependency chain, so
+ * CheckRequest::numThreads is accepted but the walk always runs one
+ * worker (sharding has nothing to fan out).
  */
 
 #ifndef CXL0_CHECK_TRACE_HH
@@ -31,6 +35,16 @@ namespace cxl0::check
 using model::Cxl0Model;
 using model::Label;
 using model::State;
+
+/**
+ * The one subset-construction step walk every trace-shaped checker
+ * uses: the tau-closed frame reachable after `trace` from `init`
+ * through `eng`, or model::kNoFrameId when some label has no enabled
+ * execution. TraceChecker::frameAfter and checkTraceInclusion's
+ * per-start-state walks both delegate here.
+ */
+model::FrameId frameAfterWalk(ShardEngine &eng, const State &init,
+                              const std::vector<Label> &trace);
 
 /**
  * Unified entry point: is `trace` executable from the model's initial

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Segmented (chunked) growable arrays whose elements never move.
+ *
+ * The concurrent interning tables (model/state_table.hh) and the
+ * shared search memos (check/engine.hh) need arrays that grow while
+ * other threads read already-published elements. A std::vector cannot
+ * do that: reallocation moves every element under the readers' feet.
+ * A SegmentedArray instead allocates geometrically sized segments —
+ * segment s holds (2^BaseBits << s) elements — behind a fixed
+ * directory of atomic pointers, so
+ *
+ *   - an element's address is stable for the container's lifetime,
+ *   - locating index i costs one bit_width and one subtraction,
+ *   - growth allocates a fresh segment and CAS-publishes its pointer;
+ *     concurrent ensure() calls race benignly (the loser frees).
+ *
+ * Synchronization contract: ensure() makes the *storage* for an index
+ * range exist; it does not order element contents. A writer must
+ * publish an index through its own synchronization (a mutex, a
+ * release store, a queue handoff) before another thread reads the
+ * element — exactly the discipline the interning tables follow.
+ */
+
+#ifndef CXL0_COMMON_SEGMENTED_HH
+#define CXL0_COMMON_SEGMENTED_HH
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace cxl0
+{
+
+/** Shared geometry: capacities, start offsets, index→segment. */
+template <unsigned BaseBits>
+struct SegmentGeometry
+{
+    static constexpr size_t kBase = size_t{1} << BaseBits;
+    /** 28 doubling segments cover > 2^32 elements even from a 64-entry
+     *  first segment: every 32-bit id space fits. The tiny first
+     *  segments matter — idle tables must cost close to nothing, and
+     *  the checkers report resident bytes honestly. */
+    static constexpr size_t kMaxSegments = 28;
+
+    static constexpr size_t capacityOf(size_t seg)
+    {
+        return kBase << seg;
+    }
+
+    static constexpr size_t startOf(size_t seg)
+    {
+        return kBase * ((size_t{1} << seg) - 1);
+    }
+
+    static void locate(size_t i, size_t &seg, size_t &off)
+    {
+        seg = static_cast<size_t>(std::bit_width(i + kBase)) -
+              BaseBits - 1;
+        off = i - startOf(seg);
+    }
+};
+
+/**
+ * Growable array of T with stable element addresses and lock-free
+ * element access. T is value-initialized at segment allocation
+ * (std::atomic members therefore start at zero — encode sentinels
+ * around that, e.g. "id + 1, 0 = unset").
+ */
+template <typename T, unsigned BaseBits = 10>
+class SegmentedArray
+{
+    using Geo = SegmentGeometry<BaseBits>;
+
+  public:
+    SegmentedArray() = default;
+    SegmentedArray(const SegmentedArray &) = delete;
+    SegmentedArray &operator=(const SegmentedArray &) = delete;
+
+    ~SegmentedArray()
+    {
+        for (auto &slot : segs_)
+            delete[] slot.load(std::memory_order_relaxed);
+    }
+
+    /** Make storage for indices [0, n) exist. Thread-safe. */
+    void ensure(size_t n)
+    {
+        if (n == 0)
+            return;
+        size_t seg, off;
+        Geo::locate(n - 1, seg, off);
+        // Fast path: segments are published in ascending order, so a
+        // visible top segment implies every lower one is visible too
+        // (the publisher observed them before its release-CAS).
+        if (segs_[seg].load(std::memory_order_acquire))
+            return;
+        for (size_t s = 0; s <= seg; ++s) {
+            if (segs_[s].load(std::memory_order_acquire))
+                continue;
+            T *fresh = new T[Geo::capacityOf(s)]();
+            T *expected = nullptr;
+            if (segs_[s].compare_exchange_strong(
+                    expected, fresh, std::memory_order_release,
+                    std::memory_order_acquire)) {
+                bytes_.fetch_add(Geo::capacityOf(s) * sizeof(T),
+                                 std::memory_order_relaxed);
+            } else {
+                delete[] fresh;
+            }
+        }
+    }
+
+    T &operator[](size_t i)
+    {
+        size_t seg, off;
+        Geo::locate(i, seg, off);
+        return segs_[seg].load(std::memory_order_acquire)[off];
+    }
+
+    const T &operator[](size_t i) const
+    {
+        size_t seg, off;
+        Geo::locate(i, seg, off);
+        return segs_[seg].load(std::memory_order_acquire)[off];
+    }
+
+    /** Allocated segment bytes (excludes the fixed directory). */
+    size_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Invoke fn on every element of every *allocated* segment
+     * (including never-written, still value-initialized elements).
+     * For teardown walks — does not allocate anything.
+     */
+    template <typename Fn>
+    void forEachAllocated(Fn &&fn)
+    {
+        for (size_t s = 0; s < Geo::kMaxSegments; ++s) {
+            T *seg = segs_[s].load(std::memory_order_acquire);
+            if (!seg)
+                continue;
+            for (size_t i = 0; i < Geo::capacityOf(s); ++i)
+                fn(seg[i]);
+        }
+    }
+
+  private:
+    std::atomic<T *> segs_[Geo::kMaxSegments] = {};
+    std::atomic<size_t> bytes_{0};
+};
+
+/**
+ * As SegmentedArray, but each index holds a fixed-length span of
+ * `stride` Ts (set once at construction): segment s stores
+ * capacityOf(s) * stride contiguous elements, so a span never
+ * straddles a segment boundary.
+ */
+template <typename T, unsigned BaseBits = 10>
+class SegmentedSpans
+{
+    using Geo = SegmentGeometry<BaseBits>;
+
+  public:
+    explicit SegmentedSpans(size_t stride) : stride_(stride) {}
+    SegmentedSpans(const SegmentedSpans &) = delete;
+    SegmentedSpans &operator=(const SegmentedSpans &) = delete;
+
+    ~SegmentedSpans()
+    {
+        for (auto &slot : segs_)
+            delete[] slot.load(std::memory_order_relaxed);
+    }
+
+    size_t stride() const { return stride_; }
+
+    /** Make storage for span indices [0, n) exist. Thread-safe. */
+    void ensure(size_t n)
+    {
+        if (n == 0)
+            return;
+        size_t seg, off;
+        Geo::locate(n - 1, seg, off);
+        // Fast path: see SegmentedArray::ensure — ascending
+        // publication makes the top segment's visibility imply all.
+        if (segs_[seg].load(std::memory_order_acquire))
+            return;
+        for (size_t s = 0; s <= seg; ++s) {
+            if (segs_[s].load(std::memory_order_acquire))
+                continue;
+            size_t elems = Geo::capacityOf(s) * stride_;
+            T *fresh = new T[elems]();
+            T *expected = nullptr;
+            if (segs_[s].compare_exchange_strong(
+                    expected, fresh, std::memory_order_release,
+                    std::memory_order_acquire)) {
+                bytes_.fetch_add(elems * sizeof(T),
+                                 std::memory_order_relaxed);
+            } else {
+                delete[] fresh;
+            }
+        }
+    }
+
+    T *at(size_t i)
+    {
+        size_t seg, off;
+        Geo::locate(i, seg, off);
+        return segs_[seg].load(std::memory_order_acquire) +
+               off * stride_;
+    }
+
+    const T *at(size_t i) const
+    {
+        size_t seg, off;
+        Geo::locate(i, seg, off);
+        return segs_[seg].load(std::memory_order_acquire) +
+               off * stride_;
+    }
+
+    /** Allocated segment bytes (excludes the fixed directory). */
+    size_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    size_t stride_;
+    std::atomic<T *> segs_[Geo::kMaxSegments] = {};
+    std::atomic<size_t> bytes_{0};
+};
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_SEGMENTED_HH

@@ -9,14 +9,6 @@
 namespace cxl0::model
 {
 
-namespace
-{
-
-/** Initial probe-index capacity (power of two). */
-constexpr size_t kInitialSlots = 64;
-
-} // namespace
-
 uint64_t
 hashValueSpan(const Value *data, size_t n)
 {
@@ -32,9 +24,15 @@ updateValueSpanHash(uint64_t hash, size_t idx, Value old_v, Value new_v)
     return hash ^ hashSlot(idx, old_v) ^ hashSlot(idx, new_v);
 }
 
-ValueSpanTable::ValueSpanTable(size_t stride)
-    : stride_(stride), slots_(kInitialSlots, kNoStateId),
-      mask_(kInitialSlots - 1)
+StripedIdIndex::StripedIdIndex()
+{
+    for (Stripe &st : stripes_)
+        st.slots.assign(kStripeInitialSlots, kNoStateId);
+    bytes_.store(kStripes * kStripeInitialSlots * sizeof(uint32_t),
+                 std::memory_order_relaxed);
+}
+
+ValueSpanTable::ValueSpanTable(size_t stride) : spans_(stride)
 {
     CXL0_ASSERT(stride > 0, "span stride must be positive");
 }
@@ -42,62 +40,44 @@ ValueSpanTable::ValueSpanTable(size_t stride)
 uint32_t
 ValueSpanTable::intern(const Value *data, uint64_t hash, bool *is_new)
 {
-    return intern2(data, stride_, data + stride_, hash, is_new);
+    return intern2(data, stride(), data + stride(), hash, is_new);
 }
 
 uint32_t
 ValueSpanTable::intern2(const Value *a, size_t na, const Value *b,
                         uint64_t hash, bool *is_new)
 {
-    CXL0_ASSERT(na <= stride_, "first piece exceeds the stride");
-    const size_t nb = stride_ - na;
-    size_t i = hash & mask_;
-    while (slots_[i] != kNoStateId) {
-        uint32_t id = slots_[i];
-        const Value *have = at(id);
-        if (hashes_[id] == hash &&
-            std::memcmp(have, a, na * sizeof(Value)) == 0 &&
-            std::memcmp(have + na, b, nb * sizeof(Value)) == 0) {
-            if (is_new)
-                *is_new = false;
+    CXL0_ASSERT(na <= stride(), "first piece exceeds the stride");
+    const size_t nb = stride() - na;
+    return index_.intern(
+        hash,
+        [&](uint32_t id) {
+            const Value *have = spans_.at(id);
+            return hashes_[id] == hash &&
+                   std::memcmp(have, a, na * sizeof(Value)) == 0 &&
+                   std::memcmp(have + na, b, nb * sizeof(Value)) == 0;
+        },
+        [&]() {
+            // Reserve a dense id; the slot is exclusively ours until
+            // the index publishes it (same-stripe probes are held off
+            // by the stripe lock, other threads learn the id only
+            // through a later synchronization edge).
+            uint32_t id = size_.fetch_add(1, std::memory_order_acq_rel);
+            spans_.ensure(id + 1);
+            hashes_.ensure(id + 1);
+            Value *dst = spans_.at(id);
+            std::memcpy(dst, a, na * sizeof(Value));
+            std::memcpy(dst + na, b, nb * sizeof(Value));
+            hashes_[id] = hash;
             return id;
-        }
-        i = (i + 1) & mask_;
-    }
-    uint32_t id = static_cast<uint32_t>(hashes_.size());
-    arena_.insert(arena_.end(), a, a + na);
-    arena_.insert(arena_.end(), b, b + nb);
-    hashes_.push_back(hash);
-    slots_[i] = id;
-    if (is_new)
-        *is_new = true;
-    // Keep the load factor below ~0.7 so probes stay short.
-    if ((hashes_.size() + 1) * 10 > slots_.size() * 7)
-        grow();
-    return id;
-}
-
-void
-ValueSpanTable::grow()
-{
-    std::vector<uint32_t> bigger(slots_.size() * 2, kNoStateId);
-    size_t mask = bigger.size() - 1;
-    for (uint32_t id = 0; id < hashes_.size(); ++id) {
-        size_t i = hashes_[id] & mask;
-        while (bigger[i] != kNoStateId)
-            i = (i + 1) & mask;
-        bigger[i] = id;
-    }
-    slots_ = std::move(bigger);
-    mask_ = mask;
+        },
+        [&](uint32_t id) { return hashes_[id]; }, is_new);
 }
 
 size_t
 ValueSpanTable::bytes() const
 {
-    return arena_.capacity() * sizeof(Value) +
-           hashes_.capacity() * sizeof(uint64_t) +
-           slots_.capacity() * sizeof(uint32_t);
+    return spans_.bytes() + hashes_.bytes() + index_.bytes();
 }
 
 StateTable::StateTable(size_t num_nodes, size_t num_addrs)
@@ -154,9 +134,10 @@ hashFrame(const StateId *data, size_t n)
 } // namespace
 
 FrameTable::FrameTable()
-    : offsets_{0}, slots_(kInitialSlots, kNoFrameId),
-      mask_(kInitialSlots - 1)
 {
+    // Pre-allocate the first arena segment so begin() of the empty
+    // frame always has a valid address to return.
+    arena_.ensure(1);
 }
 
 FrameId
@@ -167,58 +148,65 @@ FrameTable::intern(std::vector<StateId> &ids, bool *is_new)
     return internSorted(ids.data(), ids.size(), is_new);
 }
 
+uint64_t
+FrameTable::allocSpan(size_t n)
+{
+    using Geo = SegmentGeometry<kArenaBaseBits>;
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+        uint64_t start = tail;
+        size_t seg, off;
+        Geo::locate(start, seg, off);
+        if (off + n > Geo::capacityOf(seg)) {
+            size_t s = seg + 1;
+            while (Geo::capacityOf(s) < n)
+                ++s;
+            start = Geo::startOf(s);
+        }
+        if (tail_.compare_exchange_weak(tail, start + n,
+                                        std::memory_order_relaxed))
+            return start;
+    }
+}
+
 FrameId
 FrameTable::internSorted(const StateId *data, size_t n, bool *is_new)
 {
     uint64_t hash = hashFrame(data, n);
-    size_t i = hash & mask_;
-    while (slots_[i] != kNoFrameId) {
-        FrameId id = slots_[i];
-        // n == 0 short-circuits: memcmp takes nonnull pointers, and
-        // an empty input span has data == nullptr.
-        if (hashes_[id] == hash && sizeOf(id) == n &&
-            (n == 0 ||
-             std::memcmp(begin(id), data, n * sizeof(StateId)) == 0)) {
-            if (is_new)
-                *is_new = false;
+    return index_.intern(
+        hash,
+        [&](FrameId id) {
+            // n == 0 short-circuits: memcmp takes nonnull pointers,
+            // and an empty input span has data == nullptr.
+            return hashes_[id] == hash && lens_[id] == n &&
+                   (n == 0 ||
+                    std::memcmp(begin(id), data,
+                                n * sizeof(StateId)) == 0);
+        },
+        [&]() {
+            uint64_t start = n == 0 ? 0 : allocSpan(n);
+            if (n != 0) {
+                arena_.ensure(start + n);
+                std::memcpy(&arena_[start], data,
+                            n * sizeof(StateId));
+            }
+            FrameId id = size_.fetch_add(1, std::memory_order_acq_rel);
+            starts_.ensure(id + 1);
+            lens_.ensure(id + 1);
+            hashes_.ensure(id + 1);
+            starts_[id] = start;
+            lens_[id] = static_cast<uint32_t>(n);
+            hashes_[id] = hash;
             return id;
-        }
-        i = (i + 1) & mask_;
-    }
-    FrameId id = static_cast<FrameId>(hashes_.size());
-    arena_.insert(arena_.end(), data, data + n);
-    offsets_.push_back(arena_.size());
-    hashes_.push_back(hash);
-    slots_[i] = id;
-    if (is_new)
-        *is_new = true;
-    if ((hashes_.size() + 1) * 10 > slots_.size() * 7)
-        grow();
-    return id;
-}
-
-void
-FrameTable::grow()
-{
-    std::vector<FrameId> bigger(slots_.size() * 2, kNoFrameId);
-    size_t mask = bigger.size() - 1;
-    for (FrameId id = 0; id < hashes_.size(); ++id) {
-        size_t i = hashes_[id] & mask;
-        while (bigger[i] != kNoFrameId)
-            i = (i + 1) & mask;
-        bigger[i] = id;
-    }
-    slots_ = std::move(bigger);
-    mask_ = mask;
+        },
+        [&](FrameId id) { return hashes_[id]; }, is_new);
 }
 
 size_t
 FrameTable::bytes() const
 {
-    return arena_.capacity() * sizeof(StateId) +
-           offsets_.capacity() * sizeof(size_t) +
-           hashes_.capacity() * sizeof(uint64_t) +
-           slots_.capacity() * sizeof(FrameId);
+    return arena_.bytes() + starts_.bytes() + lens_.bytes() +
+           hashes_.bytes() + index_.bytes();
 }
 
 } // namespace cxl0::model

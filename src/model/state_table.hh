@@ -1,38 +1,58 @@
 /**
  * @file
- * Hash-consed interning of CXL0 states.
+ * Hash-consed interning of CXL0 states — safe for concurrent interning.
  *
  * The model checkers visit the same abstract states astronomically
  * often: every interleaving prefix, tau placement, and crash placement
  * re-derives states that differ in a handful of slots. A StateTable
- * stores each distinct state exactly once in a flat value arena and
- * hands out dense 32-bit StateIds, so visited-sets and search frontiers
- * can hold 4-byte ids instead of multi-vector State objects, and state
- * equality becomes an id comparison.
+ * stores each distinct state exactly once in a segmented value arena
+ * and hands out dense 32-bit StateIds, so visited-sets and search
+ * frontiers can hold 4-byte ids instead of multi-vector State objects,
+ * and state equality becomes an id comparison.
  *
- * The index is open-addressed (linear probing, power-of-two capacity)
- * and keyed by State::hash(), which is maintained incrementally by the
- * State mutators — interning a successor state never rescans the
- * vectors except for the final equality confirmation on a hash hit.
+ * Since the sharded-search refactor all three tables here are safe
+ * for *concurrent interning*: the parallel checkers share one table
+ * between worker threads, and a StateId/FrameId minted by one worker
+ * is meaningful to every other. The design:
+ *
+ *   - arenas are SegmentedArray/SegmentedSpans (common/segmented.hh):
+ *     an interned entry's address is stable for the table's lifetime,
+ *     so readers never chase a reallocating vector;
+ *
+ *   - the probe index is striped: 16 independently locked
+ *     open-addressed stripes, selected by the *top* hash bits (probe
+ *     positions use the low bits, so stripe choice and probe order
+ *     stay decorrelated). Equal contents hash equally and therefore
+ *     serialize on the same stripe — no duplicate ids, ever;
+ *
+ *   - ids come from one atomic counter, reserved only after a miss is
+ *     confirmed under the stripe lock, so ids stay *dense* as well as
+ *     stable.
+ *
+ * Reading an entry (materialize/at/begin) takes no lock. The
+ * publication contract: an id returned by intern() on thread A may be
+ * read on thread B once any synchronization edge A→B exists (the
+ * cross-shard handoff queues of the sharded frontier provide it); the
+ * content was fully written before the id was published.
  *
  * ValueSpanTable is the underlying shape-agnostic interner for flat
  * spans of Values; the explorer reuses it for register files.
- *
  * FrameTable interns *frames*: sorted, duplicate-free spans of
- * StateIds, i.e. whole state sets. Subset-construction checkers
- * (trace feasibility, refinement) previously deep-copied a
- * vector<State> per search step; with frames interned in one arena a
- * state set is a 4-byte FrameId, set equality is an id comparison,
- * and the per-step copies disappear.
+ * StateIds, i.e. whole state sets, in canonical form, so set equality
+ * is an id comparison.
  */
 
 #ifndef CXL0_MODEL_STATE_TABLE_HH
 #define CXL0_MODEL_STATE_TABLE_HH
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "common/segmented.hh"
 #include "common/types.hh"
 #include "model/state.hh"
 
@@ -62,8 +82,105 @@ using StateId = uint32_t;
 constexpr StateId kNoStateId = static_cast<StateId>(-1);
 
 /**
- * Interns fixed-stride spans of Values. Ids are dense and stable; the
- * arena never shrinks or moves an interned entry's contents.
+ * The striped, mutex-guarded probe index shared by the interning
+ * tables: maps content hashes to dense 32-bit ids. Each stripe is an
+ * independently locked open-addressed table (linear probing,
+ * power-of-two capacity, no deletion); a hash always probes the same
+ * stripe, so equal contents serialize and duplicates are impossible.
+ */
+class StripedIdIndex
+{
+  public:
+    StripedIdIndex();
+
+    /**
+     * Find-or-insert under the owning stripe's lock. `equals(id)`
+     * decides whether candidate `id` matches the probing content;
+     * `make()` reserves a fresh id and fully writes its content +
+     * hash (called at most once, still under the lock); `hashOf(id)`
+     * recovers the hash of an id for rehashing on stripe growth.
+     */
+    template <typename Eq, typename Make, typename HashOf>
+    uint32_t intern(uint64_t hash, Eq &&equals, Make &&make,
+                    HashOf &&hashOf, bool *is_new)
+    {
+        Stripe &st = stripes_[stripeOf(hash)];
+        std::lock_guard<std::mutex> lock(st.m);
+        size_t i = hash & st.mask;
+        while (st.slots[i] != kNoStateId) {
+            uint32_t id = st.slots[i];
+            if (equals(id)) {
+                if (is_new)
+                    *is_new = false;
+                return id;
+            }
+            i = (i + 1) & st.mask;
+        }
+        uint32_t id = make();
+        st.slots[i] = id;
+        ++st.count;
+        if (is_new)
+            *is_new = true;
+        // Keep the stripe's load factor below ~0.7.
+        if ((st.count + 1) * 10 > st.slots.size() * 7)
+            grow(st, hashOf);
+        return id;
+    }
+
+    /** Resident bytes of every stripe's slot vector. */
+    size_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr size_t kStripes = 16; //!< power of two
+    static constexpr size_t kStripeInitialSlots = 8;
+
+    struct alignas(64) Stripe
+    {
+        std::mutex m;
+        std::vector<uint32_t> slots; //!< kNoStateId = empty
+        size_t mask = kStripeInitialSlots - 1;
+        size_t count = 0;
+    };
+
+    static size_t stripeOf(uint64_t hash)
+    {
+        // Top bits: the probe position inside the stripe uses the low
+        // bits, so stripe choice must not correlate with them.
+        return (hash >> 58) & (kStripes - 1);
+    }
+
+    template <typename HashOf>
+    void grow(Stripe &st, HashOf &&hashOf)
+    {
+        std::vector<uint32_t> bigger(st.slots.size() * 2, kNoStateId);
+        size_t mask = bigger.size() - 1;
+        for (uint32_t id : st.slots) {
+            if (id == kNoStateId)
+                continue;
+            size_t i = hashOf(id) & mask;
+            while (bigger[i] != kNoStateId)
+                i = (i + 1) & mask;
+            bigger[i] = id;
+        }
+        bytes_.fetch_add(
+            (bigger.capacity() - st.slots.capacity()) *
+                sizeof(uint32_t),
+            std::memory_order_relaxed);
+        st.slots = std::move(bigger);
+        st.mask = mask;
+    }
+
+    std::array<Stripe, kStripes> stripes_;
+    std::atomic<size_t> bytes_{0};
+};
+
+/**
+ * Interns fixed-stride spans of Values. Ids are dense and stable; an
+ * interned entry's contents never move. Concurrent intern() calls are
+ * safe; reads of interned ids take no lock.
  */
 class ValueSpanTable
 {
@@ -87,37 +204,39 @@ class ValueSpanTable
     uint32_t intern2(const Value *a, size_t na, const Value *b,
                      uint64_t hash, bool *is_new = nullptr);
 
-    /** Start of the interned span for `id`. */
-    const Value *at(uint32_t id) const
-    {
-        return arena_.data() + static_cast<size_t>(id) * stride_;
-    }
+    /** Start of the interned span for `id` (stable address). */
+    const Value *at(uint32_t id) const { return spans_.at(id); }
 
     /** Content hash the span was interned under. */
     uint64_t hashOf(uint32_t id) const { return hashes_[id]; }
 
     /** Number of distinct spans interned. */
-    size_t size() const { return hashes_.size(); }
+    size_t size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
 
     /** Values per span. */
-    size_t stride() const { return stride_; }
+    size_t stride() const { return spans_.stride(); }
 
     /** Resident bytes: arena + hashes + probe index. */
     size_t bytes() const;
 
   private:
-    void grow();
+    /** 64-entry first segments: an idle table costs ~2 KiB, and the
+     *  geometric doubling amortizes growth identically to a vector. */
+    static constexpr unsigned kSpanBaseBits = 6;
 
-    size_t stride_;
-    std::vector<Value> arena_;
-    std::vector<uint64_t> hashes_;
-    std::vector<uint32_t> slots_; //!< open-addressed; kNoStateId = empty
-    size_t mask_ = 0;             //!< slots_.size() - 1
+    SegmentedSpans<Value, kSpanBaseBits> spans_;
+    SegmentedArray<uint64_t, kSpanBaseBits> hashes_;
+    std::atomic<uint32_t> size_{0};
+    StripedIdIndex index_;
 };
 
 /**
  * Hash-consing table for model::State. All states must share one shape
- * (numNodes, numAddrs); the shape is fixed at construction.
+ * (numNodes, numAddrs); the shape is fixed at construction. Safe for
+ * concurrent interning; materialize takes no lock.
  */
 class StateTable
 {
@@ -126,8 +245,8 @@ class StateTable
 
     /**
      * Intern a state, returning its dense id. Idempotent: equal states
-     * always map to the same id. `is_new` (optional) is set to whether
-     * this call inserted a fresh entry.
+     * always map to the same id, from any thread. `is_new` (optional)
+     * is set to whether this call inserted a fresh entry.
      */
     StateId intern(const State &s, bool *is_new = nullptr);
 
@@ -166,10 +285,11 @@ using FrameId = uint32_t;
 constexpr FrameId kNoFrameId = static_cast<FrameId>(-1);
 
 /**
- * Interns variable-length frames of StateIds in a flat arena. A frame
- * is stored in canonical form (sorted, duplicate-free), so two state
- * sets are equal iff their FrameIds are equal. Ids are dense and
- * stable; the arena never moves an interned frame's contents.
+ * Interns variable-length frames of StateIds in a segmented arena. A
+ * frame is stored in canonical form (sorted, duplicate-free), so two
+ * state sets are equal iff their FrameIds are equal. Ids are dense
+ * and stable; an interned frame's contents never move. Safe for
+ * concurrent interning; begin/end/sizeOf take no lock.
  */
 class FrameTable
 {
@@ -191,38 +311,57 @@ class FrameTable
     /** Start of frame `id`'s states (sorted ascending). */
     const StateId *begin(FrameId id) const
     {
-        return arena_.data() + offsets_[id];
+        return &arena_[starts_[id]];
     }
 
     /** One past the last state of frame `id`. */
     const StateId *end(FrameId id) const
     {
-        return arena_.data() + offsets_[id + 1];
+        return begin(id) + lens_[id];
     }
 
     /** Number of states in frame `id`. */
-    size_t sizeOf(FrameId id) const
-    {
-        return offsets_[id + 1] - offsets_[id];
-    }
+    size_t sizeOf(FrameId id) const { return lens_[id]; }
 
     /** Content hash the frame was interned under. */
     uint64_t hashOf(FrameId id) const { return hashes_[id]; }
 
     /** Number of distinct frames interned. */
-    size_t size() const { return hashes_.size(); }
+    size_t size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
 
     /** Resident bytes: arena + offsets + hashes + probe index. */
     size_t bytes() const;
 
   private:
-    void grow();
+    /** Frame spans live in 256-entry-based segments (doubling): the
+     *  idle floor is one 1 KiB segment, and boundary padding is
+     *  bounded by one span per segment. */
+    static constexpr unsigned kArenaBaseBits = 8;
 
-    std::vector<StateId> arena_;
-    std::vector<size_t> offsets_; //!< size()+1 entries; [i, i+1) spans
-    std::vector<uint64_t> hashes_;
-    std::vector<FrameId> slots_; //!< open-addressed; kNoFrameId = empty
-    size_t mask_ = 0;            //!< slots_.size() - 1
+    /** Frame metadata grows from 64-entry segments like the state
+     *  tables — idle tables must stay near-free. */
+    static constexpr unsigned kMetaBaseBits = 6;
+
+    /**
+     * Reserve a contiguous arena span of n ids (CAS bump). A span
+     * never straddles a segment boundary: when the current segment's
+     * tail cannot hold it, the span starts at the next segment that
+     * can (the skipped tail stays dead — bounded by one span).
+     */
+    uint64_t allocSpan(size_t n);
+
+    SegmentedArray<StateId, kArenaBaseBits> arena_;
+    std::atomic<uint64_t> tail_{0}; //!< arena bump pointer
+    /** frame id -> arena start */
+    SegmentedArray<uint64_t, kMetaBaseBits> starts_;
+    /** frame id -> member count */
+    SegmentedArray<uint32_t, kMetaBaseBits> lens_;
+    SegmentedArray<uint64_t, kMetaBaseBits> hashes_;
+    std::atomic<uint32_t> size_{0};
+    StripedIdIndex index_;
 };
 
 } // namespace cxl0::model

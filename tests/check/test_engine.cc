@@ -163,6 +163,39 @@ TEST(FlatConfigSetTest, InsertContainsAndGrowth)
     EXPECT_GT(set.bytes(), 1000 * sizeof(PackedConfig));
 }
 
+TEST(FlatDepthMapTest, ProbeLoopInsertsRaisesPrunesRejects)
+{
+    struct IdHash
+    {
+        size_t operator()(uint64_t k) const
+        {
+            return static_cast<size_t>(k * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+    FlatDepthMap<uint64_t, IdHash> memo;
+    using O = FlatDepthMap<uint64_t, IdHash>::Outcome;
+
+    EXPECT_EQ(memo.insertOrRaise(42, 3, true), O::Inserted);
+    // Shallower or equal remaining depth: nothing new reachable.
+    EXPECT_EQ(memo.insertOrRaise(42, 3, true), O::Pruned);
+    EXPECT_EQ(memo.insertOrRaise(42, 2, true), O::Pruned);
+    // Deeper: re-expand.
+    EXPECT_EQ(memo.insertOrRaise(42, 5, true), O::Raised);
+    EXPECT_EQ(memo.insertOrRaise(42, 4, true), O::Pruned);
+    // Budget refusal applies to fresh keys only.
+    EXPECT_EQ(memo.insertOrRaise(43, 1, false), O::Rejected);
+    EXPECT_EQ(memo.insertOrRaise(42, 9, false), O::Raised);
+    EXPECT_EQ(memo.size(), 1u);
+
+    // Growth keeps every recorded depth findable.
+    for (uint64_t k = 100; k < 1500; ++k)
+        EXPECT_EQ(memo.insertOrRaise(k, 7, true), O::Inserted);
+    for (uint64_t k = 100; k < 1500; ++k)
+        EXPECT_EQ(memo.insertOrRaise(k, 7, true), O::Pruned);
+    EXPECT_EQ(memo.size(), 1401u);
+    EXPECT_GT(memo.bytes(), 0u);
+}
+
 TEST(CheckReportTest, DescribeSummarizes)
 {
     CheckReport r;

@@ -511,6 +511,68 @@ TEST(ExplorerRegression, FrontierPoliciesProduceIdenticalOutcomes)
     }
 }
 
+TEST(ExplorerRegression, ThreadCountNeverChangesTheReport)
+{
+    // The sharded parallel driver must be invisible in the results:
+    // for every litmus anchor, numThreads in {1, 2, 4} yield the
+    // same outcome set, the same distinct-config count, the same
+    // completeness — and the 1-thread run is the exact sequential
+    // search. (Per-worker splits, wall-clock, and byte counts may
+    // differ; nothing semantic may.)
+    for (const LitmusProgram &lp : explorerPrograms()) {
+        Cxl0Model model(lp.config, lp.variant);
+        CheckRequest one = lp.options;
+        one.numThreads = 1;
+        CheckReport base = Explorer(model, lp.program, one).check();
+        ASSERT_FALSE(base.truncated) << lp.name;
+        for (size_t n : {2, 4}) {
+            CheckRequest req = lp.options;
+            req.numThreads = n;
+            CheckReport res =
+                Explorer(model, lp.program, req).check();
+            EXPECT_EQ(res.verdict, base.verdict)
+                << lp.name << " x" << n;
+            EXPECT_EQ(res.outcomes, base.outcomes)
+                << lp.name << " x" << n;
+            EXPECT_EQ(res.truncated, base.truncated)
+                << lp.name << " x" << n;
+            EXPECT_EQ(res.stats.configsInterned,
+                      base.stats.configsInterned)
+                << lp.name << " x" << n;
+            EXPECT_EQ(res.stats.configsVisited,
+                      base.stats.configsVisited)
+                << lp.name << " x" << n;
+        }
+    }
+}
+
+TEST(ExplorerRegression, StatsMergeCombinesWorkerPartials)
+{
+    SearchStats a, b;
+    a.configsVisited = 10;
+    a.configsInterned = 8;
+    a.statesInterned = 100; // shared-table view
+    a.peakVisitedBytes = 1000;
+    a.tableBytes = 5000;
+    a.tauMovesSkipped = 3;
+    a.seconds = 0.5;
+    b.configsVisited = 7;
+    b.configsInterned = 6;
+    b.statesInterned = 100;
+    b.peakVisitedBytes = 800;
+    b.tableBytes = 5000;
+    b.tauMovesSkipped = 1;
+    b.seconds = 0.9;
+    a.merge(b);
+    EXPECT_EQ(a.configsVisited, 17u);     // per-worker: adds
+    EXPECT_EQ(a.configsInterned, 14u);    // per-worker: adds
+    EXPECT_EQ(a.peakVisitedBytes, 1800u); // worker-owned: adds
+    EXPECT_EQ(a.statesInterned, 100u);    // shared: max, not 200
+    EXPECT_EQ(a.tableBytes, 5000u);       // shared: max, not 10000
+    EXPECT_EQ(a.tauMovesSkipped, 4u);
+    EXPECT_DOUBLE_EQ(a.seconds, 0.9); // concurrent wall-clock: max
+}
+
 TEST(ExplorerRegression, StatsDescribeTheRun)
 {
     LitmusProgram lp = litmus4Program();

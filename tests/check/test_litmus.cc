@@ -112,13 +112,15 @@ TEST(LitmusDetails, Test5BlocksAtTheLoad)
 // whole reachable outcome sets as regression anchors.
 // ---------------------------------------------------------------------
 
-TEST(LitmusPrograms, InventoryCoversMessagePassingTrio)
+TEST(LitmusPrograms, InventoryCoversRecastTests)
 {
     auto programs = explorerPrograms();
-    ASSERT_EQ(programs.size(), 5u);
+    ASSERT_EQ(programs.size(), 7u);
     EXPECT_EQ(programs[2].id, 14);
     EXPECT_EQ(programs[3].id, 15);
     EXPECT_EQ(programs[4].id, 16);
+    EXPECT_EQ(programs[5].id, 17); // RMW flavours
+    EXPECT_EQ(programs[6].id, 12); // multi-crash schedules
 }
 
 /**
@@ -180,6 +182,49 @@ TEST(LitmusPrograms, GpfProtectsOnlyAgainstLaterCrashes)
     // covered by extendedTests(); this anchors the program-level set.
     expectOutcomePairs(litmus16Program(),
                        {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+}
+
+TEST(LitmusPrograms, RmwFlavoursSplitUnderOwnerCrash)
+{
+    // Tests 17+18 as one program. Locked exact outcome set over
+    // (r0, r1, r2, r3) = (FAA old value, CAS success flag, d
+    // read-back, f read-back): the L-RMW'd data may or may not
+    // survive the owner's crash, the successful M-RMW'd flag always
+    // does, and the RMW return values are fixed by §3.3.
+    LitmusProgram lp = litmus17Program();
+    cxl0::model::Cxl0Model model(lp.config, lp.variant);
+    CheckReport res = Explorer(model, lp.program, lp.options).check();
+    ASSERT_FALSE(res.truncated);
+
+    std::set<std::vector<cxl0::Value>> seen;
+    for (const Outcome &o : res.outcomes)
+        seen.insert(o.regs[0]);
+    std::set<std::vector<cxl0::Value>> expected{{0, 1, 0, 1},
+                                                {0, 1, 1, 1}};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(LitmusPrograms, DoubleCrashSchedulesKeepReadCoherence)
+{
+    // Test 12's shape under Base with two owner crashes. Locked
+    // exact (r0, r1) set: the observed-then-lost split (1, 0) is
+    // reachable, but a read of 0 can never be followed by a read of
+    // 1 — the value is gone for good once both the writer's cache
+    // copy and the owner's memory lost it.
+    LitmusProgram lp = litmus12Program();
+    cxl0::model::Cxl0Model model(lp.config, lp.variant);
+    CheckReport res = Explorer(model, lp.program, lp.options).check();
+    ASSERT_FALSE(res.truncated);
+
+    std::set<std::pair<cxl0::Value, cxl0::Value>> seen;
+    for (const Outcome &o : res.outcomes)
+        seen.insert({o.regs[0][0], o.regs[0][1]});
+    std::set<std::pair<cxl0::Value, cxl0::Value>> expected{
+        {0, 0}, {1, 0}, {1, 1}};
+    EXPECT_EQ(seen, expected);
+    // The writer's machine never crashes.
+    for (const Outcome &o : res.outcomes)
+        EXPECT_EQ(o.crashedThreads, 0u);
 }
 
 TEST(LitmusDetails, Test12RequiresTwoCrashes)

@@ -309,6 +309,63 @@ TEST(RefinementReport, InternedFramesUseLessMemoryThanReference)
               ref.stats.peakVisitedBytes);
 }
 
+TEST(RefinementReport, ThreadCountNeverChangesTheVerdict)
+{
+    // Sharded-parallel refinement: for every §3.5 pair (passing and
+    // violated), numThreads in {1, 2, 4} must agree on the verdict,
+    // on completeness, on whether a counterexample exists — and on
+    // the distinct-pair count for runs that finish their search (a
+    // violated run stops at the first violation, whose discovery
+    // point legitimately depends on scheduling).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb),
+        psn(cfg, ModelVariant::Psn);
+    struct Pair
+    {
+        const Cxl0Model *spec;
+        const Cxl0Model *impl;
+        const char *what;
+    };
+    Pair pairs[] = {
+        {&base, &lwb, "lwb in base"},
+        {&base, &psn, "psn in base"},
+        {&lwb, &base, "base in lwb"},
+        {&psn, &lwb, "lwb in psn"},
+    };
+    Alphabet small = smallAlphabet(cfg);
+    for (const Pair &p : pairs) {
+        CheckRequest one;
+        one.maxDepth = 4;
+        one.numThreads = 1;
+        CheckReport ref =
+            checkRefinement(*p.spec, *p.impl, small, one);
+        for (size_t n : {2, 4}) {
+            CheckRequest req = one;
+            req.numThreads = n;
+            CheckReport res =
+                checkRefinement(*p.spec, *p.impl, small, req);
+            EXPECT_EQ(res.verdict, ref.verdict)
+                << p.what << " x" << n;
+            EXPECT_EQ(res.counterexample.trace.empty(),
+                      ref.counterexample.trace.empty())
+                << p.what << " x" << n;
+            EXPECT_EQ(res.truncated, ref.truncated)
+                << p.what << " x" << n;
+            if (ref.verdict != CheckVerdict::Fail) {
+                EXPECT_EQ(res.stats.configsInterned,
+                          ref.stats.configsInterned)
+                    << p.what << " x" << n;
+            } else {
+                // Any counterexample must be a genuine impl trace.
+                TraceChecker impl_checker(*p.impl);
+                EXPECT_TRUE(impl_checker.feasible(
+                    res.counterexample.trace))
+                    << p.what << " x" << n;
+            }
+        }
+    }
+}
+
 TEST(RefinementReport, ZeroDepthRejected)
 {
     SystemConfig cfg = variantConfig();

@@ -56,6 +56,45 @@ TEST(CheckTraceInclusion, IdenticalTracesAlwaysIncluded)
     EXPECT_TRUE(r.holds) << r.counterexample;
 }
 
+TEST(CheckTraceInclusion, ThreadCountNeverChangesTheReport)
+{
+    // The parallel driver partitions start states across workers but
+    // keeps the report deterministic: the lowest failing start index
+    // wins, so verdict AND counterexample text are identical for
+    // numThreads in {1, 2, 4} — on a passing and on a failing query.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    auto states = enumerateStates(cfg, 1);
+
+    struct Query
+    {
+        std::vector<Label> lhs, rhs;
+    };
+    Query queries[] = {
+        // Passing: identical traces.
+        {{Label::rstore(0, 0, 1)}, {Label::rstore(0, 0, 1)}},
+        // Failing: LStore is not simulated by MStore.
+        {{Label::lstore(1, 0, 1)}, {Label::mstore(1, 0, 1)}},
+    };
+    for (const Query &q : queries) {
+        CheckRequest one;
+        one.numThreads = 1;
+        CheckReport ref =
+            checkTraceInclusion(model, states, q.lhs, q.rhs, one);
+        for (size_t n : {2, 4}) {
+            CheckRequest req;
+            req.numThreads = n;
+            CheckReport res =
+                checkTraceInclusion(model, states, q.lhs, q.rhs, req);
+            EXPECT_EQ(res.verdict, ref.verdict) << "x" << n;
+            EXPECT_EQ(res.counterexample.description,
+                      ref.counterexample.description)
+                << "x" << n;
+            EXPECT_EQ(res.truncated, ref.truncated) << "x" << n;
+        }
+    }
+}
+
 TEST(Prop1Items, EightItemsInstantiate)
 {
     auto items = prop1Items(0, 1, 0, 0, 1);

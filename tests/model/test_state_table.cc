@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hh"
@@ -216,6 +218,126 @@ TEST(FrameTable, IdsSurviveTableGrowth)
         EXPECT_EQ(table.intern(again), ids[i]);
     }
     EXPECT_GT(table.bytes(), 0u);
+}
+
+TEST(StateTableConcurrency, EightThreadsInternOverlappingStates)
+{
+    // The sharded searches intern into one shared table from every
+    // worker. Eight threads intern overlapping state populations
+    // (every state is interned by at least two threads); afterwards
+    // ids must be dense, stable, and content-faithful: equal content
+    // -> equal id across threads, and every id materializes back to
+    // the state that produced it. Run under ThreadSanitizer in CI.
+    constexpr size_t kThreads = 8;
+    constexpr int kStatesPerThread = 400;
+    StateTable table(2, 2);
+
+    // Deterministic population: thread t interns states derived from
+    // seeds t and (t+1) % kThreads, so neighbours overlap fully.
+    auto stateFor = [](size_t seed, int i) {
+        State s(2, 2);
+        Rng rng(0x9000 + seed * 7919 + i);
+        for (cxl0::NodeId n = 0; n < 2; ++n)
+            for (cxl0::Addr x = 0; x < 2; ++x)
+                if (rng.chance(1, 2))
+                    s.setCache(n, x, rng.nextInRange(0, 40));
+        for (cxl0::Addr x = 0; x < 2; ++x)
+            s.setMemory(x, rng.nextInRange(0, 40));
+        return s;
+    };
+
+    std::vector<std::vector<StateId>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t seed : {t, (t + 1) % kThreads})
+                for (int i = 0; i < kStatesPerThread; ++i)
+                    ids[t].push_back(
+                        table.intern(stateFor(seed, i)));
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    // Ids are dense: every id below size() resolves; none above was
+    // handed out.
+    size_t total = table.size();
+    for (size_t t = 0; t < kThreads; ++t)
+        for (StateId id : ids[t])
+            EXPECT_LT(id, total);
+
+    // Id stability across threads: thread t's second population is
+    // thread (t+1)'s first, so the id sequences must coincide.
+    for (size_t t = 0; t < kThreads; ++t) {
+        const auto &mine = ids[t];
+        const auto &theirs = ids[(t + 1) % kThreads];
+        for (int i = 0; i < kStatesPerThread; ++i)
+            EXPECT_EQ(mine[kStatesPerThread + i], theirs[i]);
+    }
+
+    // Content-faithful round trips, and re-interning changes nothing.
+    for (size_t t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kStatesPerThread; ++i) {
+            State expect = stateFor(t, i);
+            EXPECT_EQ(table.materialize(ids[t][i]), expect);
+            EXPECT_EQ(table.intern(expect), ids[t][i]);
+        }
+    }
+    EXPECT_EQ(table.size(), total);
+}
+
+TEST(StateTableConcurrency, EightThreadsInternOverlappingFrames)
+{
+    // Same discipline for the frame table: overlapping frame
+    // populations from eight threads, then id stability and span
+    // fidelity. Run under ThreadSanitizer in CI.
+    constexpr size_t kThreads = 8;
+    constexpr int kFramesPerThread = 300;
+    cxl0::model::FrameTable table;
+
+    auto frameFor = [](size_t seed, int i) {
+        std::vector<StateId> f;
+        Rng rng(0x7000 + seed * 6007 + i);
+        size_t len = rng.nextBelow(9);
+        for (size_t k = 0; k < len; ++k)
+            f.push_back(static_cast<StateId>(rng.nextBelow(50000)));
+        std::sort(f.begin(), f.end());
+        f.erase(std::unique(f.begin(), f.end()), f.end());
+        return f;
+    };
+
+    std::vector<std::vector<cxl0::model::FrameId>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t seed : {t, (t + 1) % kThreads}) {
+                for (int i = 0; i < kFramesPerThread; ++i) {
+                    std::vector<StateId> scratch = frameFor(seed, i);
+                    ids[t].push_back(table.intern(scratch));
+                }
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    size_t total = table.size();
+    for (size_t t = 0; t < kThreads; ++t) {
+        const auto &mine = ids[t];
+        const auto &theirs = ids[(t + 1) % kThreads];
+        for (int i = 0; i < kFramesPerThread; ++i) {
+            EXPECT_LT(mine[i], total);
+            EXPECT_EQ(mine[kFramesPerThread + i], theirs[i]);
+        }
+    }
+    for (size_t t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kFramesPerThread; ++i) {
+            std::vector<StateId> expect = frameFor(t, i);
+            ASSERT_EQ(table.sizeOf(ids[t][i]), expect.size());
+            EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                                   table.begin(ids[t][i])));
+        }
+    }
 }
 
 TEST(ValueSpanTable, InternsFixedStrideSpans)
