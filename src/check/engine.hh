@@ -147,6 +147,8 @@ struct CheckRequest
      * feasibility) accept the field and run one worker.
      */
     size_t numThreads = 1;
+
+    bool operator==(const CheckRequest &other) const = default;
 };
 
 /** Three-valued verdict shared by every checker. */

@@ -49,9 +49,12 @@ std::vector<model::State> enumerateStates(const model::SystemConfig &cfg,
  * a sorted-frame merge walk, and the report carries the shared
  * SearchStats. CheckRequest::numThreads partitions the start states
  * across that many ShardEngine workers; the *lowest* failing start
- * index wins, so the verdict and counterexample are independent of
- * the worker count. Fail attaches the offending start state / target
- * in the counterexample.
+ * index wins, so for runs that complete within the config budget the
+ * verdict and counterexample are independent of the worker count (a
+ * maxConfigs-truncated run is the usual exception — see
+ * CheckRequest::numThreads — since scheduling decides which start
+ * states fit under the budget). Fail attaches the offending start
+ * state / target in the counterexample.
  */
 CheckReport checkTraceInclusion(const model::Cxl0Model &model,
                                 const std::vector<model::State> &states,

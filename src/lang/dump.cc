@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Serializer for the scenario DSL: the canonical text form.
+ *
+ * dumpScenario emits exactly the language parser.cc accepts, in a
+ * fixed directive order with fixed spacing, so a dumped scenario is
+ * both re-parseable (parse(dump(s)) == s, tested for every built-in
+ * LitmusProgram) and byte-stable (the corpus anti-drift test compares
+ * the tracked files against a fresh export byte-for-byte).
+ */
+
+#include "lang/scenario.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cxl0::lang
+{
+
+namespace
+{
+
+using check::Operand;
+using check::ProgInstr;
+using model::Label;
+using model::Op;
+
+void
+append(std::string &out, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    char buf[256];
+    int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return;
+    }
+    if (n < static_cast<int>(sizeof buf)) {
+        out.append(buf, static_cast<size_t>(n));
+    } else {
+        // Longer line (e.g. a long location name): size exactly.
+        std::string big(static_cast<size_t>(n) + 1, '\0');
+        std::vsnprintf(big.data(), big.size(), fmt, ap2);
+        out.append(big.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+}
+
+/**
+ * The grammar has no string escapes: quotes become apostrophes and
+ * control characters spaces, so a programmatically built name always
+ * dumps to a line the parser accepts.
+ */
+std::string
+sanitizedName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '"')
+            c = '\'';
+        else if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+    }
+    return out;
+}
+
+/** DSL flavour suffix of an RMW op. */
+char
+rmwSuffix(Op op)
+{
+    return op == Op::LRmw ? 'l' : op == Op::RRmw ? 'r' : 'm';
+}
+
+std::string
+operandText(const Operand &o)
+{
+    if (o.isReg)
+        return "r" + std::to_string(o.reg);
+    return std::to_string(o.imm);
+}
+
+void
+dumpInstr(std::string &out, const Scenario &sc, const ProgInstr &i)
+{
+    const std::string &x =
+        i.addr < sc.addrNames.size() ? sc.addrNames[i.addr] : "?";
+    switch (i.kind) {
+    case ProgInstr::Kind::Load:
+        append(out, "  r%d = load %s\n", i.dest, x.c_str());
+        break;
+    case ProgInstr::Kind::Store:
+        append(out, "  %cstore %s %s\n",
+               i.op == Op::LStore   ? 'l'
+               : i.op == Op::RStore ? 'r'
+                                    : 'm',
+               x.c_str(), operandText(i.value).c_str());
+        break;
+    case ProgInstr::Kind::Flush:
+        append(out, "  %cflush %s\n", i.op == Op::LFlush ? 'l' : 'r',
+               x.c_str());
+        break;
+    case ProgInstr::Kind::Gpf:
+        out += "  gpf\n";
+        break;
+    case ProgInstr::Kind::Faa:
+        append(out, "  r%d = faa.%c %s %s\n", i.dest, rmwSuffix(i.op),
+               x.c_str(), operandText(i.value).c_str());
+        break;
+    case ProgInstr::Kind::Cas:
+        append(out, "  r%d = cas.%c %s %s %s\n", i.dest,
+               rmwSuffix(i.op), x.c_str(),
+               operandText(i.expected).c_str(),
+               operandText(i.value).c_str());
+        break;
+    }
+}
+
+void
+dumpLabel(std::string &out, const Scenario &sc, const Label &l)
+{
+    const std::string &x =
+        l.addr < sc.addrNames.size() ? sc.addrNames[l.addr] : "?";
+    switch (l.op) {
+    case Op::Load:
+        append(out, "  load %u %s %lld\n", l.node, x.c_str(),
+               static_cast<long long>(l.value));
+        break;
+    case Op::LStore:
+    case Op::RStore:
+    case Op::MStore:
+        append(out, "  %cstore %u %s %lld\n",
+               l.op == Op::LStore   ? 'l'
+               : l.op == Op::RStore ? 'r'
+                                    : 'm',
+               l.node, x.c_str(), static_cast<long long>(l.value));
+        break;
+    case Op::LFlush:
+    case Op::RFlush:
+        append(out, "  %cflush %u %s\n",
+               l.op == Op::LFlush ? 'l' : 'r', l.node, x.c_str());
+        break;
+    case Op::Gpf:
+        append(out, "  gpf %u\n", l.node);
+        break;
+    case Op::LRmw:
+    case Op::RRmw:
+    case Op::MRmw:
+        append(out, "  %crmw %u %s %lld %lld\n",
+               l.op == Op::LRmw   ? 'l'
+               : l.op == Op::RRmw ? 'r'
+                                  : 'm',
+               l.node, x.c_str(), static_cast<long long>(l.expected),
+               static_cast<long long>(l.value));
+        break;
+    case Op::Crash:
+        append(out, "  crash %u\n", l.node);
+        break;
+    case Op::Tau:
+        // Tau is never serialized: the checkers interleave it.
+        break;
+    }
+}
+
+void
+dumpRow(std::string &out, const check::Outcome &o)
+{
+    out += "  (";
+    for (size_t t = 0; t < o.regs.size(); ++t) {
+        if (t)
+            out += " |";
+        for (Value v : o.regs[t])
+            append(out, " %lld", static_cast<long long>(v));
+    }
+    out += " )";
+    if (o.crashedThreads) {
+        out += " @crashed";
+        for (size_t t = 0; t < o.regs.size() && t < 32; ++t)
+            if (o.crashedThreads & (1u << t))
+                append(out, " %zu", t);
+    }
+    out += "\n";
+}
+
+void
+dumpTrace(std::string &out, const Scenario &sc, const char *head,
+          const std::vector<Label> &trace)
+{
+    if (trace.empty())
+        return;
+    out += "\n";
+    out += head;
+    out += " {\n";
+    for (const Label &l : trace)
+        dumpLabel(out, sc, l);
+    out += "}\n";
+}
+
+} // namespace
+
+std::string
+dumpScenario(const Scenario &sc)
+{
+    const check::CheckRequest defaults;
+    std::string out;
+    out += "litmus \"" + sanitizedName(sc.name) + "\"\n";
+    if (sc.id != 0)
+        append(out, "id %d\n", sc.id);
+    if (sc.variant != model::ModelVariant::Base)
+        append(out, "variant %s\n", variantWord(sc.variant));
+
+    out += "\n";
+    for (size_t i = 0; i < sc.machinePersistent.size(); ++i)
+        append(out, "machine %zu %s\n", i,
+               sc.machinePersistent[i] ? "nvmm" : "volatile");
+    for (size_t a = 0; a < sc.addrNames.size(); ++a)
+        append(out, "addr %s @ %u\n", sc.addrNames[a].c_str(),
+               sc.addrOwner[a]);
+
+    out += "\n";
+    append(out, "registers %d\n", sc.program.numRegs);
+    if (sc.request.maxCrashesPerNode > 0) {
+        if (sc.request.crashableNodes.empty()) {
+            append(out, "crash any max %d\n",
+                   sc.request.maxCrashesPerNode);
+        } else {
+            for (NodeId n : sc.request.crashableNodes)
+                append(out, "crash node %u max %d\n", n,
+                       sc.request.maxCrashesPerNode);
+        }
+    }
+    if (sc.request.maxConfigs != defaults.maxConfigs)
+        append(out, "max-configs %zu\n", sc.request.maxConfigs);
+    if (sc.request.maxDepth != defaults.maxDepth)
+        append(out, "max-depth %zu\n", sc.request.maxDepth);
+
+    for (size_t t = 0; t < sc.program.threads.size(); ++t) {
+        const check::ProgThread &thread = sc.program.threads[t];
+        append(out, "\nthread %zu on %u {\n", t, thread.node);
+        for (const ProgInstr &i : thread.code)
+            dumpInstr(out, sc, i);
+        out += "}\n";
+    }
+
+    dumpTrace(out, sc, "trace", sc.trace);
+    dumpTrace(out, sc, "trace lhs", sc.traceLhs);
+    dumpTrace(out, sc, "trace rhs", sc.traceRhs);
+    if (sc.expectedVerdict.has_value())
+        append(out, "\nverdict %s\n",
+               *sc.expectedVerdict == check::Verdict::Allowed
+                   ? "allowed"
+                   : "forbidden");
+
+    if (sc.expectKind != AnchorKind::None) {
+        append(out, "\nexpect %s {\n",
+               sc.expectKind == AnchorKind::Exact ? "exact"
+                                                  : "subset");
+        for (const check::Outcome &o : sc.expected)
+            dumpRow(out, o);
+        out += "}\n";
+    }
+    if (!sc.forbidden.empty()) {
+        out += "\nforbid {\n";
+        for (const check::Outcome &o : sc.forbidden)
+            dumpRow(out, o);
+        out += "}\n";
+    }
+    return out;
+}
+
+} // namespace cxl0::lang

@@ -1,0 +1,1082 @@
+/**
+ * @file
+ * Recursive-descent parser for the scenario DSL.
+ *
+ * The language is line-oriented: one directive, instruction, label,
+ * or outcome row per line, with `{ ... }` blocks for threads, traces,
+ * and anchors. The lexer attaches a 1-based (line, col) to every
+ * token and the parser fails fast with one located diagnostic, so
+ * malformed corpus files point at the offending token, not at a
+ * generic "syntax error". The grammar is specified in
+ * src/lang/README.md; dump.cc emits exactly this language back.
+ */
+
+#include "lang/scenario.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace cxl0::lang
+{
+
+namespace
+{
+
+using check::Operand;
+using check::ProgInstr;
+using model::Label;
+using model::Op;
+
+struct Token
+{
+    enum class Kind
+    {
+        Ident,
+        Int,
+        String,
+        Punct,
+        Newline,
+        End,
+    };
+
+    Kind kind = Kind::End;
+    std::string text; //!< ident text / punct char / string contents
+    long long ival = 0;
+    SourceLoc loc;
+
+    /** How the token reads in an error message. */
+    std::string show() const
+    {
+        switch (kind) {
+        case Kind::Ident:
+        case Kind::Punct:
+            return "'" + text + "'";
+        case Kind::Int:
+            return "'" + std::to_string(ival) + "'";
+        case Kind::String:
+            return "string \"" + text + "\"";
+        case Kind::Newline:
+            return "end of line";
+        case Kind::End:
+            return "end of file";
+        }
+        return "?";
+    }
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+}
+
+/** Whether an identifier names a register (r0, r1, ...). */
+bool
+isRegToken(const std::string &s)
+{
+    if (s.size() < 2 || s[0] != 'r')
+        return false;
+    for (size_t i = 1; i < s.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+    return true;
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    /** Tokenize everything; false + diagnostic on a bad character. */
+    bool run(std::vector<Token> &out, Diagnostic &err)
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '\n') {
+                out.push_back({Token::Kind::Newline, "\n", 0, loc()});
+                advance();
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r') {
+                advance();
+                continue;
+            }
+            if (c == '#') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    advance();
+                continue;
+            }
+            if (c == '"') {
+                if (!lexString(out, err))
+                    return false;
+                continue;
+            }
+            if (std::string("{}()|=@,").find(c) != std::string::npos) {
+                out.push_back(
+                    {Token::Kind::Punct, std::string(1, c), 0, loc()});
+                advance();
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                (c == '-' && pos_ + 1 < text_.size() &&
+                 std::isdigit(
+                     static_cast<unsigned char>(text_[pos_ + 1])))) {
+                if (!lexInt(out, err))
+                    return false;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                lexIdent(out);
+                continue;
+            }
+            if (std::isprint(static_cast<unsigned char>(c))) {
+                err = {loc(), std::string("unexpected character '") +
+                                  c + "'"};
+            } else {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\x%02x",
+                              static_cast<unsigned char>(c));
+                err = {loc(),
+                       std::string("unexpected character '") + hex +
+                           "'"};
+            }
+            return false;
+        }
+        out.push_back({Token::Kind::End, "", 0, loc()});
+        return true;
+    }
+
+  private:
+    SourceLoc loc() const { return {line_, col_}; }
+
+    void advance()
+    {
+        if (text_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+    }
+
+    bool lexString(std::vector<Token> &out, Diagnostic &err)
+    {
+        SourceLoc start = loc();
+        advance(); // opening quote
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '"' &&
+               text_[pos_] != '\n') {
+            s += text_[pos_];
+            advance();
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            err = {start, "unterminated string"};
+            return false;
+        }
+        advance(); // closing quote
+        out.push_back({Token::Kind::String, std::move(s), 0, start});
+        return true;
+    }
+
+    bool lexInt(std::vector<Token> &out, Diagnostic &err)
+    {
+        SourceLoc start = loc();
+        std::string s;
+        if (text_[pos_] == '-') {
+            s += '-';
+            advance();
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            s += text_[pos_];
+            advance();
+        }
+        errno = 0;
+        long long v = std::strtoll(s.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+            err = {start, "integer literal " + s +
+                              " out of range (64-bit)"};
+            return false;
+        }
+        out.push_back({Token::Kind::Int, s, v, start});
+        return true;
+    }
+
+    void lexIdent(std::vector<Token> &out)
+    {
+        SourceLoc start = loc();
+        std::string s;
+        while (pos_ < text_.size() && isIdentChar(text_[pos_])) {
+            s += text_[pos_];
+            advance();
+        }
+        out.push_back({Token::Kind::Ident, std::move(s), 0, start});
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks))
+    {
+    }
+
+    ParseResult run()
+    {
+        parseTop();
+        ParseResult r;
+        if (failed_) {
+            r.error = err_;
+        } else {
+            r.scenario = std::move(sc_);
+        }
+        return r;
+    }
+
+  private:
+    // ----------------------------------------------------- utilities
+
+    const Token &peek() const { return toks_[pos_]; }
+
+    Token next() { return toks_[pos_ == last() ? pos_ : pos_++]; }
+
+    size_t last() const { return toks_.size() - 1; }
+
+    void fail(SourceLoc loc, std::string msg)
+    {
+        if (!failed_) {
+            failed_ = true;
+            err_ = {loc, std::move(msg)};
+        }
+    }
+
+    void skipNewlines()
+    {
+        while (peek().kind == Token::Kind::Newline)
+            ++pos_;
+    }
+
+    /** Consume an end-of-line (or end-of-file). */
+    bool endOfLine()
+    {
+        const Token &t = peek();
+        if (t.kind == Token::Kind::End)
+            return true;
+        if (t.kind == Token::Kind::Newline) {
+            ++pos_;
+            return true;
+        }
+        fail(t.loc, "unexpected " + t.show() + " at end of line");
+        return false;
+    }
+
+    bool expectPunct(char c)
+    {
+        Token t = next();
+        if (t.kind != Token::Kind::Punct || t.text[0] != c) {
+            fail(t.loc, std::string("expected '") + c + "', got " +
+                            t.show());
+            return false;
+        }
+        return true;
+    }
+
+    bool expectInt(long long &out)
+    {
+        Token t = next();
+        if (t.kind != Token::Kind::Int) {
+            fail(t.loc, "expected a number, got " + t.show());
+            return false;
+        }
+        out = t.ival;
+        return true;
+    }
+
+    bool expectIdent(Token &out)
+    {
+        out = next();
+        if (out.kind != Token::Kind::Ident) {
+            fail(out.loc, "expected an identifier, got " + out.show());
+            return false;
+        }
+        return true;
+    }
+
+    bool nodeId(NodeId &out)
+    {
+        Token t = peek();
+        long long v;
+        if (!expectInt(v))
+            return false;
+        if (v < 0 ||
+            v >= static_cast<long long>(sc_.machinePersistent.size())) {
+            fail(t.loc, "node " + std::to_string(v) +
+                            " out of range (" +
+                            std::to_string(
+                                sc_.machinePersistent.size()) +
+                            " machine(s))");
+            return false;
+        }
+        out = static_cast<NodeId>(v);
+        return true;
+    }
+
+    bool addrByName(Addr &out)
+    {
+        Token t;
+        if (!expectIdent(t))
+            return false;
+        auto it = addrs_.find(t.text);
+        if (it == addrs_.end()) {
+            fail(t.loc, "undeclared location '" + t.text + "'");
+            return false;
+        }
+        out = it->second;
+        return true;
+    }
+
+    bool regIndex(const Token &t, int &out)
+    {
+        // strtoll saturates on overflow, so absurd indices (r10^19)
+        // land in the out-of-range branch instead of wrapping.
+        long long v = std::strtoll(t.text.c_str() + 1, nullptr, 10);
+        if (v >= sc_.program.numRegs) {
+            fail(t.loc, "register " + t.text +
+                            " out of range (registers " +
+                            std::to_string(sc_.program.numRegs) + ")");
+            return false;
+        }
+        out = static_cast<int>(v);
+        return true;
+    }
+
+    bool operand(Operand &out)
+    {
+        Token t = next();
+        if (t.kind == Token::Kind::Int) {
+            out = Operand::immediate(t.ival);
+            return true;
+        }
+        if (t.kind == Token::Kind::Ident && isRegToken(t.text)) {
+            int r;
+            if (!regIndex(t, r))
+                return false;
+            out = Operand::regRef(r);
+            return true;
+        }
+        fail(t.loc, "expected a value or register, got " + t.show());
+        return false;
+    }
+
+    /** Consume `{` NEWLINE opening a block. */
+    bool openBlock()
+    {
+        return expectPunct('{') && endOfLine();
+    }
+
+    /**
+     * Inside a block: skip blank lines; true when a body line
+     * follows, false at `}` (consumed, with its newline) or on error
+     * ("unexpected end of file inside <what> block").
+     */
+    bool bodyLine(const char *what, bool &done)
+    {
+        skipNewlines();
+        const Token &t = peek();
+        if (t.kind == Token::Kind::End) {
+            fail(t.loc, std::string(
+                            "unexpected end of file inside ") +
+                            what + " block");
+            return false;
+        }
+        if (t.kind == Token::Kind::Punct && t.text[0] == '}') {
+            ++pos_;
+            done = true;
+            return endOfLine();
+        }
+        done = false;
+        return true;
+    }
+
+    // ---------------------------------------------------- directives
+
+    void parseTop()
+    {
+        skipNewlines();
+        while (!failed_ && peek().kind != Token::Kind::End) {
+            Token t;
+            if (!expectIdent(t))
+                return;
+            if (t.text == "litmus")
+                directiveLitmus(t);
+            else if (t.text == "id")
+                directiveId();
+            else if (t.text == "variant")
+                directiveVariant();
+            else if (t.text == "machine")
+                directiveMachine();
+            else if (t.text == "addr")
+                directiveAddr();
+            else if (t.text == "registers")
+                directiveRegisters(t);
+            else if (t.text == "crash")
+                directiveCrash(t);
+            else if (t.text == "max-configs")
+                directiveMaxConfigs();
+            else if (t.text == "max-depth")
+                directiveMaxDepth();
+            else if (t.text == "thread")
+                threadBlock();
+            else if (t.text == "trace")
+                traceBlock(t);
+            else if (t.text == "verdict")
+                directiveVerdict();
+            else if (t.text == "expect")
+                expectBlock(t);
+            else if (t.text == "forbid")
+                forbidBlock(t);
+            else
+                fail(t.loc, "unknown directive '" + t.text + "'");
+            skipNewlines();
+        }
+        if (!failed_)
+            finalize();
+    }
+
+    void directiveLitmus(const Token &kw)
+    {
+        if (seenName_) {
+            fail(kw.loc, "duplicate litmus directive");
+            return;
+        }
+        Token t = next();
+        if (t.kind != Token::Kind::String) {
+            fail(t.loc, "expected a quoted name, got " + t.show());
+            return;
+        }
+        sc_.name = t.text;
+        seenName_ = true;
+        endOfLine();
+    }
+
+    void directiveId()
+    {
+        long long v;
+        if (!expectInt(v))
+            return;
+        sc_.id = static_cast<int>(v);
+        endOfLine();
+    }
+
+    void directiveVariant()
+    {
+        Token t;
+        if (!expectIdent(t))
+            return;
+        if (!variantFromWord(t.text, sc_.variant)) {
+            fail(t.loc, "unknown variant '" + t.text +
+                            "' (base, lwb, or psn)");
+            return;
+        }
+        endOfLine();
+    }
+
+    void directiveMachine()
+    {
+        Token idx = peek();
+        long long v;
+        if (!expectInt(v))
+            return;
+        if (v != static_cast<long long>(sc_.machinePersistent.size())) {
+            fail(idx.loc,
+                 "machine " + std::to_string(v) +
+                     " declared out of order (expected machine " +
+                     std::to_string(sc_.machinePersistent.size()) +
+                     ")");
+            return;
+        }
+        Token kind;
+        if (!expectIdent(kind))
+            return;
+        if (kind.text == "nvmm")
+            sc_.machinePersistent.push_back(true);
+        else if (kind.text == "volatile")
+            sc_.machinePersistent.push_back(false);
+        else {
+            fail(kind.loc, "unknown memory kind '" + kind.text +
+                               "' (nvmm or volatile)");
+            return;
+        }
+        endOfLine();
+    }
+
+    void directiveAddr()
+    {
+        Token name;
+        if (!expectIdent(name))
+            return;
+        if (isRegToken(name.text)) {
+            fail(name.loc, "location name '" + name.text +
+                               "' would shadow a register");
+            return;
+        }
+        if (addrs_.count(name.text)) {
+            fail(name.loc, "duplicate location '" + name.text + "'");
+            return;
+        }
+        if (!expectPunct('@'))
+            return;
+        NodeId owner;
+        if (!nodeId(owner))
+            return;
+        addrs_[name.text] = static_cast<Addr>(sc_.addrNames.size());
+        sc_.addrNames.push_back(name.text);
+        sc_.addrOwner.push_back(owner);
+        endOfLine();
+    }
+
+    void directiveRegisters(const Token &kw)
+    {
+        if (!sc_.program.threads.empty() ||
+            sc_.expectKind != AnchorKind::None ||
+            !sc_.forbidden.empty()) {
+            fail(kw.loc, "registers must be declared before thread "
+                         "and anchor blocks");
+            return;
+        }
+        Token cnt = peek();
+        long long v;
+        if (!expectInt(v))
+            return;
+        if (v < 1 || v > 64) {
+            fail(cnt.loc, "register count must be between 1 and 64");
+            return;
+        }
+        sc_.program.numRegs = static_cast<int>(v);
+        endOfLine();
+    }
+
+    void directiveCrash(const Token &kw)
+    {
+        Token which;
+        if (!expectIdent(which))
+            return;
+        bool any = false;
+        NodeId node = 0;
+        if (which.text == "any") {
+            any = true;
+        } else if (which.text == "node") {
+            if (!nodeId(node))
+                return;
+        } else {
+            fail(which.loc, "expected 'any' or 'node', got " +
+                                which.show());
+            return;
+        }
+        Token maxKw;
+        if (!expectIdent(maxKw))
+            return;
+        if (maxKw.text != "max") {
+            fail(maxKw.loc, "expected 'max', got " + maxKw.show());
+            return;
+        }
+        Token budget = peek();
+        long long v;
+        if (!expectInt(v))
+            return;
+        if (v < 1) {
+            fail(budget.loc, "crash budget must be at least 1");
+            return;
+        }
+        if (sc_.request.maxCrashesPerNode != 0 &&
+            sc_.request.maxCrashesPerNode != static_cast<int>(v)) {
+            fail(budget.loc,
+                 "conflicting crash budgets (max " +
+                     std::to_string(sc_.request.maxCrashesPerNode) +
+                     " vs max " + std::to_string(v) + ")");
+            return;
+        }
+        if (any && !sc_.request.crashableNodes.empty()) {
+            fail(kw.loc, "crash any conflicts with earlier crash "
+                         "node directives");
+            return;
+        }
+        if (!any && crashAny_) {
+            fail(kw.loc, "crash node conflicts with an earlier crash "
+                         "any directive");
+            return;
+        }
+        sc_.request.maxCrashesPerNode = static_cast<int>(v);
+        if (any)
+            crashAny_ = true;
+        else
+            sc_.request.crashableNodes.push_back(node);
+        endOfLine();
+    }
+
+    void directiveMaxConfigs()
+    {
+        Token t = peek();
+        long long v;
+        if (!expectInt(v))
+            return;
+        if (v < 1) {
+            fail(t.loc, "max-configs must be at least 1");
+            return;
+        }
+        sc_.request.maxConfigs = static_cast<size_t>(v);
+        endOfLine();
+    }
+
+    void directiveMaxDepth()
+    {
+        Token t = peek();
+        long long v;
+        if (!expectInt(v))
+            return;
+        if (v < 0) {
+            fail(t.loc, "max-depth must be non-negative");
+            return;
+        }
+        sc_.request.maxDepth = static_cast<size_t>(v);
+        endOfLine();
+    }
+
+    void directiveVerdict()
+    {
+        Token t;
+        if (!expectIdent(t))
+            return;
+        if (t.text == "allowed")
+            sc_.expectedVerdict = check::Verdict::Allowed;
+        else if (t.text == "forbidden")
+            sc_.expectedVerdict = check::Verdict::Forbidden;
+        else {
+            fail(t.loc, "unknown verdict '" + t.text +
+                            "' (allowed or forbidden)");
+            return;
+        }
+        endOfLine();
+    }
+
+    // -------------------------------------------------- thread block
+
+    void threadBlock()
+    {
+        Token idTok = peek();
+        long long id;
+        if (!expectInt(id))
+            return;
+        long long want =
+            static_cast<long long>(sc_.program.threads.size());
+        if (want >= 32) {
+            // The packed-config explorer (and the crashedThreads
+            // bitmask) cap programs at 32 threads.
+            fail(idTok.loc, "too many threads (max 32)");
+            return;
+        }
+        if (id < want) {
+            fail(idTok.loc, "duplicate thread id " +
+                                std::to_string(id));
+            return;
+        }
+        if (id > want) {
+            fail(idTok.loc, "thread id " + std::to_string(id) +
+                                " out of order (expected thread " +
+                                std::to_string(want) + ")");
+            return;
+        }
+        Token onKw;
+        if (!expectIdent(onKw))
+            return;
+        if (onKw.text != "on") {
+            fail(onKw.loc, "expected 'on', got " + onKw.show());
+            return;
+        }
+        NodeId node;
+        if (!nodeId(node))
+            return;
+        if (!openBlock())
+            return;
+        check::ProgThread thread{node, {}};
+        for (;;) {
+            bool done;
+            if (!bodyLine("thread", done))
+                return;
+            if (done)
+                break;
+            if (!instruction(thread.code))
+                return;
+        }
+        sc_.program.threads.push_back(std::move(thread));
+    }
+
+    bool instruction(std::vector<ProgInstr> &code)
+    {
+        Token t;
+        if (!expectIdent(t))
+            return false;
+        if (isRegToken(t.text)) {
+            int dest;
+            if (!regIndex(t, dest))
+                return false;
+            if (!expectPunct('='))
+                return false;
+            Token op;
+            if (!expectIdent(op))
+                return false;
+            if (op.text == "load") {
+                Addr x;
+                if (!addrByName(x))
+                    return false;
+                code.push_back(ProgInstr::load(x, dest));
+            } else if (op.text == "faa.l" || op.text == "faa.r" ||
+                       op.text == "faa.m") {
+                Addr x;
+                Operand delta;
+                if (!addrByName(x) || !operand(delta))
+                    return false;
+                code.push_back(ProgInstr::faa(
+                    rmwFlavour(op.text), x, delta, dest));
+            } else if (op.text == "cas.l" || op.text == "cas.r" ||
+                       op.text == "cas.m") {
+                Addr x;
+                Operand exp, des;
+                if (!addrByName(x) || !operand(exp) || !operand(des))
+                    return false;
+                code.push_back(ProgInstr::cas(
+                    rmwFlavour(op.text), x, exp, des, dest));
+            } else {
+                fail(op.loc, "unknown op '" + op.text + "'");
+                return false;
+            }
+            return endOfLine();
+        }
+        if (t.text == "lstore" || t.text == "rstore" ||
+            t.text == "mstore") {
+            Addr x;
+            Operand v;
+            if (!addrByName(x) || !operand(v))
+                return false;
+            Op flavour = t.text[0] == 'l'   ? Op::LStore
+                         : t.text[0] == 'r' ? Op::RStore
+                                            : Op::MStore;
+            code.push_back(ProgInstr::store(flavour, x, v));
+            return endOfLine();
+        }
+        if (t.text == "lflush" || t.text == "rflush") {
+            Addr x;
+            if (!addrByName(x))
+                return false;
+            code.push_back(ProgInstr::flush(
+                t.text[0] == 'l' ? Op::LFlush : Op::RFlush, x));
+            return endOfLine();
+        }
+        if (t.text == "gpf") {
+            code.push_back(ProgInstr::gpf());
+            return endOfLine();
+        }
+        fail(t.loc, "unknown op '" + t.text + "'");
+        return false;
+    }
+
+    /** Flavour suffix of faa.l / cas.m / ... to the Rmw op. */
+    static Op rmwFlavour(const std::string &op)
+    {
+        char f = op[op.size() - 1];
+        return f == 'l' ? Op::LRmw : f == 'r' ? Op::RRmw : Op::MRmw;
+    }
+
+    // --------------------------------------------------- trace block
+
+    void traceBlock(const Token &kw)
+    {
+        std::vector<Label> *dst = &sc_.trace;
+        const char *what = "trace";
+        if (peek().kind == Token::Kind::Ident) {
+            Token side = next();
+            if (side.text == "lhs") {
+                dst = &sc_.traceLhs;
+                what = "trace lhs";
+            } else if (side.text == "rhs") {
+                dst = &sc_.traceRhs;
+                what = "trace rhs";
+            } else {
+                fail(side.loc, "expected 'lhs', 'rhs', or '{', got " +
+                                   side.show());
+                return;
+            }
+        }
+        if (!dst->empty()) {
+            fail(kw.loc, std::string("duplicate ") + what + " block");
+            return;
+        }
+        if (!openBlock())
+            return;
+        for (;;) {
+            bool done;
+            if (!bodyLine("trace", done))
+                return;
+            if (done)
+                break;
+            if (!traceLabel(*dst))
+                return;
+        }
+    }
+
+    bool traceLabel(std::vector<Label> &trace)
+    {
+        Token t;
+        if (!expectIdent(t))
+            return false;
+        NodeId node;
+        if (t.text == "gpf") {
+            if (!nodeId(node))
+                return false;
+            trace.push_back(Label::gpf(node));
+            return endOfLine();
+        }
+        if (t.text == "crash") {
+            if (!nodeId(node))
+                return false;
+            trace.push_back(Label::crash(node));
+            return endOfLine();
+        }
+        if (t.text == "lflush" || t.text == "rflush") {
+            Addr x;
+            if (!nodeId(node) || !addrByName(x))
+                return false;
+            trace.push_back(t.text[0] == 'l' ? Label::lflush(node, x)
+                                             : Label::rflush(node, x));
+            return endOfLine();
+        }
+        if (t.text == "load" || t.text == "lstore" ||
+            t.text == "rstore" || t.text == "mstore") {
+            Addr x;
+            long long v;
+            if (!nodeId(node) || !addrByName(x) || !expectInt(v))
+                return false;
+            if (t.text == "load")
+                trace.push_back(Label::load(node, x, v));
+            else if (t.text == "lstore")
+                trace.push_back(Label::lstore(node, x, v));
+            else if (t.text == "rstore")
+                trace.push_back(Label::rstore(node, x, v));
+            else
+                trace.push_back(Label::mstore(node, x, v));
+            return endOfLine();
+        }
+        if (t.text == "lrmw" || t.text == "rrmw" || t.text == "mrmw") {
+            Addr x;
+            long long oldv, newv;
+            if (!nodeId(node) || !addrByName(x) || !expectInt(oldv) ||
+                !expectInt(newv))
+                return false;
+            if (t.text == "lrmw")
+                trace.push_back(Label::lrmw(node, x, oldv, newv));
+            else if (t.text == "rrmw")
+                trace.push_back(Label::rrmw(node, x, oldv, newv));
+            else
+                trace.push_back(Label::mrmw(node, x, oldv, newv));
+            return endOfLine();
+        }
+        fail(t.loc, "unknown op '" + t.text + "'");
+        return false;
+    }
+
+    // ------------------------------------------------- anchor blocks
+
+    void expectBlock(const Token &kw)
+    {
+        if (sc_.expectKind != AnchorKind::None) {
+            fail(kw.loc, "duplicate expect block");
+            return;
+        }
+        Token kind;
+        if (!expectIdent(kind))
+            return;
+        if (kind.text == "exact")
+            sc_.expectKind = AnchorKind::Exact;
+        else if (kind.text == "subset")
+            sc_.expectKind = AnchorKind::Subset;
+        else {
+            fail(kind.loc, "expected 'exact' or 'subset', got " +
+                               kind.show());
+            return;
+        }
+        anchorRows("expect", sc_.expected);
+    }
+
+    void forbidBlock(const Token &kw)
+    {
+        if (!sc_.forbidden.empty()) {
+            fail(kw.loc, "duplicate forbid block");
+            return;
+        }
+        anchorRows("forbid", sc_.forbidden);
+    }
+
+    void anchorRows(const char *what, std::vector<check::Outcome> &out)
+    {
+        if (!openBlock())
+            return;
+        for (;;) {
+            bool done;
+            if (!bodyLine(what, done))
+                return;
+            if (done)
+                break;
+            check::Outcome o;
+            if (!outcomeRow(o))
+                return;
+            out.push_back(std::move(o));
+        }
+    }
+
+    bool outcomeRow(check::Outcome &out)
+    {
+        Token open = peek();
+        if (!expectPunct('('))
+            return false;
+        out.regs.clear();
+        out.regs.emplace_back();
+        for (;;) {
+            const Token &t = peek();
+            if (t.kind == Token::Kind::Int) {
+                if (out.regs.back().size() >=
+                    static_cast<size_t>(sc_.program.numRegs)) {
+                    fail(t.loc,
+                         "anchor references undeclared register r" +
+                             std::to_string(out.regs.back().size()) +
+                             " (registers " +
+                             std::to_string(sc_.program.numRegs) +
+                             ")");
+                    return false;
+                }
+                out.regs.back().push_back(t.ival);
+                ++pos_;
+                continue;
+            }
+            if (t.kind == Token::Kind::Punct && t.text[0] == '|') {
+                out.regs.emplace_back();
+                ++pos_;
+                continue;
+            }
+            if (t.kind == Token::Kind::Punct && t.text[0] == ')') {
+                ++pos_;
+                break;
+            }
+            fail(t.loc, "expected a value, '|', or ')', got " +
+                            t.show());
+            return false;
+        }
+        if (out.regs.size() != sc_.program.threads.size()) {
+            fail(open.loc,
+                 "outcome row has " + std::to_string(out.regs.size()) +
+                     " thread section(s), program has " +
+                     std::to_string(sc_.program.threads.size()) +
+                     " thread(s)");
+            return false;
+        }
+        for (auto &regs : out.regs)
+            regs.resize(static_cast<size_t>(sc_.program.numRegs), 0);
+        out.crashedThreads = 0;
+        if (peek().kind == Token::Kind::Punct &&
+            peek().text[0] == '@') {
+            ++pos_;
+            Token kw;
+            if (!expectIdent(kw))
+                return false;
+            if (kw.text != "crashed") {
+                fail(kw.loc, "expected 'crashed', got " + kw.show());
+                return false;
+            }
+            bool any = false;
+            for (;;) {
+                const Token &t = peek();
+                if (t.kind == Token::Kind::Punct &&
+                    t.text[0] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (t.kind != Token::Kind::Int)
+                    break;
+                if (t.ival < 0 ||
+                    t.ival >= static_cast<long long>(
+                                  sc_.program.threads.size())) {
+                    fail(t.loc, "crashed thread " +
+                                    std::to_string(t.ival) +
+                                    " out of range");
+                    return false;
+                }
+                out.crashedThreads |= 1u << t.ival;
+                any = true;
+                ++pos_;
+            }
+            if (!any) {
+                fail(peek().loc,
+                     "expected at least one crashed thread index");
+                return false;
+            }
+        }
+        return endOfLine();
+    }
+
+    // ----------------------------------------------------- finish-up
+
+    void finalize()
+    {
+        const Token &eof = toks_[last()];
+        if (!seenName_) {
+            fail(eof.loc,
+                 "scenario is missing the litmus name directive");
+            return;
+        }
+        if (sc_.machinePersistent.empty()) {
+            fail(eof.loc, "scenario declares no machines");
+            return;
+        }
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    Scenario sc_;
+    Diagnostic err_;
+    bool failed_ = false;
+    bool seenName_ = false;
+    bool crashAny_ = false;
+    std::map<std::string, Addr> addrs_;
+};
+
+} // namespace
+
+ParseResult
+parseScenario(std::string_view text)
+{
+    std::vector<Token> toks;
+    Diagnostic err;
+    if (!Lexer(text).run(toks, err)) {
+        ParseResult r;
+        r.error = err;
+        return r;
+    }
+    return Parser(std::move(toks)).run();
+}
+
+} // namespace cxl0::lang

@@ -1,0 +1,248 @@
+#include "lang/run.hh"
+
+#include <cstdio>
+
+#include "check/refinement.hh"
+#include "check/simulation.hh"
+#include "check/trace.hh"
+
+namespace cxl0::lang
+{
+
+using check::CheckReport;
+using check::CheckRequest;
+using check::CheckVerdict;
+using model::Cxl0Model;
+
+const char *
+checkerKindName(CheckerKind k)
+{
+    switch (k) {
+    case CheckerKind::Auto:
+        return "auto";
+    case CheckerKind::Explore:
+        return "explore";
+    case CheckerKind::Feasible:
+        return "feasible";
+    case CheckerKind::Refinement:
+        return "refinement";
+    case CheckerKind::Inclusion:
+        return "inclusion";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** The scenario's request with the driver overrides folded in. */
+CheckRequest
+effectiveRequest(const Scenario &sc, const RunOptions &opts)
+{
+    CheckRequest req = sc.request;
+    req.numThreads = opts.numThreads;
+    if (opts.maxConfigs)
+        req.maxConfigs = *opts.maxConfigs;
+    if (opts.maxDepth)
+        req.maxDepth = *opts.maxDepth;
+    if (opts.maxCrashesPerNode)
+        req.maxCrashesPerNode = *opts.maxCrashesPerNode;
+    if (opts.policy)
+        req.frontier = *opts.policy;
+    return req;
+}
+
+RunResult
+runExplore(const Scenario &sc, const RunOptions &opts)
+{
+    RunResult r;
+    r.checker = CheckerKind::Explore;
+    if (sc.program.threads.empty()) {
+        r.error = "scenario has no thread blocks to explore";
+        return r;
+    }
+    Cxl0Model model(sc.config(), sc.variant);
+    r.report = check::Explorer(model, sc.program,
+                               effectiveRequest(sc, opts))
+                   .check();
+    r.anchors = checkOutcomeAnchors(sc, r.report.outcomes);
+    r.pass = r.anchors.pass &&
+             r.report.verdict == CheckVerdict::Pass &&
+             !r.report.truncated;
+    return r;
+}
+
+RunResult
+runFeasible(const Scenario &sc, const RunOptions &opts)
+{
+    RunResult r;
+    r.checker = CheckerKind::Feasible;
+    if (sc.trace.empty()) {
+        r.error = "scenario has no trace block to check";
+        return r;
+    }
+    Cxl0Model model(sc.config(), sc.variant);
+    r.report = check::checkTraceFeasible(model, sc.trace,
+                                         effectiveRequest(sc, opts));
+    if (r.report.verdict == CheckVerdict::Inconclusive) {
+        r.anchors.pass = false;
+        r.anchors.failures.push_back(
+            "feasibility truncated by the config budget");
+    } else if (sc.expectedVerdict.has_value()) {
+        check::Verdict observed =
+            r.report.verdict == CheckVerdict::Pass
+                ? check::Verdict::Allowed
+                : check::Verdict::Forbidden;
+        if (observed != *sc.expectedVerdict) {
+            r.anchors.pass = false;
+            r.anchors.failures.push_back(
+                "declared verdict " +
+                check::verdictName(*sc.expectedVerdict) +
+                ", observed " + check::verdictName(observed));
+        }
+    }
+    r.pass = r.anchors.pass;
+    return r;
+}
+
+/**
+ * Anchor a Pass/Fail verdict against the scenario's `verdict`
+ * directive: `forbidden` declares the property violated (Fail
+ * expected); anything else expects Pass. Inconclusive never passes.
+ */
+AnchorReport
+verdictAnchor(const Scenario &sc, const CheckReport &report)
+{
+    AnchorReport a;
+    if (report.verdict == CheckVerdict::Inconclusive) {
+        a.pass = false;
+        a.failures.push_back("search truncated before a verdict");
+        return a;
+    }
+    CheckVerdict want =
+        sc.expectedVerdict == check::Verdict::Forbidden
+            ? CheckVerdict::Fail
+            : CheckVerdict::Pass;
+    if (report.verdict != want) {
+        a.pass = false;
+        a.failures.push_back(
+            std::string("expected verdict ") +
+            check::checkVerdictName(want) + ", observed " +
+            check::checkVerdictName(report.verdict));
+    }
+    return a;
+}
+
+RunResult
+runRefinement(const Scenario &sc, const RunOptions &opts)
+{
+    RunResult r;
+    r.checker = CheckerKind::Refinement;
+    CheckRequest req = effectiveRequest(sc, opts);
+    if (req.maxDepth == 0)
+        req.maxDepth = opts.refineDefaultDepth;
+    model::SystemConfig cfg = sc.config();
+    Cxl0Model spec(cfg, opts.refineSpec);
+    Cxl0Model impl(cfg, opts.refineImpl);
+    check::Alphabet alphabet = check::Alphabet::standard(cfg);
+    if (req.maxCrashesPerNode > 0)
+        alphabet.maxCrashesPerNode = req.maxCrashesPerNode;
+    r.report = check::checkRefinement(spec, impl, alphabet, req);
+    if (r.report.verdict == CheckVerdict::Inconclusive &&
+        r.report.counterexample.empty() &&
+        r.report.stats.configsInterned < req.maxConfigs &&
+        sc.expectedVerdict != check::Verdict::Forbidden) {
+        // Bounded refinement over a standard alphabet always runs
+        // into its depth bound; "no violation within the bound" is
+        // its conclusive-enough success (the verdict stays visible
+        // as "inconclusive" in the report). A search cut by the
+        // *config budget* is different — it may have stopped short
+        // of a reachable counterexample and must not pass. The
+        // interned-count proxy errs strict: a run whose pair count
+        // exactly fills the budget is treated as budget-cut (a
+        // noisy failure, never a false pass).
+        r.anchors = AnchorReport{};
+    } else {
+        r.anchors = verdictAnchor(sc, r.report);
+    }
+    r.pass = r.anchors.pass;
+    return r;
+}
+
+RunResult
+runInclusion(const Scenario &sc, const RunOptions &opts)
+{
+    RunResult r;
+    r.checker = CheckerKind::Inclusion;
+    if (sc.traceLhs.empty() || sc.traceRhs.empty()) {
+        r.error = "inclusion needs both trace lhs and trace rhs "
+                  "blocks";
+        return r;
+    }
+    model::SystemConfig cfg = sc.config();
+    Cxl0Model model(cfg, sc.variant);
+    std::vector<model::State> states =
+        check::enumerateStates(cfg, opts.inclusionMaxValue);
+    r.report = check::checkTraceInclusion(model, states, sc.traceLhs,
+                                          sc.traceRhs,
+                                          effectiveRequest(sc, opts));
+    r.anchors = verdictAnchor(sc, r.report);
+    r.pass = r.anchors.pass;
+    return r;
+}
+
+} // namespace
+
+RunResult
+runScenario(const Scenario &sc, const RunOptions &opts)
+{
+    CheckerKind kind = opts.checker;
+    if (kind == CheckerKind::Auto) {
+        if (!sc.program.threads.empty())
+            kind = CheckerKind::Explore;
+        else if (!sc.trace.empty())
+            kind = CheckerKind::Feasible;
+        else if (!sc.traceLhs.empty() && !sc.traceRhs.empty())
+            kind = CheckerKind::Inclusion;
+        else
+            kind = CheckerKind::Feasible; // reports a useful error
+    }
+    switch (kind) {
+    case CheckerKind::Explore:
+        return runExplore(sc, opts);
+    case CheckerKind::Feasible:
+        return runFeasible(sc, opts);
+    case CheckerKind::Refinement:
+        return runRefinement(sc, opts);
+    case CheckerKind::Inclusion:
+        return runInclusion(sc, opts);
+    case CheckerKind::Auto:
+        break;
+    }
+    RunResult r;
+    r.error = "unreachable checker kind";
+    return r;
+}
+
+std::string
+RunResult::describe() const
+{
+    if (!error.empty())
+        return std::string("error: ") + error;
+    std::string out = checkerKindName(checker);
+    out += ": ";
+    out += pass ? "pass" : "FAIL";
+    out += " (verdict ";
+    out += check::checkVerdictName(report.verdict);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ", %zu configs, %zu outcomes, %.3fs)",
+                  report.stats.configsVisited, report.outcomes.size(),
+                  report.stats.seconds);
+    out += buf;
+    for (const std::string &f : anchors.failures)
+        out += "\n    " + f;
+    return out;
+}
+
+} // namespace cxl0::lang

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Driving a parsed Scenario through the four checkers.
+ *
+ * runScenario routes one scenario through the unified
+ * CheckRequest/CheckReport API: the explorer over the scenario's
+ * program (with outcome-anchor checking), trace feasibility over its
+ * serialized trace (with the declared verdict as the anchor), bounded
+ * refinement between two model variants over its system shape, or
+ * trace inclusion between its lhs/rhs traces over every enumerated
+ * state. RunOptions carries the driver-level overrides (worker
+ * threads, budgets, crash cap, frontier policy) that the cxl0check
+ * CLI flags map onto; scenario-pinned knobs are used when no override
+ * is given.
+ */
+
+#ifndef CXL0_LANG_RUN_HH
+#define CXL0_LANG_RUN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/scenario.hh"
+
+namespace cxl0::lang
+{
+
+/** Which checker to route the scenario through. */
+enum class CheckerKind
+{
+    Auto,       //!< explorer when a program exists, else feasibility
+    Explore,    //!< reachable outcome set of the program
+    Feasible,   //!< feasibility of the serialized trace
+    Refinement, //!< bounded refinement spec ⊑ impl over the config
+    Inclusion,  //!< lhs-trace post-states ⊆ rhs-trace post-states
+};
+
+/** "explore" / "feasible" / "refinement" / "inclusion". */
+const char *checkerKindName(CheckerKind k);
+
+/** Driver-level overrides; unset fields use the scenario's values. */
+struct RunOptions
+{
+    CheckerKind checker = CheckerKind::Auto;
+    size_t numThreads = 1;
+    std::optional<size_t> maxConfigs;
+    std::optional<size_t> maxDepth;
+    std::optional<int> maxCrashesPerNode;
+    std::optional<check::FrontierPolicy> policy;
+
+    /** Refinement endpoints (variants instantiated over the
+     *  scenario's system configuration). */
+    model::ModelVariant refineSpec = model::ModelVariant::Base;
+    model::ModelVariant refineImpl = model::ModelVariant::Lwb;
+    /** Depth bound used for refinement when the scenario pins none. */
+    size_t refineDefaultDepth = 3;
+
+    /** Value bound for inclusion's state enumeration. */
+    Value inclusionMaxValue = 1;
+};
+
+/** The outcome of driving one scenario through one checker. */
+struct RunResult
+{
+    CheckerKind checker = CheckerKind::Explore;
+    check::CheckReport report;
+    AnchorReport anchors;
+    /** Anchors hold and the verdict is conclusive. */
+    bool pass = false;
+    /** Set when the scenario cannot feed the requested checker. */
+    std::string error;
+
+    /** One-line human summary. */
+    std::string describe() const;
+};
+
+/** Drive `sc` through the checker selected by `opts`. */
+RunResult runScenario(const Scenario &sc, const RunOptions &opts);
+
+} // namespace cxl0::lang
+
+#endif // CXL0_LANG_RUN_HH

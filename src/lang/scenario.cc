@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Scenario helpers: system-config assembly, the LitmusProgram
+ * exporter behind the corpus, and outcome-anchor checking.
+ */
+
+#include "lang/scenario.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace cxl0::lang
+{
+
+using check::Outcome;
+
+std::string
+Diagnostic::render(const std::string &file) const
+{
+    std::string out;
+    if (!file.empty())
+        out += file + ":";
+    out += std::to_string(loc.line) + ":" + std::to_string(loc.col) +
+           ": " + message;
+    return out;
+}
+
+const char *
+variantWord(model::ModelVariant v)
+{
+    switch (v) {
+    case model::ModelVariant::Base:
+        return "base";
+    case model::ModelVariant::Lwb:
+        return "lwb";
+    case model::ModelVariant::Psn:
+        return "psn";
+    }
+    return "base";
+}
+
+bool
+variantFromWord(std::string_view word, model::ModelVariant &out)
+{
+    if (word == "base")
+        out = model::ModelVariant::Base;
+    else if (word == "lwb")
+        out = model::ModelVariant::Lwb;
+    else if (word == "psn")
+        out = model::ModelVariant::Psn;
+    else
+        return false;
+    return true;
+}
+
+model::SystemConfig
+Scenario::config() const
+{
+    std::vector<model::MachineConfig> machines;
+    machines.reserve(machinePersistent.size());
+    for (bool p : machinePersistent)
+        machines.push_back(model::MachineConfig{p});
+    return model::SystemConfig(std::move(machines), addrOwner);
+}
+
+Scenario
+scenarioFromLitmusProgram(const check::LitmusProgram &lp)
+{
+    Scenario sc;
+    sc.name = lp.name;
+    sc.id = lp.id;
+    sc.variant = lp.variant;
+    for (size_t i = 0; i < lp.config.numNodes(); ++i)
+        sc.machinePersistent.push_back(
+            lp.config.isPersistent(static_cast<NodeId>(i)));
+    for (size_t a = 0; a < lp.config.numAddrs(); ++a) {
+        sc.addrNames.push_back("x" + std::to_string(a));
+        sc.addrOwner.push_back(
+            lp.config.ownerOf(static_cast<Addr>(a)));
+    }
+    sc.program = lp.program;
+    sc.request = lp.options;
+    // Runtime knobs belong to the driver, not the file: the DSL never
+    // serializes them, so they must hold their defaults for the
+    // round-trip guarantee (and so a corpus file means the same
+    // search as the in-binary program at any driver setting).
+    const check::CheckRequest defaults;
+    sc.request.reduceTau = defaults.reduceTau;
+    sc.request.frontier = defaults.frontier;
+    sc.request.numThreads = defaults.numThreads;
+    return sc;
+}
+
+std::vector<CorpusFile>
+exportBuiltinCorpus()
+{
+    std::vector<CorpusFile> files;
+    for (const check::LitmusProgram &lp : check::explorerPrograms()) {
+        Scenario sc = scenarioFromLitmusProgram(lp);
+        model::Cxl0Model model(sc.config(), sc.variant);
+        check::CheckReport res =
+            check::Explorer(model, sc.program, sc.request).check();
+        CXL0_ASSERT(!res.truncated,
+                    "built-in litmus programs must explore fully");
+        sc.expectKind = AnchorKind::Exact;
+        sc.expected.assign(res.outcomes.begin(), res.outcomes.end());
+        char name[32];
+        std::snprintf(name, sizeof name, "litmus%02d.cxl0", sc.id);
+        files.push_back({name, dumpScenario(sc)});
+    }
+    std::sort(files.begin(), files.end(),
+              [](const CorpusFile &a, const CorpusFile &b) {
+                  return a.filename < b.filename;
+              });
+    return files;
+}
+
+AnchorReport
+checkOutcomeAnchors(const Scenario &sc,
+                    const std::set<Outcome> &outcomes)
+{
+    AnchorReport report;
+    auto complain = [&](const std::string &msg) {
+        report.pass = false;
+        report.failures.push_back(msg);
+    };
+
+    if (sc.expectKind != AnchorKind::None) {
+        std::set<Outcome> declared(sc.expected.begin(),
+                                   sc.expected.end());
+        for (const Outcome &o : declared)
+            if (!outcomes.count(o))
+                complain("expected outcome not reached: " +
+                         o.describe());
+        if (sc.expectKind == AnchorKind::Exact)
+            for (const Outcome &o : outcomes)
+                if (!declared.count(o))
+                    complain("outcome outside the exact anchor set: " +
+                             o.describe());
+    }
+    for (const Outcome &o : sc.forbidden)
+        if (outcomes.count(o))
+            complain("forbidden outcome reached: " + o.describe());
+    return report;
+}
+
+} // namespace cxl0::lang

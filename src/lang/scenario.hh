@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The scenario frontend: a litmus/program DSL over the CXL0 checkers.
+ *
+ * Every scenario the checkers could examine used to be a hand-written
+ * C++ Program compiled into the binary. This subsystem turns scenario
+ * authoring into editing a text file: a small line-oriented DSL
+ * describes the system shape (machines, owned locations), a
+ * multi-threaded program and/or serialized label traces, crash
+ * budgets, and the expected outcome set — and a recursive-descent
+ * parser turns it into the existing check::Program / trace inputs with
+ * precise source-located diagnostics. A serializer (dumpScenario)
+ * emits the canonical text form, which is how the in-binary
+ * LitmusPrograms are exported into corpus/litmus/ and kept drift-free
+ * against it (parse(dump(p)) == p is a tested guarantee).
+ *
+ * The grammar is documented in full in src/lang/README.md; the
+ * cxl0check CLI (tools/cxl0check.cc) is the batch driver over files
+ * and corpus directories.
+ */
+
+#ifndef CXL0_LANG_SCENARIO_HH
+#define CXL0_LANG_SCENARIO_HH
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/engine.hh"
+#include "check/explorer.hh"
+#include "check/litmus.hh"
+#include "model/config.hh"
+#include "model/semantics.hh"
+
+namespace cxl0::lang
+{
+
+/** A position in the scenario source text (1-based). */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+
+    bool operator==(const SourceLoc &other) const = default;
+};
+
+/** One located parse or validation error. */
+struct Diagnostic
+{
+    SourceLoc loc;
+    std::string message;
+
+    /** "file:line:col: message" (file omitted when empty). */
+    std::string render(const std::string &file = "") const;
+};
+
+/** How a declared outcome set anchors the explored one. */
+enum class AnchorKind
+{
+    None,   //!< no expect block
+    Exact,  //!< explored outcome set must equal the declared rows
+    Subset, //!< every declared row must be reachable
+};
+
+/**
+ * One parsed scenario: the system shape, the program and/or traces,
+ * the shared CheckRequest knobs the file pins (budgets, crash
+ * settings), and the declared outcome anchors. Field-wise equality is
+ * the round-trip guarantee's notion of "the same scenario".
+ */
+struct Scenario
+{
+    /** Display name (the `litmus "..."` directive). */
+    std::string name;
+    /** Litmus test id the scenario derives from (0 = none). */
+    int id = 0;
+    model::ModelVariant variant = model::ModelVariant::Base;
+
+    /** Per-machine persistence; index = NodeId. */
+    std::vector<bool> machinePersistent;
+    /** Declared location names; index = Addr. */
+    std::vector<std::string> addrNames;
+    /** Owner machine of each location; index = Addr. */
+    std::vector<NodeId> addrOwner;
+
+    /** The program (explorer input); empty when trace-only. */
+    check::Program program;
+
+    /**
+     * The request knobs the file pins: maxConfigs, maxDepth,
+     * maxCrashesPerNode, crashableNodes. Runtime knobs (numThreads,
+     * frontier policy, reduceTau) keep their defaults here and are
+     * overridden by the driver.
+     */
+    check::CheckRequest request;
+
+    /** Serialized label trace (feasibility input); may be empty. */
+    std::vector<model::Label> trace;
+    /** lhs/rhs traces for inclusion checking; may be empty. */
+    std::vector<model::Label> traceLhs;
+    std::vector<model::Label> traceRhs;
+
+    /** Expected feasibility verdict for the serialized trace. */
+    std::optional<check::Verdict> expectedVerdict;
+
+    /** Outcome anchors (explorer checkers). */
+    AnchorKind expectKind = AnchorKind::None;
+    std::vector<check::Outcome> expected;
+    std::vector<check::Outcome> forbidden;
+
+    /** The SystemConfig the declarations describe. */
+    model::SystemConfig config() const;
+
+    bool operator==(const Scenario &other) const = default;
+};
+
+/** Result of parsing one scenario text. */
+struct ParseResult
+{
+    Scenario scenario;
+    /** Set when parsing failed; scenario is then meaningless. */
+    std::optional<Diagnostic> error;
+
+    bool ok() const { return !error.has_value(); }
+};
+
+/** Parse one scenario source text (fail-fast, located diagnostics). */
+ParseResult parseScenario(std::string_view text);
+
+/**
+ * Canonical text form; parseScenario(dumpScenario(s)) == s for every
+ * scenario the parser can produce. Names are sanitized on the way
+ * out (the grammar has no string escapes, so a programmatically
+ * built name containing quotes or control characters is rewritten
+ * rather than emitted as unparseable text).
+ */
+std::string dumpScenario(const Scenario &sc);
+
+/** "base" / "lwb" / "psn" — the DSL's variant vocabulary. */
+const char *variantWord(model::ModelVariant v);
+
+/** Inverse of variantWord; false when the word is unknown. */
+bool variantFromWord(std::string_view word, model::ModelVariant &out);
+
+/**
+ * Recast an in-binary LitmusProgram as a Scenario (locations named
+ * x0, x1, ... in address order; no anchors — see exportBuiltinCorpus
+ * for the anchored form).
+ */
+Scenario scenarioFromLitmusProgram(const check::LitmusProgram &lp);
+
+/** One exported corpus file. */
+struct CorpusFile
+{
+    std::string filename; //!< e.g. "litmus04.cxl0"
+    std::string text;     //!< canonical dump, anchors locked
+};
+
+/**
+ * Every built-in LitmusProgram exported through the serializer with
+ * its exact reachable outcome set locked in as an `expect exact`
+ * anchor (computed by running the explorer). The tracked files under
+ * corpus/litmus/ are byte-for-byte this output — the anti-drift gate
+ * between litmus.cc and the corpus.
+ */
+std::vector<CorpusFile> exportBuiltinCorpus();
+
+/** Result of checking declared anchors against explored outcomes. */
+struct AnchorReport
+{
+    bool pass = true;
+    /** Human-readable violations (missing / unexpected / forbidden). */
+    std::vector<std::string> failures;
+};
+
+/** Check the scenario's expect/forbid anchors against `outcomes`. */
+AnchorReport checkOutcomeAnchors(const Scenario &sc,
+                                 const std::set<check::Outcome> &outcomes);
+
+} // namespace cxl0::lang
+
+#endif // CXL0_LANG_SCENARIO_HH

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "check/litmus.hh"
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace cxl0;
+using namespace cxl0::lang;
+
+std::string
+corpusDir()
+{
+    return std::string(CXL0_SOURCE_DIR) + "/corpus/litmus";
+}
+
+/** Every tracked corpus scenario, parsed (parse failures assert). */
+std::map<std::string, Scenario>
+loadCorpus()
+{
+    std::map<std::string, Scenario> corpus;
+    for (const auto &e : fs::directory_iterator(corpusDir())) {
+        if (e.path().extension() != ".cxl0")
+            continue;
+        std::ifstream in(e.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        ParseResult r = parseScenario(ss.str());
+        EXPECT_TRUE(r.ok()) << e.path().filename().string() << ": "
+                            << (r.ok() ? "" : r.error->render());
+        if (r.ok())
+            corpus[e.path().stem().string()] = std::move(r.scenario);
+    }
+    return corpus;
+}
+
+TEST(Corpus, CoversExportedBuiltinsAndAuthoredCases)
+{
+    auto corpus = loadCorpus();
+    // Exported: tests 4, 12-17 (7 programs). Authored: test 19 and
+    // the writer/reader message-passing split.
+    EXPECT_GE(corpus.size(), 9u);
+    for (const char *name :
+         {"litmus04", "litmus12", "litmus13", "litmus14", "litmus15",
+          "litmus16", "litmus17", "litmus19", "mp_split"})
+        EXPECT_TRUE(corpus.count(name)) << name;
+    // Every corpus case declares an anchor to check against.
+    for (const auto &[name, sc] : corpus)
+        EXPECT_TRUE(sc.expectKind != AnchorKind::None ||
+                    !sc.forbidden.empty() ||
+                    sc.expectedVerdict.has_value())
+            << name << " declares no anchors";
+}
+
+/**
+ * The acceptance gate: every corpus case passes its declared anchors,
+ * and the verdict and outcome set are invariant across worker-thread
+ * counts (numThreads 1 vs 4).
+ */
+TEST(Corpus, AllAnchorsPassAndAreThreadCountInvariant)
+{
+    auto corpus = loadCorpus();
+    ASSERT_FALSE(corpus.empty());
+    for (const auto &[name, sc] : corpus) {
+        RunOptions one;
+        one.numThreads = 1;
+        RunResult r1 = runScenario(sc, one);
+        EXPECT_TRUE(r1.error.empty()) << name << ": " << r1.error;
+        EXPECT_TRUE(r1.pass) << name << ": " << r1.describe();
+
+        RunOptions four;
+        four.numThreads = 4;
+        RunResult r4 = runScenario(sc, four);
+        EXPECT_TRUE(r4.pass) << name << ": " << r4.describe();
+        EXPECT_EQ(r1.report.verdict, r4.report.verdict) << name;
+        EXPECT_EQ(r1.report.outcomes, r4.report.outcomes) << name;
+    }
+}
+
+/**
+ * The corpus copies of the built-in programs reproduce exactly the
+ * outcome sets the in-binary explorer computes from litmus.cc — the
+ * file-driven path and the compiled path cannot drift apart.
+ */
+TEST(Corpus, ExportedFilesReproduceInBinaryOutcomeSets)
+{
+    auto corpus = loadCorpus();
+    for (const check::LitmusProgram &lp : check::explorerPrograms()) {
+        char name[32];
+        std::snprintf(name, sizeof name, "litmus%02d", lp.id);
+        ASSERT_TRUE(corpus.count(name)) << name;
+        const Scenario &sc = corpus[name];
+
+        model::Cxl0Model fromFile(sc.config(), sc.variant);
+        check::CheckReport file =
+            check::Explorer(fromFile, sc.program, sc.request).check();
+
+        model::Cxl0Model fromBinary(lp.config, lp.variant);
+        check::CheckReport binary =
+            check::Explorer(fromBinary, lp.program, lp.options)
+                .check();
+
+        ASSERT_FALSE(file.truncated) << name;
+        EXPECT_EQ(file.outcomes, binary.outcomes) << name;
+    }
+}
+
+/** Corpus programs stay within the packed-config explorer's limits. */
+TEST(Corpus, ScenariosStayPackable)
+{
+    for (const auto &[name, sc] : loadCorpus()) {
+        EXPECT_LE(sc.program.threads.size(), 32u) << name;
+        EXPECT_LE(sc.program.numRegs, 64) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0::lang;
+
+/** One golden malformed input: the parser must point exactly here. */
+struct Golden
+{
+    const char *title;
+    const char *src;
+    int line;
+    int col;
+    const char *message;
+};
+
+const Golden kGoldens[] = {
+    {"UnknownOp",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  blarg x 1
+}
+)",
+     5, 3, "unknown op 'blarg'"},
+
+    {"UnknownTraceOp",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+trace {
+  teleport 0 x 1
+}
+)",
+     5, 3, "unknown op 'teleport'"},
+
+    {"DuplicateThreadId",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  gpf
+}
+thread 0 on 0 {
+  gpf
+}
+)",
+     7, 8, "duplicate thread id 0"},
+
+    {"UndeclaredLocation",
+     R"(litmus "t"
+machine 0 nvmm
+thread 0 on 0 {
+  lstore y 1
+}
+)",
+     4, 10, "undeclared location 'y'"},
+
+    {"AnchorUndeclaredRegister",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+registers 2
+thread 0 on 0 {
+  r0 = load x
+}
+expect exact {
+  ( 0 0 1 )
+}
+)",
+     9, 9, "anchor references undeclared register r2 (registers 2)"},
+
+    {"TruncatedThreadBlock",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  r0 = load x)",
+     5, 14, "unexpected end of file inside thread block"},
+
+    {"TruncatedExpectBlock",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  gpf
+}
+expect exact {
+  ( 0 0 0 0 ))",
+     8, 14, "unexpected end of file inside expect block"},
+
+    {"ConflictingCrashBudgets",
+     R"(litmus "t"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 0
+crash node 0 max 1
+crash node 1 max 2
+)",
+     6, 18, "conflicting crash budgets (max 1 vs max 2)"},
+
+    {"MachineOutOfOrder",
+     R"(litmus "t"
+machine 1 nvmm
+)",
+     2, 9, "machine 1 declared out of order (expected machine 0)"},
+
+    {"UnknownDirective",
+     R"(litmus "t"
+machine 0 nvmm
+frobnicate 3
+)",
+     3, 1, "unknown directive 'frobnicate'"},
+
+    {"MissingName",
+     R"(machine 0 nvmm
+)",
+     2, 1, "scenario is missing the litmus name directive"},
+
+    {"RowThreadMismatch",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  gpf
+}
+expect exact {
+  ( 0 0 0 0 | 0 0 0 0 )
+}
+)",
+     8, 3, "outcome row has 2 thread section(s), program has 1 "
+           "thread(s)"},
+
+    {"LocationShadowsRegister",
+     R"(litmus "t"
+machine 0 nvmm
+addr r1 @ 0
+)",
+     3, 6, "location name 'r1' would shadow a register"},
+
+    {"NodeOutOfRange",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 3
+)",
+     3, 10, "node 3 out of range (1 machine(s))"},
+
+    {"RegisterOutOfRange",
+     R"(litmus "t"
+machine 0 nvmm
+addr x @ 0
+registers 2
+thread 0 on 0 {
+  r5 = load x
+}
+)",
+     6, 3, "register r5 out of range (registers 2)"},
+
+    {"TrailingJunk",
+     R"(litmus "t"
+machine 0 nvmm extra
+)",
+     2, 16, "unexpected 'extra' at end of line"},
+};
+
+class DiagnosticsGolden : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(DiagnosticsGolden, PointsAtTheOffendingToken)
+{
+    const Golden &g = GetParam();
+    ParseResult r = parseScenario(g.src);
+    ASSERT_FALSE(r.ok()) << g.title << ": expected a parse error";
+    EXPECT_EQ(r.error->loc.line, g.line) << g.title;
+    EXPECT_EQ(r.error->loc.col, g.col) << g.title;
+    EXPECT_EQ(r.error->message, g.message) << g.title;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DiagnosticsGolden, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return info.param.title;
+    });
+
+TEST(Diagnostics, RenderIncludesFileLineCol)
+{
+    ParseResult r = parseScenario("litmus 3\n");
+    ASSERT_FALSE(r.ok());
+    std::string rendered = r.error->render("corpus/foo.cxl0");
+    EXPECT_EQ(rendered.rfind("corpus/foo.cxl0:1:8:", 0), 0u)
+        << rendered;
+}
+
+TEST(Diagnostics, LexerRejectsBadCharacters)
+{
+    ParseResult r = parseScenario("litmus \"t\"\nmachine 0 nvmm\n$\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->loc.line, 3);
+    EXPECT_EQ(r.error->loc.col, 1);
+    EXPECT_EQ(r.error->message, "unexpected character '$'");
+}
+
+TEST(Diagnostics, ThirtyThirdThreadRejected)
+{
+    // The packed-config explorer and the crashedThreads bitmask cap
+    // programs at 32 threads; the 33rd block must be a located error.
+    std::string src = "litmus \"t\"\nmachine 0 nvmm\naddr x @ 0\n";
+    for (int t = 0; t < 33; ++t)
+        src += "thread " + std::to_string(t) + " on 0 {\n  gpf\n}\n";
+    ParseResult r = parseScenario(src);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->loc.line, 3 + 32 * 3 + 1);
+    EXPECT_EQ(r.error->loc.col, 8);
+    EXPECT_EQ(r.error->message, "too many threads (max 32)");
+}
+
+TEST(Diagnostics, OverflowingIntegerLiteralRejected)
+{
+    ParseResult r = parseScenario(
+        "litmus \"t\"\nmachine 0 nvmm\naddr x @ 0\n"
+        "thread 0 on 0 {\n  lstore x 99999999999999999999999\n}\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->loc.line, 5);
+    EXPECT_EQ(r.error->loc.col, 12);
+    EXPECT_EQ(r.error->message,
+              "integer literal 99999999999999999999999 out of range "
+              "(64-bit)");
+}
+
+TEST(Diagnostics, UnterminatedString)
+{
+    ParseResult r = parseScenario("litmus \"oops\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->loc.line, 1);
+    EXPECT_EQ(r.error->loc.col, 8);
+    EXPECT_EQ(r.error->message, "unterminated string");
+}
+
+} // namespace

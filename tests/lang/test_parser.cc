@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::lang;
+using check::Operand;
+using check::ProgInstr;
+using model::Label;
+using model::Op;
+
+Scenario
+mustParse(const std::string &text)
+{
+    ParseResult r = parseScenario(text);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error->render());
+    return r.scenario;
+}
+
+TEST(Parser, FullProgramScenario)
+{
+    Scenario sc = mustParse(R"(# a comment
+litmus "two-location message passing"
+id 15
+variant lwb
+
+machine 0 nvmm
+machine 1 volatile
+addr d @ 1
+addr f @ 1
+
+registers 2
+crash node 1 max 1
+max-configs 1000
+max-depth 7
+
+thread 0 on 0 {
+  lstore d 1
+  rflush d
+  gpf
+  r0 = load f
+  r1 = faa.l d 1
+}
+
+expect subset {
+  ( 0 0 )
+}
+
+forbid {
+  ( 1 0 ) @crashed 0
+}
+)");
+
+    EXPECT_EQ(sc.name, "two-location message passing");
+    EXPECT_EQ(sc.id, 15);
+    EXPECT_EQ(sc.variant, model::ModelVariant::Lwb);
+    ASSERT_EQ(sc.machinePersistent.size(), 2u);
+    EXPECT_TRUE(sc.machinePersistent[0]);
+    EXPECT_FALSE(sc.machinePersistent[1]);
+    ASSERT_EQ(sc.addrNames.size(), 2u);
+    EXPECT_EQ(sc.addrNames[0], "d");
+    EXPECT_EQ(sc.addrOwner[1], 1u);
+    EXPECT_EQ(sc.program.numRegs, 2);
+    EXPECT_EQ(sc.request.maxCrashesPerNode, 1);
+    EXPECT_EQ(sc.request.crashableNodes, std::vector<NodeId>{1});
+    EXPECT_EQ(sc.request.maxConfigs, 1000u);
+    EXPECT_EQ(sc.request.maxDepth, 7u);
+
+    ASSERT_EQ(sc.program.threads.size(), 1u);
+    const auto &code = sc.program.threads[0].code;
+    ASSERT_EQ(code.size(), 5u);
+    EXPECT_EQ(code[0],
+              ProgInstr::store(Op::LStore, 0, Operand::immediate(1)));
+    EXPECT_EQ(code[1], ProgInstr::flush(Op::RFlush, 0));
+    EXPECT_EQ(code[2], ProgInstr::gpf());
+    EXPECT_EQ(code[3], ProgInstr::load(1, 0));
+    EXPECT_EQ(code[4],
+              ProgInstr::faa(Op::LRmw, 0, Operand::immediate(1), 1));
+
+    EXPECT_EQ(sc.expectKind, AnchorKind::Subset);
+    ASSERT_EQ(sc.expected.size(), 1u);
+    EXPECT_EQ(sc.expected[0].regs,
+              (std::vector<std::vector<Value>>{{0, 0}}));
+    EXPECT_EQ(sc.expected[0].crashedThreads, 0u);
+    ASSERT_EQ(sc.forbidden.size(), 1u);
+    EXPECT_EQ(sc.forbidden[0].crashedThreads, 1u);
+}
+
+TEST(Parser, TraceScenarioWithVerdict)
+{
+    Scenario sc = mustParse(R"(litmus "test 4 as a trace"
+
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 1
+
+trace {
+  lstore 0 x 1
+  lflush 0 x
+  crash 1
+  load 0 x 0
+}
+
+verdict allowed
+)");
+
+    ASSERT_EQ(sc.trace.size(), 4u);
+    EXPECT_EQ(sc.trace[0], Label::lstore(0, 0, 1));
+    EXPECT_EQ(sc.trace[1], Label::lflush(0, 0));
+    EXPECT_EQ(sc.trace[2], Label::crash(1));
+    EXPECT_EQ(sc.trace[3], Label::load(0, 0, 0));
+    ASSERT_TRUE(sc.expectedVerdict.has_value());
+    EXPECT_EQ(*sc.expectedVerdict, check::Verdict::Allowed);
+    EXPECT_TRUE(sc.program.threads.empty());
+}
+
+TEST(Parser, LhsRhsTracesAndRmwLabels)
+{
+    Scenario sc = mustParse(R"(litmus "inclusion shape"
+machine 0 nvmm
+addr x @ 0
+
+trace lhs {
+  mrmw 0 x 0 1
+}
+trace rhs {
+  load 0 x 0
+  mstore 0 x 1
+}
+)");
+    ASSERT_EQ(sc.traceLhs.size(), 1u);
+    EXPECT_EQ(sc.traceLhs[0], Label::mrmw(0, 0, 0, 1));
+    ASSERT_EQ(sc.traceRhs.size(), 2u);
+    EXPECT_EQ(sc.traceRhs[1], Label::mstore(0, 0, 1));
+}
+
+TEST(Parser, RegisterOperandsAndCas)
+{
+    Scenario sc = mustParse(R"(litmus "ops"
+machine 0 nvmm
+addr x @ 0
+thread 0 on 0 {
+  r0 = load x
+  mstore x r0
+  r1 = cas.m x 0 r0
+}
+)");
+    const auto &code = sc.program.threads[0].code;
+    EXPECT_EQ(code[1],
+              ProgInstr::store(Op::MStore, 0, Operand::regRef(0)));
+    EXPECT_EQ(code[2],
+              ProgInstr::cas(Op::MRmw, 0, Operand::immediate(0),
+                             Operand::regRef(0), 1));
+}
+
+TEST(Parser, CrashAnyLeavesNodeListEmpty)
+{
+    Scenario sc = mustParse(R"(litmus "crash any"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 0
+crash any max 2
+)");
+    EXPECT_EQ(sc.request.maxCrashesPerNode, 2);
+    EXPECT_TRUE(sc.request.crashableNodes.empty());
+}
+
+TEST(Parser, CrashedListAcceptsCommas)
+{
+    Scenario sc = mustParse(R"(litmus "crashed rows"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 0
+thread 0 on 0 {
+  r0 = load x
+}
+thread 1 on 1 {
+  r0 = load x
+}
+expect subset {
+  ( 0 0 0 0 | 0 0 0 0 ) @crashed 0, 1
+}
+)");
+    ASSERT_EQ(sc.expected.size(), 1u);
+    EXPECT_EQ(sc.expected[0].crashedThreads, 3u);
+}
+
+TEST(Run, FeasibleTraceMatchesDeclaredVerdict)
+{
+    // Litmus test 4's serialized trace: Allowed under Base.
+    Scenario sc = mustParse(R"(litmus "test 4 as a trace"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 1
+trace {
+  lstore 0 x 1
+  lflush 0 x
+  crash 1
+  load 0 x 0
+}
+verdict allowed
+)");
+    RunOptions opts; // Auto routes trace-only scenarios to feasible
+    RunResult r = runScenario(sc, opts);
+    EXPECT_EQ(r.checker, CheckerKind::Feasible);
+    EXPECT_TRUE(r.pass) << r.describe();
+
+    // The same trace with an RFlush is Forbidden (test 5).
+    sc.trace[1] = Label::rflush(0, 0);
+    sc.expectedVerdict = check::Verdict::Forbidden;
+    r = runScenario(sc, opts);
+    EXPECT_TRUE(r.pass) << r.describe();
+}
+
+TEST(Run, RefinementAndInclusionRoute)
+{
+    Scenario sc = mustParse(R"(litmus "variant shape"
+machine 0 nvmm
+machine 1 volatile
+addr x @ 0
+
+trace lhs {
+  lstore 0 x 1
+  rflush 0 x
+}
+trace rhs {
+  mstore 0 x 1
+}
+)");
+    // Proposition 1 item 8: MStore simulates LStore+RFlush.
+    RunOptions opts;
+    opts.checker = CheckerKind::Inclusion;
+    RunResult inc = runScenario(sc, opts);
+    EXPECT_EQ(inc.report.verdict, check::CheckVerdict::Pass)
+        << inc.describe();
+
+    // With no program and no plain trace, Auto routes lhs/rhs
+    // scenarios to inclusion.
+    RunOptions autoOpts;
+    RunResult autoRun = runScenario(sc, autoOpts);
+    EXPECT_EQ(autoRun.checker, CheckerKind::Inclusion);
+    EXPECT_TRUE(autoRun.error.empty()) << autoRun.error;
+
+    // Every LWB trace is a Base trace (§3.5) at a small bound.
+    opts = RunOptions{};
+    opts.checker = CheckerKind::Refinement;
+    opts.refineSpec = model::ModelVariant::Base;
+    opts.refineImpl = model::ModelVariant::Lwb;
+    opts.maxDepth = 2;
+    opts.maxConfigs = 200000;
+    RunResult ref = runScenario(sc, opts);
+    EXPECT_NE(ref.report.verdict, check::CheckVerdict::Fail)
+        << ref.describe();
+}
+
+TEST(Run, RefinementBudgetCutDoesNotPass)
+{
+    // §3.5 shape where Base has traces LWB forbids. A config budget
+    // that cuts the search before the (reachable) counterexample
+    // must not report pass — only a depth-bound cut may.
+    Scenario sc = mustParse(R"(litmus "variant shape"
+machine 0 nvmm
+machine 1 volatile
+addr x @ 0
+)");
+    RunOptions opts;
+    opts.checker = CheckerKind::Refinement;
+    opts.refineSpec = model::ModelVariant::Lwb;
+    opts.refineImpl = model::ModelVariant::Base;
+    opts.maxDepth = 4;
+
+    opts.maxConfigs = 20; // cut long before the violation
+    RunResult cut = runScenario(sc, opts);
+    EXPECT_FALSE(cut.pass) << cut.describe();
+
+    opts.maxConfigs = 200000; // enough to find it
+    RunResult full = runScenario(sc, opts);
+    EXPECT_EQ(full.report.verdict, check::CheckVerdict::Fail)
+        << full.describe();
+    EXPECT_FALSE(full.pass);
+}
+
+TEST(Run, ExplorerHonorsScenarioAnchors)
+{
+    Scenario sc = mustParse(R"(litmus "rstore may be lost"
+machine 0 nvmm
+addr x @ 0
+registers 1
+crash node 0 max 1
+thread 0 on 0 {
+  rstore x 1
+  r0 = load x
+}
+expect exact {
+  ( 0 ) @crashed 0
+  ( 1 )
+}
+)");
+    RunOptions opts;
+    RunResult r = runScenario(sc, opts);
+    EXPECT_EQ(r.checker, CheckerKind::Explore);
+    EXPECT_TRUE(r.pass) << r.describe();
+}
+
+} // namespace

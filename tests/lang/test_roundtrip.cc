@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "check/litmus.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::lang;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * The round-trip guarantee: parse(dump(p)) == p for every built-in
+ * LitmusProgram, with field-wise equality over the whole scenario
+ * (config shape, program, request knobs, anchors).
+ */
+TEST(RoundTrip, EveryBuiltinLitmusProgramSurvives)
+{
+    auto programs = check::explorerPrograms();
+    ASSERT_FALSE(programs.empty());
+    for (const check::LitmusProgram &lp : programs) {
+        Scenario sc = scenarioFromLitmusProgram(lp);
+        std::string text = dumpScenario(sc);
+        ParseResult r = parseScenario(text);
+        ASSERT_TRUE(r.ok())
+            << lp.name << ": " << r.error->render() << "\n" << text;
+        EXPECT_EQ(r.scenario, sc) << lp.name << "\n" << text;
+    }
+}
+
+/** Dump is a fixpoint: dump(parse(dump(s))) == dump(s), anchors in. */
+TEST(RoundTrip, ExportedTextIsAFixpoint)
+{
+    for (const CorpusFile &f : exportBuiltinCorpus()) {
+        ParseResult r = parseScenario(f.text);
+        ASSERT_TRUE(r.ok()) << f.filename << ": "
+                            << r.error->render();
+        EXPECT_EQ(dumpScenario(r.scenario), f.text) << f.filename;
+    }
+}
+
+/**
+ * Anti-drift gate between litmus.cc and corpus/litmus/: the tracked
+ * corpus files for the built-in programs are byte-for-byte what the
+ * serializer exports today (same programs, same locked outcome
+ * anchors). If either side moves, re-export with
+ * `cxl0check --export corpus/litmus` and review the diff.
+ */
+TEST(RoundTrip, TrackedCorpusMatchesExport)
+{
+    std::string dir = std::string(CXL0_SOURCE_DIR) + "/corpus/litmus/";
+    auto files = exportBuiltinCorpus();
+    ASSERT_EQ(files.size(), check::explorerPrograms().size());
+    for (const CorpusFile &f : files)
+        EXPECT_EQ(readFile(dir + f.filename), f.text) << f.filename;
+}
+
+/** Long identifiers survive: no emitter line-length ceiling. */
+TEST(RoundTrip, LongLocationNamesSurvive)
+{
+    std::string name(600, 'x');
+    std::string src = "litmus \"long\"\nmachine 0 nvmm\naddr " +
+                      name + " @ 0\nthread 0 on 0 {\n  lstore " +
+                      name + " 1\n}\n";
+    ParseResult first = parseScenario(src);
+    ASSERT_TRUE(first.ok()) << first.error->render();
+    std::string canonical = dumpScenario(first.scenario);
+    ParseResult second = parseScenario(canonical);
+    ASSERT_TRUE(second.ok()) << second.error->render();
+    EXPECT_EQ(second.scenario, first.scenario);
+}
+
+/** A scenario exercising every directive survives the round trip. */
+TEST(RoundTrip, KitchenSinkSurvives)
+{
+    const char *src = R"(litmus "kitchen sink"
+id 42
+variant psn
+
+machine 0 nvmm
+machine 1 volatile
+addr d @ 0
+addr f @ 0
+
+registers 3
+crash any max 2
+max-configs 12345
+max-depth 9
+
+thread 0 on 1 {
+  lstore d 1
+  rstore f r0
+  mstore d 2
+  lflush d
+  rflush f
+  gpf
+  r0 = load d
+  r1 = faa.m f 1
+  r2 = cas.r d 0 r1
+}
+
+trace {
+  lstore 1 d 1
+  crash 0
+  load 1 d 0
+}
+
+trace lhs {
+  mrmw 0 d 0 1
+}
+
+trace rhs {
+  lrmw 0 d 0 1
+  rrmw 0 d 1 2
+}
+
+verdict forbidden
+
+expect subset {
+  ( 0 0 0 )
+  ( 1 2 0 ) @crashed 0
+}
+
+forbid {
+  ( 2 2 2 )
+}
+)";
+    ParseResult first = parseScenario(src);
+    ASSERT_TRUE(first.ok()) << first.error->render();
+    std::string canonical = dumpScenario(first.scenario);
+    ParseResult second = parseScenario(canonical);
+    ASSERT_TRUE(second.ok())
+        << second.error->render() << "\n" << canonical;
+    EXPECT_EQ(second.scenario, first.scenario) << canonical;
+    EXPECT_EQ(dumpScenario(second.scenario), canonical);
+}
+
+} // namespace

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * cxl0check — the scenario batch runner.
+ *
+ * Loads one or more .cxl0 scenario files (or a whole corpus
+ * directory), routes each through one of the four checkers via the
+ * unified CheckRequest API, checks the declared outcome anchors, and
+ * reports per-case and aggregate results — optionally as JSON in the
+ * same shape as the tracked BENCH_*.json artifacts.
+ *
+ *   cxl0check corpus/litmus/litmus04.cxl0
+ *   cxl0check --corpus corpus/litmus --threads 2 --out BENCH_corpus.json
+ *   cxl0check --checker refinement --spec base --impl lwb file.cxl0
+ *   cxl0check --export corpus/litmus      # re-export the built-ins
+ *   cxl0check --dump file.cxl0            # print the canonical form
+ *
+ * Exit status: 0 when every case passes its anchors, 1 when any case
+ * fails (or a file fails to parse), 2 on usage or I/O errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+
+using namespace cxl0;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct CaseResult
+{
+    std::string name; //!< file stem, suffixed #N when stems repeat
+    std::string file;
+    lang::RunResult run;
+    bool parsed = true;
+    std::string parseError;
+
+    bool pass() const { return parsed && run.pass; }
+};
+
+bool
+readFile(const std::string &path, std::string &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Whole-string numeric flag value; false on garbage or overflow. */
+bool
+parseCount(const char *s, long long &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoll(s, &end, 10);
+    return end != s && *end == '\0' && errno == 0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] [scenario.cxl0 ...]\n"
+        "  --corpus DIR      run every *.cxl0 under DIR (sorted)\n"
+        "  --checker KIND    explore|feasible|refinement|inclusion\n"
+        "                    (default: explore when the file has a\n"
+        "                    program, feasibility when trace-only)\n"
+        "  --threads N       worker threads (CheckRequest::numThreads)\n"
+        "  --max-configs N   override the configuration budget\n"
+        "  --max-depth N     override the depth bound\n"
+        "  --crash N         override max crashes per machine\n"
+        "  --policy P        dfs|bfs frontier ordering\n"
+        "  --spec V          refinement spec variant (base|lwb|psn)\n"
+        "  --impl V          refinement impl variant (base|lwb|psn)\n"
+        "  --out FILE        write the aggregate JSON report\n"
+        "  --export DIR      write the built-in litmus corpus to DIR\n"
+        "  --dump FILE       print FILE's canonical form and exit\n"
+        "  --quiet           only print failures and the summary\n",
+        argv0);
+    return 2;
+}
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    char buf[8];
+    for (char c : s) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            std::snprintf(buf, sizeof buf, "\\u%04x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+std::string
+jsonReport(const std::vector<CaseResult> &cases)
+{
+    std::string out = "{\n  \"bench\": \"corpus\",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof buf, "  \"corpus_size\": %zu,\n",
+                  cases.size());
+    out += buf;
+    out += "  \"cases\": {\n";
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const CaseResult &c = cases[i];
+        out += "    \"";
+        jsonEscape(out, c.name);
+        out += "\": ";
+        if (!c.parsed) {
+            out += "{\"parse_error\": \"";
+            jsonEscape(out, c.parseError);
+            out += "\", \"anchors_pass\": false}";
+        } else {
+            const check::CheckReport &r = c.run.report;
+            double sec =
+                r.stats.seconds > 0 ? r.stats.seconds : 1e-9;
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"checker\": \"%s\", \"verdict\": \"%s\", "
+                "\"configs\": %zu, \"seconds\": %.6f, "
+                "\"configs_per_sec\": %.0f, \"outcomes\": %zu, "
+                "\"truncated\": %s, \"anchors_pass\": %s}",
+                lang::checkerKindName(c.run.checker),
+                check::checkVerdictName(r.verdict),
+                r.stats.configsVisited, r.stats.seconds,
+                static_cast<double>(r.stats.configsVisited) / sec,
+                r.outcomes.size(), r.truncated ? "true" : "false",
+                c.pass() ? "true" : "false");
+            out += buf;
+        }
+        out += i + 1 < cases.size() ? ",\n" : "\n";
+    }
+    out += "  },\n";
+    size_t passed = 0;
+    for (const CaseResult &c : cases)
+        passed += c.pass();
+    std::snprintf(buf, sizeof buf,
+                  "  \"cases_passed\": %zu,\n"
+                  "  \"all_anchors_pass\": %s\n}\n",
+                  passed,
+                  passed == cases.size() ? "true" : "false");
+    out += buf;
+    return out;
+}
+
+int
+exportCorpus(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "error: cannot create %s: %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return 2;
+    }
+    for (const lang::CorpusFile &f : lang::exportBuiltinCorpus()) {
+        std::string path = dir + "/" + f.filename;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            return 2;
+        }
+        out << f.text;
+        std::printf("exported %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    lang::RunOptions opts;
+    const char *out_path = nullptr;
+    bool quiet = false;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--corpus") == 0) {
+            std::string dir = value(i);
+            std::error_code ec;
+            std::vector<std::string> found;
+            try {
+                for (const auto &e :
+                     fs::directory_iterator(dir, ec))
+                    if (e.path().extension() == ".cxl0")
+                        found.push_back(e.path().string());
+            } catch (const fs::filesystem_error &e) {
+                // The iterator's increment throws on I/O errors.
+                std::fprintf(stderr, "error: cannot read %s: %s\n",
+                             dir.c_str(), e.what());
+                return 2;
+            }
+            if (ec) {
+                std::fprintf(stderr, "error: cannot read %s: %s\n",
+                             dir.c_str(), ec.message().c_str());
+                return 2;
+            }
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else if (std::strcmp(a, "--checker") == 0) {
+            const char *k = value(i);
+            if (std::strcmp(k, "explore") == 0)
+                opts.checker = lang::CheckerKind::Explore;
+            else if (std::strcmp(k, "feasible") == 0)
+                opts.checker = lang::CheckerKind::Feasible;
+            else if (std::strcmp(k, "refinement") == 0)
+                opts.checker = lang::CheckerKind::Refinement;
+            else if (std::strcmp(k, "inclusion") == 0)
+                opts.checker = lang::CheckerKind::Inclusion;
+            else
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--threads") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1 || n > 1024) {
+                std::fprintf(stderr,
+                             "error: --threads wants 1..1024\n");
+                return 2;
+            }
+            opts.numThreads = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--max-configs") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1) {
+                std::fprintf(stderr,
+                             "error: --max-configs wants >= 1\n");
+                return 2;
+            }
+            opts.maxConfigs = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--max-depth") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 0) {
+                std::fprintf(stderr,
+                             "error: --max-depth wants >= 0\n");
+                return 2;
+            }
+            opts.maxDepth = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--crash") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 0 || n > 1000) {
+                std::fprintf(stderr,
+                             "error: --crash wants 0..1000\n");
+                return 2;
+            }
+            opts.maxCrashesPerNode = static_cast<int>(n);
+        } else if (std::strcmp(a, "--policy") == 0) {
+            const char *p = value(i);
+            if (std::strcmp(p, "dfs") == 0)
+                opts.policy = check::FrontierPolicy::DepthFirst;
+            else if (std::strcmp(p, "bfs") == 0)
+                opts.policy = check::FrontierPolicy::BreadthFirst;
+            else
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--spec") == 0) {
+            if (!lang::variantFromWord(value(i), opts.refineSpec))
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--impl") == 0) {
+            if (!lang::variantFromWord(value(i), opts.refineImpl))
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--out") == 0) {
+            out_path = value(i);
+        } else if (std::strcmp(a, "--export") == 0) {
+            return exportCorpus(value(i));
+        } else if (std::strcmp(a, "--dump") == 0) {
+            std::string text, err;
+            if (!readFile(value(i), text, err)) {
+                std::fprintf(stderr, "error: %s\n", err.c_str());
+                return 2;
+            }
+            lang::ParseResult pr = lang::parseScenario(text);
+            if (!pr.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             pr.error->render(argv[i]).c_str());
+                return 1;
+            }
+            std::fputs(lang::dumpScenario(pr.scenario).c_str(),
+                       stdout);
+            return 0;
+        } else if (std::strcmp(a, "--quiet") == 0 ||
+                   std::strcmp(a, "-q") == 0) {
+            quiet = true;
+        } else if (a[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(a);
+        }
+    }
+
+    if (files.empty())
+        return usage(argv[0]);
+
+    std::vector<CaseResult> cases;
+    std::map<std::string, int> stems;
+    for (const std::string &path : files) {
+        CaseResult c;
+        c.file = path;
+        c.name = fs::path(path).stem().string();
+        // Stems repeat across directories; keep JSON keys unique.
+        int n = ++stems[c.name];
+        if (n > 1) {
+            c.name.push_back('#');
+            c.name += std::to_string(n);
+        }
+        std::string text, err;
+        if (!readFile(path, text, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        lang::ParseResult pr = lang::parseScenario(text);
+        if (!pr.ok()) {
+            c.parsed = false;
+            c.parseError = pr.error->render(path);
+            std::fprintf(stderr, "%s\n", c.parseError.c_str());
+        } else {
+            c.run = lang::runScenario(pr.scenario, opts);
+            if (!c.run.error.empty())
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             c.run.error.c_str());
+        }
+        if (!quiet || !c.pass())
+            std::printf("case %-24s %s\n", c.name.c_str(),
+                        c.parsed ? c.run.describe().c_str()
+                                 : "parse error");
+        cases.push_back(std::move(c));
+    }
+
+    size_t passed = 0;
+    for (const CaseResult &c : cases)
+        passed += c.pass();
+    std::printf("corpus: %zu/%zu case(s) pass\n", passed,
+                cases.size());
+
+    if (out_path) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path);
+            return 2;
+        }
+        out << jsonReport(cases);
+        std::printf("wrote %s\n", out_path);
+    }
+    return passed == cases.size() ? 0 : 1;
+}
