@@ -8,16 +8,21 @@
  * with one crash allowed per machine — the crash-enabled configs are
  * where interleaving x tau-placement x crash-placement explodes.
  *
- * For every case three modes run:
- *   interned           the packed/hash-consed search (the default)
- *   interned_noreduce  same, with the tau footprint reduction off
+ * For every case four modes run:
+ *   interned           the packed/hash-consed search with the full
+ *                      ample-set reduction (the default)
+ *   interned_tau       same, tau footprint reduction only
+ *   interned_noreduce  same, no reduction at all
  *   reference          the deep-copy seed algorithm
- * plus a threads series (numThreads = 1/2/4 over the sharded
- * frontier), and the JSON reports configs/sec, peak visited-set
- * bytes, outcome counts, interned-vs-reference speedup and memory
- * ratios, and the 4-thread-vs-1-thread throughput ratio. Outcome
- * sets are asserted identical across every mode *and* every thread
- * count before anything is reported.
+ * plus a threads series (numThreads = 1/2/4 over the work-stealing
+ * sharded frontier, with per-count steal counters), and the JSON
+ * reports configs/sec, peak visited-set bytes, outcome counts, a
+ * per-case `reduction` series (configs explored under none/tau/
+ * ample), interned-vs-reference speedup and memory ratios, and the
+ * 4-thread-vs-1-thread throughput ratio. Outcome sets are asserted
+ * identical across every reduction mode *and* every thread count
+ * before anything is reported — the exit status is the drift gate
+ * CI relies on.
  */
 
 #include <cstdio>
@@ -80,11 +85,11 @@ struct ModeResult
 };
 
 ModeResult
-run(const Cxl0Model &model, const Case &c, bool reduce, bool reference,
-    size_t num_threads = 1)
+run(const Cxl0Model &model, const Case &c, Reduction red,
+    bool reference, size_t num_threads = 1)
 {
     ExploreOptions opts = c.options;
-    opts.reduceTau = reduce;
+    opts.reduction = red;
     opts.numThreads = num_threads;
     Explorer ex(model, c.program, opts);
     // Best of five: exploration is deterministic, so the fastest run
@@ -112,10 +117,11 @@ emitMode(std::string *out, const char *mode, const ModeResult &m,
         "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
         "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
         "\"outcomes\": %zu, \"tau_skipped\": %zu, "
-        "\"truncated\": %s}%s\n",
+        "\"ample_skipped\": %zu, \"truncated\": %s}%s\n",
         mode, m.res.stats.configsVisited, m.res.stats.seconds,
         m.configsPerSec, m.res.stats.peakVisitedBytes,
         m.res.outcomes.size(), m.res.stats.tauMovesSkipped,
+        m.res.stats.ampleSkipped,
         m.res.truncated ? "true" : "false", last ? "" : ",");
     *out += buf;
 }
@@ -154,28 +160,33 @@ main(int argc, char **argv)
     for (size_t i = 0; i < cases.size(); ++i) {
         const Case &c = cases[i];
         Cxl0Model model(c.config);
-        ModeResult fast = run(model, c, true, false);
-        ModeResult noreduce = run(model, c, false, false);
-        ModeResult ref = run(model, c, false, true);
-        // Threads series over the sharded frontier: the 1-thread
-        // entry is the sequential search `fast` already measured,
-        // 2/4 exercise cross-shard handoff. Outcome sets must not
-        // move.
+        ModeResult fast = run(model, c, Reduction::Ample, false);
+        ModeResult tau = run(model, c, Reduction::Tau, false);
+        ModeResult noreduce = run(model, c, Reduction::None, false);
+        ModeResult ref = run(model, c, Reduction::None, true);
+        // Threads series over the work-stealing sharded frontier:
+        // the 1-thread entry is the sequential search `fast` already
+        // measured, 2/4 exercise cross-shard handoff and stealing.
+        // Outcome sets must not move.
         const size_t thread_series[] = {1, 2, 4};
         ModeResult threads[3];
         threads[0] = fast;
         bool threads_match = true;
         for (size_t ti = 1; ti < 3; ++ti) {
-            threads[ti] =
-                run(model, c, true, false, thread_series[ti]);
+            threads[ti] = run(model, c, Reduction::Ample, false,
+                              thread_series[ti]);
             threads_match &= !threads[ti].res.truncated &&
                              threads[ti].res.outcomes ==
                                  fast.res.outcomes;
         }
 
-        bool match = !fast.res.truncated && !noreduce.res.truncated &&
-                     !ref.res.truncated && threads_match &&
+        // The drift gate: every reduction mode and every thread
+        // count must reproduce the reference outcome set exactly.
+        bool match = !fast.res.truncated && !tau.res.truncated &&
+                     !noreduce.res.truncated && !ref.res.truncated &&
+                     threads_match &&
                      fast.res.outcomes == ref.res.outcomes &&
+                     tau.res.outcomes == ref.res.outcomes &&
                      noreduce.res.outcomes == ref.res.outcomes;
         all_match &= match;
 
@@ -199,21 +210,40 @@ main(int argc, char **argv)
 
         json += "    \"" + c.name + "\": {\n";
         emitMode(&json, "interned", fast, false);
+        emitMode(&json, "interned_tau", tau, false);
         emitMode(&json, "interned_noreduce", noreduce, false);
         emitMode(&json, "reference", ref, false);
+        // The reduction series: configs each mode had to explore for
+        // the same outcome set (the trajectory metric the ample-set
+        // work moves).
+        {
+            char rbuf[256];
+            std::snprintf(
+                rbuf, sizeof rbuf,
+                "      \"reduction\": {\"none\": %zu, \"tau\": %zu, "
+                "\"ample\": %zu, \"outcomes_equal\": %s},\n",
+                noreduce.res.stats.configsVisited,
+                tau.res.stats.configsVisited,
+                fast.res.stats.configsVisited,
+                match ? "true" : "false");
+            json += rbuf;
+        }
         json += "      \"threads\": {\n";
         for (size_t ti = 0; ti < 3; ++ti) {
-            char tbuf[256];
+            char tbuf[320];
             std::snprintf(
                 tbuf, sizeof tbuf,
                 "        \"%zu\": {\"configs\": %zu, "
                 "\"seconds\": %.6f, \"configs_per_sec\": %.0f, "
-                "\"outcomes\": %zu}%s\n",
+                "\"outcomes\": %zu, \"steals_attempted\": %zu, "
+                "\"steals_succeeded\": %zu}%s\n",
                 thread_series[ti],
                 threads[ti].res.stats.configsVisited,
                 threads[ti].res.stats.seconds,
                 threads[ti].configsPerSec,
                 threads[ti].res.outcomes.size(),
+                threads[ti].res.stats.stealsAttempted,
+                threads[ti].res.stats.stealsSucceeded,
                 ti + 1 < 3 ? "," : "");
             json += tbuf;
         }

@@ -11,8 +11,9 @@
  * For every case two modes run:
  *   interned    the frame-interned engine search (the default)
  *   reference   the deep-copy seed algorithm
- * plus a threads series (numThreads = 1/2/4 over the sharded pair
- * search), and the JSON reports configs/sec, peak visited-set bytes,
+ * plus a threads series (numThreads = 1/2/4 over the work-stealing
+ * sharded pair search, with per-count steal counters), and the JSON
+ * reports configs/sec, peak visited-set bytes,
  * interned frame counts, verdicts, interned-vs-reference speedup and
  * memory ratios, and the 4-thread-vs-1-thread throughput ratio. Two
  * gates make this a correctness/architecture smoke check: verdicts
@@ -203,17 +204,20 @@ main(int argc, char **argv)
         emitMode(&json, "reference", ref, false);
         json += "      \"threads\": {\n";
         for (size_t ti = 0; ti < 3; ++ti) {
-            char tbuf[256];
+            char tbuf[320];
             std::snprintf(
                 tbuf, sizeof tbuf,
                 "        \"%zu\": {\"configs\": %zu, "
                 "\"seconds\": %.6f, \"configs_per_sec\": %.0f, "
-                "\"verdict\": \"%s\"}%s\n",
+                "\"verdict\": \"%s\", \"steals_attempted\": %zu, "
+                "\"steals_succeeded\": %zu}%s\n",
                 thread_series[ti],
                 threads[ti].report.stats.configsVisited,
                 threads[ti].report.stats.seconds,
                 threads[ti].configsPerSec,
                 checkVerdictName(threads[ti].report.verdict),
+                threads[ti].report.stats.stealsAttempted,
+                threads[ti].report.stats.stealsSucceeded,
                 ti + 1 < 3 ? "," : "");
             json += tbuf;
         }

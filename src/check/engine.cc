@@ -30,12 +30,29 @@ checkVerdictName(CheckVerdict v)
     return "?";
 }
 
+const char *
+reductionName(Reduction r)
+{
+    switch (r) {
+      case Reduction::None:
+        return "none";
+      case Reduction::Tau:
+        return "tau";
+      case Reduction::Ample:
+        return "ample";
+    }
+    return "?";
+}
+
 void
 SearchStats::merge(const SearchStats &other)
 {
     configsVisited += other.configsVisited;
     configsInterned += other.configsInterned;
     tauMovesSkipped += other.tauMovesSkipped;
+    ampleSkipped += other.ampleSkipped;
+    stealsAttempted += other.stealsAttempted;
+    stealsSucceeded += other.stealsSucceeded;
     peakVisitedBytes += other.peakVisitedBytes;
     statesInterned = std::max(statesInterned, other.statesInterned);
     framesInterned = std::max(framesInterned, other.framesInterned);
@@ -112,7 +129,14 @@ CheckReport::describe() const
         os << ", counterexample: " << counterexample.describe();
     os << " [" << stats.configsVisited << " configs, "
        << stats.statesInterned << " states, " << stats.framesInterned
-       << " frames]";
+       << " frames";
+    if (stats.tauMovesSkipped || stats.ampleSkipped)
+        os << ", " << stats.tauMovesSkipped << "+"
+           << stats.ampleSkipped << " tau/ample skipped";
+    if (stats.stealsAttempted)
+        os << ", " << stats.stealsSucceeded << "/"
+           << stats.stealsAttempted << " steals";
+    os << "]";
     return os.str();
 }
 
@@ -202,11 +226,51 @@ ConfigFrontier::pop()
     if (policy_ == FrontierPolicy::DepthFirst) {
         PackedConfig c = stack_.back();
         stack_.pop_back();
+        if (stack_.size() == base_) {
+            // Drained to the stolen prefix: reclaim it.
+            stack_.clear();
+            base_ = 0;
+        }
         return c;
     }
     PackedConfig c = queue_.front();
     queue_.pop_front();
     return c;
+}
+
+size_t
+ConfigFrontier::stealHalf(std::vector<PackedConfig> &out)
+{
+    if (policy_ == FrontierPolicy::DepthFirst) {
+        size_t live = stack_.size() - base_;
+        size_t k = (live + 1) / 2;
+        out.insert(out.end(),
+                   stack_.begin() + static_cast<ptrdiff_t>(base_),
+                   stack_.begin() +
+                       static_cast<ptrdiff_t>(base_ + k));
+        base_ += k;
+        if (stack_.size() == base_) {
+            stack_.clear();
+            base_ = 0;
+        } else if (base_ > stack_.size() - base_) {
+            // The stolen prefix outweighs the live suffix: compact.
+            // Each compaction moves fewer entries than were stolen
+            // since the last one, so the cost is amortized O(1) per
+            // stolen configuration — no O(frontier) shift ever
+            // happens under the victim's shard lock.
+            stack_.erase(stack_.begin(),
+                         stack_.begin() +
+                             static_cast<ptrdiff_t>(base_));
+            base_ = 0;
+        }
+        return k;
+    }
+    size_t k = (queue_.size() + 1) / 2;
+    out.insert(out.end(), queue_.end() - static_cast<ptrdiff_t>(k),
+               queue_.end());
+    queue_.erase(queue_.end() - static_cast<ptrdiff_t>(k),
+                 queue_.end());
+    return k;
 }
 
 // ------------------------------------------------------------------
@@ -237,7 +301,68 @@ void
 ShardedFrontier::pushLocal(size_t w, const PackedConfig &c)
 {
     pending_.fetch_add(1, std::memory_order_relaxed);
-    shards_[w]->frontier.push(c);
+    Shard &sh = *shards_[w];
+    // Increment stealable_ BEFORE the config becomes visible to
+    // thieves: every decrement (local pop or steal) then has its
+    // matching increment already applied, so the unsigned counter
+    // can overcount transiently (a spurious, self-correcting wake)
+    // but never wrap below zero (a busy-loop of always-true sleep
+    // predicates). The increments/loads are sequentially consistent:
+    // the flag/flag protocol against pop()'s sleep path guarantees
+    // either this increment is visible to the sleeper's wait
+    // predicate, or the sleeper's registration is visible here and
+    // wakeAll() reaches it.
+    stealable_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(sh.m);
+        sh.frontier.push(c);
+    }
+    if (sleepers_.load() > 0)
+        wakeAll();
+}
+
+void
+ShardedFrontier::pushMany(Shard &sh,
+                          const std::vector<PackedConfig> &cs)
+{
+    // Increment-before-insert, as in pushLocal.
+    stealable_.fetch_add(cs.size());
+    {
+        std::lock_guard<std::mutex> lock(sh.m);
+        for (const PackedConfig &c : cs)
+            sh.frontier.push(c);
+    }
+    if (sleepers_.load() > 0)
+        wakeAll();
+}
+
+bool
+ShardedFrontier::trySteal(size_t w)
+{
+    Shard &me = *shards_[w];
+    const size_t n = shards_.size();
+    for (size_t step = 1; step < n; ++step) {
+        Shard &victim = *shards_[(w + step) % n];
+        ++me.stealsAttempted;
+        me.loot.clear();
+        {
+            std::lock_guard<std::mutex> lock(victim.m);
+            if (!victim.frontier.empty())
+                victim.frontier.stealHalf(me.loot);
+        }
+        if (me.loot.empty())
+            continue;
+        ++me.stealsSucceeded;
+        // Net stealable count is unchanged — the loot re-enters a
+        // frontier in pushMany — but decrement first so a sleeper
+        // woken in between does not chase configurations already in
+        // this thief's hands.
+        stealable_.fetch_sub(me.loot.size());
+        pushMany(me, me.loot);
+        me.loot.clear();
+        return true;
+    }
+    return false;
 }
 
 void
@@ -278,16 +403,19 @@ size_t
 ShardedFrontier::bytes(size_t w) const
 {
     Shard &sh = *shards_[w];
-    // frontier and drain belong to worker w (the only legitimate
-    // caller); the inbox is shared with senders, so its capacity is
-    // read under the shard mutex.
-    size_t inbox_bytes;
+    // drain and loot belong to worker w (the only legitimate
+    // caller); the inbox is shared with senders and the frontier
+    // with thieves, so their capacities are read under the shard
+    // mutex.
+    size_t shared_bytes;
     {
         std::lock_guard<std::mutex> lock(sh.m);
-        inbox_bytes = sh.inbox.capacity() * sizeof(PackedConfig);
+        shared_bytes = sh.inbox.capacity() * sizeof(PackedConfig) +
+                       sh.frontier.bytes();
     }
-    return sh.frontier.bytes() + inbox_bytes +
-           sh.drain.capacity() * sizeof(PackedConfig);
+    return shared_bytes +
+           (sh.drain.capacity() + sh.loot.capacity()) *
+               sizeof(PackedConfig);
 }
 
 // ------------------------------------------------------------------

@@ -89,6 +89,22 @@ enum class FrontierPolicy
 };
 
 /**
+ * Which partial-order reduction the explorer applies. Every mode
+ * produces the *identical* outcome set (asserted by the regression
+ * tests and the scaling bench on every run); they differ only in how
+ * many configurations the search must visit to compute it.
+ */
+enum class Reduction
+{
+    None, //!< expand every enabled successor (the reference graph)
+    Tau,  //!< skip tau moves outside every live suffix footprint
+    Ample, //!< Tau + singleton ample sets for thread steps (default)
+};
+
+/** "none" / "tau" / "ample". */
+const char *reductionName(Reduction r);
+
+/**
  * A checking request: budgets and toggles every checker understands.
  * Checker-specific inputs (the program, the trace, the alphabet) stay
  * positional; this struct is the shared part.
@@ -120,12 +136,19 @@ struct CheckRequest
     std::vector<NodeId> crashableNodes;
 
     /**
-     * Skip tau moves on addresses that no live thread's remaining
-     * code can ever touch again (and no GPF is pending). Sound for
-     * the explorer — see src/check/README.md; ignored by checkers
-     * whose traces observe tau placement indirectly.
+     * Partial-order reduction for the explorer (ignored by checkers
+     * whose traces observe tau placement indirectly). `Tau` skips
+     * tau moves on addresses that no live thread's remaining code
+     * can ever touch again (and no GPF is pending); `Ample` (the
+     * default) additionally collapses a configuration to a single
+     * thread step when that step provably commutes with everything
+     * else still possible — see src/check/README.md for the
+     * conditions and the soundness argument. Both preserve the exact
+     * outcome set; the ample condition is a pure function of the
+     * configuration, so the reduced graph (and with it every count
+     * the reports carry) is independent of worker scheduling.
      */
-    bool reduceTau = true;
+    Reduction reduction = Reduction::Ample;
 
     /** Frontier ordering (outcome sets are order-independent). */
     FrontierPolicy frontier = FrontierPolicy::DepthFirst;
@@ -193,6 +216,19 @@ struct SearchStats
     size_t processPeakRssBytes = 0;
     /** Tau successors pruned by the footprint reduction. */
     size_t tauMovesSkipped = 0;
+    /**
+     * Configurations whose expansion collapsed to a singleton ample
+     * set (their sibling thread steps, tau moves, and crash steps
+     * were all pruned). A pure function of the reduced search graph,
+     * so identical for every worker count and frontier policy; the
+     * scaling bench's `reduction` config series measures the pruning
+     * it buys.
+     */
+    size_t ampleSkipped = 0;
+    /** Steal attempts this worker made on other shards' frontiers. */
+    size_t stealsAttempted = 0;
+    /** Steal attempts that came back with at least one config. */
+    size_t stealsSucceeded = 0;
     /** Wall-clock seconds inside the checker. */
     double seconds = 0.0;
 
@@ -457,11 +493,33 @@ class ConfigFrontier
 
     bool empty() const
     {
-        return policy_ == FrontierPolicy::DepthFirst ? stack_.empty()
-                                                     : queue_.empty();
+        return policy_ == FrontierPolicy::DepthFirst
+                   ? stack_.size() == base_
+                   : queue_.empty();
+    }
+
+    size_t size() const
+    {
+        return policy_ == FrontierPolicy::DepthFirst
+                   ? stack_.size() - base_
+                   : queue_.size();
     }
 
     PackedConfig pop();
+
+    /**
+     * Move roughly half of the queued configurations (at least one;
+     * requires a nonempty frontier) into `out`, taking them from the
+     * *cold* end — the entries farthest from being popped by the
+     * owner: the bottom of the DFS stack (the coarsest, oldest
+     * subtrees), the back of the BFS queue. The thief pushes them
+     * into its own frontier; since outcome sets are expansion-order
+     * independent, the resulting reshuffle is invisible in reports.
+     * O(stolen) while the victim's shard lock is held: the DFS
+     * stack's stolen prefix is only advanced past (`base_`) and
+     * compacted amortized-O(1), never shifted per steal.
+     */
+    size_t stealHalf(std::vector<PackedConfig> &out);
 
     /** Resident bytes (approximate for the deque). */
     size_t bytes() const
@@ -473,30 +531,50 @@ class ConfigFrontier
 
   private:
     FrontierPolicy policy_;
-    std::vector<PackedConfig> stack_;
+    std::vector<PackedConfig> stack_; //!< live entries: [base_, end)
+    size_t base_ = 0;                 //!< stolen prefix of stack_
     std::deque<PackedConfig> queue_;
 };
 
 /**
- * N per-shard frontiers with cross-shard handoff and termination
- * detection — the spine of every parallel search here.
+ * N per-shard frontiers with cross-shard handoff, work stealing, and
+ * termination detection — the spine of every parallel search here.
  *
- * Ownership: shard w's frontier is touched only by worker w. A
- * successor owned by another shard is send()t to that shard's
- * mutex-guarded inbox; pop() drains the inbox into the local frontier
- * (through the caller's admission filter, which dedups and applies
- * budgets) before it ever blocks.
+ * Ownership split: *admission* (dedup, budgets, memos) is pinned to a
+ * configuration's hash-owner shard — a successor owned by another
+ * shard is send()t to that shard's mutex-guarded inbox, and only the
+ * owner drains its inbox through the caller's admission filter.
+ * *Expansion* is not pinned: once a configuration has been admitted
+ * into a local frontier, any idle worker may steal it and generate
+ * its successors (which again route to *their* owners for admission).
+ * Admission-exactness is what makes this sound: whichever worker
+ * expands a configuration, each distinct configuration is admitted
+ * (and therefore expanded) exactly once, so the union of all workers'
+ * searches is the same reduced graph the sequential search walks.
+ *
+ * Stealing: when worker w's frontier and inbox are both empty, it
+ * scans the other shards round-robin and takes roughly half of the
+ * first nonempty frontier it finds (the cold end — see
+ * ConfigFrontier::stealHalf), pushing the loot into its own frontier.
+ * Each shard's frontier is guarded by its shard mutex; a thief never
+ * holds two shard locks at once. Per-worker attempt/success counters
+ * are read back through stealCounters() after the drain.
  *
  * Termination: `pending_` counts configurations that are queued
  * anywhere or currently being expanded. Every push/send increments
  * it; the worker calls done() exactly once per popped (or rejected)
  * configuration after its successors are enqueued — so pending_ can
  * only reach zero when no work exists and none can appear. The
- * worker that decrements it to zero wakes every sleeper.
+ * worker that decrements it to zero wakes every sleeper. Stealing
+ * moves queued work between shards without touching pending_, so the
+ * barrier is unchanged. A sleeping worker additionally wakes when
+ * `stealable_` (the count of configs sitting in local frontiers)
+ * becomes nonzero while it sleeps, so work pushed to a busy shard's
+ * deep frontier reaches idle workers instead of idling them.
  *
  * With one shard this degenerates to exactly the single frontier the
- * sequential searches always used: same push/pop order, no locking
- * on the hot path beyond two uncontended atomics.
+ * sequential searches always used: same push/pop order, no steals,
+ * no contention on the shard mutex.
  */
 class ShardedFrontier
 {
@@ -515,16 +593,19 @@ class ShardedFrontier
     /** Cross-shard handoff; any thread. Counts as pending work. */
     void send(size_t shard, const PackedConfig &c);
 
-    /** Push onto worker w's own frontier; only worker w (or the
-     *  driver before the workers start). Counts as pending work. */
+    /** Push an admitted config onto worker w's own frontier; only
+     *  worker w (or the driver before the workers start). Counts as
+     *  pending work. */
     void pushLocal(size_t w, const PackedConfig &c);
 
     /**
-     * Next configuration for worker w. Inbox arrivals pass through
-     * `admit` (dedup + budget) before entering the frontier; a
-     * rejected arrival is accounted done automatically. Blocks until
-     * work arrives; returns false on global termination or stop.
-     * Every true return must be matched by one done() call.
+     * Next configuration for worker w: its own frontier first, then
+     * its inbox (arrivals pass through `admit` — dedup + budget —
+     * before entering the frontier; a rejected arrival is accounted
+     * done automatically), then a steal from another shard's
+     * frontier (already admitted there; `admit` is NOT re-run).
+     * Blocks until work arrives; returns false on global termination
+     * or stop. Every true return must be matched by one done() call.
      */
     template <typename Admit>
     bool pop(size_t w, PackedConfig &out, Admit &&admit)
@@ -533,32 +614,52 @@ class ShardedFrontier
         for (;;) {
             if (stopped())
                 return false;
-            if (!sh.frontier.empty()) {
-                out = sh.frontier.pop();
-                return true;
-            }
             {
                 std::unique_lock<std::mutex> lock(sh.m);
-                if (sh.inbox.empty()) {
-                    if (pending_.load(std::memory_order_acquire) == 0)
-                        return false;
-                    sh.cv.wait(lock, [&] {
-                        return !sh.inbox.empty() ||
-                               pending_.load(
-                                   std::memory_order_acquire) == 0 ||
-                               stopped();
-                    });
-                    if (sh.inbox.empty())
-                        continue; // re-check stop/termination
+                if (!sh.frontier.empty()) {
+                    out = sh.frontier.pop();
+                    stealable_.fetch_sub(1,
+                                         std::memory_order_relaxed);
+                    return true;
                 }
-                sh.drain.clear();
-                sh.drain.swap(sh.inbox);
+                if (!sh.inbox.empty()) {
+                    sh.drain.clear();
+                    sh.drain.swap(sh.inbox);
+                }
             }
-            for (const PackedConfig &c : sh.drain) {
-                if (admit(c))
-                    sh.frontier.push(c);
-                else
-                    done();
+            if (!sh.drain.empty()) {
+                // Admit outside the lock (admission touches the
+                // worker's own tables), then publish the survivors.
+                size_t kept = 0;
+                for (const PackedConfig &c : sh.drain) {
+                    if (admit(c))
+                        sh.drain[kept++] = c;
+                    else
+                        done();
+                }
+                sh.drain.resize(kept);
+                if (kept)
+                    pushMany(sh, sh.drain);
+                sh.drain.clear();
+                continue;
+            }
+            if (shards_.size() > 1 && trySteal(w))
+                continue;
+            {
+                std::unique_lock<std::mutex> lock(sh.m);
+                if (!sh.inbox.empty())
+                    continue;
+                if (pending_.load(std::memory_order_acquire) == 0)
+                    return false;
+                sleepers_.fetch_add(1);
+                sh.cv.wait(lock, [&] {
+                    return !sh.inbox.empty() ||
+                           stealable_.load() > 0 ||
+                           pending_.load(
+                               std::memory_order_acquire) == 0 ||
+                           stopped();
+                });
+                sleepers_.fetch_sub(1);
             }
         }
     }
@@ -578,6 +679,14 @@ class ShardedFrontier
         return stop_.load(std::memory_order_acquire);
     }
 
+    /** Worker w's (attempted, succeeded) steal counts so far. Only
+     *  meaningful to read from worker w or after the workers join. */
+    std::pair<size_t, size_t> stealCounters(size_t w) const
+    {
+        return {shards_[w]->stealsAttempted,
+                shards_[w]->stealsSucceeded};
+    }
+
     /** Resident bytes of shard w's frontier + inbox. */
     size_t bytes(size_t w) const;
 
@@ -589,14 +698,28 @@ class ShardedFrontier
         std::mutex m;
         std::condition_variable cv;
         std::vector<PackedConfig> inbox; //!< guarded by m
-        ConfigFrontier frontier;         //!< owner-thread only
+        ConfigFrontier frontier;         //!< guarded by m (stealing)
         std::vector<PackedConfig> drain; //!< owner-thread only
+        std::vector<PackedConfig> loot;  //!< owner-thread only
+        size_t stealsAttempted = 0;      //!< owner-thread only
+        size_t stealsSucceeded = 0;      //!< owner-thread only
     };
+
+    /** Push admitted configs into `sh`'s frontier (already counted
+     *  pending) and wake sleepers that could steal them. */
+    void pushMany(Shard &sh, const std::vector<PackedConfig> &cs);
+
+    /** Steal up to half of some other shard's frontier into w's. */
+    bool trySteal(size_t w);
 
     void wakeAll();
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<size_t> pending_{0};
+    /** Configs currently sitting in local frontiers (any shard). */
+    std::atomic<size_t> stealable_{0};
+    /** Workers blocked in pop(); a push with sleepers wakes all. */
+    std::atomic<size_t> sleepers_{0};
     std::atomic<bool> stop_{false};
 };
 

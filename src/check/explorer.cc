@@ -260,13 +260,19 @@ Explorer::check() const
         return static_cast<size_t>(pcw.get(word, t));
     };
 
-    // ---- tau reduction: per-thread suffix footprints ------------------
+    // ---- partial-order reduction: per-thread suffix footprints --------
     // addr_mask[t][pc] = addresses instructions pc.. of thread t can
-    // touch; gpf_after[t][pc] = whether a GPF is still ahead. A tau
-    // move on an address outside every live thread's future footprint
-    // (with no pending GPF) cannot influence any outcome and is
-    // skipped; see src/check/README.md for the argument.
-    const bool can_reduce = request_.reduceTau && naddrs <= 64;
+    // touch; gpf_after[t][pc] = whether a GPF is still ahead. Both
+    // reductions consume them: a tau move on an address outside every
+    // live thread's future footprint (with no pending GPF) cannot
+    // influence any outcome and is skipped, and the ample-set check
+    // uses the same masks to prove a thread step commutes with every
+    // other thread's remaining code. See src/check/README.md for the
+    // soundness arguments.
+    const Reduction red =
+        naddrs <= 64 ? request_.reduction : Reduction::None;
+    const bool can_reduce = red != Reduction::None;
+    const bool use_ample = red == Reduction::Ample;
     std::vector<std::vector<uint64_t>> addr_mask(nthreads);
     std::vector<std::vector<uint8_t>> gpf_after(nthreads);
     if (can_reduce) {
@@ -293,6 +299,12 @@ Explorer::check() const
 
     const uint32_t all_alive =
         nthreads >= 32 ? ~0u : (1u << nthreads) - 1;
+    // node_threads[n]: bitmask of the threads running on machine n
+    // (the ample check asks whether a pending crash could still mark
+    // a thread crashed).
+    std::vector<uint32_t> node_threads(nnodes, 0);
+    for (size_t t = 0; t < nthreads; ++t)
+        node_threads[program_.threads[t].node] |= 1u << t;
     uint64_t crash0 = 0;
     {
         std::vector<int> budget(nnodes, max_crash);
@@ -404,6 +416,180 @@ Explorer::check() const
                 continue;
             }
 
+            // Ample-set reduction: when some live thread's next step
+            // provably commutes with everything else still possible
+            // from this configuration, expand *only* that thread.
+            // Two shapes qualify (README has the full argument):
+            //
+            //   - invisible steps: an *enabled* flush or GPF mutates
+            //     nothing and writes no register, so running it first
+            //     loses no interleaving;
+            //   - local steps on one address x, provided (a) no other
+            //     live thread's remaining code touches x and none has
+            //     a GPF ahead, (b) no cache anywhere holds x (hence
+            //     no tau move on x is pending or creatable by
+            //     others), and (c) every machine that can still
+            //     crash is independent of the step: a crash of t's
+            //     own machine must annihilate it (a cache-local
+            //     store the wipe erases), a crash of x's owner must
+            //     neither reset the memory cell the step relies on
+            //     (volatile owner) nor wipe/poison a line the step
+            //     writes.
+            //
+            // Both shapes additionally require that the step not
+            // complete the whole program while a machine hosting an
+            // alive thread can still crash: completed configurations
+            // are final (crashes past completion are not explored),
+            // and Outcome records *which* threads crashed, so
+            // deferring such a crash past the last step would lose
+            // its crashed-thread outcomes.
+            //
+            // Every check is a pure function of the configuration, so
+            // the reduced graph — and every count derived from it —
+            // is identical for any worker count, frontier policy, or
+            // steal schedule.
+            if (use_ample) {
+                auto completion_safe = [&](size_t t) {
+                    for (size_t u = 0; u < nthreads; ++u) {
+                        if (!(cur.alive >> u & 1))
+                            continue;
+                        size_t upc =
+                            pcOf(cur.pc, u) + (u == t ? 1 : 0);
+                        if (upc < program_.threads[u].code.size())
+                            return true; // not the last step
+                    }
+                    for (size_t n = 0; n < nnodes; ++n) {
+                        if (budgetw.get(cur.crash, n) > 0 &&
+                            (cur.alive & node_threads[n]) != 0)
+                            return false;
+                    }
+                    return true;
+                };
+                int ample_t = -1;
+                for (size_t t = 0; t < nthreads && ample_t < 0; ++t) {
+                    if (!(cur.alive >> t & 1))
+                        continue;
+                    const ProgThread &thread = program_.threads[t];
+                    size_t pc = pcOf(cur.pc, t);
+                    if (pc >= thread.code.size())
+                        continue;
+                    const ProgInstr &instr = thread.code[pc];
+                    const NodeId node = thread.node;
+                    const auto &restr = model_.restrictions();
+                    if (instr.kind == ProgInstr::Kind::Flush) {
+                        if (restr.allows(node, instr.op) &&
+                            completion_safe(t) &&
+                            (instr.op == Op::LFlush
+                                 ? !scratch.cacheValid(node,
+                                                       instr.addr)
+                                 : !scratch.cachedAnywhere(
+                                       instr.addr)))
+                            ample_t = static_cast<int>(t);
+                        continue;
+                    }
+                    if (instr.kind == ProgInstr::Kind::Gpf) {
+                        if (restr.allows(node, Op::Gpf) &&
+                            completion_safe(t) &&
+                            scratch.allCachesEmpty())
+                            ample_t = static_cast<int>(t);
+                        continue;
+                    }
+                    // Local step on one address.
+                    const Addr x = instr.addr;
+                    uint64_t others = 0;
+                    bool others_gpf = false;
+                    for (size_t u = 0; u < nthreads; ++u) {
+                        if (u == t || !(cur.alive >> u & 1))
+                            continue;
+                        size_t upc = pcOf(cur.pc, u);
+                        others |= addr_mask[u][upc];
+                        others_gpf |= gpf_after[u][upc] != 0;
+                    }
+                    if (others_gpf || (others >> x & 1))
+                        continue;
+                    if (!completion_safe(t))
+                        continue;
+                    if (scratch.cachedAnywhere(x))
+                        continue;
+                    // Enabledness without mutation. With no cached
+                    // copy anywhere a load/RMW is served from memory
+                    // and never blocks; stores are always enabled.
+                    // Restricted ops fall back to the full expansion.
+                    if (!restr.allows(node, instr.op) ||
+                        ((instr.kind == ProgInstr::Kind::Cas ||
+                          instr.kind == ProgInstr::Kind::Faa) &&
+                         !restr.allows(node, Op::Load)))
+                        continue;
+                    const bool writes_owner_cache =
+                        instr.op == Op::RStore ||
+                        instr.op == Op::RRmw;
+                    const bool may_leave_line =
+                        instr.op == Op::LStore ||
+                        instr.op == Op::LRmw;
+                    bool ok = true;
+                    for (size_t n = 0; n < nnodes && ok; ++n) {
+                        if (budgetw.get(cur.crash, n) == 0)
+                            continue;
+                        NodeId nn = static_cast<NodeId>(n);
+                        if (nn == node) {
+                            // The crash kills t: sound only when it
+                            // also erases the step's entire effect —
+                            // a register-free store into t's own
+                            // cache (no other copy exists to
+                            // invalidate, by (b)).
+                            ok = instr.kind ==
+                                     ProgInstr::Kind::Store &&
+                                 (instr.op == Op::LStore ||
+                                  (instr.op == Op::RStore &&
+                                   model_.config().ownerOf(x) ==
+                                       node));
+                        } else if (model_.config().ownerOf(x) ==
+                                   nn) {
+                            ok = model_.config().isPersistent(nn) &&
+                                 !writes_owner_cache &&
+                                 !(model_.variant() ==
+                                       model::ModelVariant::Psn &&
+                                   may_leave_line);
+                        }
+                        // Any other machine's crash touches neither
+                        // x nor thread t: independent.
+                    }
+                    if (ok)
+                        ample_t = static_cast<int>(t);
+                }
+                if (ample_t >= 0) {
+                    const size_t t = static_cast<size_t>(ample_t);
+                    const ProgThread &thread = program_.threads[t];
+                    size_t pc = pcOf(cur.pc, t);
+                    work = scratch;
+                    StepEffect eff = stepInstrInPlace(
+                        model_, thread.code[pc], thread.node,
+                        cur_regs.data() + t * nregs, work);
+                    CXL0_ASSERT(eff.enabled,
+                                "ample-selected step must be enabled");
+                    PackedConfig next = cur;
+                    next.state = me.eng.internState(work);
+                    next.pc = pcw.set(cur.pc, t, pc + 1);
+                    if (eff.destReg >= 0) {
+                        size_t slot = t * nregs + eff.destReg;
+                        if (cur_regs[slot] != eff.destVal) {
+                            reg_buf = cur_regs;
+                            reg_buf[slot] = eff.destVal;
+                            next.regs = reg_files.intern(
+                                reg_buf.data(),
+                                model::updateValueSpanHash(
+                                    reg_files.hashOf(cur.regs),
+                                    slot, cur_regs[slot],
+                                    eff.destVal));
+                        }
+                    }
+                    ++me.partial.stats.ampleSkipped;
+                    push(next);
+                    sf.done();
+                    continue;
+                }
+            }
+
             // Thread steps.
             for (size_t t = 0; t < nthreads; ++t) {
                 if (!(cur.alive >> t & 1))
@@ -486,6 +672,9 @@ Explorer::check() const
         // share, and the per-worker scratch engine.
         me.partial.stats.peakVisitedBytes =
             me.visited.bytes() + sf.bytes(w) + me.eng.bytes();
+        auto [attempted, succeeded] = sf.stealCounters(w);
+        me.partial.stats.stealsAttempted = attempted;
+        me.partial.stats.stealsSucceeded = succeeded;
     };
 
     runOnWorkers(nworkers, run_worker);

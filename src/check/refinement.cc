@@ -290,16 +290,18 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
         FlatDepthMap<PairKey, PairKeyHash> explored;
         std::vector<model::StateId> implRaw, specRaw;
         /**
-         * Pairs whose expansion hit the depth-bound leaf cut on
-         * their *first* visit (inserted at remaining 1). Whether
-         * such a first visit happens at remaining 1 depends on
-         * scheduling — a pair reached deeper first never
-         * leaf-expands — so the cut is not declared eagerly.
-         * After the search drains, the memo holds each pair's
-         * maximal remaining depth (order-independent), and only
-         * candidates still at depth 1 count: anything raised deeper
-         * had its subtree explored within the bound elsewhere.
-         * That makes `truncated` identical for every thread count.
+         * Pairs whose expansion hit the depth-bound leaf cut while
+         * at remaining depth 1. Whether a pair is ever *expanded* at
+         * remaining 1 depends on scheduling — a pair reached deeper
+         * first never leaf-expands — so the cut is not declared
+         * eagerly. After the search drains, the home shard's memo
+         * holds each pair's maximal remaining depth
+         * (order-independent), and only candidates still at depth 1
+         * count: anything raised deeper had its subtree explored
+         * within the bound elsewhere. That makes `truncated`
+         * identical for every thread count and steal schedule. A
+         * stolen pair may leaf-cut on a thief, so the lists are
+         * resolved against the home-shard memos after the join.
          */
         std::vector<PairKey> leafCuts;
         CheckReport partial;
@@ -309,6 +311,39 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
     for (size_t w = 0; w < nworkers; ++w)
         workers.emplace_back(spec_ctx, impl_ctx);
 
+    /**
+     * Admission, pinned to a pair's hash-owner shard `w`: the exact
+     * depth-aware dedup against shard w's memo, under the shared
+     * config budget. Runs for every configuration before it enters
+     * shard w's frontier — a thief that later steals it does pure
+     * expansion work and never touches another shard's memo.
+     */
+    auto admit_pair = [&](size_t w, const PackedConfig &packed) {
+        Worker &me = workers[w];
+        PairConfig cur = unpackPair(packed);
+        uint32_t remaining =
+            static_cast<uint32_t>(request.maxDepth - cur.depth);
+        PairKey key{cur.spec, cur.impl, cur.crash};
+        bool allow = explored_count.load(std::memory_order_relaxed) <
+                     request.maxConfigs;
+        using MemoOutcome =
+            FlatDepthMap<PairKey, PairKeyHash>::Outcome;
+        switch (me.explored.insertOrRaise(key, remaining, allow)) {
+          case MemoOutcome::Pruned:
+            return false;
+          case MemoOutcome::Rejected:
+            // Config budget spent: stop admitting new pairs.
+            me.partial.truncated = true;
+            return false;
+          case MemoOutcome::Inserted:
+            explored_count.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          case MemoOutcome::Raised:
+            return true;
+        }
+        return false;
+    };
+
     {
         PairConfig root;
         root.spec =
@@ -317,7 +352,9 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
             workers[0].implEng.closedSingleton(impl.initialState());
         for (size_t n = 0; n < nnodes; ++n)
             root.crash = budgetw.set(root.crash, n, max_crash);
-        sf.pushLocal(sf.ownerOf(pairShardHash(root)), packPair(root));
+        size_t owner = sf.ownerOf(pairShardHash(root));
+        if (admit_pair(owner, packPair(root)))
+            sf.pushLocal(owner, packPair(root));
     }
 
     auto run_worker = [&](size_t w) {
@@ -330,50 +367,26 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
                            sizeof(model::StateId);
             me.peak = std::max(me.peak, b);
         };
-        // Dedup happens at expansion (the memo is depth-aware), so
-        // inbox arrivals are admitted unconditionally.
-        auto admit_all = [](const PackedConfig &) { return true; };
+        // Inbox arrivals are admitted by their owner (this worker).
+        auto admit = [&](const PackedConfig &c) {
+            return admit_pair(w, c);
+        };
         auto route = [&](const PairConfig &next) {
             size_t owner = sf.ownerOf(pairShardHash(next));
-            if (owner == w)
-                sf.pushLocal(w, packPair(next));
-            else
+            if (owner == w) {
+                if (admit_pair(w, packPair(next)))
+                    sf.pushLocal(w, packPair(next));
+            } else {
                 sf.send(owner, packPair(next));
+            }
         };
 
         PackedConfig packed;
-        while (sf.pop(w, packed, admit_all)) {
+        while (sf.pop(w, packed, admit)) {
             PairConfig cur = unpackPair(packed);
             ++me.partial.stats.configsVisited;
             if ((me.partial.stats.configsVisited & 63) == 0)
                 sample_peak();
-
-            uint32_t remaining =
-                static_cast<uint32_t>(request.maxDepth - cur.depth);
-            PairKey key{cur.spec, cur.impl, cur.crash};
-            bool allow =
-                explored_count.load(std::memory_order_relaxed) <
-                request.maxConfigs;
-            using MemoOutcome =
-                FlatDepthMap<PairKey, PairKeyHash>::Outcome;
-            MemoOutcome memo =
-                me.explored.insertOrRaise(key, remaining, allow);
-            switch (memo) {
-              case MemoOutcome::Pruned:
-                sf.done();
-                continue;
-              case MemoOutcome::Rejected:
-                // Config budget spent: stop expanding new pairs.
-                me.partial.truncated = true;
-                sf.done();
-                continue;
-              case MemoOutcome::Inserted:
-                explored_count.fetch_add(1,
-                                         std::memory_order_relaxed);
-                break;
-              case MemoOutcome::Raised:
-                break;
-            }
 
             const bool leaf = cur.depth + 1 >= request.maxDepth;
             bool leaf_cut = false;
@@ -431,27 +444,42 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
                 sf.stopAll();
                 break;
             }
-            if (leaf_cut && memo == MemoOutcome::Inserted &&
-                remaining == 1)
-                me.leafCuts.push_back(key);
+            // A leaf expansion at remaining depth 1; whether the cut
+            // is genuine is settled against the home-shard memo
+            // after the drain (this worker may be a thief).
+            if (leaf_cut)
+                me.leafCuts.push_back(
+                    PairKey{cur.spec, cur.impl, cur.crash});
             sf.done();
             if (sf.stopped())
                 break;
         }
-        // The memo for this shard's pairs is final (a pair's every
-        // visit happens on its home shard): a candidate still at
-        // maximal remaining depth 1 is a genuine cut.
-        for (const PairKey &key : me.leafCuts) {
-            if (me.explored.depthOf(key) == 1) {
-                me.partial.truncated = true;
-                break;
-            }
-        }
         sample_peak();
         me.partial.stats.peakVisitedBytes = me.peak;
+        auto [attempted, succeeded] = sf.stealCounters(w);
+        me.partial.stats.stealsAttempted = attempted;
+        me.partial.stats.stealsSucceeded = succeeded;
     };
 
     runOnWorkers(nworkers, run_worker);
+
+    // Leaf-cut resolution, after every memo is final: a candidate
+    // whose home-shard memo still records maximal remaining depth 1
+    // is a genuine cut — anything raised deeper had its subtree
+    // explored within the bound elsewhere. This quantity is
+    // order-independent, so `truncated` is identical for every
+    // thread count and steal schedule.
+    for (Worker &wkr : workers) {
+        for (const PairKey &key : wkr.leafCuts) {
+            size_t home = sf.ownerOf(PairKeyHash{}(key));
+            if (workers[home].explored.depthOf(key) == 1) {
+                res.truncated = true;
+                break;
+            }
+        }
+        if (res.truncated)
+            break;
+    }
 
     for (Worker &wkr : workers) {
         if (wkr.partial.verdict == CheckVerdict::Fail) {

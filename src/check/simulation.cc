@@ -82,9 +82,14 @@ checkTraceInclusion(const Cxl0Model &model,
     ModelContext ctx(model);
     const size_t nworkers = std::max<size_t>(request.numThreads, 1);
 
-    // Start states partition by stride; the *lowest* failing index
-    // wins, so the reported counterexample is independent of the
-    // worker count and of which worker happened to finish first.
+    // Start states are claimed dynamically from one shared counter —
+    // the degenerate (independent-items) form of the work stealing
+    // the frontier searches do, so a worker stuck on an expensive
+    // gamma no longer strands the states a static stride would have
+    // assigned it. The *lowest* failing index wins, so the reported
+    // counterexample is independent of the worker count and of which
+    // worker happened to claim what.
+    std::atomic<size_t> next_state{0};
     std::atomic<size_t> fail_idx{states.size()};
     std::atomic<bool> truncated{false};
     std::mutex fail_m;
@@ -102,9 +107,12 @@ checkTraceInclusion(const Cxl0Model &model,
 
     auto run_worker = [&](size_t w) {
         Worker &me = workers[w];
-        for (size_t i = w; i < states.size(); i += nworkers) {
+        for (size_t i = next_state.fetch_add(
+                 1, std::memory_order_relaxed);
+             i < states.size();
+             i = next_state.fetch_add(1, std::memory_order_relaxed)) {
             // A failure at an earlier index makes every later start
-            // state irrelevant; per-worker indices ascend, so stop.
+            // state irrelevant; claimed indices ascend, so stop.
             if (fail_idx.load(std::memory_order_acquire) <= i)
                 break;
             if (ctx.states().size() >= request.maxConfigs) {

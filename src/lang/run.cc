@@ -49,6 +49,8 @@ effectiveRequest(const Scenario &sc, const RunOptions &opts)
         req.maxCrashesPerNode = *opts.maxCrashesPerNode;
     if (opts.policy)
         req.frontier = *opts.policy;
+    if (opts.reduction)
+        req.reduction = *opts.reduction;
     return req;
 }
 

@@ -48,6 +48,8 @@ struct RunOptions
     std::optional<size_t> maxDepth;
     std::optional<int> maxCrashesPerNode;
     std::optional<check::FrontierPolicy> policy;
+    /** Explorer partial-order reduction (none | tau | ample). */
+    std::optional<check::Reduction> reduction;
 
     /** Refinement endpoints (variants instantiated over the
      *  scenario's system configuration). */

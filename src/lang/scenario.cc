@@ -87,7 +87,7 @@ scenarioFromLitmusProgram(const check::LitmusProgram &lp)
     // round-trip guarantee (and so a corpus file means the same
     // search as the in-binary program at any driver setting).
     const check::CheckRequest defaults;
-    sc.request.reduceTau = defaults.reduceTau;
+    sc.request.reduction = defaults.reduction;
     sc.request.frontier = defaults.frontier;
     sc.request.numThreads = defaults.numThreads;
     return sc;

@@ -91,7 +91,7 @@ struct Scenario
     /**
      * The request knobs the file pins: maxConfigs, maxDepth,
      * maxCrashesPerNode, crashableNodes. Runtime knobs (numThreads,
-     * frontier policy, reduceTau) keep their defaults here and are
+     * frontier policy, reduction) keep their defaults here and are
      * overridden by the driver.
      */
     check::CheckRequest request;

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "check/engine.hh"
@@ -139,6 +142,140 @@ TEST(ConfigFrontier, PolicyOrdersPops)
     EXPECT_EQ(bfs.pop().state, 1u); // FIFO
     EXPECT_EQ(bfs.pop().state, 2u);
     EXPECT_TRUE(bfs.empty());
+}
+
+TEST(ConfigFrontier, StealHalfTakesTheColdEnd)
+{
+    // DFS: the thief takes the bottom of the stack (the coarsest,
+    // oldest subtrees); the owner's pop order is undisturbed.
+    ConfigFrontier dfs(FrontierPolicy::DepthFirst);
+    for (uint32_t i = 1; i <= 5; ++i) {
+        PackedConfig c;
+        c.state = i;
+        dfs.push(c);
+    }
+    std::vector<PackedConfig> loot;
+    EXPECT_EQ(dfs.stealHalf(loot), 3u); // ceil(5 / 2)
+    ASSERT_EQ(loot.size(), 3u);
+    EXPECT_EQ(loot[0].state, 1u);
+    EXPECT_EQ(loot[2].state, 3u);
+    EXPECT_EQ(dfs.size(), 2u);
+    EXPECT_EQ(dfs.pop().state, 5u); // still LIFO for the owner
+
+    // BFS: the thief takes the back of the queue (farthest from the
+    // owner's next pop).
+    ConfigFrontier bfs(FrontierPolicy::BreadthFirst);
+    for (uint32_t i = 1; i <= 4; ++i) {
+        PackedConfig c;
+        c.state = i;
+        bfs.push(c);
+    }
+    loot.clear();
+    EXPECT_EQ(bfs.stealHalf(loot), 2u);
+    ASSERT_EQ(loot.size(), 2u);
+    EXPECT_EQ(loot[0].state, 3u);
+    EXPECT_EQ(loot[1].state, 4u);
+    EXPECT_EQ(bfs.pop().state, 1u); // still FIFO for the owner
+
+    // A singleton frontier is stealable too (the owner will fall
+    // back to stealing or sleeping, never deadlock).
+    ConfigFrontier one(FrontierPolicy::DepthFirst);
+    PackedConfig c;
+    c.state = 9;
+    one.push(c);
+    loot.clear();
+    EXPECT_EQ(one.stealHalf(loot), 1u);
+    EXPECT_TRUE(one.empty());
+}
+
+/**
+ * The maximally skewed partition: every configuration starts on
+ * shard 0 and shard 0's owner never pops. The only way the barrier
+ * can reach zero is workers 1..3 stealing expansion work out of
+ * shard 0's frontier — each queued configuration must be returned
+ * exactly once, and the steal counters must show real traffic.
+ */
+TEST(ShardedFrontier, ThievesDrainAMaximallySkewedPartition)
+{
+    for (FrontierPolicy policy :
+         {FrontierPolicy::DepthFirst, FrontierPolicy::BreadthFirst}) {
+        ShardedFrontier sf(4, policy);
+        constexpr uint32_t kConfigs = 512;
+        for (uint32_t i = 0; i < kConfigs; ++i) {
+            PackedConfig c;
+            c.state = i;
+            sf.pushLocal(0, c);
+        }
+
+        std::mutex m;
+        std::vector<uint32_t> popped;
+        auto drain = [&](size_t w) {
+            PackedConfig c;
+            auto admit = [](const PackedConfig &) { return true; };
+            while (sf.pop(w, c, admit)) {
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    popped.push_back(c.state);
+                }
+                sf.done();
+            }
+        };
+        std::vector<std::thread> thieves;
+        for (size_t w = 1; w < 4; ++w)
+            thieves.emplace_back(drain, w);
+        for (std::thread &t : thieves)
+            t.join();
+
+        ASSERT_EQ(popped.size(), kConfigs);
+        std::sort(popped.begin(), popped.end());
+        for (uint32_t i = 0; i < kConfigs; ++i)
+            ASSERT_EQ(popped[i], i); // each exactly once, none lost
+
+        size_t attempted = 0, succeeded = 0;
+        for (size_t w = 1; w < 4; ++w) {
+            auto [a, s] = sf.stealCounters(w);
+            attempted += a;
+            succeeded += s;
+        }
+        EXPECT_GT(succeeded, 0u);
+        EXPECT_GE(attempted, succeeded);
+        auto [a0, s0] = sf.stealCounters(0);
+        EXPECT_EQ(a0, 0u); // shard 0 never ran, never stole
+        EXPECT_EQ(s0, 0u);
+    }
+}
+
+/**
+ * Stealing composes with the inbox handoff: a worker that owns no
+ * configuration by hash still terminates, and rejected inbox
+ * arrivals are accounted done so the barrier cannot wedge.
+ */
+TEST(ShardedFrontier, StealingAndInboxRejectionTerminate)
+{
+    ShardedFrontier sf(3, FrontierPolicy::DepthFirst);
+    // Half the sends will be rejected by the admission filter.
+    for (uint32_t i = 0; i < 64; ++i) {
+        PackedConfig c;
+        c.state = i;
+        sf.send(i % 3, c);
+    }
+    std::atomic<size_t> expanded{0};
+    auto drain = [&](size_t w) {
+        PackedConfig c;
+        auto admit = [](const PackedConfig &cc) {
+            return cc.state % 2 == 0;
+        };
+        while (sf.pop(w, c, admit)) {
+            expanded.fetch_add(1);
+            sf.done();
+        }
+    };
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < 3; ++w)
+        workers.emplace_back(drain, w);
+    for (std::thread &t : workers)
+        t.join();
+    EXPECT_EQ(expanded.load(), 32u);
 }
 
 TEST(FlatConfigSetTest, InsertContainsAndGrowth)

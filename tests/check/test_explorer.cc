@@ -328,26 +328,38 @@ TEST(Explorer, CrashBudgetZeroMeansNoCrashOutcomes)
 // ---------------------------------------------------------------------
 // Regression: the packed/interned search must produce outcome sets
 // bit-identical to the deep-copy reference implementation (the seed
-// algorithm), with and without the tau reduction.
+// algorithm) under every partial-order reduction mode.
 // ---------------------------------------------------------------------
 
 void
 expectAllModesAgree(const Cxl0Model &model, const Program &p,
                     ExploreOptions opts, const char *what)
 {
-    opts.reduceTau = true;
-    Explorer reduced(model, p, opts);
-    opts.reduceTau = false;
+    opts.reduction = Reduction::Ample;
+    Explorer ample(model, p, opts);
+    opts.reduction = Reduction::Tau;
+    Explorer tau(model, p, opts);
+    opts.reduction = Reduction::None;
     Explorer unreduced(model, p, opts);
 
-    auto ref = reduced.exploreReference();
-    auto fast = reduced.explore();
+    auto ref = unreduced.exploreReference();
+    auto fast_ample = ample.explore();
+    auto fast_tau = tau.explore();
     auto fast_full = unreduced.explore();
     ASSERT_FALSE(ref.truncated) << what;
-    ASSERT_FALSE(fast.truncated) << what;
-    EXPECT_EQ(fast.outcomes, ref.outcomes) << what;
+    ASSERT_FALSE(fast_ample.truncated) << what;
+    EXPECT_EQ(fast_ample.outcomes, ref.outcomes)
+        << what << " (ample)";
+    EXPECT_EQ(fast_tau.outcomes, ref.outcomes) << what << " (tau)";
     EXPECT_EQ(fast_full.outcomes, ref.outcomes)
         << what << " (reduction off)";
+    // The ample set may only ever shrink the explored graph.
+    EXPECT_LE(fast_ample.stats.configsVisited,
+              fast_tau.stats.configsVisited)
+        << what;
+    EXPECT_LE(fast_tau.stats.configsVisited,
+              fast_full.stats.configsVisited)
+        << what;
 }
 
 TEST(ExplorerRegression, PackedMatchesReferenceOnLitmusPrograms)
@@ -542,8 +554,140 @@ TEST(ExplorerRegression, ThreadCountNeverChangesTheReport)
             EXPECT_EQ(res.stats.configsVisited,
                       base.stats.configsVisited)
                 << lp.name << " x" << n;
+            EXPECT_EQ(res.stats.ampleSkipped,
+                      base.stats.ampleSkipped)
+                << lp.name << " x" << n;
         }
     }
+}
+
+TEST(ExplorerRegression, ReductionPreservesOutcomesAtEveryThreadCount)
+{
+    // The reduction-soundness gate over the whole litmus-program
+    // corpus: reduction=none and reduction=ample must produce
+    // bit-identical outcome sets at numThreads 1 and 4, and the
+    // ample counters themselves must be thread-count invariant (the
+    // ample condition is per-configuration, so stealing cannot move
+    // it).
+    for (const LitmusProgram &lp : explorerPrograms()) {
+        Cxl0Model model(lp.config, lp.variant);
+        CheckRequest none = lp.options;
+        none.reduction = Reduction::None;
+        none.numThreads = 1;
+        CheckReport base = Explorer(model, lp.program, none).check();
+        ASSERT_FALSE(base.truncated) << lp.name;
+
+        CheckReport ample1;
+        for (size_t n : {1, 4}) {
+            CheckRequest req = lp.options;
+            req.reduction = Reduction::Ample;
+            req.numThreads = n;
+            CheckReport res = Explorer(model, lp.program, req).check();
+            EXPECT_EQ(res.outcomes, base.outcomes)
+                << lp.name << " ample x" << n;
+            EXPECT_FALSE(res.truncated) << lp.name << " x" << n;
+            if (n == 1)
+                ample1 = res;
+            else {
+                EXPECT_EQ(res.stats.configsVisited,
+                          ample1.stats.configsVisited)
+                    << lp.name << " x" << n;
+                EXPECT_EQ(res.stats.ampleSkipped,
+                          ample1.stats.ampleSkipped)
+                    << lp.name << " x" << n;
+            }
+
+            CheckRequest nreq = none;
+            nreq.numThreads = n;
+            CheckReport nres =
+                Explorer(model, lp.program, nreq).check();
+            EXPECT_EQ(nres.outcomes, base.outcomes)
+                << lp.name << " none x" << n;
+        }
+    }
+}
+
+TEST(ExplorerStress, SkewedShardsUnderStealingKeepTheReport)
+{
+    // The contended case: a 3-thread ring with one crash per machine
+    // explodes into deep crash fan-out whose DFS frontier lives in
+    // few shards at a time, so 8 workers over it exercise steal-half
+    // continuously (the initial partition is maximally skewed: one
+    // root configuration on one shard). Everything semantic must be
+    // identical to the sequential search.
+    SystemConfig cfg = SystemConfig::uniform(3, 1, true);
+    Cxl0Model model(cfg);
+    Program p;
+    for (int t = 0; t < 3; ++t) {
+        NodeId node = static_cast<NodeId>(t);
+        Addr own = static_cast<Addr>(t);
+        Addr next = static_cast<Addr>((t + 1) % 3);
+        p.threads.push_back(
+            {node,
+             {ProgInstr::store(Op::LStore, own,
+                               Operand::immediate(t + 1)),
+              ProgInstr::load(next, 0), ProgInstr::load(own, 1)}});
+    }
+    ExploreOptions opts;
+    opts.maxCrashesPerNode = 1;
+
+    CheckRequest one = opts;
+    one.numThreads = 1;
+    CheckReport seq = Explorer(model, p, one).check();
+    ASSERT_FALSE(seq.truncated);
+
+    for (size_t n : {4, 8}) {
+        CheckRequest req = opts;
+        req.numThreads = n;
+        CheckReport par = Explorer(model, p, req).check();
+        EXPECT_EQ(par.verdict, seq.verdict) << "x" << n;
+        EXPECT_EQ(par.outcomes, seq.outcomes) << "x" << n;
+        EXPECT_EQ(par.truncated, seq.truncated) << "x" << n;
+        EXPECT_EQ(par.stats.configsVisited, seq.stats.configsVisited)
+            << "x" << n;
+        EXPECT_EQ(par.stats.configsInterned,
+                  seq.stats.configsInterned)
+            << "x" << n;
+        EXPECT_EQ(par.stats.ampleSkipped, seq.stats.ampleSkipped)
+            << "x" << n;
+        // Steal traffic is scheduling-dependent (and usually zero on
+        // a single-core runner), but the counters must be coherent.
+        EXPECT_GE(par.stats.stealsAttempted,
+                  par.stats.stealsSucceeded)
+            << "x" << n;
+    }
+    EXPECT_EQ(seq.stats.stealsAttempted, 0u); // 1 worker never steals
+}
+
+TEST(ExplorerRegression, AmpleStrictlyBeatsTauOnTheCrashRing)
+{
+    // The acceptance shape in miniature: on the crash-enabled ring
+    // the ample set must explore strictly fewer configurations than
+    // the tau-only reduction, for the same outcome set.
+    SystemConfig cfg = SystemConfig::uniform(3, 1, true);
+    Cxl0Model model(cfg);
+    Program p;
+    for (int t = 0; t < 3; ++t) {
+        NodeId node = static_cast<NodeId>(t);
+        Addr own = static_cast<Addr>(t);
+        Addr next = static_cast<Addr>((t + 1) % 3);
+        p.threads.push_back(
+            {node,
+             {ProgInstr::store(Op::LStore, own,
+                               Operand::immediate(t + 1)),
+              ProgInstr::load(next, 0), ProgInstr::load(own, 1)}});
+    }
+    ExploreOptions opts;
+    opts.maxCrashesPerNode = 1;
+    opts.reduction = Reduction::Tau;
+    CheckReport tau = Explorer(model, p, opts).check();
+    opts.reduction = Reduction::Ample;
+    CheckReport ample = Explorer(model, p, opts).check();
+    ASSERT_FALSE(tau.truncated);
+    ASSERT_FALSE(ample.truncated);
+    EXPECT_EQ(ample.outcomes, tau.outcomes);
+    EXPECT_LT(ample.stats.configsVisited, tau.stats.configsVisited);
+    EXPECT_GT(ample.stats.ampleSkipped, 0u);
 }
 
 TEST(ExplorerRegression, StatsMergeCombinesWorkerPartials)
@@ -555,6 +699,9 @@ TEST(ExplorerRegression, StatsMergeCombinesWorkerPartials)
     a.peakVisitedBytes = 1000;
     a.tableBytes = 5000;
     a.tauMovesSkipped = 3;
+    a.ampleSkipped = 5;
+    a.stealsAttempted = 4;
+    a.stealsSucceeded = 2;
     a.seconds = 0.5;
     b.configsVisited = 7;
     b.configsInterned = 6;
@@ -562,6 +709,9 @@ TEST(ExplorerRegression, StatsMergeCombinesWorkerPartials)
     b.peakVisitedBytes = 800;
     b.tableBytes = 5000;
     b.tauMovesSkipped = 1;
+    b.ampleSkipped = 2;
+    b.stealsAttempted = 1;
+    b.stealsSucceeded = 1;
     b.seconds = 0.9;
     a.merge(b);
     EXPECT_EQ(a.configsVisited, 17u);     // per-worker: adds
@@ -570,6 +720,9 @@ TEST(ExplorerRegression, StatsMergeCombinesWorkerPartials)
     EXPECT_EQ(a.statesInterned, 100u);    // shared: max, not 200
     EXPECT_EQ(a.tableBytes, 5000u);       // shared: max, not 10000
     EXPECT_EQ(a.tauMovesSkipped, 4u);
+    EXPECT_EQ(a.ampleSkipped, 7u);    // per-worker: adds
+    EXPECT_EQ(a.stealsAttempted, 5u); // per-worker: adds
+    EXPECT_EQ(a.stealsSucceeded, 3u); // per-worker: adds
     EXPECT_DOUBLE_EQ(a.seconds, 0.9); // concurrent wall-clock: max
 }
 
@@ -605,7 +758,7 @@ TEST(ExplorerRegression, PackedVisitedSetIsLeanerAtScale)
     }
     ExploreOptions opts;
     opts.maxCrashesPerNode = 1;
-    opts.reduceTau = false; // compare identical search graphs
+    opts.reduction = Reduction::None; // compare identical graphs
     Explorer ex(model, p, opts);
     auto fast = ex.explore();
     auto ref = ex.exploreReference();

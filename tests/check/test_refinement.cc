@@ -312,11 +312,14 @@ TEST(RefinementReport, InternedFramesUseLessMemoryThanReference)
 TEST(RefinementReport, ThreadCountNeverChangesTheVerdict)
 {
     // Sharded-parallel refinement: for every §3.5 pair (passing and
-    // violated), numThreads in {1, 2, 4} must agree on the verdict,
-    // on completeness, on whether a counterexample exists — and on
-    // the distinct-pair count for runs that finish their search (a
-    // violated run stops at the first violation, whose discovery
-    // point legitimately depends on scheduling).
+    // violated), numThreads in {1, 2, 4, 8} must agree on the
+    // verdict, on completeness, on whether a counterexample exists —
+    // and on the distinct-pair count for runs that finish their
+    // search (a violated run stops at the first violation, whose
+    // discovery point legitimately depends on scheduling). The
+    // 8-worker runs start from a single root pair on one shard, so
+    // every other worker begins life as a thief: this is the
+    // steal-determinism gate for the pair search.
     SystemConfig cfg = variantConfig();
     Cxl0Model base(cfg), lwb(cfg, ModelVariant::Lwb),
         psn(cfg, ModelVariant::Psn);
@@ -339,7 +342,7 @@ TEST(RefinementReport, ThreadCountNeverChangesTheVerdict)
         one.numThreads = 1;
         CheckReport ref =
             checkRefinement(*p.spec, *p.impl, small, one);
-        for (size_t n : {2, 4}) {
+        for (size_t n : {2, 4, 8}) {
             CheckRequest req = one;
             req.numThreads = n;
             CheckReport res =

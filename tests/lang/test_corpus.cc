@@ -45,12 +45,17 @@ loadCorpus()
 TEST(Corpus, CoversExportedBuiltinsAndAuthoredCases)
 {
     auto corpus = loadCorpus();
-    // Exported: tests 4, 12-17 (7 programs). Authored: test 19 and
-    // the writer/reader message-passing split.
-    EXPECT_GE(corpus.size(), 9u);
+    // Exported: tests 4, 12-17 (7 programs). Authored: test 19, the
+    // writer/reader message-passing split, the serialized-trace
+    // recasts of tests 5, 8, 18, the LWB variant of test 10, and
+    // the Proposition-1 inclusion pair.
+    EXPECT_GE(corpus.size(), 15u);
     for (const char *name :
          {"litmus04", "litmus12", "litmus13", "litmus14", "litmus15",
-          "litmus16", "litmus17", "litmus19", "mp_split"})
+          "litmus16", "litmus17", "litmus19", "mp_split",
+          "litmus05_trace", "litmus08_trace", "litmus10_lwb",
+          "litmus18_trace", "incl_rstore_stronger",
+          "incl_lstore_weaker"})
         EXPECT_TRUE(corpus.count(name)) << name;
     // Every corpus case declares an anchor to check against.
     for (const auto &[name, sc] : corpus)
@@ -82,6 +87,35 @@ TEST(Corpus, AllAnchorsPassAndAreThreadCountInvariant)
         EXPECT_TRUE(r4.pass) << name << ": " << r4.describe();
         EXPECT_EQ(r1.report.verdict, r4.report.verdict) << name;
         EXPECT_EQ(r1.report.outcomes, r4.report.outcomes) << name;
+    }
+}
+
+/**
+ * Reduction soundness at corpus scale: every scenario produces the
+ * same verdict and outcome set under reduction=none and
+ * reduction=ample, at numThreads 1 and 4. (Trace-driven scenarios
+ * ignore the knob; the explorer scenarios are the ones under test.)
+ */
+TEST(Corpus, ReductionNeverChangesVerdictsOrOutcomes)
+{
+    auto corpus = loadCorpus();
+    ASSERT_FALSE(corpus.empty());
+    for (const auto &[name, sc] : corpus) {
+        RunOptions none;
+        none.reduction = check::Reduction::None;
+        RunResult base = runScenario(sc, none);
+        for (size_t threads : {1, 4}) {
+            RunOptions ample;
+            ample.reduction = check::Reduction::Ample;
+            ample.numThreads = threads;
+            RunResult r = runScenario(sc, ample);
+            EXPECT_EQ(r.pass, base.pass)
+                << name << " x" << threads;
+            EXPECT_EQ(r.report.verdict, base.report.verdict)
+                << name << " x" << threads;
+            EXPECT_EQ(r.report.outcomes, base.report.outcomes)
+                << name << " x" << threads;
+        }
     }
 }
 

@@ -88,6 +88,8 @@ usage(const char *argv0)
         "  --max-depth N     override the depth bound\n"
         "  --crash N         override max crashes per machine\n"
         "  --policy P        dfs|bfs frontier ordering\n"
+        "  --reduction R     none|tau|ample partial-order reduction\n"
+        "                    (explorer; default ample)\n"
         "  --spec V          refinement spec variant (base|lwb|psn)\n"
         "  --impl V          refinement impl variant (base|lwb|psn)\n"
         "  --out FILE        write the aggregate JSON report\n"
@@ -143,12 +145,18 @@ jsonReport(const std::vector<CaseResult> &cases)
                 "{\"checker\": \"%s\", \"verdict\": \"%s\", "
                 "\"configs\": %zu, \"seconds\": %.6f, "
                 "\"configs_per_sec\": %.0f, \"outcomes\": %zu, "
+                "\"tau_skipped\": %zu, \"ample_skipped\": %zu, "
+                "\"steals_attempted\": %zu, "
+                "\"steals_succeeded\": %zu, "
                 "\"truncated\": %s, \"anchors_pass\": %s}",
                 lang::checkerKindName(c.run.checker),
                 check::checkVerdictName(r.verdict),
                 r.stats.configsVisited, r.stats.seconds,
                 static_cast<double>(r.stats.configsVisited) / sec,
-                r.outcomes.size(), r.truncated ? "true" : "false",
+                r.outcomes.size(), r.stats.tauMovesSkipped,
+                r.stats.ampleSkipped, r.stats.stealsAttempted,
+                r.stats.stealsSucceeded,
+                r.truncated ? "true" : "false",
                 c.pass() ? "true" : "false");
             out += buf;
         }
@@ -284,6 +292,16 @@ main(int argc, char **argv)
                 opts.policy = check::FrontierPolicy::DepthFirst;
             else if (std::strcmp(p, "bfs") == 0)
                 opts.policy = check::FrontierPolicy::BreadthFirst;
+            else
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--reduction") == 0) {
+            const char *r = value(i);
+            if (std::strcmp(r, "none") == 0)
+                opts.reduction = check::Reduction::None;
+            else if (std::strcmp(r, "tau") == 0)
+                opts.reduction = check::Reduction::Tau;
+            else if (std::strcmp(r, "ample") == 0)
+                opts.reduction = check::Reduction::Ample;
             else
                 return usage(argv[0]);
         } else if (std::strcmp(a, "--spec") == 0) {
