@@ -53,6 +53,7 @@
 #define CXL0_CHECK_ENGINE_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -128,6 +129,18 @@ struct CheckRequest
      * programs are straight-line and finite.
      */
     size_t maxDepth = 0;
+
+    /**
+     * Wall-clock budget in milliseconds; 0 = unbounded. A search that
+     * crosses the deadline stops gracefully: the report carries
+     * `truncated` (Pass degrades to Inconclusive) and every count
+     * gathered so far, exactly like an exhausted maxConfigs. The cut
+     * is approximate — workers poll the clock between expansions —
+     * and, like a maxConfigs cut, which configurations fit under it
+     * depends on scheduling, so timed-out partial results are not
+     * reproducible across runs.
+     */
+    uint64_t timeBudgetMs = 0;
 
     /** Max crash events per machine over one execution (explorer). */
     int maxCrashesPerNode = 0;
@@ -285,6 +298,13 @@ struct CheckReport
     std::set<Outcome> outcomes;
     /** True when a budget or bound stopped the search early. */
     bool truncated = false;
+    /**
+     * True when the wall-clock budget (CheckRequest::timeBudgetMs)
+     * specifically cut the search; implies truncated. Callers that
+     * tolerate an expected bound cut (refinement's depth bound) must
+     * still treat a timed-out run as unfinished.
+     */
+    bool timedOut = false;
     SearchStats stats;
     /** Populated when verdict == Fail. */
     Counterexample counterexample;
@@ -721,6 +741,35 @@ class ShardedFrontier
     /** Workers blocked in pop(); a push with sleepers wakes all. */
     std::atomic<size_t> sleepers_{0};
     std::atomic<bool> stop_{false};
+};
+
+/**
+ * A wall-clock deadline for graceful time-budget truncation. Armed
+ * from CheckRequest::timeBudgetMs (0 leaves it unarmed and expired()
+ * constant false). Workers poll expired() between expansions — one
+ * steady_clock read per poll, so callers amortize it over a few
+ * hundred configurations.
+ */
+class Deadline
+{
+  public:
+    explicit Deadline(uint64_t budget_ms)
+    {
+        if (budget_ms > 0) {
+            armed_ = true;
+            at_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_ms);
+        }
+    }
+
+    bool expired() const
+    {
+        return armed_ && std::chrono::steady_clock::now() >= at_;
+    }
+
+  private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point at_;
 };
 
 /**

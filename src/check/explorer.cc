@@ -333,6 +333,7 @@ Explorer::check() const
 
     ShardedFrontier sf(nworkers, request_.frontier);
     std::atomic<size_t> total_visited{0};
+    const Deadline deadline(request_.timeBudgetMs);
 
     {
         size_t owner = sf.ownerOf(hashPacked(init));
@@ -380,6 +381,14 @@ Explorer::check() const
         PackedConfig cur;
         while (sf.pop(w, cur, admit)) {
             ++me.partial.stats.configsVisited;
+            if ((me.partial.stats.configsVisited & 255) == 0 &&
+                deadline.expired()) {
+                me.partial.truncated = true;
+                me.partial.timedOut = true;
+                sf.stopAll();
+                sf.done();
+                break;
+            }
 
             me.eng.materializeState(cur.state, scratch);
             // Copy the register span out of the shared table before
@@ -685,6 +694,7 @@ Explorer::check() const
         res.outcomes.insert(wkr.partial.outcomes.begin(),
                             wkr.partial.outcomes.end());
         res.truncated |= wkr.partial.truncated;
+        res.timedOut |= wkr.partial.timedOut;
         res.stats.merge(wkr.partial.stats);
     }
     res.verdict = res.truncated ? CheckVerdict::Inconclusive
@@ -809,10 +819,17 @@ Explorer::checkReference() const
         }
     };
 
+    const Deadline deadline(request_.timeBudgetMs);
     while (!stack.empty()) {
         RefConfig cur = std::move(stack.back());
         stack.pop_back();
         ++res.stats.configsVisited;
+        if ((res.stats.configsVisited & 255) == 0 &&
+            deadline.expired()) {
+            res.truncated = true;
+            res.timedOut = true;
+            break;
+        }
 
         if (done(cur)) {
             Outcome out;

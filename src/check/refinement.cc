@@ -271,6 +271,7 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
     ModelContext spec_ctx(spec), impl_ctx(impl);
     SharedTraceDag dag;
     ShardedFrontier sf(nworkers, FrontierPolicy::DepthFirst);
+    const Deadline deadline(request.timeBudgetMs);
     std::atomic<size_t> explored_count{0};
     std::atomic<bool> failed{false};
     std::mutex fail_m;
@@ -385,8 +386,16 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
         while (sf.pop(w, packed, admit)) {
             PairConfig cur = unpackPair(packed);
             ++me.partial.stats.configsVisited;
-            if ((me.partial.stats.configsVisited & 63) == 0)
+            if ((me.partial.stats.configsVisited & 63) == 0) {
                 sample_peak();
+                if (deadline.expired()) {
+                    me.partial.truncated = true;
+                    me.partial.timedOut = true;
+                    sf.stopAll();
+                    sf.done();
+                    break;
+                }
+            }
 
             const bool leaf = cur.depth + 1 >= request.maxDepth;
             bool leaf_cut = false;
@@ -487,6 +496,7 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
             res.counterexample = std::move(wkr.partial.counterexample);
         }
         res.truncated |= wkr.partial.truncated;
+        res.timedOut |= wkr.partial.timedOut;
         res.stats.merge(wkr.partial.stats);
     }
     if (res.verdict != CheckVerdict::Fail) {
@@ -646,11 +656,18 @@ checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
                                 .count();
     };
 
+    const Deadline deadline(request.timeBudgetMs);
     while (!stack.empty()) {
         SearchFrame cur = std::move(stack.back());
         stack.pop_back();
         live_bytes -= frameBytes(cur);
         ++res.stats.configsVisited;
+        if ((res.stats.configsVisited & 63) == 0 &&
+            deadline.expired()) {
+            res.truncated = true;
+            res.timedOut = true;
+            break;
+        }
         if (cur.trace.size() >= request.maxDepth) {
             res.truncated = true;
             continue;

@@ -92,6 +92,8 @@ checkTraceInclusion(const Cxl0Model &model,
     std::atomic<size_t> next_state{0};
     std::atomic<size_t> fail_idx{states.size()};
     std::atomic<bool> truncated{false};
+    std::atomic<bool> timed_out{false};
+    const Deadline deadline(request.timeBudgetMs);
     std::mutex fail_m;
     std::string fail_desc;
 
@@ -115,6 +117,11 @@ checkTraceInclusion(const Cxl0Model &model,
             // state irrelevant; claimed indices ascend, so stop.
             if (fail_idx.load(std::memory_order_acquire) <= i)
                 break;
+            if (deadline.expired()) {
+                truncated.store(true, std::memory_order_relaxed);
+                timed_out.store(true, std::memory_order_relaxed);
+                break;
+            }
             if (ctx.states().size() >= request.maxConfigs) {
                 truncated.store(true, std::memory_order_relaxed);
                 break;
@@ -180,6 +187,7 @@ checkTraceInclusion(const Cxl0Model &model,
         res.counterexample.description = fail_desc;
     } else if (truncated.load(std::memory_order_relaxed)) {
         res.truncated = true;
+        res.timedOut = timed_out.load(std::memory_order_relaxed);
         res.verdict = CheckVerdict::Inconclusive;
     } else {
         res.verdict = CheckVerdict::Pass;

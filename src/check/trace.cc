@@ -81,9 +81,15 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
     // is): the prefix walk is a single dependency chain, so
     // request.numThreads has nothing to fan out and one worker runs.
     SearchEngine engine(model);
+    const Deadline deadline(request.timeBudgetMs);
     FrameId frontier = engine.closedSingleton(init);
     size_t k = 0;
     for (; k < trace.size(); ++k) {
+        if (deadline.expired()) {
+            res.truncated = true;
+            res.timedOut = true;
+            break;
+        }
         if (engine.states().size() >= request.maxConfigs ||
             (request.maxDepth != 0 && k >= request.maxDepth)) {
             res.truncated = true;

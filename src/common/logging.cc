@@ -7,11 +7,31 @@
 namespace cxl0
 {
 
+namespace
+{
+
+thread_local int quiet_depth = 0;
+
+} // namespace
+
+ScopedQuietErrors::ScopedQuietErrors()
+{
+    ++quiet_depth;
+}
+
+ScopedQuietErrors::~ScopedQuietErrors()
+{
+    --quiet_depth;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    if (quiet_depth == 0) {
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     // Throwing (rather than abort()) lets the test suite exercise the
     // panic paths of precondition checks.
     throw std::logic_error(msg);
@@ -20,8 +40,11 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    if (quiet_depth == 0) {
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     throw std::invalid_argument(msg);
 }
 

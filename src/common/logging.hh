@@ -28,6 +28,22 @@ namespace cxl0
 /** Print a warning to stderr and continue. */
 void warnImpl(const char *file, int line, const std::string &msg);
 
+/**
+ * RAII mute for the stderr line panic()/fatal() print before
+ * throwing. For harnesses (the crash-injection campaign) that
+ * *expect* to trigger panics by the hundred and convert each into a
+ * recorded verdict: the exception still carries the message; only the
+ * per-throw stderr line is suppressed. Thread-local, nests.
+ */
+class ScopedQuietErrors
+{
+  public:
+    ScopedQuietErrors();
+    ~ScopedQuietErrors();
+    ScopedQuietErrors(const ScopedQuietErrors &) = delete;
+    ScopedQuietErrors &operator=(const ScopedQuietErrors &) = delete;
+};
+
 namespace detail
 {
 

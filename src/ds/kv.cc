@@ -88,6 +88,16 @@ KvStore::size(NodeId by)
     return size_.read(by);
 }
 
+size_t
+KvStore::recover(NodeId by)
+{
+    size_t live = map_.recover(by);
+    Value drift = static_cast<Value>(live) - size_.read(by);
+    if (drift != 0)
+        size_.fetchAdd(by, drift);
+    return live;
+}
+
 std::vector<std::pair<Value, Value>>
 KvStore::unsafeSnapshot(NodeId by)
 {

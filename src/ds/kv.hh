@@ -29,6 +29,10 @@ class DurableRegister
     /** CAS on the register; returns success. */
     bool compareExchange(NodeId by, Value expected, Value desired);
 
+    /** Post-crash recovery: a single word needs only a re-read;
+     *  returns the recovered value. */
+    Value recover(NodeId by) { return read(by); }
+
   private:
     FlitRuntime &rt_;
     SharedWord word_;
@@ -43,6 +47,10 @@ class DurableCounter
     /** Add delta; returns the previous value. */
     Value fetchAdd(NodeId by, Value delta);
     Value read(NodeId by);
+
+    /** Post-crash recovery: a single word needs only a re-read;
+     *  returns the recovered value. */
+    Value recover(NodeId by) { return read(by); }
 
   private:
     FlitRuntime &rt_;
@@ -66,6 +74,14 @@ class KvStore
     bool remove(NodeId by, Value key);
     /** Live key count. */
     Value size(NodeId by);
+
+    /**
+     * Post-crash recovery: re-reads the map and repairs the live-size
+     * counter, which can drift when a writer dies between the map
+     * update and the counter bump (put/remove span two objects and are
+     * not crash-atomic as a pair). Returns the live key count.
+     */
+    size_t recover(NodeId by);
 
     /** All live pairs (quiescent use only, e.g. after recovery). */
     std::vector<std::pair<Value, Value>> unsafeSnapshot(NodeId by);

@@ -67,6 +67,19 @@ DurableLog::reserved(NodeId by)
     return std::min(static_cast<size_t>(t), slots_.size());
 }
 
+size_t
+DurableLog::recover(NodeId by)
+{
+    size_t count = 0;
+    size_t upto = reserved(by);
+    for (size_t k = 0; k < upto; ++k) {
+        if (rt_.sharedLoad(by, slots_[k].published) == 1)
+            count += 1;
+    }
+    rt_.completeOp(by);
+    return count;
+}
+
 std::vector<Value>
 DurableLog::scan(NodeId by)
 {

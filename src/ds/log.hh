@@ -58,6 +58,14 @@ class DurableLog
     size_t reserved(NodeId by);
 
     /**
+     * Post-crash recovery entry point: scans the reserved prefix and
+     * counts published slots — holes left by appenders that died
+     * between reservation and publication are skipped forever after.
+     * Returns the number of published entries.
+     */
+    size_t recover(NodeId by);
+
+    /**
      * All published entries in slot order, skipping holes left by
      * appenders that died between reservation and publication.
      */

@@ -113,6 +113,31 @@ HashMap::remove(NodeId by, Value key)
     }
 }
 
+size_t
+HashMap::recover(NodeId by)
+{
+    size_t count = 0;
+    for (const SharedWord &bucket : buckets_) {
+        std::vector<Value> seen;
+        Value cur = rt_.sharedLoad(by, bucket);
+        while (cur != 0) {
+            Record &rec = record(cur);
+            Value k = rt_.sharedLoad(by, rec.key);
+            bool already = false;
+            for (Value s : seen)
+                already |= (s == k);
+            if (!already) {
+                seen.push_back(k);
+                if (rt_.sharedLoad(by, rec.dead) == 0)
+                    count += 1;
+            }
+            cur = rt_.sharedLoad(by, rec.next);
+        }
+    }
+    rt_.completeOp(by);
+    return count;
+}
+
 std::vector<std::pair<Value, Value>>
 HashMap::unsafeSnapshot(NodeId by)
 {

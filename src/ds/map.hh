@@ -44,6 +44,13 @@ class HashMap
     /** Remove key; false when it was absent. */
     bool remove(NodeId by, Value key);
 
+    /**
+     * Post-crash recovery entry point: re-reads every bucket chain
+     * (records are never unlinked, so the chains are always intact).
+     * Returns the number of live keys.
+     */
+    size_t recover(NodeId by);
+
     /** All live (key, value) pairs (quiescent use only). */
     std::vector<std::pair<Value, Value>> unsafeSnapshot(NodeId by);
 

@@ -98,6 +98,30 @@ MsQueue::empty(NodeId by)
     return hn == 0;
 }
 
+size_t
+MsQueue::recover(NodeId by)
+{
+    // Help the tail forward past any node linked by a dead enqueuer.
+    for (;;) {
+        Value t = rt_.sharedLoad(by, tail_);
+        Value tn = rt_.sharedLoad(by, record(t).next);
+        if (tn == 0)
+            break;
+        rt_.sharedCas(by, tail_, t, tn);
+    }
+    size_t count = 0;
+    Value h = rt_.sharedLoad(by, head_);
+    Value cur = rt_.sharedLoad(by, record(h).next);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        rt_.sharedLoad(by, rec.value);
+        cur = rt_.sharedLoad(by, rec.next);
+        count += 1;
+    }
+    rt_.completeOp(by);
+    return count;
+}
+
 std::vector<Value>
 MsQueue::unsafeSnapshot(NodeId by)
 {

@@ -38,6 +38,15 @@ class MsQueue
     /** Whether the queue is observably empty right now. */
     bool empty(NodeId by);
 
+    /**
+     * Post-crash recovery entry point (run quiescently by a surviving
+     * machine): finishes the one repair an MS queue can need — an
+     * enqueuer may have died between linking its node and swinging the
+     * tail, so the tail is helped forward until it points at the last
+     * node. Returns the number of reachable elements.
+     */
+    size_t recover(NodeId by);
+
     /** Read-only head-to-tail traversal (quiescent use only). */
     std::vector<Value> unsafeSnapshot(NodeId by);
 

@@ -110,6 +110,21 @@ SortedListSet::contains(NodeId by, Value key)
     return present;
 }
 
+size_t
+SortedListSet::recover(NodeId by)
+{
+    size_t count = 0;
+    Value cur = rt_.sharedLoad(by, head_);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        if (rt_.sharedLoad(by, rec.present) == 1)
+            count += 1;
+        cur = rt_.sharedLoad(by, rec.next);
+    }
+    rt_.completeOp(by);
+    return count;
+}
+
 std::vector<Value>
 SortedListSet::unsafeSnapshot(NodeId by)
 {

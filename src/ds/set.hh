@@ -41,6 +41,13 @@ class SortedListSet
     /** Membership test. */
     bool contains(NodeId by, Value key);
 
+    /**
+     * Post-crash recovery entry point: records are never unlinked, so
+     * recovery is a plain re-read of the list (see file header).
+     * Returns the number of present keys.
+     */
+    size_t recover(NodeId by);
+
     /** Present keys in ascending order (quiescent use only). */
     std::vector<Value> unsafeSnapshot(NodeId by);
 

@@ -78,6 +78,21 @@ TreiberStack::empty(NodeId by)
     return t == 0;
 }
 
+size_t
+TreiberStack::recover(NodeId by)
+{
+    size_t count = 0;
+    Value cur = rt_.sharedLoad(by, top_);
+    while (cur != 0) {
+        Record &rec = record(cur);
+        rt_.sharedLoad(by, rec.value);
+        cur = rt_.sharedLoad(by, rec.next);
+        count += 1;
+    }
+    rt_.completeOp(by);
+    return count;
+}
+
 std::vector<Value>
 TreiberStack::unsafeSnapshot(NodeId by)
 {

@@ -48,6 +48,14 @@ class TreiberStack
     bool empty(NodeId by);
 
     /**
+     * Post-crash recovery entry point (run quiescently by a surviving
+     * machine): re-reads the top pointer and walks the list, which is
+     * all a Treiber stack needs — its single-word top is always
+     * consistent. Returns the number of reachable elements.
+     */
+    size_t recover(NodeId by);
+
+    /**
      * Read-only traversal top-to-bottom (not linearizable with
      * concurrent mutators; used by tests after quiescence/recovery).
      */

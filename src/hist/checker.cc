@@ -1,5 +1,6 @@
 #include "hist/checker.hh"
 
+#include <chrono>
 #include <limits>
 #include <unordered_set>
 
@@ -14,9 +15,15 @@ namespace
 class Search
 {
   public:
-    Search(const std::vector<OpRecord> &ops, const SequentialSpec &spec)
+    Search(const std::vector<OpRecord> &ops, const SequentialSpec &spec,
+           uint64_t time_budget_ms)
         : ops_(ops), root_(spec.clone())
     {
+        if (time_budget_ms > 0) {
+            hasDeadline_ = true;
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(time_budget_ms);
+        }
     }
 
     bool
@@ -25,13 +32,31 @@ class Search
         return dfs(0, *root_, witness);
     }
 
+    bool timedOut() const { return timedOut_; }
+
   private:
+    bool
+    outOfTime()
+    {
+        if (!hasDeadline_ || timedOut_)
+            return timedOut_;
+        // Amortize the clock read over a batch of DFS nodes.
+        if (++sinceCheck_ < 256)
+            return false;
+        sinceCheck_ = 0;
+        if (std::chrono::steady_clock::now() >= deadline_)
+            timedOut_ = true;
+        return timedOut_;
+    }
+
     bool
     dfs(uint64_t handled, SequentialSpec &spec,
         std::vector<std::string> &witness)
     {
         if (handled == (uint64_t{1} << ops_.size()) - 1)
             return true;
+        if (outOfTime())
+            return false;
         std::string key =
             std::to_string(handled) + "|" + spec.fingerprint();
         if (!visited_.insert(key).second)
@@ -76,26 +101,40 @@ class Search
     const std::vector<OpRecord> &ops_;
     std::unique_ptr<SequentialSpec> root_;
     std::unordered_set<std::string> visited_;
+    bool hasDeadline_ = false;
+    bool timedOut_ = false;
+    uint32_t sinceCheck_ = 0;
+    std::chrono::steady_clock::time_point deadline_;
 };
 
 } // namespace
 
 LinResult
 checkLinearizable(const std::vector<OpRecord> &ops,
-                  const SequentialSpec &spec, size_t max_ops)
+                  const SequentialSpec &spec, const LinOptions &options)
 {
     LinResult result;
-    if (ops.size() > max_ops || ops.size() > 63) {
+    size_t bound = std::min<size_t>(options.maxOps, 63);
+    if (ops.size() > bound) {
         result.linearizable = false;
+        result.truncated = true;
         result.explanation = "history too large for exhaustive check (" +
-                             std::to_string(ops.size()) + " ops)";
-        CXL0_FATAL(result.explanation);
+                             std::to_string(ops.size()) + " ops, bound " +
+                             std::to_string(bound) + ")";
+        return result;
     }
-    Search search(ops, spec);
+    Search search(ops, spec, options.timeBudgetMs);
     std::vector<std::string> witness;
     if (search.run(witness)) {
         result.linearizable = true;
         result.witness = std::move(witness);
+    } else if (search.timedOut()) {
+        result.linearizable = false;
+        result.truncated = true;
+        result.explanation = "search exceeded time budget (" +
+                             std::to_string(options.timeBudgetMs) +
+                             " ms, " + std::to_string(ops.size()) +
+                             " ops)";
     } else {
         result.linearizable = false;
         result.explanation =

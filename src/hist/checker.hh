@@ -27,10 +27,25 @@ namespace cxl0::hist
 struct LinResult
 {
     bool linearizable = false;
+    /**
+     * The search did not complete: the history exceeded the op bound
+     * or the time budget ran out mid-DFS. When set, `linearizable`
+     * is false but means "unknown", not "violation".
+     */
+    bool truncated = false;
     /** A witness linearization (op descriptions) when found. */
     std::vector<std::string> witness;
-    /** Diagnostic when not linearizable. */
+    /** Diagnostic when not linearizable or truncated. */
     std::string explanation;
+};
+
+/** Resource bounds for the (exponential) linearizability search. */
+struct LinOptions
+{
+    /** Histories with more operations yield a truncated result. */
+    size_t maxOps = 24;
+    /** Wall-clock cap on the search in milliseconds; 0 = unbounded. */
+    uint64_t timeBudgetMs = 0;
 };
 
 /**
@@ -38,12 +53,22 @@ struct LinResult
  *
  * @param ops the recorded history (completed + pending operations)
  * @param spec the sequential specification (not mutated)
- * @param max_ops safety bound; histories larger than this are
- *        rejected with an error (the search is exponential)
+ * @param options resource bounds; exceeding them produces a result
+ *        with `truncated` set rather than an error
  */
 LinResult checkLinearizable(const std::vector<OpRecord> &ops,
                             const SequentialSpec &spec,
-                            size_t max_ops = 24);
+                            const LinOptions &options);
+
+/** Convenience overload bounding only the op count. */
+inline LinResult
+checkLinearizable(const std::vector<OpRecord> &ops,
+                  const SequentialSpec &spec, size_t max_ops = 24)
+{
+    LinOptions options;
+    options.maxOps = max_ops;
+    return checkLinearizable(ops, spec, options);
+}
 
 /**
  * Durable-linearizability convenience wrapper: crash events were
@@ -55,6 +80,15 @@ checkDurablyLinearizable(const std::vector<OpRecord> &ops,
                          const SequentialSpec &spec, size_t max_ops = 24)
 {
     return checkLinearizable(ops, spec, max_ops);
+}
+
+/** Durable-linearizability wrapper with full resource bounds. */
+inline LinResult
+checkDurablyLinearizable(const std::vector<OpRecord> &ops,
+                         const SequentialSpec &spec,
+                         const LinOptions &options)
+{
+    return checkLinearizable(ops, spec, options);
 }
 
 } // namespace cxl0::hist

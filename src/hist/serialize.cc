@@ -1,0 +1,101 @@
+#include "hist/serialize.hh"
+
+#include <sstream>
+
+namespace cxl0::hist
+{
+
+namespace
+{
+
+/** A bare op name must survive a whitespace-tokenized round trip. */
+bool
+nameSerializable(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name)
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+dumpHistory(const std::vector<OpRecord> &ops)
+{
+    std::ostringstream os;
+    for (const OpRecord &op : ops) {
+        os << "op " << op.threadId << " "
+           << (nameSerializable(op.op) ? op.op : std::string("?")) << " "
+           << op.arg << " " << op.arg2 << " " << op.invokeStamp << " ";
+        if (op.responseStamp)
+            os << *op.responseStamp;
+        else
+            os << "-";
+        os << " ";
+        if (op.ret)
+            os << *op.ret;
+        else
+            os << "-";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::optional<std::vector<OpRecord>>
+parseHistory(const std::string &text, std::string *error)
+{
+    auto fail = [&](size_t line, const std::string &why)
+        -> std::optional<std::vector<OpRecord>> {
+        if (error)
+            *error = "line " + std::to_string(line) + ": " + why;
+        return std::nullopt;
+    };
+
+    std::vector<OpRecord> ops;
+    std::istringstream is(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag[0] == '#')
+            continue;
+        if (tag != "op")
+            return fail(lineno, "expected 'op', got '" + tag + "'");
+        OpRecord op;
+        std::string resp;
+        std::string ret;
+        if (!(ls >> op.threadId >> op.op >> op.arg >> op.arg2 >>
+              op.invokeStamp >> resp >> ret))
+            return fail(lineno, "malformed op record");
+        std::string extra;
+        if (ls >> extra)
+            return fail(lineno, "trailing token '" + extra + "'");
+        if (resp != "-") {
+            uint64_t stamp = 0;
+            std::istringstream rs(resp);
+            if (!(rs >> stamp) || !rs.eof())
+                return fail(lineno, "bad response stamp '" + resp + "'");
+            op.responseStamp = stamp;
+        }
+        if (ret != "-") {
+            Value v = 0;
+            std::istringstream vs(ret);
+            if (!(vs >> v) || !vs.eof())
+                return fail(lineno, "bad return value '" + ret + "'");
+            op.ret = v;
+        }
+        if (op.responseStamp.has_value() != op.ret.has_value())
+            return fail(lineno,
+                        "response stamp and return must both be set "
+                        "or both pending");
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+} // namespace cxl0::hist

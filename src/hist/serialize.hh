@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text history serialization for campaign artifacts.
+ *
+ * The crash-injection campaign (src/inject) persists every shrunk
+ * failure as a replayable artifact; the history section uses this
+ * format so a human can read the counterexample and the replayer can
+ * re-check it without re-executing the workload. One op per line:
+ *
+ *   op <threadId> <name> <arg> <arg2> <invokeStamp> <respStamp|-> <ret|->
+ *
+ * `-` marks a pending operation (no response). Blank lines and lines
+ * starting with `#` are skipped.
+ */
+
+#ifndef CXL0_HIST_SERIALIZE_HH
+#define CXL0_HIST_SERIALIZE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hist/history.hh"
+
+namespace cxl0::hist
+{
+
+/** Render `ops` in the artifact line format (one op per line). */
+std::string dumpHistory(const std::vector<OpRecord> &ops);
+
+/**
+ * Parse a history dump produced by dumpHistory.
+ *
+ * @param text the serialized history (possibly with comments)
+ * @param error when parsing fails, receives a "line N: ..."
+ *        diagnostic (may be nullptr)
+ * @return the parsed ops, or nullopt on malformed input
+ */
+std::optional<std::vector<OpRecord>>
+parseHistory(const std::string &text, std::string *error);
+
+} // namespace cxl0::hist
+
+#endif // CXL0_HIST_SERIALIZE_HH

@@ -275,6 +275,172 @@ class CounterSpec : public SequentialSpec
     Value value_;
 };
 
+/**
+ * Append-only log with crash holes (ds::DurableLog). Slot reservation
+ * order IS linearization order (the FAA on the tail), so a completed
+ * append's returned index must equal the next slot. An appender that
+ * died between reservation and publication leaves the slot in limbo:
+ * taking its pending append burns the next slot with an undetermined
+ * content, and the first get() observing that slot collapses it to
+ * published (saw the value) or hole (saw empty) — both are legal
+ * outcomes of the interrupted publish.
+ */
+class LogSpec : public SequentialSpec
+{
+  public:
+    explicit LogSpec(size_t capacity) : capacity_(capacity) {}
+
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<LogSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        if (op.op == "append") {
+            if (next_ >= capacity_) {
+                // Full: the reservation is burned either way.
+                if (!retMatches(op.ret, kEmptyRet))
+                    return false;
+                next_ += 1;
+                return true;
+            }
+            size_t slot = next_;
+            if (op.ret) {
+                // Completed append: must land on the next slot.
+                if (*op.ret != static_cast<Value>(slot))
+                    return false;
+                slots_.push_back(
+                    Slot{State::Published, op.arg});
+            } else {
+                // Pending append taken by the checker: the publish
+                // may or may not have reached durable state.
+                slots_.push_back(Slot{State::Limbo, op.arg});
+            }
+            next_ += 1;
+            return true;
+        }
+        if (op.op == "get") {
+            if (op.arg < 0 ||
+                static_cast<size_t>(op.arg) >= slots_.size())
+                return retMatches(op.ret, kEmptyRet);
+            Slot &s = slots_[static_cast<size_t>(op.arg)];
+            switch (s.state) {
+            case State::Hole:
+                return retMatches(op.ret, kEmptyRet);
+            case State::Published:
+                return retMatches(op.ret, s.value);
+            case State::Limbo:
+                // First observation pins the slot's fate.
+                if (retMatches(op.ret, s.value)) {
+                    s.state = State::Published;
+                    return true;
+                }
+                if (retMatches(op.ret, kEmptyRet)) {
+                    s.state = State::Hole;
+                    return true;
+                }
+                return false;
+            }
+            return false;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "log:" << next_ << ";";
+        for (const Slot &s : slots_) {
+            switch (s.state) {
+            case State::Hole:
+                os << "H,";
+                break;
+            case State::Published:
+                os << "P" << s.value << ",";
+                break;
+            case State::Limbo:
+                os << "L" << s.value << ",";
+                break;
+            }
+        }
+        return os.str();
+    }
+
+  private:
+    enum class State
+    {
+        Hole,
+        Published,
+        Limbo,
+    };
+
+    struct Slot
+    {
+        State state;
+        Value value;
+    };
+
+    size_t capacity_;
+    size_t next_ = 0;
+    std::vector<Slot> slots_;
+};
+
+/**
+ * KV store viewed through its map facade (ds::KvStore): put reports
+ * whether the key was fresh, unlike MapSpec's HashMap encoding.
+ */
+class KvSpec : public SequentialSpec
+{
+  public:
+    std::unique_ptr<SequentialSpec>
+    clone() const override
+    {
+        return std::make_unique<KvSpec>(*this);
+    }
+
+    bool
+    apply(const OpRecord &op) override
+    {
+        auto it = items_.find(op.arg);
+        bool present = it != items_.end();
+        if (op.op == "put") {
+            if (!retMatches(op.ret, present ? 0 : 1))
+                return false;
+            items_[op.arg] = op.arg2;
+            return true;
+        }
+        if (op.op == "get") {
+            Value expect = present ? it->second : kEmptyRet;
+            return retMatches(op.ret, expect);
+        }
+        if (op.op == "remove") {
+            if (!retMatches(op.ret, present ? 1 : 0))
+                return false;
+            if (present)
+                items_.erase(it);
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    fingerprint() const override
+    {
+        std::ostringstream os;
+        os << "kv:";
+        for (const auto &[k, v] : items_)
+            os << k << "=" << v << ",";
+        return os.str();
+    }
+
+  private:
+    std::map<Value, Value> items_;
+};
+
 } // namespace
 
 std::unique_ptr<SequentialSpec>
@@ -311,6 +477,18 @@ std::unique_ptr<SequentialSpec>
 makeCounterSpec(Value initial)
 {
     return std::make_unique<CounterSpec>(initial);
+}
+
+std::unique_ptr<SequentialSpec>
+makeLogSpec(size_t capacity)
+{
+    return std::make_unique<LogSpec>(capacity);
+}
+
+std::unique_ptr<SequentialSpec>
+makeKvSpec()
+{
+    return std::make_unique<KvSpec>();
 }
 
 } // namespace cxl0::hist

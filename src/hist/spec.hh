@@ -59,6 +59,18 @@ std::unique_ptr<SequentialSpec> makeRegisterSpec(Value initial = 0);
 /** Counter: add(d)=old, read()=v. */
 std::unique_ptr<SequentialSpec> makeCounterSpec(Value initial = 0);
 
+/**
+ * Append-only log with crash holes: append(v)=slot | kEmptyRet when
+ * full, get(slot)=v | kEmptyRet. A pending append burns the next slot
+ * in an undetermined (limbo) state; the first get observing it pins
+ * the outcome.
+ */
+std::unique_ptr<SequentialSpec> makeLogSpec(size_t capacity);
+
+/** KV store facade: put(k,v)=fresh?1:0, get(k)=v | kEmptyRet,
+ *  remove(k)=present?1:0. */
+std::unique_ptr<SequentialSpec> makeKvSpec();
+
 } // namespace cxl0::hist
 
 #endif // CXL0_HIST_SPEC_HH

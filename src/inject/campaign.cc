@@ -1,0 +1,332 @@
+#include "inject/campaign.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "model/label.hh"
+
+namespace cxl0::inject
+{
+
+namespace
+{
+
+const char *
+variantSuffix(model::ModelVariant v)
+{
+    switch (v) {
+      case model::ModelVariant::Base: return "";
+      case model::ModelVariant::Lwb: return "@lwb";
+      case model::ModelVariant::Psn: return "@psn";
+    }
+    return "";
+}
+
+/** One (structure, mode, variant) verification unit. */
+struct Unit
+{
+    Structure structure;
+    flit::PersistMode mode;
+    model::ModelVariant variant;
+};
+
+/**
+ * The crash steps to test for one unit: every step in
+ * [setupSteps, totalSteps) when that fits the budget, otherwise a
+ * seeded sample without replacement (sorted, so runs stay ordered).
+ */
+std::vector<uint64_t>
+crashSteps(const Discovery &d, size_t budget, uint64_t sample_seed)
+{
+    std::vector<uint64_t> steps;
+    for (uint64_t s = d.setupSteps; s < d.totalSteps; ++s)
+        steps.push_back(s);
+    if (budget == 0 || steps.size() <= budget)
+        return steps;
+    Rng rng(sample_seed);
+    rng.shuffle(steps);
+    steps.resize(budget);
+    std::sort(steps.begin(), steps.end());
+    return steps;
+}
+
+std::string
+sanitizeForFilename(std::string s)
+{
+    for (char &c : s)
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+              c == '_' || c == '.'))
+            c = '-';
+    return s;
+}
+
+void
+accumulate(BucketStats &b, CaseOutcome::Verdict v)
+{
+    b.cases += 1;
+    switch (v) {
+      case CaseOutcome::Verdict::Pass: b.pass += 1; break;
+      case CaseOutcome::Verdict::Violation: b.violations += 1; break;
+      case CaseOutcome::Verdict::Truncated: b.truncated += 1; break;
+      case CaseOutcome::Verdict::Skipped: b.skipped += 1; break;
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+runtime::PropagationPolicy
+defaultPolicyFor(flit::PersistMode mode)
+{
+    switch (mode) {
+    case flit::PersistMode::PersistAll:
+    case flit::PersistMode::FlitVerified:
+        // These close the store-to-flush window, so they hold up (and
+        // are verified) under adversarial random propagation.
+        return runtime::PropagationPolicy::Random;
+    case flit::PersistMode::None:
+    case flit::PersistMode::FlitCxl0:
+    case flit::PersistMode::FlitCxl0AddrOpt:
+    case flit::PersistMode::FlitOriginal:
+    case flit::PersistMode::FlitAsync:
+        // Deterministic propagation: the blocking-flush modes lose a
+        // mid-propagation line when its owner crashes between a store
+        // and the matching flush (a genuine CXL0 behaviour, not an
+        // implementation bug — see src/inject/README.md), so their
+        // durable-linearizability claim is scoped to Manual here.
+        return runtime::PropagationPolicy::Manual;
+    }
+    return runtime::PropagationPolicy::Manual;
+}
+
+std::string
+opMixSignature(const std::vector<WorkloadOp> &ops)
+{
+    std::set<std::string> names;
+    for (const WorkloadOp &op : ops)
+        names.insert(op.name);
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += "+";
+        out += n;
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::string
+bucketKey(const CampaignCase &c, model::Op crash_kind)
+{
+    std::string key = structureName(c.structure);
+    key += variantSuffix(c.variant);
+    key += "/";
+    key += flit::persistModeName(c.mode);
+    key += "/";
+    key += model::opName(crash_kind);
+    key += "/";
+    key += opMixSignature(c.ops);
+    return key;
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &opts)
+{
+    CampaignReport report;
+
+    std::vector<Unit> units;
+    for (Structure s : opts.structures)
+        for (flit::PersistMode m : opts.modes)
+            units.push_back(Unit{s, m, opts.variant});
+    if (opts.lwbStructure)
+        for (flit::PersistMode m : opts.modes)
+            units.push_back(
+                Unit{*opts.lwbStructure, m, model::ModelVariant::Lwb});
+
+    size_t unit_index = 0;
+    for (const Unit &unit : units) {
+        unit_index += 1;
+        CampaignCase base;
+        base.structure = unit.structure;
+        base.mode = unit.mode;
+        base.variant = unit.variant;
+        base.policy = opts.policyOverride
+                          ? *opts.policyOverride
+                          : defaultPolicyFor(unit.mode);
+        base.seed = opts.seed;
+        base.nodes = opts.nodes;
+        base.cellsPerNode = opts.cellsPerNode;
+        base.logCapacity = opts.logCapacity;
+        base.params = opts.params;
+        generateOps(base);
+
+        Discovery d = discover(base);
+        uint64_t sample_seed =
+            opts.seed * 0x9e3779b97f4a7c15ULL + unit_index;
+        std::string structure_key =
+            std::string(structureName(unit.structure)) +
+            variantSuffix(unit.variant);
+        std::set<std::string> shrunk_buckets;
+
+        for (uint64_t step :
+             crashSteps(d, opts.crashBudget, sample_seed)) {
+            CampaignCase c = base;
+            c.hasCrash = true;
+            c.crashStep = step;
+            c.crashNode = 0; // owner crash: the structure's home node
+            CaseOutcome out = runCase(c, opts.limits);
+
+            std::string bucket = bucketKey(c, out.crashOpKind);
+            accumulate(report.buckets[bucket], out.verdict);
+            accumulate(report.perStructure[structure_key], out.verdict);
+            report.cases += 1;
+            switch (out.verdict) {
+              case CaseOutcome::Verdict::Pass:
+                report.pass += 1;
+                break;
+              case CaseOutcome::Verdict::Violation:
+                report.violations += 1;
+                break;
+              case CaseOutcome::Verdict::Truncated:
+                report.truncated += 1;
+                break;
+              case CaseOutcome::Verdict::Skipped:
+                report.skipped += 1;
+                break;
+            }
+
+            if (out.verdict != CaseOutcome::Verdict::Violation)
+                continue;
+            if (flit::modeIsDurable(unit.mode)) {
+                report.durableViolations += 1;
+                report.allDurablePass = false;
+            }
+            if (!opts.shrinkViolations ||
+                !shrunk_buckets.insert(bucket).second)
+                continue;
+
+            // First violation of this bucket: minimize it and emit a
+            // replayable artifact.
+            ShrinkLimits slimits = opts.shrink;
+            slimits.run = opts.limits;
+            ShrinkResult sres = shrinkCase(c, slimits);
+            ShrunkRecord rec;
+            rec.bucket = bucket;
+            rec.minimized = sres.minimized;
+            rec.outcome = sres.outcome;
+            rec.attempts = sres.attempts;
+            rec.opsDropped = sres.opsDropped;
+            // Pin the propagation schedule so the artifact replays
+            // bit-identically regardless of the RNG behind Random.
+            rec.minimized.evictions = sres.outcome.evictions;
+            rec.minimized.replayEvictions =
+                !rec.minimized.evictions.empty();
+            if (!opts.corpusDir.empty()) {
+                std::filesystem::create_directories(opts.corpusDir);
+                std::string name =
+                    sanitizeForFilename(bucket) + "-seed" +
+                    std::to_string(opts.seed) + ".txt";
+                std::filesystem::path path =
+                    std::filesystem::path(opts.corpusDir) / name;
+                std::ofstream f(path);
+                f << writeArtifactText(rec.minimized, rec.outcome);
+                rec.artifactPath = path.string();
+            }
+            report.shrunk.push_back(std::move(rec));
+        }
+    }
+    return report;
+}
+
+std::string
+campaignJson(const CampaignOptions &opts, const CampaignReport &report,
+             double seconds, bool stable)
+{
+    std::ostringstream os;
+    double secs = stable ? 0.0 : seconds;
+    double rate =
+        (stable || seconds <= 0.0)
+            ? 0.0
+            : static_cast<double>(report.cases) / seconds;
+    os << "{\n";
+    os << "  \"bench\": \"campaign\",\n";
+    os << "  \"seed\": " << opts.seed << ",\n";
+    os << "  \"variant\": \"" << model::variantName(opts.variant)
+       << "\",\n";
+    os << "  \"structures\": [";
+    for (size_t i = 0; i < opts.structures.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << structureName(opts.structures[i]) << "\"";
+    os << "],\n";
+    os << "  \"modes\": [";
+    for (size_t i = 0; i < opts.modes.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << flit::persistModeName(opts.modes[i]) << "\"";
+    os << "],\n";
+    os << "  \"cases\": " << report.cases << ",\n";
+    os << "  \"pass\": " << report.pass << ",\n";
+    os << "  \"violations\": " << report.violations << ",\n";
+    os << "  \"durable_violations\": " << report.durableViolations
+       << ",\n";
+    os << "  \"truncated\": " << report.truncated << ",\n";
+    os << "  \"skipped\": " << report.skipped << ",\n";
+    os << "  \"all_durable_pass\": "
+       << (report.allDurablePass ? "true" : "false") << ",\n";
+    os << "  \"seconds\": " << secs << ",\n";
+    os << "  \"cases_per_sec\": " << rate << ",\n";
+    os << "  \"buckets\": {\n";
+    size_t i = 0;
+    for (const auto &[key, b] : report.buckets) {
+        os << "    \"" << jsonEscape(key) << "\": {\"cases\": "
+           << b.cases << ", \"pass\": " << b.pass
+           << ", \"violations\": " << b.violations
+           << ", \"truncated\": " << b.truncated << "}";
+        os << (++i == report.buckets.size() ? "\n" : ",\n");
+    }
+    os << "  },\n";
+    os << "  \"per_structure\": {\n";
+    i = 0;
+    for (const auto &[key, b] : report.perStructure) {
+        os << "    \"" << jsonEscape(key) << "\": {\"cases\": "
+           << b.cases << ", \"pass\": " << b.pass
+           << ", \"violations\": " << b.violations
+           << ", \"truncated\": " << b.truncated << "}";
+        os << (++i == report.perStructure.size() ? "\n" : ",\n");
+    }
+    os << "  },\n";
+    os << "  \"shrunk\": [\n";
+    for (size_t k = 0; k < report.shrunk.size(); ++k) {
+        const ShrunkRecord &r = report.shrunk[k];
+        os << "    {\"bucket\": \"" << jsonEscape(r.bucket)
+           << "\", \"ops\": " << r.minimized.ops.size()
+           << ", \"crash_step\": " << r.minimized.crashStep
+           << ", \"ops_dropped\": " << r.opsDropped
+           << ", \"attempts\": " << r.attempts << ", \"artifact\": \""
+           << jsonEscape(r.artifactPath) << "\"}";
+        os << (k + 1 == report.shrunk.size() ? "\n" : ",\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace cxl0::inject

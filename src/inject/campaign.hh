@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The crash-injection campaign: enumerate crash points, run every
+ * plan, bucket failures, shrink them, and emit corpus artifacts.
+ *
+ * For each (structure, persistence mode) unit the campaign generates
+ * a seeded workload, discovers its persist boundaries with one
+ * instrumented crash-free run, then arms an owner crash before every
+ * discovered step — exhaustively when the boundary count fits the
+ * budget, from a seeded sample otherwise. Violations are bucketed by
+ * schedule shape (crashed primitive kind × structure × op mix); the
+ * first violation per bucket is delta-debugged to a minimal plan and
+ * written as a replayable artifact under the corpus directory.
+ */
+
+#ifndef CXL0_INJECT_CAMPAIGN_HH
+#define CXL0_INJECT_CAMPAIGN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inject/plan.hh"
+#include "inject/shrink.hh"
+
+namespace cxl0::inject
+{
+
+/** Campaign configuration. */
+struct CampaignOptions
+{
+    std::vector<Structure> structures = allStructures();
+    std::vector<flit::PersistMode> modes = {
+        flit::PersistMode::FlitCxl0};
+    model::ModelVariant variant = model::ModelVariant::Base;
+    /**
+     * Force one propagation policy for every unit; by default each
+     * mode gets defaultPolicyFor(mode): deterministic Manual for the
+     * blocking-flush modes (whose store-to-flush window is a genuine
+     * model behaviour under Random propagation, see
+     * src/inject/README.md), Random for the modes that close it.
+     */
+    std::optional<runtime::PropagationPolicy> policyOverride;
+    uint64_t seed = 1;
+    size_t nodes = 2;
+    size_t cellsPerNode = 256;
+    size_t logCapacity = 8;
+    WorkloadParams params;
+    /** Crash points per unit: exhaustive below, seeded sample above. */
+    size_t crashBudget = 64;
+    RunLimits limits;
+    ShrinkLimits shrink;
+    /** Shrink + serialize the first violation of each bucket. */
+    bool shrinkViolations = true;
+    /** Artifact output directory; empty = don't write artifacts. */
+    std::string corpusDir;
+    /** Additionally run this structure under the LWB variant. */
+    std::optional<Structure> lwbStructure;
+};
+
+/**
+ * The propagation policy a mode is verified under by default (see
+ * CampaignOptions::policyOverride).
+ */
+runtime::PropagationPolicy defaultPolicyFor(flit::PersistMode mode);
+
+/** Sorted unique op names joined with '+', e.g. "pop+push". */
+std::string opMixSignature(const std::vector<WorkloadOp> &ops);
+
+/**
+ * Failure bucket key:
+ * `<structure>/<mode>/<crashed-primitive>/<op-mix>`.
+ */
+std::string bucketKey(const CampaignCase &c, model::Op crash_kind);
+
+/** Per-bucket verdict tallies. */
+struct BucketStats
+{
+    size_t cases = 0;
+    size_t pass = 0;
+    size_t violations = 0;
+    size_t truncated = 0;
+    size_t skipped = 0;
+};
+
+/** One shrunk violation and its artifact. */
+struct ShrunkRecord
+{
+    std::string bucket;
+    CampaignCase minimized;
+    CaseOutcome outcome;
+    /** Where the artifact was written; empty if corpusDir was unset. */
+    std::string artifactPath;
+    size_t attempts = 0;
+    size_t opsDropped = 0;
+};
+
+/** Aggregated campaign results. */
+struct CampaignReport
+{
+    size_t cases = 0;
+    size_t pass = 0;
+    size_t violations = 0;
+    /** Violations in modes that claim durable linearizability. */
+    size_t durableViolations = 0;
+    size_t truncated = 0;
+    size_t skipped = 0;
+    std::map<std::string, BucketStats> buckets;
+    /** Keyed by structure name (suffixed "@lwb"/"@psn" off-Base). */
+    std::map<std::string, BucketStats> perStructure;
+    std::vector<ShrunkRecord> shrunk;
+    /** No durable-mode case produced a violation. */
+    bool allDurablePass = true;
+};
+
+/** Run the whole campaign. Deterministic in `opts`. */
+CampaignReport runCampaign(const CampaignOptions &opts);
+
+/**
+ * Render the report in the tracked bench JSON shape
+ * (BENCH_campaign.json). With `stable`, wall-clock fields are zeroed
+ * so two runs from the same seed compare bit-identically.
+ */
+std::string campaignJson(const CampaignOptions &opts,
+                         const CampaignReport &report, double seconds,
+                         bool stable);
+
+} // namespace cxl0::inject
+
+#endif // CXL0_INJECT_CAMPAIGN_HH

@@ -1,0 +1,404 @@
+#include "inject/plan.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "hist/serialize.hh"
+#include "lang/scenario.hh"
+#include "model/label.hh"
+
+namespace cxl0::inject
+{
+
+namespace
+{
+
+const char *
+variantWord(model::ModelVariant v)
+{
+    switch (v) {
+      case model::ModelVariant::Base: return "base";
+      case model::ModelVariant::Lwb: return "lwb";
+      case model::ModelVariant::Psn: return "psn";
+    }
+    return "?";
+}
+
+const char *
+policyWord(runtime::PropagationPolicy p)
+{
+    switch (p) {
+      case runtime::PropagationPolicy::Manual: return "manual";
+      case runtime::PropagationPolicy::Random: return "random";
+      case runtime::PropagationPolicy::Eager: return "eager";
+    }
+    return "?";
+}
+
+std::optional<runtime::PropagationPolicy>
+policyFromWord(const std::string &word)
+{
+    if (word == "manual")
+        return runtime::PropagationPolicy::Manual;
+    if (word == "random")
+        return runtime::PropagationPolicy::Random;
+    if (word == "eager")
+        return runtime::PropagationPolicy::Eager;
+    return std::nullopt;
+}
+
+/** A constructed system + transformation runtime for one case. */
+struct Rig
+{
+    std::unique_ptr<runtime::CxlSystem> sys;
+    std::unique_ptr<flit::FlitRuntime> rt;
+};
+
+Rig
+buildRig(const CampaignCase &c)
+{
+    runtime::SystemOptions o(model::SystemConfig::uniform(
+        c.nodes, c.cellsPerNode, /*persistent=*/true));
+    o.variant = c.variant;
+    o.policy = c.policy;
+    o.seed = c.seed;
+    o.cost = runtime::CostModel::zero();
+    Rig rig;
+    rig.sys = std::make_unique<runtime::CxlSystem>(std::move(o));
+    rig.rt = std::make_unique<flit::FlitRuntime>(*rig.sys, c.mode);
+    return rig;
+}
+
+NodeId
+nodeOfThread(const CampaignCase &c, int thread)
+{
+    return static_cast<NodeId>(static_cast<size_t>(thread) % c.nodes);
+}
+
+NodeId
+recoveryNode(const CampaignCase &c)
+{
+    if (!c.hasCrash)
+        return 0;
+    for (size_t n = 0; n < c.nodes; ++n)
+        if (static_cast<NodeId>(n) != c.crashNode)
+            return static_cast<NodeId>(n);
+    return 0;
+}
+
+} // namespace
+
+void
+generateOps(CampaignCase &c)
+{
+    c.ops = makeWorkload(c.structure, c.seed, c.params);
+}
+
+Discovery
+discover(const CampaignCase &c)
+{
+    Rig rig = buildRig(c);
+    if (c.replayEvictions)
+        rig.sys->setEvictionReplay(c.evictions);
+    rig.sys->enableStepTrace(true);
+    std::unique_ptr<Subject> subject =
+        makeSubject(c.structure, *rig.rt, /*home=*/0, c.logCapacity);
+    Discovery d;
+    d.setupSteps = rig.sys->opCount();
+    for (const WorkloadOp &op : c.ops)
+        subject->execute(nodeOfThread(c, op.thread), op);
+    d.totalSteps = rig.sys->opCount();
+    d.trace = rig.sys->stepTrace();
+    d.evictions = rig.sys->evictionTrace();
+    return d;
+}
+
+CaseOutcome
+runCase(const CampaignCase &c, const RunLimits &limits)
+{
+    CaseOutcome outcome;
+    Rig rig = buildRig(c);
+    if (c.replayEvictions)
+        rig.sys->setEvictionReplay(c.evictions);
+    rig.sys->enableStepTrace(true);
+    std::unique_ptr<Subject> subject =
+        makeSubject(c.structure, *rig.rt, /*home=*/0, c.logCapacity);
+    if (c.hasCrash)
+        rig.sys->armCrash(c.crashStep, c.crashNode);
+
+    std::vector<uint64_t> epoch0(c.nodes);
+    for (size_t n = 0; n < c.nodes; ++n)
+        epoch0[n] = rig.sys->epoch(static_cast<NodeId>(n));
+
+    // Main phase: one high-level op at a time; crash windows are the
+    // primitives *within* an op. Threads on a crashed machine die:
+    // the in-flight op stays pending, later ops never start.
+    hist::HistoryRecorder rec;
+    try {
+        // Panics in here are expected outcomes (corruption verdicts
+        // below), not bugs — don't let each one spam stderr.
+        const ScopedQuietErrors quiet;
+        for (const WorkloadOp &op : c.ops) {
+            NodeId node = nodeOfThread(c, op.thread);
+            if (rig.sys->epoch(node) != epoch0[node])
+                continue;
+            size_t handle =
+                rec.invoke(op.thread, op.name, op.arg, op.arg2);
+            try {
+                Value ret = subject->execute(node, op);
+                rec.respond(handle, ret);
+            } catch (const runtime::ThreadKilled &) {
+                // Pending forever: the issuing machine crashed mid-op.
+            }
+        }
+
+        if (c.hasCrash && !rig.sys->armedCrashesFired()) {
+            // The (possibly shrunk) workload never reached the armed
+            // step; nothing was tested.
+            outcome.verdict = CaseOutcome::Verdict::Skipped;
+            outcome.evictions = rig.sys->evictionTrace();
+            return outcome;
+        }
+
+        // Recovery + observation run on a surviving machine.
+        NodeId rnode = recoveryNode(c);
+        subject->recover(rnode);
+        for (const WorkloadOp &op :
+             makeObservers(c.structure, c.params)) {
+            size_t handle =
+                rec.invoke(op.thread, op.name, op.arg, op.arg2);
+            rec.respond(handle, subject->execute(rnode, op));
+        }
+    } catch (const std::logic_error &e) {
+        // A structure invariant panicked: under an unsound persist
+        // mode a crash can lose a store the structure's pointers rely
+        // on, and the recovered structure faults (e.g. a dangling
+        // queue pointer). That is the durability violation itself,
+        // not a harness error — record it as one so the shrinker and
+        // buckets see it like any linearizability failure.
+        outcome.history = rec.snapshot();
+        outcome.evictions = rig.sys->evictionTrace();
+        std::vector<runtime::StepRecord> tr = rig.sys->stepTrace();
+        if (c.hasCrash && c.crashStep < tr.size())
+            outcome.crashOpKind = tr[c.crashStep].op;
+        outcome.verdict = CaseOutcome::Verdict::Violation;
+        outcome.lin.linearizable = false;
+        outcome.lin.explanation =
+            std::string("structure corrupted after crash: ") +
+            e.what();
+        return outcome;
+    }
+
+    outcome.history = rec.snapshot();
+    outcome.evictions = rig.sys->evictionTrace();
+    std::vector<runtime::StepRecord> trace = rig.sys->stepTrace();
+    if (c.hasCrash && c.crashStep < trace.size())
+        outcome.crashOpKind = trace[c.crashStep].op;
+
+    std::unique_ptr<hist::SequentialSpec> spec =
+        makeSpec(c.structure, c.logCapacity);
+    hist::LinOptions lopt;
+    lopt.maxOps = limits.histMaxOps;
+    lopt.timeBudgetMs = limits.caseTimeBudgetMs;
+    outcome.lin =
+        hist::checkDurablyLinearizable(outcome.history, *spec, lopt);
+    // A history can exceed the op bound spuriously (observers on top
+    // of a long workload); widen the bound a bounded number of times.
+    for (size_t retry = 0;
+         outcome.lin.truncated && retry < limits.retries &&
+         outcome.history.size() > lopt.maxOps && lopt.maxOps < 63;
+         ++retry) {
+        lopt.maxOps = std::min<size_t>(63, lopt.maxOps + 8);
+        outcome.lin =
+            hist::checkDurablyLinearizable(outcome.history, *spec, lopt);
+    }
+
+    if (outcome.lin.linearizable)
+        outcome.verdict = CaseOutcome::Verdict::Pass;
+    else if (outcome.lin.truncated)
+        outcome.verdict = CaseOutcome::Verdict::Truncated;
+    else
+        outcome.verdict = CaseOutcome::Verdict::Violation;
+    return outcome;
+}
+
+const char *
+verdictName(CaseOutcome::Verdict v)
+{
+    switch (v) {
+      case CaseOutcome::Verdict::Pass: return "pass";
+      case CaseOutcome::Verdict::Violation: return "violation";
+      case CaseOutcome::Verdict::Truncated: return "truncated";
+      case CaseOutcome::Verdict::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+std::string
+writeArtifactText(const CampaignCase &c, const CaseOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "# cxl0 campaign artifact v1\n";
+    os << "structure " << structureName(c.structure) << "\n";
+    os << "mode " << flit::persistModeName(c.mode) << "\n";
+    os << "variant " << variantWord(c.variant) << "\n";
+    os << "policy " << policyWord(c.policy) << "\n";
+    os << "seed " << c.seed << "\n";
+    os << "nodes " << c.nodes << "\n";
+    os << "cells " << c.cellsPerNode << "\n";
+    os << "log-capacity " << c.logCapacity << "\n";
+    os << "threads " << c.params.numThreads << "\n";
+    os << "num-ops " << c.params.numOps << "\n";
+    os << "max-value " << c.params.maxValue << "\n";
+    if (c.hasCrash) {
+        os << "crash-step " << c.crashStep << "\n";
+        os << "crash-node " << c.crashNode << "\n";
+    }
+    os << "replay-evictions " << (c.replayEvictions ? 1 : 0) << "\n";
+    for (const WorkloadOp &op : c.ops)
+        os << "op " << op.thread << " " << op.name << " " << op.arg
+           << " " << op.arg2 << "\n";
+    for (const runtime::EvictEvent &e : c.evictions)
+        os << "evict " << e.step << " " << e.node << " " << e.addr
+           << "\n";
+    os << "end\n";
+
+    // Informational diagnosis; the parser stops at "end".
+    os << "#\n# verdict: " << verdictName(outcome.verdict) << "\n";
+    if (outcome.verdict != CaseOutcome::Verdict::Skipped && c.hasCrash)
+        os << "# crash primitive: " << model::opName(outcome.crashOpKind)
+           << "\n";
+    os << "# history:\n";
+    std::istringstream hist(hist::dumpHistory(outcome.history));
+    std::string line;
+    while (std::getline(hist, line))
+        os << "#   " << line << "\n";
+    if (!outcome.lin.explanation.empty()) {
+        os << "# explanation:\n";
+        std::istringstream expl(outcome.lin.explanation);
+        while (std::getline(expl, line))
+            os << "#   " << line << "\n";
+    }
+    return os.str();
+}
+
+std::optional<CampaignCase>
+parseArtifact(const std::string &text, std::string *error)
+{
+    auto fail = [&](size_t line, const std::string &why)
+        -> std::optional<CampaignCase> {
+        if (error)
+            *error = "line " + std::to_string(line) + ": " + why;
+        return std::nullopt;
+    };
+
+    CampaignCase c;
+    bool saw_end = false;
+    std::istringstream is(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key) || key[0] == '#')
+            continue;
+        if (key == "end") {
+            saw_end = true;
+            break;
+        }
+        if (key == "op") {
+            WorkloadOp op;
+            if (!(ls >> op.thread >> op.name >> op.arg >> op.arg2))
+                return fail(lineno, "malformed op line");
+            c.ops.push_back(std::move(op));
+            continue;
+        }
+        if (key == "evict") {
+            runtime::EvictEvent e;
+            uint64_t node = 0;
+            if (!(ls >> e.step >> node >> e.addr))
+                return fail(lineno, "malformed evict line");
+            e.node = static_cast<NodeId>(node);
+            c.evictions.push_back(e);
+            continue;
+        }
+        std::string word;
+        if (!(ls >> word))
+            return fail(lineno, "missing value for '" + key + "'");
+        auto asNumber = [&](uint64_t &out) {
+            std::istringstream ws(word);
+            return static_cast<bool>(ws >> out) && ws.eof();
+        };
+        uint64_t num = 0;
+        if (key == "structure") {
+            auto s = structureFromName(word);
+            if (!s)
+                return fail(lineno, "unknown structure '" + word + "'");
+            c.structure = *s;
+        } else if (key == "mode") {
+            auto m = persistModeFromName(word);
+            if (!m)
+                return fail(lineno, "unknown mode '" + word + "'");
+            c.mode = *m;
+        } else if (key == "variant") {
+            if (!lang::variantFromWord(word, c.variant))
+                return fail(lineno, "unknown variant '" + word + "'");
+        } else if (key == "policy") {
+            auto p = policyFromWord(word);
+            if (!p)
+                return fail(lineno, "unknown policy '" + word + "'");
+            c.policy = *p;
+        } else if (key == "seed") {
+            if (!asNumber(c.seed))
+                return fail(lineno, "bad seed '" + word + "'");
+        } else if (key == "nodes") {
+            if (!asNumber(num) || num < 1)
+                return fail(lineno, "bad node count '" + word + "'");
+            c.nodes = num;
+        } else if (key == "cells") {
+            if (!asNumber(num) || num < 1)
+                return fail(lineno, "bad cell count '" + word + "'");
+            c.cellsPerNode = num;
+        } else if (key == "log-capacity") {
+            if (!asNumber(num) || num < 1)
+                return fail(lineno, "bad log capacity '" + word + "'");
+            c.logCapacity = num;
+        } else if (key == "threads") {
+            if (!asNumber(num) || num < 1)
+                return fail(lineno, "bad thread count '" + word + "'");
+            c.params.numThreads = static_cast<int>(num);
+        } else if (key == "num-ops") {
+            if (!asNumber(num))
+                return fail(lineno, "bad op count '" + word + "'");
+            c.params.numOps = num;
+        } else if (key == "max-value") {
+            if (!asNumber(num) || num < 1)
+                return fail(lineno, "bad max value '" + word + "'");
+            c.params.maxValue = static_cast<Value>(num);
+        } else if (key == "crash-step") {
+            if (!asNumber(c.crashStep))
+                return fail(lineno, "bad crash step '" + word + "'");
+            c.hasCrash = true;
+        } else if (key == "crash-node") {
+            if (!asNumber(num))
+                return fail(lineno, "bad crash node '" + word + "'");
+            c.crashNode = static_cast<NodeId>(num);
+            c.hasCrash = true;
+        } else if (key == "replay-evictions") {
+            if (!asNumber(num) || num > 1)
+                return fail(lineno, "bad replay flag '" + word + "'");
+            c.replayEvictions = num == 1;
+        } else {
+            return fail(lineno, "unknown key '" + key + "'");
+        }
+    }
+    if (!saw_end)
+        return fail(lineno, "missing 'end' terminator");
+    if (c.crashNode >= c.nodes)
+        return fail(lineno, "crash node out of range");
+    return c;
+}
+
+} // namespace cxl0::inject

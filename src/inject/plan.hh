@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Crash plans: one fully-specified campaign case and its execution.
+ *
+ * A plan pins everything needed to reproduce a run bit-for-bit — the
+ * structure, persistence mode, model variant, propagation policy,
+ * seed, the explicit workload program, the crash point (a step index
+ * into the system's primitive sequence plus the machine to kill), and
+ * optionally a recorded propagation schedule to replay. Plans are
+ * produced by the enumerator (discover + enumerate), consumed by
+ * runCase, minimized by the shrinker, and serialized as replayable
+ * corpus artifacts.
+ *
+ * Execution phases of a case:
+ *   1. setup       — construct the structure (crashes never land here)
+ *   2. main        — run the workload ops sequentially; an armed crash
+ *                    preempts some primitive, killing threads on the
+ *                    crashed machine (their op stays pending)
+ *   3. recovery    — a surviving machine runs the structure's recovery
+ *   4. observation — the surviving machine runs read-mostly ops
+ * The recorded history (main + observation) is then checked for
+ * durable linearizability.
+ */
+
+#ifndef CXL0_INJECT_PLAN_HH
+#define CXL0_INJECT_PLAN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hist/checker.hh"
+#include "hist/history.hh"
+#include "inject/workload.hh"
+#include "runtime/system.hh"
+
+namespace cxl0::inject
+{
+
+/** One fully-specified campaign case. */
+struct CampaignCase
+{
+    Structure structure = Structure::Register;
+    flit::PersistMode mode = flit::PersistMode::FlitCxl0;
+    model::ModelVariant variant = model::ModelVariant::Base;
+    runtime::PropagationPolicy policy =
+        runtime::PropagationPolicy::Manual;
+    uint64_t seed = 1;
+    size_t nodes = 2;
+    size_t cellsPerNode = 256;
+    size_t logCapacity = 8;
+    WorkloadParams params;
+    /** The explicit workload program (threads map to node t%nodes). */
+    std::vector<WorkloadOp> ops;
+
+    bool hasCrash = false;
+    /** Step index to crash at (against opCount() at primitive start). */
+    uint64_t crashStep = 0;
+    NodeId crashNode = 0;
+
+    /** Replay this propagation schedule instead of the policy RNG. */
+    bool replayEvictions = false;
+    std::vector<runtime::EvictEvent> evictions;
+};
+
+/** Fill `c.ops` from its seed and params (non-shrunk cases). */
+void generateOps(CampaignCase &c);
+
+/** What a crash-free instrumented run of the workload discovered. */
+struct Discovery
+{
+    /** Primitives consumed by structure construction. */
+    uint64_t setupSteps = 0;
+    /** Primitives after the full workload ran. */
+    uint64_t totalSteps = 0;
+    /** Every primitive, indexed by step. */
+    std::vector<runtime::StepRecord> trace;
+    /** Policy-driven propagation events (Random policy only). */
+    std::vector<runtime::EvictEvent> evictions;
+};
+
+/**
+ * Run `c`'s workload without any crash, tracing every primitive. The
+ * crash-point range for this workload is [setupSteps, totalSteps).
+ */
+Discovery discover(const CampaignCase &c);
+
+/** Resource limits for one case execution. */
+struct RunLimits
+{
+    /** History op bound handed to the checker. */
+    size_t histMaxOps = 24;
+    /** Wall-clock budget per linearizability check; 0 = unbounded. */
+    uint64_t caseTimeBudgetMs = 2000;
+    /** Retries with a widened op bound on max_ops truncation. */
+    size_t retries = 2;
+};
+
+/** Outcome of one executed case. */
+struct CaseOutcome
+{
+    enum class Verdict
+    {
+        Pass,      //!< history durably linearizable
+        Violation, //!< checker found no linearization
+        Truncated, //!< resource bound hit; result unknown
+        Skipped,   //!< armed crash step never reached (divergence)
+    };
+
+    Verdict verdict = Verdict::Skipped;
+    hist::LinResult lin;
+    /** The recorded history (main + observation phases). */
+    std::vector<hist::OpRecord> history;
+    /** The primitive the crash preempted (Tau when no crash fired). */
+    model::Op crashOpKind = model::Op::Tau;
+    /** Propagation events recorded during the run (for artifacts). */
+    std::vector<runtime::EvictEvent> evictions;
+};
+
+/** Execute one case end to end and check the resulting history. */
+CaseOutcome runCase(const CampaignCase &c, const RunLimits &limits);
+
+/** Short verdict name ("pass", "violation", "truncated", "skipped"). */
+const char *verdictName(CaseOutcome::Verdict v);
+
+/**
+ * Render a replayable artifact: a machine-parseable plan section
+ * terminated by `end`, followed by an informational diagnosis section
+ * (history dump + checker explanation) in comments.
+ */
+std::string writeArtifactText(const CampaignCase &c,
+                              const CaseOutcome &outcome);
+
+/**
+ * Parse an artifact produced by writeArtifactText back into a plan.
+ *
+ * @param error receives a "line N: ..." diagnostic on failure (may be
+ *        nullptr)
+ */
+std::optional<CampaignCase> parseArtifact(const std::string &text,
+                                          std::string *error);
+
+} // namespace cxl0::inject
+
+#endif // CXL0_INJECT_PLAN_HH

@@ -1,0 +1,98 @@
+#include "inject/shrink.hh"
+
+namespace cxl0::inject
+{
+
+namespace
+{
+
+/**
+ * Re-discover the boundaries of `base`'s workload and scan crash
+ * steps in ascending order; returns the first violating case (which
+ * therefore has the earliest violating crash) or nullopt.
+ */
+std::optional<std::pair<CampaignCase, CaseOutcome>>
+firstViolation(const CampaignCase &base, const ShrinkLimits &limits,
+               size_t &attempts)
+{
+    CampaignCase probe = base;
+    probe.hasCrash = false;
+    Discovery d = discover(probe);
+    attempts += 1;
+    for (uint64_t step = d.setupSteps; step < d.totalSteps; ++step) {
+        if (attempts >= limits.maxAttempts)
+            return std::nullopt;
+        CampaignCase cand = base;
+        cand.hasCrash = true;
+        cand.crashStep = step;
+        CaseOutcome out = runCase(cand, limits.run);
+        attempts += 1;
+        if (out.verdict == CaseOutcome::Verdict::Violation)
+            return std::make_pair(std::move(cand), std::move(out));
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const CampaignCase &violating, const ShrinkLimits &limits)
+{
+    ShrinkResult res;
+    res.minimized = violating;
+    res.outcome = runCase(violating, limits.run);
+    res.attempts = 1;
+    if (res.outcome.verdict != CaseOutcome::Verdict::Violation)
+        return res; // nothing to shrink; report the input as-is
+
+    // Axis 3 first: pull the crash as early as the full workload
+    // allows, so op removal below starts from the earliest failure.
+    if (auto hit = firstViolation(res.minimized, limits, res.attempts)) {
+        res.minimized = std::move(hit->first);
+        res.outcome = std::move(hit->second);
+    }
+
+    // Axis 1: greedy one-at-a-time op removal; every successful drop
+    // re-finds the earliest violating crash for the reduced workload.
+    bool progress = true;
+    while (progress && res.attempts < limits.maxAttempts) {
+        progress = false;
+        for (size_t i = 0; i < res.minimized.ops.size(); ++i) {
+            if (res.minimized.ops.size() <= 1 ||
+                res.attempts >= limits.maxAttempts)
+                break;
+            CampaignCase cand = res.minimized;
+            cand.ops.erase(cand.ops.begin() +
+                           static_cast<ptrdiff_t>(i));
+            if (auto hit = firstViolation(cand, limits, res.attempts)) {
+                res.minimized = std::move(hit->first);
+                res.outcome = std::move(hit->second);
+                res.opsDropped += 1;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Axis 2: shrink argument values toward 1. Arguments can steer
+    // control flow (fresh vs. overwrite paths), so each change
+    // re-validates with a full re-discovery.
+    for (size_t i = 0;
+         i < res.minimized.ops.size() && res.attempts < limits.maxAttempts;
+         ++i) {
+        for (Value WorkloadOp::*field :
+             {&WorkloadOp::arg, &WorkloadOp::arg2}) {
+            if (res.minimized.ops[i].*field <= 1)
+                continue;
+            CampaignCase cand = res.minimized;
+            cand.ops[i].*field = 1;
+            if (auto hit = firstViolation(cand, limits, res.attempts)) {
+                res.minimized = std::move(hit->first);
+                res.outcome = std::move(hit->second);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace cxl0::inject

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging shrinker for violating crash plans.
+ *
+ * Given a case whose execution produced a durable-linearizability
+ * violation, the shrinker searches for a smaller case that still
+ * violates, along three axes:
+ *   1. drop workload operations (greedy one-at-a-time removal),
+ *   2. shrink argument values toward 1 (the smallest non-initial
+ *      value),
+ *   3. crash as early as possible (the first violating crash step of
+ *      the reduced workload).
+ * Every candidate is re-validated by a full re-discovery + execution,
+ * so the minimized plan is violating by construction, and the total
+ * number of case executions is capped to keep shrinking bounded.
+ */
+
+#ifndef CXL0_INJECT_SHRINK_HH
+#define CXL0_INJECT_SHRINK_HH
+
+#include "inject/plan.hh"
+
+namespace cxl0::inject
+{
+
+/** Shrinking knobs. */
+struct ShrinkLimits
+{
+    /** Cap on total case executions across the whole shrink. */
+    size_t maxAttempts = 2000;
+    /** Per-case resource limits for candidate validation. */
+    RunLimits run;
+};
+
+/** Result of shrinking one violating case. */
+struct ShrinkResult
+{
+    /** The minimized, still-violating case. */
+    CampaignCase minimized;
+    /** Outcome of the minimized case's final validation run. */
+    CaseOutcome outcome;
+    /** Case executions spent. */
+    size_t attempts = 0;
+    /** Ops dropped from the original workload. */
+    size_t opsDropped = 0;
+};
+
+/**
+ * Minimize `violating` (which must have produced a Violation verdict).
+ * Always returns a case that violates — at worst the input itself.
+ */
+ShrinkResult shrinkCase(const CampaignCase &violating,
+                        const ShrinkLimits &limits);
+
+} // namespace cxl0::inject
+
+#endif // CXL0_INJECT_SHRINK_HH

@@ -1,0 +1,467 @@
+#include "inject/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "ds/kv.hh"
+#include "ds/log.hh"
+#include "ds/map.hh"
+#include "ds/queue.hh"
+#include "ds/set.hh"
+#include "ds/stack.hh"
+
+namespace cxl0::inject
+{
+
+const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::Register: return "register";
+      case Structure::Counter: return "counter";
+      case Structure::Kv: return "kv";
+      case Structure::Queue: return "queue";
+      case Structure::Stack: return "stack";
+      case Structure::Set: return "set";
+      case Structure::Log: return "log";
+      case Structure::Map: return "map";
+    }
+    return "?";
+}
+
+std::optional<Structure>
+structureFromName(const std::string &name)
+{
+    for (Structure s : allStructures())
+        if (name == structureName(s))
+            return s;
+    return std::nullopt;
+}
+
+std::vector<Structure>
+allStructures()
+{
+    return {Structure::Register, Structure::Counter, Structure::Kv,
+            Structure::Queue,    Structure::Stack,   Structure::Set,
+            Structure::Log,      Structure::Map};
+}
+
+std::optional<flit::PersistMode>
+persistModeFromName(const std::string &name)
+{
+    using flit::PersistMode;
+    for (PersistMode m :
+         {PersistMode::None, PersistMode::FlitCxl0,
+          PersistMode::FlitCxl0AddrOpt, PersistMode::FlitOriginal,
+          PersistMode::PersistAll, PersistMode::FlitAsync,
+          PersistMode::FlitVerified})
+        if (name == flit::persistModeName(m))
+            return m;
+    return std::nullopt;
+}
+
+std::vector<WorkloadOp>
+makeWorkload(Structure s, uint64_t seed, const WorkloadParams &params)
+{
+    // Mix the structure into the stream so different structures get
+    // different programs from the same campaign seed.
+    Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(s) + 1);
+    std::vector<WorkloadOp> ops;
+    auto value = [&] {
+        return static_cast<Value>(rng.nextInRange(1, params.maxValue));
+    };
+    for (size_t k = 0; k < params.numOps; ++k) {
+        WorkloadOp op;
+        op.thread = static_cast<int>(rng.nextBelow(
+            static_cast<uint64_t>(params.numThreads)));
+        switch (s) {
+        case Structure::Register:
+            // Mutation-heavy: mostly writes, occasional CAS/read.
+            switch (rng.nextBelow(4)) {
+            case 0:
+                op.name = "read";
+                break;
+            case 1:
+                op.name = "cas";
+                op.arg = value();
+                op.arg2 = value();
+                break;
+            default:
+                op.name = "write";
+                op.arg = value();
+                break;
+            }
+            break;
+        case Structure::Counter:
+            if (rng.chance(1, 4)) {
+                op.name = "read";
+            } else {
+                op.name = "add";
+                op.arg = value();
+            }
+            break;
+        case Structure::Kv:
+        case Structure::Map:
+            switch (rng.nextBelow(4)) {
+            case 0:
+                op.name = "get";
+                op.arg = value();
+                break;
+            case 1:
+                op.name = "remove";
+                op.arg = value();
+                break;
+            default:
+                op.name = "put";
+                op.arg = value();
+                op.arg2 = value();
+                break;
+            }
+            break;
+        case Structure::Queue:
+            if (rng.chance(1, 3)) {
+                op.name = "dequeue";
+            } else {
+                op.name = "enqueue";
+                op.arg = value();
+            }
+            break;
+        case Structure::Stack:
+            if (rng.chance(1, 3)) {
+                op.name = "pop";
+            } else {
+                op.name = "push";
+                op.arg = value();
+            }
+            break;
+        case Structure::Set:
+            switch (rng.nextBelow(4)) {
+            case 0:
+                op.name = "contains";
+                op.arg = value();
+                break;
+            case 1:
+                op.name = "remove";
+                op.arg = value();
+                break;
+            default:
+                op.name = "add";
+                op.arg = value();
+                break;
+            }
+            break;
+        case Structure::Log:
+            if (rng.chance(1, 4)) {
+                op.name = "get";
+                op.arg = static_cast<Value>(
+                    rng.nextBelow(params.numOps));
+            } else {
+                op.name = "append";
+                op.arg = value();
+            }
+            break;
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+std::vector<WorkloadOp>
+makeObservers(Structure s, const WorkloadParams &params)
+{
+    // Observers run as a fresh post-crash thread; keep the count small
+    // so workload + observers stays within the checker's op bound.
+    constexpr int kObserverThread = 100;
+    std::vector<WorkloadOp> ops;
+    auto push = [&](std::string name, Value arg = 0) {
+        WorkloadOp op;
+        op.thread = kObserverThread;
+        op.name = std::move(name);
+        op.arg = arg;
+        ops.push_back(std::move(op));
+    };
+    Value domain = std::min<Value>(params.maxValue, 3);
+    switch (s) {
+    case Structure::Register:
+    case Structure::Counter:
+        push("read");
+        push("read");
+        break;
+    case Structure::Kv:
+    case Structure::Map:
+        for (Value k = 1; k <= domain; ++k)
+            push("get", k);
+        break;
+    case Structure::Queue:
+        for (size_t k = 0; k < params.numOps + 1 && k < 8; ++k)
+            push("dequeue");
+        break;
+    case Structure::Stack:
+        for (size_t k = 0; k < params.numOps + 1 && k < 8; ++k)
+            push("pop");
+        break;
+    case Structure::Set:
+        for (Value k = 1; k <= domain; ++k)
+            push("contains", k);
+        break;
+    case Structure::Log:
+        for (size_t k = 0; k < params.numOps && k < 6; ++k)
+            push("get", static_cast<Value>(k));
+        break;
+    }
+    return ops;
+}
+
+std::unique_ptr<hist::SequentialSpec>
+makeSpec(Structure s, size_t log_capacity)
+{
+    switch (s) {
+      case Structure::Register: return hist::makeRegisterSpec();
+      case Structure::Counter: return hist::makeCounterSpec();
+      case Structure::Kv: return hist::makeKvSpec();
+      case Structure::Queue: return hist::makeQueueSpec();
+      case Structure::Stack: return hist::makeStackSpec();
+      case Structure::Set: return hist::makeSetSpec();
+      case Structure::Log: return hist::makeLogSpec(log_capacity);
+      case Structure::Map: return hist::makeMapSpec();
+    }
+    CXL0_PANIC("unknown structure");
+}
+
+namespace
+{
+
+using hist::kEmptyRet;
+
+class RegisterSubject : public Subject
+{
+  public:
+    RegisterSubject(flit::FlitRuntime &rt, NodeId home) : reg_(rt, home)
+    {
+    }
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "write") {
+            reg_.write(by, op.arg);
+            return 0;
+        }
+        if (op.name == "read")
+            return reg_.read(by);
+        if (op.name == "cas")
+            return reg_.compareExchange(by, op.arg, op.arg2) ? 1 : 0;
+        CXL0_FATAL("register: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { reg_.recover(by); }
+
+  private:
+    ds::DurableRegister reg_;
+};
+
+class CounterSubject : public Subject
+{
+  public:
+    CounterSubject(flit::FlitRuntime &rt, NodeId home) : ctr_(rt, home)
+    {
+    }
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "add")
+            return ctr_.fetchAdd(by, op.arg);
+        if (op.name == "read")
+            return ctr_.read(by);
+        CXL0_FATAL("counter: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { ctr_.recover(by); }
+
+  private:
+    ds::DurableCounter ctr_;
+};
+
+class KvSubject : public Subject
+{
+  public:
+    KvSubject(flit::FlitRuntime &rt, NodeId home) : kv_(rt, home, 8) {}
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "put")
+            return kv_.put(by, op.arg, op.arg2) ? 1 : 0;
+        if (op.name == "get") {
+            auto v = kv_.get(by, op.arg);
+            return v ? *v : kEmptyRet;
+        }
+        if (op.name == "remove")
+            return kv_.remove(by, op.arg) ? 1 : 0;
+        CXL0_FATAL("kv: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { kv_.recover(by); }
+
+  private:
+    ds::KvStore kv_;
+};
+
+class QueueSubject : public Subject
+{
+  public:
+    QueueSubject(flit::FlitRuntime &rt, NodeId home) : q_(rt, home) {}
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "enqueue") {
+            q_.enqueue(by, op.arg);
+            return 0;
+        }
+        if (op.name == "dequeue") {
+            auto v = q_.dequeue(by);
+            return v ? *v : kEmptyRet;
+        }
+        CXL0_FATAL("queue: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { q_.recover(by); }
+
+  private:
+    ds::MsQueue q_;
+};
+
+class StackSubject : public Subject
+{
+  public:
+    StackSubject(flit::FlitRuntime &rt, NodeId home) : st_(rt, home) {}
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "push") {
+            st_.push(by, op.arg);
+            return 0;
+        }
+        if (op.name == "pop") {
+            auto v = st_.pop(by);
+            return v ? *v : kEmptyRet;
+        }
+        CXL0_FATAL("stack: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { st_.recover(by); }
+
+  private:
+    ds::TreiberStack st_;
+};
+
+class SetSubject : public Subject
+{
+  public:
+    SetSubject(flit::FlitRuntime &rt, NodeId home) : set_(rt, home) {}
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "add")
+            return set_.add(by, op.arg) ? 1 : 0;
+        if (op.name == "remove")
+            return set_.remove(by, op.arg) ? 1 : 0;
+        if (op.name == "contains")
+            return set_.contains(by, op.arg) ? 1 : 0;
+        CXL0_FATAL("set: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { set_.recover(by); }
+
+  private:
+    ds::SortedListSet set_;
+};
+
+class LogSubject : public Subject
+{
+  public:
+    LogSubject(flit::FlitRuntime &rt, NodeId home, size_t capacity)
+        : log_(rt, home, capacity)
+    {
+    }
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "append") {
+            auto slot = log_.append(by, op.arg);
+            return slot ? static_cast<Value>(*slot) : kEmptyRet;
+        }
+        if (op.name == "get") {
+            auto v = log_.get(by, static_cast<size_t>(op.arg));
+            return v ? *v : kEmptyRet;
+        }
+        CXL0_FATAL("log: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { log_.recover(by); }
+
+  private:
+    ds::DurableLog log_;
+};
+
+class MapSubject : public Subject
+{
+  public:
+    MapSubject(flit::FlitRuntime &rt, NodeId home) : map_(rt, home, 8)
+    {
+    }
+
+    Value
+    execute(NodeId by, const WorkloadOp &op) override
+    {
+        if (op.name == "put") {
+            map_.put(by, op.arg, op.arg2);
+            return 0;
+        }
+        if (op.name == "get") {
+            auto v = map_.get(by, op.arg);
+            return v ? *v : kEmptyRet;
+        }
+        if (op.name == "remove")
+            return map_.remove(by, op.arg) ? 1 : 0;
+        CXL0_FATAL("map: unknown op '", op.name, "'");
+    }
+
+    void recover(NodeId by) override { map_.recover(by); }
+
+  private:
+    ds::HashMap map_;
+};
+
+} // namespace
+
+std::unique_ptr<Subject>
+makeSubject(Structure s, flit::FlitRuntime &rt, NodeId home,
+            size_t log_capacity)
+{
+    switch (s) {
+    case Structure::Register:
+        return std::make_unique<RegisterSubject>(rt, home);
+    case Structure::Counter:
+        return std::make_unique<CounterSubject>(rt, home);
+    case Structure::Kv:
+        return std::make_unique<KvSubject>(rt, home);
+    case Structure::Queue:
+        return std::make_unique<QueueSubject>(rt, home);
+    case Structure::Stack:
+        return std::make_unique<StackSubject>(rt, home);
+    case Structure::Set:
+        return std::make_unique<SetSubject>(rt, home);
+    case Structure::Log:
+        return std::make_unique<LogSubject>(rt, home, log_capacity);
+    case Structure::Map:
+        return std::make_unique<MapSubject>(rt, home);
+    }
+    CXL0_PANIC("unknown structure");
+}
+
+} // namespace cxl0::inject

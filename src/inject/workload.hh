@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Workload programs for the crash-injection campaign.
+ *
+ * A workload is a short program of high-level operations against one
+ * durable structure from src/ds. The campaign generates workloads
+ * deterministically from a seed, executes them through a Subject (the
+ * structure behind a uniform interface), and records every operation
+ * with hist::HistoryRecorder so the outcome can be checked for durable
+ * linearizability against the matching hist::SequentialSpec.
+ *
+ * Arguments are drawn from [1, maxValue] — never 0, which is the
+ * model's initial memory value and would mask lost-write bugs.
+ */
+
+#ifndef CXL0_INJECT_WORKLOAD_HH
+#define CXL0_INJECT_WORKLOAD_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flit/flit.hh"
+#include "hist/spec.hh"
+
+namespace cxl0::inject
+{
+
+/** The durable structures the campaign can verify (all of src/ds). */
+enum class Structure
+{
+    Register, //!< ds::DurableRegister
+    Counter,  //!< ds::DurableCounter
+    Kv,       //!< ds::KvStore (map facade; see KvSpec)
+    Queue,    //!< ds::MsQueue
+    Stack,    //!< ds::TreiberStack
+    Set,      //!< ds::SortedListSet
+    Log,      //!< ds::DurableLog
+    Map,      //!< ds::HashMap
+};
+
+/** Short display name, e.g. "stack". */
+const char *structureName(Structure s);
+
+/** Inverse of structureName; nullopt for unknown names. */
+std::optional<Structure> structureFromName(const std::string &name);
+
+/** Every Structure value, in declaration order. */
+std::vector<Structure> allStructures();
+
+/** Inverse of flit::persistModeName; nullopt for unknown names. */
+std::optional<flit::PersistMode> persistModeFromName(const std::string &name);
+
+/** One high-level operation in a workload program. */
+struct WorkloadOp
+{
+    int thread = 0;   //!< logical thread; runs on node (thread % nodes)
+    std::string name; //!< spec op name ("push", "get", ...)
+    Value arg = 0;
+    Value arg2 = 0;
+
+    bool operator==(const WorkloadOp &other) const = default;
+};
+
+/** Parameters for deterministic workload generation. */
+struct WorkloadParams
+{
+    size_t numOps = 6;
+    Value maxValue = 3;
+    int numThreads = 2;
+};
+
+/**
+ * Generate a seeded workload for `s`: a mutation-heavy op mix over the
+ * small value domain, identical for identical (s, seed, params).
+ */
+std::vector<WorkloadOp> makeWorkload(Structure s, uint64_t seed,
+                                     const WorkloadParams &params);
+
+/**
+ * Post-crash observation program: completed read-mostly operations a
+ * surviving thread runs after recovery, sized so the combined history
+ * stays within the checker's op bound. Deterministic in (s, params).
+ */
+std::vector<WorkloadOp> makeObservers(Structure s,
+                                      const WorkloadParams &params);
+
+/** The sequential specification matching a Structure's op encoding. */
+std::unique_ptr<hist::SequentialSpec> makeSpec(Structure s,
+                                               size_t log_capacity);
+
+/**
+ * A constructed structure instance behind a uniform execute/recover
+ * interface. execute() may throw runtime::ThreadKilled when an armed
+ * crash preempts one of the operation's primitives.
+ */
+class Subject
+{
+  public:
+    virtual ~Subject() = default;
+
+    /** Run one op as machine `by`; returns the spec-encoded result. */
+    virtual Value execute(NodeId by, const WorkloadOp &op) = 0;
+
+    /** Run the structure's post-crash recovery as machine `by`. */
+    virtual void recover(NodeId by) = 0;
+};
+
+/**
+ * Construct structure `s` on `rt` with its cells homed at `home`.
+ * Construction issues primitives (allocation + initial stores); the
+ * campaign excludes those steps from the crash range.
+ */
+std::unique_ptr<Subject> makeSubject(Structure s, flit::FlitRuntime &rt,
+                                     NodeId home, size_t log_capacity);
+
+} // namespace cxl0::inject
+
+#endif // CXL0_INJECT_WORKLOAD_HH

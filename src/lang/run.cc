@@ -45,6 +45,8 @@ effectiveRequest(const Scenario &sc, const RunOptions &opts)
         req.maxConfigs = *opts.maxConfigs;
     if (opts.maxDepth)
         req.maxDepth = *opts.maxDepth;
+    if (opts.timeBudgetMs)
+        req.timeBudgetMs = *opts.timeBudgetMs;
     if (opts.maxCrashesPerNode)
         req.maxCrashesPerNode = *opts.maxCrashesPerNode;
     if (opts.policy)
@@ -89,7 +91,7 @@ runFeasible(const Scenario &sc, const RunOptions &opts)
     if (r.report.verdict == CheckVerdict::Inconclusive) {
         r.anchors.pass = false;
         r.anchors.failures.push_back(
-            "feasibility truncated by the config budget");
+            "feasibility truncated by a config or time budget");
     } else if (sc.expectedVerdict.has_value()) {
         check::Verdict observed =
             r.report.verdict == CheckVerdict::Pass
@@ -151,7 +153,7 @@ runRefinement(const Scenario &sc, const RunOptions &opts)
         alphabet.maxCrashesPerNode = req.maxCrashesPerNode;
     r.report = check::checkRefinement(spec, impl, alphabet, req);
     if (r.report.verdict == CheckVerdict::Inconclusive &&
-        r.report.counterexample.empty() &&
+        r.report.counterexample.empty() && !r.report.timedOut &&
         r.report.stats.configsInterned < req.maxConfigs &&
         sc.expectedVerdict != check::Verdict::Forbidden) {
         // Bounded refinement over a standard alphabet always runs
@@ -162,7 +164,8 @@ runRefinement(const Scenario &sc, const RunOptions &opts)
         // of a reachable counterexample and must not pass. The
         // interned-count proxy errs strict: a run whose pair count
         // exactly fills the budget is treated as budget-cut (a
-        // noisy failure, never a false pass).
+        // noisy failure, never a false pass). A run cut by the
+        // *time budget* is equally unfinished and must not pass.
         r.anchors = AnchorReport{};
     } else {
         r.anchors = verdictAnchor(sc, r.report);

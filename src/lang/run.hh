@@ -46,6 +46,9 @@ struct RunOptions
     size_t numThreads = 1;
     std::optional<size_t> maxConfigs;
     std::optional<size_t> maxDepth;
+    /** Per-case wall-clock budget in ms; crossing it truncates the
+     *  search gracefully (verdict degrades to inconclusive). */
+    std::optional<uint64_t> timeBudgetMs;
     std::optional<int> maxCrashesPerNode;
     std::optional<check::FrontierPolicy> policy;
     /** Explorer partial-order reduction (none | tau | ample). */

@@ -61,6 +61,26 @@ CxlSystem::requireAllowed(NodeId by, Op op) const
 }
 
 void
+CxlSystem::beginStepLocked(Op op, NodeId by, Addr x)
+{
+    // Armed crash injection: a crash scheduled for this step applies
+    // *before* the primitive executes, exactly like the model's E_i
+    // transition interleaving ahead of the step.
+    bool killed = false;
+    for (ArmedCrash &a : armed_) {
+        if (!a.fired && a.step == opCount_) {
+            a.fired = true;
+            crashLocked(a.node);
+            killed |= (a.node == by);
+        }
+    }
+    if (traceSteps_)
+        trace_.push_back(StepRecord{op, by, x});
+    if (killed)
+        throw ThreadKilled{by, opCount_};
+}
+
+void
 CxlSystem::evictEntryLocked(NodeId i, Addr x)
 {
     // One tau propagation hop for (i, x), exactly as the model's
@@ -81,6 +101,21 @@ CxlSystem::evictEntryLocked(NodeId i, Addr x)
 void
 CxlSystem::maybeEvictLocked()
 {
+    // Replay mode: fire the recorded events for the primitive in
+    // progress (opCount_ was already charged, so it is one past the
+    // current step index) instead of consulting the policy RNG.
+    if (replayEvictions_) {
+        uint64_t step = opCount_ == 0 ? 0 : opCount_ - 1;
+        while (replayNext_ < replay_.size() &&
+               replay_[replayNext_].step <= step) {
+            const EvictEvent &e = replay_[replayNext_++];
+            if (e.node < config().numNodes() &&
+                e.addr < config().numAddrs() &&
+                state_.cacheValid(e.node, e.addr))
+                evictEntryLocked(e.node, e.addr);
+        }
+        return;
+    }
     if (policy_ != PropagationPolicy::Random)
         return;
     if (!rng_.chance(evictionChancePct_, 100))
@@ -93,6 +128,9 @@ CxlSystem::maybeEvictLocked()
         Addr x =
             static_cast<Addr>(rng_.nextBelow(config().numAddrs()));
         if (state_.cacheValid(i, x)) {
+            if (traceSteps_)
+                evictions_.push_back(
+                    EvictEvent{opCount_ == 0 ? 0 : opCount_ - 1, i, x});
             evictEntryLocked(i, x);
             return;
         }
@@ -187,6 +225,7 @@ Value
 CxlSystem::load(NodeId by, Addr x)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::Load, by, x);
     requireAllowed(by, Op::Load);
     double cost = 0.0;
     Value v = readCurrentLocked(by, x, &cost);
@@ -223,6 +262,7 @@ void
 CxlSystem::lstore(NodeId by, Addr x, Value v)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::LStore, by, x);
     applyStoreLocked(Op::LStore, by, x, v);
     chargeLocked(cost_.lstore);
     if (policy_ == PropagationPolicy::Eager)
@@ -234,6 +274,7 @@ void
 CxlSystem::rstore(NodeId by, Addr x, Value v)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::RStore, by, x);
     applyStoreLocked(Op::RStore, by, x, v);
     chargeLocked(by == config().ownerOf(x) ? cost_.rstoreLocal
                                            : cost_.rstoreRemote);
@@ -246,6 +287,7 @@ void
 CxlSystem::mstore(NodeId by, Addr x, Value v)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::MStore, by, x);
     applyStoreLocked(Op::MStore, by, x, v);
     chargeLocked(by == config().ownerOf(x) ? cost_.mstoreLocal
                                            : cost_.mstoreRemote);
@@ -256,6 +298,7 @@ void
 CxlSystem::lflush(NodeId by, Addr x)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::LFlush, by, x);
     requireAllowed(by, Op::LFlush);
     drainIssuerLineLocked(by, x);
     chargeLocked(0.0);
@@ -265,6 +308,7 @@ void
 CxlSystem::rflush(NodeId by, Addr x)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::RFlush, by, x);
     requireAllowed(by, Op::RFlush);
     drainLineLocked(x);
     chargeLocked(cost_.rflushConfirm);
@@ -274,6 +318,7 @@ void
 CxlSystem::rflushAsync(NodeId by, Addr x)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::RFlush, by, x);
     requireAllowed(by, Op::RFlush);
     pendingFlush_[by].push_back(x);
     chargeLocked(cost_.asyncFlushIssue);
@@ -283,6 +328,7 @@ void
 CxlSystem::fence(NodeId by)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::RFlush, by, kNullAddr);
     if (pendingFlush_[by].empty()) {
         chargeLocked(0.0);
         return;
@@ -306,6 +352,7 @@ void
 CxlSystem::gpf(NodeId by)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    beginStepLocked(Op::Gpf, by, kNullAddr);
     requireAllowed(by, Op::Gpf);
     size_t drained = 0;
     for (Addr x = 0; x < config().numAddrs(); ++x) {
@@ -325,6 +372,7 @@ CxlSystem::casImpl(Op store_flavour, NodeId by, Addr x, Value expected,
     Op rmw_op = store_flavour == Op::LStore  ? Op::LRmw
                 : store_flavour == Op::RStore ? Op::RRmw
                                               : Op::MRmw;
+    beginStepLocked(rmw_op, by, x);
     double cost = 0.0;
     Value cur = readCurrentLocked(by, x, &cost);
     if (cur != expected) {
@@ -371,6 +419,7 @@ CxlSystem::faaImpl(Op store_flavour, NodeId by, Addr x, Value delta,
     Op rmw_op = store_flavour == Op::LStore  ? Op::LRmw
                 : store_flavour == Op::RStore ? Op::RRmw
                                               : Op::MRmw;
+    beginStepLocked(rmw_op, by, x);
     requireAllowed(by, rmw_op);
     double cost = 0.0;
     Value cur = readCurrentLocked(by, x, &cost);
@@ -406,6 +455,12 @@ void
 CxlSystem::crash(NodeId node)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    crashLocked(node);
+}
+
+void
+CxlSystem::crashLocked(NodeId node)
+{
     if (node >= config().numNodes())
         CXL0_FATAL("crash on unknown node ", node);
     state_.clearCache(node);
@@ -432,6 +487,57 @@ CxlSystem::epoch(NodeId node) const
 {
     std::lock_guard<std::mutex> guard(mu_);
     return epoch_[node];
+}
+
+void
+CxlSystem::armCrash(uint64_t step, NodeId node)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (node >= config().numNodes())
+        CXL0_FATAL("armCrash on unknown node ", node);
+    armed_.push_back(ArmedCrash{step, node, false});
+}
+
+bool
+CxlSystem::armedCrashesFired() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const ArmedCrash &a : armed_)
+        if (!a.fired)
+            return false;
+    return true;
+}
+
+void
+CxlSystem::enableStepTrace(bool on)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    traceSteps_ = on;
+    trace_.clear();
+    evictions_.clear();
+}
+
+std::vector<StepRecord>
+CxlSystem::stepTrace() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return trace_;
+}
+
+std::vector<EvictEvent>
+CxlSystem::evictionTrace() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return evictions_;
+}
+
+void
+CxlSystem::setEvictionReplay(std::vector<EvictEvent> schedule)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    replayEvictions_ = true;
+    replay_ = std::move(schedule);
+    replayNext_ = 0;
 }
 
 void

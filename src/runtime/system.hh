@@ -46,6 +46,50 @@ struct RmwResult
     Value previous = 0;
 };
 
+/**
+ * One executed primitive, identified by its position in the system's
+ * step sequence. Every primitive is a potential crash point: the
+ * campaign harness (src/inject) discovers persist boundaries by
+ * tracing a workload and then arms crashes between any two steps.
+ */
+struct StepRecord
+{
+    model::Op op = model::Op::Tau;
+    NodeId by = 0;
+    /** kNullAddr for whole-machine primitives (GPF, fence). */
+    Addr addr = kNullAddr;
+
+    bool operator==(const StepRecord &other) const = default;
+};
+
+/**
+ * One policy-driven propagation event: during primitive #step, node's
+ * cached copy of addr moved one hop (toward the owner's cache, or to
+ * memory). Recording these during a run and replaying them later makes
+ * the propagation schedule independent of the RNG implementation, so
+ * campaign artifacts stay replayable byte-for-byte.
+ */
+struct EvictEvent
+{
+    uint64_t step = 0;
+    NodeId node = 0;
+    Addr addr = 0;
+
+    bool operator==(const EvictEvent &other) const = default;
+};
+
+/**
+ * Thrown out of a primitive preempted by an armed crash of its own
+ * issuing machine: the logical thread running there died mid-op. The
+ * exception unwinds through the data-structure operation back to the
+ * workload driver, which records the operation as pending.
+ */
+struct ThreadKilled
+{
+    NodeId node = 0;   //!< machine that crashed
+    uint64_t step = 0; //!< step index the crash preempted
+};
+
 /** Construction options. */
 struct SystemOptions
 {
@@ -143,6 +187,42 @@ class CxlSystem
     /** Times `node` has crashed. */
     uint64_t epoch(NodeId node) const;
 
+    // ---- crash-injection campaign hooks (src/inject) ----------------
+
+    /**
+     * Arm a crash of `node` immediately before primitive #step
+     * executes (`step` compares against opCount() at the moment the
+     * primitive begins). The crash applies exactly as crash() would;
+     * if the preempted primitive's own issuer is the crashed machine,
+     * the primitive does not execute and ThreadKilled is thrown so
+     * the in-flight high-level operation unwinds as pending.
+     */
+    void armCrash(uint64_t step, NodeId node);
+
+    /** Whether every armed crash has fired. */
+    bool armedCrashesFired() const;
+
+    /**
+     * Record every primitive (op, issuer, addr) plus every
+     * policy-driven eviction. Cleared when (re-)enabled.
+     */
+    void enableStepTrace(bool on);
+
+    /** The recorded primitives since enableStepTrace(true). */
+    std::vector<StepRecord> stepTrace() const;
+
+    /** The recorded policy-driven evictions (Random policy only). */
+    std::vector<EvictEvent> evictionTrace() const;
+
+    /**
+     * Drive propagation from a recorded schedule instead of the
+     * policy: at the end of primitive #step, every event with that
+     * step index fires (skipped gracefully when the line is no longer
+     * cached there — e.g. after the replayed execution diverged).
+     * Events must be sorted by step, as evictionTrace() returns them.
+     */
+    void setEvictionReplay(std::vector<EvictEvent> schedule);
+
     /** Force one random eviction step (testing hook). */
     void evictOne();
 
@@ -171,6 +251,8 @@ class CxlSystem
   private:
     // All private helpers assume mu_ is held.
     void requireAllowed(NodeId by, model::Op op) const;
+    void beginStepLocked(model::Op op, NodeId by, Addr x);
+    void crashLocked(NodeId node);
     void evictEntryLocked(NodeId i, Addr x);
     void maybeEvictLocked();
     void drainLineLocked(Addr x);
@@ -189,6 +271,13 @@ class CxlSystem
     unsigned evictionChancePct_;
     CostModel cost_;
 
+    struct ArmedCrash
+    {
+        uint64_t step;
+        NodeId node;
+        bool fired;
+    };
+
     mutable std::mutex mu_;
     model::State state_;
     Rng rng_;
@@ -197,6 +286,14 @@ class CxlSystem
     std::vector<uint64_t> epoch_;
     double clockNs_ = 0.0;
     uint64_t opCount_ = 0;
+
+    std::vector<ArmedCrash> armed_;
+    bool traceSteps_ = false;
+    std::vector<StepRecord> trace_;
+    std::vector<EvictEvent> evictions_;
+    bool replayEvictions_ = false;
+    std::vector<EvictEvent> replay_;
+    size_t replayNext_ = 0;
 };
 
 } // namespace cxl0::runtime

@@ -482,6 +482,30 @@ TEST(ExplorerRegression, TruncationDegradesGracefully)
             << "partial outcome not in the full set: " << o.describe();
 }
 
+TEST(ExplorerRegression, TimeBudgetCutsSearchAsTimedOut)
+{
+    // Three crashy threads over two machines blow far past a 1ms
+    // budget; the cut must surface as Inconclusive + truncated +
+    // timedOut, with whatever partial outcomes were reached.
+    SystemConfig cfg = SystemConfig::uniform(2, 1, true);
+    Cxl0Model model(cfg);
+    Program p;
+    for (int t = 0; t < 3; ++t)
+        p.threads.push_back(
+            {static_cast<NodeId>(t % 2),
+             {ProgInstr::store(Op::LStore, 0, imm(t + 1)),
+              ProgInstr::load(0, 0),
+              ProgInstr::store(Op::RStore, 1, imm(t + 1)),
+              ProgInstr::load(1, 1)}});
+    CheckRequest req;
+    req.maxCrashesPerNode = 1;
+    req.timeBudgetMs = 1;
+    CheckReport r = Explorer(model, p, req).check();
+    EXPECT_EQ(r.verdict, CheckVerdict::Inconclusive);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_TRUE(r.timedOut);
+}
+
 TEST(ExplorerRegression, CheckReportVerdictTracksTruncation)
 {
     // The unified API: a complete run is Pass; a budget-cut run is

@@ -387,4 +387,36 @@ TEST(Refinement, MismatchedShapesRejected)
         std::invalid_argument);
 }
 
+TEST(Refinement, TimeBudgetCutsSearchAsTimedOut)
+{
+    // A depth-12 standard-alphabet search is far beyond a 1ms budget:
+    // the cut must surface as Inconclusive + truncated + timedOut (so
+    // callers that tolerate an expected depth cut still see this run
+    // as unfinished).
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    CheckRequest req;
+    req.maxDepth = 12;
+    req.timeBudgetMs = 1;
+    CheckReport r =
+        checkRefinement(base, base, Alphabet::standard(cfg), req);
+    EXPECT_EQ(r.verdict, CheckVerdict::Inconclusive);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_TRUE(r.counterexample.trace.empty());
+}
+
+TEST(Refinement, GenerousBudgetNeverReportsTimedOut)
+{
+    SystemConfig cfg = variantConfig();
+    Cxl0Model base(cfg);
+    CheckRequest req;
+    req.maxDepth = 3;
+    req.timeBudgetMs = 600000;
+    CheckReport r =
+        checkRefinement(base, base, smallAlphabet(cfg), req);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_NE(r.verdict, CheckVerdict::Fail);
+}
+
 } // namespace

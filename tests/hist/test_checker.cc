@@ -144,13 +144,37 @@ TEST(Checker, MapHistory)
     EXPECT_TRUE(checkLinearizable(h, *makeMapSpec()).linearizable);
 }
 
-TEST(Checker, OversizedHistoryRejected)
+TEST(Checker, OversizedHistoryTruncated)
 {
     std::vector<OpRecord> h;
     for (uint64_t k = 0; k < 30; ++k)
         h.push_back(done(0, "push", 1, 0, 2 * k + 1, 2 * k + 2));
-    EXPECT_THROW(checkLinearizable(h, *makeStackSpec(), 24),
-                 std::invalid_argument);
+    auto r = checkLinearizable(h, *makeStackSpec(), 24);
+    EXPECT_FALSE(r.linearizable);
+    EXPECT_TRUE(r.truncated);
+    // The diagnostic names the offending op count.
+    EXPECT_NE(r.explanation.find("30 ops"), std::string::npos)
+        << r.explanation;
+}
+
+TEST(Checker, TimeBudgetYieldsTruncated)
+{
+    // Mutually overlapping ops blow the search up; a zero-ish budget
+    // must abort gracefully with truncated set, never report a
+    // violation.
+    std::vector<OpRecord> h;
+    for (int k = 0; k < 9; ++k)
+        h.push_back(done(k, "push", k + 1, 0, k + 1, 100 + k));
+    for (int k = 0; k < 9; ++k)
+        h.push_back(done(9 + k, "pop", 0, k + 1, 10 + k, 110 + k));
+    LinOptions opts;
+    opts.timeBudgetMs = 1;
+    auto r = checkLinearizable(h, *makeStackSpec(), opts);
+    if (!r.linearizable) {
+        EXPECT_TRUE(r.truncated);
+        EXPECT_NE(r.explanation.find("time budget"), std::string::npos)
+            << r.explanation;
+    }
 }
 
 TEST(Checker, TenOverlappingOpsTractable)

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * End-to-end tests for the campaign runner: durable modes verify
+ * clean across every structure, the seeded misconfiguration yields a
+ * shrunk replayable artifact, and campaigns are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "inject/campaign.hh"
+
+namespace cxl0::inject
+{
+namespace
+{
+
+CampaignOptions
+smallOpts()
+{
+    CampaignOptions opts;
+    opts.seed = 11;
+    opts.crashBudget = 16;
+    opts.params.numOps = 5;
+    return opts;
+}
+
+TEST(Campaign, AllStructuresDurableModeClean)
+{
+    CampaignOptions opts = smallOpts();
+    opts.modes = {flit::PersistMode::FlitCxl0};
+    CampaignReport report = runCampaign(opts);
+    EXPECT_GT(report.cases, 0u);
+    EXPECT_EQ(report.durableViolations, 0u);
+    EXPECT_TRUE(report.allDurablePass);
+    // Every structure contributed cases.
+    EXPECT_EQ(report.perStructure.size(), allStructures().size());
+    for (const auto &[key, b] : report.perStructure)
+        EXPECT_GT(b.cases, 0u) << key;
+}
+
+TEST(Campaign, WindowClosingModesCleanUnderRandomPropagation)
+{
+    // persist-all and flit-verified default to adversarial Random
+    // propagation and must still verify clean.
+    CampaignOptions opts = smallOpts();
+    opts.structures = {Structure::Register, Structure::Stack};
+    opts.modes = {flit::PersistMode::PersistAll,
+                  flit::PersistMode::FlitVerified};
+    CampaignReport report = runCampaign(opts);
+    EXPECT_GT(report.cases, 0u);
+    EXPECT_TRUE(report.allDurablePass);
+}
+
+TEST(Campaign, LwbUnitRuns)
+{
+    CampaignOptions opts = smallOpts();
+    opts.structures = {Structure::Register};
+    opts.lwbStructure = Structure::Stack;
+    CampaignReport report = runCampaign(opts);
+    EXPECT_TRUE(report.perStructure.count("stack@lwb"))
+        << "LWB unit missing";
+    EXPECT_GT(report.perStructure["stack@lwb"].cases, 0u);
+    EXPECT_TRUE(report.allDurablePass);
+}
+
+TEST(Campaign, MisconfigurationShrinksToReplayableArtifact)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "cxl0_campaign_test_corpus";
+    std::filesystem::remove_all(dir);
+
+    CampaignOptions opts = smallOpts();
+    opts.structures = {Structure::Register};
+    opts.modes = {flit::PersistMode::FlitOriginal};
+    opts.corpusDir = dir.string();
+    CampaignReport report = runCampaign(opts);
+
+    EXPECT_GT(report.violations, 0u);
+    EXPECT_EQ(report.durableViolations, 0u)
+        << "flit-original does not claim durability";
+    EXPECT_TRUE(report.allDurablePass);
+    ASSERT_FALSE(report.shrunk.empty());
+
+    const ShrunkRecord &rec = report.shrunk.front();
+    EXPECT_LE(rec.minimized.ops.size(), opts.params.numOps);
+    EXPECT_EQ(rec.outcome.verdict, CaseOutcome::Verdict::Violation);
+    ASSERT_FALSE(rec.artifactPath.empty());
+
+    // The artifact on disk parses and replays to the same violation.
+    std::ifstream f(rec.artifactPath);
+    ASSERT_TRUE(f.good());
+    std::stringstream buf;
+    buf << f.rdbuf();
+    std::string err;
+    auto parsed = parseArtifact(buf.str(), &err);
+    ASSERT_TRUE(parsed) << err;
+    EXPECT_EQ(runCase(*parsed, opts.limits).verdict,
+              CaseOutcome::Verdict::Violation);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, DeterministicFromFixedSeed)
+{
+    CampaignOptions opts = smallOpts();
+    opts.structures = {Structure::Stack, Structure::Kv};
+    opts.modes = {flit::PersistMode::FlitCxl0,
+                  flit::PersistMode::FlitOriginal};
+    CampaignReport a = runCampaign(opts);
+    CampaignReport b = runCampaign(opts);
+    EXPECT_EQ(a.cases, b.cases);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.truncated, b.truncated);
+    EXPECT_EQ(campaignJson(opts, a, 1.23, /*stable=*/true),
+              campaignJson(opts, b, 4.56, /*stable=*/true));
+}
+
+TEST(Campaign, BucketKeyShape)
+{
+    CampaignCase c;
+    c.structure = Structure::Stack;
+    c.mode = flit::PersistMode::FlitOriginal;
+    c.ops = {{0, "push", 1, 0}, {1, "pop", 0, 0}, {0, "push", 2, 0}};
+    EXPECT_EQ(bucketKey(c, model::Op::LStore),
+              "stack/flit-original/LStore/pop+push");
+}
+
+TEST(Campaign, CommittedCorpusArtifactsStillViolate)
+{
+    // The checked-in shrunk artifacts are regression anchors: each
+    // must parse and still reproduce its violation verbatim.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(CXL0_SOURCE_DIR) / "corpus" / "campaign";
+    ASSERT_TRUE(fs::is_directory(dir))
+        << "missing committed corpus directory " << dir;
+    size_t replayed = 0;
+    for (const fs::directory_entry &ent : fs::directory_iterator(dir)) {
+        if (ent.path().extension() != ".txt")
+            continue;
+        std::ifstream in(ent.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        std::optional<CampaignCase> c = parseArtifact(text.str(), &err);
+        ASSERT_TRUE(c.has_value())
+            << ent.path().filename() << ": " << err;
+        CaseOutcome out = runCase(*c, RunLimits{});
+        EXPECT_EQ(out.verdict, CaseOutcome::Verdict::Violation)
+            << ent.path().filename() << " replayed as "
+            << verdictName(out.verdict);
+        ++replayed;
+    }
+    EXPECT_GE(replayed, 8u) << "corpus unexpectedly small";
+}
+
+TEST(Campaign, CorruptionPanicBecomesViolationVerdict)
+{
+    // Under the unsound flit-original mode a crash can leave a
+    // recovered queue with a dangling pointer; the structure panics
+    // on it. runCase must contain that panic and report it as the
+    // violation it is (never propagate out of the harness).
+    CampaignCase c;
+    c.structure = Structure::Queue;
+    c.mode = flit::PersistMode::FlitOriginal;
+    c.seed = 1;
+    c.params.numOps = 5;
+    generateOps(c);
+    Discovery d = discover(c);
+    bool saw_corruption = false;
+    for (uint64_t step = d.setupSteps; step < d.totalSteps; ++step) {
+        CampaignCase probe = c;
+        probe.hasCrash = true;
+        probe.crashStep = step;
+        probe.crashNode = 0;
+        CaseOutcome out = runCase(probe, RunLimits{});
+        if (out.verdict == CaseOutcome::Verdict::Violation &&
+            out.lin.explanation.find("structure corrupted") !=
+                std::string::npos)
+            saw_corruption = true;
+    }
+    EXPECT_TRUE(saw_corruption)
+        << "no crash point corrupted the flit-original queue";
+}
+
+} // namespace
+} // namespace cxl0::inject

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the crash-plan layer: discovery, case execution,
+ * artifact round trips, and the runtime crash hooks they drive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/plan.hh"
+
+namespace cxl0::inject
+{
+namespace
+{
+
+CampaignCase
+baseCase(Structure s, flit::PersistMode mode =
+                          flit::PersistMode::FlitCxl0)
+{
+    CampaignCase c;
+    c.structure = s;
+    c.mode = mode;
+    c.policy = runtime::PropagationPolicy::Manual;
+    c.seed = 7;
+    generateOps(c);
+    return c;
+}
+
+TEST(Discover, FindsBoundariesAfterSetup)
+{
+    // Queue construction installs a sentinel node, so its setup
+    // issues primitives that must be excluded from the crash range.
+    CampaignCase c = baseCase(Structure::Queue);
+    Discovery d = discover(c);
+    EXPECT_GT(d.setupSteps, 0u) << "construction issues primitives";
+    EXPECT_GT(d.totalSteps, d.setupSteps)
+        << "the workload issues primitives";
+    EXPECT_EQ(d.trace.size(), d.totalSteps);
+}
+
+TEST(Discover, DeterministicForSameSeed)
+{
+    CampaignCase c = baseCase(Structure::Queue);
+    Discovery a = discover(c);
+    Discovery b = discover(c);
+    EXPECT_EQ(a.setupSteps, b.setupSteps);
+    EXPECT_EQ(a.totalSteps, b.totalSteps);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST(RunCase, NoCrashPasses)
+{
+    for (Structure s : allStructures()) {
+        CampaignCase c = baseCase(s);
+        CaseOutcome out = runCase(c, RunLimits{});
+        EXPECT_EQ(out.verdict, CaseOutcome::Verdict::Pass)
+            << structureName(s) << ": " << out.lin.explanation;
+    }
+}
+
+TEST(RunCase, OwnerCrashEveryStepDurableModePasses)
+{
+    // The core acceptance property in miniature: a durable mode under
+    // deterministic propagation survives an owner crash at every
+    // persist boundary of a stack workload.
+    CampaignCase c = baseCase(Structure::Stack);
+    Discovery d = discover(c);
+    for (uint64_t step = d.setupSteps; step < d.totalSteps; ++step) {
+        CampaignCase crashy = c;
+        crashy.hasCrash = true;
+        crashy.crashStep = step;
+        crashy.crashNode = 0;
+        CaseOutcome out = runCase(crashy, RunLimits{});
+        EXPECT_EQ(out.verdict, CaseOutcome::Verdict::Pass)
+            << "crash at step " << step << " ("
+            << model::opName(out.crashOpKind)
+            << "): " << out.lin.explanation;
+    }
+}
+
+TEST(RunCase, UnsoundModeViolatesSomewhere)
+{
+    // flit-original only LFlushes, which parks values in the owner's
+    // cache; an owner crash between the flush and propagation loses
+    // the write. Some crash point must expose this.
+    CampaignCase c =
+        baseCase(Structure::Register, flit::PersistMode::FlitOriginal);
+    Discovery d = discover(c);
+    bool violated = false;
+    for (uint64_t step = d.setupSteps;
+         step < d.totalSteps && !violated; ++step) {
+        CampaignCase crashy = c;
+        crashy.hasCrash = true;
+        crashy.crashStep = step;
+        crashy.crashNode = 0;
+        violated = runCase(crashy, RunLimits{}).verdict ==
+                   CaseOutcome::Verdict::Violation;
+    }
+    EXPECT_TRUE(violated);
+}
+
+TEST(RunCase, CrashedThreadOpStaysPending)
+{
+    CampaignCase c = baseCase(Structure::Register);
+    Discovery d = discover(c);
+    // Crash the owner at the last workload primitive: whichever op is
+    // in flight on node 0 should unwind as pending, and the history
+    // must still include completed observers.
+    CampaignCase crashy = c;
+    crashy.hasCrash = true;
+    crashy.crashStep = d.totalSteps - 1;
+    crashy.crashNode = 0;
+    CaseOutcome out = runCase(crashy, RunLimits{});
+    ASSERT_NE(out.verdict, CaseOutcome::Verdict::Skipped);
+    size_t completed = 0;
+    for (const auto &op : out.history)
+        completed += op.pending() ? 0 : 1;
+    EXPECT_GT(completed, 0u);
+    EXPECT_EQ(out.verdict, CaseOutcome::Verdict::Pass)
+        << out.lin.explanation;
+}
+
+TEST(RunCase, UnreachedCrashStepSkips)
+{
+    CampaignCase c = baseCase(Structure::Counter);
+    Discovery d = discover(c);
+    CampaignCase crashy = c;
+    crashy.hasCrash = true;
+    crashy.crashStep = d.totalSteps + 10000;
+    crashy.crashNode = 0;
+    EXPECT_EQ(runCase(crashy, RunLimits{}).verdict,
+              CaseOutcome::Verdict::Skipped);
+}
+
+TEST(Artifact, RoundTripsEveryField)
+{
+    CampaignCase c = baseCase(Structure::Log);
+    c.mode = flit::PersistMode::PersistAll;
+    c.policy = runtime::PropagationPolicy::Random;
+    c.variant = model::ModelVariant::Lwb;
+    c.hasCrash = true;
+    c.crashStep = 42;
+    c.crashNode = 1;
+    c.replayEvictions = true;
+    c.evictions = {{10, 1, 3}, {12, 0, 7}};
+    CaseOutcome out;
+    std::string text = writeArtifactText(c, out);
+    std::string err;
+    auto parsed = parseArtifact(text, &err);
+    ASSERT_TRUE(parsed) << err;
+    EXPECT_EQ(parsed->structure, c.structure);
+    EXPECT_EQ(parsed->mode, c.mode);
+    EXPECT_EQ(parsed->variant, c.variant);
+    EXPECT_EQ(parsed->policy, c.policy);
+    EXPECT_EQ(parsed->seed, c.seed);
+    EXPECT_EQ(parsed->nodes, c.nodes);
+    EXPECT_EQ(parsed->cellsPerNode, c.cellsPerNode);
+    EXPECT_EQ(parsed->logCapacity, c.logCapacity);
+    EXPECT_EQ(parsed->hasCrash, true);
+    EXPECT_EQ(parsed->crashStep, c.crashStep);
+    EXPECT_EQ(parsed->crashNode, c.crashNode);
+    EXPECT_EQ(parsed->replayEvictions, true);
+    EXPECT_EQ(parsed->evictions, c.evictions);
+    EXPECT_EQ(parsed->ops, c.ops);
+}
+
+TEST(Artifact, GarbageYieldsLineDiagnostic)
+{
+    std::string err;
+    EXPECT_FALSE(parseArtifact("structure stack\nwat 3\nend\n", &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(parseArtifact("structure nosuch\nend\n", &err));
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(parseArtifact("structure stack\n", &err));
+    EXPECT_NE(err.find("end"), std::string::npos) << err;
+}
+
+TEST(Artifact, ReplayReproducesVerdict)
+{
+    // Find one violating case for the unsound mode, serialize it,
+    // parse it back, and re-run: same verdict.
+    CampaignCase c =
+        baseCase(Structure::Register, flit::PersistMode::FlitOriginal);
+    Discovery d = discover(c);
+    std::optional<CampaignCase> bad;
+    for (uint64_t step = d.setupSteps; step < d.totalSteps && !bad;
+         ++step) {
+        CampaignCase crashy = c;
+        crashy.hasCrash = true;
+        crashy.crashStep = step;
+        crashy.crashNode = 0;
+        if (runCase(crashy, RunLimits{}).verdict ==
+            CaseOutcome::Verdict::Violation)
+            bad = crashy;
+    }
+    ASSERT_TRUE(bad);
+    CaseOutcome out = runCase(*bad, RunLimits{});
+    std::string text = writeArtifactText(*bad, out);
+    std::string err;
+    auto parsed = parseArtifact(text, &err);
+    ASSERT_TRUE(parsed) << err;
+    EXPECT_EQ(runCase(*parsed, RunLimits{}).verdict,
+              CaseOutcome::Verdict::Violation);
+}
+
+} // namespace
+} // namespace cxl0::inject

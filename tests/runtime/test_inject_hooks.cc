@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the crash-injection hooks on CxlSystem (armed crashes,
+ * step tracing, eviction record/replay) and for the determinism
+ * guarantee the campaign rests on: identical options produce
+ * byte-identical traces, histories, and cost totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ds/queue.hh"
+#include "ds/stack.hh"
+#include "runtime/system.hh"
+
+namespace
+{
+
+using namespace cxl0::runtime;
+using cxl0::NodeId;
+using cxl0::Value;
+using cxl0::model::Op;
+using cxl0::model::SystemConfig;
+
+SystemOptions
+manual(SystemConfig cfg)
+{
+    SystemOptions o(std::move(cfg));
+    o.policy = PropagationPolicy::Manual;
+    return o;
+}
+
+SystemOptions
+random_(SystemConfig cfg, uint64_t seed)
+{
+    SystemOptions o(std::move(cfg));
+    o.policy = PropagationPolicy::Random;
+    o.evictionChancePct = 50; // make propagation events likely
+    o.seed = seed;
+    return o;
+}
+
+TEST(ArmCrash, KillsIssuerAtArmedStep)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 2, true)));
+    sys.enableStepTrace(true);
+    sys.lstore(0, 0, 1); // step 0
+    sys.armCrash(1, 0);  // fire before step 1
+    EXPECT_FALSE(sys.armedCrashesFired());
+    bool killed = false;
+    try {
+        sys.lstore(0, 1, 2); // step 1, issued by the crashed machine
+    } catch (const ThreadKilled &k) {
+        killed = true;
+        EXPECT_EQ(k.node, 0);
+        EXPECT_EQ(k.step, 1u);
+    }
+    EXPECT_TRUE(killed);
+    EXPECT_TRUE(sys.armedCrashesFired());
+    EXPECT_EQ(sys.epoch(0), 1u);
+    // The preempted primitive is still recorded, so the campaign can
+    // name the crashed-at primitive kind.
+    auto trace = sys.stepTrace();
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[1].op, Op::LStore);
+    // The preempted store must NOT have executed.
+    EXPECT_EQ(sys.load(1, 1), 0);
+}
+
+TEST(ArmCrash, OtherMachinesIssuerSurvives)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 2, true)));
+    sys.lstore(0, 0, 1); // step 0
+    sys.armCrash(1, 1);  // crash machine 1 before step 1
+    // Step 1 is issued by machine 0: the crash applies, but the
+    // primitive proceeds (its issuer survived).
+    EXPECT_NO_THROW(sys.lstore(0, 1, 2));
+    EXPECT_TRUE(sys.armedCrashesFired());
+    EXPECT_EQ(sys.epoch(1), 1u);
+    EXPECT_EQ(sys.epoch(0), 0u);
+    EXPECT_EQ(sys.peekCache(0, 1), 2);
+}
+
+TEST(ArmCrash, UnreachedStepNeverFires)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 1, true)));
+    sys.armCrash(100, 0);
+    sys.lstore(0, 0, 1);
+    EXPECT_FALSE(sys.armedCrashesFired());
+    EXPECT_EQ(sys.epoch(0), 0u);
+}
+
+TEST(EvictionReplay, ReproducesRecordedSchedule)
+{
+    SystemConfig cfg = SystemConfig::uniform(2, 4, true);
+    auto program = [](CxlSystem &sys) {
+        for (int round = 0; round < 8; ++round) {
+            sys.lstore(1, static_cast<cxl0::Addr>(round % 4),
+                       round + 1);
+            sys.load(1, static_cast<cxl0::Addr>(round % 4));
+        }
+    };
+
+    // Record a random propagation schedule...
+    CxlSystem rec(random_(cfg, 42));
+    rec.enableStepTrace(true);
+    program(rec);
+    std::vector<EvictEvent> schedule = rec.evictionTrace();
+    ASSERT_FALSE(schedule.empty())
+        << "chance 50% over 16 ops should evict at least once";
+
+    // ...and replay it on a Manual-policy system: the end states
+    // agree, which only happens when the schedule actually drove the
+    // same propagation.
+    CxlSystem rep(manual(cfg));
+    rep.setEvictionReplay(schedule);
+    program(rep);
+    for (cxl0::Addr x = 0; x < 4; ++x) {
+        EXPECT_EQ(rep.peekMemory(x), rec.peekMemory(x)) << "addr " << x;
+        for (NodeId n = 0; n < 2; ++n)
+            EXPECT_EQ(rep.peekCache(n, x), rec.peekCache(n, x))
+                << "node " << n << " addr " << x;
+    }
+}
+
+TEST(EvictionReplay, SkipsEventsWhoseLineIsGone)
+{
+    CxlSystem sys(manual(SystemConfig::uniform(2, 2, true)));
+    // Event for a line that will not be cached: replay must skip it
+    // gracefully rather than fault.
+    sys.setEvictionReplay({EvictEvent{0, 1, 1}});
+    sys.lstore(0, 0, 5);
+    EXPECT_EQ(sys.peekCache(0, 0), 5);
+    EXPECT_EQ(sys.load(0, 0), 5);
+}
+
+/**
+ * One seeded stack workload; returns (step trace, evictions, clock,
+ * opCount) for determinism comparison.
+ */
+struct RunFingerprint
+{
+    std::vector<StepRecord> steps;
+    std::vector<EvictEvent> evictions;
+    double clockNs = 0.0;
+    uint64_t ops = 0;
+
+    bool operator==(const RunFingerprint &other) const
+    {
+        return steps == other.steps && evictions == other.evictions &&
+               clockNs == other.clockNs && ops == other.ops;
+    }
+};
+
+template <typename Workload>
+RunFingerprint
+fingerprint(uint64_t seed, Workload &&workload)
+{
+    SystemOptions o(SystemConfig::uniform(2, 64, true));
+    o.policy = PropagationPolicy::Random;
+    o.evictionChancePct = 30;
+    o.seed = seed;
+    CxlSystem sys(o);
+    sys.enableStepTrace(true);
+    workload(sys);
+    RunFingerprint fp;
+    fp.steps = sys.stepTrace();
+    fp.evictions = sys.evictionTrace();
+    fp.clockNs = sys.clockNs();
+    fp.ops = sys.opCount();
+    return fp;
+}
+
+TEST(Determinism, StackSameSeedSameRun)
+{
+    auto workload = [](CxlSystem &sys) {
+        cxl0::flit::FlitRuntime rt(sys,
+                                   cxl0::flit::PersistMode::FlitCxl0);
+        cxl0::ds::TreiberStack stack(rt, 0);
+        for (Value v = 1; v <= 6; ++v)
+            stack.push(1, v);
+        for (int i = 0; i < 3; ++i)
+            stack.pop(0);
+    };
+    for (uint64_t seed : {7ull, 1234ull}) {
+        RunFingerprint a = fingerprint(seed, workload);
+        RunFingerprint b = fingerprint(seed, workload);
+        EXPECT_TRUE(a == b) << "seed " << seed;
+        EXPECT_GT(a.ops, 0u);
+        EXPECT_GT(a.clockNs, 0.0) << "calibrated cost model charges";
+    }
+    // Different seeds must (here: do) give different schedules — the
+    // fingerprint is sensitive enough to distinguish them.
+    auto w7 = fingerprint(7, workload);
+    auto w1234 = fingerprint(1234, workload);
+    EXPECT_FALSE(w7.evictions == w1234.evictions);
+}
+
+TEST(Determinism, QueueSameSeedSameRun)
+{
+    auto workload = [](CxlSystem &sys) {
+        cxl0::flit::FlitRuntime rt(sys,
+                                   cxl0::flit::PersistMode::PersistAll);
+        cxl0::ds::MsQueue queue(rt, 0);
+        for (Value v = 1; v <= 6; ++v)
+            queue.enqueue(1, v);
+        for (int i = 0; i < 3; ++i)
+            queue.dequeue(0);
+    };
+    for (uint64_t seed : {3ull, 99ull}) {
+        RunFingerprint a = fingerprint(seed, workload);
+        RunFingerprint b = fingerprint(seed, workload);
+        EXPECT_TRUE(a == b) << "seed " << seed;
+        EXPECT_GT(a.ops, 0u);
+        EXPECT_GT(a.clockNs, 0.0);
+    }
+}
+
+} // namespace

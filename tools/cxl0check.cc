@@ -1,8 +1,8 @@
 /**
  * @file
- * cxl0check — the scenario batch runner.
+ * cxl0check — the scenario batch runner and campaign driver.
  *
- * Loads one or more .cxl0 scenario files (or a whole corpus
+ * Scenario mode loads one or more .cxl0 files (or a whole corpus
  * directory), routes each through one of the four checkers via the
  * unified CheckRequest API, checks the declared outcome anchors, and
  * reports per-case and aggregate results — optionally as JSON in the
@@ -14,21 +14,34 @@
  *   cxl0check --export corpus/litmus      # re-export the built-ins
  *   cxl0check --dump file.cxl0            # print the canonical form
  *
- * Exit status: 0 when every case passes its anchors, 1 when any case
- * fails (or a file fails to parse), 2 on usage or I/O errors.
+ * The `campaign` subcommand runs the crash-injection campaign from
+ * src/inject over the durable data structures, and `replay` re-runs
+ * a shrunk corpus artifact:
+ *
+ *   cxl0check campaign --out BENCH_campaign.json
+ *   cxl0check campaign --modes flit-original --expect-violations \
+ *       --corpus-dir corpus/campaign
+ *   cxl0check replay corpus/campaign/register-flit-original-*.txt
+ *
+ * Exit status: 0 when every case passes (campaign: no durable-mode
+ * violation and --expect-violations, if given, is met), 1 when any
+ * case fails or a file fails to parse, 2 on usage errors.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "inject/campaign.hh"
 #include "lang/run.hh"
 #include "lang/scenario.hh"
 
@@ -86,6 +99,9 @@ usage(const char *argv0)
         "  --threads N       worker threads (CheckRequest::numThreads)\n"
         "  --max-configs N   override the configuration budget\n"
         "  --max-depth N     override the depth bound\n"
+        "  --time-budget-ms N  per-case wall-clock budget; crossing\n"
+        "                    it truncates gracefully (verdict\n"
+        "                    inconclusive, truncated in the JSON)\n"
         "  --crash N         override max crashes per machine\n"
         "  --policy P        dfs|bfs frontier ordering\n"
         "  --reduction R     none|tau|ample partial-order reduction\n"
@@ -148,7 +164,8 @@ jsonReport(const std::vector<CaseResult> &cases)
                 "\"tau_skipped\": %zu, \"ample_skipped\": %zu, "
                 "\"steals_attempted\": %zu, "
                 "\"steals_succeeded\": %zu, "
-                "\"truncated\": %s, \"anchors_pass\": %s}",
+                "\"truncated\": %s, \"timed_out\": %s, "
+                "\"anchors_pass\": %s}",
                 lang::checkerKindName(c.run.checker),
                 check::checkVerdictName(r.verdict),
                 r.stats.configsVisited, r.stats.seconds,
@@ -157,6 +174,7 @@ jsonReport(const std::vector<CaseResult> &cases)
                 r.stats.ampleSkipped, r.stats.stealsAttempted,
                 r.stats.stealsSucceeded,
                 r.truncated ? "true" : "false",
+                r.timedOut ? "true" : "false",
                 c.pass() ? "true" : "false");
             out += buf;
         }
@@ -199,11 +217,329 @@ exportCorpus(const std::string &dir)
     return 0;
 }
 
+/** Split a comma-separated flag value into its nonempty items. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::stringstream ss(s);
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+campaignUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: cxl0check %s [options]\n"
+        "  --structures LIST   comma list of structures (default: all)\n"
+        "  --modes LIST        comma list of persist modes\n"
+        "                      (default: flit-cxl0)\n"
+        "  --variant V         base|lwb|psn model variant\n"
+        "  --lwb-structure S   additionally verify S under LWB\n"
+        "  --policy P          manual|random propagation override\n"
+        "                      (default: per-mode, see src/inject)\n"
+        "  --seed N            campaign seed (workloads + sampling)\n"
+        "  --ops N             workload operations per case\n"
+        "  --workload-threads N  logical workload threads\n"
+        "  --max-value N       argument value bound\n"
+        "  --nodes N           machines in the system\n"
+        "  --crash-budget N    crash points per unit (0 = exhaustive)\n"
+        "  --hist-max-ops N    linearizability op bound\n"
+        "  --time-budget-ms N  wall-clock budget per case check\n"
+        "  --retries N         widened retries on op-bound truncation\n"
+        "  --no-shrink         skip minimizing violations\n"
+        "  --corpus-dir DIR    write shrunk artifacts under DIR\n"
+        "  --out FILE          write the campaign JSON report\n"
+        "  --stable-json       zero wall-clock fields in the JSON\n"
+        "  --expect-violations require at least one violation\n"
+        "  --quiet             only print the summary\n",
+        argv0);
+    return 2;
+}
+
+int
+campaignMain(int argc, char **argv)
+{
+    inject::CampaignOptions opts;
+    const char *out_path = nullptr;
+    bool stable_json = false;
+    bool expect_violations = false;
+    bool quiet = false;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    auto count = [&](int &i, long long lo, long long hi) -> long long {
+        const char *flag = argv[i];
+        long long n;
+        if (!parseCount(value(i), n) || n < lo || n > hi) {
+            std::fprintf(stderr, "error: %s wants %lld..%lld\n", flag,
+                         lo, hi);
+            std::exit(2);
+        }
+        return n;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--structures") == 0) {
+            opts.structures.clear();
+            for (const std::string &name : splitList(value(i))) {
+                auto s = inject::structureFromName(name);
+                if (!s) {
+                    std::fprintf(stderr,
+                                 "error: unknown structure '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                opts.structures.push_back(*s);
+            }
+            if (opts.structures.empty())
+                return campaignUsage(argv[0]);
+        } else if (std::strcmp(a, "--modes") == 0) {
+            opts.modes.clear();
+            for (const std::string &name : splitList(value(i))) {
+                auto m = inject::persistModeFromName(name);
+                if (!m) {
+                    std::fprintf(stderr,
+                                 "error: unknown persist mode '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                opts.modes.push_back(*m);
+            }
+            if (opts.modes.empty())
+                return campaignUsage(argv[0]);
+        } else if (std::strcmp(a, "--variant") == 0) {
+            if (!lang::variantFromWord(value(i), opts.variant))
+                return campaignUsage(argv[0]);
+        } else if (std::strcmp(a, "--lwb-structure") == 0) {
+            const char *name = value(i);
+            auto s = inject::structureFromName(name);
+            if (!s) {
+                std::fprintf(stderr,
+                             "error: unknown structure '%s'\n", name);
+                return 2;
+            }
+            opts.lwbStructure = *s;
+        } else if (std::strcmp(a, "--policy") == 0) {
+            const char *p = value(i);
+            if (std::strcmp(p, "manual") == 0)
+                opts.policyOverride =
+                    runtime::PropagationPolicy::Manual;
+            else if (std::strcmp(p, "random") == 0)
+                opts.policyOverride =
+                    runtime::PropagationPolicy::Random;
+            else
+                return campaignUsage(argv[0]);
+        } else if (std::strcmp(a, "--seed") == 0) {
+            opts.seed = static_cast<uint64_t>(
+                count(i, 0, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--ops") == 0) {
+            opts.params.numOps =
+                static_cast<size_t>(count(i, 1, 64));
+        } else if (std::strcmp(a, "--workload-threads") == 0) {
+            opts.params.numThreads =
+                static_cast<int>(count(i, 1, 8));
+        } else if (std::strcmp(a, "--max-value") == 0) {
+            opts.params.maxValue =
+                static_cast<Value>(count(i, 1, 1000));
+        } else if (std::strcmp(a, "--nodes") == 0) {
+            opts.nodes = static_cast<size_t>(count(i, 2, 8));
+        } else if (std::strcmp(a, "--crash-budget") == 0) {
+            opts.crashBudget =
+                static_cast<size_t>(count(i, 0, 1000000));
+        } else if (std::strcmp(a, "--hist-max-ops") == 0) {
+            opts.limits.histMaxOps =
+                static_cast<size_t>(count(i, 1, 63));
+        } else if (std::strcmp(a, "--time-budget-ms") == 0) {
+            opts.limits.caseTimeBudgetMs = static_cast<uint64_t>(
+                count(i, 0, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--retries") == 0) {
+            opts.limits.retries =
+                static_cast<size_t>(count(i, 0, 16));
+        } else if (std::strcmp(a, "--no-shrink") == 0) {
+            opts.shrinkViolations = false;
+        } else if (std::strcmp(a, "--corpus-dir") == 0) {
+            opts.corpusDir = value(i);
+        } else if (std::strcmp(a, "--out") == 0) {
+            out_path = value(i);
+        } else if (std::strcmp(a, "--stable-json") == 0) {
+            stable_json = true;
+        } else if (std::strcmp(a, "--expect-violations") == 0) {
+            expect_violations = true;
+        } else if (std::strcmp(a, "--quiet") == 0 ||
+                   std::strcmp(a, "-q") == 0) {
+            quiet = true;
+        } else {
+            return campaignUsage(argv[0]);
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    inject::CampaignReport report;
+    try {
+        report = inject::runCampaign(opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: campaign failed: %s\n", e.what());
+        return 2;
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    if (!quiet) {
+        for (const auto &[key, b] : report.perStructure)
+            std::printf("unit %-16s %4zu case(s): %zu pass, "
+                        "%zu violation(s), %zu truncated, %zu skipped\n",
+                        key.c_str(), b.cases, b.pass, b.violations,
+                        b.truncated, b.skipped);
+        for (const inject::ShrunkRecord &r : report.shrunk)
+            std::printf("shrunk %-40s -> %zu op(s), crash step %llu%s%s\n",
+                        r.bucket.c_str(), r.minimized.ops.size(),
+                        static_cast<unsigned long long>(
+                            r.minimized.crashStep),
+                        r.artifactPath.empty() ? "" : ", ",
+                        r.artifactPath.c_str());
+    }
+    std::printf("campaign: %zu case(s), %zu pass, %zu violation(s) "
+                "(%zu durable), %zu truncated, %zu skipped, %.2fs\n",
+                report.cases, report.pass, report.violations,
+                report.durableViolations, report.truncated,
+                report.skipped, seconds);
+
+    if (out_path) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", out_path);
+            return 2;
+        }
+        out << inject::campaignJson(opts, report, seconds, stable_json);
+        std::printf("wrote %s\n", out_path);
+    }
+
+    if (!report.allDurablePass) {
+        std::fprintf(stderr,
+                     "FAIL: durable-mode violation(s) detected\n");
+        return 1;
+    }
+    if (expect_violations && report.violations == 0) {
+        std::fprintf(stderr, "FAIL: expected at least one violation, "
+                             "found none\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
+replayUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: cxl0check %s [options] artifact.txt ...\n"
+        "  --expect V          pass|violation|truncated|skipped\n"
+        "                      (default: violation — corpus artifacts\n"
+        "                      are minimized violations)\n"
+        "  --hist-max-ops N    linearizability op bound\n"
+        "  --time-budget-ms N  wall-clock budget per check\n",
+        argv0);
+    return 2;
+}
+
+int
+replayMain(int argc, char **argv)
+{
+    inject::RunLimits limits;
+    std::string expect = "violation";
+    std::vector<std::string> files;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--expect") == 0) {
+            expect = value(i);
+        } else if (std::strcmp(a, "--hist-max-ops") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1 || n > 63)
+                return replayUsage(argv[0]);
+            limits.histMaxOps = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--time-budget-ms") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 0)
+                return replayUsage(argv[0]);
+            limits.caseTimeBudgetMs = static_cast<uint64_t>(n);
+        } else if (a[0] == '-') {
+            return replayUsage(argv[0]);
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.empty())
+        return replayUsage(argv[0]);
+
+    bool all_match = true;
+    for (const std::string &path : files) {
+        std::string text, err;
+        if (!readFile(path, text, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            all_match = false;
+            continue;
+        }
+        std::string perr;
+        auto parsed = inject::parseArtifact(text, &perr);
+        if (!parsed) {
+            std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                         perr.c_str());
+            all_match = false;
+            continue;
+        }
+        inject::CaseOutcome out;
+        try {
+            out = inject::runCase(*parsed, limits);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s: replay threw: %s\n",
+                         path.c_str(), e.what());
+            all_match = false;
+            continue;
+        }
+        const char *got = inject::verdictName(out.verdict);
+        bool match = expect == got;
+        std::printf("replay %-48s %s%s\n", path.c_str(), got,
+                    match ? "" : " (MISMATCH)");
+        if (!match && !out.lin.explanation.empty())
+            std::printf("    %s\n", out.lin.explanation.c_str());
+        all_match &= match;
+    }
+    return all_match ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0)
+        return campaignMain(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "replay") == 0)
+        return replayMain(argc - 1, argv + 1);
     std::vector<std::string> files;
     lang::RunOptions opts;
     const char *out_path = nullptr;
@@ -278,6 +614,14 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.maxDepth = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--time-budget-ms") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1) {
+                std::fprintf(stderr,
+                             "error: --time-budget-ms wants >= 1\n");
+                return 2;
+            }
+            opts.timeBudgetMs = static_cast<uint64_t>(n);
         } else if (std::strcmp(a, "--crash") == 0) {
             long long n;
             if (!parseCount(value(i), n) || n < 0 || n > 1000) {
@@ -356,19 +700,32 @@ main(int argc, char **argv)
         }
         std::string text, err;
         if (!readFile(path, text, err)) {
-            std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
-        }
-        lang::ParseResult pr = lang::parseScenario(text);
-        if (!pr.ok()) {
+            // An unreadable file fails its case but never aborts the
+            // rest of the batch.
             c.parsed = false;
-            c.parseError = pr.error->render(path);
-            std::fprintf(stderr, "%s\n", c.parseError.c_str());
+            c.parseError = err;
+            std::fprintf(stderr, "error: %s\n", err.c_str());
         } else {
-            c.run = lang::runScenario(pr.scenario, opts);
-            if (!c.run.error.empty())
-                std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                             c.run.error.c_str());
+            lang::ParseResult pr = lang::parseScenario(text);
+            if (!pr.ok()) {
+                c.parsed = false;
+                c.parseError = pr.error->render(path);
+                std::fprintf(stderr, "%s\n", c.parseError.c_str());
+            } else {
+                try {
+                    c.run = lang::runScenario(pr.scenario, opts);
+                } catch (const std::exception &e) {
+                    // A scenario that parses but carries an invalid
+                    // configuration throws from the checker (fatal's
+                    // file:line diagnostic is already on stderr);
+                    // contain it to this case.
+                    c.run = lang::RunResult{};
+                    c.run.error = e.what();
+                }
+                if (!c.run.error.empty())
+                    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                                 c.run.error.c_str());
+            }
         }
         if (!quiet || !c.pass())
             std::printf("case %-24s %s\n", c.name.c_str(),
