@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tracked aggregate of the seed paper benches, in one JSON artifact
+ * (BENCH_paper.json): the Figure 5 latency medians and §5.2 ratio
+ * relations, the Table 1 observability assertions, the §6.1 FliT
+ * durability verdict per persistence mode, and the §6.1 cost
+ * relations measured on the runtime's calibrated cost model
+ * (simulated ns and explicit flushes — wall-clock on the emulation
+ * host is meaningless for CXL behaviour, so nothing here gates on
+ * it): durability costs over the no-persistence baseline on every
+ * workload, the address-based optimization (LFlush for owned words)
+ * strictly beats plain flit-cxl0 on owner-local writes, and the
+ * naive FliT port is cheaper than the adaptation — which is exactly
+ * why its unsoundness (also gated here) matters. Every quantity is
+ * produced by a seeded simulation, so the artifact is byte-stable
+ * across runs; --stable-json additionally zeroes the one wall-clock
+ * field (seconds) for tracked-diff hygiene. Exits nonzero when any
+ * paper relation fails.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "ds/kv.hh"
+#include "ds/stack.hh"
+#include "flit/flit.hh"
+#include "hist/checker.hh"
+#include "sim/fabric.hh"
+
+using namespace cxl0;
+using namespace cxl0::sim;
+using flit::PersistMode;
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+// ---- Figure 5: latency medians and §5.2 ratio relations ----------
+
+constexpr int kSamples = 1000;
+
+double
+measureLatency(AccessCategory cat, MeasuredPrimitive prim)
+{
+    FabricSim fab(FabricConfig{2, 2, 42});
+    AgentKind agent = (cat == AccessCategory::HostToHM ||
+                       cat == AccessCategory::HostToHDM)
+                          ? AgentKind::Host
+                          : AgentKind::Device;
+    Addr x = (cat == AccessCategory::HostToHM ||
+              cat == AccessCategory::DevToHM)
+                 ? 0
+                 : 2;
+    if (cat == AccessCategory::DevToHDMDevBias)
+        fab.setBias(x, BiasMode::DeviceBias);
+
+    Accumulator acc;
+    for (int k = 0; k < kSamples; ++k) {
+        fab.setLineState(x, CacheState::I, CacheState::I);
+        double ns = 0;
+        switch (prim) {
+          case MeasuredPrimitive::Read:
+            ns = fab.read(agent, x);
+            break;
+          case MeasuredPrimitive::LStore:
+            ns = fab.lstore(agent, x, k);
+            break;
+          case MeasuredPrimitive::RStore:
+            ns = fab.rstore(agent, x, k);
+            break;
+          case MeasuredPrimitive::MStore:
+            ns = fab.mstore(agent, x, k);
+            break;
+          case MeasuredPrimitive::LFlush:
+            ns = fab.lflush(agent, x);
+            break;
+          case MeasuredPrimitive::RFlush:
+            ns = fab.rflush(agent, x);
+            break;
+        }
+        acc.add(ns);
+    }
+    return acc.median();
+}
+
+struct RatioClaim
+{
+    std::string what;
+    double measured;
+    double paper;
+    bool ok;
+};
+
+struct Fig5Result
+{
+    // category name -> primitive name -> median ns (measurable only).
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::string, double>>>>
+        medians;
+    std::vector<RatioClaim> claims;
+    bool pass = true;
+};
+
+Fig5Result
+runFig5()
+{
+    const AccessCategory cats[] = {
+        AccessCategory::HostToHM, AccessCategory::HostToHDM,
+        AccessCategory::DevToHM, AccessCategory::DevToHDMHostBias,
+        AccessCategory::DevToHDMDevBias};
+    const MeasuredPrimitive prims[] = {
+        MeasuredPrimitive::Read,   MeasuredPrimitive::LStore,
+        MeasuredPrimitive::RStore, MeasuredPrimitive::MStore,
+        MeasuredPrimitive::LFlush, MeasuredPrimitive::RFlush};
+    const char *primNames[] = {"Read",   "LStore", "RStore",
+                               "MStore", "LFlush", "RFlush"};
+
+    LatencyModel reference;
+    Fig5Result res;
+    std::map<std::pair<int, int>, double> med;
+    for (AccessCategory cat : cats) {
+        std::vector<std::pair<std::string, double>> row;
+        for (size_t i = 0; i < 6; ++i) {
+            if (!reference.measurable(cat, prims[i]))
+                continue;
+            double m = measureLatency(cat, prims[i]);
+            med[{static_cast<int>(cat),
+                 static_cast<int>(prims[i])}] = m;
+            row.emplace_back(primNames[i], m);
+        }
+        res.medians.emplace_back(accessCategoryName(cat),
+                                 std::move(row));
+    }
+
+    auto m = [&](AccessCategory c, MeasuredPrimitive p) {
+        return med[{static_cast<int>(c), static_cast<int>(p)}];
+    };
+    auto claim = [&](const char *what, double got, double paper) {
+        bool ok = got > paper * 0.9 && got < paper * 1.1;
+        res.claims.push_back({what, got, paper, ok});
+        res.pass &= ok;
+    };
+    claim("host remote/local Read ratio",
+          m(AccessCategory::HostToHDM, MeasuredPrimitive::Read) /
+              m(AccessCategory::HostToHM, MeasuredPrimitive::Read),
+          2.34);
+    claim("device remote/local Read ratio",
+          m(AccessCategory::DevToHM, MeasuredPrimitive::Read) /
+              m(AccessCategory::DevToHDMDevBias,
+                MeasuredPrimitive::Read),
+          1.94);
+    claim("device->HM RStore/LStore ratio",
+          m(AccessCategory::DevToHM, MeasuredPrimitive::RStore) /
+              m(AccessCategory::DevToHM, MeasuredPrimitive::LStore),
+          2.08);
+    claim("device->HM MStore/RStore ratio",
+          m(AccessCategory::DevToHM, MeasuredPrimitive::MStore) /
+              m(AccessCategory::DevToHM, MeasuredPrimitive::RStore),
+          1.45);
+    claim("device->HM RFlush/MStore ratio",
+          m(AccessCategory::DevToHM, MeasuredPrimitive::RFlush) /
+              m(AccessCategory::DevToHM, MeasuredPrimitive::MStore),
+          1.0);
+    return res;
+}
+
+// ---- Table 1: observability assertions ---------------------------
+
+const CacheState kStates[] = {CacheState::M, CacheState::E,
+                              CacheState::S, CacheState::I};
+
+bool
+legalPair(CacheState h, CacheState d)
+{
+    bool hw = h == CacheState::M || h == CacheState::E;
+    bool dw = d == CacheState::M || d == CacheState::E;
+    return !(hw && d != CacheState::I) && !(dw && h != CacheState::I);
+}
+
+std::string
+sweepCaptures(AgentKind agent, MemKind target, const std::string &prim)
+{
+    std::set<std::string> seen;
+    for (CacheState h : kStates) {
+        for (CacheState d : kStates) {
+            if (!legalPair(h, d))
+                continue;
+            MeasuredPrimitive mp =
+                prim == "Read"     ? MeasuredPrimitive::Read
+                : prim == "LStore" ? MeasuredPrimitive::LStore
+                : prim == "RStore" ? MeasuredPrimitive::RStore
+                : prim == "MStore" ? MeasuredPrimitive::MStore
+                : prim == "LFlush" ? MeasuredPrimitive::LFlush
+                                   : MeasuredPrimitive::RFlush;
+            if (!FabricSim::primitiveAvailable(agent, mp)) {
+                seen.insert("???");
+                continue;
+            }
+            FabricSim fab(FabricConfig{2, 2, 1});
+            Addr x = target == MemKind::HM ? 0 : 2;
+            fab.setLineState(x, h, d);
+            fab.analyzer().clear();
+            try {
+                if (prim == "Read")
+                    fab.read(agent, x);
+                else if (prim == "LStore")
+                    fab.lstore(agent, x, 1);
+                else if (prim == "RStore")
+                    fab.rstore(agent, x, 1);
+                else if (prim == "MStore")
+                    fab.mstore(agent, x, 1);
+                else if (prim == "LFlush")
+                    fab.lflush(agent, x);
+                else if (prim == "RFlush")
+                    fab.rflush(agent, x);
+                seen.insert(fab.analyzer().describe());
+            } catch (const std::invalid_argument &) {
+                seen.insert("???");
+            }
+        }
+    }
+    if (seen.count("???"))
+        return "???";
+    std::string out;
+    for (const std::string &s : seen)
+        out += (out.empty() ? "" : ", ") + s;
+    return out;
+}
+
+struct NamedCheck
+{
+    std::string what;
+    bool ok;
+};
+
+std::vector<NamedCheck>
+runTable1()
+{
+    std::vector<NamedCheck> checks;
+    auto add = [&](const char *what, bool ok) {
+        checks.push_back({what, ok});
+    };
+    add("host RStore to HM not generatable",
+        sweepCaptures(AgentKind::Host, MemKind::HM, "RStore") ==
+            "???");
+    add("host LFlush to HM not generatable",
+        sweepCaptures(AgentKind::Host, MemKind::HM, "LFlush") ==
+            "???");
+    add("device LFlush to HM not generatable",
+        sweepCaptures(AgentKind::Device, MemKind::HM, "LFlush") ==
+            "???");
+    add("device RStore to HM emits ItoMWr",
+        sweepCaptures(AgentKind::Device, MemKind::HM, "RStore")
+                .find("ItoMWr") != std::string::npos);
+    add("host MStore to HDM emits MemWr",
+        sweepCaptures(AgentKind::Host, MemKind::HDM, "MStore")
+                .find("MemWr") != std::string::npos);
+    return checks;
+}
+
+// ---- §6.1 FliT: durability verdicts and cost ordering ------------
+
+runtime::CxlSystem
+makeFlitSystem(uint64_t seed, runtime::PropagationPolicy policy)
+{
+    runtime::SystemOptions o(
+        model::SystemConfig::uniform(2, 8192, true));
+    o.policy = policy;
+    o.seed = seed;
+    o.cost = runtime::CostModel::zero();
+    return runtime::CxlSystem(std::move(o));
+}
+
+/**
+ * The deterministic register counterexample (litmus test 4's shape):
+ * a completed write whose value dies with the owner. Durable modes
+ * must pass it; the naive FliT port must fail it.
+ */
+bool
+registerRunIsDurable(PersistMode mode)
+{
+    runtime::CxlSystem sys =
+        makeFlitSystem(1, runtime::PropagationPolicy::Manual);
+    flit::FlitRuntime rt(sys, mode);
+    ds::DurableRegister reg(rt, 0);
+    hist::HistoryRecorder rec;
+
+    size_t w = rec.invoke(0, "write", 77);
+    reg.write(1, 77);
+    rec.respond(w, 0);
+    sys.evictCacheOf(1);
+    sys.crash(0);
+    size_t r = rec.invoke(1, "read");
+    rec.respond(r, reg.read(1));
+
+    return hist::checkDurablyLinearizable(rec.snapshot(),
+                                          *hist::makeRegisterSpec())
+        .linearizable;
+}
+
+struct ModeCost
+{
+    PersistMode mode;
+    bool claimedDurable;
+    bool registerDurable;
+    bool consistent;
+    /** Remote stack push/pop: the paper's remote-writer case. */
+    double stackNsPerOp;
+    double stackFlushesPerOp;
+    /** Owner-local register writes: where the §6.1 address-based
+     *  optimization (LFlush for owned words) pays off. */
+    double localNsPerOp;
+    double localFlushesPerOp;
+};
+
+runtime::CxlSystem
+makeCostSystem()
+{
+    runtime::SystemOptions o(
+        model::SystemConfig::uniform(2, 8192, true));
+    o.policy = runtime::PropagationPolicy::Random;
+    o.evictionChancePct = 10;
+    o.seed = 12345;
+    return runtime::CxlSystem(std::move(o));
+}
+
+/**
+ * Two sequential workloads on the calibrated cost model —
+ * single-threaded and seeded, so the measured simulated cost is
+ * exactly reproducible.
+ */
+ModeCost
+measureMode(PersistMode mode)
+{
+    constexpr int kOps = 2000;
+    ModeCost mc;
+    mc.mode = mode;
+    mc.claimedDurable = flit::modeIsDurable(mode);
+    mc.registerDurable = registerRunIsDurable(mode);
+    mc.consistent = mc.claimedDurable ? mc.registerDurable
+                                      : !mc.registerDurable;
+    {
+        runtime::CxlSystem sys = makeCostSystem();
+        flit::FlitRuntime rt(sys, mode);
+        ds::TreiberStack stack(rt, 0);
+        Value v = 0;
+        for (int k = 0; k < kOps; ++k) {
+            stack.push(1, ++v);
+            stack.pop(1);
+        }
+        mc.stackNsPerOp = sys.clockNs() / (2.0 * kOps);
+        mc.stackFlushesPerOp =
+            static_cast<double>(rt.flushCount()) / (2.0 * kOps);
+    }
+    {
+        runtime::CxlSystem sys = makeCostSystem();
+        flit::FlitRuntime rt(sys, mode);
+        ds::DurableRegister reg(rt, 0);
+        Value v = 0;
+        for (int k = 0; k < 2 * kOps; ++k)
+            reg.write(0, ++v); // writer == owner
+        mc.localNsPerOp = sys.clockNs() / (2.0 * kOps);
+        mc.localFlushesPerOp =
+            static_cast<double>(rt.flushCount()) / (2.0 * kOps);
+    }
+    return mc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = nullptr;
+    bool stable = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--stable-json") == 0) {
+            stable = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--out <json-path>] [--stable-json]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("== paper bench aggregate: Fig. 5, Table 1, §6.1 ==\n\n");
+    auto t0 = std::chrono::steady_clock::now();
+
+    Fig5Result fig5 = runFig5();
+    std::printf("Fig. 5 ratio relations:\n");
+    for (const RatioClaim &c : fig5.claims)
+        std::printf("  %-40s measured %.2fx (paper %.2fx)  %s\n",
+                    c.what.c_str(), c.measured, c.paper,
+                    c.ok ? "ok" : "OUT OF RANGE");
+
+    std::vector<NamedCheck> table1 = runTable1();
+    bool table1_pass = true;
+    std::printf("\nTable 1 observability:\n");
+    for (const NamedCheck &c : table1) {
+        table1_pass &= c.ok;
+        std::printf("  %-40s %s\n", c.what.c_str(),
+                    c.ok ? "ok" : "FAIL");
+    }
+
+    const PersistMode modes[] = {
+        PersistMode::None,          PersistMode::FlitCxl0,
+        PersistMode::FlitCxl0AddrOpt, PersistMode::FlitOriginal,
+        PersistMode::PersistAll};
+    std::vector<ModeCost> costs;
+    bool flit_consistent = true;
+    std::printf("\n§6.1 persistence modes (remote stack push/pop + "
+                "owner-local writes):\n");
+    for (PersistMode mode : modes) {
+        ModeCost mc = measureMode(mode);
+        flit_consistent &= mc.consistent;
+        costs.push_back(mc);
+        std::printf("  %-18s stack %.1f ns/op (%.2f fl/op), local "
+                    "%.1f ns/op (%.2f fl/op), register %s (durable "
+                    "per §6: %s)\n",
+                    flit::persistModeName(mode), mc.stackNsPerOp,
+                    mc.stackFlushesPerOp, mc.localNsPerOp,
+                    mc.localFlushesPerOp,
+                    mc.registerDurable ? "durable" : "VIOLATION",
+                    mc.claimedDurable ? "yes" : "no");
+    }
+    auto costOf = [&](PersistMode m) -> const ModeCost & {
+        for (const ModeCost &mc : costs)
+            if (mc.mode == m)
+                return mc;
+        return costs.front();
+    };
+    const ModeCost &none = costOf(PersistMode::None);
+    const ModeCost &cxl0 = costOf(PersistMode::FlitCxl0);
+    const ModeCost &addropt = costOf(PersistMode::FlitCxl0AddrOpt);
+    const ModeCost &orig = costOf(PersistMode::FlitOriginal);
+    const ModeCost &all = costOf(PersistMode::PersistAll);
+    // The §6.1 cost relations the simulator's calibrated model
+    // supports deterministically: durability is never free, the
+    // address-based optimization strictly wins on owner-local
+    // writes (LFlush instead of RFlush) and never loses, and the
+    // naive port undercuts the adaptation — its entire temptation,
+    // given that the durability gate above shows it unsound.
+    struct Relation
+    {
+        const char *what;
+        bool ok;
+    };
+    Relation relations[] = {
+        {"none cheapest on the remote stack",
+         none.stackNsPerOp < cxl0.stackNsPerOp &&
+             none.stackNsPerOp < addropt.stackNsPerOp &&
+             none.stackNsPerOp < all.stackNsPerOp},
+        {"none cheapest on owner-local writes",
+         none.localNsPerOp < cxl0.localNsPerOp &&
+             none.localNsPerOp < addropt.localNsPerOp &&
+             none.localNsPerOp < all.localNsPerOp},
+        {"addropt <= flit-cxl0 everywhere",
+         addropt.stackNsPerOp <= cxl0.stackNsPerOp &&
+             addropt.localNsPerOp <= cxl0.localNsPerOp},
+        {"addropt strictly wins owner-local",
+         addropt.localNsPerOp < cxl0.localNsPerOp},
+        {"naive port cheaper than the adaptation",
+         orig.stackNsPerOp < cxl0.stackNsPerOp &&
+             orig.localNsPerOp <= cxl0.localNsPerOp},
+        {"flit modes flush; none does not",
+         none.stackFlushesPerOp == 0 && none.localFlushesPerOp == 0 &&
+             cxl0.stackFlushesPerOp > 0 && cxl0.localFlushesPerOp > 0 &&
+             addropt.localFlushesPerOp > 0},
+    };
+    bool ordering = true;
+    for (const Relation &r : relations) {
+        ordering &= r.ok;
+        std::printf("  %-42s %s\n", r.what, r.ok ? "ok" : "FAIL");
+    }
+
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    bool all_pass =
+        fig5.pass && table1_pass && flit_consistent && ordering;
+
+    std::ostringstream js;
+    js << "{\n";
+    js << "  \"bench\": \"paper\",\n";
+    js << "  \"fig5\": {\n    \"medians_ns\": {\n";
+    for (size_t i = 0; i < fig5.medians.size(); ++i) {
+        js << "      \"" << jsonEscape(fig5.medians[i].first)
+           << "\": {";
+        const auto &row = fig5.medians[i].second;
+        for (size_t j = 0; j < row.size(); ++j)
+            js << (j ? ", " : "") << "\"" << row[j].first
+               << "\": " << row[j].second;
+        js << "}" << (i + 1 < fig5.medians.size() ? "," : "")
+           << "\n";
+    }
+    js << "    },\n    \"claims\": [\n";
+    for (size_t i = 0; i < fig5.claims.size(); ++i) {
+        const RatioClaim &c = fig5.claims[i];
+        js << "      {\"what\": \"" << jsonEscape(c.what)
+           << "\", \"measured\": " << c.measured
+           << ", \"paper\": " << c.paper << ", \"ok\": "
+           << (c.ok ? "true" : "false") << "}"
+           << (i + 1 < fig5.claims.size() ? "," : "") << "\n";
+    }
+    js << "    ],\n    \"pass\": " << (fig5.pass ? "true" : "false")
+       << "\n  },\n";
+    js << "  \"table1\": {\n    \"checks\": [\n";
+    for (size_t i = 0; i < table1.size(); ++i) {
+        js << "      {\"what\": \"" << jsonEscape(table1[i].what)
+           << "\", \"ok\": " << (table1[i].ok ? "true" : "false")
+           << "}" << (i + 1 < table1.size() ? "," : "") << "\n";
+    }
+    js << "    ],\n    \"pass\": "
+       << (table1_pass ? "true" : "false") << "\n  },\n";
+    js << "  \"flit\": {\n    \"modes\": [\n";
+    for (size_t i = 0; i < costs.size(); ++i) {
+        const ModeCost &mc = costs[i];
+        js << "      {\"mode\": \""
+           << flit::persistModeName(mc.mode)
+           << "\", \"stack_sim_ns_per_op\": " << mc.stackNsPerOp
+           << ", \"stack_flushes_per_op\": " << mc.stackFlushesPerOp
+           << ", \"local_sim_ns_per_op\": " << mc.localNsPerOp
+           << ", \"local_flushes_per_op\": " << mc.localFlushesPerOp
+           << ", \"register_durable\": "
+           << (mc.registerDurable ? "true" : "false")
+           << ", \"claimed_durable\": "
+           << (mc.claimedDurable ? "true" : "false") << "}"
+           << (i + 1 < costs.size() ? "," : "") << "\n";
+    }
+    js << "    ],\n    \"relations\": [\n";
+    for (size_t i = 0; i < std::size(relations); ++i) {
+        js << "      {\"what\": \"" << jsonEscape(relations[i].what)
+           << "\", \"ok\": " << (relations[i].ok ? "true" : "false")
+           << "}" << (i + 1 < std::size(relations) ? "," : "")
+           << "\n";
+    }
+    js << "    ],\n    \"pass\": "
+       << (flit_consistent && ordering ? "true" : "false")
+       << "\n  },\n";
+    js << "  \"all_pass\": " << (all_pass ? "true" : "false")
+       << ",\n";
+    js << "  \"seconds\": " << (stable ? 0.0 : seconds) << "\n";
+    js << "}\n";
+
+    if (out_path) {
+        std::ofstream out(out_path);
+        out << js.str();
+        std::printf("\nwrote %s\n", out_path);
+    }
+
+    std::printf("\nRESULT: %s\n",
+                all_pass ? "all paper relations hold"
+                         : "MISMATCH against the paper");
+    return all_pass ? 0 : 1;
+}

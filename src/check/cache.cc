@@ -1,0 +1,412 @@
+#include "check/cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hashmix.hh"
+#include "common/logging.hh"
+
+namespace cxl0::check
+{
+
+namespace
+{
+
+const char *kReportHeader = "cxl0report v1";
+const char *kDiskHeader = "cxl0cache v1";
+
+const char *
+verdictWord(CheckVerdict v)
+{
+    switch (v) {
+    case CheckVerdict::Pass:
+        return "pass";
+    case CheckVerdict::Fail:
+        return "fail";
+    case CheckVerdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+bool
+verdictFromWord(const std::string &w, CheckVerdict &out)
+{
+    if (w == "pass")
+        out = CheckVerdict::Pass;
+    else if (w == "fail")
+        out = CheckVerdict::Fail;
+    else if (w == "inconclusive")
+        out = CheckVerdict::Inconclusive;
+    else
+        return false;
+    return true;
+}
+
+bool
+opFromName(const std::string &name, model::Op &out)
+{
+    static const model::Op kOps[] = {
+        model::Op::Load,   model::Op::LStore, model::Op::RStore,
+        model::Op::MStore, model::Op::LFlush, model::Op::RFlush,
+        model::Op::Gpf,    model::Op::LRmw,   model::Op::RRmw,
+        model::Op::MRmw,   model::Op::Crash,  model::Op::Tau,
+    };
+    for (model::Op op : kOps) {
+        if (name == model::opName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Backslash/newline escaping keeps the description one line. */
+std::string
+escapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            out += s[i] == 'n' ? '\n' : s[i];
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeReport(const CheckReport &report)
+{
+    std::ostringstream os;
+    os << kReportHeader << "\n";
+    os << "verdict " << verdictWord(report.verdict) << "\n";
+    os << "truncated " << (report.truncated ? 1 : 0) << "\n";
+    os << "timed-out " << (report.timedOut ? 1 : 0) << "\n";
+    os << "configs-visited " << report.stats.configsVisited << "\n";
+    os << "tau-skipped " << report.stats.tauMovesSkipped << "\n";
+    os << "ample-skipped " << report.stats.ampleSkipped << "\n";
+    os << "outcomes " << report.outcomes.size() << "\n";
+    for (const Outcome &o : report.outcomes) {
+        os << "o " << o.crashedThreads << " " << o.regs.size();
+        for (const std::vector<Value> &regs : o.regs) {
+            os << " " << regs.size();
+            for (Value v : regs)
+                os << " " << v;
+        }
+        os << "\n";
+    }
+    os << "cex-labels " << report.counterexample.trace.size() << "\n";
+    for (const model::Label &l : report.counterexample.trace)
+        os << "l " << model::opName(l.op) << " " << l.node << " "
+           << l.addr << " " << l.value << " " << l.expected << "\n";
+    os << "cex-desc "
+       << escapeLine(report.counterexample.description) << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Pull the next '\n'-terminated line out of `text` at `pos`. */
+bool
+nextLine(const std::string &text, size_t &pos, std::string &line)
+{
+    if (pos >= text.size())
+        return false;
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos)
+        return false; // every serialized line is newline-terminated
+    line.assign(text, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+}
+
+/** Parse "<tag> <rest>" lines; false when the tag mismatches. */
+bool
+tagged(const std::string &line, const char *tag, std::string &rest)
+{
+    size_t n = std::string(tag).size();
+    if (line.compare(0, n, tag) != 0)
+        return false;
+    if (line.size() == n) {
+        rest.clear();
+        return true;
+    }
+    if (line[n] != ' ')
+        return false;
+    rest.assign(line, n + 1, std::string::npos);
+    return true;
+}
+
+} // namespace
+
+bool
+parseReport(const std::string &text, CheckReport &out)
+{
+    out = CheckReport{};
+    size_t pos = 0;
+    std::string line, rest;
+    if (!nextLine(text, pos, line) || line != kReportHeader)
+        return false;
+    if (!nextLine(text, pos, line) || !tagged(line, "verdict", rest) ||
+        !verdictFromWord(rest, out.verdict))
+        return false;
+    if (!nextLine(text, pos, line) ||
+        !tagged(line, "truncated", rest))
+        return false;
+    out.truncated = rest == "1";
+    if (!nextLine(text, pos, line) ||
+        !tagged(line, "timed-out", rest))
+        return false;
+    out.timedOut = rest == "1";
+
+    auto counter = [&](const char *tag, size_t &dst) {
+        if (!nextLine(text, pos, line) || !tagged(line, tag, rest))
+            return false;
+        dst = static_cast<size_t>(std::strtoull(rest.c_str(),
+                                                nullptr, 10));
+        return true;
+    };
+    if (!counter("configs-visited", out.stats.configsVisited) ||
+        !counter("tau-skipped", out.stats.tauMovesSkipped) ||
+        !counter("ample-skipped", out.stats.ampleSkipped))
+        return false;
+
+    size_t n_outcomes = 0;
+    if (!counter("outcomes", n_outcomes))
+        return false;
+    for (size_t i = 0; i < n_outcomes; ++i) {
+        if (!nextLine(text, pos, line) || !tagged(line, "o", rest))
+            return false;
+        std::istringstream is(rest);
+        Outcome o;
+        size_t nthreads = 0;
+        if (!(is >> o.crashedThreads >> nthreads))
+            return false;
+        o.regs.resize(nthreads);
+        for (size_t t = 0; t < nthreads; ++t) {
+            size_t nregs = 0;
+            if (!(is >> nregs))
+                return false;
+            o.regs[t].resize(nregs);
+            for (size_t r = 0; r < nregs; ++r)
+                if (!(is >> o.regs[t][r]))
+                    return false;
+        }
+        out.outcomes.insert(std::move(o));
+    }
+
+    size_t n_labels = 0;
+    if (!counter("cex-labels", n_labels))
+        return false;
+    for (size_t i = 0; i < n_labels; ++i) {
+        if (!nextLine(text, pos, line) || !tagged(line, "l", rest))
+            return false;
+        std::istringstream is(rest);
+        std::string opname;
+        model::Label l;
+        long long node, addr, value, expected;
+        if (!(is >> opname >> node >> addr >> value >> expected))
+            return false;
+        if (!opFromName(opname, l.op))
+            return false;
+        l.node = static_cast<NodeId>(node);
+        l.addr = static_cast<Addr>(addr);
+        l.value = static_cast<Value>(value);
+        l.expected = static_cast<Value>(expected);
+        out.counterexample.trace.push_back(l);
+    }
+    if (!nextLine(text, pos, line) || !tagged(line, "cex-desc", rest))
+        return false;
+    out.counterexample.description = unescapeLine(rest);
+    return pos == text.size();
+}
+
+uint64_t
+hashKey(std::string_view key)
+{
+    // FNV-1a over the bytes, finished with the splitmix64 mixer the
+    // rest of the engine hashes with. Filename-grade only: disk
+    // entries embed and verify the full key.
+    uint64_t h = 0xcbf29ce484222325ULL ^
+                 (static_cast<uint64_t>(key.size()) *
+                  0x9e3779b97f4a7c15ULL);
+    for (char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return mixBits(h);
+}
+
+ResultCache::ResultCache(size_t capacity, std::string diskDir)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      diskDir_(std::move(diskDir))
+{
+    if (diskDir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(diskDir_, ec);
+    if (ec) {
+        CXL0_WARN("cache dir '", diskDir_,
+                  "' unusable (", ec.message(),
+                  "); disk store disabled");
+        diskDir_.clear();
+    }
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016" PRIx64 ".res",
+                  hashKey(key));
+    return diskDir_ + "/" + name;
+}
+
+void
+ResultCache::insertFront(const std::string &key, std::string value)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &key)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return it->second->second;
+    }
+    if (!diskDir_.empty()) {
+        if (auto v = diskLookup(key)) {
+            ++stats_.hits;
+            ++stats_.diskHits;
+            insertFront(key, *v);
+            return v;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const std::string &key, const std::string &value)
+{
+    insertFront(key, value);
+    if (!diskDir_.empty())
+        diskStore(key, value);
+}
+
+std::optional<std::string>
+ResultCache::diskLookup(const std::string &key)
+{
+    std::string path = diskPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return std::nullopt; // plain miss, not corruption
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    // Header: "cxl0cache v1\nkey <n>\n<n key bytes>\nvalue <m>\n
+    // <m value bytes>\n" — length-prefixed so keys with newlines
+    // survive, full key compared so hash collisions are misses.
+    size_t pos = 0;
+    std::string line, rest;
+    auto corrupt = [&]() -> std::optional<std::string> {
+        ++stats_.corrupt;
+        CXL0_WARN("corrupted cache entry '", path,
+                  "'; recomputing");
+        return std::nullopt;
+    };
+    if (!nextLine(text, pos, line) || line != kDiskHeader)
+        return corrupt();
+    if (!nextLine(text, pos, line) || !tagged(line, "key", rest))
+        return corrupt();
+    size_t klen = static_cast<size_t>(
+        std::strtoull(rest.c_str(), nullptr, 10));
+    if (pos + klen + 1 > text.size() || text[pos + klen] != '\n')
+        return corrupt();
+    if (text.compare(pos, klen, key) != 0) {
+        // A different key hashed to this file: benign collision.
+        ++stats_.corrupt;
+        return std::nullopt;
+    }
+    pos += klen + 1;
+    if (!nextLine(text, pos, line) || !tagged(line, "value", rest))
+        return corrupt();
+    size_t vlen = static_cast<size_t>(
+        std::strtoull(rest.c_str(), nullptr, 10));
+    if (pos + vlen + 1 != text.size() || text[pos + vlen] != '\n')
+        return corrupt();
+    return text.substr(pos, vlen);
+}
+
+void
+ResultCache::diskStore(const std::string &key,
+                       const std::string &value)
+{
+    std::string path = diskPath(key);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream outf(tmp, std::ios::binary |
+                                    std::ios::trunc);
+        if (!outf.is_open()) {
+            CXL0_WARN("cannot write cache entry '", tmp,
+                      "'; disk store disabled");
+            diskDir_.clear();
+            return;
+        }
+        outf << kDiskHeader << "\n";
+        outf << "key " << key.size() << "\n" << key << "\n";
+        outf << "value " << value.size() << "\n" << value << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        CXL0_WARN("cannot publish cache entry '", path, "' (",
+                  ec.message(), ")");
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    ++stats_.diskWrites;
+}
+
+} // namespace cxl0::check

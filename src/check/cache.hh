@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Content-addressed result cache over the CheckReport vocabulary.
+ *
+ * The scenario DSL's canonical dumper makes every scenario its own
+ * content key (`parse(dump(p)) == p`), and every checker speaks
+ * CheckRequest/CheckReport — so one cache can front all four: the key
+ * is the full canonical text (scenario dump + canonical request +
+ * checker route, built by lang::cacheKey), and the value is the
+ * *deterministic projection* of the CheckReport serialized by
+ * serializeReport.
+ *
+ * Deterministic projection: verdict, truncation flags, outcome set,
+ * counterexample, and the schedule-invariant counters
+ * (configsVisited / tauMovesSkipped / ampleSkipped — all pure
+ * functions of the reduced search graph). Wall-clock, RSS, steal
+ * counters, and table sizes (which depend on how warm a pooled
+ * context is) are excluded — configsInterned among them: the trace
+ * checkers report it from the shared frame table, so it grows with
+ * pool warmth — which is what makes "a cache hit
+ * is byte-identical to a recompute" a testable gate rather than a
+ * race. Timed-out or truncated reports are never stored: a
+ * wall-clock cut is not reproducible, and a budget cut at
+ * numThreads > 1 depends on scheduling.
+ *
+ * Storage is a capacity-bounded in-memory LRU, optionally backed by
+ * an on-disk store (one file per entry, named by a 64-bit hash of
+ * the key). Disk entries embed the full key and are verified on
+ * load, so a hash collision or a corrupted/truncated file is a
+ * counted miss + warning, never a wrong answer.
+ *
+ * Not thread-safe: one cache per serving thread.
+ */
+
+#ifndef CXL0_CHECK_CACHE_HH
+#define CXL0_CHECK_CACHE_HH
+
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "check/engine.hh"
+
+namespace cxl0::check
+{
+
+/**
+ * The deterministic projection of `report` in a canonical line-based
+ * text form ("cxl0report v1"). Two runs of the same request at the
+ * same thread count serialize identically; numThreads=1 runs are
+ * deterministic unconditionally.
+ */
+std::string serializeReport(const CheckReport &report);
+
+/**
+ * Inverse of serializeReport over its image; false on malformed
+ * input (out is then partially filled and must be discarded).
+ * serializeReport(parsed) == input is a tested round-trip.
+ */
+bool parseReport(const std::string &text, CheckReport &out);
+
+/** 64-bit content hash of a cache key (filename-grade; the full key
+ *  is verified on every disk load, so collisions are benign). */
+uint64_t hashKey(std::string_view key);
+
+struct CacheStats
+{
+    size_t hits = 0;       //!< lookups served (memory or disk)
+    size_t misses = 0;     //!< lookups that found nothing
+    size_t evictions = 0;  //!< LRU entries dropped at capacity
+    size_t diskHits = 0;   //!< hits that came from the disk store
+    size_t diskWrites = 0; //!< entries persisted to disk
+    size_t corrupt = 0;    //!< unreadable / mismatching disk entries
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * `capacity` bounds the in-memory LRU (>= 1). A non-empty
+     * `diskDir` enables the on-disk store (created if missing);
+     * an unusable directory warns once and degrades to memory-only.
+     */
+    explicit ResultCache(size_t capacity, std::string diskDir = "");
+
+    /** The serialized value for `key`, refreshing LRU recency. */
+    std::optional<std::string> lookup(const std::string &key);
+
+    /** Insert/refresh `key`; evicts LRU tail beyond capacity and
+     *  mirrors to the disk store when one is configured. */
+    void store(const std::string &key, const std::string &value);
+
+    const CacheStats &stats() const { return stats_; }
+    size_t size() const { return lru_.size(); }
+    size_t capacity() const { return capacity_; }
+
+  private:
+    std::optional<std::string> diskLookup(const std::string &key);
+    void diskStore(const std::string &key, const std::string &value);
+    std::string diskPath(const std::string &key) const;
+    void insertFront(const std::string &key, std::string value);
+
+    size_t capacity_;
+    std::string diskDir_;
+    /** front = most recently used. */
+    std::list<std::pair<std::string, std::string>> lru_;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index_;
+    CacheStats stats_;
+};
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_CACHE_HH

@@ -5,6 +5,7 @@
 #include <bit>
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 
@@ -230,8 +231,10 @@ struct ExplorerWorker
 } // namespace
 
 CheckReport
-Explorer::check() const
+Explorer::check(ModelContext *shared) const
 {
+    if (shared && &shared->model() != &model_)
+        CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
     const size_t nthreads = program_.threads.size();
     const size_t nnodes = model_.config().numNodes();
@@ -293,7 +296,10 @@ Explorer::check() const
 
     // ---- shared context, register interning, sharded frontier ---------
     CheckReport res;
-    ModelContext ctx(model_);
+    std::optional<ModelContext> own_ctx;
+    if (!shared)
+        own_ctx.emplace(model_);
+    ModelContext &ctx = shared ? *shared : *own_ctx;
     const size_t reg_stride = std::max<size_t>(nthreads * nregs, 1);
     ValueSpanTable reg_files(reg_stride);
 
@@ -445,13 +451,20 @@ Explorer::check() const
             //     (volatile owner) nor wipe/poison a line the step
             //     writes.
             //
-            // Both shapes additionally require that the step not
-            // complete the whole program while a machine hosting an
-            // alive thread can still crash: completed configurations
-            // are final (crashes past completion are not explored),
-            // and Outcome records *which* threads crashed, so
-            // deferring such a crash past the last step would lose
-            // its crashed-thread outcomes.
+            // Both shapes additionally require that the step not be
+            // the *final instruction of its own thread* while a
+            // machine hosting an alive thread can still crash.
+            // Completed configurations are final (crashes past
+            // completion are not explored) and Outcome records
+            // *which* threads crashed, so orderings that crash late
+            // must stay reachable. If the ample step finishes thread
+            // t's code, the deferred interleaving where the other
+            // threads first run to completion loses its pending
+            // crash entirely — the crash was only enabled while t's
+            // last instruction was still outstanding. Any non-final
+            // step of t keeps t's code nonempty in every deferred
+            // interleaving, so completion cannot overtake a pending
+            // crash that the original orderings could take.
             //
             // Every check is a pure function of the configuration, so
             // the reduced graph — and every count derived from it —
@@ -459,14 +472,9 @@ Explorer::check() const
             // steal schedule.
             if (use_ample) {
                 auto completion_safe = [&](size_t t) {
-                    for (size_t u = 0; u < nthreads; ++u) {
-                        if (!(cur.alive >> u & 1))
-                            continue;
-                        size_t upc =
-                            pcOf(cur.pc, u) + (u == t ? 1 : 0);
-                        if (upc < program_.threads[u].code.size())
-                            return true; // not the last step
-                    }
+                    if (pcOf(cur.pc, t) + 1 <
+                        program_.threads[t].code.size())
+                        return true; // t's code stays nonempty
                     for (size_t n = 0; n < nnodes; ++n) {
                         if (budgetw.get(cur.crash, n) > 0 &&
                             (cur.alive & node_threads[n]) != 0)

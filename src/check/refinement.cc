@@ -6,6 +6,7 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -245,8 +246,15 @@ pairShardHash(const PairConfig &p)
 
 CheckReport
 checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
-                const Alphabet &alphabet, const CheckRequest &request)
+                const Alphabet &alphabet, const CheckRequest &request,
+                ModelContext *spec_shared, ModelContext *impl_shared)
 {
+    if (spec_shared && &spec_shared->model() != &spec)
+        CXL0_FATAL("shared spec ModelContext built over a different "
+                   "model");
+    if (impl_shared && &impl_shared->model() != &impl)
+        CXL0_FATAL("shared impl ModelContext built over a different "
+                   "model");
     auto t_start = std::chrono::steady_clock::now();
     if (spec.config().numNodes() != impl.config().numNodes() ||
         spec.config().numAddrs() != impl.config().numAddrs()) {
@@ -268,7 +276,13 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
 
     CheckReport res;
     const size_t nworkers = std::max<size_t>(request.numThreads, 1);
-    ModelContext spec_ctx(spec), impl_ctx(impl);
+    std::optional<ModelContext> own_spec, own_impl;
+    if (!spec_shared)
+        own_spec.emplace(spec);
+    if (!impl_shared)
+        own_impl.emplace(impl);
+    ModelContext &spec_ctx = spec_shared ? *spec_shared : *own_spec;
+    ModelContext &impl_ctx = impl_shared ? *impl_shared : *own_impl;
     SharedTraceDag dag;
     ShardedFrontier sf(nworkers, FrontierPolicy::DepthFirst);
     const Deadline deadline(request.timeBudgetMs);

@@ -64,7 +64,9 @@ struct Alphabet
 CheckReport checkRefinement(const model::Cxl0Model &spec,
                             const model::Cxl0Model &impl,
                             const Alphabet &alphabet,
-                            const CheckRequest &request);
+                            const CheckRequest &request,
+                            ModelContext *spec_shared = nullptr,
+                            ModelContext *impl_shared = nullptr);
 
 /**
  * The pre-engine implementation, kept executable: deep-copied

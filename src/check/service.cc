@@ -1,0 +1,59 @@
+#include "check/service.hh"
+
+namespace cxl0::check
+{
+
+std::string
+contextPoolKey(const model::SystemConfig &cfg,
+               model::ModelVariant variant)
+{
+    std::string key;
+    switch (variant) {
+    case model::ModelVariant::Base:
+        key = "base";
+        break;
+    case model::ModelVariant::Psn:
+        key = "psn";
+        break;
+    case model::ModelVariant::Lwb:
+        key = "lwb";
+        break;
+    }
+    key += ";m=";
+    for (size_t n = 0; n < cfg.numNodes(); ++n)
+        key += cfg.isPersistent(static_cast<NodeId>(n)) ? 'n' : 'v';
+    key += ";o=";
+    for (size_t a = 0; a < cfg.numAddrs(); ++a) {
+        if (a)
+            key += ',';
+        key += std::to_string(cfg.ownerOf(static_cast<Addr>(a)));
+    }
+    return key;
+}
+
+ContextPool::Entry &
+ContextPool::acquire(const model::SystemConfig &cfg,
+                     model::ModelVariant variant)
+{
+    std::string key = contextPoolKey(cfg, variant);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++reuses_;
+        return *it->second;
+    }
+    auto entry = std::make_unique<Entry>(cfg, variant);
+    Entry &ref = *entry;
+    entries_.emplace(std::move(key), std::move(entry));
+    return ref;
+}
+
+size_t
+ContextPool::bytes() const
+{
+    size_t total = 0;
+    for (const auto &[key, entry] : entries_)
+        total += entry->ctx.bytes();
+    return total;
+}
+
+} // namespace cxl0::check

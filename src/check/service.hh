@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared-context pooling for batch / service checking.
+ *
+ * Every checker entry point builds a fresh ModelContext per request:
+ * correct, but a batch runner (`cxl0check serve`, the fuzz farm's
+ * cache trial) that drives hundreds of scenarios over a handful of
+ * system shapes then re-interns the same states, frames, and tau
+ * closures over and over. A ContextPool keys one persistent
+ * (Cxl0Model, ModelContext) pair per distinct (SystemConfig, variant)
+ * and hands it to the shared-context seams the checkers grew
+ * (Explorer::check(ModelContext*), checkTraceFeasible,
+ * checkTraceInclusion, checkRefinement): interning tables and
+ * publish-once memos survive across requests, so request N+1 starts
+ * with every closure request N computed.
+ *
+ * Interning is semantics-free — a warm context changes table-size
+ * statistics (statesInterned / framesInterned / tableBytes), never a
+ * verdict, an outcome set, or a counterexample. The result cache
+ * (check/cache.hh) serializes only the deterministic report fields,
+ * so pooled and fresh runs are byte-identical under that projection.
+ *
+ * Not thread-safe: one pool per serving thread (the checkers
+ * themselves may still fan out workers over a pooled context).
+ */
+
+#ifndef CXL0_CHECK_SERVICE_HH
+#define CXL0_CHECK_SERVICE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "check/engine.hh"
+
+namespace cxl0::check
+{
+
+/** Canonical pool key: variant + persistence map + owner map. */
+std::string contextPoolKey(const model::SystemConfig &cfg,
+                           model::ModelVariant variant);
+
+class ContextPool
+{
+  public:
+    /** One (SystemConfig, variant) worth of persistent state. */
+    struct Entry
+    {
+        Entry(const model::SystemConfig &cfg, model::ModelVariant v)
+            : model(cfg, v), ctx(model)
+        {
+        }
+
+        model::Cxl0Model model;
+        ModelContext ctx;
+    };
+
+    /** The pooled entry for (cfg, variant), built on first use. */
+    Entry &acquire(const model::SystemConfig &cfg,
+                   model::ModelVariant variant);
+
+    /** Distinct (config, variant) shapes seen. */
+    size_t size() const { return entries_.size(); }
+
+    /** acquire() calls served by an existing entry. */
+    size_t reuses() const { return reuses_; }
+
+    /** Resident bytes across every pooled context. */
+    size_t bytes() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Entry>> entries_;
+    size_t reuses_ = 0;
+};
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_SERVICE_HH

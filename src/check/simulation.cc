@@ -4,8 +4,11 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+
+#include "common/logging.hh"
 
 namespace cxl0::check
 {
@@ -72,14 +75,19 @@ checkTraceInclusion(const Cxl0Model &model,
                     const std::vector<State> &states,
                     const std::vector<Label> &lhs,
                     const std::vector<Label> &rhs,
-                    const CheckRequest &request)
+                    const CheckRequest &request, ModelContext *shared)
 {
+    if (shared && &shared->model() != &model)
+        CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
     CheckReport res;
     // One shared context for every start state and worker: tau
     // closures computed for one gamma's walk are memo hits for every
     // later walk, whichever worker runs it.
-    ModelContext ctx(model);
+    std::optional<ModelContext> own_ctx;
+    if (!shared)
+        own_ctx.emplace(model);
+    ModelContext &ctx = shared ? *shared : *own_ctx;
     const size_t nworkers = std::max<size_t>(request.numThreads, 1);
 
     // Start states are claimed dynamically from one shared counter —

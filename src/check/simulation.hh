@@ -60,7 +60,8 @@ CheckReport checkTraceInclusion(const model::Cxl0Model &model,
                                 const std::vector<model::State> &states,
                                 const std::vector<model::Label> &lhs,
                                 const std::vector<model::Label> &rhs,
-                                const CheckRequest &request);
+                                const CheckRequest &request,
+                                ModelContext *shared = nullptr);
 
 /** Historical entry point: thin shim over the unified form. */
 SimulationResult

@@ -1,8 +1,10 @@
 #include "check/trace.hh"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "model/state_table.hh"
 
 namespace cxl0::check
@@ -73,14 +75,20 @@ TraceChecker::firstBlockedIndex(const State &init,
 CheckReport
 checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
                        const std::vector<Label> &trace,
-                       const CheckRequest &request)
+                       const CheckRequest &request,
+                       ModelContext *shared)
 {
+    if (shared && &shared->model() != &model)
+        CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
     CheckReport res;
     // One ModelContext + one ShardEngine (that's what a SearchEngine
     // is): the prefix walk is a single dependency chain, so
     // request.numThreads has nothing to fan out and one worker runs.
-    SearchEngine engine(model);
+    std::optional<ModelContext> own_ctx;
+    if (!shared)
+        own_ctx.emplace(model);
+    ShardEngine engine(shared ? *shared : *own_ctx);
     const Deadline deadline(request.timeBudgetMs);
     FrameId frontier = engine.closedSingleton(init);
     size_t k = 0;
@@ -118,7 +126,8 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
     engine.fillStats(res.stats);
     res.stats.configsInterned = engine.frames().size();
     res.stats.tableBytes = engine.context().bytes();
-    res.stats.peakVisitedBytes = engine.bytes();
+    res.stats.peakVisitedBytes =
+        engine.context().bytes() + engine.bytes();
     res.stats.processPeakRssBytes = processPeakRssBytes();
     res.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -130,10 +139,10 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
 CheckReport
 checkTraceFeasible(const Cxl0Model &model,
                    const std::vector<Label> &trace,
-                   const CheckRequest &request)
+                   const CheckRequest &request, ModelContext *shared)
 {
     return checkTraceFeasibleFrom(model, model.initialState(), trace,
-                                  request);
+                                  request, shared);
 }
 
 } // namespace cxl0::check

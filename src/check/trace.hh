@@ -55,13 +55,20 @@ model::FrameId frameAfterWalk(ShardEngine &eng, const State &init,
  */
 CheckReport checkTraceFeasible(const Cxl0Model &model,
                                const std::vector<Label> &trace,
-                               const CheckRequest &request = {});
+                               const CheckRequest &request = {},
+                               ModelContext *shared = nullptr);
 
-/** As above, from a caller-provided start state. */
+/**
+ * As above, from a caller-provided start state. When `shared` is
+ * given it must be built over the same model; the prefix walk then
+ * interns into its tables (persistent across requests — the serve
+ * seam). Verdicts are value-identical either way.
+ */
 CheckReport checkTraceFeasibleFrom(const Cxl0Model &model,
                                    const State &init,
                                    const std::vector<Label> &trace,
-                                   const CheckRequest &request = {});
+                                   const CheckRequest &request = {},
+                                   ModelContext *shared = nullptr);
 
 /**
  * Decides feasibility of serialized label traces. Holds a

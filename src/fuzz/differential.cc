@@ -1,0 +1,234 @@
+#include "fuzz/differential.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "check/cache.hh"
+
+namespace cxl0::fuzz
+{
+
+using check::CheckReport;
+using check::Outcome;
+using lang::Scenario;
+
+namespace
+{
+
+lang::RunOptions
+exploreOptions(const DiffOptions &d, check::Reduction red,
+               size_t threads, check::FrontierPolicy policy)
+{
+    lang::RunOptions o;
+    o.checker = lang::CheckerKind::Explore;
+    o.numThreads = threads;
+    o.maxConfigs = d.maxConfigs;
+    if (d.timeBudgetMs)
+        o.timeBudgetMs = d.timeBudgetMs;
+    o.reduction = red;
+    o.policy = policy;
+    return o;
+}
+
+/** First element of `a` not in `b`, described; empty when none. */
+std::string
+firstMissing(const std::set<Outcome> &a, const std::set<Outcome> &b)
+{
+    for (const Outcome &o : a)
+        if (!b.count(o))
+            return o.describe();
+    return "";
+}
+
+bool
+compareReports(const CheckReport &base, const CheckReport &other,
+               const char *gate, std::vector<DiffFinding> &findings)
+{
+    bool ok = true;
+    if (base.verdict != other.verdict) {
+        std::ostringstream os;
+        os << "verdict flip: baseline "
+           << check::checkVerdictName(base.verdict) << ", " << gate
+           << " " << check::checkVerdictName(other.verdict);
+        findings.push_back({gate, os.str()});
+        ok = false;
+    }
+    if (base.outcomes != other.outcomes) {
+        std::ostringstream os;
+        os << "outcome-set divergence: baseline "
+           << base.outcomes.size() << " outcomes, " << gate << " "
+           << other.outcomes.size();
+        std::string lost = firstMissing(base.outcomes,
+                                        other.outcomes);
+        std::string extra = firstMissing(other.outcomes,
+                                         base.outcomes);
+        if (!lost.empty())
+            os << "; lost " << lost;
+        if (!extra.empty())
+            os << "; extra " << extra;
+        findings.push_back({gate, os.str()});
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace
+
+DiffResult
+runDifferential(const Scenario &sc, const DiffOptions &d)
+{
+    DiffResult res;
+    const char *gate = "baseline";
+    try {
+        // ---- round-trip gate ----------------------------------------
+        gate = "roundtrip";
+        ++res.gatesRun;
+        {
+            std::string text = lang::dumpScenario(sc);
+            lang::ParseResult parsed = lang::parseScenario(text);
+            if (!parsed.ok()) {
+                res.findings.push_back(
+                    {gate, "canonical dump does not re-parse: " +
+                               parsed.error->render()});
+                return res;
+            }
+            if (!(parsed.scenario == sc)) {
+                res.findings.push_back(
+                    {gate,
+                     "parse(dump(sc)) != sc (field drift through "
+                     "the serializer)"});
+                return res;
+            }
+        }
+
+        // ---- baseline: ample, 1 thread, DFS -------------------------
+        gate = "baseline";
+        lang::RunResult base = lang::runScenario(
+            sc, exploreOptions(d, check::Reduction::Ample, 1,
+                               check::FrontierPolicy::DepthFirst));
+        res.baseline = base.report;
+        if (!base.error.empty()) {
+            res.crashed = true;
+            res.findings.push_back(
+                {gate, "driver error: " + base.error});
+            return res;
+        }
+        if (base.report.truncated || base.report.timedOut) {
+            // Truncated outcome subsets depend on visit order and
+            // scheduling by design: not comparable, not a bug.
+            res.skipped = true;
+            return res;
+        }
+
+        // ---- determinism + cache serde ------------------------------
+        gate = "determinism";
+        ++res.gatesRun;
+        {
+            std::string bytes = check::serializeReport(base.report);
+            lang::RunResult again = lang::runScenario(
+                sc,
+                exploreOptions(d, check::Reduction::Ample, 1,
+                               check::FrontierPolicy::DepthFirst));
+            if (check::serializeReport(again.report) != bytes)
+                res.findings.push_back(
+                    {gate, "re-run of the identical request "
+                           "serialized differently"});
+            CheckReport parsed;
+            if (!check::parseReport(bytes, parsed) ||
+                check::serializeReport(parsed) != bytes)
+                res.findings.push_back(
+                    {"serde", "serializeReport/parseReport do not "
+                              "round-trip"});
+        }
+
+        // ---- reduction gates ----------------------------------------
+        bool none_comparable = false;
+        CheckReport none_report;
+        for (check::Reduction red :
+             {check::Reduction::None, check::Reduction::Tau}) {
+            gate = red == check::Reduction::None ? "reduction-none"
+                                                 : "reduction-tau";
+            lang::RunResult r = lang::runScenario(
+                sc, exploreOptions(d, red, 1,
+                                   check::FrontierPolicy::DepthFirst));
+            if (r.report.truncated || r.report.timedOut) {
+                // The unreduced graph can overflow a budget the
+                // ample graph fits in; that is the reduction
+                // working, not a divergence.
+                res.gatesSkipped.push_back(gate);
+                continue;
+            }
+            ++res.gatesRun;
+            compareReports(base.report, r.report, gate,
+                           res.findings);
+            if (red == check::Reduction::None) {
+                none_comparable = true;
+                none_report = r.report;
+            }
+        }
+
+        // ---- thread-count gate --------------------------------------
+        gate = "threads";
+        if (d.altThreads > 1) {
+            lang::RunResult r = lang::runScenario(
+                sc, exploreOptions(d, check::Reduction::Ample,
+                                   d.altThreads,
+                                   check::FrontierPolicy::DepthFirst));
+            if (r.report.truncated || r.report.timedOut) {
+                res.gatesSkipped.push_back(gate);
+            } else {
+                ++res.gatesRun;
+                compareReports(base.report, r.report, gate,
+                               res.findings);
+            }
+        }
+
+        // ---- frontier-policy gate -----------------------------------
+        gate = "frontier";
+        {
+            lang::RunResult r = lang::runScenario(
+                sc, exploreOptions(d, check::Reduction::Ample, 1,
+                                   check::FrontierPolicy::BreadthFirst));
+            if (r.report.truncated || r.report.timedOut) {
+                res.gatesSkipped.push_back(gate);
+            } else {
+                ++res.gatesRun;
+                compareReports(base.report, r.report, gate,
+                               res.findings);
+            }
+        }
+
+        // ---- deep-copy reference gate -------------------------------
+        gate = "reference";
+        if (d.runReference) {
+            if (!none_comparable ||
+                none_report.stats.configsVisited >
+                    d.referenceConfigCap) {
+                res.gatesSkipped.push_back(gate);
+            } else {
+                check::CheckRequest req = sc.request;
+                req.maxConfigs = d.maxConfigs;
+                if (d.timeBudgetMs)
+                    req.timeBudgetMs = d.timeBudgetMs;
+                model::Cxl0Model model(sc.config(), sc.variant);
+                CheckReport ref =
+                    check::Explorer(model, sc.program, req)
+                        .checkReference();
+                if (ref.truncated || ref.timedOut) {
+                    res.gatesSkipped.push_back(gate);
+                } else {
+                    ++res.gatesRun;
+                    compareReports(base.report, ref, gate,
+                                   res.findings);
+                }
+            }
+        }
+    } catch (const std::exception &e) {
+        res.crashed = true;
+        res.findings.push_back(
+            {gate, std::string("checker threw: ") + e.what()});
+    }
+    return res;
+}
+
+} // namespace cxl0::fuzz

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Differential oracles over one scenario.
+ *
+ * A fuzzer needs an oracle, and the checker stack carries several
+ * implementations of the same semantics that are *proven or tested
+ * to agree*; any disagreement on any well-formed scenario is a bug
+ * by construction. runDifferential drives one scenario through every
+ * gate:
+ *
+ *  - round-trip: parse(dump(sc)) == sc (the canonical-form
+ *    guarantee the corpus and the result cache key both lean on);
+ *  - determinism + serde: re-running the baseline reproduces a
+ *    byte-identical deterministic report projection, and
+ *    parseReport(serializeReport(r)) re-serializes identically
+ *    (the cache's storage contract);
+ *  - reduction: outcome sets under `none`, `tau`, and `ample` must
+ *    be identical (the partial-order-reduction soundness claims);
+ *  - threads: numThreads 1 vs N must agree (work-stealing /
+ *    admission-pinning invariance);
+ *  - frontier: DFS vs BFS must agree (visit-order invariance);
+ *  - reference: the interned packed-config search vs the deep-copy
+ *    reference explorer (Explorer::checkReference) must agree.
+ *
+ * A baseline run that truncates or times out makes the scenario
+ * *not comparable* (truncated outcome subsets are schedule- and
+ * order-dependent by design), so it is counted as skipped, never as
+ * a divergence; the same applies per-gate when only the wider
+ * `none`-reduction graph overflows the budget. Any exception thrown
+ * by a checker (CXL0_FATAL/PANIC) is caught and reported as a crash
+ * finding.
+ */
+
+#ifndef CXL0_FUZZ_DIFFERENTIAL_HH
+#define CXL0_FUZZ_DIFFERENTIAL_HH
+
+#include <string>
+#include <vector>
+
+#include "lang/run.hh"
+
+namespace cxl0::fuzz
+{
+
+struct DiffOptions
+{
+    /** Per-run config budget (driver override; keeps a pathological
+     *  generated scenario from eating the farm's wall clock). */
+    size_t maxConfigs = 250000;
+    /** The N of the threads-1-vs-N gate. */
+    size_t altThreads = 4;
+    /** Per-run wall-clock budget in ms; 0 = none. */
+    uint64_t timeBudgetMs = 0;
+    /** Run the deep-copy reference explorer gate. */
+    bool runReference = true;
+    /**
+     * Skip the reference gate when the unreduced graph visited more
+     * configs than this (the deep-copy path re-expands that graph
+     * with full State copies — quadratic pain on big scenarios).
+     */
+    size_t referenceConfigCap = 50000;
+
+    bool operator==(const DiffOptions &other) const = default;
+};
+
+struct DiffFinding
+{
+    std::string gate;   //!< "roundtrip", "reduction-none", ...
+    std::string detail; //!< human-readable divergence description
+};
+
+struct DiffResult
+{
+    /** Baseline truncated/timed out: gates not comparable. */
+    bool skipped = false;
+    /** A checker threw (contained); findings carries the what(). */
+    bool crashed = false;
+    std::vector<DiffFinding> findings;
+    /** Gates individually skipped (e.g. none-graph over budget). */
+    std::vector<std::string> gatesSkipped;
+    /** The ample/1-thread/DFS baseline report. */
+    check::CheckReport baseline;
+    size_t gatesRun = 0;
+
+    bool clean() const { return !crashed && findings.empty(); }
+};
+
+/** Drive one scenario through every differential gate. */
+DiffResult runDifferential(const lang::Scenario &sc,
+                           const DiffOptions &opts = {});
+
+} // namespace cxl0::fuzz
+
+#endif // CXL0_FUZZ_DIFFERENTIAL_HH

@@ -1,0 +1,241 @@
+#include "fuzz/farm.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cxl0::fuzz
+{
+
+using lang::Scenario;
+
+namespace
+{
+
+/** The farm's canonical run: ample, 1 thread, DFS (the baseline the
+ *  differential gates compare everything against, and a fully
+ *  deterministic request the cache trial can verify byte-wise). */
+lang::RunOptions
+baselineOptions(const DiffOptions &d)
+{
+    lang::RunOptions o;
+    o.checker = lang::CheckerKind::Explore;
+    o.numThreads = 1;
+    o.maxConfigs = d.maxConfigs;
+    if (d.timeBudgetMs)
+        o.timeBudgetMs = d.timeBudgetMs;
+    o.reduction = check::Reduction::Ample;
+    o.policy = check::FrontierPolicy::DepthFirst;
+    return o;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+findingArtifact(uint64_t seed, const DiffResult &outcome,
+                const Scenario &minimized)
+{
+    std::ostringstream os;
+    os << "# fuzz finding (seed " << seed << "): the differential\n";
+    os << "# gates disagree on this scenario. Replay with\n";
+    os << "#   cxl0check fuzz --replay <this directory>\n";
+    for (const DiffFinding &f : outcome.findings)
+        os << "# " << f.gate << ": " << f.detail << "\n";
+    os << lang::dumpScenario(minimized);
+    return os.str();
+}
+
+} // namespace
+
+FarmReport
+runFarm(const FarmOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    FarmReport report;
+
+    struct CleanCase
+    {
+        uint64_t seed;
+        size_t configsVisited;
+        Scenario sc;
+        std::set<check::Outcome> outcomes;
+    };
+    std::vector<CleanCase> cleanCases;
+
+    for (size_t i = 0; i < opts.count; ++i) {
+        uint64_t seed = scenarioSeed(opts.seed, i);
+        Scenario sc = generateScenario(seed, opts.gen);
+        DiffResult r = runDifferential(sc, opts.diff);
+        ++report.generated;
+        report.gatesRun += r.gatesRun;
+        if (r.skipped) {
+            ++report.skipped;
+            continue;
+        }
+        if (r.clean()) {
+            ++report.clean;
+            cleanCases.push_back({seed,
+                                  r.baseline.stats.configsVisited,
+                                  std::move(sc),
+                                  r.baseline.outcomes});
+            continue;
+        }
+
+        if (r.crashed)
+            ++report.crashed;
+        else
+            ++report.diverged;
+        FarmFinding finding;
+        finding.seed = seed;
+        finding.crashed = r.crashed;
+        if (!r.findings.empty()) {
+            finding.gate = r.findings.front().gate;
+            finding.detail = r.findings.front().detail;
+        }
+        Scenario minimized = sc;
+        DiffResult outcome = r;
+        if (opts.shrink) {
+            ShrinkResult shrunk =
+                shrinkScenario(sc, opts.diff, opts.shrinkLimits);
+            finding.shrinkAttempts = shrunk.attempts;
+            minimized = std::move(shrunk.minimized);
+            outcome = std::move(shrunk.outcome);
+        }
+        finding.filename =
+            "finding-" + std::to_string(seed) + ".cxl0";
+        finding.artifact = findingArtifact(seed, outcome, minimized);
+        CXL0_WARN("fuzz finding at seed ", seed, ": [",
+                  finding.gate, "] ", finding.detail);
+        report.findings.push_back(std::move(finding));
+    }
+
+    // ---- keep-N exports ---------------------------------------------
+    if (opts.keep > 0 && !cleanCases.empty()) {
+        std::sort(cleanCases.begin(), cleanCases.end(),
+                  [](const CleanCase &a, const CleanCase &b) {
+                      if (a.configsVisited != b.configsVisited)
+                          return a.configsVisited > b.configsVisited;
+                      return a.seed < b.seed;
+                  });
+        size_t n = std::min(opts.keep, cleanCases.size());
+        for (size_t k = 0; k < n; ++k) {
+            CleanCase &c = cleanCases[k];
+            Scenario anchored = c.sc;
+            anchored.expectKind = lang::AnchorKind::Exact;
+            anchored.expected.assign(c.outcomes.begin(),
+                                     c.outcomes.end());
+            std::ostringstream os;
+            os << "# fuzz farm export (seed " << c.seed << "): the\n";
+            os << "# exact outcome set below is the baseline the\n";
+            os << "# differential gates agreed on.\n";
+            os << lang::dumpScenario(anchored);
+            report.kept.push_back(
+                {"fuzz-" + std::to_string(c.seed) + ".cxl0",
+                 os.str()});
+        }
+    }
+
+    // ---- cache trial ------------------------------------------------
+    if (opts.cacheTrial && !cleanCases.empty()) {
+        lang::ServiceOptions so;
+        so.run = baselineOptions(opts.diff);
+        so.cacheCapacity = opts.cacheCapacity;
+        so.cacheDir = opts.cacheDir;
+        so.verifyHits = true;
+        lang::ScenarioService service(so);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const CleanCase &c : cleanCases) {
+                lang::ScenarioService::Response resp =
+                    service.handle(c.sc);
+                if (!resp.byteIdentical) {
+                    report.cacheByteIdentical = false;
+                    CXL0_WARN("cache hit not byte-identical to "
+                              "recompute at seed ", c.seed);
+                }
+            }
+        }
+        const check::CacheStats &cs = service.cacheStats();
+        report.cacheLookups = cs.hits + cs.misses;
+        report.cacheHits = cs.hits;
+    }
+
+    report.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return report;
+}
+
+std::string
+farmJson(const FarmOptions &opts, const FarmReport &report,
+         bool stable)
+{
+    std::ostringstream os;
+    double secs = stable ? 0.0 : report.seconds;
+    double rate = (stable || report.seconds <= 0.0)
+                      ? 0.0
+                      : static_cast<double>(report.generated) /
+                            report.seconds;
+    double hitRate =
+        report.cacheLookups == 0
+            ? 0.0
+            : static_cast<double>(report.cacheHits) /
+                  static_cast<double>(report.cacheLookups);
+    os << "{\n";
+    os << "  \"bench\": \"fuzz\",\n";
+    os << "  \"seed\": " << opts.seed << ",\n";
+    os << "  \"count\": " << opts.count << ",\n";
+    os << "  \"max_configs\": " << opts.diff.maxConfigs << ",\n";
+    os << "  \"alt_threads\": " << opts.diff.altThreads << ",\n";
+    os << "  \"generated\": " << report.generated << ",\n";
+    os << "  \"clean\": " << report.clean << ",\n";
+    os << "  \"skipped\": " << report.skipped << ",\n";
+    os << "  \"diverged\": " << report.diverged << ",\n";
+    os << "  \"crashed\": " << report.crashed << ",\n";
+    os << "  \"gates_run\": " << report.gatesRun << ",\n";
+    os << "  \"findings\": [\n";
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+        const FarmFinding &f = report.findings[i];
+        os << "    {\"seed\": " << f.seed << ", \"gate\": \""
+           << jsonEscape(f.gate) << "\", \"crashed\": "
+           << (f.crashed ? "true" : "false")
+           << ", \"shrink_attempts\": " << f.shrinkAttempts
+           << ", \"artifact\": \"" << jsonEscape(f.filename)
+           << "\", \"detail\": \"" << jsonEscape(f.detail) << "\"}";
+        os << (i + 1 == report.findings.size() ? "\n" : ",\n");
+    }
+    os << "  ],\n";
+    os << "  \"kept\": [";
+    for (size_t i = 0; i < report.kept.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(report.kept[i].filename) << "\"";
+    os << "],\n";
+    os << "  \"cache\": {\"lookups\": " << report.cacheLookups
+       << ", \"hits\": " << report.cacheHits << ", \"hit_rate\": "
+       << hitRate << ", \"byte_identical\": "
+       << (report.cacheByteIdentical ? "true" : "false") << "},\n";
+    os << "  \"all_pass\": " << (report.pass() ? "true" : "false")
+       << ",\n";
+    os << "  \"seconds\": " << secs << ",\n";
+    os << "  \"scenarios_per_sec\": " << rate << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace cxl0::fuzz

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The fuzzing farm: seeded scenario generation at scale.
+ *
+ * runFarm drives `count` generated scenarios (seeds derived from one
+ * farm seed via scenarioSeed, so any single case replays standalone)
+ * through the differential gates, shrinks every finding to a minimal
+ * committable `.cxl0` artifact, exports the `keep` most interesting
+ * clean scenarios as exact-anchored corpus files (regression seeds
+ * for `--corpus corpus/fuzz`), and finishes with a cache trial: each
+ * comparable scenario runs twice through one ScenarioService with
+ * verify-hits on, so the second pass must hit the cache AND the hit
+ * must be byte-identical to a recompute. farmJson renders the report
+ * in the tracked BENCH_*.json shape (`"bench": "fuzz"`).
+ */
+
+#ifndef CXL0_FUZZ_FARM_HH
+#define CXL0_FUZZ_FARM_HH
+
+#include "fuzz/generate.hh"
+#include "fuzz/shrink.hh"
+#include "lang/service.hh"
+
+namespace cxl0::fuzz
+{
+
+struct FarmOptions
+{
+    uint64_t seed = 1;
+    size_t count = 100;
+    GenOptions gen;
+    DiffOptions diff;
+    /** Shrink findings before reporting them. */
+    bool shrink = true;
+    ShrinkLimits shrinkLimits;
+    /**
+     * Export the N clean scenarios whose baselines visited the most
+     * configurations, exact outcome anchors locked in — the farm's
+     * contribution to corpus/fuzz/. 0 disables.
+     */
+    size_t keep = 0;
+    /** Run the two-pass verify-hits cache trial over clean cases. */
+    bool cacheTrial = true;
+    size_t cacheCapacity = 4096;
+    /** Non-empty enables the trial's on-disk store. */
+    std::string cacheDir;
+};
+
+struct FarmFinding
+{
+    uint64_t seed = 0;        //!< generateScenario seed (replayable)
+    std::string gate;         //!< first failing gate
+    std::string detail;       //!< first divergence description
+    bool crashed = false;     //!< a checker threw
+    std::string filename;     //!< suggested artifact name
+    std::string artifact;     //!< minimized scenario, canonical dump
+    size_t shrinkAttempts = 0;
+};
+
+struct FarmReport
+{
+    size_t generated = 0;
+    size_t clean = 0;   //!< all gates agreed
+    size_t skipped = 0; //!< baseline truncated/timed out: incomparable
+    size_t diverged = 0;
+    size_t crashed = 0;
+    size_t gatesRun = 0;
+    std::vector<FarmFinding> findings;
+    /** Anchored keep-N exports (filename + canonical text). */
+    std::vector<lang::CorpusFile> kept;
+
+    // Cache-trial results.
+    size_t cacheLookups = 0;
+    size_t cacheHits = 0;
+    bool cacheByteIdentical = true;
+
+    double seconds = 0.0;
+
+    /** No divergences, no crashes, cache hits byte-identical. */
+    bool pass() const
+    {
+        return findings.empty() && cacheByteIdentical;
+    }
+};
+
+/** Run the farm; deterministic for a fixed (options, seed). */
+FarmReport runFarm(const FarmOptions &opts);
+
+/** Render the report in the tracked bench JSON shape. */
+std::string farmJson(const FarmOptions &opts, const FarmReport &report,
+                     bool stable);
+
+} // namespace cxl0::fuzz
+
+#endif // CXL0_FUZZ_FARM_HH

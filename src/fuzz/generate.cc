@@ -1,0 +1,116 @@
+#include "fuzz/generate.hh"
+
+#include "common/hashmix.hh"
+#include "common/rng.hh"
+
+namespace cxl0::fuzz
+{
+
+using check::Operand;
+using check::ProgInstr;
+using lang::Scenario;
+using model::Op;
+
+namespace
+{
+
+Operand
+randomOperand(Rng &rng, const GenOptions &g, int numRegs)
+{
+    // Mostly immediates: register operands read whatever an earlier
+    // load left, which is often 0 anyway in tiny programs.
+    if (rng.chance(3, 10))
+        return Operand::regRef(
+            static_cast<int>(rng.nextBelow(numRegs)));
+    return Operand::immediate(static_cast<Value>(
+        rng.nextBelow(static_cast<uint64_t>(g.maxValue) + 1)));
+}
+
+ProgInstr
+randomInstr(Rng &rng, const GenOptions &g, size_t naddrs,
+            int numRegs)
+{
+    Addr x = static_cast<Addr>(rng.nextBelow(naddrs));
+    int dest = static_cast<int>(rng.nextBelow(numRegs));
+    // Weighted kinds: reads and writes dominate, flushes matter for
+    // crash scenarios, GPF and RMWs season the mix.
+    uint64_t roll = rng.nextBelow(100);
+    if (roll < 25)
+        return ProgInstr::load(x, dest);
+    if (roll < 50) {
+        static const Op kStores[] = {Op::LStore, Op::RStore,
+                                     Op::MStore};
+        return ProgInstr::store(kStores[rng.nextBelow(3)], x,
+                                randomOperand(rng, g, numRegs));
+    }
+    if (roll < 65)
+        return ProgInstr::flush(
+            rng.chance(1, 2) ? Op::LFlush : Op::RFlush, x);
+    if (roll < 70 || !g.allowRmw)
+        return ProgInstr::gpf();
+    static const Op kRmws[] = {Op::LRmw, Op::RRmw, Op::MRmw};
+    Op flavour = kRmws[rng.nextBelow(3)];
+    if (roll < 85)
+        return ProgInstr::faa(flavour, x,
+                              randomOperand(rng, g, numRegs), dest);
+    return ProgInstr::cas(flavour, x, randomOperand(rng, g, numRegs),
+                          randomOperand(rng, g, numRegs), dest);
+}
+
+} // namespace
+
+Scenario
+generateScenario(uint64_t seed, const GenOptions &g)
+{
+    Rng rng(mixBits(seed ^ 0xf02277a4fc3de1afULL));
+    Scenario sc;
+    sc.name = "fuzz-" + std::to_string(seed);
+
+    if (g.allowVariants) {
+        uint64_t v = rng.nextBelow(4);
+        sc.variant = v == 2   ? model::ModelVariant::Lwb
+                     : v == 3 ? model::ModelVariant::Psn
+                              : model::ModelVariant::Base;
+    }
+
+    size_t nmachines = 1 + rng.nextBelow(g.maxMachines);
+    for (size_t n = 0; n < nmachines; ++n)
+        sc.machinePersistent.push_back(rng.chance(3, 4));
+
+    size_t naddrs = 1 + rng.nextBelow(g.maxAddrs);
+    for (size_t a = 0; a < naddrs; ++a) {
+        sc.addrNames.push_back("x" + std::to_string(a));
+        sc.addrOwner.push_back(
+            static_cast<NodeId>(rng.nextBelow(nmachines)));
+    }
+
+    sc.program.numRegs =
+        1 + static_cast<int>(rng.nextBelow(g.maxRegs));
+    size_t nthreads = 1 + rng.nextBelow(g.maxThreads);
+    for (size_t t = 0; t < nthreads; ++t) {
+        check::ProgThread thread;
+        thread.node = static_cast<NodeId>(rng.nextBelow(nmachines));
+        size_t ninstrs = 1 + rng.nextBelow(g.maxInstrsPerThread);
+        for (size_t i = 0; i < ninstrs; ++i)
+            thread.code.push_back(
+                randomInstr(rng, g, naddrs, sc.program.numRegs));
+        sc.program.threads.push_back(std::move(thread));
+    }
+
+    if (g.allowCrash && rng.chance(1, 2)) {
+        sc.request.maxCrashesPerNode = 1;
+        if (!rng.chance(1, 2))
+            sc.request.crashableNodes.push_back(
+                static_cast<NodeId>(rng.nextBelow(nmachines)));
+    }
+    return sc;
+}
+
+uint64_t
+scenarioSeed(uint64_t farmSeed, size_t index)
+{
+    return mixBits(farmSeed +
+                   0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
+} // namespace cxl0::fuzz

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seeded random scenario generation for the fuzzing farm.
+ *
+ * generateScenario(seed) builds a random *well-formed* Scenario —
+ * machines with random persistence, locations with random owners, a
+ * random multi-threaded program over every instruction kind the DSL
+ * can express (loads, l/r/m stores, flushes, GPF, FAA/CAS RMWs with
+ * immediate or register operands), a random model variant, and a
+ * random crash budget/placement. Everything is drawn from one
+ * common::Rng stream, so a scenario is fully determined by its seed:
+ * any finding replays from `(seed, GenOptions)` alone, and the farm
+ * records the seed in every artifact.
+ *
+ * The default bounds are sized so the differential gates complete
+ * without truncation on the default config budget (small programs
+ * explore thousands to a few hundred thousand configs depending on
+ * crash placement); the bounds are options, not constants, so a
+ * soak run can push them up.
+ *
+ * Generated scenarios satisfy the canonical-dump invariants
+ * (ordered machines/threads, unique location names, padded outcome
+ * rows are absent), so `parse(dump(sc)) == sc` — the round-trip
+ * differential gate — holds by construction unless a bug breaks it.
+ */
+
+#ifndef CXL0_FUZZ_GENERATE_HH
+#define CXL0_FUZZ_GENERATE_HH
+
+#include <cstdint>
+
+#include "lang/scenario.hh"
+
+namespace cxl0::fuzz
+{
+
+struct GenOptions
+{
+    size_t maxMachines = 3;
+    size_t maxAddrs = 2;
+    size_t maxThreads = 3;
+    size_t maxInstrsPerThread = 4;
+    int maxRegs = 3;
+    /** Store/RMW immediates are drawn from [0, maxValue]. */
+    Value maxValue = 2;
+    /** Permit a crash budget (any-node or one pinned node). */
+    bool allowCrash = true;
+    /** Draw the model variant (base/lwb/psn) instead of base-only. */
+    bool allowVariants = true;
+    /** Permit FAA/CAS instructions. */
+    bool allowRmw = true;
+
+    bool operator==(const GenOptions &other) const = default;
+};
+
+/** The scenario fully determined by (seed, options). */
+lang::Scenario generateScenario(uint64_t seed,
+                                const GenOptions &opts = {});
+
+/** The per-index scenario seed of a farm run (replayable alone). */
+uint64_t scenarioSeed(uint64_t farmSeed, size_t index);
+
+} // namespace cxl0::fuzz
+
+#endif // CXL0_FUZZ_GENERATE_HH

@@ -1,0 +1,230 @@
+#include "fuzz/shrink.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::fuzz
+{
+
+using lang::Scenario;
+
+namespace
+{
+
+/** Drop locations no instruction touches, compacting addresses. */
+bool
+dropUnusedAddrs(Scenario &sc)
+{
+    std::vector<bool> used(sc.addrNames.size(), false);
+    for (const check::ProgThread &t : sc.program.threads)
+        for (const check::ProgInstr &i : t.code)
+            if (i.kind != check::ProgInstr::Kind::Gpf &&
+                i.addr < used.size())
+                used[i.addr] = true;
+    // Trace labels also reference addresses (generated scenarios are
+    // program-only, but the shrinker accepts any scenario).
+    for (const std::vector<model::Label> *tr :
+         {&sc.trace, &sc.traceLhs, &sc.traceRhs})
+        for (const model::Label &l : *tr)
+            if (l.addr < used.size())
+                used[l.addr] = true;
+    if (sc.addrNames.size() <= 1)
+        return false;
+    std::vector<Addr> remap(sc.addrNames.size(), 0);
+    Scenario out = sc;
+    out.addrNames.clear();
+    out.addrOwner.clear();
+    bool dropped = false;
+    for (size_t a = 0; a < sc.addrNames.size(); ++a) {
+        if (!used[a]) {
+            dropped = true;
+            continue;
+        }
+        remap[a] = static_cast<Addr>(out.addrNames.size());
+        out.addrNames.push_back(sc.addrNames[a]);
+        out.addrOwner.push_back(sc.addrOwner[a]);
+    }
+    if (!dropped || out.addrNames.empty())
+        return false;
+    for (check::ProgThread &t : out.program.threads)
+        for (check::ProgInstr &i : t.code)
+            if (i.kind != check::ProgInstr::Kind::Gpf)
+                i.addr = remap[i.addr];
+    for (std::vector<model::Label> *tr :
+         {&out.trace, &out.traceLhs, &out.traceRhs})
+        for (model::Label &l : *tr)
+            l.addr = remap[l.addr];
+    sc = std::move(out);
+    return true;
+}
+
+/** Drop machines nothing references (threads, owners, crash pins,
+ *  trace labels), renumbering the nodes above them. */
+bool
+dropUnusedMachines(Scenario &sc)
+{
+    size_t nmachines = sc.machinePersistent.size();
+    if (nmachines <= 1)
+        return false;
+    std::vector<bool> used(nmachines, false);
+    for (const check::ProgThread &t : sc.program.threads)
+        used[t.node] = true;
+    for (NodeId n : sc.addrOwner)
+        used[n] = true;
+    for (NodeId n : sc.request.crashableNodes)
+        used[n] = true;
+    for (const std::vector<model::Label> *tr :
+         {&sc.trace, &sc.traceLhs, &sc.traceRhs})
+        for (const model::Label &l : *tr)
+            used[l.node] = true;
+    std::vector<NodeId> remap(nmachines, 0);
+    Scenario out = sc;
+    out.machinePersistent.clear();
+    bool dropped = false;
+    for (size_t n = 0; n < nmachines; ++n) {
+        if (!used[n]) {
+            dropped = true;
+            continue;
+        }
+        remap[n] = static_cast<NodeId>(out.machinePersistent.size());
+        out.machinePersistent.push_back(sc.machinePersistent[n]);
+    }
+    if (!dropped || out.machinePersistent.empty())
+        return false;
+    for (check::ProgThread &t : out.program.threads)
+        t.node = remap[t.node];
+    for (NodeId &n : out.addrOwner)
+        n = remap[n];
+    for (NodeId &n : out.request.crashableNodes)
+        n = remap[n];
+    for (std::vector<model::Label> *tr :
+         {&out.trace, &out.traceLhs, &out.traceRhs})
+        for (model::Label &l : *tr)
+            l.node = remap[l.node];
+    sc = std::move(out);
+    return true;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkScenario(const Scenario &sc, const DiffOptions &opts,
+               const ShrinkLimits &limits)
+{
+    ShrinkResult res;
+    res.minimized = sc;
+    res.outcome = runDifferential(sc, opts);
+    if (res.outcome.clean() || res.outcome.skipped) {
+        CXL0_WARN("shrinkScenario called on a scenario that does "
+                  "not fail the gates; returning it unchanged");
+        return res;
+    }
+
+    // A candidate counts only when the failure *persists* (not
+    // clean, not skipped-into-incomparability).
+    auto stillFails = [&](const Scenario &cand,
+                          DiffResult &out) -> bool {
+        if (res.attempts >= limits.maxAttempts)
+            return false;
+        ++res.attempts;
+        out = runDifferential(cand, opts);
+        return !out.skipped && !out.clean();
+    };
+
+    bool progress = true;
+    while (progress && res.attempts < limits.maxAttempts) {
+        progress = false;
+
+        // Pass 1: drop whole threads (largest cuts first).
+        for (size_t t = 0;
+             t < res.minimized.program.threads.size() &&
+             res.minimized.program.threads.size() > 1;) {
+            Scenario cand = res.minimized;
+            cand.program.threads.erase(
+                cand.program.threads.begin() + t);
+            DiffResult out;
+            if (stillFails(cand, out)) {
+                res.minimized = std::move(cand);
+                res.outcome = std::move(out);
+                ++res.threadsDropped;
+                progress = true;
+            } else {
+                ++t;
+            }
+        }
+
+        // Pass 2: drop single instructions.
+        for (size_t t = 0;
+             t < res.minimized.program.threads.size(); ++t) {
+            for (size_t i = 0;
+                 i < res.minimized.program.threads[t].code.size();) {
+                Scenario cand = res.minimized;
+                auto &code = cand.program.threads[t].code;
+                code.erase(code.begin() + i);
+                DiffResult out;
+                if (stillFails(cand, out)) {
+                    res.minimized = std::move(cand);
+                    res.outcome = std::move(out);
+                    ++res.instrsDropped;
+                    progress = true;
+                } else {
+                    ++i;
+                }
+            }
+        }
+
+        // Pass 3: zero the crash budget.
+        if (res.minimized.request.maxCrashesPerNode > 0) {
+            Scenario cand = res.minimized;
+            cand.request.maxCrashesPerNode = 0;
+            cand.request.crashableNodes.clear();
+            DiffResult out;
+            if (stillFails(cand, out)) {
+                res.minimized = std::move(cand);
+                res.outcome = std::move(out);
+                progress = true;
+            }
+        }
+
+        // Pass 4: shrink immediates toward 0.
+        for (size_t t = 0;
+             t < res.minimized.program.threads.size(); ++t) {
+            auto &code = res.minimized.program.threads[t].code;
+            for (size_t i = 0; i < code.size(); ++i) {
+                for (check::Operand check::ProgInstr::*field :
+                     {&check::ProgInstr::value,
+                      &check::ProgInstr::expected}) {
+                    check::Operand &op = code[i].*field;
+                    while (!op.isReg && op.imm > 0) {
+                        Scenario cand = res.minimized;
+                        check::Operand &cop =
+                            cand.program.threads[t].code[i].*field;
+                        cop.imm = cop.imm > 1 ? cop.imm / 2 : 0;
+                        DiffResult out;
+                        if (!stillFails(cand, out))
+                            break;
+                        res.minimized = std::move(cand);
+                        res.outcome = std::move(out);
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 5: structural cleanup (unused addrs / machines).
+        for (bool (*cleanup)(Scenario &) :
+             {&dropUnusedAddrs, &dropUnusedMachines}) {
+            Scenario cand = res.minimized;
+            if (!cleanup(cand))
+                continue;
+            DiffResult out;
+            if (stillFails(cand, out)) {
+                res.minimized = std::move(cand);
+                res.outcome = std::move(out);
+                progress = true;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace cxl0::fuzz

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Delta-debugging shrinker for diverging scenarios.
+ *
+ * Same discipline as the campaign's op shrinker (src/inject/
+ * shrink.hh): greedily try structural simplifications, keep a
+ * candidate only when the differential gates *still* fail on it, and
+ * iterate to a fixpoint under an attempt cap. The moves are
+ * scenario-shaped instead of history-shaped: drop a whole thread,
+ * drop one instruction, zero the crash budget, shrink immediates
+ * toward 0, drop unused locations (with address compaction), and
+ * drop unused machines (with node renumbering). Every candidate is
+ * a well-formed Scenario, so the minimized artifact is directly a
+ * committable `.cxl0` corpus case.
+ *
+ * The predicate intentionally requires the *same kind* of failure to
+ * persist — still-diverging or still-crashing, not skipped — so a
+ * shrink step can never "succeed" by making the scenario too big to
+ * compare.
+ */
+
+#ifndef CXL0_FUZZ_SHRINK_HH
+#define CXL0_FUZZ_SHRINK_HH
+
+#include "fuzz/differential.hh"
+
+namespace cxl0::fuzz
+{
+
+struct ShrinkLimits
+{
+    /** Cap on differential re-runs (each candidate costs one). */
+    size_t maxAttempts = 300;
+};
+
+struct ShrinkResult
+{
+    lang::Scenario minimized;
+    /** The differential result of the minimized scenario. */
+    DiffResult outcome;
+    size_t attempts = 0;
+    size_t instrsDropped = 0;
+    size_t threadsDropped = 0;
+};
+
+/**
+ * Shrink `sc` (which must currently fail the gates under `opts`) to
+ * a smaller scenario that still fails them.
+ */
+ShrinkResult shrinkScenario(const lang::Scenario &sc,
+                            const DiffOptions &opts,
+                            const ShrinkLimits &limits = {});
+
+} // namespace cxl0::fuzz
+
+#endif // CXL0_FUZZ_SHRINK_HH

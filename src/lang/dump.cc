@@ -211,6 +211,10 @@ dumpScenario(const Scenario &sc)
         append(out, "id %d\n", sc.id);
     if (sc.variant != model::ModelVariant::Base)
         append(out, "variant %s\n", variantWord(sc.variant));
+    if (sc.refineSpec.has_value() && sc.refineImpl.has_value())
+        append(out, "variant spec=%s impl=%s\n",
+               variantWord(*sc.refineSpec),
+               variantWord(*sc.refineImpl));
 
     out += "\n";
     for (size_t i = 0; i < sc.machinePersistent.size(); ++i)

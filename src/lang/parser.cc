@@ -489,6 +489,46 @@ class Parser
         Token t;
         if (!expectIdent(t))
             return;
+        if (t.text == "spec") {
+            // `variant spec=<v> impl=<v>`: refinement endpoints
+            // pinned in-file (both required, spec first).
+            if (sc_.refineSpec.has_value()) {
+                fail(t.loc, "duplicate variant spec=/impl= clause");
+                return;
+            }
+            model::ModelVariant spec, impl;
+            if (!expectPunct('='))
+                return;
+            Token sv;
+            if (!expectIdent(sv))
+                return;
+            if (!variantFromWord(sv.text, spec)) {
+                fail(sv.loc, "unknown variant '" + sv.text +
+                                 "' (base, lwb, or psn)");
+                return;
+            }
+            Token ik;
+            if (!expectIdent(ik))
+                return;
+            if (ik.text != "impl") {
+                fail(ik.loc, "expected 'impl', got " + ik.show());
+                return;
+            }
+            if (!expectPunct('='))
+                return;
+            Token iv;
+            if (!expectIdent(iv))
+                return;
+            if (!variantFromWord(iv.text, impl)) {
+                fail(iv.loc, "unknown variant '" + iv.text +
+                                 "' (base, lwb, or psn)");
+                return;
+            }
+            sc_.refineSpec = spec;
+            sc_.refineImpl = impl;
+            endOfLine();
+            return;
+        }
         if (!variantFromWord(t.text, sc_.variant)) {
             fail(t.loc, "unknown variant '" + t.text +
                             "' (base, lwb, or psn)");

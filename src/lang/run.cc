@@ -32,12 +32,42 @@ checkerKindName(CheckerKind k)
     return "?";
 }
 
-namespace
+CheckerKind
+resolveChecker(const Scenario &sc, const RunOptions &opts)
 {
+    CheckerKind kind = opts.checker;
+    if (kind != CheckerKind::Auto)
+        return kind;
+    if (!sc.program.threads.empty())
+        return CheckerKind::Explore;
+    if (!sc.trace.empty())
+        return CheckerKind::Feasible;
+    if (!sc.traceLhs.empty() && !sc.traceRhs.empty())
+        return CheckerKind::Inclusion;
+    if (sc.refineSpec.has_value() && sc.refineImpl.has_value())
+        return CheckerKind::Refinement;
+    return CheckerKind::Feasible; // reports a useful error
+}
 
-/** The scenario's request with the driver overrides folded in. */
+model::ModelVariant
+effectiveRefineSpec(const Scenario &sc, const RunOptions &opts)
+{
+    if (opts.refineSpec)
+        return *opts.refineSpec;
+    return sc.refineSpec.value_or(model::ModelVariant::Base);
+}
+
+model::ModelVariant
+effectiveRefineImpl(const Scenario &sc, const RunOptions &opts)
+{
+    if (opts.refineImpl)
+        return *opts.refineImpl;
+    return sc.refineImpl.value_or(model::ModelVariant::Lwb);
+}
+
 CheckRequest
-effectiveRequest(const Scenario &sc, const RunOptions &opts)
+effectiveRequest(const Scenario &sc, const RunOptions &opts,
+                 CheckerKind kind)
 {
     CheckRequest req = sc.request;
     req.numThreads = opts.numThreads;
@@ -53,61 +83,13 @@ effectiveRequest(const Scenario &sc, const RunOptions &opts)
         req.frontier = *opts.policy;
     if (opts.reduction)
         req.reduction = *opts.reduction;
+    if (kind == CheckerKind::Refinement && req.maxDepth == 0)
+        req.maxDepth = opts.refineDefaultDepth;
     return req;
 }
 
-RunResult
-runExplore(const Scenario &sc, const RunOptions &opts)
+namespace
 {
-    RunResult r;
-    r.checker = CheckerKind::Explore;
-    if (sc.program.threads.empty()) {
-        r.error = "scenario has no thread blocks to explore";
-        return r;
-    }
-    Cxl0Model model(sc.config(), sc.variant);
-    r.report = check::Explorer(model, sc.program,
-                               effectiveRequest(sc, opts))
-                   .check();
-    r.anchors = checkOutcomeAnchors(sc, r.report.outcomes);
-    r.pass = r.anchors.pass &&
-             r.report.verdict == CheckVerdict::Pass &&
-             !r.report.truncated;
-    return r;
-}
-
-RunResult
-runFeasible(const Scenario &sc, const RunOptions &opts)
-{
-    RunResult r;
-    r.checker = CheckerKind::Feasible;
-    if (sc.trace.empty()) {
-        r.error = "scenario has no trace block to check";
-        return r;
-    }
-    Cxl0Model model(sc.config(), sc.variant);
-    r.report = check::checkTraceFeasible(model, sc.trace,
-                                         effectiveRequest(sc, opts));
-    if (r.report.verdict == CheckVerdict::Inconclusive) {
-        r.anchors.pass = false;
-        r.anchors.failures.push_back(
-            "feasibility truncated by a config or time budget");
-    } else if (sc.expectedVerdict.has_value()) {
-        check::Verdict observed =
-            r.report.verdict == CheckVerdict::Pass
-                ? check::Verdict::Allowed
-                : check::Verdict::Forbidden;
-        if (observed != *sc.expectedVerdict) {
-            r.anchors.pass = false;
-            r.anchors.failures.push_back(
-                "declared verdict " +
-                check::verdictName(*sc.expectedVerdict) +
-                ", observed " + check::verdictName(observed));
-        }
-    }
-    r.pass = r.anchors.pass;
-    return r;
-}
 
 /**
  * Anchor a Pass/Fail verdict against the scenario's `verdict`
@@ -137,96 +119,223 @@ verdictAnchor(const Scenario &sc, const CheckReport &report)
     return a;
 }
 
-RunResult
-runRefinement(const Scenario &sc, const RunOptions &opts)
+// ------------------------------------------------- compute the report
+
+CheckReport
+computeExplore(const Scenario &sc, const RunOptions &opts,
+               check::ContextPool *pool)
 {
-    RunResult r;
-    r.checker = CheckerKind::Refinement;
-    CheckRequest req = effectiveRequest(sc, opts);
-    if (req.maxDepth == 0)
-        req.maxDepth = opts.refineDefaultDepth;
+    CheckRequest req = effectiveRequest(sc, opts,
+                                        CheckerKind::Explore);
+    if (pool) {
+        check::ContextPool::Entry &e =
+            pool->acquire(sc.config(), sc.variant);
+        return check::Explorer(e.model, sc.program, req)
+            .check(&e.ctx);
+    }
+    Cxl0Model model(sc.config(), sc.variant);
+    return check::Explorer(model, sc.program, req).check();
+}
+
+CheckReport
+computeFeasible(const Scenario &sc, const RunOptions &opts,
+                check::ContextPool *pool)
+{
+    CheckRequest req = effectiveRequest(sc, opts,
+                                        CheckerKind::Feasible);
+    if (pool) {
+        check::ContextPool::Entry &e =
+            pool->acquire(sc.config(), sc.variant);
+        return check::checkTraceFeasible(e.model, sc.trace, req,
+                                         &e.ctx);
+    }
+    Cxl0Model model(sc.config(), sc.variant);
+    return check::checkTraceFeasible(model, sc.trace, req);
+}
+
+CheckReport
+computeRefinement(const Scenario &sc, const RunOptions &opts,
+                  check::ContextPool *pool)
+{
+    CheckRequest req = effectiveRequest(sc, opts,
+                                        CheckerKind::Refinement);
     model::SystemConfig cfg = sc.config();
-    Cxl0Model spec(cfg, opts.refineSpec);
-    Cxl0Model impl(cfg, opts.refineImpl);
     check::Alphabet alphabet = check::Alphabet::standard(cfg);
     if (req.maxCrashesPerNode > 0)
         alphabet.maxCrashesPerNode = req.maxCrashesPerNode;
-    r.report = check::checkRefinement(spec, impl, alphabet, req);
-    if (r.report.verdict == CheckVerdict::Inconclusive &&
-        r.report.counterexample.empty() && !r.report.timedOut &&
-        r.report.stats.configsInterned < req.maxConfigs &&
-        sc.expectedVerdict != check::Verdict::Forbidden) {
-        // Bounded refinement over a standard alphabet always runs
-        // into its depth bound; "no violation within the bound" is
-        // its conclusive-enough success (the verdict stays visible
-        // as "inconclusive" in the report). A search cut by the
-        // *config budget* is different — it may have stopped short
-        // of a reachable counterexample and must not pass. The
-        // interned-count proxy errs strict: a run whose pair count
-        // exactly fills the budget is treated as budget-cut (a
-        // noisy failure, never a false pass). A run cut by the
-        // *time budget* is equally unfinished and must not pass.
-        r.anchors = AnchorReport{};
-    } else {
-        r.anchors = verdictAnchor(sc, r.report);
+    model::ModelVariant specv = effectiveRefineSpec(sc, opts);
+    model::ModelVariant implv = effectiveRefineImpl(sc, opts);
+    if (pool) {
+        check::ContextPool::Entry &se = pool->acquire(cfg, specv);
+        check::ContextPool::Entry &ie = pool->acquire(cfg, implv);
+        return check::checkRefinement(se.model, ie.model, alphabet,
+                                      req, &se.ctx, &ie.ctx);
     }
-    r.pass = r.anchors.pass;
-    return r;
+    Cxl0Model spec(cfg, specv);
+    Cxl0Model impl(cfg, implv);
+    return check::checkRefinement(spec, impl, alphabet, req);
+}
+
+CheckReport
+computeInclusion(const Scenario &sc, const RunOptions &opts,
+                 check::ContextPool *pool)
+{
+    CheckRequest req = effectiveRequest(sc, opts,
+                                        CheckerKind::Inclusion);
+    model::SystemConfig cfg = sc.config();
+    std::vector<model::State> states =
+        check::enumerateStates(cfg, opts.inclusionMaxValue);
+    if (pool) {
+        check::ContextPool::Entry &e =
+            pool->acquire(cfg, sc.variant);
+        return check::checkTraceInclusion(e.model, states,
+                                          sc.traceLhs, sc.traceRhs,
+                                          req, &e.ctx);
+    }
+    Cxl0Model model(cfg, sc.variant);
+    return check::checkTraceInclusion(model, states, sc.traceLhs,
+                                      sc.traceRhs, req);
+}
+
+/** The input the requested checker cannot run without; empty = ok. */
+std::string
+inputError(const Scenario &sc, CheckerKind kind)
+{
+    switch (kind) {
+    case CheckerKind::Explore:
+        if (sc.program.threads.empty())
+            return "scenario has no thread blocks to explore";
+        break;
+    case CheckerKind::Feasible:
+        if (sc.trace.empty())
+            return "scenario has no trace block to check";
+        break;
+    case CheckerKind::Inclusion:
+        if (sc.traceLhs.empty() || sc.traceRhs.empty())
+            return "inclusion needs both trace lhs and trace rhs "
+                   "blocks";
+        break;
+    case CheckerKind::Refinement:
+    case CheckerKind::Auto:
+        break;
+    }
+    return "";
 }
 
 RunResult
-runInclusion(const Scenario &sc, const RunOptions &opts)
+runWith(const Scenario &sc, const RunOptions &opts,
+        check::ContextPool *pool)
 {
+    CheckerKind kind = resolveChecker(sc, opts);
     RunResult r;
-    r.checker = CheckerKind::Inclusion;
-    if (sc.traceLhs.empty() || sc.traceRhs.empty()) {
-        r.error = "inclusion needs both trace lhs and trace rhs "
-                  "blocks";
+    r.checker = kind;
+    r.error = inputError(sc, kind);
+    if (!r.error.empty())
+        return r;
+    CheckReport report;
+    switch (kind) {
+    case CheckerKind::Explore:
+        report = computeExplore(sc, opts, pool);
+        break;
+    case CheckerKind::Feasible:
+        report = computeFeasible(sc, opts, pool);
+        break;
+    case CheckerKind::Refinement:
+        report = computeRefinement(sc, opts, pool);
+        break;
+    case CheckerKind::Inclusion:
+        report = computeInclusion(sc, opts, pool);
+        break;
+    case CheckerKind::Auto:
+        r.error = "unreachable checker kind";
         return r;
     }
-    model::SystemConfig cfg = sc.config();
-    Cxl0Model model(cfg, sc.variant);
-    std::vector<model::State> states =
-        check::enumerateStates(cfg, opts.inclusionMaxValue);
-    r.report = check::checkTraceInclusion(model, states, sc.traceLhs,
-                                          sc.traceRhs,
-                                          effectiveRequest(sc, opts));
-    r.anchors = verdictAnchor(sc, r.report);
-    r.pass = r.anchors.pass;
-    return r;
+    return judgeReport(sc, opts, kind, std::move(report));
 }
 
 } // namespace
 
+// --------------------------------------------------- judge the report
+
 RunResult
-runScenario(const Scenario &sc, const RunOptions &opts)
+judgeReport(const Scenario &sc, const RunOptions &opts,
+            CheckerKind kind, CheckReport report)
 {
-    CheckerKind kind = opts.checker;
-    if (kind == CheckerKind::Auto) {
-        if (!sc.program.threads.empty())
-            kind = CheckerKind::Explore;
-        else if (!sc.trace.empty())
-            kind = CheckerKind::Feasible;
-        else if (!sc.traceLhs.empty() && !sc.traceRhs.empty())
-            kind = CheckerKind::Inclusion;
-        else
-            kind = CheckerKind::Feasible; // reports a useful error
-    }
+    RunResult r;
+    r.checker = kind;
+    r.report = std::move(report);
     switch (kind) {
     case CheckerKind::Explore:
-        return runExplore(sc, opts);
+        r.anchors = checkOutcomeAnchors(sc, r.report.outcomes);
+        r.pass = r.anchors.pass &&
+                 r.report.verdict == CheckVerdict::Pass &&
+                 !r.report.truncated;
+        return r;
     case CheckerKind::Feasible:
-        return runFeasible(sc, opts);
-    case CheckerKind::Refinement:
-        return runRefinement(sc, opts);
+        if (r.report.verdict == CheckVerdict::Inconclusive) {
+            r.anchors.pass = false;
+            r.anchors.failures.push_back(
+                "feasibility truncated by a config or time budget");
+        } else if (sc.expectedVerdict.has_value()) {
+            check::Verdict observed =
+                r.report.verdict == CheckVerdict::Pass
+                    ? check::Verdict::Allowed
+                    : check::Verdict::Forbidden;
+            if (observed != *sc.expectedVerdict) {
+                r.anchors.pass = false;
+                r.anchors.failures.push_back(
+                    "declared verdict " +
+                    check::verdictName(*sc.expectedVerdict) +
+                    ", observed " + check::verdictName(observed));
+            }
+        }
+        r.pass = r.anchors.pass;
+        return r;
+    case CheckerKind::Refinement: {
+        CheckRequest req = effectiveRequest(sc, opts, kind);
+        if (r.report.verdict == CheckVerdict::Inconclusive &&
+            r.report.counterexample.empty() && !r.report.timedOut &&
+            r.report.stats.configsInterned < req.maxConfigs &&
+            sc.expectedVerdict != check::Verdict::Forbidden) {
+            // Bounded refinement over a standard alphabet always runs
+            // into its depth bound; "no violation within the bound" is
+            // its conclusive-enough success (the verdict stays visible
+            // as "inconclusive" in the report). A search cut by the
+            // *config budget* is different — it may have stopped short
+            // of a reachable counterexample and must not pass. The
+            // interned-count proxy errs strict: a run whose pair count
+            // exactly fills the budget is treated as budget-cut (a
+            // noisy failure, never a false pass). A run cut by the
+            // *time budget* is equally unfinished and must not pass.
+            r.anchors = AnchorReport{};
+        } else {
+            r.anchors = verdictAnchor(sc, r.report);
+        }
+        r.pass = r.anchors.pass;
+        return r;
+    }
     case CheckerKind::Inclusion:
-        return runInclusion(sc, opts);
+        r.anchors = verdictAnchor(sc, r.report);
+        r.pass = r.anchors.pass;
+        return r;
     case CheckerKind::Auto:
         break;
     }
-    RunResult r;
     r.error = "unreachable checker kind";
     return r;
+}
+
+RunResult
+runScenario(const Scenario &sc, const RunOptions &opts)
+{
+    return runWith(sc, opts, nullptr);
+}
+
+RunResult
+runScenario(const Scenario &sc, const RunOptions &opts,
+            check::ContextPool &pool)
+{
+    return runWith(sc, opts, &pool);
 }
 
 std::string

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/service.hh"
 #include "lang/scenario.hh"
 
 namespace cxl0::lang
@@ -54,10 +55,14 @@ struct RunOptions
     /** Explorer partial-order reduction (none | tau | ample). */
     std::optional<check::Reduction> reduction;
 
-    /** Refinement endpoints (variants instantiated over the
-     *  scenario's system configuration). */
-    model::ModelVariant refineSpec = model::ModelVariant::Base;
-    model::ModelVariant refineImpl = model::ModelVariant::Lwb;
+    /**
+     * Refinement endpoints (variants instantiated over the
+     * scenario's system configuration). Precedence: these overrides
+     * > the scenario's `variant spec=/impl=` clause > the defaults
+     * (spec base, impl lwb).
+     */
+    std::optional<model::ModelVariant> refineSpec;
+    std::optional<model::ModelVariant> refineImpl;
     /** Depth bound used for refinement when the scenario pins none. */
     size_t refineDefaultDepth = 3;
 
@@ -82,6 +87,43 @@ struct RunResult
 
 /** Drive `sc` through the checker selected by `opts`. */
 RunResult runScenario(const Scenario &sc, const RunOptions &opts);
+
+/**
+ * As above, but models and interning tables come from (and persist
+ * in) `pool` — the `cxl0check serve` seam. Reports differ from the
+ * pooled-free form only in table-size statistics (see
+ * check/service.hh); the deterministic projection the result cache
+ * stores is identical.
+ */
+RunResult runScenario(const Scenario &sc, const RunOptions &opts,
+                      check::ContextPool &pool);
+
+/** Resolve CheckerKind::Auto against the scenario's contents. */
+CheckerKind resolveChecker(const Scenario &sc, const RunOptions &opts);
+
+/**
+ * The scenario's request with the driver overrides folded in (for
+ * refinement routes this includes the default depth bound when
+ * neither the file nor the driver pins one).
+ */
+check::CheckRequest effectiveRequest(const Scenario &sc,
+                                     const RunOptions &opts,
+                                     CheckerKind kind);
+
+/** Refinement endpoints after precedence (driver > file > default). */
+model::ModelVariant effectiveRefineSpec(const Scenario &sc,
+                                        const RunOptions &opts);
+model::ModelVariant effectiveRefineImpl(const Scenario &sc,
+                                        const RunOptions &opts);
+
+/**
+ * Judge a previously computed report (a cache hit) exactly as
+ * runScenario would have judged a fresh one: anchors, pass bit, and
+ * checker-specific tolerance (refinement's depth-bound cut). `kind`
+ * must be concrete (not Auto).
+ */
+RunResult judgeReport(const Scenario &sc, const RunOptions &opts,
+                      CheckerKind kind, check::CheckReport report);
 
 } // namespace cxl0::lang
 

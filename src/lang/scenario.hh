@@ -78,6 +78,16 @@ struct Scenario
     int id = 0;
     model::ModelVariant variant = model::ModelVariant::Base;
 
+    /**
+     * Refinement endpoints pinned in-file by a
+     * `variant spec=<v> impl=<v>` clause (always set or unset
+     * together). A scenario with pinned endpoints and no program or
+     * trace auto-routes to the refinement checker; driver-level
+     * --spec/--impl overrides still win.
+     */
+    std::optional<model::ModelVariant> refineSpec;
+    std::optional<model::ModelVariant> refineImpl;
+
     /** Per-machine persistence; index = NodeId. */
     std::vector<bool> machinePersistent;
     /** Declared location names; index = Addr. */

@@ -1,0 +1,116 @@
+#include "lang/service.hh"
+
+#include <sstream>
+
+namespace cxl0::lang
+{
+
+namespace
+{
+
+const char *
+frontierWord(check::FrontierPolicy p)
+{
+    return p == check::FrontierPolicy::BreadthFirst ? "bfs" : "dfs";
+}
+
+} // namespace
+
+std::string
+cacheKey(const Scenario &sc, const RunOptions &opts)
+{
+    CheckerKind kind = resolveChecker(sc, opts);
+    check::CheckRequest req = effectiveRequest(sc, opts, kind);
+    std::ostringstream os;
+    os << "cxl0check-cache v1\n";
+    os << "checker " << checkerKindName(kind) << "\n";
+    os << "threads " << req.numThreads << "\n";
+    os << "max-configs " << req.maxConfigs << "\n";
+    os << "max-depth " << req.maxDepth << "\n";
+    os << "time-budget-ms " << req.timeBudgetMs << "\n";
+    os << "crash-max " << req.maxCrashesPerNode << "\n";
+    os << "crash-nodes";
+    if (req.crashableNodes.empty()) {
+        os << " any";
+    } else {
+        for (NodeId n : req.crashableNodes)
+            os << " " << n;
+    }
+    os << "\n";
+    os << "reduction " << check::reductionName(req.reduction)
+       << "\n";
+    os << "frontier " << frontierWord(req.frontier) << "\n";
+    if (kind == CheckerKind::Refinement) {
+        os << "spec "
+           << variantWord(effectiveRefineSpec(sc, opts)) << "\n";
+        os << "impl "
+           << variantWord(effectiveRefineImpl(sc, opts)) << "\n";
+    }
+    if (kind == CheckerKind::Inclusion)
+        os << "inclusion-max-value " << opts.inclusionMaxValue
+           << "\n";
+    os << "--- scenario ---\n";
+    os << dumpScenario(sc);
+    return os.str();
+}
+
+uint64_t
+scenarioHash(const Scenario &sc, const RunOptions &opts)
+{
+    return check::hashKey(cacheKey(sc, opts));
+}
+
+ScenarioService::ScenarioService(ServiceOptions so)
+    : so_(std::move(so)),
+      cache_(so_.cacheCapacity, so_.cacheDir)
+{
+}
+
+ScenarioService::Response
+ScenarioService::handle(const Scenario &sc)
+{
+    return handle(sc, so_.run);
+}
+
+ScenarioService::Response
+ScenarioService::handle(const Scenario &sc, const RunOptions &opts)
+{
+    Response resp;
+    CheckerKind kind = resolveChecker(sc, opts);
+    std::string key = cacheKey(sc, opts);
+    resp.key = check::hashKey(key);
+
+    if (std::optional<std::string> hit = cache_.lookup(key)) {
+        check::CheckReport cached;
+        if (check::parseReport(*hit, cached)) {
+            resp.cacheHit = true;
+            if (so_.verifyHits) {
+                // The correctness gate: recompute and require the
+                // deterministic projection to match byte for byte.
+                RunResult fresh = runScenario(sc, opts, pool_);
+                resp.byteIdentical =
+                    check::serializeReport(fresh.report) == *hit;
+                resp.result = std::move(fresh);
+            } else {
+                resp.result =
+                    judgeReport(sc, opts, kind, std::move(cached));
+            }
+            return resp;
+        }
+        // An unparseable in-memory entry can't happen (we wrote it);
+        // a disk entry that parsed as a cache file but carries a
+        // malformed report falls through to a recompute.
+    }
+
+    resp.result = runScenario(sc, opts, pool_);
+    // Only complete, wall-clock-independent reports are cacheable: a
+    // timed-out run is not reproducible, and a budget-truncated run
+    // at numThreads > 1 depends on scheduling.
+    if (resp.result.error.empty() && !resp.result.report.timedOut &&
+        !resp.result.report.truncated)
+        cache_.store(key,
+                     check::serializeReport(resp.result.report));
+    return resp;
+}
+
+} // namespace cxl0::lang

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The scenario service: cache- and pool-fronted runScenario.
+ *
+ * `cxl0check serve` (and the fuzz farm's cache trial) multiplex many
+ * scenario requests through one ScenarioService, which composes the
+ * two batch seams:
+ *
+ *  - a check::ContextPool keying one persistent ModelContext per
+ *    (SystemConfig, variant), so interning tables and tau/crash/
+ *    closure memos survive across requests, and
+ *  - a check::ResultCache keyed on the canonical request text
+ *    (cacheKey below): the scenario's canonical dump — which the
+ *    round-trip guarantee makes a content address — concatenated
+ *    with the resolved checker route and every effective
+ *    CheckRequest knob. Same scenario + same knobs = same key;
+ *    any knob change (threads, budgets, reduction, endpoints) keys
+ *    a distinct entry.
+ *
+ * A hit re-judges the cached deterministic report projection through
+ * the same anchor logic a fresh run uses (lang::judgeReport), so
+ * pass/fail is identical either way; the optional verify-hits mode
+ * recomputes every hit and checks byte-identity of the serialized
+ * projection — the cache's correctness gate.
+ *
+ * Not thread-safe: one service per serving thread.
+ */
+
+#ifndef CXL0_LANG_SERVICE_HH
+#define CXL0_LANG_SERVICE_HH
+
+#include <string>
+
+#include "check/cache.hh"
+#include "check/service.hh"
+#include "lang/run.hh"
+
+namespace cxl0::lang
+{
+
+/**
+ * The canonical cache key for running `sc` under `opts`: a versioned
+ * header naming the resolved checker and every effective request
+ * knob, followed by the scenario's canonical dump.
+ */
+std::string cacheKey(const Scenario &sc, const RunOptions &opts);
+
+/** 64-bit content address of (scenario, options). */
+uint64_t scenarioHash(const Scenario &sc,
+                      const RunOptions &opts = {});
+
+struct ServiceOptions
+{
+    RunOptions run;
+    size_t cacheCapacity = 1024;
+    /** Non-empty enables the on-disk store. */
+    std::string cacheDir;
+    /** Recompute every hit and require byte-identity (the
+     *  correctness gate; roughly doubles the work on hits). */
+    bool verifyHits = false;
+};
+
+class ScenarioService
+{
+  public:
+    explicit ScenarioService(ServiceOptions so = {});
+
+    struct Response
+    {
+        RunResult result;
+        bool cacheHit = false;
+        /** Only meaningful under verifyHits (true otherwise). */
+        bool byteIdentical = true;
+        uint64_t key = 0;
+    };
+
+    /** Run under the service's own RunOptions. */
+    Response handle(const Scenario &sc);
+
+    /** Run under per-request options (still pooled + cached). */
+    Response handle(const Scenario &sc, const RunOptions &opts);
+
+    const check::CacheStats &cacheStats() const
+    {
+        return cache_.stats();
+    }
+    const check::ContextPool &contexts() const { return pool_; }
+    const ServiceOptions &options() const { return so_; }
+
+  private:
+    ServiceOptions so_;
+    check::ContextPool pool_;
+    check::ResultCache cache_;
+};
+
+} // namespace cxl0::lang
+
+#endif // CXL0_LANG_SERVICE_HH

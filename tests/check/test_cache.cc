@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "check/cache.hh"
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+#include "lang/service.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::check;
+
+lang::Scenario
+mustParse(const std::string &text)
+{
+    lang::ParseResult r = lang::parseScenario(text);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error->render());
+    return r.scenario;
+}
+
+const char *kExploreScenario = R"(litmus "cache: explore"
+machine 0 nvmm
+addr x @ 0
+registers 1
+thread 0 on 0 {
+  lstore x 1
+  r0 = load x
+}
+)";
+
+CheckReport
+sampleReport()
+{
+    lang::Scenario sc = mustParse(kExploreScenario);
+    return lang::runScenario(sc, {}).report;
+}
+
+/** A scratch directory unique to the running test. */
+std::filesystem::path
+scratchDir(const char *name)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        (std::string("cxl0_cache_test_") + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(Cache, SerializeReportRoundtrip)
+{
+    CheckReport rep = sampleReport();
+    ASSERT_FALSE(rep.outcomes.empty());
+    std::string text = serializeReport(rep);
+    CheckReport parsed;
+    ASSERT_TRUE(parseReport(text, parsed));
+    EXPECT_EQ(serializeReport(parsed), text);
+    EXPECT_EQ(parsed.verdict, rep.verdict);
+    EXPECT_EQ(parsed.outcomes, rep.outcomes);
+}
+
+TEST(Cache, ParseReportRejectsGarbage)
+{
+    CheckReport out;
+    EXPECT_FALSE(parseReport("", out));
+    EXPECT_FALSE(parseReport("not a report\n", out));
+    // A truncated-but-valid prefix must not parse either.
+    std::string text = serializeReport(sampleReport());
+    std::string cut = text.substr(0, text.size() / 2);
+    EXPECT_FALSE(parseReport(cut, out));
+}
+
+TEST(Cache, LruEvictionAtCapacity)
+{
+    ResultCache cache(2);
+    cache.store("a", "1");
+    cache.store("b", "2");
+    cache.store("c", "3"); // evicts "a"
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.lookup("b").value(), "2");
+    EXPECT_EQ(cache.lookup("c").value(), "3");
+}
+
+TEST(Cache, LookupRefreshesRecency)
+{
+    ResultCache cache(2);
+    cache.store("a", "1");
+    cache.store("b", "2");
+    ASSERT_TRUE(cache.lookup("a").has_value()); // a is now MRU
+    cache.store("c", "3");                      // evicts "b"
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    EXPECT_FALSE(cache.lookup("b").has_value());
+}
+
+TEST(Cache, DiskStoreSurvivesRestart)
+{
+    std::filesystem::path dir = scratchDir("disk");
+    {
+        ResultCache cache(8, dir.string());
+        cache.store("key one", "value one");
+        EXPECT_EQ(cache.stats().diskWrites, 1u);
+    }
+    ResultCache fresh(8, dir.string());
+    auto hit = fresh.lookup("key one");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "value one");
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    // A second lookup is served from memory, not disk.
+    ASSERT_TRUE(fresh.lookup("key one").has_value());
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, CorruptedDiskEntryIsCountedMiss)
+{
+    std::filesystem::path dir = scratchDir("corrupt");
+    {
+        ResultCache cache(8, dir.string());
+        cache.store("the key", "the value");
+    }
+    // Garble the single on-disk entry.
+    size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        std::ofstream out(e.path(), std::ios::trunc);
+        out << "garbage";
+        ++files;
+    }
+    ASSERT_EQ(files, 1u);
+
+    ResultCache fresh(8, dir.string());
+    EXPECT_FALSE(fresh.lookup("the key").has_value());
+    EXPECT_EQ(fresh.stats().corrupt, 1u);
+    EXPECT_EQ(fresh.stats().misses, 1u);
+
+    // Re-storing repairs the entry.
+    fresh.store("the key", "the value");
+    ResultCache again(8, dir.string());
+    EXPECT_TRUE(again.lookup("the key").has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, DiskEntryVerifiesFullKey)
+{
+    // Two different keys must never alias through the disk store,
+    // even if an adversary renames files: entries embed the full key.
+    std::filesystem::path dir = scratchDir("alias");
+    {
+        ResultCache cache(8, dir.string());
+        cache.store("key A", "value A");
+    }
+    // Rename the entry to the filename of a different key.
+    std::filesystem::path src, dst;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        src = e.path();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hashKey("key B")));
+    dst = src.parent_path() / (std::string(buf) + src.extension().string());
+    std::filesystem::rename(src, dst);
+
+    ResultCache fresh(8, dir.string());
+    EXPECT_FALSE(fresh.lookup("key B").has_value());
+    EXPECT_EQ(fresh.stats().corrupt, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, DifferentRequestsKeyDifferentEntries)
+{
+    lang::Scenario sc = mustParse(kExploreScenario);
+    lang::RunOptions a;
+    lang::RunOptions b;
+    b.numThreads = 4;
+    lang::RunOptions c;
+    c.reduction = Reduction::None;
+    lang::RunOptions d;
+    d.maxConfigs = 1234;
+    const std::string ka = lang::cacheKey(sc, a);
+    EXPECT_NE(ka, lang::cacheKey(sc, b));
+    EXPECT_NE(ka, lang::cacheKey(sc, c));
+    EXPECT_NE(ka, lang::cacheKey(sc, d));
+    // And a different scenario keys differently under the same opts.
+    lang::Scenario other = sc;
+    other.program.threads[0].code.pop_back();
+    EXPECT_NE(ka, lang::cacheKey(other, a));
+}
+
+TEST(Cache, HashKeyIsStable)
+{
+    EXPECT_EQ(hashKey("abc"), hashKey("abc"));
+    EXPECT_NE(hashKey("abc"), hashKey("abd"));
+    EXPECT_NE(hashKey(""), hashKey("a"));
+}
+
+} // namespace

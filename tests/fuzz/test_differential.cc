@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/differential.hh"
+#include "fuzz/generate.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::fuzz;
+
+lang::Scenario
+mustParse(const std::string &text)
+{
+    lang::ParseResult r = lang::parseScenario(text);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error->render());
+    return r.scenario;
+}
+
+TEST(Differential, CleanScenarioRunsEveryGate)
+{
+    lang::Scenario sc = mustParse(R"(litmus "diff: clean"
+machine 0 nvmm
+machine 1 volatile
+addr x @ 0
+registers 1
+crash any max 1
+thread 0 on 0 {
+  lstore x 1
+  gpf
+}
+thread 1 on 1 {
+  r0 = load x
+}
+)");
+    DiffResult res = runDifferential(sc);
+    EXPECT_FALSE(res.skipped);
+    EXPECT_FALSE(res.crashed);
+    EXPECT_TRUE(res.clean())
+        << (res.findings.empty() ? "" : res.findings[0].detail);
+    // roundtrip + determinism/serde + 2 reductions + threads +
+    // frontier + reference = 7 comparison gates.
+    EXPECT_EQ(res.gatesRun, 7u);
+    EXPECT_TRUE(res.gatesSkipped.empty());
+    EXPECT_FALSE(res.baseline.outcomes.empty());
+}
+
+TEST(Differential, TruncatedBaselineIsSkippedNotDiverging)
+{
+    lang::Scenario sc = mustParse(R"(litmus "diff: truncated"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 0
+addr y @ 1
+registers 2
+crash any max 1
+thread 0 on 0 {
+  lstore x 1
+  rstore y 1
+  r0 = load y
+}
+thread 1 on 1 {
+  mstore y 2
+  r1 = load x
+}
+)");
+    DiffOptions opts;
+    opts.maxConfigs = 3; // guaranteed truncation
+    DiffResult res = runDifferential(sc, opts);
+    EXPECT_TRUE(res.skipped);
+    EXPECT_TRUE(res.findings.empty());
+    // Only the roundtrip gate (which needs no baseline) ran; every
+    // outcome-comparison gate was skipped.
+    EXPECT_EQ(res.gatesRun, 1u);
+}
+
+TEST(Differential, ReferenceGateHonorsConfigCap)
+{
+    lang::Scenario sc = mustParse(R"(litmus "diff: ref cap"
+machine 0 nvmm
+addr x @ 0
+registers 1
+thread 0 on 0 {
+  lstore x 1
+  r0 = load x
+}
+)");
+    DiffOptions opts;
+    opts.referenceConfigCap = 0; // cap below any real run
+    DiffResult res = runDifferential(sc, opts);
+    EXPECT_TRUE(res.clean());
+    bool refSkipped = false;
+    for (const std::string &g : res.gatesSkipped)
+        refSkipped |= g.find("reference") != std::string::npos;
+    EXPECT_TRUE(refSkipped);
+
+    opts.runReference = false;
+    opts.referenceConfigCap = 50000;
+    DiffResult off = runDifferential(sc, opts);
+    EXPECT_TRUE(off.clean());
+    EXPECT_EQ(off.gatesRun, 6u);
+}
+
+TEST(Differential, FixedSeedSweepIsCleanOrSkipped)
+{
+    // The farm's core invariant on a small fixed window: no seed
+    // diverges or crashes (skips from budget overflow are fine).
+    DiffOptions opts;
+    opts.maxConfigs = 100000;
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        lang::Scenario sc = generateScenario(scenarioSeed(1, seed));
+        DiffResult res = runDifferential(sc, opts);
+        EXPECT_TRUE(res.crashed == false && res.findings.empty())
+            << "seed index " << seed << ": "
+            << (res.findings.empty() ? "crash"
+                                     : res.findings[0].gate + ": " +
+                                           res.findings[0].detail);
+    }
+}
+
+TEST(Differential, RegressionCorpusCaseStaysClean)
+{
+    // The shrunk artifact of the ample-reduction completion bug;
+    // keep it exercised directly in tier-1, not only via the
+    // cxl0check replay path.
+    lang::Scenario sc = mustParse(R"(litmus "regress: ample completion"
+machine 0 nvmm
+machine 1 volatile
+addr x1 @ 0
+registers 1
+crash node 1 max 1
+thread 0 on 0 {
+  r0 = faa.m x1 1
+  gpf
+}
+thread 1 on 1 {
+  r0 = faa.l x1 r0
+}
+)");
+    DiffResult res = runDifferential(sc);
+    EXPECT_TRUE(res.clean())
+        << (res.findings.empty() ? "" : res.findings[0].detail);
+    EXPECT_EQ(res.baseline.outcomes.size(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/farm.hh"
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::fuzz;
+
+TEST(Farm, FixedSeedRunIsCleanWithWarmCache)
+{
+    FarmOptions opts;
+    opts.seed = 1;
+    opts.count = 12;
+    FarmReport rep = runFarm(opts);
+
+    EXPECT_EQ(rep.generated, 12u);
+    EXPECT_TRUE(rep.findings.empty())
+        << (rep.findings.empty()
+                ? ""
+                : rep.findings[0].gate + ": " + rep.findings[0].detail);
+    EXPECT_EQ(rep.crashed, 0u);
+    EXPECT_EQ(rep.diverged, 0u);
+    EXPECT_EQ(rep.clean + rep.skipped, rep.generated);
+    EXPECT_GT(rep.clean, 0u);
+    EXPECT_GT(rep.gatesRun, 0u);
+
+    // The cache trial replays every clean scenario twice through one
+    // service: the second pass must hit, and every hit must be
+    // byte-identical to its recompute.
+    EXPECT_GT(rep.cacheLookups, 0u);
+    EXPECT_GT(rep.cacheHits, 0u);
+    EXPECT_TRUE(rep.cacheByteIdentical);
+    EXPECT_TRUE(rep.pass());
+}
+
+TEST(Farm, RunsAreDeterministic)
+{
+    FarmOptions opts;
+    opts.seed = 7;
+    opts.count = 6;
+    opts.cacheTrial = false;
+    FarmReport a = runFarm(opts);
+    FarmReport b = runFarm(opts);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.clean, b.clean);
+    EXPECT_EQ(a.skipped, b.skipped);
+    EXPECT_EQ(a.gatesRun, b.gatesRun);
+    EXPECT_EQ(a.findings.size(), b.findings.size());
+}
+
+TEST(Farm, KeptExportsParseAndAnchorPass)
+{
+    FarmOptions opts;
+    opts.seed = 1;
+    opts.count = 10;
+    opts.keep = 3;
+    opts.cacheTrial = false;
+    FarmReport rep = runFarm(opts);
+    ASSERT_TRUE(rep.findings.empty());
+    ASSERT_EQ(rep.kept.size(), 3u);
+
+    for (const lang::CorpusFile &f : rep.kept) {
+        EXPECT_NE(f.filename.find("fuzz-"), std::string::npos);
+        lang::ParseResult r = lang::parseScenario(f.text);
+        ASSERT_TRUE(r.ok())
+            << f.filename << ": "
+            << (r.ok() ? "" : r.error->render());
+        // Anchors are locked to the explored outcome set, so the
+        // exported case must pass as a regression test.
+        EXPECT_EQ(r.scenario.expectKind, lang::AnchorKind::Exact)
+            << f.filename;
+        ASSERT_FALSE(r.scenario.expected.empty()) << f.filename;
+        lang::RunResult run = lang::runScenario(r.scenario, {});
+        EXPECT_TRUE(run.pass)
+            << f.filename << ": " << run.describe();
+    }
+}
+
+TEST(Farm, JsonCarriesTheGate)
+{
+    FarmOptions opts;
+    opts.seed = 3;
+    opts.count = 4;
+    FarmReport rep = runFarm(opts);
+    std::string js = farmJson(opts, rep, /*stable=*/true);
+    EXPECT_NE(js.find("\"bench\": \"fuzz\""), std::string::npos);
+    EXPECT_NE(js.find("\"all_pass\": true"), std::string::npos);
+    EXPECT_NE(js.find("\"byte_identical\": true"), std::string::npos);
+    EXPECT_NE(js.find("\"hit_rate\""), std::string::npos);
+    // Stable output zeroes the wall-clock fields.
+    EXPECT_NE(js.find("\"seconds\": 0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/generate.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::fuzz;
+
+TEST(Generate, SeedFullyDeterminesScenario)
+{
+    for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        lang::Scenario a = generateScenario(seed);
+        lang::Scenario b = generateScenario(seed);
+        EXPECT_EQ(a, b) << "seed " << seed;
+    }
+}
+
+TEST(Generate, DistinctSeedsVaryTheScenario)
+{
+    std::set<std::string> dumps;
+    for (uint64_t seed = 1; seed <= 20; ++seed)
+        dumps.insert(lang::dumpScenario(generateScenario(seed)));
+    // Collisions are possible in principle; 20 identical ones are
+    // a broken generator.
+    EXPECT_GT(dumps.size(), 10u);
+}
+
+TEST(Generate, EveryScenarioRoundtripsCanonically)
+{
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        lang::Scenario sc = generateScenario(seed);
+        std::string text = lang::dumpScenario(sc);
+        lang::ParseResult r = lang::parseScenario(text);
+        ASSERT_TRUE(r.ok())
+            << "seed " << seed << ": "
+            << (r.ok() ? "" : r.error->render()) << "\n"
+            << text;
+        EXPECT_EQ(r.scenario, sc) << "seed " << seed;
+    }
+}
+
+TEST(Generate, ScenariosAreWellFormed)
+{
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        lang::Scenario sc = generateScenario(seed);
+        ASSERT_FALSE(sc.machinePersistent.empty());
+        ASSERT_FALSE(sc.addrNames.empty());
+        ASSERT_FALSE(sc.program.threads.empty());
+        for (const auto &t : sc.program.threads) {
+            EXPECT_LT(t.node, sc.machinePersistent.size());
+            EXPECT_FALSE(t.code.empty());
+            for (const auto &in : t.code) {
+                if (in.kind != check::ProgInstr::Kind::Gpf)
+                    EXPECT_LT(in.addr, sc.addrNames.size());
+                if (in.dest >= 0)
+                    EXPECT_LT(in.dest, sc.program.numRegs);
+            }
+        }
+        for (NodeId owner : sc.addrOwner)
+            EXPECT_LT(owner, sc.machinePersistent.size());
+        for (NodeId n : sc.request.crashableNodes)
+            EXPECT_LT(n, sc.machinePersistent.size());
+        // config() must be constructible (throws on bad shapes).
+        (void)sc.config();
+    }
+}
+
+TEST(Generate, OptionsBoundTheDraw)
+{
+    GenOptions opts;
+    opts.maxMachines = 1;
+    opts.maxThreads = 1;
+    opts.maxAddrs = 1;
+    opts.allowCrash = false;
+    opts.allowVariants = false;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        lang::Scenario sc = generateScenario(seed, opts);
+        EXPECT_EQ(sc.machinePersistent.size(), 1u);
+        EXPECT_EQ(sc.program.threads.size(), 1u);
+        EXPECT_EQ(sc.addrNames.size(), 1u);
+        EXPECT_EQ(sc.request.maxCrashesPerNode, 0);
+        EXPECT_EQ(sc.variant, model::ModelVariant::Base);
+    }
+}
+
+TEST(Generate, ScenarioSeedSpreadsFarmIndices)
+{
+    std::set<uint64_t> seeds;
+    for (size_t i = 0; i < 100; ++i)
+        seeds.insert(scenarioSeed(1, i));
+    EXPECT_EQ(seeds.size(), 100u);
+    // And is itself deterministic.
+    EXPECT_EQ(scenarioSeed(7, 3), scenarioSeed(7, 3));
+    EXPECT_NE(scenarioSeed(7, 3), scenarioSeed(8, 3));
+}
+
+} // namespace

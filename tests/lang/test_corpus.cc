@@ -47,15 +47,19 @@ TEST(Corpus, CoversExportedBuiltinsAndAuthoredCases)
     auto corpus = loadCorpus();
     // Exported: tests 4, 12-17 (7 programs). Authored: test 19, the
     // writer/reader message-passing split, the serialized-trace
-    // recasts of tests 5, 8, 18, the LWB variant of test 10, and
-    // the Proposition-1 inclusion pair.
-    EXPECT_GE(corpus.size(), 15u);
+    // recasts of tests 1-3, 5-9, 18, the base/LWB variants of
+    // tests 10-11, the Proposition-1 inclusion pair, and the
+    // refinement pair between base and lwb.
+    EXPECT_GE(corpus.size(), 25u);
     for (const char *name :
          {"litmus04", "litmus12", "litmus13", "litmus14", "litmus15",
           "litmus16", "litmus17", "litmus19", "mp_split",
-          "litmus05_trace", "litmus08_trace", "litmus10_lwb",
-          "litmus18_trace", "incl_rstore_stronger",
-          "incl_lstore_weaker"})
+          "litmus01_trace", "litmus02_trace", "litmus03_trace",
+          "litmus05_trace", "litmus06_trace", "litmus07_trace",
+          "litmus08_trace", "litmus09_trace", "litmus10_lwb",
+          "litmus11_trace", "litmus11_lwb", "litmus18_trace",
+          "incl_rstore_stronger", "incl_lstore_weaker",
+          "refine_base_lwb", "refine_lwb_base"})
         EXPECT_TRUE(corpus.count(name)) << name;
     // Every corpus case declares an anchor to check against.
     for (const auto &[name, sc] : corpus)

@@ -165,6 +165,31 @@ thread 0 on 0 {
 machine 0 nvmm extra
 )",
      2, 16, "unexpected 'extra' at end of line"},
+
+    {"DuplicateVariantClause",
+     R"(litmus "t"
+variant spec=base impl=lwb
+variant spec=base impl=psn
+machine 0 nvmm
+addr x @ 0
+)",
+     3, 9, "duplicate variant spec=/impl= clause"},
+
+    {"UnknownRefineSpecVariant",
+     R"(litmus "t"
+variant spec=quux impl=lwb
+machine 0 nvmm
+addr x @ 0
+)",
+     2, 14, "unknown variant 'quux' (base, lwb, or psn)"},
+
+    {"VariantClauseExpectsImpl",
+     R"(litmus "t"
+variant spec=base ompl=lwb
+machine 0 nvmm
+addr x @ 0
+)",
+     2, 19, "expected 'impl', got 'ompl'"},
 };
 
 class DiagnosticsGolden : public ::testing::TestWithParam<Golden>

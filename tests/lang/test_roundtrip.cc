@@ -148,4 +148,55 @@ forbid {
     EXPECT_EQ(dumpScenario(second.scenario), canonical);
 }
 
+/** The refinement-endpoint clause survives the round trip. */
+TEST(RoundTrip, VariantSpecImplClauseSurvives)
+{
+    const char *src = R"(litmus "refine endpoints"
+variant spec=lwb impl=base
+
+machine 0 nvmm
+machine 1 volatile
+addr x @ 0
+
+crash any max 1
+max-depth 4
+
+verdict forbidden
+)";
+    ParseResult first = parseScenario(src);
+    ASSERT_TRUE(first.ok()) << first.error->render();
+    ASSERT_TRUE(first.scenario.refineSpec.has_value());
+    ASSERT_TRUE(first.scenario.refineImpl.has_value());
+    EXPECT_EQ(*first.scenario.refineSpec, model::ModelVariant::Lwb);
+    EXPECT_EQ(*first.scenario.refineImpl, model::ModelVariant::Base);
+
+    std::string canonical = dumpScenario(first.scenario);
+    EXPECT_NE(canonical.find("variant spec=lwb impl=base"),
+              std::string::npos)
+        << canonical;
+    ParseResult second = parseScenario(canonical);
+    ASSERT_TRUE(second.ok())
+        << second.error->render() << "\n" << canonical;
+    EXPECT_EQ(second.scenario, first.scenario) << canonical;
+    EXPECT_EQ(dumpScenario(second.scenario), canonical);
+}
+
+/** The tracked refinement corpus files are dump fixpoints. */
+TEST(RoundTrip, RefinementCorpusFilesAreFixpoints)
+{
+    std::string dir = std::string(CXL0_SOURCE_DIR) + "/corpus/litmus/";
+    for (const char *name :
+         {"refine_base_lwb.cxl0", "refine_lwb_base.cxl0"}) {
+        std::string text = readFile(dir + name);
+        ASSERT_FALSE(text.empty()) << name;
+        ParseResult r = parseScenario(text);
+        ASSERT_TRUE(r.ok()) << name << ": " << r.error->render();
+        ASSERT_TRUE(r.scenario.refineSpec.has_value()) << name;
+        std::string canonical = dumpScenario(r.scenario);
+        ParseResult again = parseScenario(canonical);
+        ASSERT_TRUE(again.ok()) << name;
+        EXPECT_EQ(again.scenario, r.scenario) << name;
+    }
+}
+
 } // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+#include "lang/service.hh"
+
+namespace
+{
+
+using namespace cxl0;
+using namespace cxl0::lang;
+
+Scenario
+mustParse(const std::string &text)
+{
+    ParseResult r = parseScenario(text);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error->render());
+    return r.scenario;
+}
+
+// One scenario per checker route; the byte-identity gate below runs
+// each one twice through a verifying service, so a hit that is not
+// byte-identical to its recompute fails the test.
+const char *kExplore = R"(litmus "svc: explore"
+machine 0 nvmm
+machine 1 volatile
+addr x @ 0
+registers 1
+crash any max 1
+thread 0 on 0 {
+  lstore x 1
+  gpf
+}
+thread 1 on 1 {
+  r0 = load x
+}
+)";
+
+const char *kFeasible = R"(litmus "svc: feasible"
+machine 0 nvmm
+addr x @ 0
+trace {
+  rstore 0 x 1
+  crash 0
+  load 0 x 1
+}
+verdict allowed
+)";
+
+// Saturates (22 pairs) before the depth bound, so the report is
+// un-truncated and therefore cacheable; a depth-cut refinement run
+// is never stored (the cut is not a graph property).
+const char *kRefinement = R"(litmus "svc: refinement"
+variant spec=base impl=base
+machine 0 nvmm
+addr x @ 0
+max-depth 6
+verdict allowed
+)";
+
+const char *kInclusion = R"(litmus "svc: inclusion"
+machine 0 nvmm
+machine 1 nvmm
+addr x @ 1
+trace lhs {
+  rstore 0 x 1
+}
+trace rhs {
+  lstore 0 x 1
+  lflush 0 x
+}
+verdict allowed
+)";
+
+TEST(Service, HitIsByteIdenticalAcrossAllFourCheckers)
+{
+    const char *texts[] = {kExplore, kFeasible, kRefinement,
+                           kInclusion};
+    ServiceOptions so;
+    so.verifyHits = true;
+    ScenarioService svc(so);
+    for (const char *text : texts) {
+        Scenario sc = mustParse(text);
+        ScenarioService::Response miss = svc.handle(sc);
+        EXPECT_FALSE(miss.cacheHit) << sc.name;
+        EXPECT_TRUE(miss.result.error.empty())
+            << sc.name << ": " << miss.result.error;
+
+        ScenarioService::Response hit = svc.handle(sc);
+        EXPECT_TRUE(hit.cacheHit) << sc.name;
+        EXPECT_TRUE(hit.byteIdentical) << sc.name;
+        EXPECT_EQ(hit.result.pass, miss.result.pass) << sc.name;
+        EXPECT_EQ(hit.result.checker, miss.result.checker) << sc.name;
+        EXPECT_EQ(hit.result.report.verdict, miss.result.report.verdict)
+            << sc.name;
+        EXPECT_EQ(hit.result.report.outcomes, miss.result.report.outcomes)
+            << sc.name;
+        EXPECT_EQ(hit.key, miss.key) << sc.name;
+    }
+    EXPECT_EQ(svc.cacheStats().hits, 4u);
+    EXPECT_EQ(svc.cacheStats().misses, 4u);
+}
+
+TEST(Service, DifferentRequestsMissEachOther)
+{
+    Scenario sc = mustParse(kExplore);
+    ScenarioService svc;
+    RunOptions a; // defaults
+    RunOptions b;
+    b.numThreads = 2;
+    RunOptions c;
+    c.reduction = check::Reduction::Tau;
+
+    ScenarioService::Response ra = svc.handle(sc, a);
+    ScenarioService::Response rb = svc.handle(sc, b);
+    ScenarioService::Response rc = svc.handle(sc, c);
+    EXPECT_FALSE(ra.cacheHit);
+    EXPECT_FALSE(rb.cacheHit);
+    EXPECT_FALSE(rc.cacheHit);
+    EXPECT_NE(ra.key, rb.key);
+    EXPECT_NE(ra.key, rc.key);
+    EXPECT_NE(rb.key, rc.key);
+    // But the semantics agree regardless of the knobs.
+    EXPECT_EQ(ra.result.report.outcomes, rb.result.report.outcomes);
+    EXPECT_EQ(ra.result.report.outcomes, rc.result.report.outcomes);
+}
+
+TEST(Service, ContextPoolReusesShapes)
+{
+    ScenarioService svc;
+    Scenario a = mustParse(kExplore);
+    Scenario b = a;
+    b.name = "svc: explore (renamed)"; // same shape, distinct key
+    svc.handle(a);
+    svc.handle(b);
+    EXPECT_EQ(svc.contexts().size(), 1u);
+    EXPECT_GE(svc.contexts().reuses(), 1u);
+    // A different system shape pools a second context.
+    Scenario c = mustParse(kFeasible);
+    svc.handle(c);
+    EXPECT_EQ(svc.contexts().size(), 2u);
+}
+
+TEST(Service, ScenarioHashIsDeterministic)
+{
+    Scenario sc = mustParse(kExplore);
+    EXPECT_EQ(scenarioHash(sc), scenarioHash(sc));
+    RunOptions alt;
+    alt.numThreads = 8;
+    EXPECT_NE(scenarioHash(sc), scenarioHash(sc, alt));
+}
+
+} // namespace

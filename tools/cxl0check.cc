@@ -23,8 +23,21 @@
  *       --corpus-dir corpus/campaign
  *   cxl0check replay corpus/campaign/register-flit-original-*.txt
  *
+ * The `fuzz` subcommand runs the differential fuzzing farm from
+ * src/fuzz (seeded scenario generation, cross-checker agreement
+ * gates, shrinking, and the result-cache byte-identity trial), and
+ * `serve` multiplexes a batch of scenario requests through one
+ * ScenarioService (persistent interning contexts + content-addressed
+ * result cache). `hash` prints a scenario's content address.
+ *
+ *   cxl0check fuzz --seed 1 --count 500 --out BENCH_fuzz.json
+ *   cxl0check fuzz --replay corpus/fuzz
+ *   cxl0check serve --corpus corpus/litmus --repeat 2 --verify-hits
+ *   cxl0check hash corpus/litmus/litmus04.cxl0
+ *
  * Exit status: 0 when every case passes (campaign: no durable-mode
- * violation and --expect-violations, if given, is met), 1 when any
+ * violation and --expect-violations, if given, is met; fuzz: no
+ * divergences, no crashes, cache hits byte-identical), 1 when any
  * case fails or a file fails to parse, 2 on usage errors.
  */
 
@@ -41,9 +54,11 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/farm.hh"
 #include "inject/campaign.hh"
 #include "lang/run.hh"
 #include "lang/scenario.hh"
+#include "lang/service.hh"
 
 using namespace cxl0;
 namespace fs = std::filesystem;
@@ -215,6 +230,32 @@ exportCorpus(const std::string &dir)
         std::printf("exported %s\n", path.c_str());
     }
     return 0;
+}
+
+/** Collect (sorted) every *.cxl0 under `dir` into `files`. */
+bool
+scanCorpusDir(const std::string &dir, std::vector<std::string> &files)
+{
+    std::error_code ec;
+    std::vector<std::string> found;
+    try {
+        for (const auto &e : fs::directory_iterator(dir, ec))
+            if (e.path().extension() == ".cxl0")
+                found.push_back(e.path().string());
+    } catch (const fs::filesystem_error &e) {
+        // The iterator's increment throws on I/O errors.
+        std::fprintf(stderr, "error: cannot read %s: %s\n",
+                     dir.c_str(), e.what());
+        return false;
+    }
+    if (ec) {
+        std::fprintf(stderr, "error: cannot read %s: %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return false;
+    }
+    std::sort(found.begin(), found.end());
+    files.insert(files.end(), found.begin(), found.end());
+    return true;
 }
 
 /** Split a comma-separated flag value into its nonempty items. */
@@ -531,6 +572,478 @@ replayMain(int argc, char **argv)
     return all_match ? 0 : 1;
 }
 
+// ------------------------------------------------------ fuzz command
+
+int
+fuzzUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: cxl0check %s [options]\n"
+        "  --seed N            farm seed (per-case seeds derive)\n"
+        "  --count N           scenarios to generate (default 100)\n"
+        "  --max-configs N     per-run configuration budget\n"
+        "  --alt-threads N     the N of the 1-vs-N thread gate\n"
+        "  --time-budget-ms N  per-run wall-clock budget\n"
+        "  --no-reference      skip the deep-copy reference gate\n"
+        "  --no-shrink         skip minimizing findings\n"
+        "  --no-cache-trial    skip the verify-hits cache trial\n"
+        "  --keep N            export the N largest clean scenarios\n"
+        "                      with exact outcome anchors locked\n"
+        "  --corpus-dir DIR    write kept exports + finding\n"
+        "                      artifacts under DIR\n"
+        "  --cache-capacity N  cache-trial in-memory entries\n"
+        "  --cache-dir DIR     cache-trial on-disk store\n"
+        "  --out FILE          write the farm JSON report\n"
+        "  --stable-json       zero wall-clock fields in the JSON\n"
+        "  --replay DIR        re-run the gates over every .cxl0\n"
+        "                      under DIR instead of generating\n"
+        "  --quiet             only print findings and the summary\n",
+        argv0);
+    return 2;
+}
+
+int
+fuzzReplay(const std::string &dir, const fuzz::DiffOptions &diff,
+           bool quiet)
+{
+    std::vector<std::string> files;
+    if (!scanCorpusDir(dir, files))
+        return 2;
+    if (files.empty()) {
+        std::printf("fuzz replay: no .cxl0 files under %s\n",
+                    dir.c_str());
+        return 0;
+    }
+    size_t clean = 0, skipped = 0, failed = 0;
+    for (const std::string &path : files) {
+        std::string text, err;
+        if (!readFile(path, text, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            ++failed;
+            continue;
+        }
+        lang::ParseResult pr = lang::parseScenario(text);
+        if (!pr.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         pr.error->render(path).c_str());
+            ++failed;
+            continue;
+        }
+        fuzz::DiffResult r = fuzz::runDifferential(pr.scenario, diff);
+        bool ok = r.skipped || r.clean();
+        if (!ok)
+            ++failed;
+        else if (r.skipped)
+            ++skipped;
+        else
+            ++clean;
+        if (!quiet || !ok)
+            std::printf("replay %-40s %s (%zu gate(s))\n",
+                        path.c_str(),
+                        r.skipped    ? "skipped"
+                        : r.clean()  ? "clean"
+                        : r.crashed  ? "CRASH"
+                                     : "DIVERGED",
+                        r.gatesRun);
+        for (const fuzz::DiffFinding &f : r.findings)
+            std::printf("    [%s] %s\n", f.gate.c_str(),
+                        f.detail.c_str());
+    }
+    std::printf("fuzz replay: %zu clean, %zu skipped, %zu failing\n",
+                clean, skipped, failed);
+    return failed == 0 ? 0 : 1;
+}
+
+int
+fuzzMain(int argc, char **argv)
+{
+    fuzz::FarmOptions opts;
+    const char *out_path = nullptr;
+    const char *replay_dir = nullptr;
+    const char *corpus_dir = nullptr;
+    bool stable_json = false;
+    bool quiet = false;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    auto count = [&](int &i, long long lo, long long hi) -> long long {
+        const char *flag = argv[i];
+        long long n;
+        if (!parseCount(value(i), n) || n < lo || n > hi) {
+            std::fprintf(stderr, "error: %s wants %lld..%lld\n", flag,
+                         lo, hi);
+            std::exit(2);
+        }
+        return n;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--seed") == 0) {
+            opts.seed = static_cast<uint64_t>(
+                count(i, 0, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--count") == 0) {
+            opts.count = static_cast<size_t>(count(i, 1, 10000000));
+        } else if (std::strcmp(a, "--max-configs") == 0) {
+            opts.diff.maxConfigs = static_cast<size_t>(
+                count(i, 1, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--alt-threads") == 0) {
+            opts.diff.altThreads =
+                static_cast<size_t>(count(i, 1, 1024));
+        } else if (std::strcmp(a, "--time-budget-ms") == 0) {
+            opts.diff.timeBudgetMs = static_cast<uint64_t>(
+                count(i, 1, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--no-reference") == 0) {
+            opts.diff.runReference = false;
+        } else if (std::strcmp(a, "--no-shrink") == 0) {
+            opts.shrink = false;
+        } else if (std::strcmp(a, "--no-cache-trial") == 0) {
+            opts.cacheTrial = false;
+        } else if (std::strcmp(a, "--keep") == 0) {
+            opts.keep = static_cast<size_t>(count(i, 0, 10000));
+        } else if (std::strcmp(a, "--corpus-dir") == 0) {
+            corpus_dir = value(i);
+        } else if (std::strcmp(a, "--cache-capacity") == 0) {
+            opts.cacheCapacity =
+                static_cast<size_t>(count(i, 1, 100000000));
+        } else if (std::strcmp(a, "--cache-dir") == 0) {
+            opts.cacheDir = value(i);
+        } else if (std::strcmp(a, "--out") == 0) {
+            out_path = value(i);
+        } else if (std::strcmp(a, "--stable-json") == 0) {
+            stable_json = true;
+        } else if (std::strcmp(a, "--replay") == 0) {
+            replay_dir = value(i);
+        } else if (std::strcmp(a, "--quiet") == 0 ||
+                   std::strcmp(a, "-q") == 0) {
+            quiet = true;
+        } else {
+            return fuzzUsage(argv[0]);
+        }
+    }
+
+    if (replay_dir)
+        return fuzzReplay(replay_dir, opts.diff, quiet);
+
+    fuzz::FarmReport report = fuzz::runFarm(opts);
+
+    if (!quiet)
+        for (const fuzz::FarmFinding &f : report.findings)
+            std::printf("finding seed %llu [%s]: %s\n",
+                        static_cast<unsigned long long>(f.seed),
+                        f.gate.c_str(), f.detail.c_str());
+
+    if (corpus_dir &&
+        (!report.kept.empty() || !report.findings.empty())) {
+        std::error_code ec;
+        fs::create_directories(corpus_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "error: cannot create %s: %s\n",
+                         corpus_dir, ec.message().c_str());
+            return 2;
+        }
+        auto writeArtifact = [&](const std::string &filename,
+                                 const std::string &text) -> bool {
+            std::string path =
+                std::string(corpus_dir) + "/" + filename;
+            std::ofstream out(path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             path.c_str());
+                return false;
+            }
+            out << text;
+            std::printf("wrote %s\n", path.c_str());
+            return true;
+        };
+        for (const lang::CorpusFile &f : report.kept)
+            if (!writeArtifact(f.filename, f.text))
+                return 2;
+        for (const fuzz::FarmFinding &f : report.findings)
+            if (!writeArtifact(f.filename, f.artifact))
+                return 2;
+    }
+
+    std::printf("fuzz: %zu generated, %zu clean, %zu skipped, "
+                "%zu diverged, %zu crashed, %zu gate run(s), "
+                "cache %zu/%zu hit(s)%s, %.2fs\n",
+                report.generated, report.clean, report.skipped,
+                report.diverged, report.crashed, report.gatesRun,
+                report.cacheHits, report.cacheLookups,
+                report.cacheByteIdentical
+                    ? ""
+                    : " (NOT byte-identical)",
+                report.seconds);
+
+    if (out_path) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path);
+            return 2;
+        }
+        out << fuzz::farmJson(opts, report, stable_json);
+        std::printf("wrote %s\n", out_path);
+    }
+    return report.pass() ? 0 : 1;
+}
+
+// ----------------------------------------------------- serve command
+
+int
+serveUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: cxl0check %s [options] [scenario.cxl0 ...]\n"
+        "  --corpus DIR        serve every *.cxl0 under DIR (sorted)\n"
+        "  --repeat N          serve the batch N times (default 2;\n"
+        "                      repeats exercise the result cache)\n"
+        "  --threads N         worker threads per request\n"
+        "  --cache-capacity N  in-memory result-cache entries\n"
+        "  --cache-dir DIR     enable the on-disk result store\n"
+        "  --verify-hits       recompute every hit and require\n"
+        "                      byte-identity (the correctness gate)\n"
+        "  --out FILE          write the aggregate JSON report\n"
+        "  --stable-json       zero wall-clock fields in the JSON\n"
+        "  --quiet             only print failures and the summary\n",
+        argv0);
+    return 2;
+}
+
+int
+serveMain(int argc, char **argv)
+{
+    lang::ServiceOptions so;
+    std::vector<std::string> files;
+    size_t repeat = 2;
+    const char *out_path = nullptr;
+    bool stable_json = false;
+    bool quiet = false;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    auto count = [&](int &i, long long lo, long long hi) -> long long {
+        const char *flag = argv[i];
+        long long n;
+        if (!parseCount(value(i), n) || n < lo || n > hi) {
+            std::fprintf(stderr, "error: %s wants %lld..%lld\n", flag,
+                         lo, hi);
+            std::exit(2);
+        }
+        return n;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--corpus") == 0) {
+            if (!scanCorpusDir(value(i), files))
+                return 2;
+        } else if (std::strcmp(a, "--repeat") == 0) {
+            repeat = static_cast<size_t>(count(i, 1, 1000000));
+        } else if (std::strcmp(a, "--threads") == 0) {
+            so.run.numThreads =
+                static_cast<size_t>(count(i, 1, 1024));
+        } else if (std::strcmp(a, "--cache-capacity") == 0) {
+            so.cacheCapacity =
+                static_cast<size_t>(count(i, 1, 100000000));
+        } else if (std::strcmp(a, "--cache-dir") == 0) {
+            so.cacheDir = value(i);
+        } else if (std::strcmp(a, "--verify-hits") == 0) {
+            so.verifyHits = true;
+        } else if (std::strcmp(a, "--out") == 0) {
+            out_path = value(i);
+        } else if (std::strcmp(a, "--stable-json") == 0) {
+            stable_json = true;
+        } else if (std::strcmp(a, "--quiet") == 0 ||
+                   std::strcmp(a, "-q") == 0) {
+            quiet = true;
+        } else if (a[0] == '-') {
+            return serveUsage(argv[0]);
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.empty())
+        return serveUsage(argv[0]);
+
+    // Parse the whole batch up front: a serve loop should never pay
+    // the parse twice, and a broken file fails fast.
+    struct Loaded
+    {
+        std::string name;
+        lang::Scenario sc;
+    };
+    std::vector<Loaded> batch;
+    bool parse_ok = true;
+    for (const std::string &path : files) {
+        std::string text, err;
+        if (!readFile(path, text, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            parse_ok = false;
+            continue;
+        }
+        lang::ParseResult pr = lang::parseScenario(text);
+        if (!pr.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         pr.error->render(path).c_str());
+            parse_ok = false;
+            continue;
+        }
+        batch.push_back({fs::path(path).stem().string(),
+                         std::move(pr.scenario)});
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    lang::ScenarioService service(so);
+    size_t requests = 0, passed = 0;
+    bool byte_identical = true;
+    for (size_t rep = 0; rep < repeat; ++rep) {
+        for (const Loaded &l : batch) {
+            lang::ScenarioService::Response resp;
+            try {
+                resp = service.handle(l.sc);
+            } catch (const std::exception &e) {
+                resp.result.error = e.what();
+            }
+            ++requests;
+            passed += resp.result.pass;
+            byte_identical &= resp.byteIdentical;
+            if (!quiet || !resp.result.pass)
+                std::printf("serve %-24s %-4s %s\n", l.name.c_str(),
+                            resp.cacheHit ? "hit" : "miss",
+                            resp.result.error.empty()
+                                ? resp.result.describe().c_str()
+                                : resp.result.error.c_str());
+        }
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    const check::CacheStats &cs = service.cacheStats();
+    std::printf("serve: %zu request(s), %zu passed, %zu cache "
+                "hit(s), %zu miss(es)%s, %zu pooled context(s) "
+                "(%zu reuse(s)), %.2fs\n",
+                requests, passed, cs.hits, cs.misses,
+                byte_identical ? "" : " (NOT byte-identical)",
+                service.contexts().size(),
+                service.contexts().reuses(), seconds);
+
+    if (out_path) {
+        double secs = stable_json ? 0.0 : seconds;
+        double rate = (stable_json || seconds <= 0.0)
+                          ? 0.0
+                          : static_cast<double>(requests) / seconds;
+        size_t lookups = cs.hits + cs.misses;
+        std::ostringstream os;
+        os << "{\n";
+        os << "  \"bench\": \"serve\",\n";
+        os << "  \"corpus_size\": " << batch.size() << ",\n";
+        os << "  \"repeat\": " << repeat << ",\n";
+        os << "  \"requests\": " << requests << ",\n";
+        os << "  \"passed\": " << passed << ",\n";
+        os << "  \"cache\": {\"lookups\": " << lookups
+           << ", \"hits\": " << cs.hits << ", \"misses\": "
+           << cs.misses << ", \"evictions\": " << cs.evictions
+           << ", \"disk_hits\": " << cs.diskHits
+           << ", \"disk_writes\": " << cs.diskWrites
+           << ", \"corrupt\": " << cs.corrupt << ", \"hit_rate\": "
+           << (lookups == 0 ? 0.0
+                            : static_cast<double>(cs.hits) /
+                                  static_cast<double>(lookups))
+           << ", \"byte_identical\": "
+           << (byte_identical ? "true" : "false") << "},\n";
+        os << "  \"contexts\": {\"pooled\": "
+           << service.contexts().size() << ", \"reuses\": "
+           << service.contexts().reuses() << ", \"bytes\": "
+           << (stable_json ? 0 : service.contexts().bytes())
+           << "},\n";
+        os << "  \"all_pass\": "
+           << (passed == requests && parse_ok && byte_identical
+                   ? "true"
+                   : "false")
+           << ",\n";
+        os << "  \"seconds\": " << secs << ",\n";
+        os << "  \"requests_per_sec\": " << rate << "\n";
+        os << "}\n";
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path);
+            return 2;
+        }
+        out << os.str();
+        std::printf("wrote %s\n", out_path);
+    }
+    return passed == requests && parse_ok && byte_identical ? 0 : 1;
+}
+
+// ------------------------------------------------------ hash command
+
+int
+hashMain(int argc, char **argv)
+{
+    bool print_key = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--key") == 0)
+            print_key = true;
+        else if (argv[i][0] == '-')
+            files.clear();
+        else
+            files.push_back(argv[i]);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: cxl0check hash [--key] scenario.cxl0 "
+                     "...\n  --key  print the full canonical cache "
+                     "key instead of the 64-bit address\n");
+        return 2;
+    }
+    bool ok = true;
+    for (const std::string &path : files) {
+        std::string text, err;
+        if (!readFile(path, text, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            ok = false;
+            continue;
+        }
+        lang::ParseResult pr = lang::parseScenario(text);
+        if (!pr.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         pr.error->render(path).c_str());
+            ok = false;
+            continue;
+        }
+        if (print_key) {
+            std::fputs(
+                lang::cacheKey(pr.scenario, lang::RunOptions{})
+                    .c_str(),
+                stdout);
+        } else {
+            std::printf("%016llx  %s\n",
+                        static_cast<unsigned long long>(
+                            lang::scenarioHash(pr.scenario)),
+                        path.c_str());
+        }
+    }
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -540,6 +1053,12 @@ main(int argc, char **argv)
         return campaignMain(argc - 1, argv + 1);
     if (argc >= 2 && std::strcmp(argv[1], "replay") == 0)
         return replayMain(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0)
+        return fuzzMain(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc - 1, argv + 1);
+    if (argc >= 2 && std::strcmp(argv[1], "hash") == 0)
+        return hashMain(argc - 1, argv + 1);
     std::vector<std::string> files;
     lang::RunOptions opts;
     const char *out_path = nullptr;
@@ -557,27 +1076,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strcmp(a, "--corpus") == 0) {
-            std::string dir = value(i);
-            std::error_code ec;
-            std::vector<std::string> found;
-            try {
-                for (const auto &e :
-                     fs::directory_iterator(dir, ec))
-                    if (e.path().extension() == ".cxl0")
-                        found.push_back(e.path().string());
-            } catch (const fs::filesystem_error &e) {
-                // The iterator's increment throws on I/O errors.
-                std::fprintf(stderr, "error: cannot read %s: %s\n",
-                             dir.c_str(), e.what());
+            if (!scanCorpusDir(value(i), files))
                 return 2;
-            }
-            if (ec) {
-                std::fprintf(stderr, "error: cannot read %s: %s\n",
-                             dir.c_str(), ec.message().c_str());
-                return 2;
-            }
-            std::sort(found.begin(), found.end());
-            files.insert(files.end(), found.begin(), found.end());
         } else if (std::strcmp(a, "--checker") == 0) {
             const char *k = value(i);
             if (std::strcmp(k, "explore") == 0)
@@ -649,11 +1149,15 @@ main(int argc, char **argv)
             else
                 return usage(argv[0]);
         } else if (std::strcmp(a, "--spec") == 0) {
-            if (!lang::variantFromWord(value(i), opts.refineSpec))
+            model::ModelVariant v;
+            if (!lang::variantFromWord(value(i), v))
                 return usage(argv[0]);
+            opts.refineSpec = v;
         } else if (std::strcmp(a, "--impl") == 0) {
-            if (!lang::variantFromWord(value(i), opts.refineImpl))
+            model::ModelVariant v;
+            if (!lang::variantFromWord(value(i), v))
                 return usage(argv[0]);
+            opts.refineImpl = v;
         } else if (std::strcmp(a, "--out") == 0) {
             out_path = value(i);
         } else if (std::strcmp(a, "--export") == 0) {
