@@ -8,27 +8,34 @@
  * with one crash allowed per machine — the crash-enabled configs are
  * where interleaving x tau-placement x crash-placement explodes.
  *
- * For every case four modes run:
- *   interned           the packed/hash-consed search with the full
+ * For every case seven modes run:
+ *   interned           the packed/hash-consed search with the
  *                      ample-set reduction (the default)
  *   interned_tau       same, tau footprint reduction only
  *   interned_noreduce  same, no reduction at all
+ *   interned_crashample / interned_sleep / interned_full
+ *                      the crash-aware reduction stack (crash-step
+ *                      ample, + sleep sets, + crash-budget symmetry)
  *   reference          the deep-copy seed algorithm
  * plus a threads series (numThreads = 1/2/4 over the work-stealing
- * sharded frontier, with per-count steal counters), and the JSON
- * reports configs/sec, peak visited-set bytes, outcome counts, a
+ * sharded frontier, with per-count steal counters) and a
+ * full-reduction thread sweep (numThreads = 1/2/4/8), and the JSON
+ * reports configs/sec, peak visited-set bytes, wall-clock seconds
+ * and process peak-RSS per reduction mode, outcome counts, a
  * per-case `reduction` series (configs explored under none/tau/
- * ample), interned-vs-reference speedup and memory ratios, and the
- * 4-thread-vs-1-thread throughput ratio. Outcome sets are asserted
- * identical across every reduction mode *and* every thread count
- * before anything is reported — the exit status is the drift gate
- * CI relies on.
+ * ample/crash-ample/sleep/full), interned-vs-reference speedup and
+ * memory ratios, and the 4-thread-vs-1-thread throughput ratio.
+ * Outcome sets are asserted identical across every reduction mode
+ * *and* every thread count before anything is reported — the exit
+ * status is the drift gate CI relies on.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "check/explorer.hh"
 #include "check/litmus.hh"
@@ -82,20 +89,33 @@ struct ModeResult
 {
     ExploreResult res;
     double configsPerSec = 0;
+    size_t peakRssKb = 0;
 };
+
+/** Process high-water RSS in KiB. Monotone across the process
+ *  lifetime, so per-mode readings record the watermark *after* that
+ *  mode ran — comparable across trajectory runs that keep the mode
+ *  order fixed. */
+size_t
+peakRssKb()
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<size_t>(ru.ru_maxrss);
+}
 
 ModeResult
 run(const Cxl0Model &model, const Case &c, Reduction red,
-    bool reference, size_t num_threads = 1)
+    bool reference, size_t num_threads = 1, int reps = 5)
 {
     ExploreOptions opts = c.options;
     opts.reduction = red;
     opts.numThreads = num_threads;
     Explorer ex(model, c.program, opts);
-    // Best of five: exploration is deterministic, so the fastest run
+    // Best of N: exploration is deterministic, so the fastest run
     // is the least-perturbed one and tracks best across machines.
     ModeResult m;
-    for (int rep = 0; rep < 5; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
         ExploreResult r = reference ? ex.exploreReference()
                                     : ex.explore();
         if (rep == 0 || r.stats.seconds < m.res.stats.seconds)
@@ -104,6 +124,7 @@ run(const Cxl0Model &model, const Case &c, Reduction red,
     double sec = m.res.stats.seconds > 0 ? m.res.stats.seconds : 1e-9;
     m.configsPerSec =
         static_cast<double>(m.res.stats.configsVisited) / sec;
+    m.peakRssKb = peakRssKb();
     return m;
 }
 
@@ -111,17 +132,21 @@ void
 emitMode(std::string *out, const char *mode, const ModeResult &m,
          bool last)
 {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
         "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
+        "\"peak_rss_kb\": %zu, "
         "\"outcomes\": %zu, \"tau_skipped\": %zu, "
-        "\"ample_skipped\": %zu, \"truncated\": %s}%s\n",
+        "\"ample_skipped\": %zu, \"crash_ample_skipped\": %zu, "
+        "\"sleep_set_skipped\": %zu, \"symmetry_merged\": %zu, "
+        "\"truncated\": %s}%s\n",
         mode, m.res.stats.configsVisited, m.res.stats.seconds,
-        m.configsPerSec, m.res.stats.peakVisitedBytes,
+        m.configsPerSec, m.res.stats.peakVisitedBytes, m.peakRssKb,
         m.res.outcomes.size(), m.res.stats.tauMovesSkipped,
-        m.res.stats.ampleSkipped,
+        m.res.stats.ampleSkipped, m.res.stats.crashAmpleSkipped,
+        m.res.stats.sleepSetSkipped, m.res.stats.symmetryMerged,
         m.res.truncated ? "true" : "false", last ? "" : ",");
     *out += buf;
 }
@@ -163,6 +188,10 @@ main(int argc, char **argv)
         ModeResult fast = run(model, c, Reduction::Ample, false);
         ModeResult tau = run(model, c, Reduction::Tau, false);
         ModeResult noreduce = run(model, c, Reduction::None, false);
+        ModeResult crashample =
+            run(model, c, Reduction::CrashAmple, false);
+        ModeResult sleep = run(model, c, Reduction::Sleep, false);
+        ModeResult full = run(model, c, Reduction::Full, false);
         ModeResult ref = run(model, c, Reduction::None, true);
         // Threads series over the work-stealing sharded frontier:
         // the 1-thread entry is the sequential search `fast` already
@@ -180,14 +209,37 @@ main(int argc, char **argv)
                                  fast.res.outcomes;
         }
 
+        // The crash-aware stack must also be schedule-invariant:
+        // the full reduction re-runs at 1/2/4/8 workers and every
+        // outcome set must stay put (single rep — the counts are
+        // deterministic, only the gate matters here).
+        bool full_threads_match = true;
+        for (size_t nt : {size_t{2}, size_t{4}, size_t{8}}) {
+            ModeResult ft =
+                run(model, c, Reduction::Full, false, nt, 1);
+            // Unique-config count (configsInterned) is the
+            // deterministic metric; per-pop configsVisited can
+            // jitter under sleep-word re-expansion.
+            full_threads_match &=
+                !ft.res.truncated &&
+                ft.res.outcomes == full.res.outcomes &&
+                ft.res.stats.configsInterned ==
+                    full.res.stats.configsInterned;
+        }
+
         // The drift gate: every reduction mode and every thread
         // count must reproduce the reference outcome set exactly.
         bool match = !fast.res.truncated && !tau.res.truncated &&
                      !noreduce.res.truncated && !ref.res.truncated &&
-                     threads_match &&
+                     !crashample.res.truncated &&
+                     !sleep.res.truncated && !full.res.truncated &&
+                     threads_match && full_threads_match &&
                      fast.res.outcomes == ref.res.outcomes &&
                      tau.res.outcomes == ref.res.outcomes &&
-                     noreduce.res.outcomes == ref.res.outcomes;
+                     noreduce.res.outcomes == ref.res.outcomes &&
+                     crashample.res.outcomes == ref.res.outcomes &&
+                     sleep.res.outcomes == ref.res.outcomes &&
+                     full.res.outcomes == ref.res.outcomes;
         all_match &= match;
 
         double speedup = ref.res.stats.seconds > 0
@@ -212,20 +264,41 @@ main(int argc, char **argv)
         emitMode(&json, "interned", fast, false);
         emitMode(&json, "interned_tau", tau, false);
         emitMode(&json, "interned_noreduce", noreduce, false);
+        emitMode(&json, "interned_crashample", crashample, false);
+        emitMode(&json, "interned_sleep", sleep, false);
+        emitMode(&json, "interned_full", full, false);
         emitMode(&json, "reference", ref, false);
         // The reduction series: configs each mode had to explore for
-        // the same outcome set (the trajectory metric the ample-set
-        // work moves).
+        // the same outcome set (the trajectory metric the reduction
+        // stack moves), plus per-mode wall-clock and peak RSS.
         {
-            char rbuf[256];
+            char rbuf[1024];
             std::snprintf(
                 rbuf, sizeof rbuf,
                 "      \"reduction\": {\"none\": %zu, \"tau\": %zu, "
-                "\"ample\": %zu, \"outcomes_equal\": %s},\n",
-                noreduce.res.stats.configsVisited,
-                tau.res.stats.configsVisited,
-                fast.res.stats.configsVisited,
-                match ? "true" : "false");
+                "\"ample\": %zu, \"crash_ample\": %zu, "
+                "\"sleep\": %zu, \"full\": %zu, "
+                "\"outcomes_equal\": %s,\n"
+                "        \"timing\": {"
+                "\"none\": {\"seconds\": %.6f, \"peak_rss_kb\": %zu}, "
+                "\"ample\": {\"seconds\": %.6f, \"peak_rss_kb\": %zu}, "
+                "\"crash_ample\": {\"seconds\": %.6f, "
+                "\"peak_rss_kb\": %zu}, "
+                "\"sleep\": {\"seconds\": %.6f, \"peak_rss_kb\": %zu}, "
+                "\"full\": {\"seconds\": %.6f, "
+                "\"peak_rss_kb\": %zu}}},\n",
+                noreduce.res.stats.configsInterned,
+                tau.res.stats.configsInterned,
+                fast.res.stats.configsInterned,
+                crashample.res.stats.configsInterned,
+                sleep.res.stats.configsInterned,
+                full.res.stats.configsInterned,
+                match ? "true" : "false",
+                noreduce.res.stats.seconds, noreduce.peakRssKb,
+                fast.res.stats.seconds, fast.peakRssKb,
+                crashample.res.stats.seconds, crashample.peakRssKb,
+                sleep.res.stats.seconds, sleep.peakRssKb,
+                full.res.stats.seconds, full.peakRssKb);
             json += rbuf;
         }
         json += "      \"threads\": {\n";

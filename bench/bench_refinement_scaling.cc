@@ -95,17 +95,26 @@ void
 emitMode(std::string *out, const char *mode, const ModeResult &m,
          bool last)
 {
-    char buf[512];
+    // The reduction counters are zero on refinement searches today
+    // (the crash-aware stack lives in the litmus explorer); they are
+    // emitted anyway so both BENCH_*.json emitters share one schema
+    // and the trajectory tooling never branches on bench kind.
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
         "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
         "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
         "\"frames_interned\": %zu, \"verdict\": \"%s\", "
+        "\"crash_ample_skipped\": %zu, \"sleep_set_skipped\": %zu, "
+        "\"symmetry_merged\": %zu, "
         "\"truncated\": %s}%s\n",
         mode, m.report.stats.configsVisited, m.report.stats.seconds,
         m.configsPerSec, m.report.stats.peakVisitedBytes,
         m.report.stats.framesInterned,
         checkVerdictName(m.report.verdict),
+        m.report.stats.crashAmpleSkipped,
+        m.report.stats.sleepSetSkipped,
+        m.report.stats.symmetryMerged,
         m.report.truncated ? "true" : "false", last ? "" : ",");
     *out += buf;
 }

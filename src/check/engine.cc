@@ -1,6 +1,7 @@
 #include "check/engine.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <thread>
 
@@ -40,8 +41,28 @@ reductionName(Reduction r)
         return "tau";
       case Reduction::Ample:
         return "ample";
+      case Reduction::CrashAmple:
+        return "crash-ample";
+      case Reduction::Sleep:
+        return "sleep";
+      case Reduction::Full:
+        return "full";
     }
     return "?";
+}
+
+bool
+parseReduction(const char *name, Reduction *out)
+{
+    for (Reduction r :
+         {Reduction::None, Reduction::Tau, Reduction::Ample,
+          Reduction::CrashAmple, Reduction::Sleep, Reduction::Full}) {
+        if (std::strcmp(name, reductionName(r)) == 0) {
+            *out = r;
+            return true;
+        }
+    }
+    return false;
 }
 
 void
@@ -51,6 +72,9 @@ SearchStats::merge(const SearchStats &other)
     configsInterned += other.configsInterned;
     tauMovesSkipped += other.tauMovesSkipped;
     ampleSkipped += other.ampleSkipped;
+    crashAmpleSkipped += other.crashAmpleSkipped;
+    sleepSetSkipped += other.sleepSetSkipped;
+    symmetryMerged += other.symmetryMerged;
     stealsAttempted += other.stealsAttempted;
     stealsSucceeded += other.stealsSucceeded;
     peakVisitedBytes += other.peakVisitedBytes;
@@ -133,6 +157,11 @@ CheckReport::describe() const
     if (stats.tauMovesSkipped || stats.ampleSkipped)
         os << ", " << stats.tauMovesSkipped << "+"
            << stats.ampleSkipped << " tau/ample skipped";
+    if (stats.crashAmpleSkipped || stats.sleepSetSkipped ||
+        stats.symmetryMerged)
+        os << ", " << stats.crashAmpleSkipped << "/"
+           << stats.sleepSetSkipped << "/" << stats.symmetryMerged
+           << " crash-ample/sleep/symmetry";
     if (stats.stealsAttempted)
         os << ", " << stats.stealsSucceeded << "/"
            << stats.stealsAttempted << " steals";
@@ -147,6 +176,9 @@ hashPacked(const PackedConfig &c)
         mixBits((static_cast<uint64_t>(c.state) << 32) ^ c.regs);
     h = mixBits(h ^ c.pc);
     h = mixBits(h ^ (static_cast<uint64_t>(c.alive) << 32) ^ c.crash);
+    // The sleep word is metadata, not identity (PackedConfig doc):
+    // it is deliberately excluded so converging paths with different
+    // sleep words land on the same stored entry.
     return h;
 }
 
@@ -201,6 +233,30 @@ FlatConfigSet::insert(const PackedConfig &c)
     if ((count_ + 1) * 10 > slots_.size() * 7)
         grow();
     return true;
+}
+
+PackedConfig *
+FlatConfigSet::insertOrFind(const PackedConfig &c, bool *inserted)
+{
+    size_t i = hashPacked(c) & mask_;
+    while (slots_[i].state != kNoStateId) {
+        if (slots_[i] == c) {
+            *inserted = false;
+            return &slots_[i];
+        }
+        i = (i + 1) & mask_;
+    }
+    slots_[i] = c;
+    ++count_;
+    *inserted = true;
+    if ((count_ + 1) * 10 > slots_.size() * 7) {
+        grow();
+        // The table moved; re-locate the entry just inserted.
+        i = hashPacked(c) & mask_;
+        while (!(slots_[i] == c))
+            i = (i + 1) & mask_;
+    }
+    return &slots_[i];
 }
 
 void

@@ -100,10 +100,40 @@ enum class Reduction
     None, //!< expand every enabled successor (the reference graph)
     Tau,  //!< skip tau moves outside every live suffix footprint
     Ample, //!< Tau + singleton ample sets for thread steps (default)
+    /**
+     * Ample + the crash-step ample condition: a pending crash whose
+     * state effect is provably invisible to every live thread's
+     * remaining code (and which cannot mark any thread crashed) is
+     * deferred — its subtree's outcomes are a subset of the
+     * undeferred subtree's, so the branch is pruned outright.
+     */
+    CrashAmple,
+    /**
+     * CrashAmple + sleep sets over thread and crash steps: after the
+     * search explores step a before step b from a configuration, the
+     * commuting reordering b-then-a is suppressed in b's subtree
+     * until a dependent step wakes it. The visited set stores one
+     * sleep word per core configuration and intersects the words of
+     * converging paths (re-expanding on strict shrink), so the node
+     * set is a subset of the Ample graph and the fixpoint is
+     * schedule-invariant under work stealing.
+     */
+    Sleep,
+    /**
+     * Sleep + crash-budget symmetry: interchangeable machines (no
+     * threads, no owned addresses, identical static attributes) are
+     * canonicalized by sorting their (cache row, crash budget) pairs
+     * at admission time, merging configurations identical up to a
+     * renaming of such machines.
+     */
+    Full,
 };
 
-/** "none" / "tau" / "ample". */
+/** "none" / "tau" / "ample" / "crash-ample" / "sleep" / "full". */
 const char *reductionName(Reduction r);
+
+/** Parse a reduction-mode name; returns false on an unknown name. */
+bool parseReduction(const char *name, Reduction *out);
 
 /**
  * A checking request: budgets and toggles every checker understands.
@@ -238,6 +268,29 @@ struct SearchStats
      * it buys.
      */
     size_t ampleSkipped = 0;
+    /**
+     * Crash steps pruned by the crash-step ample condition: the
+     * crash's state effect was provably invisible to every live
+     * thread's remaining code, so its subtree's outcomes are a
+     * subset of the retained branch's. Schedule-invariant.
+     */
+    size_t crashAmpleSkipped = 0;
+    /**
+     * Thread or crash steps suppressed because they were asleep (an
+     * already-explored sibling ordering covers them). Counted per
+     * expansion, and a sleep-word merge can re-expand a
+     * configuration, so treat as approximate under Reduction::Sleep
+     * and above (the node/edge fixpoint itself is deterministic;
+     * gate on outcomes and configsInterned, not on this).
+     */
+    size_t sleepSetSkipped = 0;
+    /**
+     * Successor configurations whose machine-symmetry canonicalization
+     * was not the identity — each one merged an orbit of
+     * configurations identical up to renaming interchangeable
+     * machines. Schedule-invariant.
+     */
+    size_t symmetryMerged = 0;
     /** Steal attempts this worker made on other shards' frontiers. */
     size_t stealsAttempted = 0;
     /** Steal attempts that came back with at least one config. */
@@ -332,9 +385,30 @@ struct PackedConfig
     uint32_t regs = 0;   //!< interned flat register file (all threads)
     uint64_t pc = 0;     //!< bitsPerPc bits per thread
     uint32_t alive = 0;  //!< bit t set while thread t's machine is up
+    /**
+     * Sleep word (Reduction::Sleep and above): low 16 bits sleep
+     * thread t's next step, high 16 bits sleep node n's crash step.
+     * A sleeping step is covered by an already-explored sibling
+     * ordering and is not expanded until a dependent step wakes it.
+     * Search *metadata*, not identity: the visited set keys on the
+     * core configuration and intersects the sleep words of every
+     * arrival (FlatConfigSet::insertOrFind), re-expanding only when
+     * the stored word strictly shrinks — so each core configuration
+     * is stored once and the fixpoint (nodes, final sleep words,
+     * explored edges) is schedule-invariant. Always 0 below
+     * Reduction::Sleep and in every checker that repurposes the
+     * slots (refinement).
+     */
+    uint32_t sleep = 0;
     uint64_t crash = 0;  //!< bitsPerBudget bits of crash budget per node
 
-    bool operator==(const PackedConfig &other) const = default;
+    /** Identity excludes the sleep word (see its comment). */
+    bool operator==(const PackedConfig &other) const
+    {
+        return state == other.state && regs == other.regs &&
+               pc == other.pc && alive == other.alive &&
+               crash == other.crash;
+    }
 };
 
 static_assert(sizeof(PackedConfig) == 32,
@@ -358,6 +432,16 @@ class FlatConfigSet
 
     /** Insert; returns true when the config was not present. */
     bool insert(const PackedConfig &c);
+
+    /**
+     * Insert `c`, or find the stored entry equal to it (identity
+     * excludes the sleep word). Returns the stored entry; the caller
+     * may mutate its sleep word in place (sleep-word intersection on
+     * path convergence). The pointer is invalidated by the next
+     * insert. Single-writer: only the owning shard touches its set.
+     */
+    PackedConfig *insertOrFind(const PackedConfig &c,
+                               bool *inserted);
 
     size_t size() const { return count_; }
     size_t bytes() const
@@ -651,7 +735,10 @@ class ShardedFrontier
                 // Admit outside the lock (admission touches the
                 // worker's own tables), then publish the survivors.
                 size_t kept = 0;
-                for (const PackedConfig &c : sh.drain) {
+                // Non-const: admission may rewrite the sleep word
+                // to the merged (intersected) value before the
+                // config re-enters the frontier.
+                for (PackedConfig &c : sh.drain) {
                     if (admit(c))
                         sh.drain[kept++] = c;
                     else

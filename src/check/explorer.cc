@@ -211,7 +211,7 @@ struct ExplorerWorker
 {
     ExplorerWorker(ModelContext &ctx, const State &init,
                    size_t reg_stride)
-        : eng(ctx), scratch(init), work(init),
+        : eng(ctx), scratch(init), work(init), symBuf(init),
           curRegs(reg_stride, 0), regBuf(reg_stride, 0)
     {
     }
@@ -224,6 +224,12 @@ struct ExplorerWorker
     CheckReport partial;
     State scratch; //!< current config's state
     State work;    //!< successor under mutation
+    State symBuf;  //!< state canonicalization buffer
+    /** Copy of the current config's tau successors: expanding them
+     *  calls back into the engine (state quotients intern rewritten
+     *  states), which can rehash the memo the engine's reference
+     *  points into. */
+    std::vector<std::pair<Addr, StateId>> tauBuf;
     std::vector<Value> curRegs;
     std::vector<Value> regBuf;
 };
@@ -275,7 +281,21 @@ Explorer::check(ModelContext *shared) const
     const Reduction red =
         naddrs <= 64 ? request_.reduction : Reduction::None;
     const bool can_reduce = red != Reduction::None;
-    const bool use_ample = red == Reduction::Ample;
+    const bool use_ample = red >= Reduction::Ample;
+    const bool use_crash_ample = red >= Reduction::CrashAmple;
+    // Sleep words carry one bit per thread and per machine in a
+    // 16+16 split of PackedConfig::sleep; wider programs fall back
+    // to the crash-ample stack (a pure function of the program
+    // shape, so still schedule-invariant).
+    const bool use_sleep =
+        red >= Reduction::Sleep && nthreads <= 16 && nnodes <= 16;
+    // Loads never mutate the state under LWB or when remote-cache
+    // serving is off (applyLoadInPlace); only then do two loads of
+    // the *same* address commute (LOAD-from-C fills the issuer's
+    // cache, which the other load can observe).
+    const bool loads_neutral =
+        model_.variant() == model::ModelVariant::Lwb ||
+        !model_.restrictions().serveLoadFromRemoteCache;
     std::vector<std::vector<uint64_t>> addr_mask(nthreads);
     std::vector<std::vector<uint8_t>> gpf_after(nthreads);
     if (can_reduce) {
@@ -292,6 +312,31 @@ Explorer::check(ModelContext *shared) const
                     addr_mask[t][pc] |= 1ull << code[pc].addr;
             }
         }
+    }
+    // owned_mask[n]: addresses machine n owns (the crash-ample check
+    // asks whether a crash's PSN poison / volatile memory reset could
+    // still be observed).
+    std::vector<uint64_t> owned_mask(nnodes, 0);
+    if (can_reduce) {
+        for (Addr x = 0; x < naddrs; ++x)
+            owned_mask[model_.config().ownerOf(x)] |= 1ull << x;
+    }
+
+    // ---- crash-budget symmetry --------------------------------------
+    // Machines that host no thread and own no address are fully
+    // interchangeable: outcomes name threads and per-thread crash
+    // bits only, so renaming two such machines permutes nothing an
+    // outcome (or any enabled step) can observe. Canonicalizing their
+    // (cache row, remaining budget, crash-sleep bit) triples at
+    // interning time merges entire symmetric subtrees.
+    std::optional<model::MachineSymmetry> sym;
+    bool use_symmetry = false;
+    if (red >= Reduction::Full && nnodes <= 64) {
+        std::vector<bool> hosts(nnodes, false);
+        for (const ProgThread &t : program_.threads)
+            hosts[t.node] = true;
+        sym.emplace(model_.config(), hosts);
+        use_symmetry = sym->any();
     }
 
     // ---- shared context, register interning, sharded frontier ---------
@@ -355,26 +400,138 @@ Explorer::check(ModelContext *shared) const
         std::vector<Value> &cur_regs = me.curRegs;
         std::vector<Value> &reg_buf = me.regBuf;
 
+        PackedConfig cur;
+        // Per-popped-configuration reduction context, refreshed at
+        // the top of the expansion loop: the union of live threads'
+        // future address footprints / pending-GPF flag, and the
+        // decoded sleep word (low 16 bits sleep threads, high 16
+        // sleep crash-machines).
+        uint64_t live_mask = 0;
+        bool future_gpf = false;
+        uint32_t ts = 0, cs = 0;
+
         // Owner-side admission: dedup against this shard's visited
         // set under the shared config budget. With one worker this is
         // exactly the sequential push rule.
-        auto admit = [&](const PackedConfig &c) {
+        auto admit = [&](PackedConfig &c) {
             if (total_visited.load(std::memory_order_relaxed) >=
                 request_.maxConfigs) {
                 // Only a genuinely new configuration is being
                 // dropped; a duplicate would have been ignored
                 // anyway, so a search that exactly fills the budget
-                // still reports complete.
+                // still reports complete. (A lost sleep-word merge
+                // is fine here: the search is already truncated.)
                 if (!me.visited.contains(c))
                     me.partial.truncated = true;
                 return false;
             }
-            if (!me.visited.insert(c))
+            bool inserted = false;
+            PackedConfig *stored =
+                me.visited.insertOrFind(c, &inserted);
+            if (inserted) {
+                total_visited.fetch_add(1,
+                                        std::memory_order_relaxed);
+                return true;
+            }
+            // Converging path: intersect sleep words. A revisit
+            // whose word covers the stored one adds nothing; a
+            // strictly smaller intersection wakes steps the stored
+            // expansion suppressed, so the configuration re-enters
+            // the frontier with the merged word. Sleep words only
+            // shrink, so this converges, and the fixpoint is
+            // independent of arrival order.
+            const uint32_t both = stored->sleep & c.sleep;
+            if (both == stored->sleep)
                 return false;
-            total_visited.fetch_add(1, std::memory_order_relaxed);
+            stored->sleep = both;
+            c.sleep = both;
             return true;
         };
-        auto push = [&](const PackedConfig &c) {
+        // Crash-budget symmetry: rewrite the successor into its
+        // orbit-canonical representative *before* hashing, so every
+        // worker and steal schedule agrees on the stored form. The
+        // permutation moves whole (cache row, budget, crash-sleep)
+        // triples between interchangeable machines, so the canonical
+        // configuration is reachable by the renamed trace and has
+        // the same outcome set.
+        auto canon = [&](PackedConfig &c) {
+            if (!use_symmetry)
+                return;
+            int buds[64];
+            uint8_t aux[64];
+            for (size_t n = 0; n < nnodes; ++n) {
+                buds[n] =
+                    static_cast<int>(budgetw.get(c.crash, n));
+                aux[n] = n < 16 ? static_cast<uint8_t>(
+                                      c.sleep >> (16 + n) & 1)
+                                : 0;
+            }
+            me.eng.materializeState(c.state, me.symBuf);
+            if (!sym->canonicalize(me.symBuf, buds, aux))
+                return;
+            c.state = me.eng.internState(me.symBuf);
+            uint64_t crash_w = 0;
+            for (size_t n = 0; n < nnodes; ++n)
+                crash_w = budgetw.set(
+                    crash_w, n, static_cast<uint64_t>(buds[n]));
+            c.crash = crash_w;
+            if (c.sleep >> 16) {
+                uint32_t csw = 0;
+                for (size_t n = 0; n < nnodes && n < 16; ++n)
+                    if (aux[n])
+                        csw |= 1u << n;
+                c.sleep = (c.sleep & 0xffffu) | (csw << 16);
+            }
+            ++me.partial.stats.symmetryMerged;
+        };
+        // Dead-address quotient: an address outside every live
+        // thread's remaining footprint is never loaded, stored,
+        // flushed, or RMW'd again — and outcomes read registers and
+        // crashed bits only — so its cached copies and owner-memory
+        // value are unobservable. Canonicalize it to its post-drain
+        // representative: no cached copies, owner memory back at the
+        // initial value. Every real configuration reaches that form
+        // by running the always-enabled drain taus, which touch only
+        // dead state and commute with every live step, so the
+        // quotient is outcome-preserving (a GPF only becomes enabled
+        // *earlier*, exactly as after those drains). A parent is
+        // canonical for its own live mask and its steps touch live
+        // addresses only, so successors need rewriting only for
+        // addresses that just died (a pc advancing past an address's
+        // last use, or a crash dropping a thread's footprint).
+        auto deadCanon = [&](PackedConfig &c) {
+            if (!use_crash_ample)
+                return;
+            uint64_t nlive = 0;
+            for (size_t t = 0; t < nthreads; ++t)
+                if (c.alive >> t & 1)
+                    nlive |= addr_mask[t][pcOf(c.pc, t)];
+            const uint64_t newly_dead = live_mask & ~nlive;
+            if (!newly_dead)
+                return;
+            me.eng.materializeState(c.state, me.symBuf);
+            bool changed = false;
+            for (uint64_t m = newly_dead; m; m &= m - 1) {
+                Addr x =
+                    static_cast<Addr>(std::countr_zero(m));
+                for (size_t n = 0; n < nnodes; ++n) {
+                    NodeId nn = static_cast<NodeId>(n);
+                    if (me.symBuf.cacheValid(nn, x)) {
+                        me.symBuf.setCache(nn, x, kBottom);
+                        changed = true;
+                    }
+                }
+                if (me.symBuf.memory(x) != kInitValue) {
+                    me.symBuf.setMemory(x, kInitValue);
+                    changed = true;
+                }
+            }
+            if (changed)
+                c.state = me.eng.internState(me.symBuf);
+        };
+        auto push = [&](PackedConfig c) {
+            deadCanon(c);
+            canon(c);
             size_t owner = sf.ownerOf(hashPacked(c));
             if (owner == w) {
                 if (admit(c))
@@ -384,7 +541,228 @@ Explorer::check(ModelContext *shared) const
             }
         };
 
-        PackedConfig cur;
+        auto instrOf = [&](size_t u) -> const ProgInstr & {
+            return program_.threads[u].code[pcOf(cur.pc, u)];
+        };
+        // Two thread steps are independent when neither is a GPF and
+        // they touch different addresses: they then read/write
+        // disjoint {cache column, memory cell} families, so they
+        // commute, preserve each other's enabledness, and bind the
+        // same register values in either order. Same-address loads
+        // also commute when loads are state-neutral.
+        auto indepII = [&](const ProgInstr &a, const ProgInstr &b) {
+            if (a.kind == ProgInstr::Kind::Gpf ||
+                b.kind == ProgInstr::Kind::Gpf)
+                return false;
+            if (a.addr != b.addr)
+                return true;
+            return loads_neutral &&
+                   a.kind == ProgInstr::Kind::Load &&
+                   b.kind == ProgInstr::Kind::Load;
+        };
+        // crash(n) is independent of thread u's pending instruction
+        // (running on `node`, evaluated at the *current* state) when
+        // the crash cannot kill u, cannot wipe or poison a line the
+        // step may read or fill, and a volatile/PSN owner reset
+        // cannot touch the step's cell.
+        auto indepCI = [&](size_t n, NodeId node,
+                           const ProgInstr &a) {
+            NodeId nn = static_cast<NodeId>(n);
+            if (node == nn || a.kind == ProgInstr::Kind::Gpf)
+                return false;
+            if (scratch.cacheValid(nn, a.addr))
+                return false;
+            if (model_.config().ownerOf(a.addr) == nn) {
+                if (!model_.config().isPersistent(nn) ||
+                    model_.variant() == model::ModelVariant::Psn ||
+                    a.op == Op::RStore || a.op == Op::RRmw)
+                    return false;
+            }
+            return true;
+        };
+        // Sleep propagation: a successor inherits every sleeper that
+        // is independent of the step just taken (dependent sleepers
+        // wake so the covered reordering stays explored).
+        auto sleepAfterThread = [&](uint32_t ts0, uint32_t cs0,
+                                    size_t t,
+                                    const ProgInstr &a) -> uint32_t {
+            uint32_t nts = 0, ncs = 0;
+            const NodeId node = program_.threads[t].node;
+            for (uint32_t m = ts0; m; m &= m - 1) {
+                size_t u = static_cast<size_t>(std::countr_zero(m));
+                if (u != t && indepII(instrOf(u), a))
+                    nts |= 1u << u;
+            }
+            for (uint32_t m = cs0; m; m &= m - 1) {
+                size_t n = static_cast<size_t>(std::countr_zero(m));
+                if (indepCI(n, node, a))
+                    ncs |= 1u << n;
+            }
+            return nts | (ncs << 16);
+        };
+        // A tau move on x is dependent with thread steps on x (and
+        // any GPF), and with crash(n) when n owns x or holds x in
+        // its cache (the move may drain into / out of C_n or M(x)).
+        auto sleepAfterTau = [&](uint32_t ts0, uint32_t cs0,
+                                 Addr x) -> uint32_t {
+            uint32_t nts = 0, ncs = 0;
+            for (uint32_t m = ts0; m; m &= m - 1) {
+                size_t u = static_cast<size_t>(std::countr_zero(m));
+                const ProgInstr &b = instrOf(u);
+                if (b.kind != ProgInstr::Kind::Gpf && b.addr != x)
+                    nts |= 1u << u;
+            }
+            for (uint32_t m = cs0; m; m &= m - 1) {
+                size_t n = static_cast<size_t>(std::countr_zero(m));
+                NodeId nn = static_cast<NodeId>(n);
+                if (model_.config().ownerOf(x) != nn &&
+                    !scratch.cacheValid(nn, x))
+                    ncs |= 1u << n;
+            }
+            return nts | (ncs << 16);
+        };
+        // Crashes of distinct machines always commute: cache wipes
+        // hit disjoint rows, PSN poison only lowers lines toward
+        // bottom (idempotent under the other machine's wipe), and
+        // volatile resets hit disjoint memory rows.
+        auto sleepAfterCrash = [&](uint32_t ts0, uint32_t cs0,
+                                   size_t n) -> uint32_t {
+            // Completion guards: a sleeper rides into this crash
+            // successor on the promise that the sleeper-first
+            // ordering was explored *and replays this crash*. If the
+            // sleeper's own firing completes the program, that
+            // ordering ends in a terminal completion config (crashes
+            // past completion are not explored, and Outcome records
+            // which threads crashed), so the promise is void and the
+            // sleeper must stay awake — the PR 7 completion-step
+            // condition, applied to the sleep layer.
+            uint32_t unfinished = 0;
+            for (size_t u = 0; u < nthreads; ++u)
+                if ((cur.alive >> u & 1) &&
+                    pcOf(cur.pc, u) <
+                        program_.threads[u].code.size())
+                    unfinished |= 1u << u;
+            uint32_t nts = 0;
+            for (uint32_t m = ts0; m; m &= m - 1) {
+                size_t u = static_cast<size_t>(std::countr_zero(m));
+                if (!indepCI(n, program_.threads[u].node,
+                             instrOf(u)))
+                    continue;
+                if (pcOf(cur.pc, u) + 1 >=
+                        program_.threads[u].code.size() &&
+                    (unfinished & ~(1u << u)) == 0)
+                    continue; // u's step would complete the program
+                nts |= 1u << u;
+            }
+            uint32_t ncs = cs0 & ~(1u << n);
+            for (uint32_t m = ncs; m; m &= m - 1) {
+                size_t k = static_cast<size_t>(std::countr_zero(m));
+                if ((unfinished & ~node_threads[k]) == 0)
+                    ncs &= ~(1u << k); // crash(k) would complete it
+            }
+            return nts | (ncs << 16);
+        };
+        // Persistent-set crash deferral: prune the crash(n) edge
+        // here and confront it again at every successor (the budget
+        // is untouched by thread and tau steps, so it stays
+        // enabled). Sound when the remaining transitions form a
+        // persistent set with crash(n) outside it:
+        //   - crash(n) is independent of every unfinished thread's
+        //     *current* instruction, enabled or blocked (indepCI
+        //     also guarantees the crash cannot enable or disable
+        //     it), and hosts no unfinished thread itself;
+        //   - crash(n) is independent of every pending tau move
+        //     (the move neither reads nor fills C_n, and n does not
+        //     own the moved address);
+        //   - deferral cannot be "ignored": completion configs are
+        //     terminal (the search reads outcomes there), so no
+        //     single retained step may complete the program — at
+        //     least two instructions must remain, and no other
+        //     machine's crash may kill every remaining unfinished
+        //     thread. Deeper chains re-check at each successor, and
+        //     the config graph is acyclic, so a pruned crash is
+        //     always taken before completion in the covering trace.
+        // This is the PR 7 completion-step condition generalized
+        // from the ample singleton to crash-edge pruning.
+        auto crashPersistable = [&](size_t n) -> bool {
+            NodeId nn = static_cast<NodeId>(n);
+            size_t remaining = 0;
+            for (size_t u = 0; u < nthreads; ++u) {
+                if (!(cur.alive >> u & 1))
+                    continue;
+                size_t upc = pcOf(cur.pc, u);
+                const auto &code = program_.threads[u].code;
+                if (upc >= code.size())
+                    continue;
+                if (program_.threads[u].node == nn)
+                    return false;
+                if (!indepCI(n, program_.threads[u].node,
+                             code[upc]))
+                    return false;
+                remaining += code.size() - upc;
+            }
+            if (remaining < 2)
+                return false;
+            for (size_t m = 0; m < nnodes; ++m) {
+                if (m == n || budgetw.get(cur.crash, m) == 0)
+                    continue;
+                size_t off_m = 0;
+                for (size_t u = 0; u < nthreads; ++u)
+                    if ((cur.alive >> u & 1) &&
+                        program_.threads[u].node !=
+                            static_cast<NodeId>(m) &&
+                        pcOf(cur.pc, u) <
+                            program_.threads[u].code.size())
+                        ++off_m;
+                if (off_m == 0)
+                    return false;
+            }
+            for (const auto &[x, succ] :
+                 me.eng.tauSuccessorsOf(cur.state)) {
+                if (model_.config().ownerOf(x) == nn ||
+                    scratch.cacheValid(nn, x))
+                    return false;
+            }
+            return true;
+        };
+        // Crash-step ample condition: crash(n)'s entire effect is
+        // invisible from this configuration, so the branch that
+        // takes it reaches outcomes the branch that skips it also
+        // reaches (subset subsumption — see README). Requires:
+        // no alive thread dies (the PR 7 completion-step condition
+        // generalized: Outcome records crashed threads), n's cache
+        // row is already empty (wipe is a no-op), under PSN no other
+        // cache holds an n-owned line (poison is a no-op), and a
+        // volatile n's owned memory cells either already hold the
+        // reset value or sit outside every live thread's future
+        // footprint.
+        auto crashDeferrable = [&](size_t n) -> bool {
+            if (cur.alive & node_threads[n])
+                return false;
+            NodeId nn = static_cast<NodeId>(n);
+            for (Addr x = 0; x < naddrs; ++x)
+                if (scratch.cacheValid(nn, x))
+                    return false;
+            const uint64_t owned = owned_mask[n];
+            if (owned &&
+                model_.variant() == model::ModelVariant::Psn) {
+                for (Addr x = 0; x < naddrs; ++x)
+                    if ((owned >> x & 1) &&
+                        scratch.cachedAnywhere(x))
+                        return false;
+            }
+            if (owned && !model_.config().isPersistent(nn)) {
+                for (Addr x = 0; x < naddrs; ++x) {
+                    if (!(owned >> x & 1))
+                        continue;
+                    if ((live_mask >> x & 1) &&
+                        scratch.memory(x) != kInitValue)
+                        return false;
+                }
+            }
+            return true;
+        };
+
         while (sf.pop(w, cur, admit)) {
             ++me.partial.stats.configsVisited;
             if ((me.partial.stats.configsVisited & 255) == 0 &&
@@ -430,6 +808,20 @@ Explorer::check(ModelContext *shared) const
                 sf.done();
                 continue;
             }
+
+            live_mask = 0;
+            future_gpf = false;
+            if (can_reduce) {
+                for (size_t t = 0; t < nthreads; ++t) {
+                    if (!(cur.alive >> t & 1))
+                        continue;
+                    size_t pc = pcOf(cur.pc, t);
+                    live_mask |= addr_mask[t][pc];
+                    future_gpf |= gpf_after[t][pc] != 0;
+                }
+            }
+            ts = use_sleep ? cur.sleep & 0xffffu : 0;
+            cs = use_sleep ? cur.sleep >> 16 : 0;
 
             // Ample-set reduction: when some live thread's next step
             // provably commutes with everything else still possible
@@ -490,6 +882,12 @@ Explorer::check(ModelContext *shared) const
                     size_t pc = pcOf(cur.pc, t);
                     if (pc >= thread.code.size())
                         continue;
+                    // NOTE: selection deliberately ignores the sleep
+                    // word. Electing a sleeping thread re-derives
+                    // covered work (harmless), but letting the word
+                    // veto the ample choice would make the explored
+                    // edge set non-monotone in the sleep word — and
+                    // the sleep-merge fixpoint schedule-dependent.
                     const ProgInstr &instr = thread.code[pc];
                     const NodeId node = thread.node;
                     const auto &restr = model_.restrictions();
@@ -600,6 +998,55 @@ Explorer::check(ModelContext *shared) const
                                     eff.destVal));
                         }
                     }
+                    if (use_sleep && (ts | cs)) {
+                        const ProgInstr &ai = thread.code[pc];
+                        // A crash of the ample thread's own machine
+                        // kills it and disables the step in the
+                        // covered reordering — always wake that
+                        // machine's sleeper.
+                        const uint32_t ncs =
+                            cs & ~(1u << thread.node);
+                        if (ai.kind == ProgInstr::Kind::Gpf) {
+                            // The enabled GPF mutates nothing and
+                            // every cache is empty, so sleeping
+                            // loads are served from memory and
+                            // sleeping flushes stay no-ops in either
+                            // order; a sleeping store could refill a
+                            // cache and disable the GPF — wake it.
+                            uint32_t nts = 0;
+                            for (uint32_t m = ts & ~(1u << t); m;
+                                 m &= m - 1) {
+                                size_t u = static_cast<size_t>(
+                                    std::countr_zero(m));
+                                auto k = instrOf(u).kind;
+                                if (k == ProgInstr::Kind::Load ||
+                                    k == ProgInstr::Kind::Flush)
+                                    nts |= 1u << u;
+                            }
+                            next.sleep = nts | (ncs << 16);
+                        } else if (ai.kind ==
+                                   ProgInstr::Kind::Flush) {
+                            // The invisible flush mutates nothing;
+                            // only a sleeper on the flushed address
+                            // (which could validate the line) or a
+                            // GPF must wake.
+                            uint32_t nts = 0;
+                            for (uint32_t m = ts & ~(1u << t); m;
+                                 m &= m - 1) {
+                                size_t u = static_cast<size_t>(
+                                    std::countr_zero(m));
+                                const ProgInstr &b = instrOf(u);
+                                if (b.kind !=
+                                        ProgInstr::Kind::Gpf &&
+                                    b.addr != ai.addr)
+                                    nts |= 1u << u;
+                            }
+                            next.sleep = nts | (ncs << 16);
+                        } else {
+                            next.sleep =
+                                sleepAfterThread(ts, cs, t, ai);
+                        }
+                    }
                     ++me.partial.stats.ampleSkipped;
                     push(next);
                     sf.done();
@@ -607,7 +1054,14 @@ Explorer::check(ModelContext *shared) const
                 }
             }
 
-            // Thread steps.
+            // Thread steps. done_t/done_c accumulate the siblings
+            // already expanded from this configuration in the fixed
+            // canonical order (threads ascending, then tau, then
+            // crashes ascending); later siblings put explored
+            // independent earlier siblings to sleep in their
+            // successor, which prunes the second half of every
+            // commuting diamond.
+            uint32_t done_t = 0;
             for (size_t t = 0; t < nthreads; ++t) {
                 if (!(cur.alive >> t & 1))
                     continue;
@@ -615,6 +1069,13 @@ Explorer::check(ModelContext *shared) const
                 size_t pc = pcOf(cur.pc, t);
                 if (pc >= thread.code.size())
                     continue;
+                if (ts >> t & 1) {
+                    // Asleep: some explored sibling ordering covers
+                    // every trace that runs t's (still enabled,
+                    // unchanged) step first.
+                    ++me.partial.stats.sleepSetSkipped;
+                    continue;
+                }
                 work = scratch;
                 StepEffect eff = stepInstrInPlace(
                     model_, thread.code[pc], thread.node,
@@ -635,51 +1096,82 @@ Explorer::check(ModelContext *shared) const
                             reg_files.hashOf(cur.regs), slot,
                             cur_regs[slot], eff.destVal));
                 }
+                if (use_sleep) {
+                    next.sleep = sleepAfterThread(
+                        ts | done_t, cs, t, thread.code[pc]);
+                    done_t |= 1u << t;
+                }
                 push(next);
             }
 
             // Silent propagation steps (successor states memoized
-            // once per interned state across all workers).
-            const auto &tau = me.eng.tauSuccessorsOf(cur.state);
-            if (!tau.empty()) {
-                uint64_t live_mask = 0;
-                bool future_gpf = false;
-                if (can_reduce) {
-                    for (size_t t = 0; t < nthreads; ++t) {
-                        if (!(cur.alive >> t & 1))
-                            continue;
-                        size_t pc = pcOf(cur.pc, t);
-                        live_mask |= addr_mask[t][pc];
-                        future_gpf |= gpf_after[t][pc] != 0;
-                    }
+            // once per interned state across all workers). Tau moves
+            // never sleep — their successors are deduplicated per
+            // interned state — but they do inherit and filter the
+            // sleepers accumulated so far.
+            me.tauBuf = me.eng.tauSuccessorsOf(cur.state);
+            for (const auto &[addr, succ] : me.tauBuf) {
+                if (can_reduce && !future_gpf &&
+                    !(live_mask >> addr & 1)) {
+                    ++me.partial.stats.tauMovesSkipped;
+                    continue;
                 }
-                for (const auto &[addr, succ] : tau) {
-                    if (can_reduce && !future_gpf &&
-                        !(live_mask >> addr & 1)) {
-                        ++me.partial.stats.tauMovesSkipped;
-                        continue;
-                    }
-                    PackedConfig next = cur;
-                    next.state = succ;
-                    push(next);
-                }
+                PackedConfig next = cur;
+                next.state = succ;
+                if (use_sleep)
+                    next.sleep =
+                        sleepAfterTau(ts | done_t, cs, addr);
+                push(next);
             }
 
             // Crash steps (successor states memoized per (state,
             // node); nodes that can never crash under the request are
             // never interned).
+            uint32_t done_c = 0;
             for (size_t n = 0; n < nnodes; ++n) {
                 int budget =
                     static_cast<int>(budgetw.get(cur.crash, n));
                 if (budget <= 0)
                     continue;
+                if (use_crash_ample &&
+                    (crashDeferrable(n) || crashPersistable(n))) {
+                    // Either the crash's entire effect is invisible
+                    // here (every outcome below the crash branch is
+                    // also reached by the sibling that skips it), or
+                    // the crash commutes with every remaining
+                    // transition and is confronted again at each
+                    // successor before completion.
+                    ++me.partial.stats.crashAmpleSkipped;
+                    continue;
+                }
+                if (cs >> n & 1) {
+                    ++me.partial.stats.sleepSetSkipped;
+                    continue;
+                }
                 PackedConfig next = cur;
                 next.state = me.eng.crashSuccessorOf(
                     cur.state, static_cast<NodeId>(n));
                 next.crash = budgetw.set(cur.crash, n, budget - 1);
-                for (size_t t = 0; t < nthreads; ++t)
-                    if (program_.threads[t].node == n)
-                        next.alive &= ~(1u << t);
+                for (size_t t = 0; t < nthreads; ++t) {
+                    if (program_.threads[t].node != n)
+                        continue;
+                    next.alive &= ~(1u << t);
+                    // A dead thread never steps again and outcomes
+                    // read its registers and crashed bit, never its
+                    // pc — the pc is inert, so canonicalize it to
+                    // the code length. Configurations that differ
+                    // only in how far a victim got (with equal state
+                    // and registers) are bisimilar and merge.
+                    if (use_crash_ample)
+                        next.pc = pcw.set(
+                            next.pc, t,
+                            program_.threads[t].code.size());
+                }
+                if (use_sleep) {
+                    next.sleep = sleepAfterCrash(ts | done_t,
+                                                 cs | done_c, n);
+                    done_c |= 1u << n;
+                }
                 push(next);
             }
             sf.done();

@@ -208,7 +208,10 @@ struct PairKeyHash
  * PairConfigs ride the generic 32-byte PackedConfig through the
  * sharded frontier (the slot reuse the engine header documents):
  * {spec, impl, traceNode, depth, crash} map onto
- * {state, regs, pc, alive, crash}.
+ * {state, regs, pc, alive, crash}. The sleep word stays 0: sleep
+ * sets are an explorer-only reduction, and FlatConfigSet's
+ * intersect-on-arrival admission degenerates to plain member lookup
+ * when every arrival carries an empty word.
  */
 PackedConfig
 packPair(const PairConfig &p)

@@ -142,12 +142,27 @@ runDifferential(const Scenario &sc, const DiffOptions &d)
         }
 
         // ---- reduction gates ----------------------------------------
+        // Every tier of the reduction stack must reproduce the ample
+        // baseline's verdict and outcome set exactly: the unreduced
+        // and tau-only graphs from below, and the crash-ample /
+        // sleep-set / full (symmetry) stack from above. The upper
+        // tiers add state quotients (dead-address canonicalization,
+        // dead-pc canonicalization, machine-orbit renaming), so this
+        // is the gate that catches an unsound quotient on arbitrary
+        // fuzzed programs and model variants.
         bool none_comparable = false;
         CheckReport none_report;
         for (check::Reduction red :
-             {check::Reduction::None, check::Reduction::Tau}) {
+             {check::Reduction::None, check::Reduction::Tau,
+              check::Reduction::CrashAmple, check::Reduction::Sleep,
+              check::Reduction::Full}) {
             gate = red == check::Reduction::None ? "reduction-none"
-                                                 : "reduction-tau";
+                   : red == check::Reduction::Tau ? "reduction-tau"
+                   : red == check::Reduction::CrashAmple
+                       ? "reduction-crash-ample"
+                   : red == check::Reduction::Sleep
+                       ? "reduction-sleep"
+                       : "reduction-full";
             lang::RunResult r = lang::runScenario(
                 sc, exploreOptions(d, red, 1,
                                    check::FrontierPolicy::DepthFirst));
@@ -167,19 +182,28 @@ runDifferential(const Scenario &sc, const DiffOptions &d)
             }
         }
 
-        // ---- thread-count gate --------------------------------------
-        gate = "threads";
+        // ---- thread-count gates -------------------------------------
+        // Run both the baseline mode and the full reduction stack
+        // under work-stealing: sleep-word merging and the state
+        // quotients must give the same answers on every steal
+        // schedule.
         if (d.altThreads > 1) {
-            lang::RunResult r = lang::runScenario(
-                sc, exploreOptions(d, check::Reduction::Ample,
-                                   d.altThreads,
+            for (check::Reduction red : {check::Reduction::Ample,
+                                         check::Reduction::Full}) {
+                gate = red == check::Reduction::Ample
+                           ? "threads"
+                           : "threads-full";
+                lang::RunResult r = lang::runScenario(
+                    sc,
+                    exploreOptions(d, red, d.altThreads,
                                    check::FrontierPolicy::DepthFirst));
-            if (r.report.truncated || r.report.timedOut) {
-                res.gatesSkipped.push_back(gate);
-            } else {
-                ++res.gatesRun;
-                compareReports(base.report, r.report, gate,
-                               res.findings);
+                if (r.report.truncated || r.report.timedOut) {
+                    res.gatesSkipped.push_back(gate);
+                } else {
+                    ++res.gatesRun;
+                    compareReports(base.report, r.report, gate,
+                                   res.findings);
+                }
             }
         }
 

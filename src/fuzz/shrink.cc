@@ -185,16 +185,24 @@ shrinkScenario(const Scenario &sc, const DiffOptions &opts,
             }
         }
 
-        // Pass 4: shrink immediates toward 0.
+        // Pass 4: shrink immediates toward 0. Re-read the operand
+        // through res.minimized on every attempt: accepting a
+        // candidate move-assigns the scenario and frees the code
+        // vector any cached reference points into.
         for (size_t t = 0;
              t < res.minimized.program.threads.size(); ++t) {
-            auto &code = res.minimized.program.threads[t].code;
-            for (size_t i = 0; i < code.size(); ++i) {
+            for (size_t i = 0;
+                 i < res.minimized.program.threads[t].code.size();
+                 ++i) {
                 for (check::Operand check::ProgInstr::*field :
                      {&check::ProgInstr::value,
                       &check::ProgInstr::expected}) {
-                    check::Operand &op = code[i].*field;
-                    while (!op.isReg && op.imm > 0) {
+                    for (;;) {
+                        const check::Operand &op =
+                            res.minimized.program.threads[t]
+                                .code[i].*field;
+                        if (op.isReg || op.imm == 0)
+                            break;
                         Scenario cand = res.minimized;
                         check::Operand &cop =
                             cand.program.threads[t].code[i].*field;

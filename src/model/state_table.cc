@@ -209,4 +209,87 @@ FrameTable::bytes() const
            hashes_.bytes() + index_.bytes();
 }
 
+// ------------------------------------------------------------------
+// MachineSymmetry
+// ------------------------------------------------------------------
+
+MachineSymmetry::MachineSymmetry(const SystemConfig &cfg,
+                                 const std::vector<bool> &hostsThread)
+{
+    CXL0_ASSERT(hostsThread.size() == cfg.numNodes(),
+                "hostsThread must cover every machine");
+    std::vector<bool> owns(cfg.numNodes(), false);
+    for (Addr x = 0; x < cfg.numAddrs(); ++x)
+        owns[cfg.ownerOf(x)] = true;
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        // A machine that hosts no thread never issues an operation
+        // (so its restriction row and persistence flag are
+        // unobservable) and, owning no address, has no memory row;
+        // renaming two such machines permutes only their cache rows
+        // and crash budgets.
+        if (!hostsThread[n] && !owns[n])
+            orbit_.push_back(n);
+    }
+    // Degenerate orbits buy nothing; absurdly wide ones (> 64
+    // machines) would outgrow the fixed canonicalization buffers —
+    // fall back to no renaming rather than limp.
+    if (orbit_.size() < 2 || orbit_.size() > 64)
+        orbit_.clear();
+}
+
+bool
+MachineSymmetry::canonicalize(State &s, int *budgets,
+                              uint8_t *aux) const
+{
+    if (orbit_.empty())
+        return false;
+    const size_t na = s.numAddrs();
+    // Sort orbit member indices by (cache row, budget, aux)
+    // lexicographically; rows are read straight out of the state.
+    NodeId order[64];
+    const size_t k = orbit_.size();
+    CXL0_ASSERT(k <= 64, "symmetry orbit larger than 64 machines");
+    for (size_t i = 0; i < k; ++i)
+        order[i] = orbit_[i];
+    auto less = [&](NodeId a, NodeId b) {
+        for (Addr x = 0; x < na; ++x) {
+            Value va = s.cache(a, x), vb = s.cache(b, x);
+            if (va != vb)
+                return va < vb;
+        }
+        if (budgets[a] != budgets[b])
+            return budgets[a] < budgets[b];
+        if (aux && aux[a] != aux[b])
+            return aux[a] < aux[b];
+        return false;
+    };
+    std::stable_sort(order, order + k, less);
+    bool identity = true;
+    for (size_t i = 0; i < k; ++i)
+        identity &= order[i] == orbit_[i];
+    if (identity)
+        return false;
+    // Apply: slot orbit_[i] receives the triple of machine order[i].
+    Value rows[64];
+    int bud[64];
+    uint8_t ax[64];
+    for (Addr x = 0; x < na; ++x) {
+        for (size_t i = 0; i < k; ++i)
+            rows[i] = s.cache(order[i], x);
+        for (size_t i = 0; i < k; ++i)
+            if (s.cache(orbit_[i], x) != rows[i])
+                s.setCache(orbit_[i], x, rows[i]);
+    }
+    for (size_t i = 0; i < k; ++i) {
+        bud[i] = budgets[order[i]];
+        ax[i] = aux ? aux[order[i]] : 0;
+    }
+    for (size_t i = 0; i < k; ++i) {
+        budgets[orbit_[i]] = bud[i];
+        if (aux)
+            aux[orbit_[i]] = ax[i];
+    }
+    return true;
+}
+
 } // namespace cxl0::model

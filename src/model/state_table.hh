@@ -364,6 +364,60 @@ class FrameTable
     StripedIdIndex index_;
 };
 
+/**
+ * Machine-renaming symmetry for crash-budget canonicalization.
+ *
+ * Two machines are *interchangeable* when renaming them cannot change
+ * any observable of a search: neither hosts a program thread (an
+ * Outcome names threads, and threads never migrate), and neither owns
+ * an address (the owner map is part of the configuration identity, so
+ * renaming an owner would rename addresses). Such machines never
+ * issue operations and own no memory; their entire dynamic footprint
+ * is one cache row and one remaining crash budget. Configurations
+ * that differ only in how budgets (and rows) are distributed over an
+ * orbit of interchangeable machines are therefore reachable from each
+ * other's futures by the same traces up to renaming, with identical
+ * outcomes.
+ *
+ * canonicalize() picks the orbit representative: within each orbit
+ * the members' (cache row, budget, aux) triples are sorted
+ * lexicographically and written back in ascending machine order. The
+ * result is a pure function of the input, so a checker that
+ * canonicalizes every successor before interning merges each orbit
+ * into one configuration regardless of worker scheduling.
+ */
+class MachineSymmetry
+{
+  public:
+    /**
+     * @param cfg the system configuration
+     * @param hostsThread per-machine flag: true when any program
+     *        thread is placed there (such machines are never renamed)
+     */
+    MachineSymmetry(const SystemConfig &cfg,
+                    const std::vector<bool> &hostsThread);
+
+    /** Whether any orbit has at least two interchangeable machines. */
+    bool any() const { return !orbit_.empty(); }
+
+    /** The interchangeable machines, ascending (empty or >= 2). */
+    const std::vector<NodeId> &orbit() const { return orbit_; }
+
+    /**
+     * Canonicalize in place: sort the orbit members' (cache row,
+     * budget, aux) triples and reassign them to the orbit's machine
+     * slots in ascending order. `budgets` and `aux` are per-machine
+     * arrays of size cfg.numNodes(); `aux` carries any extra
+     * per-machine search bit that must travel with the renaming (the
+     * explorer passes its crash-sleep bits) and may be null. Returns
+     * true when the permutation was not the identity.
+     */
+    bool canonicalize(State &s, int *budgets, uint8_t *aux) const;
+
+  private:
+    std::vector<NodeId> orbit_;
+};
+
 } // namespace cxl0::model
 
 #endif // CXL0_MODEL_STATE_TABLE_HH

@@ -39,9 +39,9 @@ thread 1 on 1 {
     EXPECT_FALSE(res.crashed);
     EXPECT_TRUE(res.clean())
         << (res.findings.empty() ? "" : res.findings[0].detail);
-    // roundtrip + determinism/serde + 2 reductions + threads +
-    // frontier + reference = 7 comparison gates.
-    EXPECT_EQ(res.gatesRun, 7u);
+    // roundtrip + determinism/serde + 5 reductions + 2 thread-count
+    // gates + frontier + reference = 11 comparison gates.
+    EXPECT_EQ(res.gatesRun, 11u);
     EXPECT_TRUE(res.gatesSkipped.empty());
     EXPECT_FALSE(res.baseline.outcomes.empty());
 }
@@ -99,7 +99,8 @@ thread 0 on 0 {
     opts.referenceConfigCap = 50000;
     DiffResult off = runDifferential(sc, opts);
     EXPECT_TRUE(off.clean());
-    EXPECT_EQ(off.gatesRun, 6u);
+    // Everything except the reference gate.
+    EXPECT_EQ(off.gatesRun, 10u);
 }
 
 TEST(Differential, FixedSeedSweepIsCleanOrSkipped)

@@ -108,17 +108,25 @@ TEST(Corpus, ReductionNeverChangesVerdictsOrOutcomes)
         RunOptions none;
         none.reduction = check::Reduction::None;
         RunResult base = runScenario(sc, none);
-        for (size_t threads : {1, 4}) {
-            RunOptions ample;
-            ample.reduction = check::Reduction::Ample;
-            ample.numThreads = threads;
-            RunResult r = runScenario(sc, ample);
-            EXPECT_EQ(r.pass, base.pass)
-                << name << " x" << threads;
-            EXPECT_EQ(r.report.verdict, base.report.verdict)
-                << name << " x" << threads;
-            EXPECT_EQ(r.report.outcomes, base.report.outcomes)
-                << name << " x" << threads;
+        for (check::Reduction red :
+             {check::Reduction::Tau, check::Reduction::Ample,
+              check::Reduction::CrashAmple, check::Reduction::Sleep,
+              check::Reduction::Full}) {
+            for (size_t threads : {1, 4}) {
+                RunOptions opt;
+                opt.reduction = red;
+                opt.numThreads = threads;
+                RunResult r = runScenario(sc, opt);
+                EXPECT_EQ(r.pass, base.pass)
+                    << name << " " << check::reductionName(red)
+                    << " x" << threads;
+                EXPECT_EQ(r.report.verdict, base.report.verdict)
+                    << name << " " << check::reductionName(red)
+                    << " x" << threads;
+                EXPECT_EQ(r.report.outcomes, base.report.outcomes)
+                    << name << " " << check::reductionName(red)
+                    << " x" << threads;
+            }
         }
     }
 }

@@ -340,6 +340,131 @@ TEST(StateTableConcurrency, EightThreadsInternOverlappingFrames)
     }
 }
 
+/** 4 machines, one address owned by machine 0, threads on machine 0
+ *  only: machines 1-3 neither host nor own, so they form the orbit. */
+cxl0::model::SystemConfig
+spareMachinesConfig()
+{
+    std::vector<cxl0::model::MachineConfig> machines(4);
+    machines[0].persistentMemory = true;
+    return cxl0::model::SystemConfig(std::move(machines),
+                                     std::vector<cxl0::NodeId>{0});
+}
+
+TEST(MachineSymmetry, OrbitExcludesHostsAndOwners)
+{
+    using cxl0::model::MachineSymmetry;
+    // Machines hosting a thread or owning an address never rename.
+    MachineSymmetry sym(spareMachinesConfig(),
+                        {true, false, false, false});
+    ASSERT_TRUE(sym.any());
+    EXPECT_EQ(sym.orbit(),
+              (std::vector<cxl0::NodeId>{1, 2, 3}));
+
+    // Hosting a thread removes a machine from the orbit...
+    MachineSymmetry hosting(spareMachinesConfig(),
+                            {true, false, true, false});
+    EXPECT_EQ(hosting.orbit(),
+              (std::vector<cxl0::NodeId>{1, 3}));
+
+    // ...and in the uniform configuration every machine owns an
+    // address, so there is nothing to rename at all.
+    MachineSymmetry none(
+        cxl0::model::SystemConfig::uniform(3, 1, true),
+        {true, true, true});
+    EXPECT_FALSE(none.any());
+    EXPECT_TRUE(none.orbit().empty());
+}
+
+TEST(MachineSymmetry, SingletonOrbitIsDropped)
+{
+    // One interchangeable machine permits no permutation; the orbit
+    // must collapse to empty rather than report any() == true.
+    cxl0::model::MachineSymmetry sym(spareMachinesConfig(),
+                                     {true, true, true, false});
+    EXPECT_FALSE(sym.any());
+    EXPECT_TRUE(sym.orbit().empty());
+}
+
+TEST(MachineSymmetry, CanonicalizeSortsTriplesAndIsIdempotent)
+{
+    cxl0::model::MachineSymmetry sym(spareMachinesConfig(),
+                                     {true, false, false, false});
+    ASSERT_TRUE(sym.any());
+
+    // Distinct cache rows on the orbit, deliberately out of order.
+    State s(4, 1);
+    s.setCache(1, 0, 9);
+    s.setCache(2, 0, kBottom);
+    s.setCache(3, 0, 5);
+    int budgets[4] = {1, 7, 8, 6};
+    uint8_t aux[4] = {0, 2, 3, 1};
+
+    State canon = s;
+    int cb[4] = {1, 7, 8, 6};
+    uint8_t ca[4] = {0, 2, 3, 1};
+    EXPECT_TRUE(sym.canonicalize(canon, cb, ca));
+    // Rows sort with kBottom first, then ascending values; budgets
+    // and aux travel with their rows.
+    EXPECT_EQ(canon.cache(1, 0), kBottom);
+    EXPECT_EQ(canon.cache(2, 0), 5);
+    EXPECT_EQ(canon.cache(3, 0), 9);
+    EXPECT_EQ(cb[1], 8);
+    EXPECT_EQ(cb[2], 6);
+    EXPECT_EQ(cb[3], 7);
+    EXPECT_EQ(ca[1], 3);
+    EXPECT_EQ(ca[2], 1);
+    EXPECT_EQ(ca[3], 2);
+    // The incremental hash must track the rewrite.
+    EXPECT_EQ(canon.hash(), canon.recomputeHash());
+
+    // A canonical form is a fixpoint: re-canonicalizing is the
+    // identity and reports false.
+    State again = canon;
+    int cb2[4] = {cb[0], cb[1], cb[2], cb[3]};
+    uint8_t ca2[4] = {ca[0], ca[1], ca[2], ca[3]};
+    EXPECT_FALSE(sym.canonicalize(again, cb2, ca2));
+    EXPECT_EQ(again, canon);
+
+    // Every permutation of the orbit triples lands on the same
+    // representative — the property the explorer's interning relies
+    // on to merge orbits regardless of worker scheduling.
+    State perm(4, 1);
+    perm.setCache(1, 0, 5);
+    perm.setCache(2, 0, 9);
+    perm.setCache(3, 0, kBottom);
+    int pb[4] = {1, 6, 7, 8};
+    uint8_t pa[4] = {0, 1, 2, 3};
+    EXPECT_TRUE(sym.canonicalize(perm, pb, pa));
+    EXPECT_EQ(perm, canon);
+    EXPECT_TRUE(std::equal(pb, pb + 4, cb));
+    EXPECT_TRUE(std::equal(pa, pa + 4, ca));
+}
+
+TEST(MachineSymmetry, BudgetsAndAuxBreakCacheRowTies)
+{
+    cxl0::model::MachineSymmetry sym(spareMachinesConfig(),
+                                     {true, false, false, false});
+    // Identical cache rows: ordering falls through to budgets, then
+    // to the aux byte (the explorer's crash-sleep bit).
+    State s(4, 1);
+    int budgets[4] = {0, 3, 1, 1};
+    uint8_t aux[4] = {0, 0, 1, 0};
+    EXPECT_TRUE(sym.canonicalize(s, budgets, aux));
+    EXPECT_EQ(budgets[1], 1);
+    EXPECT_EQ(aux[1], 0);
+    EXPECT_EQ(budgets[2], 1);
+    EXPECT_EQ(aux[2], 1);
+    EXPECT_EQ(budgets[3], 3);
+    // Null aux is allowed; ties beyond budgets keep stable order.
+    State t(4, 1);
+    int tb[4] = {0, 2, 1, 1};
+    EXPECT_TRUE(sym.canonicalize(t, tb, nullptr));
+    EXPECT_EQ(tb[1], 1);
+    EXPECT_EQ(tb[2], 1);
+    EXPECT_EQ(tb[3], 2);
+}
+
 TEST(ValueSpanTable, InternsFixedStrideSpans)
 {
     ValueSpanTable table(3);

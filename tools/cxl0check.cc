@@ -119,7 +119,8 @@ usage(const char *argv0)
         "                    inconclusive, truncated in the JSON)\n"
         "  --crash N         override max crashes per machine\n"
         "  --policy P        dfs|bfs frontier ordering\n"
-        "  --reduction R     none|tau|ample partial-order reduction\n"
+        "  --reduction R     none|tau|ample|crash-ample|sleep|full\n"
+        "                    partial-order reduction stack\n"
         "                    (explorer; default ample)\n"
         "  --spec V          refinement spec variant (base|lwb|psn)\n"
         "  --impl V          refinement impl variant (base|lwb|psn)\n"
@@ -177,6 +178,9 @@ jsonReport(const std::vector<CaseResult> &cases)
                 "\"configs\": %zu, \"seconds\": %.6f, "
                 "\"configs_per_sec\": %.0f, \"outcomes\": %zu, "
                 "\"tau_skipped\": %zu, \"ample_skipped\": %zu, "
+                "\"crash_ample_skipped\": %zu, "
+                "\"sleep_set_skipped\": %zu, "
+                "\"symmetry_merged\": %zu, "
                 "\"steals_attempted\": %zu, "
                 "\"steals_succeeded\": %zu, "
                 "\"truncated\": %s, \"timed_out\": %s, "
@@ -186,7 +190,9 @@ jsonReport(const std::vector<CaseResult> &cases)
                 r.stats.configsVisited, r.stats.seconds,
                 static_cast<double>(r.stats.configsVisited) / sec,
                 r.outcomes.size(), r.stats.tauMovesSkipped,
-                r.stats.ampleSkipped, r.stats.stealsAttempted,
+                r.stats.ampleSkipped, r.stats.crashAmpleSkipped,
+                r.stats.sleepSetSkipped, r.stats.symmetryMerged,
+                r.stats.stealsAttempted,
                 r.stats.stealsSucceeded,
                 r.truncated ? "true" : "false",
                 r.timedOut ? "true" : "false",
@@ -1139,15 +1145,10 @@ main(int argc, char **argv)
             else
                 return usage(argv[0]);
         } else if (std::strcmp(a, "--reduction") == 0) {
-            const char *r = value(i);
-            if (std::strcmp(r, "none") == 0)
-                opts.reduction = check::Reduction::None;
-            else if (std::strcmp(r, "tau") == 0)
-                opts.reduction = check::Reduction::Tau;
-            else if (std::strcmp(r, "ample") == 0)
-                opts.reduction = check::Reduction::Ample;
-            else
+            check::Reduction r;
+            if (!check::parseReduction(value(i), &r))
                 return usage(argv[0]);
+            opts.reduction = r;
         } else if (std::strcmp(a, "--spec") == 0) {
             model::ModelVariant v;
             if (!lang::variantFromWord(value(i), v))
