@@ -39,6 +39,8 @@
 
 #include "check/explorer.hh"
 #include "check/litmus.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
 
 using namespace cxl0;
 using namespace cxl0::check;
@@ -136,6 +138,7 @@ emitMode(std::string *out, const char *mode, const ModeResult &m,
     std::snprintf(
         buf, sizeof buf,
         "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
+        "\"wall_ms\": %.3f, "
         "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
         "\"peak_rss_kb\": %zu, "
         "\"outcomes\": %zu, \"tau_skipped\": %zu, "
@@ -143,6 +146,7 @@ emitMode(std::string *out, const char *mode, const ModeResult &m,
         "\"sleep_set_skipped\": %zu, \"symmetry_merged\": %zu, "
         "\"truncated\": %s}%s\n",
         mode, m.res.stats.configsVisited, m.res.stats.seconds,
+        m.res.wallMs,
         m.configsPerSec, m.res.stats.peakVisitedBytes, m.peakRssKb,
         m.res.outcomes.size(), m.res.stats.tauMovesSkipped,
         m.res.stats.ampleSkipped, m.res.stats.crashAmpleSkipped,
@@ -178,6 +182,17 @@ main(int argc, char **argv)
                lp.config, lp.program, lp.options};
         cases.push_back(std::move(c));
     }
+
+    // A live RSS high-water series over the whole bench run: the
+    // sampler thread ticks while the modes execute, and the summary
+    // gates on having actually captured samples — a regression here
+    // means the observability layer silently stopped observing.
+    obs::Telemetry tel;
+    const obs::ScopedTelemetry scope(&tel);
+    obs::ProgressOptions popt;
+    popt.intervalMs = 50;
+    obs::ProgressSampler sampler(tel, popt);
+    sampler.start();
 
     std::string json = "{\n  \"bench\": \"explorer_scaling\",\n"
                        "  \"cases\": {\n";
@@ -331,7 +346,27 @@ main(int argc, char **argv)
                       speedup_4t, i + 1 < cases.size() ? "," : "");
         json += buf;
     }
-    json += "  },\n  \"all_outcomes_match\": ";
+    sampler.stop();
+    const std::vector<obs::ProgressSampler::RssSample> &rss =
+        sampler.rssSamples();
+    // The RSS gate: the sampler must have ticked at least once and
+    // seen a live process footprint. Folded into the exit status so
+    // CI catches a sampler that never ran.
+    bool rss_gate =
+        !rss.empty() && sampler.peakRssBytes() > 0;
+    {
+        char rbuf[256];
+        std::snprintf(rbuf, sizeof rbuf,
+                      "  },\n  \"peak_rss_samples\": %zu,\n"
+                      "  \"sampled_peak_rss_kb\": %zu,\n"
+                      "  \"rss_gate\": %s,\n",
+                      rss.size(),
+                      static_cast<size_t>(sampler.peakRssBytes() /
+                                          1024),
+                      rss_gate ? "true" : "false");
+        json += rbuf;
+    }
+    json += "  \"all_outcomes_match\": ";
     json += all_match ? "true" : "false";
     json += "\n}\n";
 
@@ -345,5 +380,5 @@ main(int argc, char **argv)
         std::fputs(json.c_str(), f);
         std::fclose(f);
     }
-    return all_match ? 0 : 1;
+    return all_match && rss_gate ? 0 : 1;
 }

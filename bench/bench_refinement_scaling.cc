@@ -103,12 +103,14 @@ emitMode(std::string *out, const char *mode, const ModeResult &m,
     std::snprintf(
         buf, sizeof buf,
         "      \"%s\": {\"configs\": %zu, \"seconds\": %.6f, "
+        "\"wall_ms\": %.3f, "
         "\"configs_per_sec\": %.0f, \"peak_visited_bytes\": %zu, "
         "\"frames_interned\": %zu, \"verdict\": \"%s\", "
         "\"crash_ample_skipped\": %zu, \"sleep_set_skipped\": %zu, "
         "\"symmetry_merged\": %zu, "
         "\"truncated\": %s}%s\n",
         mode, m.report.stats.configsVisited, m.report.stats.seconds,
+        m.report.wallMs,
         m.configsPerSec, m.report.stats.peakVisitedBytes,
         m.report.stats.framesInterned,
         checkVerdictName(m.report.verdict),

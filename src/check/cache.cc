@@ -8,6 +8,7 @@
 
 #include "common/hashmix.hh"
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::check
 {
@@ -309,21 +310,35 @@ ResultCache::insertFront(const std::string &key, std::string value)
 std::optional<std::string>
 ResultCache::lookup(const std::string &key)
 {
+    auto hit = [](const char *name) {
+        if (obs::Telemetry *t = obs::current()) {
+            t->countCacheHit();
+            if (obs::TraceRing *r = obs::threadRing())
+                r->instant(name);
+        }
+    };
     auto it = index_.find(key);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
         ++stats_.hits;
+        hit("cache-hit");
         return it->second->second;
     }
     if (!diskDir_.empty()) {
         if (auto v = diskLookup(key)) {
             ++stats_.hits;
             ++stats_.diskHits;
+            hit("cache-hit-disk");
             insertFront(key, *v);
             return v;
         }
     }
     ++stats_.misses;
+    if (obs::Telemetry *t = obs::current()) {
+        t->countCacheMiss();
+        if (obs::TraceRing *r = obs::threadRing())
+            r->instant("cache-miss");
+    }
     return std::nullopt;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <sstream>
 #include <thread>
 
@@ -96,6 +97,19 @@ processPeakRssBytes()
     return static_cast<size_t>(ru.ru_maxrss) * 1024;
 }
 
+void
+finalizeReportTiming(CheckReport &report,
+                     std::chrono::steady_clock::time_point t0)
+{
+    report.stats.processPeakRssBytes = processPeakRssBytes();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    report.stats.seconds = seconds;
+    report.wallMs = seconds * 1000.0;
+}
+
 std::string
 Counterexample::describe() const
 {
@@ -165,6 +179,11 @@ CheckReport::describe() const
     if (stats.stealsAttempted)
         os << ", " << stats.stealsSucceeded << "/"
            << stats.stealsAttempted << " steals";
+    if (wallMs > 0.0) {
+        os << ", " << std::fixed << std::setprecision(1) << wallMs
+           << " ms";
+        os.unsetf(std::ios::floatfield);
+    }
     os << "]";
     return os.str();
 }
@@ -409,6 +428,8 @@ ShardedFrontier::trySteal(size_t w)
         if (me.loot.empty())
             continue;
         ++me.stealsSucceeded;
+        if (me.ring != nullptr)
+            me.ring->instant("steal", me.loot.size());
         // Net stealable count is unchanged — the loot re-enters a
         // frontier in pushMany — but decrement first so a sleeper
         // woken in between does not chase configurations already in

@@ -68,6 +68,7 @@
 #include "model/label.hh"
 #include "model/semantics.hh"
 #include "model/state_table.hh"
+#include "obs/trace.hh"
 
 namespace cxl0::check
 {
@@ -359,12 +360,28 @@ struct CheckReport
      */
     bool timedOut = false;
     SearchStats stats;
+    /**
+     * Wall-clock milliseconds inside the checker, measured once at
+     * report finalization (finalizeReportTiming). Telemetry, not
+     * identity: excluded from serializeReport and zeroed by the
+     * drivers' `--stable-json` modes.
+     */
+    double wallMs = 0.0;
     /** Populated when verdict == Fail. */
     Counterexample counterexample;
 
     /** One-line summary: verdict, counterexample, key stats. */
     std::string describe() const;
 };
+
+/**
+ * Stamp a finished report with its timing and memory footprint:
+ * `stats.seconds`, `wallMs`, and `stats.processPeakRssBytes` all
+ * derive from this one measurement point, so drivers and benches
+ * never re-time around check() themselves.
+ */
+void finalizeReportTiming(CheckReport &report,
+                          std::chrono::steady_clock::time_point t0);
 
 // ===================================================================
 // Packed configurations, visited set, frontier
@@ -732,6 +749,8 @@ class ShardedFrontier
                 }
             }
             if (!sh.drain.empty()) {
+                if (sh.ring != nullptr)
+                    sh.ring->instant("inbox-drain", sh.drain.size());
                 // Admit outside the lock (admission touches the
                 // worker's own tables), then publish the survivors.
                 size_t kept = 0;
@@ -759,6 +778,7 @@ class ShardedFrontier
                 if (pending_.load(std::memory_order_acquire) == 0)
                     return false;
                 sleepers_.fetch_add(1);
+                obs::ScopedSpan sleepSpan(sh.ring, "sleep");
                 sh.cv.wait(lock, [&] {
                     return !sh.inbox.empty() ||
                            stealable_.load() > 0 ||
@@ -797,6 +817,31 @@ class ShardedFrontier
     /** Resident bytes of shard w's frontier + inbox. */
     size_t bytes(size_t w) const;
 
+    /**
+     * Attach worker w's telemetry ring (nullptr detaches). Call
+     * before the workers start (or from worker w itself): the ring
+     * is single-writer and only worker w's pop path touches it.
+     * Telemetry only — recorded events never steer the search.
+     */
+    void setTraceRing(size_t w, obs::TraceRing *ring)
+    {
+        shards_[w]->ring = ring;
+    }
+
+    /** Configurations queued or in flight (the termination count). */
+    size_t pending() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
+    /** Shard w's queued depth (frontier + inbox); telemetry only. */
+    size_t depth(size_t w) const
+    {
+        Shard &sh = *shards_[w];
+        std::lock_guard<std::mutex> lock(sh.m);
+        return sh.frontier.size() + sh.inbox.size();
+    }
+
   private:
     struct alignas(64) Shard
     {
@@ -810,6 +855,7 @@ class ShardedFrontier
         std::vector<PackedConfig> loot;  //!< owner-thread only
         size_t stealsAttempted = 0;      //!< owner-thread only
         size_t stealsSucceeded = 0;      //!< owner-thread only
+        obs::TraceRing *ring = nullptr;  //!< owner-thread only
     };
 
     /** Push admitted configs into `sh`'s frontier (already counted

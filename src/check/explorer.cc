@@ -12,6 +12,7 @@
 #include "common/hashmix.hh"
 #include "common/logging.hh"
 #include "model/state_table.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::check
 {
@@ -242,6 +243,11 @@ Explorer::check(ModelContext *shared) const
     if (shared && &shared->model() != &model_)
         CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
+    // Telemetry is metadata, never identity: the hooks below record
+    // what the search does but never feed anything back into it.
+    obs::Telemetry *const tel = obs::current();
+    const obs::ScopedSpan phaseSpan(obs::threadRing(),
+                                    "search:explore");
     const size_t nthreads = program_.threads.size();
     const size_t nnodes = model_.config().numNodes();
     const size_t naddrs = model_.config().numAddrs();
@@ -399,6 +405,32 @@ Explorer::check(ModelContext *shared) const
         State &work = me.work;
         std::vector<Value> &cur_regs = me.curRegs;
         std::vector<Value> &reg_buf = me.regBuf;
+
+        obs::TraceRing *const ring =
+            tel != nullptr
+                ? tel->ring("explore-shard-" + std::to_string(w))
+                : nullptr;
+        if (ring != nullptr)
+            sf.setTraceRing(w, ring);
+        obs::ShardPublisher pub(tel, w);
+        const obs::ScopedSpan workerSpan(ring, "expand");
+        auto publishSample = [&] {
+            obs::SearchSample s;
+            s.configsVisited = me.partial.stats.configsVisited;
+            s.configsInterned = me.visited.size();
+            s.tauSkipped = me.partial.stats.tauMovesSkipped;
+            s.ampleSkipped = me.partial.stats.ampleSkipped;
+            s.crashAmpleSkipped =
+                me.partial.stats.crashAmpleSkipped;
+            s.sleepSkipped = me.partial.stats.sleepSetSkipped;
+            s.symmetryMerged = me.partial.stats.symmetryMerged;
+            auto [attempted, succeeded] = sf.stealCounters(w);
+            s.stealsAttempted = attempted;
+            s.stealsSucceeded = succeeded;
+            s.frontierDepth = sf.depth(w);
+            s.pendingDepth = sf.pending();
+            pub.publish(s);
+        };
 
         PackedConfig cur;
         // Per-popped-configuration reduction context, refreshed at
@@ -765,13 +797,20 @@ Explorer::check(ModelContext *shared) const
 
         while (sf.pop(w, cur, admit)) {
             ++me.partial.stats.configsVisited;
-            if ((me.partial.stats.configsVisited & 255) == 0 &&
-                deadline.expired()) {
-                me.partial.truncated = true;
-                me.partial.timedOut = true;
-                sf.stopAll();
-                sf.done();
-                break;
+            if ((me.partial.stats.configsVisited & 255) == 0) {
+                // Telemetry publishes piggyback on the existing
+                // deadline-poll cadence: no extra clock reads, and
+                // the deadline check itself fires at exactly the
+                // same visit counts as before.
+                if (pub.enabled())
+                    publishSample();
+                if (deadline.expired()) {
+                    me.partial.truncated = true;
+                    me.partial.timedOut = true;
+                    sf.stopAll();
+                    sf.done();
+                    break;
+                }
             }
 
             me.eng.materializeState(cur.state, scratch);
@@ -1184,6 +1223,8 @@ Explorer::check(ModelContext *shared) const
         auto [attempted, succeeded] = sf.stealCounters(w);
         me.partial.stats.stealsAttempted = attempted;
         me.partial.stats.stealsSucceeded = succeeded;
+        if (pub.enabled())
+            publishSample(); // final totals for this worker
     };
 
     runOnWorkers(nworkers, run_worker);
@@ -1204,11 +1245,7 @@ Explorer::check(ModelContext *shared) const
     ctx.fillStats(res.stats);
     res.stats.tableBytes = ctx.bytes() + reg_files.bytes();
     res.stats.peakVisitedBytes += res.stats.tableBytes;
-    res.stats.processPeakRssBytes = processPeakRssBytes();
-    res.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
+    finalizeReportTiming(res, t_start);
     return res;
 }
 
@@ -1394,11 +1431,7 @@ Explorer::checkReference() const
     res.stats.peakVisitedBytes =
         config_bytes + visited.bucket_count() * sizeof(void *) +
         stack.capacity() * sizeof(RefConfig);
-    res.stats.processPeakRssBytes = processPeakRssBytes();
-    res.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
+    finalizeReportTiming(res, t_start);
     return res;
 }
 

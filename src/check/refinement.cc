@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/segmented.hh"
 #include "model/state_table.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::check
 {
@@ -259,6 +260,9 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
         CXL0_FATAL("shared impl ModelContext built over a different "
                    "model");
     auto t_start = std::chrono::steady_clock::now();
+    obs::Telemetry *const tel = obs::current();
+    const obs::ScopedSpan phaseSpan(obs::threadRing(),
+                                    "search:refinement");
     if (spec.config().numNodes() != impl.config().numNodes() ||
         spec.config().numAddrs() != impl.config().numAddrs()) {
         CXL0_FATAL("refinement requires same-shape configurations");
@@ -377,6 +381,30 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
 
     auto run_worker = [&](size_t w) {
         Worker &me = workers[w];
+        obs::TraceRing *const ring =
+            tel != nullptr
+                ? tel->ring("refine-shard-" + std::to_string(w))
+                : nullptr;
+        if (ring != nullptr)
+            sf.setTraceRing(w, ring);
+        obs::ShardPublisher pub(tel, w);
+        const obs::ScopedSpan workerSpan(ring, "expand");
+        auto publishSample = [&] {
+            obs::SearchSample s;
+            s.configsVisited = me.partial.stats.configsVisited;
+            s.configsInterned =
+                explored_count.load(std::memory_order_relaxed);
+            auto [attempted, succeeded] = sf.stealCounters(w);
+            s.stealsAttempted = attempted;
+            s.stealsSucceeded = succeeded;
+            s.frontierDepth = sf.depth(w);
+            s.pendingDepth = sf.pending();
+            // Interned pairs are a shared count: publish it through
+            // shard 0 only so the merged counter is not N-counted.
+            if (w != 0)
+                s.configsInterned = 0;
+            pub.publish(s);
+        };
         auto sample_peak = [&] {
             size_t b = me.explored.bytes() + sf.bytes(w) +
                        me.specEng.bytes() + me.implEng.bytes() +
@@ -405,6 +433,8 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
             ++me.partial.stats.configsVisited;
             if ((me.partial.stats.configsVisited & 63) == 0) {
                 sample_peak();
+                if (pub.enabled())
+                    publishSample();
                 if (deadline.expired()) {
                     me.partial.truncated = true;
                     me.partial.timedOut = true;
@@ -485,6 +515,8 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
         auto [attempted, succeeded] = sf.stealCounters(w);
         me.partial.stats.stealsAttempted = attempted;
         me.partial.stats.stealsSucceeded = succeeded;
+        if (pub.enabled())
+            publishSample();
     };
 
     runOnWorkers(nworkers, run_worker);
@@ -529,11 +561,7 @@ checkRefinement(const Cxl0Model &spec, const Cxl0Model &impl,
     res.stats.tableBytes =
         spec_ctx.bytes() + impl_ctx.bytes() + dag.bytes();
     res.stats.peakVisitedBytes += res.stats.tableBytes;
-    res.stats.processPeakRssBytes = processPeakRssBytes();
-    res.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
+    finalizeReportTiming(res, t_start);
     return res;
 }
 
@@ -666,11 +694,7 @@ checkRefinementReference(const Cxl0Model &spec, const Cxl0Model &impl,
     auto finalize = [&] {
         res.stats.configsInterned = explored.size();
         res.stats.peakVisitedBytes = peak + explored.bytes();
-        res.stats.processPeakRssBytes = processPeakRssBytes();
-        res.stats.seconds = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                t_start)
-                                .count();
+        finalizeReportTiming(res, t_start);
     };
 
     const Deadline deadline(request.timeBudgetMs);

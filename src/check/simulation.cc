@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::check
 {
@@ -80,6 +81,8 @@ checkTraceInclusion(const Cxl0Model &model,
     if (shared && &shared->model() != &model)
         CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
+    const obs::ScopedSpan phaseSpan(obs::threadRing(),
+                                    "search:inclusion");
     CheckReport res;
     // One shared context for every start state and worker: tau
     // closures computed for one gamma's walk are memo hits for every
@@ -204,11 +207,7 @@ checkTraceInclusion(const Cxl0Model &model,
     res.stats.configsInterned = ctx.frames().size();
     res.stats.tableBytes = ctx.bytes();
     res.stats.peakVisitedBytes += res.stats.tableBytes;
-    res.stats.processPeakRssBytes = processPeakRssBytes();
-    res.stats.seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() -
-                            t_start)
-                            .count();
+    finalizeReportTiming(res, t_start);
     return res;
 }
 

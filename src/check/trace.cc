@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "model/state_table.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::check
 {
@@ -81,6 +82,8 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
     if (shared && &shared->model() != &model)
         CXL0_FATAL("shared ModelContext built over a different model");
     auto t_start = std::chrono::steady_clock::now();
+    const obs::ScopedSpan phaseSpan(obs::threadRing(),
+                                    "search:feasible");
     CheckReport res;
     // One ModelContext + one ShardEngine (that's what a SearchEngine
     // is): the prefix walk is a single dependency chain, so
@@ -128,11 +131,7 @@ checkTraceFeasibleFrom(const Cxl0Model &model, const State &init,
     res.stats.tableBytes = engine.context().bytes();
     res.stats.peakVisitedBytes =
         engine.context().bytes() + engine.bytes();
-    res.stats.processPeakRssBytes = processPeakRssBytes();
-    res.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
+    finalizeReportTiming(res, t_start);
     return res;
 }
 

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -11,10 +12,20 @@ namespace
 {
 
 thread_local int quiet_depth = 0;
+thread_local uint64_t muted_count = 0;
+std::atomic<uint64_t> muted_total{0};
+
+/** Count a panic/fatal whose stderr line a quiet scope swallowed. */
+void
+noteMuted()
+{
+    ++muted_count;
+    muted_total.fetch_add(1, std::memory_order_relaxed);
+}
 
 } // namespace
 
-ScopedQuietErrors::ScopedQuietErrors()
+ScopedQuietErrors::ScopedQuietErrors() : start_(muted_count)
 {
     ++quiet_depth;
 }
@@ -24,6 +35,24 @@ ScopedQuietErrors::~ScopedQuietErrors()
     --quiet_depth;
 }
 
+uint64_t
+ScopedQuietErrors::muted() const
+{
+    return muted_count - start_;
+}
+
+uint64_t
+mutedPanicCount()
+{
+    return muted_count;
+}
+
+uint64_t
+mutedPanicTotal()
+{
+    return muted_total.load(std::memory_order_relaxed);
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
@@ -31,6 +60,8 @@ panicImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
         std::fflush(stderr);
+    } else {
+        noteMuted();
     }
     // Throwing (rather than abort()) lets the test suite exercise the
     // panic paths of precondition checks.
@@ -44,6 +75,8 @@ fatalImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
         std::fflush(stderr);
+    } else {
+        noteMuted();
     }
     throw std::invalid_argument(msg);
 }

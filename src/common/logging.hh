@@ -11,6 +11,7 @@
 #ifndef CXL0_COMMON_LOGGING_HH
 #define CXL0_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -34,6 +35,12 @@ void warnImpl(const char *file, int line, const std::string &msg);
  * *expect* to trigger panics by the hundred and convert each into a
  * recorded verdict: the exception still carries the message; only the
  * per-throw stderr line is suppressed. Thread-local, nests.
+ *
+ * Every suppressed line is *counted*, never discarded silently:
+ * muted() reports how many panics/fatals this scope muted so far, and
+ * the process-wide mutedPanicTotal() lets drivers surface a
+ * contained-corruption storm (the campaign reports it as
+ * `muted_panics`).
  */
 class ScopedQuietErrors
 {
@@ -42,7 +49,19 @@ class ScopedQuietErrors
     ~ScopedQuietErrors();
     ScopedQuietErrors(const ScopedQuietErrors &) = delete;
     ScopedQuietErrors &operator=(const ScopedQuietErrors &) = delete;
+
+    /** Panics/fatals muted on this thread since this scope opened. */
+    uint64_t muted() const;
+
+  private:
+    uint64_t start_;
 };
+
+/** Panics/fatals muted on this thread since it started. */
+uint64_t mutedPanicCount();
+
+/** Panics/fatals muted process-wide (all threads, all time). */
+uint64_t mutedPanicTotal();
 
 namespace detail
 {

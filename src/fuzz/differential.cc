@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "check/cache.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::fuzz
 {
@@ -139,6 +141,49 @@ runDifferential(const Scenario &sc, const DiffOptions &d)
                 res.findings.push_back(
                     {"serde", "serializeReport/parseReport do not "
                               "round-trip"});
+        }
+
+        // ---- telemetry gate -----------------------------------------
+        // Telemetry must be metadata, never identity: the identical
+        // request re-run with tracing, metric publication, and a live
+        // progress sampler produces a byte-identical report
+        // projection and the same interned-config count. This is the
+        // fuzz-scale version of the obs byte-identity tests.
+        gate = "telemetry";
+        ++res.gatesRun;
+        {
+            obs::TelemetryOptions topt;
+            topt.trace = true;
+            topt.ringCapacity = 1 << 12;
+            obs::Telemetry tel(topt);
+            lang::RunResult traced;
+            {
+                const obs::ScopedTelemetry scope(&tel);
+                obs::ProgressOptions popt;
+                popt.intervalMs = 5;
+                obs::ProgressSampler sampler(tel, popt);
+                sampler.start();
+                traced = lang::runScenario(
+                    sc,
+                    exploreOptions(d, check::Reduction::Ample, 1,
+                                   check::FrontierPolicy::DepthFirst));
+                sampler.stop();
+            }
+            if (check::serializeReport(traced.report) !=
+                check::serializeReport(base.report))
+                res.findings.push_back(
+                    {gate, "telemetry-on run serialized differently "
+                           "from the telemetry-off baseline"});
+            if (traced.report.stats.configsInterned !=
+                base.report.stats.configsInterned) {
+                std::ostringstream os;
+                os << "configsInterned drift under telemetry: off "
+                   << base.report.stats.configsInterned << ", on "
+                   << traced.report.stats.configsInterned;
+                res.findings.push_back({gate, os.str()});
+            }
+            compareReports(base.report, traced.report, gate,
+                           res.findings);
         }
 
         // ---- reduction gates ----------------------------------------

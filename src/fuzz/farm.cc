@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::fuzz
 {
@@ -80,6 +81,8 @@ runFarm(const FarmOptions &opts)
 
     for (size_t i = 0; i < opts.count; ++i) {
         uint64_t seed = scenarioSeed(opts.seed, i);
+        const obs::ScopedSpan caseSpan(obs::threadRing(),
+                                       "fuzz:case");
         Scenario sc = generateScenario(seed, opts.gen);
         DiffResult r = runDifferential(sc, opts.diff);
         ++report.generated;
@@ -111,6 +114,8 @@ runFarm(const FarmOptions &opts)
         Scenario minimized = sc;
         DiffResult outcome = r;
         if (opts.shrink) {
+            const obs::ScopedSpan shrinkSpan(obs::threadRing(),
+                                             "fuzz:shrink");
             ShrinkResult shrunk =
                 shrinkScenario(sc, opts.diff, opts.shrinkLimits);
             finding.shrinkAttempts = shrunk.attempts;
@@ -153,6 +158,8 @@ runFarm(const FarmOptions &opts)
 
     // ---- cache trial ------------------------------------------------
     if (opts.cacheTrial && !cleanCases.empty()) {
+        const obs::ScopedSpan cacheSpan(obs::threadRing(),
+                                        "fuzz:cache-trial");
         lang::ServiceOptions so;
         so.run = baselineOptions(opts.diff);
         so.cacheCapacity = opts.cacheCapacity;

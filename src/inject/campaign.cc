@@ -9,6 +9,7 @@
 
 #include "common/rng.hh"
 #include "model/label.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::inject
 {
@@ -165,6 +166,8 @@ runCampaign(const CampaignOptions &opts)
     size_t unit_index = 0;
     for (const Unit &unit : units) {
         unit_index += 1;
+        const obs::ScopedSpan unitSpan(obs::threadRing(),
+                                       "campaign:unit");
         CampaignCase base;
         base.structure = unit.structure;
         base.mode = unit.mode;
@@ -194,6 +197,11 @@ runCampaign(const CampaignOptions &opts)
             c.crashStep = step;
             c.crashNode = 0; // owner crash: the structure's home node
             CaseOutcome out = runCase(c, opts.limits);
+            report.mutedPanics += out.mutedPanics;
+            if (out.mutedPanics > 0) {
+                if (obs::Telemetry *t = obs::current())
+                    t->countMutedPanics(out.mutedPanics);
+            }
 
             std::string bucket = bucketKey(c, out.crashOpKind);
             accumulate(report.buckets[bucket], out.verdict);
@@ -228,6 +236,8 @@ runCampaign(const CampaignOptions &opts)
             // replayable artifact.
             ShrinkLimits slimits = opts.shrink;
             slimits.run = opts.limits;
+            const obs::ScopedSpan shrinkSpan(obs::threadRing(),
+                                             "campaign:shrink");
             ShrinkResult sres = shrinkCase(c, slimits);
             ShrunkRecord rec;
             rec.bucket = bucket;
@@ -289,6 +299,7 @@ campaignJson(const CampaignOptions &opts, const CampaignReport &report,
        << ",\n";
     os << "  \"truncated\": " << report.truncated << ",\n";
     os << "  \"skipped\": " << report.skipped << ",\n";
+    os << "  \"muted_panics\": " << report.mutedPanics << ",\n";
     os << "  \"all_durable_pass\": "
        << (report.allDurablePass ? "true" : "false") << ",\n";
     os << "  \"seconds\": " << secs << ",\n";

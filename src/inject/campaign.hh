@@ -111,6 +111,9 @@ struct CampaignReport
     std::vector<ShrunkRecord> shrunk;
     /** No durable-mode case produced a violation. */
     bool allDurablePass = true;
+    /** Panics muted inside the cases' quiet scopes, summed — a
+     *  contained-corruption storm shows up here, not on stderr. */
+    uint64_t mutedPanics = 0;
 };
 
 /** Run the whole campaign. Deterministic in `opts`. */

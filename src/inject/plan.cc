@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "hist/serialize.hh"
+#include "obs/telemetry.hh"
 #include "lang/scenario.hh"
 #include "model/label.hh"
 
@@ -118,6 +119,7 @@ CaseOutcome
 runCase(const CampaignCase &c, const RunLimits &limits)
 {
     CaseOutcome outcome;
+    const uint64_t mutedBefore = mutedPanicCount();
     Rig rig = buildRig(c);
     if (c.replayEvictions)
         rig.sys->setEvictionReplay(c.evictions);
@@ -158,10 +160,13 @@ runCase(const CampaignCase &c, const RunLimits &limits)
             // step; nothing was tested.
             outcome.verdict = CaseOutcome::Verdict::Skipped;
             outcome.evictions = rig.sys->evictionTrace();
+            outcome.mutedPanics = mutedPanicCount() - mutedBefore;
             return outcome;
         }
 
         // Recovery + observation run on a surviving machine.
+        const obs::ScopedSpan recoverSpan(obs::threadRing(),
+                                          "recover");
         NodeId rnode = recoveryNode(c);
         subject->recover(rnode);
         for (const WorkloadOp &op :
@@ -187,6 +192,7 @@ runCase(const CampaignCase &c, const RunLimits &limits)
         outcome.lin.explanation =
             std::string("structure corrupted after crash: ") +
             e.what();
+        outcome.mutedPanics = mutedPanicCount() - mutedBefore;
         return outcome;
     }
 
@@ -220,6 +226,7 @@ runCase(const CampaignCase &c, const RunLimits &limits)
         outcome.verdict = CaseOutcome::Verdict::Truncated;
     else
         outcome.verdict = CaseOutcome::Verdict::Violation;
+    outcome.mutedPanics = mutedPanicCount() - mutedBefore;
     return outcome;
 }
 

@@ -115,6 +115,9 @@ struct CaseOutcome
     model::Op crashOpKind = model::Op::Tau;
     /** Propagation events recorded during the run (for artifacts). */
     std::vector<runtime::EvictEvent> evictions;
+    /** Panics the case's quiet scope muted (contained corruption —
+     *  each one became a verdict, but the count stays visible). */
+    uint64_t mutedPanics = 0;
 };
 
 /** Execute one case end to end and check the resulting history. */

@@ -5,6 +5,7 @@
 #include "check/refinement.hh"
 #include "check/simulation.hh"
 #include "check/trace.hh"
+#include "obs/telemetry.hh"
 
 namespace cxl0::lang
 {
@@ -232,6 +233,17 @@ runWith(const Scenario &sc, const RunOptions &opts,
     r.error = inputError(sc, kind);
     if (!r.error.empty())
         return r;
+    // One driver-level span per scenario run; the checkers add their
+    // own per-shard "search:*" spans under it.
+    const char *span_name = "run:scenario";
+    switch (kind) {
+    case CheckerKind::Explore: span_name = "run:explore"; break;
+    case CheckerKind::Feasible: span_name = "run:feasible"; break;
+    case CheckerKind::Refinement: span_name = "run:refinement"; break;
+    case CheckerKind::Inclusion: span_name = "run:inclusion"; break;
+    case CheckerKind::Auto: break;
+    }
+    const obs::ScopedSpan runSpan(obs::threadRing(), span_name);
     CheckReport report;
     switch (kind) {
     case CheckerKind::Explore:

@@ -1,0 +1,97 @@
+#include "obs/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace cxl0::obs
+{
+
+Registry::Registry()
+{
+    metrics_.reserve(kMaxMetrics);
+}
+
+MetricId
+Registry::define(const char *name, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(defineMutex_);
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i].name == name) {
+            CXL0_ASSERT(metrics_[i].kind == kind,
+                        "metric '", name,
+                        "' redefined with a different kind");
+            return static_cast<MetricId>(i);
+        }
+    }
+    CXL0_ASSERT(metrics_.size() < kMaxMetrics,
+                "metric registry full (", kMaxMetrics, " metrics)");
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    m.cellsPerShard =
+        kind == MetricKind::Histogram ? kHistogramBuckets : 1;
+    m.cells = std::make_unique<PaddedCell[]>(kMetricShards *
+                                             m.cellsPerShard);
+    metrics_.push_back(std::move(m));
+    count_.store(metrics_.size(), std::memory_order_release);
+    return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+size_t
+Registry::bucketOf(uint64_t value)
+{
+    size_t b = 0;
+    while (value > 0 && b + 1 < kHistogramBuckets) {
+        value >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+uint64_t
+Registry::value(MetricId id) const
+{
+    if (id >= count_.load(std::memory_order_acquire))
+        return 0;
+    const Metric &m = metrics_[id];
+    uint64_t out = 0;
+    for (size_t s = 0; s < kMetricShards; ++s) {
+        for (size_t b = 0; b < m.cellsPerShard; ++b) {
+            uint64_t v = m.cells[s * m.cellsPerShard + b].v.load(
+                std::memory_order_relaxed);
+            if (m.kind == MetricKind::Gauge)
+                out = v > out ? v : out;
+            else
+                out += v;
+        }
+    }
+    return out;
+}
+
+std::vector<Registry::Sample>
+Registry::snapshot() const
+{
+    size_t n = count_.load(std::memory_order_acquire);
+    std::vector<Sample> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const Metric &m = metrics_[i];
+        Sample s;
+        s.name = m.name;
+        s.kind = m.kind;
+        if (m.kind == MetricKind::Histogram) {
+            for (size_t sh = 0; sh < kMetricShards; ++sh)
+                for (size_t b = 0; b < kHistogramBuckets; ++b)
+                    s.buckets[b] +=
+                        m.cells[sh * kHistogramBuckets + b].v.load(
+                            std::memory_order_relaxed);
+            for (uint64_t b : s.buckets)
+                s.value += b;
+        } else {
+            s.value = value(static_cast<MetricId>(i));
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace cxl0::obs

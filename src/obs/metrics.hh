@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges, and histograms with
+ * per-shard lock-free accumulation and merge-on-read.
+ *
+ * Write side: every metric owns one cache-line-padded atomic cell per
+ * shard slot, and each search worker publishes only into its own
+ * slot, so an update is a relaxed load + relaxed store (a plain add
+ * on every mainstream ISA — no lock prefix, no fence, no contention).
+ * Read side (the progress sampler, the heartbeat emitter) merges the
+ * slots on demand: counters sum across shards, gauges take the max,
+ * histograms sum per bucket. Readers race writers harmlessly — a
+ * merge is a monotone snapshot, never a consistency point.
+ *
+ * The registry is *telemetry, not identity*: nothing in the search
+ * reads a metric back, so registering or publishing can never change
+ * a verdict, an outcome set, or an interned-config count. The stable
+ * report projection remains check::SearchStats; this registry is the
+ * live view the sampler aggregates while a search is still running.
+ */
+
+#ifndef CXL0_OBS_METRICS_HH
+#define CXL0_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cxl0::obs
+{
+
+/** How a metric's per-shard cells merge on read. */
+enum class MetricKind
+{
+    Counter,   //!< monotone count; shards sum
+    Gauge,     //!< instantaneous level; shards max
+    Histogram, //!< log2-bucketed values; buckets sum across shards
+};
+
+using MetricId = uint32_t;
+
+/** Shard slots per metric; worker w writes slot w % kMetricShards. */
+constexpr size_t kMetricShards = 64;
+
+/** Histogram buckets: bucket i counts values in [2^(i-1), 2^i). */
+constexpr size_t kHistogramBuckets = 32;
+
+class Registry
+{
+  public:
+    Registry();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register (or look up) a metric by name. Idempotent: a second
+     * define with the same name returns the existing id (the kind
+     * must match). Thread-safe, but meant for setup paths — the hot
+     * loop holds MetricIds, never names.
+     */
+    MetricId define(const char *name, MetricKind kind);
+
+    /** Add `delta` to shard `shard`'s cell (counters/gauges). */
+    void add(size_t shard, MetricId id, uint64_t delta)
+    {
+        std::atomic<uint64_t> &c = cell(shard, id, 0);
+        c.store(c.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+    }
+
+    /** Overwrite shard `shard`'s cell (gauges). */
+    void set(size_t shard, MetricId id, uint64_t value)
+    {
+        cell(shard, id, 0).store(value, std::memory_order_relaxed);
+    }
+
+    /** Record one value into a histogram metric. */
+    void observe(size_t shard, MetricId id, uint64_t value)
+    {
+        std::atomic<uint64_t> &c =
+            cell(shard, id, bucketOf(value));
+        c.store(c.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    }
+
+    /**
+     * Merge-on-read value: counters sum shards, gauges max shards,
+     * histograms report the total observation count.
+     */
+    uint64_t value(MetricId id) const;
+
+    /** One merged metric, as the sampler serializes it. */
+    struct Sample
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        uint64_t value = 0;
+        /** Per-bucket counts (histograms only). */
+        std::array<uint64_t, kHistogramBuckets> buckets{};
+    };
+
+    /** Merge every metric (registration order). */
+    std::vector<Sample> snapshot() const;
+
+    size_t size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    /** Log2 bucket of a value (0 -> bucket 0). */
+    static size_t bucketOf(uint64_t value);
+
+  private:
+    struct alignas(64) PaddedCell
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    struct Metric
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        /** kMetricShards cells (counter/gauge) or
+         *  kMetricShards * kHistogramBuckets (histogram). */
+        std::unique_ptr<PaddedCell[]> cells;
+        size_t cellsPerShard = 1;
+    };
+
+    std::atomic<uint64_t> &cell(size_t shard, MetricId id,
+                                size_t bucket)
+    {
+        Metric &m = metrics_[id];
+        return m
+            .cells[(shard % kMetricShards) * m.cellsPerShard + bucket]
+            .v;
+    }
+
+    /**
+     * Registration appends under the mutex; readers index below the
+     * acquire-loaded count. The vector is reserved to its hard cap at
+     * construction so publication never reallocates under a reader.
+     */
+    static constexpr size_t kMaxMetrics = 256;
+
+    mutable std::mutex defineMutex_;
+    std::vector<Metric> metrics_;
+    std::atomic<size_t> count_{0};
+};
+
+} // namespace cxl0::obs
+
+#endif // CXL0_OBS_METRICS_HH

@@ -1,0 +1,222 @@
+#include "obs/progress.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace cxl0::obs
+{
+
+uint64_t
+currentRssBytes()
+{
+    if (FILE *f = std::fopen("/proc/self/statm", "r")) {
+        unsigned long long vmPages = 0, rssPages = 0;
+        int n = std::fscanf(f, "%llu %llu", &vmPages, &rssPages);
+        std::fclose(f);
+        if (n == 2)
+            return static_cast<uint64_t>(rssPages) *
+                   static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+    }
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0)
+        return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    return 0;
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            out.push_back(' ');
+        else
+            out.push_back(c);
+    }
+}
+
+} // namespace
+
+ProgressSampler::ProgressSampler(Telemetry &tel, ProgressOptions opts)
+    : tel_(tel), opts_(std::move(opts)),
+      t0_(std::chrono::steady_clock::now()), lastTick_(t0_)
+{
+    if (!opts_.heartbeatPath.empty())
+        heartbeatFile_.open(opts_.heartbeatPath,
+                            std::ios::binary | std::ios::trunc);
+}
+
+ProgressSampler::~ProgressSampler()
+{
+    stop();
+}
+
+void
+ProgressSampler::start()
+{
+    std::lock_guard<std::mutex> joinLock(joinM_);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (running_)
+            return;
+        running_ = true;
+    }
+    if (thread_.joinable())
+        thread_.join();
+    thread_ = std::thread(&ProgressSampler::run, this);
+}
+
+void
+ProgressSampler::stop()
+{
+    // joinM_ first: with it held, no racing start() can flip
+    // running_ back to true between the clear and the join below —
+    // the sampler thread is guaranteed to observe false and exit.
+    // Lock order is joinM_ -> m_ in both start() and stop(); the
+    // sampler thread itself only ever takes m_.
+    std::lock_guard<std::mutex> joinLock(joinM_);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        running_ = false;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+        thread_.join();
+        tick(); // final tick: an enabled sampler always heartbeats
+    }
+}
+
+void
+ProgressSampler::run()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait_for(
+                lock, std::chrono::milliseconds(opts_.intervalMs),
+                [&] { return !running_; });
+            if (!running_)
+                return;
+        }
+        tick();
+    }
+}
+
+void
+ProgressSampler::tick()
+{
+    auto now = std::chrono::steady_clock::now();
+    uint64_t tMs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              t0_)
+            .count());
+    uint64_t rss = currentRssBytes();
+    tel_.sampleRss(rss);
+
+    const Registry &reg = tel_.registry();
+    uint64_t configs = reg.value(tel_.mConfigsVisited);
+    uint64_t interned = reg.value(tel_.mConfigsInterned);
+    uint64_t frontier = reg.value(tel_.mFrontierDepth);
+    uint64_t pending = reg.value(tel_.mPendingDepth);
+    uint64_t tauSkip = reg.value(tel_.mTauSkipped);
+    uint64_t ampleSkip = reg.value(tel_.mAmpleSkipped);
+    uint64_t crashAmpleSkip = reg.value(tel_.mCrashAmpleSkipped);
+    uint64_t sleepSkip = reg.value(tel_.mSleepSkipped);
+    uint64_t stealsA = reg.value(tel_.mStealsAttempted);
+    uint64_t stealsS = reg.value(tel_.mStealsSucceeded);
+    uint64_t cacheHits = reg.value(tel_.mCacheHits);
+    uint64_t cacheMisses = reg.value(tel_.mCacheMisses);
+    uint64_t muted = reg.value(tel_.mMutedPanics);
+
+    std::lock_guard<std::mutex> lock(m_);
+    double dt = std::chrono::duration<double>(now - lastTick_).count();
+    double rate =
+        dt > 0 && configs >= lastConfigs_
+            ? static_cast<double>(configs - lastConfigs_) / dt
+            : 0.0;
+    lastConfigs_ = configs;
+    lastTick_ = now;
+    rss_.push_back(RssSample{tMs, rss});
+    ++heartbeats_;
+
+    if (heartbeatFile_.is_open()) {
+        std::string line;
+        line.reserve(512);
+        line += "{\"t_ms\":" + std::to_string(tMs);
+        if (!opts_.label.empty()) {
+            line += ",\"label\":\"";
+            appendEscaped(line, opts_.label);
+            line += "\"";
+        }
+        char rateBuf[32];
+        std::snprintf(rateBuf, sizeof rateBuf, "%.1f", rate);
+        line += ",\"configs\":" + std::to_string(configs);
+        line += ",\"configs_per_sec\":";
+        line += rateBuf;
+        line += ",\"interned\":" + std::to_string(interned);
+        line += ",\"frontier_depth\":" + std::to_string(frontier);
+        line += ",\"pending_depth\":" + std::to_string(pending);
+        line += ",\"tau_skipped\":" + std::to_string(tauSkip);
+        line += ",\"ample_skipped\":" + std::to_string(ampleSkip);
+        line += ",\"crash_ample_skipped\":" +
+                std::to_string(crashAmpleSkip);
+        line +=
+            ",\"sleep_set_skipped\":" + std::to_string(sleepSkip);
+        line += ",\"steals_attempted\":" + std::to_string(stealsA);
+        line += ",\"steals_succeeded\":" + std::to_string(stealsS);
+        line += ",\"cache_hits\":" + std::to_string(cacheHits);
+        line += ",\"cache_misses\":" + std::to_string(cacheMisses);
+        line += ",\"muted_panics\":" + std::to_string(muted);
+        line += ",\"rss_bytes\":" + std::to_string(rss);
+        line += "}\n";
+        heartbeatFile_.write(
+            line.data(), static_cast<std::streamsize>(line.size()));
+        heartbeatFile_.flush();
+    }
+
+    if (opts_.stderrLine) {
+        const char *eol = isatty(2) ? "\r" : "\n";
+        std::fprintf(
+            stderr,
+            "[cxl0] %6.1fs  configs %" PRIu64 " (%.0f/s)  interned %"
+            PRIu64 "  frontier %" PRIu64 "  pending %" PRIu64
+            "  rss %.1f MiB%s",
+            static_cast<double>(tMs) / 1000.0, configs, rate,
+            interned, frontier, pending,
+            static_cast<double>(rss) / (1024.0 * 1024.0), eol);
+        std::fflush(stderr);
+    }
+}
+
+std::vector<ProgressSampler::RssSample>
+ProgressSampler::rssSamples() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return rss_;
+}
+
+uint64_t
+ProgressSampler::peakRssBytes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    uint64_t peak = 0;
+    for (const RssSample &s : rss_)
+        peak = s.rssBytes > peak ? s.rssBytes : peak;
+    return peak;
+}
+
+size_t
+ProgressSampler::heartbeats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return heartbeats_;
+}
+
+} // namespace cxl0::obs

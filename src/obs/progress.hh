@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The progress sampler: an optional thread that periodically merges
+ * the metrics registry into (a) a human one-line progress report on
+ * stderr, (b) a machine-readable heartbeat JSONL stream, and (c) an
+ * in-memory RSS high-water series — the liveness surface a future
+ * checkpointable / distributed search reports through.
+ *
+ * The sampler only *reads* the registry (merge-on-read) and *writes*
+ * an RSS gauge back through Telemetry::sampleRss — it never touches
+ * search state, so it can start late, stop early, or be absent
+ * without changing any report. stop() performs one final tick, so an
+ * enabled sampler always emits at least one heartbeat even for runs
+ * shorter than the interval.
+ */
+
+#ifndef CXL0_OBS_PROGRESS_HH
+#define CXL0_OBS_PROGRESS_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hh"
+
+namespace cxl0::obs
+{
+
+/** Current resident set size (proc statm; getrusage fallback). */
+uint64_t currentRssBytes();
+
+struct ProgressOptions
+{
+    uint64_t intervalMs = 200;
+    bool stderrLine = false;        //!< human `--progress` line
+    std::string heartbeatPath;      //!< JSONL sink ("" = off)
+    std::string label;              //!< tag in heartbeat records
+};
+
+class ProgressSampler
+{
+  public:
+    ProgressSampler(Telemetry &tel, ProgressOptions opts);
+    ~ProgressSampler();
+
+    ProgressSampler(const ProgressSampler &) = delete;
+    ProgressSampler &operator=(const ProgressSampler &) = delete;
+
+    /** Start the sampler thread (idempotent). */
+    void start();
+
+    /** Stop it after one final tick (idempotent). */
+    void stop();
+
+    struct RssSample
+    {
+        uint64_t tMs = 0;
+        uint64_t rssBytes = 0;
+    };
+
+    /** The RSS high-water series sampled so far. */
+    std::vector<RssSample> rssSamples() const;
+
+    uint64_t peakRssBytes() const;
+
+    /** Heartbeat records emitted (ticks). */
+    size_t heartbeats() const;
+
+  private:
+    void run();
+    void tick();
+
+    Telemetry &tel_;
+    ProgressOptions opts_;
+    std::chrono::steady_clock::time_point t0_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    bool running_ = false;
+    /** Serializes thread_ spawn/join across start()/stop() racers. */
+    std::mutex joinM_;
+    std::thread thread_;
+
+    std::ofstream heartbeatFile_;
+    std::vector<RssSample> rss_;
+    size_t heartbeats_ = 0;
+    uint64_t lastConfigs_ = 0;
+    std::chrono::steady_clock::time_point lastTick_;
+};
+
+} // namespace cxl0::obs
+
+#endif // CXL0_OBS_PROGRESS_HH

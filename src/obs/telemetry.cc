@@ -1,0 +1,114 @@
+#include "obs/telemetry.hh"
+
+namespace cxl0::obs
+{
+
+Telemetry::Telemetry(Options opts)
+    : tracer_(opts.ringCapacity, opts.maxRings),
+      traceEnabled_(opts.trace)
+{
+    mConfigsVisited =
+        registry_.define("search.configs_visited", MetricKind::Counter);
+    mConfigsInterned =
+        registry_.define("search.configs_interned", MetricKind::Counter);
+    mTauSkipped =
+        registry_.define("search.tau_skipped", MetricKind::Counter);
+    mAmpleSkipped =
+        registry_.define("search.ample_skipped", MetricKind::Counter);
+    mCrashAmpleSkipped = registry_.define("search.crash_ample_skipped",
+                                          MetricKind::Counter);
+    mSleepSkipped = registry_.define("search.sleep_set_skipped",
+                                     MetricKind::Counter);
+    mSymmetryMerged =
+        registry_.define("search.symmetry_merged", MetricKind::Counter);
+    mStealsAttempted = registry_.define("search.steals_attempted",
+                                        MetricKind::Counter);
+    mStealsSucceeded = registry_.define("search.steals_succeeded",
+                                        MetricKind::Counter);
+    mFrontierDepth =
+        registry_.define("search.frontier_depth", MetricKind::Gauge);
+    mPendingDepth =
+        registry_.define("search.pending_depth", MetricKind::Gauge);
+    mCacheHits =
+        registry_.define("cache.hits", MetricKind::Counter);
+    mCacheMisses =
+        registry_.define("cache.misses", MetricKind::Counter);
+    mRssBytes =
+        registry_.define("process.rss_bytes", MetricKind::Gauge);
+    mMutedPanics =
+        registry_.define("process.muted_panics", MetricKind::Counter);
+}
+
+void
+Telemetry::publishSearch(size_t shard, const SearchSample &cur,
+                         const SearchSample &last)
+{
+    auto delta = [&](MetricId id, uint64_t c, uint64_t l) {
+        if (c > l)
+            registry_.add(shard, id, c - l);
+    };
+    delta(mConfigsVisited, cur.configsVisited, last.configsVisited);
+    delta(mConfigsInterned, cur.configsInterned, last.configsInterned);
+    delta(mTauSkipped, cur.tauSkipped, last.tauSkipped);
+    delta(mAmpleSkipped, cur.ampleSkipped, last.ampleSkipped);
+    delta(mCrashAmpleSkipped, cur.crashAmpleSkipped,
+          last.crashAmpleSkipped);
+    delta(mSleepSkipped, cur.sleepSkipped, last.sleepSkipped);
+    delta(mSymmetryMerged, cur.symmetryMerged, last.symmetryMerged);
+    delta(mStealsAttempted, cur.stealsAttempted, last.stealsAttempted);
+    delta(mStealsSucceeded, cur.stealsSucceeded, last.stealsSucceeded);
+    registry_.set(shard, mFrontierDepth, cur.frontierDepth);
+    registry_.set(shard, mPendingDepth, cur.pendingDepth);
+}
+
+namespace
+{
+
+std::atomic<Telemetry *> g_telemetry{nullptr};
+std::atomic<uint64_t> g_generation{0};
+
+} // namespace
+
+Telemetry *
+current()
+{
+    return g_telemetry.load(std::memory_order_relaxed);
+}
+
+void
+install(Telemetry *t)
+{
+    g_telemetry.store(t, std::memory_order_release);
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+ScopedTelemetry::ScopedTelemetry(Telemetry *t)
+    : prev_(g_telemetry.load(std::memory_order_acquire))
+{
+    install(t);
+}
+
+ScopedTelemetry::~ScopedTelemetry()
+{
+    install(prev_);
+}
+
+TraceRing *
+threadRing()
+{
+    struct Cache
+    {
+        uint64_t gen = ~uint64_t{0};
+        TraceRing *ring = nullptr;
+    };
+    thread_local Cache cache;
+    uint64_t gen = g_generation.load(std::memory_order_acquire);
+    if (cache.gen != gen) {
+        cache.gen = gen;
+        Telemetry *t = g_telemetry.load(std::memory_order_acquire);
+        cache.ring = t != nullptr ? t->ring("driver") : nullptr;
+    }
+    return cache.ring;
+}
+
+} // namespace cxl0::obs

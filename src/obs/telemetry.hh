@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The telemetry facade: one `Telemetry` bundles the metrics registry
+ * and the span tracer, and a process-global install point lets every
+ * driver (scenario run, corpus batch, campaign, fuzz farm, serve)
+ * light up the same search internals without plumbing a pointer
+ * through `CheckRequest` — which would be fatal, because the request
+ * is a cache key and telemetry must stay metadata, never identity.
+ *
+ * Cost when disabled: `current()` is one relaxed atomic load, and
+ * `threadRing()` adds one thread-local generation compare. No clock
+ * reads, no allocation, no branch the compiler can't fold.
+ *
+ * Cost when enabled: search workers publish through a
+ * `ShardPublisher` only at the existing deadline-poll cadence
+ * (every 256 visited configs), so the hot expansion loop is
+ * untouched either way.
+ */
+
+#ifndef CXL0_OBS_TELEMETRY_HH
+#define CXL0_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace cxl0::obs
+{
+
+/**
+ * A worker's view of its own search counters at a publish point.
+ * Deliberately obs-local (no dependency on check::SearchStats): the
+ * search layer fills one of these from whatever it tracks.
+ */
+struct SearchSample
+{
+    // Monotone per-worker counters (published as deltas).
+    uint64_t configsVisited = 0;
+    uint64_t configsInterned = 0;
+    uint64_t tauSkipped = 0;
+    uint64_t ampleSkipped = 0;
+    uint64_t crashAmpleSkipped = 0;
+    uint64_t sleepSkipped = 0;
+    uint64_t symmetryMerged = 0;
+    uint64_t stealsAttempted = 0;
+    uint64_t stealsSucceeded = 0;
+    // Instantaneous levels (published absolute, merged as max).
+    uint64_t frontierDepth = 0;
+    uint64_t pendingDepth = 0;
+};
+
+struct TelemetryOptions
+{
+    bool trace = false; //!< mint rings / record spans?
+    size_t ringCapacity = 1 << 15;
+    size_t maxRings = 512;
+};
+
+/** The registry + tracer bundle a driver installs for one run. */
+class Telemetry
+{
+  public:
+    using Options = TelemetryOptions;
+
+    explicit Telemetry(Options opts = Options());
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    Registry &registry() { return registry_; }
+    const Registry &registry() const { return registry_; }
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
+    bool traceEnabled() const { return traceEnabled_; }
+
+    /** New single-writer ring, or nullptr (tracing off / budget). */
+    TraceRing *ring(std::string threadName)
+    {
+        return traceEnabled_ ? tracer_.acquireRing(
+                                   std::move(threadName))
+                             : nullptr;
+    }
+
+    /** Publish a worker sample: counter deltas + absolute gauges. */
+    void publishSearch(size_t shard, const SearchSample &cur,
+                       const SearchSample &last);
+
+    void countCacheHit() { registry_.add(0, mCacheHits, 1); }
+    void countCacheMiss() { registry_.add(0, mCacheMisses, 1); }
+    void countMutedPanics(uint64_t n)
+    {
+        if (n > 0)
+            registry_.add(0, mMutedPanics, n);
+    }
+    void sampleRss(uint64_t bytes)
+    {
+        registry_.set(0, mRssBytes, bytes);
+    }
+
+    // Pre-defined ids so samplers read without name lookups.
+    MetricId mConfigsVisited, mConfigsInterned, mTauSkipped,
+        mAmpleSkipped, mCrashAmpleSkipped, mSleepSkipped,
+        mSymmetryMerged, mStealsAttempted, mStealsSucceeded,
+        mFrontierDepth, mPendingDepth, mCacheHits, mCacheMisses,
+        mRssBytes, mMutedPanics;
+
+  private:
+    Registry registry_;
+    Tracer tracer_;
+    bool traceEnabled_;
+};
+
+/** The installed telemetry, or nullptr (one relaxed load). */
+Telemetry *current();
+
+/**
+ * Install (or clear with nullptr) the process telemetry. Not a
+ * stack: callers that need save/restore use ScopedTelemetry.
+ * Installing bumps a generation counter so threadRing() caches
+ * invalidate.
+ */
+void install(Telemetry *t);
+
+/**
+ * RAII install that restores the previous telemetry on scope exit —
+ * lets the fuzz differential gate run a traced rerun inside a farm
+ * that already installed its own telemetry.
+ */
+class ScopedTelemetry
+{
+  public:
+    explicit ScopedTelemetry(Telemetry *t);
+    ~ScopedTelemetry();
+
+    ScopedTelemetry(const ScopedTelemetry &) = delete;
+    ScopedTelemetry &operator=(const ScopedTelemetry &) = delete;
+
+  private:
+    Telemetry *prev_;
+};
+
+/**
+ * This thread's driver-phase ring (parse/run/shrink/replay spans),
+ * minted lazily per installed telemetry and cached thread-locally.
+ * nullptr when no telemetry is installed or tracing is off.
+ */
+TraceRing *threadRing();
+
+/**
+ * Per-worker publisher: remembers the last sample so counters go in
+ * as deltas (the registry keeps accumulating across the sequential
+ * scenarios of a farm) while gauges go in absolute.
+ */
+class ShardPublisher
+{
+  public:
+    ShardPublisher(Telemetry *tel, size_t shard)
+        : tel_(tel), shard_(shard)
+    {
+    }
+
+    bool enabled() const { return tel_ != nullptr; }
+
+    void publish(const SearchSample &cur)
+    {
+        if (tel_ == nullptr)
+            return;
+        tel_->publishSearch(shard_, cur, last_);
+        last_ = cur;
+    }
+
+  private:
+    Telemetry *tel_;
+    size_t shard_;
+    SearchSample last_;
+};
+
+} // namespace cxl0::obs
+
+#endif // CXL0_OBS_TELEMETRY_HH

@@ -1,0 +1,130 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace cxl0::obs
+{
+
+Tracer::Tracer(size_t ringCapacity, size_t maxRings)
+    : ringCapacity_(ringCapacity), maxRings_(maxRings),
+      epoch_(std::chrono::steady_clock::now())
+{
+    rings_.reserve(maxRings_);
+}
+
+TraceRing *
+Tracer::acquireRing(std::string threadName)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (rings_.size() >= maxRings_)
+        return nullptr;
+    uint32_t tid = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::unique_ptr<TraceRing>(new TraceRing(
+        tid, std::move(threadName), ringCapacity_, epoch_)));
+    return rings_.back().get();
+}
+
+uint64_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    uint64_t total = 0;
+    for (const auto &r : rings_)
+        total += r->dropped();
+    return total;
+}
+
+namespace
+{
+
+/** Trace-event names are ASCII literals; escape defensively anyway. */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+Tracer::toJson() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+    for (const auto &rp : rings_) {
+        const TraceRing &r = *rp;
+        comma();
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":" +
+               std::to_string(r.tid()) + ",\"args\":{\"name\":";
+        appendJsonString(out, r.threadName());
+        out += "}}";
+        for (const TraceEvent &e : r.events()) {
+            comma();
+            out += "{\"name\":";
+            appendJsonString(out, e.name);
+            out += ",\"ph\":\"";
+            out.push_back(e.phase);
+            out += "\",\"pid\":1,\"tid\":" + std::to_string(r.tid()) +
+                   ",\"ts\":" + std::to_string(e.tsUs);
+            if (e.phase == 'i')
+                out += ",\"s\":\"t\"";
+            if (e.phase == 'C')
+                out += ",\"args\":{\"value\":" +
+                       std::to_string(e.arg) + "}";
+            else if (e.hasArg)
+                out += ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+                       "}";
+            out += "}";
+        }
+        if (r.dropped() > 0) {
+            comma();
+            out += "{\"name\":\"dropped_events\",\"ph\":\"C\","
+                   "\"pid\":1,\"tid\":" +
+                   std::to_string(r.tid()) +
+                   ",\"ts\":0,\"args\":{\"value\":" +
+                   std::to_string(r.dropped()) + "}}";
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    std::string json = toJson();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    return static_cast<bool>(f);
+}
+
+} // namespace cxl0::obs

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The span tracer: per-shard event rings flushed to Chrome
+ * trace-event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Every ring is single-writer by construction — acquireRing() mints a
+ * *new* ring per call, so two threads (or two sequential searches on
+ * one thread) never share one. An event is {static name, phase,
+ * timestamp, optional arg}: phase spans write a B/E pair (ScopedSpan
+ * guarantees the pair stays balanced — the E is written only when the
+ * B fit), instants write one 'i' event, counters one 'C' event.
+ * Rings are bounded: a full ring drops (and counts) further events
+ * instead of growing, so a million-config search cannot turn the
+ * tracer into an allocator benchmark. Event names must be string
+ * literals (or otherwise outlive the tracer): the ring stores the
+ * pointer, never a copy.
+ *
+ * Determinism contract: nothing reads a ring until flush, and flush
+ * happens after the work is done — tracing can shift wall-clock, but
+ * never a verdict, an outcome set, or an interned-config count.
+ */
+
+#ifndef CXL0_OBS_TRACE_HH
+#define CXL0_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cxl0::obs
+{
+
+/** One trace event; `name` must outlive the tracer. */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    uint64_t tsUs = 0;
+    uint64_t arg = 0;
+    char phase = 'i'; //!< 'B' / 'E' / 'i' (instant) / 'C' (counter)
+    bool hasArg = false;
+};
+
+class Tracer;
+
+/** Bounded single-writer event ring; one per shard (or phase). */
+class TraceRing
+{
+  public:
+    /** Append; false (and a drop count) when the ring is full. */
+    bool push(const char *name, char phase)
+    {
+        return pushImpl(name, phase, 0, false);
+    }
+
+    bool pushArg(const char *name, char phase, uint64_t arg)
+    {
+        return pushImpl(name, phase, arg, true);
+    }
+
+    /** One instant event ('i'). */
+    void instant(const char *name) { pushImpl(name, 'i', 0, false); }
+
+    /** One instant event with a numeric arg. */
+    void instant(const char *name, uint64_t arg)
+    {
+        pushImpl(name, 'i', arg, true);
+    }
+
+    /** One counter sample ('C'). */
+    void counter(const char *name, uint64_t value)
+    {
+        pushImpl(name, 'C', value, true);
+    }
+
+    uint32_t tid() const { return tid_; }
+    const std::string &threadName() const { return threadName_; }
+    size_t size() const { return events_.size(); }
+    uint64_t dropped() const { return dropped_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    friend class Tracer;
+
+    TraceRing(uint32_t tid, std::string threadName, size_t capacity,
+              std::chrono::steady_clock::time_point epoch)
+        : tid_(tid), threadName_(std::move(threadName)),
+          capacity_(capacity), epoch_(epoch)
+    {
+        events_.reserve(capacity_);
+    }
+
+    bool pushImpl(const char *name, char phase, uint64_t arg,
+                  bool has_arg)
+    {
+        // 'E' events bypass the capacity check: each one closes a 'B'
+        // that already fit (ScopedSpan never writes an orphan E), so
+        // the overshoot is bounded by span nesting depth and the B/E
+        // pairing stays balanced even when the ring fills mid-span.
+        if (events_.size() >= capacity_ && phase != 'E') {
+            ++dropped_;
+            return false;
+        }
+        TraceEvent e;
+        e.name = name;
+        e.tsUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+        e.arg = arg;
+        e.phase = phase;
+        e.hasArg = has_arg;
+        events_.push_back(e);
+        return true;
+    }
+
+    uint32_t tid_;
+    std::string threadName_;
+    size_t capacity_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<TraceEvent> events_;
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * Owns the rings and the trace epoch; flushes everything to one
+ * Chrome trace-event JSON document.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(size_t ringCapacity = 1 << 15,
+                    size_t maxRings = 512);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Mint a new single-writer ring (thread-safe). Returns nullptr
+     * when the ring budget is exhausted — callers must tolerate a
+     * null ring (every TraceRing entry point below does).
+     */
+    TraceRing *acquireRing(std::string threadName);
+
+    /** Events dropped across all rings (full-ring back-pressure). */
+    uint64_t droppedEvents() const;
+
+    /** The whole trace as {"traceEvents":[...]} JSON. */
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    size_t ringCapacity_;
+    size_t maxRings_;
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex m_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+/**
+ * RAII phase span. Null-ring safe; the closing 'E' is written only
+ * when the opening 'B' fit, so B/E pairs stay balanced even when the
+ * ring fills mid-span.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceRing *ring, const char *name)
+        : ring_(ring), name_(name)
+    {
+        open_ = ring_ != nullptr && ring_->push(name_, 'B');
+    }
+
+    ~ScopedSpan()
+    {
+        if (open_)
+            ring_->push(name_, 'E');
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceRing *ring_;
+    const char *name_;
+    bool open_ = false;
+};
+
+} // namespace cxl0::obs
+
+#endif // CXL0_OBS_TRACE_HH

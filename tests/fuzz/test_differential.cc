@@ -39,9 +39,10 @@ thread 1 on 1 {
     EXPECT_FALSE(res.crashed);
     EXPECT_TRUE(res.clean())
         << (res.findings.empty() ? "" : res.findings[0].detail);
-    // roundtrip + determinism/serde + 5 reductions + 2 thread-count
-    // gates + frontier + reference = 11 comparison gates.
-    EXPECT_EQ(res.gatesRun, 11u);
+    // roundtrip + determinism/serde + telemetry + 5 reductions +
+    // 2 thread-count gates + frontier + reference = 12 comparison
+    // gates.
+    EXPECT_EQ(res.gatesRun, 12u);
     EXPECT_TRUE(res.gatesSkipped.empty());
     EXPECT_FALSE(res.baseline.outcomes.empty());
 }
@@ -100,7 +101,7 @@ thread 0 on 0 {
     DiffResult off = runDifferential(sc, opts);
     EXPECT_TRUE(off.clean());
     // Everything except the reference gate.
-    EXPECT_EQ(off.gatesRun, 10u);
+    EXPECT_EQ(off.gatesRun, 11u);
 }
 
 TEST(Differential, FixedSeedSweepIsCleanOrSkipped)

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * The observability layer's own tests: registry merge semantics,
+ * tracer ring/JSON invariants, the muted-panic counter, the sampler
+ * lifecycle (including the start/stop races the TSan job hammers),
+ * and — the load-bearing one — report byte-identity with telemetry
+ * on vs off across all four checkers at 1 and 4 worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/cache.hh"
+#include "common/logging.hh"
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+using namespace cxl0;
+
+// ------------------------------------------------------ the registry
+
+TEST(Metrics, CountersSumAcrossShards)
+{
+    obs::Registry reg;
+    obs::MetricId c = reg.define("test.counter",
+                                 obs::MetricKind::Counter);
+    reg.add(0, c, 3);
+    reg.add(1, c, 4);
+    reg.add(63, c, 5);
+    // Shard 64 aliases slot 0 (shard % kMetricShards) — still summed
+    // once, because it lands in an existing cell.
+    reg.add(64, c, 10);
+    EXPECT_EQ(reg.value(c), 22u);
+}
+
+TEST(Metrics, GaugesMergeAsMax)
+{
+    obs::Registry reg;
+    obs::MetricId g = reg.define("test.gauge",
+                                 obs::MetricKind::Gauge);
+    reg.set(0, g, 7);
+    reg.set(1, g, 40);
+    reg.set(2, g, 12);
+    EXPECT_EQ(reg.value(g), 40u);
+    reg.set(1, g, 1); // a gauge can go down per shard
+    EXPECT_EQ(reg.value(g), 12u);
+}
+
+TEST(Metrics, HistogramsBucketAndSum)
+{
+    obs::Registry reg;
+    obs::MetricId h = reg.define("test.hist",
+                                 obs::MetricKind::Histogram);
+    reg.observe(0, h, 0);
+    reg.observe(0, h, 1);
+    reg.observe(1, h, 1000);
+    EXPECT_EQ(reg.value(h), 3u); // total observations
+    std::vector<obs::Registry::Sample> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "test.hist");
+    uint64_t total = 0;
+    for (uint64_t b : snap[0].buckets)
+        total += b;
+    EXPECT_EQ(total, 3u);
+    EXPECT_EQ(snap[0].buckets[obs::Registry::bucketOf(1000)], 1u);
+}
+
+TEST(Metrics, DefineIsIdempotent)
+{
+    obs::Registry reg;
+    obs::MetricId a = reg.define("dup", obs::MetricKind::Counter);
+    obs::MetricId b = reg.define("dup", obs::MetricKind::Counter);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, Bucketing)
+{
+    EXPECT_EQ(obs::Registry::bucketOf(0), 0u);
+    EXPECT_EQ(obs::Registry::bucketOf(1), 1u);
+    EXPECT_EQ(obs::Registry::bucketOf(2), 2u);
+    EXPECT_EQ(obs::Registry::bucketOf(3), 2u);
+    EXPECT_EQ(obs::Registry::bucketOf(4), 3u);
+}
+
+// -------------------------------------------------------- the tracer
+
+TEST(Trace, ScopedSpansStayBalanced)
+{
+    obs::Tracer tracer(16);
+    obs::TraceRing *ring = tracer.acquireRing("t0");
+    ASSERT_NE(ring, nullptr);
+    {
+        obs::ScopedSpan outer(ring, "outer");
+        obs::ScopedSpan inner(ring, "inner");
+    }
+    ASSERT_EQ(ring->size(), 4u);
+    EXPECT_EQ(ring->events()[0].phase, 'B');
+    EXPECT_EQ(ring->events()[3].phase, 'E');
+    EXPECT_STREQ(ring->events()[3].name, "outer");
+}
+
+TEST(Trace, FullRingDropsAndStaysBalanced)
+{
+    // Capacity 3: span a takes two slots, span b's B takes the last
+    // one — its E rides the nesting-depth overshoot so the pair
+    // still closes. Span c's B is dropped, and ScopedSpan then must
+    // not write an orphan E.
+    obs::Tracer tracer(3);
+    obs::TraceRing *ring = tracer.acquireRing("t0");
+    ASSERT_NE(ring, nullptr);
+    { obs::ScopedSpan a(ring, "a"); }
+    { obs::ScopedSpan b(ring, "b"); }
+    { obs::ScopedSpan c(ring, "c"); }
+    size_t b_count = 0, e_count = 0;
+    for (const obs::TraceEvent &e : ring->events()) {
+        b_count += e.phase == 'B';
+        e_count += e.phase == 'E';
+    }
+    EXPECT_EQ(b_count, 2u);
+    EXPECT_EQ(e_count, b_count);
+    EXPECT_EQ(tracer.droppedEvents(), 1u);
+}
+
+TEST(Trace, JsonShapeAndBalance)
+{
+    obs::Tracer tracer(64);
+    obs::TraceRing *r0 = tracer.acquireRing("shard-0");
+    obs::TraceRing *r1 = tracer.acquireRing("shard-1");
+    ASSERT_NE(r0, nullptr);
+    ASSERT_NE(r1, nullptr);
+    { obs::ScopedSpan s(r0, "expand"); }
+    r0->instant("steal", 3);
+    r1->counter("frontier", 17);
+    std::string json = tracer.toJson();
+    // Envelope + per-ring thread metadata.
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"shard-0\""), std::string::npos);
+    EXPECT_NE(json.find("\"shard-1\""), std::string::npos);
+    // Balanced B/E pairs.
+    size_t b_count = 0, e_count = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"B\"", pos)) !=
+           std::string::npos)
+        ++b_count, pos += 8;
+    pos = 0;
+    while ((pos = json.find("\"ph\":\"E\"", pos)) !=
+           std::string::npos)
+        ++e_count, pos += 8;
+    EXPECT_EQ(b_count, e_count);
+    EXPECT_EQ(b_count, 1u);
+    // Instants carry scope, counters carry a value.
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":17"), std::string::npos);
+    // Distinct tids per ring.
+    EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Trace, RingBudgetExhaustsToNull)
+{
+    obs::Tracer tracer(8, /*maxRings=*/2);
+    EXPECT_NE(tracer.acquireRing("a"), nullptr);
+    EXPECT_NE(tracer.acquireRing("b"), nullptr);
+    EXPECT_EQ(tracer.acquireRing("c"), nullptr);
+    // Null rings are safe everywhere.
+    obs::ScopedSpan s(nullptr, "noop");
+}
+
+// ------------------------------------------------- muted-panic count
+
+TEST(Logging, ScopedQuietErrorsCountsMutedPanics)
+{
+    uint64_t before_thread = mutedPanicCount();
+    uint64_t before_total = mutedPanicTotal();
+    {
+        ScopedQuietErrors quiet;
+        EXPECT_EQ(quiet.muted(), 0u);
+        try {
+            CXL0_PANIC("muted test panic");
+        } catch (const std::exception &) {
+        }
+        try {
+            CXL0_PANIC("second muted test panic");
+        } catch (const std::exception &) {
+        }
+        EXPECT_EQ(quiet.muted(), 2u);
+    }
+    EXPECT_EQ(mutedPanicCount() - before_thread, 2u);
+    EXPECT_EQ(mutedPanicTotal() - before_total, 2u);
+}
+
+// ------------------------------------------------------- the sampler
+
+TEST(Progress, StopAlwaysEmitsAFinalHeartbeat)
+{
+    obs::Telemetry tel;
+    obs::ProgressOptions opts;
+    opts.intervalMs = 100000; // never fires on its own
+    obs::ProgressSampler sampler(tel, opts);
+    sampler.start();
+    sampler.stop();
+    EXPECT_GE(sampler.heartbeats(), 1u);
+    EXPECT_GE(sampler.rssSamples().size(), 1u);
+    EXPECT_GT(sampler.peakRssBytes(), 0u);
+}
+
+TEST(Progress, HeartbeatJsonlHasTheContractFields)
+{
+    std::string path = testing::TempDir() + "obs_heartbeat.jsonl";
+    std::remove(path.c_str());
+    obs::Telemetry tel;
+    {
+        obs::ProgressOptions opts;
+        opts.intervalMs = 100000;
+        opts.heartbeatPath = path;
+        opts.label = "unit";
+        obs::ProgressSampler sampler(tel, opts);
+        sampler.start();
+        sampler.stop();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"label\":\"unit\""), std::string::npos);
+    EXPECT_NE(line.find("\"configs\":"), std::string::npos);
+    EXPECT_NE(line.find("\"rss_bytes\":"), std::string::npos);
+    EXPECT_NE(line.find("\"muted_panics\":"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Progress, StartStopRacesAreSafe)
+{
+    // The TSan target: many threads calling start()/stop()
+    // concurrently must neither race on the sampler thread handle
+    // nor deadlock. (Run under -fsanitize=thread in CI.)
+    obs::Telemetry tel;
+    obs::ProgressOptions opts;
+    opts.intervalMs = 1;
+    obs::ProgressSampler sampler(tel, opts);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> racers;
+    for (int t = 0; t < 4; ++t) {
+        racers.emplace_back([&, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 50; ++i) {
+                if ((i + t) % 2 == 0)
+                    sampler.start();
+                else
+                    sampler.stop();
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread &t : racers)
+        t.join();
+    sampler.stop();
+    EXPECT_GE(sampler.heartbeats(), 1u);
+}
+
+TEST(Progress, CurrentRssIsLive)
+{
+    EXPECT_GT(obs::currentRssBytes(), 0u);
+}
+
+// ----------------------------------- telemetry is metadata, not identity
+
+lang::Scenario
+loadCorpusScenario(const std::string &stem)
+{
+    std::string path = std::string(CXL0_SOURCE_DIR) +
+                       "/corpus/litmus/" + stem + ".cxl0";
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    lang::ParseResult pr = lang::parseScenario(ss.str());
+    EXPECT_TRUE(pr.ok())
+        << (pr.ok() ? "" : pr.error->render(path));
+    return pr.scenario;
+}
+
+struct IdentityCase
+{
+    const char *stem;
+    lang::CheckerKind checker;
+};
+
+/**
+ * The determinism contract, gated: for every checker and for worker
+ * counts 1 and 4, the report projection of a run with full telemetry
+ * (tracing + metric publication + a fast live sampler) is
+ * byte-identical to the telemetry-off run, and the interned-config
+ * count does not move.
+ */
+TEST(TelemetryIdentity, ReportsAreByteIdenticalAcrossAllCheckers)
+{
+    const IdentityCase cases[] = {
+        {"psn_ring", lang::CheckerKind::Explore},
+        {"litmus01_trace", lang::CheckerKind::Feasible},
+        {"refine_base_lwb", lang::CheckerKind::Refinement},
+        {"incl_rstore_stronger", lang::CheckerKind::Inclusion},
+    };
+    for (const IdentityCase &c : cases) {
+        lang::Scenario sc = loadCorpusScenario(c.stem);
+        for (size_t threads : {size_t{1}, size_t{4}}) {
+            lang::RunOptions opts;
+            opts.checker = c.checker;
+            opts.numThreads = threads;
+
+            lang::RunResult off = lang::runScenario(sc, opts);
+            ASSERT_TRUE(off.error.empty())
+                << c.stem << ": " << off.error;
+            std::string off_bytes =
+                check::serializeReport(off.report);
+
+            lang::RunResult on;
+            {
+                obs::TelemetryOptions topt;
+                topt.trace = true;
+                obs::Telemetry tel(topt);
+                obs::ScopedTelemetry scope(&tel);
+                obs::ProgressOptions popt;
+                popt.intervalMs = 1; // tick *during* the search
+                obs::ProgressSampler sampler(tel, popt);
+                sampler.start();
+                on = lang::runScenario(sc, opts);
+                sampler.stop();
+                EXPECT_GE(sampler.heartbeats(), 1u);
+            }
+            EXPECT_EQ(check::serializeReport(on.report), off_bytes)
+                << c.stem << " at " << threads << " thread(s)";
+            EXPECT_EQ(on.report.stats.configsInterned,
+                      off.report.stats.configsInterned)
+                << c.stem << " at " << threads << " thread(s)";
+            EXPECT_EQ(on.pass, off.pass);
+        }
+    }
+}
+
+TEST(TelemetryIdentity, TraceFileIsWellFormedForAShardedRun)
+{
+    lang::Scenario sc = loadCorpusScenario("psn_ring");
+    lang::RunOptions opts;
+    opts.checker = lang::CheckerKind::Explore;
+    opts.numThreads = 4;
+
+    obs::TelemetryOptions topt;
+    topt.trace = true;
+    obs::Telemetry tel(topt);
+    {
+        obs::ScopedTelemetry scope(&tel);
+        lang::RunResult r = lang::runScenario(sc, opts);
+        ASSERT_TRUE(r.error.empty());
+    }
+    std::string json = tel.tracer().toJson();
+    // One driver ring + one ring per worker shard.
+    EXPECT_NE(json.find("\"driver\""), std::string::npos);
+    for (int w = 0; w < 4; ++w) {
+        std::string name =
+            "\"explore-shard-" + std::to_string(w) + "\"";
+        EXPECT_NE(json.find(name), std::string::npos) << name;
+    }
+    size_t b_count = 0, e_count = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"B\"", pos)) !=
+           std::string::npos)
+        ++b_count, pos += 8;
+    pos = 0;
+    while ((pos = json.find("\"ph\":\"E\"", pos)) !=
+           std::string::npos)
+        ++e_count, pos += 8;
+    EXPECT_EQ(b_count, e_count);
+    EXPECT_GT(b_count, 0u);
+}
+
+TEST(TelemetryIdentity, RegistrySeesSearchCounters)
+{
+    lang::Scenario sc = loadCorpusScenario("psn_ring");
+    lang::RunOptions opts;
+    opts.checker = lang::CheckerKind::Explore;
+    opts.numThreads = 1;
+
+    obs::Telemetry tel;
+    lang::RunResult r;
+    {
+        obs::ScopedTelemetry scope(&tel);
+        r = lang::runScenario(sc, opts);
+    }
+    ASSERT_TRUE(r.error.empty());
+    // The final worker publish flushes the closing partial delta, so
+    // the registry's total matches the report exactly.
+    EXPECT_EQ(tel.registry().value(tel.mConfigsVisited),
+              r.report.stats.configsVisited);
+    EXPECT_EQ(tel.registry().value(tel.mConfigsInterned),
+              r.report.stats.configsInterned);
+}
+
+TEST(TelemetryIdentity, WallMsIsMeasuredButNeverSerialized)
+{
+    lang::Scenario sc = loadCorpusScenario("psn_ring");
+    lang::RunOptions opts;
+    opts.checker = lang::CheckerKind::Explore;
+    lang::RunResult r = lang::runScenario(sc, opts);
+    ASSERT_TRUE(r.error.empty());
+    EXPECT_GT(r.report.wallMs, 0.0);
+    // wallMs is telemetry: the cache's stable projection must not
+    // contain it (it would poison byte-identity verification).
+    check::CheckReport parsed;
+    ASSERT_TRUE(check::parseReport(
+        check::serializeReport(r.report), parsed));
+    EXPECT_EQ(parsed.wallMs, 0.0);
+}
+
+} // namespace

@@ -50,6 +50,7 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,12 +60,116 @@
 #include "lang/run.hh"
 #include "lang/scenario.hh"
 #include "lang/service.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
 
 using namespace cxl0;
 namespace fs = std::filesystem;
 
 namespace
 {
+
+/**
+ * Shared telemetry wiring for every subcommand:
+ *
+ *   --trace-out FILE   span trace as Chrome trace-event JSON
+ *   --progress         live progress line on stderr
+ *   --heartbeat FILE   append progress snapshots as JSONL
+ *
+ * Flags are recognized by tryParse() from inside each subcommand's
+ * option loop; begin() installs the process-wide Telemetry (and
+ * starts the sampler when asked for), finish() stops the sampler,
+ * writes the trace file, and uninstalls. Telemetry is metadata, not
+ * identity: turning any of these on never changes a verdict, an
+ * outcome set, or a JSON report field other than the wall-clock ones
+ * already excluded under --stable-json.
+ */
+struct TelemetryCli
+{
+    std::string traceOut;
+    std::string heartbeatPath;
+    bool progress = false;
+
+    std::unique_ptr<obs::Telemetry> tel;
+    std::unique_ptr<obs::ProgressSampler> sampler;
+
+    /** Consume a telemetry flag at argv[i]; false when not ours. */
+    bool tryParse(int argc, char **argv, int &i)
+    {
+        const char *a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             a);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--trace-out") == 0)
+            traceOut = val();
+        else if (std::strcmp(a, "--heartbeat") == 0)
+            heartbeatPath = val();
+        else if (std::strcmp(a, "--progress") == 0)
+            progress = true;
+        else
+            return false;
+        return true;
+    }
+
+    static void appendUsage()
+    {
+        std::fputs(
+            "  --trace-out FILE  write a Chrome trace-event span\n"
+            "                    trace (load in Perfetto)\n"
+            "  --progress        live progress line on stderr\n"
+            "  --heartbeat FILE  append progress snapshots (JSONL)\n",
+            stderr);
+    }
+
+    void begin(const std::string &label)
+    {
+        if (traceOut.empty() && heartbeatPath.empty() && !progress)
+            return;
+        obs::TelemetryOptions topt;
+        topt.trace = !traceOut.empty();
+        tel = std::make_unique<obs::Telemetry>(topt);
+        obs::install(tel.get());
+        if (progress || !heartbeatPath.empty()) {
+            obs::ProgressOptions popt;
+            popt.stderrLine = progress;
+            popt.heartbeatPath = heartbeatPath;
+            popt.label = label;
+            sampler =
+                std::make_unique<obs::ProgressSampler>(*tel, popt);
+            sampler->start();
+        }
+    }
+
+    /** Tear down; false when the trace file cannot be written. */
+    bool finish()
+    {
+        bool ok = true;
+        if (sampler) {
+            sampler->stop();
+            sampler.reset();
+        }
+        if (tel) {
+            obs::install(nullptr);
+            if (!traceOut.empty()) {
+                if (tel->tracer().writeFile(traceOut)) {
+                    std::printf("wrote %s\n", traceOut.c_str());
+                } else {
+                    std::fprintf(stderr,
+                                 "error: cannot write %s\n",
+                                 traceOut.c_str());
+                    ok = false;
+                }
+            }
+            tel.reset();
+        }
+        return ok;
+    }
+};
 
 struct CaseResult
 {
@@ -125,10 +230,12 @@ usage(const char *argv0)
         "  --spec V          refinement spec variant (base|lwb|psn)\n"
         "  --impl V          refinement impl variant (base|lwb|psn)\n"
         "  --out FILE        write the aggregate JSON report\n"
+        "  --stable-json     zero wall-clock fields in the JSON\n"
         "  --export DIR      write the built-in litmus corpus to DIR\n"
         "  --dump FILE       print FILE's canonical form and exit\n"
         "  --quiet           only print failures and the summary\n",
         argv0);
+    TelemetryCli::appendUsage();
     return 2;
 }
 
@@ -151,7 +258,7 @@ jsonEscape(std::string &out, const std::string &s)
 }
 
 std::string
-jsonReport(const std::vector<CaseResult> &cases)
+jsonReport(const std::vector<CaseResult> &cases, bool stable)
 {
     std::string out = "{\n  \"bench\": \"corpus\",\n";
     char buf[512];
@@ -176,6 +283,7 @@ jsonReport(const std::vector<CaseResult> &cases)
                 buf, sizeof buf,
                 "{\"checker\": \"%s\", \"verdict\": \"%s\", "
                 "\"configs\": %zu, \"seconds\": %.6f, "
+                "\"wall_ms\": %.3f, "
                 "\"configs_per_sec\": %.0f, \"outcomes\": %zu, "
                 "\"tau_skipped\": %zu, \"ample_skipped\": %zu, "
                 "\"crash_ample_skipped\": %zu, "
@@ -187,8 +295,12 @@ jsonReport(const std::vector<CaseResult> &cases)
                 "\"anchors_pass\": %s}",
                 lang::checkerKindName(c.run.checker),
                 check::checkVerdictName(r.verdict),
-                r.stats.configsVisited, r.stats.seconds,
-                static_cast<double>(r.stats.configsVisited) / sec,
+                r.stats.configsVisited,
+                stable ? 0.0 : r.stats.seconds,
+                stable ? 0.0 : r.wallMs,
+                stable ? 0.0
+                       : static_cast<double>(r.stats.configsVisited) /
+                             sec,
                 r.outcomes.size(), r.stats.tauMovesSkipped,
                 r.stats.ampleSkipped, r.stats.crashAmpleSkipped,
                 r.stats.sleepSetSkipped, r.stats.symmetryMerged,
@@ -306,6 +418,7 @@ campaignUsage(const char *argv0)
         "  --expect-violations require at least one violation\n"
         "  --quiet             only print the summary\n",
         argv0);
+    TelemetryCli::appendUsage();
     return 2;
 }
 
@@ -313,6 +426,7 @@ int
 campaignMain(int argc, char **argv)
 {
     inject::CampaignOptions opts;
+    TelemetryCli tcli;
     const char *out_path = nullptr;
     bool stable_json = false;
     bool expect_violations = false;
@@ -425,6 +539,8 @@ campaignMain(int argc, char **argv)
             stable_json = true;
         } else if (std::strcmp(a, "--expect-violations") == 0) {
             expect_violations = true;
+        } else if (tcli.tryParse(argc, argv, i)) {
+            // Telemetry flags: handled by the helper.
         } else if (std::strcmp(a, "--quiet") == 0 ||
                    std::strcmp(a, "-q") == 0) {
             quiet = true;
@@ -433,6 +549,7 @@ campaignMain(int argc, char **argv)
         }
     }
 
+    tcli.begin("campaign");
     auto t0 = std::chrono::steady_clock::now();
     inject::CampaignReport report;
     try {
@@ -444,6 +561,8 @@ campaignMain(int argc, char **argv)
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+    if (!tcli.finish())
+        return 2;
 
     if (!quiet) {
         for (const auto &[key, b] : report.perStructure)
@@ -500,6 +619,7 @@ replayUsage(const char *argv0)
         "  --hist-max-ops N    linearizability op bound\n"
         "  --time-budget-ms N  wall-clock budget per check\n",
         argv0);
+    TelemetryCli::appendUsage();
     return 2;
 }
 
@@ -507,6 +627,7 @@ int
 replayMain(int argc, char **argv)
 {
     inject::RunLimits limits;
+    TelemetryCli tcli;
     std::string expect = "violation";
     std::vector<std::string> files;
 
@@ -533,6 +654,8 @@ replayMain(int argc, char **argv)
             if (!parseCount(value(i), n) || n < 0)
                 return replayUsage(argv[0]);
             limits.caseTimeBudgetMs = static_cast<uint64_t>(n);
+        } else if (tcli.tryParse(argc, argv, i)) {
+            // Telemetry flags: handled by the helper.
         } else if (a[0] == '-') {
             return replayUsage(argv[0]);
         } else {
@@ -542,8 +665,11 @@ replayMain(int argc, char **argv)
     if (files.empty())
         return replayUsage(argv[0]);
 
+    tcli.begin("replay");
     bool all_match = true;
     for (const std::string &path : files) {
+        const obs::ScopedSpan replaySpan(obs::threadRing(),
+                                         "replay:case");
         std::string text, err;
         if (!readFile(path, text, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
@@ -575,6 +701,8 @@ replayMain(int argc, char **argv)
             std::printf("    %s\n", out.lin.explanation.c_str());
         all_match &= match;
     }
+    if (!tcli.finish())
+        return 2;
     return all_match ? 0 : 1;
 }
 
@@ -606,6 +734,7 @@ fuzzUsage(const char *argv0)
         "                      under DIR instead of generating\n"
         "  --quiet             only print findings and the summary\n",
         argv0);
+    TelemetryCli::appendUsage();
     return 2;
 }
 
@@ -665,6 +794,7 @@ int
 fuzzMain(int argc, char **argv)
 {
     fuzz::FarmOptions opts;
+    TelemetryCli tcli;
     const char *out_path = nullptr;
     const char *replay_dir = nullptr;
     const char *corpus_dir = nullptr;
@@ -727,6 +857,8 @@ fuzzMain(int argc, char **argv)
             stable_json = true;
         } else if (std::strcmp(a, "--replay") == 0) {
             replay_dir = value(i);
+        } else if (tcli.tryParse(argc, argv, i)) {
+            // Telemetry flags: handled by the helper.
         } else if (std::strcmp(a, "--quiet") == 0 ||
                    std::strcmp(a, "-q") == 0) {
             quiet = true;
@@ -735,10 +867,17 @@ fuzzMain(int argc, char **argv)
         }
     }
 
-    if (replay_dir)
-        return fuzzReplay(replay_dir, opts.diff, quiet);
+    tcli.begin("fuzz");
+    if (replay_dir) {
+        int rc = fuzzReplay(replay_dir, opts.diff, quiet);
+        if (!tcli.finish())
+            return 2;
+        return rc;
+    }
 
     fuzz::FarmReport report = fuzz::runFarm(opts);
+    if (!tcli.finish())
+        return 2;
 
     if (!quiet)
         for (const fuzz::FarmFinding &f : report.findings)
@@ -821,6 +960,7 @@ serveUsage(const char *argv0)
         "  --stable-json       zero wall-clock fields in the JSON\n"
         "  --quiet             only print failures and the summary\n",
         argv0);
+    TelemetryCli::appendUsage();
     return 2;
 }
 
@@ -828,6 +968,7 @@ int
 serveMain(int argc, char **argv)
 {
     lang::ServiceOptions so;
+    TelemetryCli tcli;
     std::vector<std::string> files;
     size_t repeat = 2;
     const char *out_path = nullptr;
@@ -874,6 +1015,8 @@ serveMain(int argc, char **argv)
             out_path = value(i);
         } else if (std::strcmp(a, "--stable-json") == 0) {
             stable_json = true;
+        } else if (tcli.tryParse(argc, argv, i)) {
+            // Telemetry flags: handled by the helper.
         } else if (std::strcmp(a, "--quiet") == 0 ||
                    std::strcmp(a, "-q") == 0) {
             quiet = true;
@@ -885,6 +1028,7 @@ serveMain(int argc, char **argv)
     }
     if (files.empty())
         return serveUsage(argv[0]);
+    tcli.begin("serve");
 
     // Parse the whole batch up front: a serve loop should never pay
     // the parse twice, and a broken file fails fast.
@@ -939,6 +1083,8 @@ serveMain(int argc, char **argv)
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+    if (!tcli.finish())
+        return 2;
 
     const check::CacheStats &cs = service.cacheStats();
     std::printf("serve: %zu request(s), %zu passed, %zu cache "
@@ -1067,7 +1213,9 @@ main(int argc, char **argv)
         return hashMain(argc - 1, argv + 1);
     std::vector<std::string> files;
     lang::RunOptions opts;
+    TelemetryCli tcli;
     const char *out_path = nullptr;
+    bool stable_json = false;
     bool quiet = false;
 
     auto value = [&](int &i) -> const char * {
@@ -1161,6 +1309,10 @@ main(int argc, char **argv)
             opts.refineImpl = v;
         } else if (std::strcmp(a, "--out") == 0) {
             out_path = value(i);
+        } else if (std::strcmp(a, "--stable-json") == 0) {
+            stable_json = true;
+        } else if (tcli.tryParse(argc, argv, i)) {
+            // Telemetry flags: handled by the helper.
         } else if (std::strcmp(a, "--export") == 0) {
             return exportCorpus(value(i));
         } else if (std::strcmp(a, "--dump") == 0) {
@@ -1191,6 +1343,7 @@ main(int argc, char **argv)
     if (files.empty())
         return usage(argv[0]);
 
+    tcli.begin("corpus");
     std::vector<CaseResult> cases;
     std::map<std::string, int> stems;
     for (const std::string &path : files) {
@@ -1204,14 +1357,22 @@ main(int argc, char **argv)
             c.name += std::to_string(n);
         }
         std::string text, err;
-        if (!readFile(path, text, err)) {
+        bool read_ok;
+        lang::ParseResult pr;
+        {
+            const obs::ScopedSpan parseSpan(obs::threadRing(),
+                                            "parse");
+            read_ok = readFile(path, text, err);
+            if (read_ok)
+                pr = lang::parseScenario(text);
+        }
+        if (!read_ok) {
             // An unreadable file fails its case but never aborts the
             // rest of the batch.
             c.parsed = false;
             c.parseError = err;
             std::fprintf(stderr, "error: %s\n", err.c_str());
         } else {
-            lang::ParseResult pr = lang::parseScenario(text);
             if (!pr.ok()) {
                 c.parsed = false;
                 c.parseError = pr.error->render(path);
@@ -1244,6 +1405,8 @@ main(int argc, char **argv)
         passed += c.pass();
     std::printf("corpus: %zu/%zu case(s) pass\n", passed,
                 cases.size());
+    if (!tcli.finish())
+        return 2;
 
     if (out_path) {
         std::ofstream out(out_path, std::ios::binary);
@@ -1252,7 +1415,7 @@ main(int argc, char **argv)
                          out_path);
             return 2;
         }
-        out << jsonReport(cases);
+        out << jsonReport(cases, stable_json);
         std::printf("wrote %s\n", out_path);
     }
     return passed == cases.size() ? 0 : 1;
