@@ -36,9 +36,11 @@
 #include <vector>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include "check/explorer.hh"
 #include "check/litmus.hh"
+#include "common/spill.hh"
 #include "obs/progress.hh"
 #include "obs/telemetry.hh"
 
@@ -130,6 +132,49 @@ run(const Cxl0Model &model, const Case &c, Reduction red,
     return m;
 }
 
+/** One phase of the out-of-core RSS gate: a sampled-RSS run. */
+struct OocPhase
+{
+    ExploreResult res;
+    uint64_t peakRssBytes = 0;
+    std::vector<obs::ProgressSampler::RssSample> rss;
+};
+
+/**
+ * Run the case under its own high-frequency RSS sampler. Unlike the
+ * per-mode getrusage watermark (monotone over the process), the
+ * sampled series is phase-local, which is what makes a
+ * spilled-vs-in-memory comparison meaningful at all — and why the
+ * out-of-core section must run before every other mode inflates the
+ * heap.
+ */
+OocPhase
+sampledRun(const Case &c, size_t budget, size_t num_threads,
+           const OutOfCoreOptions *ooc)
+{
+    obs::Telemetry tel;
+    obs::ProgressOptions popt;
+    popt.intervalMs = 2;
+    obs::ProgressSampler sampler(tel, popt);
+    sampler.start();
+
+    ExploreOptions opts = c.options;
+    opts.reduction = Reduction::None;
+    opts.numThreads = num_threads;
+    opts.maxConfigs = budget;
+    Cxl0Model model(c.config);
+    OocPhase p;
+    p.res = Explorer(model, c.program, opts).check(nullptr, ooc);
+
+    sampler.stop();
+    p.rss = sampler.rssSamples();
+    p.peakRssBytes = sampler.peakRssBytes();
+    uint64_t now = obs::currentRssBytes();
+    if (now > p.peakRssBytes)
+        p.peakRssBytes = now;
+    return p;
+}
+
 void
 emitMode(std::string *out, const char *mode, const ModeResult &m,
          bool last)
@@ -161,6 +206,7 @@ int
 main(int argc, char **argv)
 {
     const char *out_path = nullptr;
+    const char *rss_out_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0) {
             if (i + 1 >= argc) {
@@ -168,12 +214,67 @@ main(int argc, char **argv)
                 return 2;
             }
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--rss-out") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --rss-out requires a path\n");
+                return 2;
+            }
+            rss_out_path = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--out <json-path>]\n", argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--out <json-path>] "
+                "[--rss-out <rss-series-json-path>]\n",
+                argv[0]);
             return 2;
         }
     }
+
+    // ---- Out-of-core gate -------------------------------------------
+    // crash_heavy at a 10x config budget with spilling enabled must
+    // hold its sampled peak RSS within 1.5x of the in-memory 1x run:
+    // the frontier's cold end lives in (unlinked) spill files and the
+    // interning segments in shed-able file-backed mappings, so a 10x
+    // larger search must not cost 10x the resident footprint. Runs
+    // FIRST: both phases sample live RSS, and every later mode only
+    // inflates the heap they would inherit.
+    // 1x sized so real search data dominates the fixed process
+    // footprint in both phases: at smaller budgets the ratio mostly
+    // measured allocator noise on a few-MB baseline and flapped
+    // around the gate.
+    const Case ooc_case = ringCase(3, 1, true);
+    const size_t ooc_budget_1x = 50000;
+    OocPhase ooc_base = sampledRun(ooc_case, ooc_budget_1x, 2, nullptr);
+    OocPhase ooc_spilled;
+    {
+        const std::string spill_dir =
+            "/tmp/cxl0-bench-spill-" + std::to_string(::getpid());
+        ensureDir(spill_dir);
+        // Arena scope spans the whole run: the tables' segments map
+        // through it and must not outlive it.
+        ScopedSpillArena arena(spill_dir);
+        OutOfCoreOptions ooc;
+        ooc.spillDir = spill_dir;
+        // Deliberately tiny: the gate wants the spill path exercised,
+        // not merely available. The visited budget rides the clamp
+        // floor (one 256 KiB hot table per shard), so most of the
+        // visited set lives in cold pread-probed runs.
+        ooc.frontierSpillBudgetBytes = 1u << 14;
+        ooc.visitedSpillBudgetBytes = 1u << 14;
+        ooc_spilled =
+            sampledRun(ooc_case, 10 * ooc_budget_1x, 2, &ooc);
+        ::rmdir(spill_dir.c_str()); // files are unlinked-at-create
+    }
+    const double ooc_ratio =
+        ooc_base.peakRssBytes > 0
+            ? static_cast<double>(ooc_spilled.peakRssBytes) /
+                  static_cast<double>(ooc_base.peakRssBytes)
+            : 0.0;
+    const bool ooc_spill_engaged =
+        ooc_spilled.res.stats.spilledConfigs > 0;
+    const bool ooc_gate = ooc_spill_engaged && ooc_ratio > 0.0 &&
+                          ooc_ratio <= 1.5;
 
     std::vector<Case> cases{ringCase(2, 1), ringCase(3, 0),
                             ringCase(3, 1), ringCase(3, 1, true)};
@@ -366,6 +467,40 @@ main(int argc, char **argv)
                       rss_gate ? "true" : "false");
         json += rbuf;
     }
+    {
+        char obuf[1024];
+        std::snprintf(
+            obuf, sizeof obuf,
+            "  \"out_of_core\": {\n"
+            "    \"base\": {\"max_configs\": %zu, \"configs\": %zu, "
+            "\"outcomes\": %zu, \"truncated\": %s, "
+            "\"peak_rss_kb\": %zu},\n"
+            "    \"spilled\": {\"max_configs\": %zu, "
+            "\"configs\": %zu, \"outcomes\": %zu, \"truncated\": %s, "
+            "\"peak_rss_kb\": %zu, \"spilled_configs\": %zu, "
+            "\"spill_bytes\": %zu, \"inbox_batches\": %zu, "
+            "\"states_interned\": %zu, \"table_bytes\": %zu, "
+            "\"peak_visited_bytes\": %zu},\n"
+            "    \"rss_ratio\": %.3f, \"spill_engaged\": %s, "
+            "\"rss_gate_ooc\": %s},\n",
+            ooc_budget_1x, ooc_base.res.stats.configsVisited,
+            ooc_base.res.outcomes.size(),
+            ooc_base.res.truncated ? "true" : "false",
+            static_cast<size_t>(ooc_base.peakRssBytes / 1024),
+            10 * ooc_budget_1x, ooc_spilled.res.stats.configsVisited,
+            ooc_spilled.res.outcomes.size(),
+            ooc_spilled.res.truncated ? "true" : "false",
+            static_cast<size_t>(ooc_spilled.peakRssBytes / 1024),
+            ooc_spilled.res.stats.spilledConfigs,
+            ooc_spilled.res.stats.spillBytes,
+            ooc_spilled.res.stats.inboxBatches,
+            ooc_spilled.res.stats.statesInterned,
+            ooc_spilled.res.stats.tableBytes,
+            ooc_spilled.res.stats.peakVisitedBytes,
+            ooc_ratio, ooc_spill_engaged ? "true" : "false",
+            ooc_gate ? "true" : "false");
+        json += obuf;
+    }
     json += "  \"all_outcomes_match\": ";
     json += all_match ? "true" : "false";
     json += "\n}\n";
@@ -380,5 +515,48 @@ main(int argc, char **argv)
         std::fputs(json.c_str(), f);
         std::fclose(f);
     }
-    return all_match && rss_gate ? 0 : 1;
+    if (rss_out_path) {
+        // The per-phase RSS series of the out-of-core gate, as a CI
+        // artifact: each point is (ms into the phase, resident
+        // bytes), base then spilled.
+        std::string series =
+            "{\n  \"bench\": \"explorer_scaling_rss\",\n";
+        auto emitSeries =
+            [&](const char *name,
+                const std::vector<obs::ProgressSampler::RssSample>
+                    &samples,
+                bool last) {
+                series += std::string("  \"") + name + "\": [";
+                for (size_t si = 0; si < samples.size(); ++si) {
+                    char sbuf[96];
+                    std::snprintf(
+                        sbuf, sizeof sbuf,
+                        "%s{\"t_ms\": %llu, \"rss_bytes\": %llu}",
+                        si ? ", " : "",
+                        static_cast<unsigned long long>(
+                            samples[si].tMs),
+                        static_cast<unsigned long long>(
+                            samples[si].rssBytes));
+                    series += sbuf;
+                }
+                series += last ? "]\n" : "],\n";
+            };
+        emitSeries("base", ooc_base.rss, false);
+        emitSeries("spilled", ooc_spilled.rss, true);
+        series += "}\n";
+        std::FILE *f = std::fopen(rss_out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         rss_out_path);
+            return 2;
+        }
+        std::fputs(series.c_str(), f);
+        std::fclose(f);
+    }
+    if (!ooc_gate)
+        std::fprintf(stderr,
+                     "FAIL: out-of-core RSS gate (ratio %.3f, spill "
+                     "engaged: %s)\n",
+                     ooc_ratio, ooc_spill_engaged ? "yes" : "no");
+    return all_match && rss_gate && ooc_gate ? 0 : 1;
 }

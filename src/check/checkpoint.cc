@@ -1,0 +1,259 @@
+#include "check/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/spill.hh"
+
+namespace cxl0::check
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'X', 'L', '0', 'C', 'K', 'P', '1'};
+
+/** FNV-1a over the snapshot body; appended as the trailer. */
+uint64_t
+checksum(const char *p, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(p[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+putRaw(std::string &out, const void *p, size_t n)
+{
+    out.append(static_cast<const char *>(p), n);
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    putRaw(out, &v, sizeof v);
+}
+
+template <typename T>
+void
+putVec(std::string &out, const std::vector<T> &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    putU64(out, v.size());
+    putRaw(out, v.data(), v.size() * sizeof(T));
+}
+
+/** The stats subset a snapshot preserves, in a fixed field order. */
+void
+putStats(std::string &out, const SearchStats &s)
+{
+    putU64(out, s.configsVisited);
+    putU64(out, s.tauMovesSkipped);
+    putU64(out, s.ampleSkipped);
+    putU64(out, s.crashAmpleSkipped);
+    putU64(out, s.sleepSetSkipped);
+    putU64(out, s.symmetryMerged);
+    putU64(out, s.stealsAttempted);
+    putU64(out, s.stealsSucceeded);
+    putU64(out, s.spilledConfigs);
+    putU64(out, s.spillBytes);
+    putU64(out, s.inboxBatches);
+}
+
+/** Bounds-checked cursor; any overrun means a truncated file. */
+struct Cursor
+{
+    const char *p;
+    size_t left;
+
+    void take(void *out, size_t n)
+    {
+        if (n > left)
+            throw std::runtime_error(
+                "truncated checkpoint file (unexpected end of "
+                "data)");
+        std::memcpy(out, p, n);
+        p += n;
+        left -= n;
+    }
+
+    uint64_t u64()
+    {
+        uint64_t v;
+        take(&v, sizeof v);
+        return v;
+    }
+
+    template <typename T>
+    void vec(std::vector<T> &out, size_t maxElems)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        uint64_t n = u64();
+        if (n > maxElems || n * sizeof(T) > left)
+            throw std::runtime_error(
+                "corrupt checkpoint file (implausible section "
+                "length)");
+        out.resize(static_cast<size_t>(n));
+        take(out.data(), static_cast<size_t>(n) * sizeof(T));
+    }
+
+    void stats(SearchStats &s)
+    {
+        s.configsVisited = u64();
+        s.tauMovesSkipped = u64();
+        s.ampleSkipped = u64();
+        s.crashAmpleSkipped = u64();
+        s.sleepSetSkipped = u64();
+        s.symmetryMerged = u64();
+        s.stealsAttempted = u64();
+        s.stealsSucceeded = u64();
+        s.spilledConfigs = u64();
+        s.spillBytes = u64();
+        s.inboxBatches = u64();
+    }
+};
+
+} // namespace
+
+std::string
+checkpointPath(const std::string &dir)
+{
+    return dir + "/checkpoint.bin";
+}
+
+bool
+writeCheckpoint(const std::string &dir, const CheckpointData &d)
+{
+    if (!ensureDir(dir)) {
+        CXL0_WARN("checkpoint: cannot create directory '", dir, "'");
+        return false;
+    }
+    std::string buf;
+    putRaw(buf, kMagic, sizeof kMagic);
+    putU64(buf, d.fingerprint);
+    putU64(buf, d.totalVisited);
+    putU64(buf, d.checkpointsWritten);
+    putU64(buf, d.regsPerOutcome);
+    putU64(buf, d.stateStride);
+    putVec(buf, d.stateHashes);
+    putVec(buf, d.stateSpans);
+    putU64(buf, d.regStride);
+    putVec(buf, d.regHashes);
+    putVec(buf, d.regSpans);
+    putU64(buf, d.workers.size());
+    for (const WorkerSnapshot &w : d.workers) {
+        putVec(buf, w.visited);
+        putVec(buf, w.emitted);
+        putVec(buf, w.outcomeCrashed);
+        putVec(buf, w.outcomeRegs);
+        putStats(buf, w.stats);
+        putVec(buf, w.frontier);
+        putVec(buf, w.inbox);
+    }
+    putU64(buf, checksum(buf.data(), buf.size()));
+
+    // Atomic replace: a reader (or a resumed run after SIGKILL)
+    // only ever sees the previous complete snapshot or this one.
+    const std::string final_path = checkpointPath(dir);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp_path.c_str(), "wb");
+    if (f == nullptr) {
+        CXL0_WARN("checkpoint: fopen('", tmp_path, "') failed: ",
+                  std::strerror(errno));
+        return false;
+    }
+    bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    std::fclose(f);
+    if (ok)
+        ok = std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
+    if (!ok) {
+        CXL0_WARN("checkpoint: writing '", final_path, "' failed: ",
+                  std::strerror(errno));
+        std::remove(tmp_path.c_str());
+    }
+    return ok;
+}
+
+void
+readCheckpoint(const std::string &dir, CheckpointData &d)
+{
+    const std::string path = checkpointPath(dir);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw std::runtime_error("cannot open checkpoint '" + path +
+                                 "': " + std::strerror(errno));
+    std::string buf;
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        buf.append(chunk, n);
+    bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        throw std::runtime_error("cannot read checkpoint '" + path +
+                                 "'");
+
+    if (buf.size() < sizeof kMagic + sizeof(uint64_t) ||
+        std::memcmp(buf.data(), kMagic, sizeof kMagic) != 0)
+        throw std::runtime_error(
+            "'" + path + "' is not a cxl0 checkpoint file");
+    const size_t body = buf.size() - sizeof(uint64_t);
+    uint64_t stored;
+    std::memcpy(&stored, buf.data() + body, sizeof stored);
+    if (checksum(buf.data(), body) != stored)
+        throw std::runtime_error(
+            "checkpoint '" + path +
+            "' is corrupt (checksum mismatch; was the writing run "
+            "killed mid-rename or the file edited?)");
+
+    Cursor c{buf.data() + sizeof kMagic, body - sizeof kMagic};
+    d = CheckpointData{};
+    d.fingerprint = c.u64();
+    d.totalVisited = c.u64();
+    d.checkpointsWritten = c.u64();
+    d.regsPerOutcome = c.u64();
+    d.stateStride = c.u64();
+    // Element caps only sanity-bound against the remaining bytes;
+    // the checksum already vouches for integrity.
+    const size_t cap = buf.size();
+    c.vec(d.stateHashes, cap);
+    c.vec(d.stateSpans, cap);
+    d.regStride = c.u64();
+    c.vec(d.regHashes, cap);
+    c.vec(d.regSpans, cap);
+    uint64_t nworkers = c.u64();
+    if (nworkers > 4096)
+        throw std::runtime_error(
+            "corrupt checkpoint file (implausible worker count)");
+    d.workers.resize(static_cast<size_t>(nworkers));
+    for (WorkerSnapshot &w : d.workers) {
+        c.vec(w.visited, cap);
+        c.vec(w.emitted, cap);
+        c.vec(w.outcomeCrashed, cap);
+        c.vec(w.outcomeRegs, cap);
+        c.stats(w.stats);
+        c.vec(w.frontier, cap);
+        c.vec(w.inbox, cap);
+    }
+    if (c.left != 0)
+        throw std::runtime_error(
+            "corrupt checkpoint file (trailing bytes)");
+    if (d.stateHashes.size() * d.stateStride != d.stateSpans.size() ||
+        d.regHashes.size() * d.regStride != d.regSpans.size())
+        throw std::runtime_error(
+            "corrupt checkpoint file (table section shape "
+            "mismatch)");
+}
+
+} // namespace cxl0::check

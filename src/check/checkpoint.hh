@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Out-of-core options and checkpoint/resume snapshots for the
+ * sharded searches.
+ *
+ * A checkpoint is a full, self-contained snapshot of an explorer
+ * search taken at a quiescent pause barrier (every worker parked
+ * between configurations with its outbox flushed — see
+ * ShardedFrontier::configurePause): the interning tables in id
+ * order, each worker's visited set, emitted outcomes and partial
+ * stats, and each shard's queued frontier (spilled blocks included)
+ * and undelivered inbox. Restoring replays the tables by
+ * re-interning in id order — dense ids come from one counter, so a
+ * fresh table reassigns exactly the same ids — and re-pushes the
+ * frontiers, after which the search continues to the bit-identical
+ * outcome set and configsInterned count the uninterrupted run
+ * produces.
+ *
+ * These options deliberately do NOT live in CheckRequest: a request
+ * is a content-addressed cache key (check/cache.hh), and where a
+ * search spills or snapshots is execution plumbing, not identity.
+ *
+ * The snapshot file is a single binary blob written atomically
+ * (tmp + rename) with a trailing content checksum; a truncated,
+ * corrupt, or mismatched file fails with a clean std::runtime_error
+ * diagnostic, never a wrong resume.
+ */
+
+#ifndef CXL0_CHECK_CHECKPOINT_HH
+#define CXL0_CHECK_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/engine.hh"
+
+namespace cxl0::check
+{
+
+/**
+ * Execution-plumbing knobs for out-of-core search, threaded beside
+ * (never inside) the CheckRequest. Default-constructed = everything
+ * off; the searches then behave exactly as before.
+ */
+struct OutOfCoreOptions
+{
+    /**
+     * Directory for file-backed memory. Non-empty enables frontier
+     * spilling (per-shard spill files under it); the driver
+     * additionally installs a process-global SpillArena over it so
+     * the interning tables' large segments become file-backed
+     * (common/segmented.hh). Spill files are unlinked at creation —
+     * any exit, SIGKILL included, reclaims the space.
+     */
+    std::string spillDir;
+
+    /** Per-shard frontier byte budget before the cold half spills. */
+    size_t frontierSpillBudgetBytes = 32u << 20;
+
+    /** Per-shard hot visited-set byte budget before a sorted run is
+     *  flushed to its spill file (VisitedSet in engine.hh). */
+    size_t visitedSpillBudgetBytes = 16u << 20;
+
+    /** Directory checkpoints are written into (one checkpoint.bin,
+     *  atomically replaced). Empty = no checkpointing. */
+    std::string checkpointDir;
+
+    /** Admitted configurations between snapshots; 0 = off. */
+    size_t checkpointEvery = 0;
+
+    /** Directory to resume from (a prior run's checkpointDir).
+     *  Empty = fresh search. */
+    std::string resumeFrom;
+
+    /**
+     * Stop the search right after the Nth snapshot this run writes
+     * (0 = never). In-process SIGKILL stand-in for the resume tests:
+     * the truncated report is discarded and the run is resumed from
+     * the snapshot instead.
+     */
+    size_t haltAfterCheckpoints = 0;
+
+    bool anySpill() const { return !spillDir.empty(); }
+    bool anyCheckpoint() const
+    {
+        return (checkpointEvery > 0 && !checkpointDir.empty()) ||
+               !resumeFrom.empty();
+    }
+};
+
+/** One worker/shard's share of a snapshot. */
+struct WorkerSnapshot
+{
+    /** Every admitted config (sleep words ride inside entries). */
+    std::vector<PackedConfig> visited;
+    /** Emitted (register-file id, crashed mask) outcome keys. */
+    std::vector<uint64_t> emitted;
+    /** Partial outcomes: crashed mask + flat register block each. */
+    std::vector<uint32_t> outcomeCrashed;
+    std::vector<Value> outcomeRegs; //!< regsPerOutcome values each
+    /** Schedule counters (the subset checkpointing preserves). */
+    SearchStats stats;
+    /** Queued frontier configs, cold-to-hot (spilled blocks first). */
+    std::vector<PackedConfig> frontier;
+    /** Undelivered inbox configs (admission still ahead of them). */
+    std::vector<PackedConfig> inbox;
+};
+
+/** A whole search snapshot. */
+struct CheckpointData
+{
+    /** Hash of (model config, program, request): a snapshot resumes
+     *  only the exact search that wrote it. */
+    uint64_t fingerprint = 0;
+    uint64_t totalVisited = 0;
+    uint64_t checkpointsWritten = 0;
+    /** Values per serialized outcome (nthreads * nregs). */
+    uint64_t regsPerOutcome = 0;
+    /** Interned states, id order: hash + rawStride values each. */
+    uint64_t stateStride = 0;
+    std::vector<uint64_t> stateHashes;
+    std::vector<Value> stateSpans;
+    /** Interned register files, id order. */
+    uint64_t regStride = 0;
+    std::vector<uint64_t> regHashes;
+    std::vector<Value> regSpans;
+    std::vector<WorkerSnapshot> workers;
+};
+
+/** The snapshot file inside `dir`. */
+std::string checkpointPath(const std::string &dir);
+
+/**
+ * Serialize `d` into dir/checkpoint.bin atomically (written to a
+ * temp file, checksummed, renamed over the old snapshot). Returns
+ * false (with a warning) on I/O failure — the search continues, the
+ * previous snapshot survives.
+ */
+bool writeCheckpoint(const std::string &dir, const CheckpointData &d);
+
+/**
+ * Load dir/checkpoint.bin. Throws std::runtime_error with a precise
+ * diagnostic when the file is missing, truncated, corrupt
+ * (checksum), or structurally malformed.
+ */
+void readCheckpoint(const std::string &dir, CheckpointData &d);
+
+} // namespace cxl0::check
+
+#endif // CXL0_CHECK_CHECKPOINT_HH

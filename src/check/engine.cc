@@ -78,6 +78,11 @@ SearchStats::merge(const SearchStats &other)
     symmetryMerged += other.symmetryMerged;
     stealsAttempted += other.stealsAttempted;
     stealsSucceeded += other.stealsSucceeded;
+    spilledConfigs += other.spilledConfigs;
+    spillBytes += other.spillBytes;
+    inboxBatches += other.inboxBatches;
+    checkpointsWritten =
+        std::max(checkpointsWritten, other.checkpointsWritten);
     peakVisitedBytes += other.peakVisitedBytes;
     statesInterned = std::max(statesInterned, other.statesInterned);
     framesInterned = std::max(framesInterned, other.framesInterned);
@@ -210,26 +215,65 @@ namespace
 
 constexpr size_t kInitialSlots = 64;
 
+/** Slot arrays below this stay on the heap even with an arena
+ *  installed (a file + mapping per tiny table buys nothing). */
+constexpr size_t kSpillMinSetBytes = 256 * 1024;
+
 } // namespace
 
 FlatConfigSet::FlatConfigSet()
-    : slots_(kInitialSlots, empty()), mask_(kInitialSlots - 1)
 {
+    allocate(kInitialSlots);
 }
 
-PackedConfig
-FlatConfigSet::empty()
+FlatConfigSet::~FlatConfigSet()
 {
-    PackedConfig c;
-    c.state = kNoStateId;
-    return c;
+    release();
+}
+
+void
+FlatConfigSet::allocate(size_t capacity)
+{
+    slots_ = nullptr;
+    mapped_ = false;
+    arena_ = nullptr;
+    if (SpillArena *a = SpillArena::installed()) {
+        if (capacity * sizeof(PackedConfig) >= kSpillMinSetBytes) {
+            void *p = a->map(capacity * sizeof(PackedConfig));
+            if (p) {
+                slots_ = static_cast<PackedConfig *>(p);
+                mapped_ = true;
+                arena_ = a;
+            }
+        }
+    }
+    if (slots_ == nullptr)
+        slots_ = new PackedConfig[capacity];
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    // The bitmap is deliberately heap-resident: probes over empty
+    // slots touch only it, so a mostly-cold mapped slot array is
+    // never faulted in just to learn a slot is empty.
+    bits_.assign(capacity / 64, 0);
+}
+
+void
+FlatConfigSet::release()
+{
+    if (slots_ == nullptr)
+        return;
+    if (mapped_)
+        arena_->unmap(slots_, capacity_ * sizeof(PackedConfig));
+    else
+        delete[] slots_;
+    slots_ = nullptr;
 }
 
 bool
 FlatConfigSet::contains(const PackedConfig &c) const
 {
     size_t i = hashPacked(c) & mask_;
-    while (slots_[i].state != kNoStateId) {
+    while (occupied(i)) {
         if (slots_[i] == c)
             return true;
         i = (i + 1) & mask_;
@@ -237,19 +281,40 @@ FlatConfigSet::contains(const PackedConfig &c) const
     return false;
 }
 
+PackedConfig *
+FlatConfigSet::find(const PackedConfig &c)
+{
+    size_t i = hashPacked(c) & mask_;
+    while (occupied(i)) {
+        if (slots_[i] == c)
+            return &slots_[i];
+        i = (i + 1) & mask_;
+    }
+    return nullptr;
+}
+
+void
+FlatConfigSet::clear()
+{
+    release();
+    count_ = 0;
+    allocate(kInitialSlots);
+}
+
 bool
 FlatConfigSet::insert(const PackedConfig &c)
 {
     size_t i = hashPacked(c) & mask_;
-    while (slots_[i].state != kNoStateId) {
+    while (occupied(i)) {
         if (slots_[i] == c)
             return false;
         i = (i + 1) & mask_;
     }
     slots_[i] = c;
+    setOccupied(i);
     ++count_;
     // Keep the load factor below ~0.7 so probes stay short.
-    if ((count_ + 1) * 10 > slots_.size() * 7)
+    if ((count_ + 1) * 10 > capacity_ * 7)
         grow();
     return true;
 }
@@ -258,7 +323,7 @@ PackedConfig *
 FlatConfigSet::insertOrFind(const PackedConfig &c, bool *inserted)
 {
     size_t i = hashPacked(c) & mask_;
-    while (slots_[i].state != kNoStateId) {
+    while (occupied(i)) {
         if (slots_[i] == c) {
             *inserted = false;
             return &slots_[i];
@@ -266,9 +331,10 @@ FlatConfigSet::insertOrFind(const PackedConfig &c, bool *inserted)
         i = (i + 1) & mask_;
     }
     slots_[i] = c;
+    setOccupied(i);
     ++count_;
     *inserted = true;
-    if ((count_ + 1) * 10 > slots_.size() * 7) {
+    if ((count_ + 1) * 10 > capacity_ * 7) {
         grow();
         // The table moved; re-locate the entry just inserted.
         i = hashPacked(c) & mask_;
@@ -281,23 +347,238 @@ FlatConfigSet::insertOrFind(const PackedConfig &c, bool *inserted)
 void
 FlatConfigSet::grow()
 {
-    std::vector<PackedConfig> bigger(slots_.size() * 2, empty());
-    size_t mask = bigger.size() - 1;
-    for (const PackedConfig &c : slots_) {
-        if (c.state == kNoStateId)
+    PackedConfig *oldSlots = slots_;
+    size_t oldCapacity = capacity_;
+    bool oldMapped = mapped_;
+    SpillArena *oldArena = arena_;
+    std::vector<uint64_t> oldBits = std::move(bits_);
+
+    allocate(oldCapacity * 2);
+    for (size_t i = 0; i < oldCapacity; ++i) {
+        if (!((oldBits[i >> 6] >> (i & 63)) & 1))
             continue;
-        size_t i = hashPacked(c) & mask;
-        while (bigger[i].state != kNoStateId)
-            i = (i + 1) & mask;
-        bigger[i] = c;
+        const PackedConfig &c = oldSlots[i];
+        size_t j = hashPacked(c) & mask_;
+        while (occupied(j))
+            j = (j + 1) & mask_;
+        slots_[j] = c;
+        setOccupied(j);
     }
-    slots_ = std::move(bigger);
-    mask_ = mask;
+    if (oldMapped)
+        oldArena->unmap(oldSlots,
+                        oldCapacity * sizeof(PackedConfig));
+    else
+        delete[] oldSlots;
+}
+
+// ------------------------------------------------------------------
+// VisitedSet
+// ------------------------------------------------------------------
+
+void
+VisitedSet::configureSpill(SpillFile *file, size_t hotBudgetBytes)
+{
+    if (file == nullptr || !file->valid())
+        return;
+    spill_ = file;
+    // At least one hot table's worth of entries between flushes, so
+    // a pathological budget cannot flush on every insert.
+    hotBudgetBytes_ =
+        hotBudgetBytes < kSpillMinSetBytes ? kSpillMinSetBytes
+                                           : hotBudgetBytes;
+}
+
+VisitedSet::ColdRef
+VisitedSet::probeCold(const PackedConfig &c) const
+{
+    ColdRef ref;
+    if (runs_.empty())
+        return ref;
+    const uint32_t h =
+        static_cast<uint32_t>(hashPacked(c) >> 32);
+    // Newest run first: converging paths mostly rejoin recently
+    // flushed work, and a hit ends the scan.
+    for (size_t r = runs_.size(); r-- > 0;) {
+        const Run &run = runs_[r];
+        auto it = std::lower_bound(run.prefixes.begin(),
+                                   run.prefixes.end(), h);
+        for (; it != run.prefixes.end() && *it == h; ++it) {
+            const size_t idx =
+                static_cast<size_t>(it - run.prefixes.begin());
+            PackedConfig stored;
+            if (!spill_->readAt(run.base +
+                                    idx * sizeof(PackedConfig),
+                                &stored, sizeof stored))
+                CXL0_ASSERT(false, "visited spill read failed");
+            if (stored == c) {
+                ref.found = true;
+                ref.run = r;
+                ref.idx = idx;
+                ref.entry = stored;
+                return ref;
+            }
+        }
+    }
+    return ref;
+}
+
+void
+VisitedSet::maybeFlush()
+{
+    if (spill_ == nullptr ||
+        hot_.size() * sizeof(PackedConfig) < hotBudgetBytes_)
+        return;
+    // Sort the hot entries by content hash (ties broken by content,
+    // so the run layout is schedule-independent for a given entry
+    // set) and append them as one immutable run. Only the 4-byte
+    // hash prefixes stay resident.
+    std::vector<PackedConfig> entries;
+    entries.reserve(hot_.size());
+    hot_.forEach(
+        [&](const PackedConfig &e) { entries.push_back(e); });
+    std::sort(entries.begin(), entries.end(),
+              [](const PackedConfig &a, const PackedConfig &b) {
+                  const uint64_t ha = hashPacked(a),
+                                 hb = hashPacked(b);
+                  if (ha != hb)
+                      return ha < hb;
+                  if (a.state != b.state)
+                      return a.state < b.state;
+                  if (a.regs != b.regs)
+                      return a.regs < b.regs;
+                  if (a.pc != b.pc)
+                      return a.pc < b.pc;
+                  if (a.alive != b.alive)
+                      return a.alive < b.alive;
+                  return a.crash < b.crash;
+              });
+    Run run;
+    run.base = spill_->append(entries.data(),
+                              entries.size() *
+                                  sizeof(PackedConfig));
+    run.prefixes.reserve(entries.size());
+    for (const PackedConfig &e : entries)
+        run.prefixes.push_back(
+            static_cast<uint32_t>(hashPacked(e) >> 32));
+    coldCount_ += entries.size();
+    runs_.push_back(std::move(run));
+    hot_.clear();
+}
+
+bool
+VisitedSet::contains(const PackedConfig &c) const
+{
+    return hot_.contains(c) || probeCold(c).found;
+}
+
+bool
+VisitedSet::insert(const PackedConfig &c)
+{
+    if (hot_.contains(c) || probeCold(c).found)
+        return false;
+    hot_.insert(c);
+    maybeFlush();
+    return true;
+}
+
+VisitedSet::Admit
+VisitedSet::admit(PackedConfig &c)
+{
+    if (PackedConfig *stored = hot_.find(c)) {
+        const uint32_t both = stored->sleep & c.sleep;
+        if (both == stored->sleep)
+            return Admit::Duplicate;
+        stored->sleep = both;
+        c.sleep = both;
+        return Admit::Readmitted;
+    }
+    ColdRef ref = probeCold(c);
+    if (ref.found) {
+        const uint32_t both = ref.entry.sleep & c.sleep;
+        if (both == ref.entry.sleep)
+            return Admit::Duplicate;
+        ref.entry.sleep = both;
+        if (!spill_->writeAt(runs_[ref.run].base +
+                                 ref.idx * sizeof(PackedConfig),
+                             &ref.entry, sizeof ref.entry))
+            CXL0_ASSERT(false, "visited spill write-back failed");
+        c.sleep = both;
+        return Admit::Readmitted;
+    }
+    hot_.insert(c);
+    maybeFlush();
+    return Admit::Inserted;
+}
+
+void
+ConfigFrontier::maybeSpill()
+{
+    const size_t live = memSize();
+    if (live < 2 ||
+        live * sizeof(PackedConfig) <= spillBudgetBytes_)
+        return;
+    // Spill the cold half — exactly the entries stealHalf would
+    // take — as one contiguous block. The hot half keeps the
+    // owner's locality; the block re-enters through pop() (or a
+    // steal) once the hot part drains.
+    const size_t k = live / 2;
+    spillBuf_.clear();
+    if (policy_ == FrontierPolicy::DepthFirst) {
+        spillBuf_.insert(spillBuf_.end(),
+                         stack_.begin() + static_cast<ptrdiff_t>(base_),
+                         stack_.begin() +
+                             static_cast<ptrdiff_t>(base_ + k));
+        base_ += k;
+        if (base_ > stack_.size() - base_) {
+            // Same amortized compaction as stealHalf.
+            stack_.erase(stack_.begin(),
+                         stack_.begin() +
+                             static_cast<ptrdiff_t>(base_));
+            base_ = 0;
+        }
+    } else {
+        spillBuf_.insert(spillBuf_.end(),
+                         queue_.end() - static_cast<ptrdiff_t>(k),
+                         queue_.end());
+        queue_.erase(queue_.end() - static_cast<ptrdiff_t>(k),
+                     queue_.end());
+    }
+    const size_t blockBytes = spillBuf_.size() * sizeof(PackedConfig);
+    uint64_t off = spill_->append(spillBuf_.data(), blockBytes);
+    blocks_.push_back(SpillBlock{off, spillBuf_.size()});
+    spilledNow_ += spillBuf_.size();
+    spilledTotal_ += spillBuf_.size();
+    spillBytesTotal_ += blockBytes;
+    spillBuf_.clear();
+}
+
+void
+ConfigFrontier::refillFromSpill()
+{
+    SpillBlock b = blocks_.front();
+    blocks_.pop_front();
+    spillBuf_.resize(b.count);
+    bool ok = spill_->readAt(b.offset, spillBuf_.data(),
+                             b.count * sizeof(PackedConfig));
+    CXL0_ASSERT(ok, "frontier spill block unreadable");
+    // Bypass push(): a refilled block must not immediately re-spill.
+    for (const PackedConfig &c : spillBuf_) {
+        if (policy_ == FrontierPolicy::DepthFirst)
+            stack_.push_back(c);
+        else
+            queue_.push_back(c);
+    }
+    spilledNow_ -= b.count;
+    spillBuf_.clear();
+    if (blocks_.empty())
+        spill_->clear(); // fully drained: reclaim the file space
 }
 
 PackedConfig
 ConfigFrontier::pop()
 {
+    if (memSize() == 0 && spilledNow_ != 0)
+        refillFromSpill();
     if (policy_ == FrontierPolicy::DepthFirst) {
         PackedConfig c = stack_.back();
         stack_.pop_back();
@@ -316,6 +597,11 @@ ConfigFrontier::pop()
 size_t
 ConfigFrontier::stealHalf(std::vector<PackedConfig> &out)
 {
+    // A frontier whose live entries all sit in spill blocks is
+    // nonempty but has nothing in memory: re-admit the oldest block
+    // so the thief leaves with real work.
+    if (memSize() == 0 && spilledNow_ != 0)
+        refillFromSpill();
     if (policy_ == FrontierPolicy::DepthFirst) {
         size_t live = stack_.size() - base_;
         size_t k = (live + 1) / 2;
@@ -370,6 +656,102 @@ ShardedFrontier::send(size_t shard, const PackedConfig &c)
         sh.inbox.push_back(c);
     }
     sh.cv.notify_one();
+}
+
+void
+ShardedFrontier::sendBuffered(size_t w, size_t shard,
+                              const PackedConfig &c)
+{
+    Shard &sh = *shards_[w];
+    if (sh.outbox.empty())
+        sh.outbox.resize(shards_.size());
+    // Counted pending at buffer time: the termination barrier treats
+    // a buffered config exactly like a delivered one, so batching
+    // can never fake an empty search.
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    sh.outbox[shard].push_back(c);
+    ++sh.outboxBuffered;
+    if (sh.outbox[shard].size() >= kSendBatch)
+        flushDest(sh, shard);
+}
+
+void
+ShardedFrontier::flushOutbox(size_t w)
+{
+    Shard &sh = *shards_[w];
+    if (sh.outboxBuffered == 0)
+        return;
+    for (size_t d = 0; d < sh.outbox.size(); ++d)
+        if (!sh.outbox[d].empty())
+            flushDest(sh, d);
+}
+
+void
+ShardedFrontier::flushDest(Shard &sh, size_t dest)
+{
+    std::vector<PackedConfig> &block = sh.outbox[dest];
+    Shard &dst = *shards_[dest];
+    {
+        std::lock_guard<std::mutex> lock(dst.m);
+        dst.inbox.insert(dst.inbox.end(), block.begin(),
+                         block.end());
+    }
+    dst.cv.notify_one();
+    sh.outboxBuffered -= block.size();
+    block.clear();
+    ++sh.inboxBatches;
+}
+
+void
+ShardedFrontier::pausePoint(size_t w)
+{
+    // Arrive with an empty outbox: once every worker is here, each
+    // queued config sits in a frontier, a spill block, or an inbox —
+    // the exact inventory the checkpoint callback serializes.
+    flushOutbox(w);
+    std::unique_lock<std::mutex> lock(pauseM_);
+    if (!pausePending_.load(std::memory_order_acquire))
+        return; // barrier already completed behind us
+    const uint64_t epoch = pauseEpoch_;
+    ++pauseArrived_;
+    for (;;) {
+        if (pauseEpoch_ != epoch || stopped())
+            return;
+        if (pauseArrived_ ==
+            activeWorkers_.load(std::memory_order_relaxed)) {
+            // Last arriver leads: the search is quiescent. The lock
+            // is dropped around the callback — every other worker is
+            // parked (arrived or exited), so nothing mutates the
+            // rendezvous state meanwhile, and the callback may call
+            // stopAll() (checkpoint-then-halt) without deadlocking
+            // on pauseM_.
+            if (pauseCb_) {
+                lock.unlock();
+                pauseCb_();
+                lock.lock();
+            }
+            pausePending_.store(false, std::memory_order_release);
+            pauseArrived_ = 0;
+            ++pauseEpoch_;
+            pauseCv_.notify_all();
+            return;
+        }
+        pauseCv_.wait(lock);
+    }
+}
+
+void
+ShardedFrontier::workerExit(size_t w)
+{
+    flushOutbox(w);
+    if (activeWorkers_.load(std::memory_order_acquire) == 0)
+        return; // pause rendezvous never configured
+    std::lock_guard<std::mutex> lock(pauseM_);
+    activeWorkers_.fetch_sub(1, std::memory_order_acq_rel);
+    // A pending rendezvous may now be complete without another
+    // arrival; wake the waiters so one of them takes the lead
+    // (pausePoint re-evaluates arrived == active on every wake).
+    pauseCv_.notify_all();
 }
 
 void
@@ -447,6 +829,12 @@ ShardedFrontier::stopAll()
 {
     stop_.store(true, std::memory_order_release);
     wakeAll();
+    // Release any workers parked at a pause rendezvous: their wait
+    // loop re-checks stopped() on every wake.
+    {
+        std::lock_guard<std::mutex> lock(pauseM_);
+    }
+    pauseCv_.notify_all();
 }
 
 void

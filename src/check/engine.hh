@@ -64,7 +64,9 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/segmented.hh"
+#include "common/spill.hh"
 #include "model/label.hh"
 #include "model/semantics.hh"
 #include "model/state_table.hh"
@@ -296,6 +298,21 @@ struct SearchStats
     size_t stealsAttempted = 0;
     /** Steal attempts that came back with at least one config. */
     size_t stealsSucceeded = 0;
+    /**
+     * Configurations the frontier pushed out to per-shard spill
+     * files under memory pressure (out-of-core mode; each spilled
+     * config is re-admitted from disk before the search can drain).
+     * Scheduling-dependent, like the steal counters: excluded from
+     * the deterministic report projection.
+     */
+    size_t spilledConfigs = 0;
+    /** Bytes written to frontier spill files (cumulative). */
+    size_t spillBytes = 0;
+    /** Cross-shard inbox handoff batches this worker flushed (each
+     *  batch moves a block of configs under one lock acquisition). */
+    size_t inboxBatches = 0;
+    /** Snapshots written at quiescent barriers during this run. */
+    size_t checkpointsWritten = 0;
     /** Wall-clock seconds inside the checker. */
     double seconds = 0.0;
 
@@ -436,16 +453,29 @@ uint64_t hashPacked(const PackedConfig &c);
 
 /**
  * Open-addressed set of PackedConfigs (linear probing, power-of-two
- * capacity, no deletion). Entries with state == kNoStateId are empty
- * slots; real configs always carry a valid interned id. One instance
- * per shard worker; never shared across threads.
+ * capacity, no deletion). One instance per shard worker; never
+ * shared across threads.
+ *
+ * Occupancy lives in a separate heap-resident bitmap (1 bit/slot)
+ * rather than a sentinel value inside the slots. That is what lets
+ * the slot array itself be arena-mapped in out-of-core mode: probes
+ * over empty slots consult only the bitmap and never fault a cold
+ * (or never-written) mapped page, and fresh zero file pages need no
+ * sentinel fill pass.
  */
 class FlatConfigSet
 {
   public:
     FlatConfigSet();
+    ~FlatConfigSet();
+    FlatConfigSet(const FlatConfigSet &) = delete;
+    FlatConfigSet &operator=(const FlatConfigSet &) = delete;
 
     bool contains(const PackedConfig &c) const;
+
+    /** Stored entry equal to `c` (sleep word excluded), or null.
+     *  Same mutation/invalidation contract as insertOrFind. */
+    PackedConfig *find(const PackedConfig &c);
 
     /** Insert; returns true when the config was not present. */
     bool insert(const PackedConfig &c);
@@ -461,18 +491,177 @@ class FlatConfigSet
                                bool *inserted);
 
     size_t size() const { return count_; }
+
+    /** Heap/arena bytes of the slots plus the occupancy bitmap. */
     size_t bytes() const
     {
-        return slots_.capacity() * sizeof(PackedConfig);
+        return capacity_ * sizeof(PackedConfig) +
+               bits_.capacity() * sizeof(uint64_t);
+    }
+
+    /**
+     * Visit every stored config (arbitrary order). Checkpointing
+     * serializes the visited set through this; sleep words ride
+     * along inside the entries.
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < capacity_; ++i)
+            if (occupied(i))
+                fn(slots_[i]);
+    }
+
+    /** Drop every entry and shrink back to the initial capacity. */
+    void clear();
+
+  private:
+    bool occupied(size_t i) const
+    {
+        return (bits_[i >> 6] >> (i & 63)) & 1;
+    }
+    void setOccupied(size_t i)
+    {
+        bits_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    void allocate(size_t capacity);
+    void release();
+    void grow();
+
+    PackedConfig *slots_ = nullptr;
+    size_t capacity_ = 0;
+    size_t mask_ = 0;
+    size_t count_ = 0;
+    std::vector<uint64_t> bits_; //!< occupancy, 1 bit per slot
+    bool mapped_ = false;        //!< slots_ is arena-mapped
+    SpillArena *arena_ = nullptr;
+};
+
+/**
+ * Two-tier visited set for out-of-core search: a bounded in-RAM
+ * "hot" FlatConfigSet plus immutable "cold" runs on a SpillFile.
+ *
+ * Resident memory per stored configuration must be sublinear for
+ * peak RSS to stay flat while the explored set grows — an mmap'd
+ * hash table does not get there, because dedup probes are uniform
+ * over the slots and refault every page between sheds. Instead,
+ * when the hot table reaches its byte budget its entries are sorted
+ * by content hash and appended to the spill file as one run, and
+ * only a 4-byte hash prefix per entry stays on the heap (sorted, so
+ * a probe is a binary search per run). Confirming a prefix match
+ * reads the 32-byte entry back with pread(2): the page cache absorbs
+ * those reads without charging this process's resident set, which is
+ * the whole trick. Cold sleep-word merges write the updated entry
+ * back in place with pwrite; hashes exclude the sleep word, so run
+ * order is unaffected.
+ *
+ * Exactness: probes always confirm against the full stored entry,
+ * so dedup decisions are identical to FlatConfigSet's — hash
+ * collisions cost a read, never an answer. Without configureSpill()
+ * this is a zero-overhead passthrough to FlatConfigSet.
+ *
+ * Single-owner, like the hot table it wraps.
+ */
+class VisitedSet
+{
+  public:
+    /** Admission outcome of one offered configuration. */
+    enum class Admit
+    {
+        Inserted,   //!< genuinely new; caller counts + expands it
+        Readmitted, //!< known, but the sleep-word merge shrank the
+                    //!< stored word; re-expand with the merged word
+        Duplicate,  //!< known and the stored word already covers it
+    };
+
+    /** Enable the cold tier: flush the hot table to `file` whenever
+     *  it exceeds `hotBudgetBytes` of entries. Call before any
+     *  insert; `file` must outlive this set. */
+    void configureSpill(SpillFile *file, size_t hotBudgetBytes);
+
+    bool contains(const PackedConfig &c) const;
+
+    /** Insert; returns true when the config was not present. */
+    bool insert(const PackedConfig &c);
+
+    /**
+     * The explorer's admission rule in one step: insert `c` if new,
+     * otherwise intersect sleep words with the stored entry (hot:
+     * in place; cold: pwrite-back). On Readmitted, c.sleep carries
+     * the merged word out.
+     */
+    Admit admit(PackedConfig &c);
+
+    size_t size() const { return hot_.size() + coldCount_; }
+
+    /** Heap/arena bytes (cold file bytes excluded: not resident). */
+    size_t bytes() const
+    {
+        size_t b = hot_.bytes();
+        for (const Run &r : runs_)
+            b += r.prefixes.capacity() * sizeof(uint32_t);
+        return b;
+    }
+
+    uint64_t spilledEntries() const { return coldCount_; }
+    uint64_t spilledBytes() const
+    {
+        return coldCount_ * sizeof(PackedConfig);
+    }
+
+    /** Visit every stored config (arbitrary order), cold runs
+     *  first. Cold entries are streamed back in chunks. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        PackedConfig buf[256];
+        for (const Run &r : runs_) {
+            size_t left = r.prefixes.size(), i = 0;
+            while (left > 0) {
+                size_t n = left < 256 ? left : 256;
+                if (!spill_->readAt(r.base +
+                                        i * sizeof(PackedConfig),
+                                    buf, n * sizeof(PackedConfig)))
+                    CXL0_ASSERT(false,
+                                "visited spill read failed");
+                for (size_t k = 0; k < n; ++k)
+                    fn(buf[k]);
+                i += n;
+                left -= n;
+            }
+        }
+        hot_.forEach(fn);
     }
 
   private:
-    static PackedConfig empty();
-    void grow();
+    /** One immutable flushed run: entries at file offset `base`,
+     *  sorted by content hash; `prefixes` holds the top 32 bits of
+     *  each hash in that order (sorted too, since it is a monotone
+     *  projection of a sorted sequence). Half the resident cost of
+     *  full hashes; a prefix collision just costs one extra pread
+     *  confirm, never a wrong answer. */
+    struct Run
+    {
+        uint64_t base = 0;
+        std::vector<uint32_t> prefixes;
+    };
 
-    std::vector<PackedConfig> slots_;
-    size_t mask_;
-    size_t count_ = 0;
+    /** Cold lookup: run index + entry index, or found=false. */
+    struct ColdRef
+    {
+        bool found = false;
+        size_t run = 0;
+        size_t idx = 0;
+        PackedConfig entry;
+    };
+    ColdRef probeCold(const PackedConfig &c) const;
+    void maybeFlush();
+
+    FlatConfigSet hot_;
+    SpillFile *spill_ = nullptr; //!< null = in-memory only
+    size_t hotBudgetBytes_ = 0;
+    size_t coldCount_ = 0;
+    std::vector<Run> runs_;
 };
 
 /**
@@ -594,6 +783,17 @@ class FlatDepthMap
  * The set of configurations awaiting expansion, behind a policy seam:
  * DFS uses a contiguous stack, BFS a deque. One instance per shard;
  * ShardedFrontier composes N of them with handoff inboxes.
+ *
+ * Out-of-core mode (configureSpill): when the in-memory part grows
+ * past a byte budget, the cold half — the same end stealHalf takes —
+ * is serialized to the shard's spill file as one block and
+ * re-admitted (oldest block first) once the hot part drains. Spilling
+ * only *reorders* expansion: every spilled config re-enters this
+ * same frontier before the search can drain (size() counts it
+ * throughout, so the termination barrier is untouched), and
+ * admission stayed hash-pinned when it was first queued — so the
+ * reduced graph and outcome set are unchanged, exactly as for work
+ * stealing.
  */
 class ConfigFrontier
 {
@@ -604,27 +804,35 @@ class ConfigFrontier
     {
     }
 
+    /**
+     * Enable spilling: when the in-memory part exceeds
+     * `budgetBytes`, the cold half moves to `file` (owned by the
+     * caller, same lifetime as this frontier). Call before the
+     * search starts.
+     */
+    void configureSpill(SpillFile *file, size_t budgetBytes)
+    {
+        spill_ = file;
+        spillBudgetBytes_ = budgetBytes;
+    }
+
     void push(const PackedConfig &c)
     {
         if (policy_ == FrontierPolicy::DepthFirst)
             stack_.push_back(c);
         else
             queue_.push_back(c);
+        if (spill_ != nullptr)
+            maybeSpill();
     }
 
     bool empty() const
     {
-        return policy_ == FrontierPolicy::DepthFirst
-                   ? stack_.size() == base_
-                   : queue_.empty();
+        return memSize() == 0 && spilledNow_ == 0;
     }
 
-    size_t size() const
-    {
-        return policy_ == FrontierPolicy::DepthFirst
-                   ? stack_.size() - base_
-                   : queue_.size();
-    }
+    /** Queued configs, spilled blocks included. */
+    size_t size() const { return memSize() + spilledNow_; }
 
     PackedConfig pop();
 
@@ -642,7 +850,8 @@ class ConfigFrontier
      */
     size_t stealHalf(std::vector<PackedConfig> &out);
 
-    /** Resident bytes (approximate for the deque). */
+    /** Resident bytes (approximate for the deque; excludes spilled
+     *  blocks — that is the point of spilling them). */
     size_t bytes() const
     {
         return policy_ == FrontierPolicy::DepthFirst
@@ -650,11 +859,79 @@ class ConfigFrontier
                    : queue_.size() * sizeof(PackedConfig);
     }
 
+    /** Configs ever spilled to the file (cumulative). */
+    size_t spilledConfigs() const { return spilledTotal_; }
+
+    /** Bytes ever written to the spill file (cumulative). */
+    size_t spillBytes() const { return spillBytesTotal_; }
+
+    /** Configs currently sitting in spilled blocks. */
+    size_t spilledNow() const { return spilledNow_; }
+
+    /**
+     * Visit every queued config in a deterministic cold-to-hot
+     * order: spilled blocks oldest first, then the in-memory part
+     * from the cold end to the hot end. The checkpoint serializer
+     * walks this and the restorer re-pushes the sequence; for a DFS
+     * frontier that rebuilds the identical stack. Expansion order is
+     * immaterial to results either way (admission is hash-pinned and
+     * order-independent), so a restored search reaches the same
+     * reduced graph regardless of policy.
+     */
+    template <typename Fn>
+    void forEachQueued(Fn &&fn) const
+    {
+        std::vector<PackedConfig> buf;
+        for (const SpillBlock &b : blocks_) {
+            buf.resize(b.count);
+            bool ok = spill_->readAt(b.offset, buf.data(),
+                                     b.count * sizeof(PackedConfig));
+            CXL0_ASSERT(ok, "spill block unreadable");
+            for (const PackedConfig &c : buf)
+                fn(c);
+        }
+        if (policy_ == FrontierPolicy::DepthFirst) {
+            for (size_t i = base_; i < stack_.size(); ++i)
+                fn(stack_[i]);
+        } else {
+            // BFS pops the front; the back is the cold end, so
+            // cold-to-hot order walks the queue back-to-front.
+            for (size_t i = queue_.size(); i > 0; --i)
+                fn(queue_[i - 1]);
+        }
+    }
+
   private:
+    struct SpillBlock
+    {
+        uint64_t offset;
+        size_t count;
+    };
+
+    size_t memSize() const
+    {
+        return policy_ == FrontierPolicy::DepthFirst
+                   ? stack_.size() - base_
+                   : queue_.size();
+    }
+
+    /** Spill the cold half when the in-memory part is over budget. */
+    void maybeSpill();
+
+    /** Re-admit the oldest spilled block into the in-memory part. */
+    void refillFromSpill();
+
     FrontierPolicy policy_;
     std::vector<PackedConfig> stack_; //!< live entries: [base_, end)
     size_t base_ = 0;                 //!< stolen prefix of stack_
     std::deque<PackedConfig> queue_;
+    SpillFile *spill_ = nullptr;      //!< null = in-memory only
+    size_t spillBudgetBytes_ = 0;
+    std::deque<SpillBlock> blocks_;   //!< FIFO: oldest block first
+    size_t spilledNow_ = 0;
+    size_t spilledTotal_ = 0;
+    size_t spillBytesTotal_ = 0;
+    std::vector<PackedConfig> spillBuf_; //!< block staging buffer
 };
 
 /**
@@ -696,6 +973,16 @@ class ConfigFrontier
  * With one shard this degenerates to exactly the single frontier the
  * sequential searches always used: same push/pop order, no steals,
  * no contention on the shard mutex.
+ *
+ * Quiescent pause (checkpointing): configurePause() arms a
+ * rendezvous, requestPause() asks every worker to park at its next
+ * pop() entry — a point where its previous configuration is fully
+ * expanded and its outbox is flushed. When the last worker arrives,
+ * the search holds still (every un-expanded config sits in a
+ * frontier, spill block, or inbox; pending() equals their count) and
+ * the arriver runs the registered callback — the checkpoint writer —
+ * before releasing everyone. Workers that leave the loop for good
+ * call workerExit() so a rendezvous never waits on them.
  */
 class ShardedFrontier
 {
@@ -714,10 +1001,104 @@ class ShardedFrontier
     /** Cross-shard handoff; any thread. Counts as pending work. */
     void send(size_t shard, const PackedConfig &c);
 
+    /**
+     * Steal-aware batched handoff: buffer `c` in worker w's
+     * per-destination outbox and deliver the block under a single
+     * lock acquisition once it fills (or at the next flush point —
+     * pop() flushes before sleeping and pausing, so no config can
+     * hide in an outbox while its owner starves). Counts as pending
+     * work immediately, so the termination barrier is exact.
+     */
+    void sendBuffered(size_t w, size_t shard, const PackedConfig &c);
+
+    /** Deliver every block worker w still buffers (worker w only). */
+    void flushOutbox(size_t w);
+
+    /** Handoff blocks worker w has flushed so far (worker w or
+     *  post-join). */
+    size_t inboxBatchCount(size_t w) const
+    {
+        return shards_[w]->inboxBatches;
+    }
+
     /** Push an admitted config onto worker w's own frontier; only
      *  worker w (or the driver before the workers start). Counts as
      *  pending work. */
     void pushLocal(size_t w, const PackedConfig &c);
+
+    /** Attach shard w's frontier spill file (before workers start). */
+    void configureSpill(size_t w, SpillFile *file, size_t budgetBytes)
+    {
+        shards_[w]->frontier.configureSpill(file, budgetBytes);
+    }
+
+    /** Shard w's cumulative (spilledConfigs, spillBytes). */
+    std::pair<size_t, size_t> spillCounters(size_t w) const
+    {
+        Shard &sh = *shards_[w];
+        std::lock_guard<std::mutex> lock(sh.m);
+        return {sh.frontier.spilledConfigs(),
+                sh.frontier.spillBytes()};
+    }
+
+    /**
+     * Arm the quiescent-pause rendezvous: exactly `nworkers` workers
+     * will run the pop() loop and each will call workerExit() when
+     * it leaves for good. After requestPause(), every worker parks
+     * at its next pop() entry (a popped config is always fully
+     * expanded first); the last arriver runs `cb` while the whole
+     * search is quiescent — every queued config is in a frontier,
+     * spill block, or inbox, and pending() equals their total.
+     */
+    void configurePause(size_t nworkers, std::function<void()> cb)
+    {
+        activeWorkers_.store(nworkers, std::memory_order_relaxed);
+        pauseCb_ = std::move(cb);
+    }
+
+    /** Ask every worker to rendezvous at a quiescent point. */
+    void requestPause()
+    {
+        pausePending_.store(true, std::memory_order_release);
+        wakeAll();
+    }
+
+    bool pauseRequested() const
+    {
+        return pausePending_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Worker w makes no further pop()/done() calls. Flushes its
+     * outbox and re-arms a pending rendezvous so the remaining
+     * workers can complete it without w. Required (once per worker)
+     * when configurePause was used; harmless otherwise.
+     */
+    void workerExit(size_t w);
+
+    /**
+     * Leader-only at a quiescent pause (or before workers start):
+     * every queued config of shard s's frontier, spilled blocks
+     * included, cold-to-hot.
+     */
+    template <typename Fn>
+    void forEachQueued(size_t s, Fn &&fn) const
+    {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> lock(sh.m);
+        sh.frontier.forEachQueued(fn);
+    }
+
+    /** Leader-only at a quiescent pause: shard s's undelivered inbox
+     *  configs (admission still ahead of them). */
+    template <typename Fn>
+    void forEachInbox(size_t s, Fn &&fn) const
+    {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> lock(sh.m);
+        for (const PackedConfig &c : sh.inbox)
+            fn(c);
+    }
 
     /**
      * Next configuration for worker w: its own frontier first, then
@@ -735,17 +1116,23 @@ class ShardedFrontier
         for (;;) {
             if (stopped())
                 return false;
+            // A pause request parks the worker here — between
+            // configurations, with its outbox flushed — so when the
+            // last worker arrives the search is quiescent.
+            if (pausePending_.load(std::memory_order_acquire))
+                pausePoint(w);
             {
                 std::unique_lock<std::mutex> lock(sh.m);
-                if (!sh.frontier.empty()) {
+                if (!sh.inbox.empty() &&
+                    (sh.frontier.empty() ||
+                     sh.inbox.size() >= kInboxDrain)) {
+                    sh.drain.clear();
+                    sh.drain.swap(sh.inbox);
+                } else if (!sh.frontier.empty()) {
                     out = sh.frontier.pop();
                     stealable_.fetch_sub(1,
                                          std::memory_order_relaxed);
                     return true;
-                }
-                if (!sh.inbox.empty()) {
-                    sh.drain.clear();
-                    sh.drain.swap(sh.inbox);
                 }
             }
             if (!sh.drain.empty()) {
@@ -771,6 +1158,10 @@ class ShardedFrontier
             }
             if (shards_.size() > 1 && trySteal(w))
                 continue;
+            // Out of local work: deliver anything still buffered
+            // before sleeping — a config parked in this outbox would
+            // otherwise keep pending_ > 0 while its owner starves.
+            flushOutbox(w);
             {
                 std::unique_lock<std::mutex> lock(sh.m);
                 if (!sh.inbox.empty())
@@ -784,7 +1175,9 @@ class ShardedFrontier
                            stealable_.load() > 0 ||
                            pending_.load(
                                std::memory_order_acquire) == 0 ||
-                           stopped();
+                           stopped() ||
+                           pausePending_.load(
+                               std::memory_order_acquire);
                 });
                 sleepers_.fetch_sub(1);
             }
@@ -855,8 +1248,24 @@ class ShardedFrontier
         std::vector<PackedConfig> loot;  //!< owner-thread only
         size_t stealsAttempted = 0;      //!< owner-thread only
         size_t stealsSucceeded = 0;      //!< owner-thread only
+        /** Per-destination handoff blocks; owner-thread only. */
+        std::vector<std::vector<PackedConfig>> outbox;
+        size_t outboxBuffered = 0;       //!< owner-thread only
+        size_t inboxBatches = 0;         //!< owner-thread only
         obs::TraceRing *ring = nullptr;  //!< owner-thread only
     };
+
+    /** Configs per outbox block before an automatic flush. */
+    static constexpr size_t kSendBatch = 32;
+
+    /** Inbox entries that force a drain even while the owner's own
+     *  frontier still has work. Without this, a shard whose frontier
+     *  never empties (the common case in a long spilling run)
+     *  accumulates every cross-shard arrival in its inbox vector —
+     *  unbounded resident growth the frontier's spill budget cannot
+     *  see. Draining pushes survivors through admission into the
+     *  frontier, whose cold end does spill. */
+    static constexpr size_t kInboxDrain = 4096;
 
     /** Push admitted configs into `sh`'s frontier (already counted
      *  pending) and wake sleepers that could steal them. */
@@ -864,6 +1273,12 @@ class ShardedFrontier
 
     /** Steal up to half of some other shard's frontier into w's. */
     bool trySteal(size_t w);
+
+    /** Deliver worker sh's block for `dest` (one lock, one batch). */
+    void flushDest(Shard &sh, size_t dest);
+
+    /** Rendezvous for worker w at a requested pause. */
+    void pausePoint(size_t w);
 
     void wakeAll();
 
@@ -874,6 +1289,15 @@ class ShardedFrontier
     /** Workers blocked in pop(); a push with sleepers wakes all. */
     std::atomic<size_t> sleepers_{0};
     std::atomic<bool> stop_{false};
+
+    /** Quiescent-pause rendezvous (configurePause/requestPause). */
+    std::mutex pauseM_;
+    std::condition_variable pauseCv_;
+    std::atomic<bool> pausePending_{false};
+    std::atomic<size_t> activeWorkers_{0};
+    size_t pauseArrived_ = 0;  //!< guarded by pauseM_
+    uint64_t pauseEpoch_ = 0;  //!< guarded by pauseM_
+    std::function<void()> pauseCb_;
 };
 
 /**

@@ -5,9 +5,13 @@
 #include <bit>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
+
+#include <unistd.h>
 
 #include "common/hashmix.hh"
 #include "common/logging.hh"
@@ -184,6 +188,57 @@ stepInstrInPlace(const Cxl0Model &model, const ProgInstr &instr,
     return eff;
 }
 
+/**
+ * Content fingerprint of (model config, program, request). A
+ * checkpoint embeds it so a snapshot can only resume the exact
+ * search that wrote it — every field that shapes the reduced search
+ * graph or the packed-config layout is mixed in.
+ */
+uint64_t
+searchFingerprint(const Cxl0Model &model, const Program &program,
+                  const CheckRequest &req)
+{
+    uint64_t h = 0x10c0ffee;
+    auto mix = [&h](uint64_t v) {
+        h = mixBits(h ^ (v + 0x9e3779b97f4a7c15ULL));
+    };
+    mix(static_cast<uint64_t>(model.variant()));
+    mix(model.config().numNodes());
+    mix(model.config().numAddrs());
+    for (Addr x = 0; x < model.config().numAddrs(); ++x)
+        mix(model.config().ownerOf(x));
+    for (NodeId n = 0; n < model.config().numNodes(); ++n)
+        mix(model.config().isPersistent(n) ? 2 : 1);
+    mix(program.threads.size());
+    mix(static_cast<uint64_t>(program.numRegs));
+    for (const ProgThread &t : program.threads) {
+        mix(t.node);
+        mix(t.code.size());
+        for (const ProgInstr &i : t.code) {
+            mix(static_cast<uint64_t>(i.kind));
+            mix(static_cast<uint64_t>(i.op));
+            mix(i.addr);
+            mix(i.value.isReg ? 1 : 0);
+            mix(static_cast<uint64_t>(i.value.imm));
+            mix(static_cast<uint64_t>(i.value.reg));
+            mix(i.expected.isReg ? 1 : 0);
+            mix(static_cast<uint64_t>(i.expected.imm));
+            mix(static_cast<uint64_t>(i.expected.reg));
+            mix(static_cast<uint64_t>(i.dest));
+        }
+    }
+    mix(req.maxConfigs);
+    mix(req.timeBudgetMs);
+    mix(static_cast<uint64_t>(req.maxCrashesPerNode));
+    mix(req.crashableNodes.size());
+    for (NodeId n : req.crashableNodes)
+        mix(n);
+    mix(static_cast<uint64_t>(req.reduction));
+    mix(static_cast<uint64_t>(req.frontier));
+    mix(req.numThreads);
+    return h;
+}
+
 } // namespace
 
 Explorer::Explorer(const Cxl0Model &model, Program program,
@@ -218,7 +273,7 @@ struct ExplorerWorker
     }
 
     ShardEngine eng;
-    FlatConfigSet visited;
+    VisitedSet visited;
     /** (register-file id, crashed mask) pairs already emitted as
      *  outcomes; lets done configurations skip materialization. */
     std::unordered_set<uint64_t> emitted;
@@ -238,10 +293,13 @@ struct ExplorerWorker
 } // namespace
 
 CheckReport
-Explorer::check(ModelContext *shared) const
+Explorer::check(ModelContext *shared,
+                const OutOfCoreOptions *oocOpt) const
 {
     if (shared && &shared->model() != &model_)
         CXL0_FATAL("shared ModelContext built over a different model");
+    static const OutOfCoreOptions kNoOoc{};
+    const OutOfCoreOptions &ooc = oocOpt != nullptr ? *oocOpt : kNoOoc;
     auto t_start = std::chrono::steady_clock::now();
     // Telemetry is metadata, never identity: the hooks below record
     // what the search does but never feed anything back into it.
@@ -380,23 +438,245 @@ Explorer::check(ModelContext *shared) const
     for (size_t w = 0; w < nworkers; ++w)
         workers.emplace_back(ctx, init_state, reg_stride);
 
-    PackedConfig init;
-    init.state = workers[0].eng.internState(init_state);
-    init.regs = reg_files.intern(
-        workers[0].curRegs.data(),
-        model::hashValueSpan(workers[0].curRegs.data(), reg_stride));
-    init.alive = all_alive;
-    init.crash = crash0;
-
     ShardedFrontier sf(nworkers, request_.frontier);
     std::atomic<size_t> total_visited{0};
     const Deadline deadline(request_.timeBudgetMs);
 
-    {
+    // ---- out-of-core: per-shard frontier + visited spill files --------
+    std::vector<std::unique_ptr<SpillFile>> spill_files;
+    std::vector<std::unique_ptr<SpillFile>> visited_files;
+    if (ooc.anySpill() && ensureDir(ooc.spillDir)) {
+        for (size_t w = 0; w < nworkers; ++w) {
+            auto file = std::make_unique<SpillFile>();
+            std::string path = ooc.spillDir + "/frontier-" +
+                               std::to_string(::getpid()) + "-" +
+                               std::to_string(w) + ".spill";
+            // Unlinked at creation: any exit (SIGKILL included)
+            // reclaims the space. The checkpoint serializes frontier
+            // contents itself, so spill files never need to persist.
+            if (file->open(path, /*unlinkAfter=*/true))
+                sf.configureSpill(w, file.get(),
+                                  ooc.frontierSpillBudgetBytes);
+            spill_files.push_back(std::move(file));
+
+            auto vfile = std::make_unique<SpillFile>();
+            std::string vpath = ooc.spillDir + "/visited-" +
+                                std::to_string(::getpid()) + "-" +
+                                std::to_string(w) + ".spill";
+            if (vfile->open(vpath, /*unlinkAfter=*/true))
+                workers[w].visited.configureSpill(
+                    vfile.get(), ooc.visitedSpillBudgetBytes);
+            visited_files.push_back(std::move(vfile));
+        }
+    }
+
+    // ---- checkpoint/resume --------------------------------------------
+    const uint64_t fingerprint =
+        searchFingerprint(model_, program_, request_);
+    const bool do_ckpt =
+        ooc.checkpointEvery > 0 && !ooc.checkpointDir.empty();
+    std::atomic<uint64_t> ckpt_count{0};
+    std::atomic<uint64_t> next_ckpt_at{static_cast<uint64_t>(-1)};
+    std::atomic<bool> ckpt_armed{false};
+    std::atomic<bool> halted_after_ckpt{false};
+
+    // With an installed arena, evict cold file-backed pages on a
+    // visit cadence, not only at checkpoint barriers: the interning
+    // tables and visited sets grow monotonically, and a spilling run
+    // without checkpoints would otherwise keep every page it ever
+    // touched resident. shed() is safe concurrent with readers and
+    // writers (dropped pages refault from the page cache), so no
+    // rendezvous is needed — one worker claims each crossing via CAS.
+    SpillArena *const shed_arena =
+        ooc.anySpill() ? SpillArena::installed() : nullptr;
+    constexpr uint64_t kShedInterval = 8192;
+    std::atomic<uint64_t> next_shed_at{kShedInterval};
+
+    bool resumed = false;
+    if (!ooc.resumeFrom.empty()) {
+        CheckpointData snap;
+        readCheckpoint(ooc.resumeFrom, snap); // throws on a bad file
+        if (snap.fingerprint != fingerprint)
+            throw std::runtime_error(
+                "checkpoint was written by a different search "
+                "(model/program/request mismatch)");
+        if (snap.workers.size() != nworkers)
+            throw std::runtime_error(
+                "checkpoint worker-count mismatch");
+        if (ctx.states().size() != 0 || reg_files.size() != 0)
+            throw std::runtime_error(
+                "resume requires a fresh model context (not a warm "
+                "serve pool)");
+        if (snap.stateStride != ctx.states().rawStride() ||
+            snap.regStride != reg_stride ||
+            snap.regsPerOutcome != nthreads * nregs)
+            throw std::runtime_error(
+                "checkpoint table-shape mismatch");
+        // Tables restore by re-interning in id order: dense ids come
+        // from one counter, so a fresh table reassigns exactly the
+        // same ids and every PackedConfig in the snapshot stays
+        // meaningful.
+        for (size_t i = 0; i < snap.stateHashes.size(); ++i) {
+            StateId got = ctx.states().internRaw(
+                snap.stateSpans.data() + i * snap.stateStride,
+                snap.stateHashes[i]);
+            CXL0_ASSERT(got == i, "state ids must restore densely");
+        }
+        for (size_t i = 0; i < snap.regHashes.size(); ++i) {
+            uint32_t got = reg_files.intern(
+                snap.regSpans.data() + i * snap.regStride,
+                snap.regHashes[i]);
+            CXL0_ASSERT(got == i,
+                        "register ids must restore densely");
+        }
+        total_visited.store(snap.totalVisited,
+                            std::memory_order_relaxed);
+        ckpt_count.store(snap.checkpointsWritten,
+                         std::memory_order_relaxed);
+        const size_t rpo = static_cast<size_t>(snap.regsPerOutcome);
+        for (size_t w = 0; w < nworkers; ++w) {
+            ExplorerWorker &me = workers[w];
+            const WorkerSnapshot &ws = snap.workers[w];
+            for (const PackedConfig &c : ws.visited)
+                me.visited.insert(c);
+            me.emitted.insert(ws.emitted.begin(), ws.emitted.end());
+            for (size_t i = 0; i < ws.outcomeCrashed.size(); ++i) {
+                Outcome out;
+                out.crashedThreads = ws.outcomeCrashed[i];
+                out.regs.resize(nthreads);
+                for (size_t t = 0; t < nthreads; ++t)
+                    out.regs[t].assign(
+                        ws.outcomeRegs.begin() +
+                            static_cast<long>(i * rpo + t * nregs),
+                        ws.outcomeRegs.begin() +
+                            static_cast<long>(i * rpo +
+                                              (t + 1) * nregs));
+                me.partial.outcomes.insert(std::move(out));
+            }
+            me.partial.stats = ws.stats;
+            // Frontiers re-push in the serialized cold-to-hot order
+            // (a DFS stack rebuilds identically; expansion order is
+            // immaterial to results either way). Inbox configs
+            // re-enter their owner's inbox and meet admission — the
+            // restored visited set — on the next drain.
+            for (const PackedConfig &c : ws.frontier)
+                sf.pushLocal(w, c);
+            for (const PackedConfig &c : ws.inbox)
+                sf.send(w, c);
+        }
+        resumed = true;
+    }
+
+    if (!resumed) {
+        PackedConfig init;
+        init.state = workers[0].eng.internState(init_state);
+        init.regs = reg_files.intern(
+            workers[0].curRegs.data(),
+            model::hashValueSpan(workers[0].curRegs.data(),
+                                 reg_stride));
+        init.alive = all_alive;
+        init.crash = crash0;
         size_t owner = sf.ownerOf(hashPacked(init));
         workers[owner].visited.insert(init);
         total_visited.store(1, std::memory_order_relaxed);
         sf.pushLocal(owner, init);
+    }
+
+    // ---- checkpoint writer (leader at a quiescent pause) --------------
+    if (do_ckpt) {
+        next_ckpt_at.store(
+            total_visited.load(std::memory_order_relaxed) +
+                ooc.checkpointEvery,
+            std::memory_order_relaxed);
+        sf.configurePause(nworkers, [&] {
+            // Runs on the last worker to arrive at the rendezvous:
+            // every other worker is parked between configurations,
+            // so the tables, visited sets, frontiers, and inboxes
+            // together are the complete, consistent search state.
+            CheckpointData snap;
+            snap.fingerprint = fingerprint;
+            snap.totalVisited =
+                total_visited.load(std::memory_order_relaxed);
+            snap.checkpointsWritten =
+                ckpt_count.load(std::memory_order_relaxed) + 1;
+            snap.regsPerOutcome = nthreads * nregs;
+            snap.stateStride = ctx.states().rawStride();
+            const size_t nstates = ctx.states().size();
+            snap.stateHashes.reserve(nstates);
+            snap.stateSpans.reserve(nstates * snap.stateStride);
+            for (size_t i = 0; i < nstates; ++i) {
+                snap.stateHashes.push_back(
+                    ctx.states().hashOf(static_cast<StateId>(i)));
+                const Value *s =
+                    ctx.states().rawSpan(static_cast<StateId>(i));
+                snap.stateSpans.insert(snap.stateSpans.end(), s,
+                                       s + snap.stateStride);
+            }
+            snap.regStride = reg_stride;
+            const size_t nrf = reg_files.size();
+            snap.regHashes.reserve(nrf);
+            snap.regSpans.reserve(nrf * reg_stride);
+            for (size_t i = 0; i < nrf; ++i) {
+                snap.regHashes.push_back(
+                    reg_files.hashOf(static_cast<uint32_t>(i)));
+                const Value *s =
+                    reg_files.at(static_cast<uint32_t>(i));
+                snap.regSpans.insert(snap.regSpans.end(), s,
+                                     s + reg_stride);
+            }
+            snap.workers.resize(nworkers);
+            for (size_t w = 0; w < nworkers; ++w) {
+                WorkerSnapshot &ws = snap.workers[w];
+                ExplorerWorker &wk = workers[w];
+                ws.visited.reserve(wk.visited.size());
+                wk.visited.forEach([&](const PackedConfig &c) {
+                    ws.visited.push_back(c);
+                });
+                ws.emitted.assign(wk.emitted.begin(),
+                                  wk.emitted.end());
+                for (const Outcome &o : wk.partial.outcomes) {
+                    ws.outcomeCrashed.push_back(o.crashedThreads);
+                    for (const auto &r : o.regs)
+                        ws.outcomeRegs.insert(ws.outcomeRegs.end(),
+                                              r.begin(), r.end());
+                }
+                // Worker stats fold in the frontier-side counters a
+                // worker normally reads back only after the drain.
+                ws.stats = wk.partial.stats;
+                auto [sp, sb] = sf.spillCounters(w);
+                ws.stats.spilledConfigs +=
+                    sp + wk.visited.spilledEntries();
+                ws.stats.spillBytes +=
+                    sb + wk.visited.spilledBytes();
+                ws.stats.inboxBatches += sf.inboxBatchCount(w);
+                auto [sa, ss] = sf.stealCounters(w);
+                ws.stats.stealsAttempted += sa;
+                ws.stats.stealsSucceeded += ss;
+                sf.forEachQueued(w, [&](const PackedConfig &c) {
+                    ws.frontier.push_back(c);
+                });
+                sf.forEachInbox(w, [&](const PackedConfig &c) {
+                    ws.inbox.push_back(c);
+                });
+            }
+            if (writeCheckpoint(ooc.checkpointDir, snap))
+                ckpt_count.fetch_add(1, std::memory_order_relaxed);
+            if (SpillArena *a = SpillArena::installed())
+                a->shed(); // quiescent: evict cold table pages
+            next_ckpt_at.store(snap.totalVisited +
+                                   ooc.checkpointEvery,
+                               std::memory_order_relaxed);
+            ckpt_armed.store(false, std::memory_order_release);
+            if (ooc.haltAfterCheckpoints > 0 &&
+                ckpt_count.load(std::memory_order_relaxed) >=
+                    ooc.haltAfterCheckpoints) {
+                // In-process SIGKILL stand-in for the resume tests:
+                // abandon the run right after the snapshot.
+                halted_after_ckpt.store(true,
+                                        std::memory_order_relaxed);
+                sf.stopAll();
+            }
+        });
     }
 
     auto run_worker = [&](size_t w) {
@@ -427,8 +707,14 @@ Explorer::check(ModelContext *shared) const
             auto [attempted, succeeded] = sf.stealCounters(w);
             s.stealsAttempted = attempted;
             s.stealsSucceeded = succeeded;
+            auto [spilled, spill_bytes] = sf.spillCounters(w);
+            s.spilledConfigs =
+                spilled + me.visited.spilledEntries();
+            s.spillBytes = spill_bytes + me.visited.spilledBytes();
             s.frontierDepth = sf.depth(w);
             s.pendingDepth = sf.pending();
+            s.checkpointCount =
+                ckpt_count.load(std::memory_order_relaxed);
             pub.publish(s);
         };
 
@@ -457,27 +743,26 @@ Explorer::check(ModelContext *shared) const
                     me.partial.truncated = true;
                 return false;
             }
-            bool inserted = false;
-            PackedConfig *stored =
-                me.visited.insertOrFind(c, &inserted);
-            if (inserted) {
+            // Converging paths intersect sleep words (VisitedSet
+            // does the merge, in place for hot entries and via
+            // write-back for cold ones): a revisit whose word
+            // covers the stored one adds nothing; a strictly
+            // smaller intersection wakes steps the stored expansion
+            // suppressed, so the configuration re-enters the
+            // frontier with the merged word. Sleep words only
+            // shrink, so this converges, and the fixpoint is
+            // independent of arrival order.
+            switch (me.visited.admit(c)) {
+            case VisitedSet::Admit::Inserted:
                 total_visited.fetch_add(1,
                                         std::memory_order_relaxed);
                 return true;
-            }
-            // Converging path: intersect sleep words. A revisit
-            // whose word covers the stored one adds nothing; a
-            // strictly smaller intersection wakes steps the stored
-            // expansion suppressed, so the configuration re-enters
-            // the frontier with the merged word. Sleep words only
-            // shrink, so this converges, and the fixpoint is
-            // independent of arrival order.
-            const uint32_t both = stored->sleep & c.sleep;
-            if (both == stored->sleep)
+            case VisitedSet::Admit::Readmitted:
+                return true;
+            case VisitedSet::Admit::Duplicate:
+            default:
                 return false;
-            stored->sleep = both;
-            c.sleep = both;
-            return true;
+            }
         };
         // Crash-budget symmetry: rewrite the successor into its
         // orbit-canonical representative *before* hashing, so every
@@ -569,7 +854,10 @@ Explorer::check(ModelContext *shared) const
                 if (admit(c))
                     sf.pushLocal(w, c);
             } else {
-                sf.send(owner, c);
+                // Steal-aware batching: blocks ride to the owner
+                // under one lock acquisition; pop() flushes before
+                // sleeping or pausing, so nothing can hide here.
+                sf.sendBuffered(w, owner, c);
             }
         };
 
@@ -810,6 +1098,30 @@ Explorer::check(ModelContext *shared) const
                     sf.stopAll();
                     sf.done();
                     break;
+                }
+                // Checkpoint cadence: the first worker to observe
+                // the threshold arms the rendezvous; everyone then
+                // parks at their next pop() and the last arriver
+                // writes the snapshot.
+                if (do_ckpt && !sf.pauseRequested() &&
+                    total_visited.load(std::memory_order_relaxed) >=
+                        next_ckpt_at.load(
+                            std::memory_order_relaxed)) {
+                    bool expected = false;
+                    if (ckpt_armed.compare_exchange_strong(expected,
+                                                           true))
+                        sf.requestPause();
+                }
+                if (shed_arena != nullptr) {
+                    uint64_t tv = total_visited.load(
+                        std::memory_order_relaxed);
+                    uint64_t at = next_shed_at.load(
+                        std::memory_order_relaxed);
+                    if (tv >= at &&
+                        next_shed_at.compare_exchange_strong(
+                            at, tv + kShedInterval,
+                            std::memory_order_relaxed))
+                        shed_arena->shed();
                 }
             }
 
@@ -1216,13 +1528,25 @@ Explorer::check(ModelContext *shared) const
             sf.done();
         }
 
+        // Leaving the pop loop for good: a pending pause rendezvous
+        // must stop counting on this worker.
+        sf.workerExit(w);
+
         // Worker-owned peak: visited set, this shard's frontier
         // share, and the per-worker scratch engine.
         me.partial.stats.peakVisitedBytes =
             me.visited.bytes() + sf.bytes(w) + me.eng.bytes();
+        // Frontier-side counters add onto any checkpoint-restored
+        // base (they reset to zero in a resumed process).
         auto [attempted, succeeded] = sf.stealCounters(w);
-        me.partial.stats.stealsAttempted = attempted;
-        me.partial.stats.stealsSucceeded = succeeded;
+        me.partial.stats.stealsAttempted += attempted;
+        me.partial.stats.stealsSucceeded += succeeded;
+        auto [spilled, sbytes] = sf.spillCounters(w);
+        me.partial.stats.spilledConfigs +=
+            spilled + me.visited.spilledEntries();
+        me.partial.stats.spillBytes +=
+            sbytes + me.visited.spilledBytes();
+        me.partial.stats.inboxBatches += sf.inboxBatchCount(w);
         if (pub.enabled())
             publishSample(); // final totals for this worker
     };
@@ -1238,6 +1562,11 @@ Explorer::check(ModelContext *shared) const
         res.timedOut |= wkr.partial.timedOut;
         res.stats.merge(wkr.partial.stats);
     }
+    // A halt-after-checkpoint stop abandoned queued work on purpose;
+    // the report must say Inconclusive, not Pass.
+    res.truncated |= halted_after_ckpt.load(std::memory_order_relaxed);
+    res.stats.checkpointsWritten =
+        ckpt_count.load(std::memory_order_relaxed);
     res.verdict = res.truncated ? CheckVerdict::Inconclusive
                                 : CheckVerdict::Pass;
     res.stats.configsInterned =

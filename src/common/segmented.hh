@@ -20,6 +20,16 @@
  * publish an index through its own synchronization (a mutex, a
  * release store, a queue handoff) before another thread reads the
  * element — exactly the discipline the interning tables follow.
+ *
+ * Out-of-core mode: when a process-global SpillArena is installed
+ * (common/spill.hh), segments of trivially-destructible element
+ * types above a size threshold are allocated as file-backed
+ * MAP_SHARED mappings instead of heap arrays. Addresses stay exactly
+ * as stable, and fresh file pages read as zero — the same
+ * value-initialized contents `new T[]()` produces for these element
+ * types — so nothing else changes; but SpillArena::shed() can then
+ * evict the cold pages from the resident set. The arena must outlive
+ * every container that allocated from it.
  */
 
 #ifndef CXL0_COMMON_SEGMENTED_HH
@@ -29,9 +39,60 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
+
+#include "common/spill.hh"
 
 namespace cxl0
 {
+
+namespace detail
+{
+
+/** Heap-or-arena segment allocation shared by the segmented
+ *  containers. Returns value-initialized storage for `elems`
+ *  elements; `*mapped` reports which allocator provided it and
+ *  `*arena` is set when mapped (the free path must match). */
+template <typename T>
+T *
+allocSegmentStorage(size_t elems, bool *mapped, SpillArena **arena)
+{
+    /** Tiny segments stay on the heap: a file + mapping per 64-entry
+     *  segment would cost more than it could ever shed. */
+    constexpr size_t kSpillMinBytes = 256 * 1024;
+    *mapped = false;
+    if constexpr (std::is_trivially_destructible_v<T>) {
+        if (SpillArena *a = SpillArena::installed()) {
+            if (elems * sizeof(T) >= kSpillMinBytes) {
+                // Zero file pages match new T[]() for the tables'
+                // element types (plain integers and std::atomic
+                // wrappers whose all-zero representation is the
+                // sentinel "unset" the tables encode around).
+                void *p = a->map(elems * sizeof(T));
+                if (p) {
+                    *mapped = true;
+                    *arena = a;
+                    return static_cast<T *>(p);
+                }
+            }
+        }
+    }
+    return new T[elems]();
+}
+
+template <typename T>
+void
+freeSegmentStorage(T *p, size_t elems, bool mapped, SpillArena *arena)
+{
+    if (!p)
+        return;
+    if (mapped)
+        arena->unmap(p, elems * sizeof(T));
+    else
+        delete[] p;
+}
+
+} // namespace detail
 
 /** Shared geometry: capacities, start offsets, index→segment. */
 template <unsigned BaseBits>
@@ -80,8 +141,13 @@ class SegmentedArray
 
     ~SegmentedArray()
     {
-        for (auto &slot : segs_)
-            delete[] slot.load(std::memory_order_relaxed);
+        uint32_t mapped =
+            mappedMask_.load(std::memory_order_relaxed);
+        for (size_t s = 0; s < Geo::kMaxSegments; ++s)
+            detail::freeSegmentStorage(
+                segs_[s].load(std::memory_order_relaxed),
+                Geo::capacityOf(s), (mapped >> s) & 1,
+                arena_.load(std::memory_order_relaxed));
     }
 
     /** Make storage for indices [0, n) exist. Thread-safe. */
@@ -99,15 +165,25 @@ class SegmentedArray
         for (size_t s = 0; s <= seg; ++s) {
             if (segs_[s].load(std::memory_order_acquire))
                 continue;
-            T *fresh = new T[Geo::capacityOf(s)]();
+            bool mapped = false;
+            SpillArena *arena = nullptr;
+            T *fresh = detail::allocSegmentStorage<T>(
+                Geo::capacityOf(s), &mapped, &arena);
             T *expected = nullptr;
             if (segs_[s].compare_exchange_strong(
                     expected, fresh, std::memory_order_release,
                     std::memory_order_acquire)) {
+                if (mapped) {
+                    mappedMask_.fetch_or(uint32_t{1} << s,
+                                         std::memory_order_relaxed);
+                    arena_.store(arena,
+                                 std::memory_order_relaxed);
+                }
                 bytes_.fetch_add(Geo::capacityOf(s) * sizeof(T),
                                  std::memory_order_relaxed);
             } else {
-                delete[] fresh;
+                detail::freeSegmentStorage(
+                    fresh, Geo::capacityOf(s), mapped, arena);
             }
         }
     }
@@ -152,6 +228,9 @@ class SegmentedArray
   private:
     std::atomic<T *> segs_[Geo::kMaxSegments] = {};
     std::atomic<size_t> bytes_{0};
+    /** Bit s set: segment s is arena-mapped, not heap-allocated. */
+    std::atomic<uint32_t> mappedMask_{0};
+    std::atomic<SpillArena *> arena_{nullptr};
 };
 
 /**
@@ -172,8 +251,13 @@ class SegmentedSpans
 
     ~SegmentedSpans()
     {
-        for (auto &slot : segs_)
-            delete[] slot.load(std::memory_order_relaxed);
+        uint32_t mapped =
+            mappedMask_.load(std::memory_order_relaxed);
+        for (size_t s = 0; s < Geo::kMaxSegments; ++s)
+            detail::freeSegmentStorage(
+                segs_[s].load(std::memory_order_relaxed),
+                Geo::capacityOf(s) * stride_, (mapped >> s) & 1,
+                arena_.load(std::memory_order_relaxed));
     }
 
     size_t stride() const { return stride_; }
@@ -193,15 +277,25 @@ class SegmentedSpans
             if (segs_[s].load(std::memory_order_acquire))
                 continue;
             size_t elems = Geo::capacityOf(s) * stride_;
-            T *fresh = new T[elems]();
+            bool mapped = false;
+            SpillArena *arena = nullptr;
+            T *fresh = detail::allocSegmentStorage<T>(elems, &mapped,
+                                                      &arena);
             T *expected = nullptr;
             if (segs_[s].compare_exchange_strong(
                     expected, fresh, std::memory_order_release,
                     std::memory_order_acquire)) {
+                if (mapped) {
+                    mappedMask_.fetch_or(uint32_t{1} << s,
+                                         std::memory_order_relaxed);
+                    arena_.store(arena,
+                                 std::memory_order_relaxed);
+                }
                 bytes_.fetch_add(elems * sizeof(T),
                                  std::memory_order_relaxed);
             } else {
-                delete[] fresh;
+                detail::freeSegmentStorage(fresh, elems, mapped,
+                                           arena);
             }
         }
     }
@@ -232,6 +326,9 @@ class SegmentedSpans
     size_t stride_;
     std::atomic<T *> segs_[Geo::kMaxSegments] = {};
     std::atomic<size_t> bytes_{0};
+    /** Bit s set: segment s is arena-mapped, not heap-allocated. */
+    std::atomic<uint32_t> mappedMask_{0};
+    std::atomic<SpillArena *> arena_{nullptr};
 };
 
 } // namespace cxl0

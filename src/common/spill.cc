@@ -1,0 +1,252 @@
+#include "common/spill.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace cxl0
+{
+
+namespace
+{
+
+std::atomic<SpillArena *> g_arena{nullptr};
+
+} // namespace
+
+bool
+ensureDir(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    std::string partial;
+    partial.reserve(dir.size());
+    for (size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            partial.push_back(dir[i]);
+            continue;
+        }
+        if (i < dir.size())
+            partial.push_back('/');
+        if (partial.empty() || partial == "/")
+            continue;
+        if (mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st{};
+    return stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+SpillArena::SpillArena(std::string dir) : dir_(std::move(dir))
+{
+    valid_ = ensureDir(dir_);
+    if (!valid_)
+        CXL0_WARN("spill: cannot use directory '", dir_, "' (",
+                  std::strerror(errno),
+                  "); falling back to in-memory allocation");
+}
+
+SpillArena::~SpillArena()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const Mapping &m : mappings_)
+        ::munmap(m.p, m.bytes);
+    mappings_.clear();
+}
+
+void *
+SpillArena::map(size_t bytes)
+{
+    if (!valid_ || bytes == 0)
+        return nullptr;
+    static std::atomic<uint64_t> seq{0};
+    char name[64];
+    std::snprintf(name, sizeof name, "/seg-%d-%llu.bin", getpid(),
+                  static_cast<unsigned long long>(
+                      seq.fetch_add(1, std::memory_order_relaxed)));
+    std::string path = dir_ + name;
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd < 0) {
+        CXL0_WARN("spill: open('", path, "') failed: ",
+                  std::strerror(errno));
+        return nullptr;
+    }
+    // Unlink immediately: the mapping keeps the inode alive, and any
+    // exit — including SIGKILL — reclaims the space automatically.
+    ::unlink(path.c_str());
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        CXL0_WARN("spill: ftruncate(", bytes, ") failed: ",
+                  std::strerror(errno));
+        ::close(fd);
+        return nullptr;
+    }
+    void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping holds its own reference
+    if (p == MAP_FAILED) {
+        CXL0_WARN("spill: mmap(", bytes, ") failed: ",
+                  std::strerror(errno));
+        return nullptr;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        mappings_.push_back(Mapping{p, bytes});
+    }
+    mappedBytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return p;
+}
+
+void
+SpillArena::unmap(void *p, size_t bytes)
+{
+    if (!p)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (size_t i = 0; i < mappings_.size(); ++i) {
+            if (mappings_[i].p == p) {
+                mappings_[i] = mappings_.back();
+                mappings_.pop_back();
+                break;
+            }
+        }
+    }
+    ::munmap(p, bytes);
+    mappedBytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void
+SpillArena::shed()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const Mapping &m : mappings_)
+        ::madvise(m.p, m.bytes, MADV_DONTNEED);
+}
+
+void
+SpillArena::install(SpillArena *a)
+{
+    g_arena.store(a, std::memory_order_release);
+}
+
+SpillArena *
+SpillArena::installed()
+{
+    return g_arena.load(std::memory_order_acquire);
+}
+
+// ------------------------------------------------------------------
+// SpillFile
+// ------------------------------------------------------------------
+
+SpillFile::~SpillFile()
+{
+    close();
+}
+
+bool
+SpillFile::open(const std::string &path, bool unlinkAfter)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd_ < 0) {
+        CXL0_WARN("spill: open('", path, "') failed: ",
+                  std::strerror(errno));
+        return false;
+    }
+    if (unlinkAfter)
+        ::unlink(path.c_str());
+    size_ = 0;
+    return true;
+}
+
+uint64_t
+SpillFile::append(const void *data, size_t n)
+{
+    CXL0_ASSERT(fd_ >= 0, "append on a closed spill file");
+    uint64_t off = size_;
+    const char *p = static_cast<const char *>(data);
+    size_t left = n;
+    while (left > 0) {
+        ssize_t w = ::pwrite(fd_, p, left,
+                             static_cast<off_t>(off + (n - left)));
+        if (w <= 0) {
+            if (w < 0 && errno == EINTR)
+                continue;
+            CXL0_ASSERT(false, "spill file write failed");
+        }
+        p += w;
+        left -= static_cast<size_t>(w);
+    }
+    size_ += n;
+    return off;
+}
+
+bool
+SpillFile::writeAt(uint64_t off, const void *data, size_t n)
+{
+    if (fd_ < 0 || off + n > size_)
+        return false;
+    const char *p = static_cast<const char *>(data);
+    size_t left = n;
+    while (left > 0) {
+        ssize_t w = ::pwrite(fd_, p, left,
+                             static_cast<off_t>(off + (n - left)));
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w <= 0)
+            return false;
+        p += w;
+        left -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+SpillFile::readAt(uint64_t off, void *out, size_t n) const
+{
+    if (fd_ < 0)
+        return false;
+    char *p = static_cast<char *>(out);
+    size_t left = n;
+    while (left > 0) {
+        ssize_t r = ::pread(fd_, p, left,
+                            static_cast<off_t>(off + (n - left)));
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        p += r;
+        left -= static_cast<size_t>(r);
+    }
+    return true;
+}
+
+void
+SpillFile::clear()
+{
+    if (fd_ >= 0) {
+        // Physical truncation returns the blocks; logical size
+        // tracking restarts from zero either way.
+        (void)::ftruncate(fd_, 0);
+    }
+    size_ = 0;
+}
+
+void
+SpillFile::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    size_ = 0;
+}
+
+} // namespace cxl0

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * File-backed memory for out-of-core search: SpillArena + SpillFile.
+ *
+ * Long searches are bounded by resident memory, not CPU: the
+ * interning arenas and visited sets grow monotonically, but most of
+ * their pages go cold as the search moves on. A SpillArena maps
+ * zero-initialized MAP_SHARED regions over created-then-unlinked
+ * files in a caller-chosen directory, so
+ *
+ *   - addresses are exactly as stable as heap allocations (the
+ *     segmented arenas' contract is unchanged),
+ *   - shed() can MADV_DONTNEED every mapping: cold pages leave the
+ *     resident set and migrate to the page cache / backing file,
+ *     and a later touch refaults them — a minor fault, not a
+ *     recompute — so peak RSS tracks the hot working set, and
+ *   - unlinking at creation makes cleanup automatic on any exit,
+ *     including SIGKILL.
+ *
+ * The arena is installed process-globally (install()): the segmented
+ * arenas and visited sets pick it up without threading a pointer
+ * through every table constructor. Installation must happen before
+ * the search constructs its tables and must outlive them.
+ *
+ * SpillFile is the sequential sibling: an append/pread byte file for
+ * frontier spill blocks and checkpoint payloads. It keeps its fd
+ * (optionally unlinked) so spilled blocks survive only as long as
+ * the run needs them.
+ */
+
+#ifndef CXL0_COMMON_SPILL_HH
+#define CXL0_COMMON_SPILL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cxl0
+{
+
+/** Create `dir` (and parents) if missing. False on failure. */
+bool ensureDir(const std::string &dir);
+
+/**
+ * mmap-backed allocator over unlinked files in one directory.
+ * Thread-safe. Mappings are zero-initialized (fresh file pages),
+ * matching the value-initialization the segmented arenas rely on
+ * for their trivially-constructible element types.
+ */
+class SpillArena
+{
+  public:
+    explicit SpillArena(std::string dir);
+    SpillArena(const SpillArena &) = delete;
+    SpillArena &operator=(const SpillArena &) = delete;
+    ~SpillArena();
+
+    /** Whether the backing directory is usable. A failed arena
+     *  returns null from map() and callers fall back to the heap. */
+    bool valid() const { return valid_; }
+
+    /** Map `bytes` of zeroed file-backed memory; null on failure. */
+    void *map(size_t bytes);
+
+    /** Release a mapping previously returned by map(). */
+    void unmap(void *p, size_t bytes);
+
+    /**
+     * Drop every mapping's resident pages (MADV_DONTNEED on a
+     * MAP_SHARED file mapping writes nothing back synchronously;
+     * dirty pages move to the page cache and refault on demand).
+     * Safe to call concurrently with readers/writers of the mapped
+     * memory: the kernel refaults transparently.
+     */
+    void shed();
+
+    /** Total bytes currently mapped through this arena. */
+    size_t mappedBytes() const
+    {
+        return mappedBytes_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &dir() const { return dir_; }
+
+    /** Install `a` as the process-global arena (null to clear). */
+    static void install(SpillArena *a);
+
+    /** The installed arena, or null when search is in-memory. */
+    static SpillArena *installed();
+
+  private:
+    std::string dir_;
+    bool valid_ = false;
+    mutable std::mutex m_;
+    struct Mapping
+    {
+        void *p;
+        size_t bytes;
+    };
+    std::vector<Mapping> mappings_;
+    std::atomic<size_t> mappedBytes_{0};
+};
+
+/** RAII install/uninstall of a process-global SpillArena. */
+class ScopedSpillArena
+{
+  public:
+    explicit ScopedSpillArena(const std::string &dir)
+        : arena_(dir)
+    {
+        if (arena_.valid())
+            SpillArena::install(&arena_);
+    }
+    ~ScopedSpillArena() { SpillArena::install(nullptr); }
+    ScopedSpillArena(const ScopedSpillArena &) = delete;
+    ScopedSpillArena &operator=(const ScopedSpillArena &) = delete;
+
+    SpillArena &arena() { return arena_; }
+
+  private:
+    SpillArena arena_;
+};
+
+/**
+ * Append/pread byte file for frontier spill blocks and checkpoint
+ * payloads. Not thread-safe: one owner at a time (the shard lock for
+ * frontier spill files, the checkpoint leader for snapshots).
+ */
+class SpillFile
+{
+  public:
+    SpillFile() = default;
+    SpillFile(const SpillFile &) = delete;
+    SpillFile &operator=(const SpillFile &) = delete;
+    ~SpillFile();
+
+    /**
+     * Create/truncate `path`. When `unlinkAfter`, the name is
+     * removed immediately — the file lives exactly as long as this
+     * object (crash-safe cleanup). False on failure.
+     */
+    bool open(const std::string &path, bool unlinkAfter);
+
+    bool valid() const { return fd_ >= 0; }
+
+    /** Append `n` bytes; returns the offset they start at. */
+    uint64_t append(const void *data, size_t n);
+
+    /** Read exactly `n` bytes at `off`; false on short read. */
+    bool readAt(uint64_t off, void *out, size_t n) const;
+
+    /** Overwrite `n` bytes at `off` (must be already-appended
+     *  range); false on short write. size() is unchanged. */
+    bool writeAt(uint64_t off, const void *data, size_t n);
+
+    /** Reset to empty (logical truncate; reuses the file). */
+    void clear();
+
+    /** Bytes appended since open/clear. */
+    uint64_t size() const { return size_; }
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint64_t size_ = 0;
+};
+
+} // namespace cxl0
+
+#endif // CXL0_COMMON_SPILL_HH

@@ -1,10 +1,13 @@
 #include "lang/run.hh"
 
 #include <cstdio>
+#include <stdexcept>
 
+#include "check/cache.hh"
 #include "check/refinement.hh"
 #include "check/simulation.hh"
 #include "check/trace.hh"
+#include "common/spill.hh"
 #include "obs/telemetry.hh"
 
 namespace cxl0::lang
@@ -132,10 +135,11 @@ computeExplore(const Scenario &sc, const RunOptions &opts,
         check::ContextPool::Entry &e =
             pool->acquire(sc.config(), sc.variant);
         return check::Explorer(e.model, sc.program, req)
-            .check(&e.ctx);
+            .check(&e.ctx, &opts.ooc);
     }
     Cxl0Model model(sc.config(), sc.variant);
-    return check::Explorer(model, sc.program, req).check();
+    return check::Explorer(model, sc.program, req)
+        .check(nullptr, &opts.ooc);
 }
 
 CheckReport
@@ -198,6 +202,50 @@ computeInclusion(const Scenario &sc, const RunOptions &opts,
                                       sc.traceRhs, req);
 }
 
+// ----------------------------------------------- final-report files
+
+/** Whole-file read; false when the file cannot be opened/read. */
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char chunk[1 << 15];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        out.append(chunk, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+/**
+ * Persist the conclusive run's deterministic projection as
+ * `<dir>/final.report` (tmp + rename so a killed writer never leaves
+ * a half-written file). Best-effort: a failed write only costs the
+ * next resume a deterministic re-search.
+ */
+void
+writeFinalReport(const std::string &dir, const std::string &text)
+{
+    if (!ensureDir(dir))
+        return;
+    const std::string path = dir + "/final.report";
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return;
+    bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fflush(f) == 0 && ok;
+    std::fclose(f);
+    if (ok)
+        std::rename(tmp.c_str(), path.c_str());
+    else
+        std::remove(tmp.c_str());
+}
+
 /** The input the requested checker cannot run without; empty = ok. */
 std::string
 inputError(const Scenario &sc, CheckerKind kind)
@@ -233,6 +281,27 @@ runWith(const Scenario &sc, const RunOptions &opts,
     r.error = inputError(sc, kind);
     if (!r.error.empty())
         return r;
+
+    // Resume shortcut, valid for all four checkers: a prior run that
+    // finished conclusively left its deterministic projection as
+    // final.report, so re-judging that beats re-searching. When the
+    // file is absent the explorer resumes from its mid-run snapshot;
+    // the other checkers deterministically rerun.
+    if (!opts.ooc.resumeFrom.empty()) {
+        std::string text;
+        if (readWholeFile(opts.ooc.resumeFrom + "/final.report",
+                          text)) {
+            check::CheckReport parsed;
+            if (!check::parseReport(text, parsed)) {
+                r.error = "final report in '" + opts.ooc.resumeFrom +
+                          "' is corrupt (not a cxl0report "
+                          "projection); delete it to re-run";
+                return r;
+            }
+            return judgeReport(sc, opts, kind, std::move(parsed));
+        }
+    }
+
     // One driver-level span per scenario run; the checkers add their
     // own per-shard "search:*" spans under it.
     const char *span_name = "run:scenario";
@@ -245,23 +314,38 @@ runWith(const Scenario &sc, const RunOptions &opts,
     }
     const obs::ScopedSpan runSpan(obs::threadRing(), span_name);
     CheckReport report;
-    switch (kind) {
-    case CheckerKind::Explore:
-        report = computeExplore(sc, opts, pool);
-        break;
-    case CheckerKind::Feasible:
-        report = computeFeasible(sc, opts, pool);
-        break;
-    case CheckerKind::Refinement:
-        report = computeRefinement(sc, opts, pool);
-        break;
-    case CheckerKind::Inclusion:
-        report = computeInclusion(sc, opts, pool);
-        break;
-    case CheckerKind::Auto:
-        r.error = "unreachable checker kind";
+    try {
+        switch (kind) {
+        case CheckerKind::Explore:
+            report = computeExplore(sc, opts, pool);
+            break;
+        case CheckerKind::Feasible:
+            report = computeFeasible(sc, opts, pool);
+            break;
+        case CheckerKind::Refinement:
+            report = computeRefinement(sc, opts, pool);
+            break;
+        case CheckerKind::Inclusion:
+            report = computeInclusion(sc, opts, pool);
+            break;
+        case CheckerKind::Auto:
+            r.error = "unreachable checker kind";
+            return r;
+        }
+    } catch (const std::exception &e) {
+        // Missing/corrupt/mismatched checkpoints surface here as a
+        // clean per-scenario diagnostic instead of aborting a batch.
+        r.error = e.what();
         return r;
     }
+
+    // A conclusive run records its projection so a later --resume
+    // (of any checker kind) can short-circuit the search.
+    if (!opts.ooc.checkpointDir.empty() &&
+        report.verdict != CheckVerdict::Inconclusive)
+        writeFinalReport(opts.ooc.checkpointDir,
+                         check::serializeReport(report));
+
     return judgeReport(sc, opts, kind, std::move(report));
 }
 

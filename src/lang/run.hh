@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checkpoint.hh"
 #include "check/service.hh"
 #include "lang/scenario.hh"
 
@@ -68,6 +69,19 @@ struct RunOptions
 
     /** Value bound for inclusion's state enumeration. */
     Value inclusionMaxValue = 1;
+
+    /**
+     * Out-of-core execution plumbing (--spill-dir /
+     * --checkpoint-every / --resume). Deliberately not part of the
+     * CheckRequest: where a search spills or snapshots never changes
+     * its report, so it must not change its cache key either. The
+     * explorer consumes the full set; the other checkers honour
+     * checkpointDir/resumeFrom through the driver's final-report
+     * shortcut (a conclusive run leaves its deterministic projection
+     * as `<checkpointDir>/final.report`, and a resume re-judges that
+     * instead of re-searching).
+     */
+    check::OutOfCoreOptions ooc;
 };
 
 /** The outcome of driving one scenario through one checker. */

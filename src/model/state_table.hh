@@ -262,6 +262,25 @@ class StateTable
     /** Content hash of state `id` (equals materialize(id).hash()). */
     uint64_t hashOf(StateId id) const { return spans_.hashOf(id); }
 
+    /**
+     * Flat interned span of state `id` (cache rows then memory rows;
+     * rawStride() values, stable address). Checkpointing serializes
+     * states through this view and restores them with internRaw() in
+     * id order — re-interning into a fresh table reassigns the same
+     * dense ids, which is what makes a resumed search bit-identical.
+     */
+    const Value *rawSpan(StateId id) const { return spans_.at(id); }
+
+    /** Values per raw span (cacheLen + numAddrs). */
+    size_t rawStride() const { return spans_.stride(); }
+
+    /** Intern a raw span under its recorded content hash. */
+    StateId internRaw(const Value *span, uint64_t hash,
+                      bool *is_new = nullptr)
+    {
+        return spans_.intern(span, hash, is_new);
+    }
+
     /** Number of distinct states interned. */
     size_t size() const { return spans_.size(); }
 

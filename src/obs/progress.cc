@@ -131,6 +131,9 @@ ProgressSampler::tick()
     uint64_t sleepSkip = reg.value(tel_.mSleepSkipped);
     uint64_t stealsA = reg.value(tel_.mStealsAttempted);
     uint64_t stealsS = reg.value(tel_.mStealsSucceeded);
+    uint64_t spilled = reg.value(tel_.mSpilledConfigs);
+    uint64_t spillBytes = reg.value(tel_.mSpillBytes);
+    uint64_t checkpoints = reg.value(tel_.mCheckpoints);
     uint64_t cacheHits = reg.value(tel_.mCacheHits);
     uint64_t cacheMisses = reg.value(tel_.mCacheMisses);
     uint64_t muted = reg.value(tel_.mMutedPanics);
@@ -171,6 +174,10 @@ ProgressSampler::tick()
             ",\"sleep_set_skipped\":" + std::to_string(sleepSkip);
         line += ",\"steals_attempted\":" + std::to_string(stealsA);
         line += ",\"steals_succeeded\":" + std::to_string(stealsS);
+        line += ",\"spilled_configs\":" + std::to_string(spilled);
+        line += ",\"spill_bytes\":" + std::to_string(spillBytes);
+        line +=
+            ",\"checkpoint_count\":" + std::to_string(checkpoints);
         line += ",\"cache_hits\":" + std::to_string(cacheHits);
         line += ",\"cache_misses\":" + std::to_string(cacheMisses);
         line += ",\"muted_panics\":" + std::to_string(muted);

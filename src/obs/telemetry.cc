@@ -25,6 +25,12 @@ Telemetry::Telemetry(Options opts)
                                         MetricKind::Counter);
     mStealsSucceeded = registry_.define("search.steals_succeeded",
                                         MetricKind::Counter);
+    mSpilledConfigs = registry_.define("search.spilled_configs",
+                                       MetricKind::Counter);
+    mSpillBytes =
+        registry_.define("search.spill_bytes", MetricKind::Counter);
+    mCheckpoints =
+        registry_.define("search.checkpoints", MetricKind::Gauge);
     mFrontierDepth =
         registry_.define("search.frontier_depth", MetricKind::Gauge);
     mPendingDepth =
@@ -57,8 +63,11 @@ Telemetry::publishSearch(size_t shard, const SearchSample &cur,
     delta(mSymmetryMerged, cur.symmetryMerged, last.symmetryMerged);
     delta(mStealsAttempted, cur.stealsAttempted, last.stealsAttempted);
     delta(mStealsSucceeded, cur.stealsSucceeded, last.stealsSucceeded);
+    delta(mSpilledConfigs, cur.spilledConfigs, last.spilledConfigs);
+    delta(mSpillBytes, cur.spillBytes, last.spillBytes);
     registry_.set(shard, mFrontierDepth, cur.frontierDepth);
     registry_.set(shard, mPendingDepth, cur.pendingDepth);
+    registry_.set(shard, mCheckpoints, cur.checkpointCount);
 }
 
 namespace

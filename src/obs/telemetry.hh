@@ -47,9 +47,14 @@ struct SearchSample
     uint64_t symmetryMerged = 0;
     uint64_t stealsAttempted = 0;
     uint64_t stealsSucceeded = 0;
+    uint64_t spilledConfigs = 0;
+    uint64_t spillBytes = 0;
     // Instantaneous levels (published absolute, merged as max).
     uint64_t frontierDepth = 0;
     uint64_t pendingDepth = 0;
+    /** Snapshots written so far (search-global; every worker
+     *  publishes the same value, gauges merge as max). */
+    uint64_t checkpointCount = 0;
 };
 
 struct TelemetryOptions
@@ -105,8 +110,9 @@ class Telemetry
     MetricId mConfigsVisited, mConfigsInterned, mTauSkipped,
         mAmpleSkipped, mCrashAmpleSkipped, mSleepSkipped,
         mSymmetryMerged, mStealsAttempted, mStealsSucceeded,
-        mFrontierDepth, mPendingDepth, mCacheHits, mCacheMisses,
-        mRssBytes, mMutedPanics;
+        mSpilledConfigs, mSpillBytes, mCheckpoints, mFrontierDepth,
+        mPendingDepth, mCacheHits, mCacheMisses, mRssBytes,
+        mMutedPanics;
 
   private:
     Registry registry_;

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Checkpoint/resume: snapshot-file round-trips and diagnostics, and
+ * the kill-and-resume matrix — every checker kind, threads {1,4},
+ * reduction {ample, full} — asserting a halted-then-resumed run
+ * reproduces the uninterrupted run's results.
+ *
+ * What "reproduces" means per cell follows what is actually
+ * deterministic: serializeReport's projection (verdict, outcomes,
+ * schedule-invariant counters) is byte-stable for every cell except
+ * threads 4 + Reduction::Full, where configs-visited and
+ * sleep-set-skipped are schedule-dependent even between two
+ * *uninterrupted* runs (sleep-word merge timing) — there the test
+ * pins the schedule-invariant core instead: verdict, truncation, the
+ * full outcome set, and configsInterned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "check/cache.hh"
+#include "check/checkpoint.hh"
+#include "lang/run.hh"
+#include "lang/scenario.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace cxl0::check;
+using cxl0::lang::CheckerKind;
+using cxl0::lang::checkerKindName;
+using cxl0::lang::ParseResult;
+using cxl0::lang::parseScenario;
+using cxl0::lang::RunOptions;
+using cxl0::lang::RunResult;
+using cxl0::lang::runScenario;
+using cxl0::lang::Scenario;
+
+struct TempDir
+{
+    TempDir()
+        : path("/tmp/cxl0-ckpt-test-" + std::to_string(::getpid()) +
+               "-" + std::to_string(counter++))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    static int counter;
+    std::string path;
+};
+int TempDir::counter = 0;
+
+// ------------------------------------------------ snapshot file I/O
+
+CheckpointData
+sampleSnapshot()
+{
+    CheckpointData d;
+    d.fingerprint = 0x1122334455667788ull;
+    d.totalVisited = 4242;
+    d.checkpointsWritten = 3;
+    d.regsPerOutcome = 4;
+    d.stateStride = 2;
+    d.stateHashes = {11, 22, 33};
+    d.stateSpans = {1, 2, 3, 4, 5, 6};
+    d.regStride = 4;
+    d.regHashes = {7, 8};
+    d.regSpans = {0, 1, 2, 3, 4, 5, 6, 7};
+    d.workers.resize(2);
+    for (uint32_t w = 0; w < 2; ++w) {
+        WorkerSnapshot &ws = d.workers[w];
+        for (uint32_t i = 0; i < 5; ++i) {
+            PackedConfig c;
+            c.state = w * 100 + i;
+            c.regs = i;
+            c.pc = i * 3;
+            c.alive = 7;
+            c.sleep = i & 1;
+            c.crash = i;
+            ws.visited.push_back(c);
+            if (i < 2)
+                ws.frontier.push_back(c);
+            if (i == 4)
+                ws.inbox.push_back(c);
+        }
+        ws.emitted = {uint64_t{w} << 32 | 1, uint64_t{w} << 32 | 2};
+        ws.outcomeCrashed = {0, 1};
+        ws.outcomeRegs = {1, 2, 3, 4, 5, 6, 7, 8};
+        ws.stats.configsVisited = 10 + w;
+        ws.stats.tauMovesSkipped = 20 + w;
+        ws.stats.ampleSkipped = 30 + w;
+        ws.stats.sleepSetSkipped = 40 + w;
+    }
+    return d;
+}
+
+TEST(CheckpointFileTest, WriteReadRoundTrip)
+{
+    TempDir dir;
+    CheckpointData d = sampleSnapshot();
+    ASSERT_TRUE(writeCheckpoint(dir.path, d));
+    ASSERT_TRUE(fs::exists(checkpointPath(dir.path)));
+
+    CheckpointData r;
+    readCheckpoint(dir.path, r);
+    EXPECT_EQ(r.fingerprint, d.fingerprint);
+    EXPECT_EQ(r.totalVisited, d.totalVisited);
+    EXPECT_EQ(r.checkpointsWritten, d.checkpointsWritten);
+    EXPECT_EQ(r.regsPerOutcome, d.regsPerOutcome);
+    EXPECT_EQ(r.stateHashes, d.stateHashes);
+    EXPECT_EQ(r.stateSpans, d.stateSpans);
+    EXPECT_EQ(r.regHashes, d.regHashes);
+    EXPECT_EQ(r.regSpans, d.regSpans);
+    ASSERT_EQ(r.workers.size(), d.workers.size());
+    for (size_t w = 0; w < d.workers.size(); ++w) {
+        const WorkerSnapshot &a = d.workers[w];
+        const WorkerSnapshot &b = r.workers[w];
+        ASSERT_EQ(b.visited.size(), a.visited.size());
+        for (size_t i = 0; i < a.visited.size(); ++i) {
+            EXPECT_TRUE(b.visited[i] == a.visited[i]);
+            EXPECT_EQ(b.visited[i].sleep, a.visited[i].sleep);
+        }
+        EXPECT_EQ(b.emitted, a.emitted);
+        EXPECT_EQ(b.outcomeCrashed, a.outcomeCrashed);
+        EXPECT_EQ(b.outcomeRegs, a.outcomeRegs);
+        EXPECT_EQ(b.frontier.size(), a.frontier.size());
+        EXPECT_EQ(b.inbox.size(), a.inbox.size());
+        EXPECT_EQ(b.stats.configsVisited, a.stats.configsVisited);
+        EXPECT_EQ(b.stats.sleepSetSkipped, a.stats.sleepSetSkipped);
+    }
+
+    // Re-writing replaces the snapshot atomically: no stale tmp left.
+    ASSERT_TRUE(writeCheckpoint(dir.path, d));
+    size_t entries = 0;
+    for (auto &e : fs::directory_iterator(dir.path)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST(CheckpointFileTest, MissingFileThrowsCleanDiagnostic)
+{
+    TempDir dir;
+    CheckpointData d;
+    EXPECT_THROW(readCheckpoint(dir.path, d), std::runtime_error);
+}
+
+TEST(CheckpointFileTest, CorruptByteFailsChecksumWithDiagnostic)
+{
+    TempDir dir;
+    ASSERT_TRUE(writeCheckpoint(dir.path, sampleSnapshot()));
+    const std::string path = checkpointPath(dir.path);
+    // Flip one payload byte past the magic.
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(32);
+    char b;
+    f.seekg(32);
+    f.get(b);
+    f.seekp(32);
+    f.put(static_cast<char>(b ^ 0x5a));
+    f.close();
+
+    CheckpointData d;
+    try {
+        readCheckpoint(dir.path, d);
+        FAIL() << "corrupt checkpoint was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CheckpointFileTest, TruncatedFileThrowsCleanDiagnostic)
+{
+    TempDir dir;
+    ASSERT_TRUE(writeCheckpoint(dir.path, sampleSnapshot()));
+    const std::string path = checkpointPath(dir.path);
+    const auto full = fs::file_size(path);
+    fs::resize_file(path, full / 2);
+
+    CheckpointData d;
+    try {
+        readCheckpoint(dir.path, d);
+        FAIL() << "truncated checkpoint was accepted";
+    } catch (const std::runtime_error &e) {
+        // Cutting the file usually lands mid-payload (a "truncated"
+        // cursor overrun); cutting inside the trailing checksum
+        // reports as a checksum/format failure. Either way the
+        // diagnostic is clean and names the problem.
+        const std::string what = e.what();
+        EXPECT_TRUE(what.find("truncated") != std::string::npos ||
+                    what.find("checksum") != std::string::npos ||
+                    what.find("not a cxl0 checkpoint") !=
+                        std::string::npos)
+            << what;
+    }
+}
+
+TEST(CheckpointFileTest, NotACheckpointFileDiagnostic)
+{
+    TempDir dir;
+    std::ofstream(checkpointPath(dir.path)) << "plain text";
+    CheckpointData d;
+    try {
+        readCheckpoint(dir.path, d);
+        FAIL() << "non-checkpoint file was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("not a cxl0 checkpoint"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// --------------------------------------------- kill-and-resume matrix
+
+/**
+ * Explorer workload for the matrix: three threads, RMWs, flushes and
+ * one crashable budget — ~3.5k configs under Ample, ~2.4k under Full,
+ * so at threads 4 every worker clears the 256-pop checkpoint cadence
+ * and a checkpoint-every-500 snapshot fires well before the search
+ * drains.
+ */
+const char *kStressScenario = R"(litmus "stress: checkpoint matrix"
+
+machine 0 nvmm
+machine 1 nvmm
+addr x0 @ 0
+addr x1 @ 1
+
+registers 2
+crash any max 1
+
+thread 0 on 0 {
+  mstore x0 1
+  r0 = faa.m x1 1
+  lflush x0
+  r1 = load x1
+}
+
+thread 1 on 1 {
+  mstore x1 2
+  r0 = faa.m x0 1
+  lflush x1
+  r1 = load x0
+}
+
+thread 2 on 0 {
+  rstore x1 3
+  rflush x1
+  r0 = faa.m x0 2
+  r1 = load x1
+}
+)";
+
+Scenario
+mustParse(const std::string &text)
+{
+    ParseResult r = parseScenario(text);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error->render());
+    return r.scenario;
+}
+
+std::string
+corpusFile(const std::string &rel)
+{
+    std::ifstream in(std::string(CXL0_SOURCE_DIR) + "/" + rel);
+    EXPECT_TRUE(in.good()) << rel;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+struct MatrixCell
+{
+    size_t threads;
+    Reduction reduction;
+};
+
+const MatrixCell kCells[] = {
+    {1, Reduction::Ample},
+    {1, Reduction::Full},
+    {4, Reduction::Ample},
+    {4, Reduction::Full},
+};
+
+RunOptions
+cellOptions(CheckerKind kind, const MatrixCell &cell)
+{
+    RunOptions opts;
+    opts.checker = kind;
+    opts.numThreads = cell.threads;
+    opts.reduction = cell.reduction;
+    return opts;
+}
+
+/**
+ * Explorer cells: uninterrupted baseline, then a run halted right
+ * after its first snapshot (the in-process SIGKILL stand-in: the
+ * truncated result is discarded exactly as a killed process's would
+ * be), then a resume from that snapshot. The resumed run must
+ * reproduce the baseline.
+ */
+TEST(KillAndResumeMatrix, ExplorerResumesToBaselineResults)
+{
+    const Scenario sc = mustParse(kStressScenario);
+    for (const MatrixCell &cell : kCells) {
+        SCOPED_TRACE("threads=" + std::to_string(cell.threads) +
+                     " reduction=" +
+                     reductionName(cell.reduction));
+        const RunOptions base =
+            cellOptions(CheckerKind::Explore, cell);
+        const RunResult uninterrupted = runScenario(sc, base);
+        ASSERT_TRUE(uninterrupted.error.empty())
+            << uninterrupted.error;
+        ASSERT_FALSE(uninterrupted.report.truncated);
+
+        TempDir dir;
+        RunOptions halted = base;
+        halted.ooc.checkpointDir = dir.path;
+        halted.ooc.checkpointEvery = 500;
+        halted.ooc.haltAfterCheckpoints = 1;
+        const RunResult killed = runScenario(sc, halted);
+        ASSERT_TRUE(killed.error.empty()) << killed.error;
+        // The halt really interrupted the search mid-flight (and an
+        // inconclusive run must not have written final.report).
+        ASSERT_TRUE(killed.report.truncated);
+        ASSERT_LT(killed.report.stats.configsVisited,
+                  uninterrupted.report.stats.configsVisited);
+        ASSERT_FALSE(fs::exists(dir.path + "/final.report"));
+        ASSERT_TRUE(fs::exists(checkpointPath(dir.path)));
+
+        RunOptions resumed = base;
+        resumed.ooc.resumeFrom = dir.path;
+        const RunResult r = runScenario(sc, resumed);
+        ASSERT_TRUE(r.error.empty()) << r.error;
+
+        // The schedule-invariant core must always match.
+        EXPECT_EQ(r.report.verdict, uninterrupted.report.verdict);
+        EXPECT_FALSE(r.report.truncated);
+        EXPECT_TRUE(r.report.outcomes == uninterrupted.report.outcomes);
+        EXPECT_EQ(r.report.stats.configsInterned,
+                  uninterrupted.report.stats.configsInterned);
+        EXPECT_EQ(r.pass, uninterrupted.pass);
+
+        if (cell.threads == 1 || cell.reduction == Reduction::Ample) {
+            // Everything serializeReport projects is deterministic
+            // here (threads 1: fully; threads 4 + Ample: only steal
+            // counters differ between runs and those are excluded
+            // from the projection) — so resume must reproduce the
+            // report byte for byte.
+            EXPECT_EQ(serializeReport(r.report),
+                      serializeReport(uninterrupted.report));
+        }
+        // threads 4 + Full: configs-visited / sleep-set-skipped are
+        // schedule-dependent even between two uninterrupted runs
+        // (sleep-word merge timing), so byte equality is not a sound
+        // assertion for that cell; the invariant core above is.
+    }
+}
+
+/**
+ * Non-explorer cells ride the final-report shortcut: a conclusive
+ * run with a checkpoint dir records its deterministic projection as
+ * final.report, and a resume re-judges those bytes instead of
+ * re-searching — for every checker kind, thread count, and
+ * reduction.
+ */
+TEST(KillAndResumeMatrix, OtherCheckersResumeViaFinalReport)
+{
+    const struct
+    {
+        CheckerKind kind;
+        const char *file;
+    } kScenarios[] = {
+        {CheckerKind::Feasible, "corpus/litmus/litmus01_trace.cxl0"},
+        {CheckerKind::Refinement, "corpus/litmus/mp_split.cxl0"},
+        {CheckerKind::Inclusion,
+         "corpus/litmus/incl_lstore_weaker.cxl0"},
+    };
+    for (const auto &s : kScenarios) {
+        const Scenario sc = mustParse(corpusFile(s.file));
+        for (const MatrixCell &cell : kCells) {
+            SCOPED_TRACE(std::string(checkerKindName(s.kind)) +
+                         " threads=" + std::to_string(cell.threads) +
+                         " reduction=" +
+                         reductionName(cell.reduction));
+            RunOptions base = cellOptions(s.kind, cell);
+            const RunResult first = runScenario(sc, base);
+            ASSERT_TRUE(first.error.empty()) << first.error;
+
+            TempDir dir;
+            RunOptions recording = base;
+            recording.ooc.checkpointDir = dir.path;
+            recording.ooc.checkpointEvery = 500;
+            const RunResult recorded = runScenario(sc, recording);
+            ASSERT_TRUE(recorded.error.empty()) << recorded.error;
+            // Only a conclusive run records its projection
+            // (refinement's depth-bound cut is inconclusive-but-
+            // tolerated, so it reruns on resume instead).
+            EXPECT_EQ(fs::exists(dir.path + "/final.report"),
+                      recorded.report.verdict !=
+                          CheckVerdict::Inconclusive);
+
+            RunOptions resumed = base;
+            resumed.ooc.resumeFrom = dir.path;
+            const RunResult r = runScenario(sc, resumed);
+            ASSERT_TRUE(r.error.empty()) << r.error;
+            EXPECT_EQ(serializeReport(r.report),
+                      serializeReport(first.report));
+            EXPECT_EQ(r.pass, first.pass);
+        }
+    }
+}
+
+/** A corrupt final.report must fail with a clean diagnostic, not a
+ *  wrong resume. */
+TEST(KillAndResumeMatrix, CorruptFinalReportDiagnostic)
+{
+    const Scenario sc = mustParse(kStressScenario);
+    TempDir dir;
+    std::ofstream(dir.path + "/final.report") << "not a report";
+    RunOptions opts;
+    opts.checker = CheckerKind::Explore;
+    opts.ooc.resumeFrom = dir.path;
+    const RunResult r = runScenario(sc, opts);
+    ASSERT_FALSE(r.error.empty());
+    EXPECT_NE(r.error.find("corrupt"), std::string::npos) << r.error;
+}
+
+/** Resuming a different search than the snapshot's must be refused
+ *  (fingerprint mismatch), not silently merged. */
+TEST(KillAndResumeMatrix, FingerprintMismatchIsRefused)
+{
+    const Scenario sc = mustParse(kStressScenario);
+    TempDir dir;
+    RunOptions halted;
+    halted.checker = CheckerKind::Explore;
+    halted.numThreads = 1;
+    halted.reduction = Reduction::Ample;
+    halted.ooc.checkpointDir = dir.path;
+    halted.ooc.checkpointEvery = 500;
+    halted.ooc.haltAfterCheckpoints = 1;
+    const RunResult killed = runScenario(sc, halted);
+    ASSERT_TRUE(killed.error.empty()) << killed.error;
+    ASSERT_TRUE(fs::exists(checkpointPath(dir.path)));
+
+    // Same options, different program: the snapshot must not apply.
+    std::string other = kStressScenario;
+    other.replace(other.find("mstore x0 1"), 11, "mstore x0 9");
+    const Scenario sc2 = mustParse(other);
+    RunOptions resumed;
+    resumed.checker = CheckerKind::Explore;
+    resumed.numThreads = 1;
+    resumed.reduction = Reduction::Ample;
+    resumed.ooc.resumeFrom = dir.path;
+    const RunResult r = runScenario(sc2, resumed);
+    ASSERT_FALSE(r.error.empty());
+}
+
+/** Checkpoint/resume must compose with spilling: a halted spilled
+ *  run resumes to the same outcome set as the in-memory baseline. */
+TEST(KillAndResumeMatrix, SpilledRunResumesIdentically)
+{
+    const Scenario sc = mustParse(kStressScenario);
+    RunOptions base;
+    base.checker = CheckerKind::Explore;
+    base.numThreads = 4;
+    base.reduction = Reduction::Ample;
+    const RunResult uninterrupted = runScenario(sc, base);
+    ASSERT_TRUE(uninterrupted.error.empty());
+
+    TempDir spill, ckpt;
+    RunOptions halted = base;
+    halted.ooc.spillDir = spill.path;
+    halted.ooc.frontierSpillBudgetBytes = 1 << 10;
+    halted.ooc.visitedSpillBudgetBytes = 1; // clamped to 256 KiB
+    halted.ooc.checkpointDir = ckpt.path;
+    halted.ooc.checkpointEvery = 500;
+    halted.ooc.haltAfterCheckpoints = 1;
+    const RunResult killed = runScenario(sc, halted);
+    ASSERT_TRUE(killed.error.empty()) << killed.error;
+    ASSERT_TRUE(killed.report.truncated);
+
+    RunOptions resumed = base;
+    resumed.ooc.spillDir = spill.path;
+    resumed.ooc.frontierSpillBudgetBytes = 1 << 10;
+    resumed.ooc.resumeFrom = ckpt.path;
+    const RunResult r = runScenario(sc, resumed);
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(serializeReport(r.report),
+              serializeReport(uninterrupted.report));
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Out-of-core building blocks: the two-tier VisitedSet and frontier
+ * spilling. These are the pieces whose exactness the spill soundness
+ * argument leans on (src/check/README.md): spilling must reorder
+ * work, never change any dedup or admission answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "check/engine.hh"
+#include "common/spill.hh"
+
+namespace
+{
+
+using namespace cxl0::check;
+using cxl0::SpillFile;
+
+/** An unlinked scratch SpillFile per test. */
+struct ScratchSpill
+{
+    ScratchSpill()
+    {
+        const std::string path =
+            "/tmp/cxl0-ooc-test-" + std::to_string(::getpid()) +
+            "-" + std::to_string(counter++);
+        ok = file.open(path, /*unlinkAfter=*/true);
+    }
+    static int counter;
+    SpillFile file;
+    bool ok = false;
+};
+int ScratchSpill::counter = 0;
+
+PackedConfig
+mkConfig(uint32_t i, uint32_t sleep = 0)
+{
+    PackedConfig c;
+    c.state = i;
+    c.regs = i * 7 + 1;
+    c.pc = uint64_t{i} * 13;
+    c.alive = 3;
+    c.sleep = sleep;
+    c.crash = i % 5;
+    return c;
+}
+
+// The hot budget is clamped up to 256 KiB = 8192 32-byte entries,
+// so a flush happens exactly when the hot table reaches 8192.
+constexpr uint32_t kFlushEntries = 8192;
+
+TEST(VisitedSetTest, PassthroughWithoutSpillMatchesFlatSet)
+{
+    VisitedSet vs;
+    for (uint32_t i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(vs.insert(mkConfig(i)));
+        EXPECT_FALSE(vs.insert(mkConfig(i)));
+    }
+    EXPECT_EQ(vs.size(), 1000u);
+    EXPECT_EQ(vs.spilledEntries(), 0u);
+    EXPECT_EQ(vs.spilledBytes(), 0u);
+    for (uint32_t i = 0; i < 1000; ++i)
+        EXPECT_TRUE(vs.contains(mkConfig(i)));
+    EXPECT_FALSE(vs.contains(mkConfig(1000)));
+}
+
+TEST(VisitedSetTest, SpillModeFlushesRunsAndStaysExact)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    VisitedSet vs;
+    vs.configureSpill(&sp.file, 1); // clamped to 256 KiB
+
+    const uint32_t kN = 20000; // forces two flushed runs
+    for (uint32_t i = 0; i < kN; ++i)
+        ASSERT_TRUE(vs.insert(mkConfig(i)));
+    EXPECT_EQ(vs.size(), kN);
+    EXPECT_EQ(vs.spilledEntries(), uint64_t{2 * kFlushEntries});
+    EXPECT_EQ(vs.spilledBytes(),
+              uint64_t{2 * kFlushEntries} * sizeof(PackedConfig));
+
+    // Dedup answers are identical across tiers: every inserted
+    // config is found (sleep word excluded from identity), every
+    // near-miss is not.
+    for (uint32_t i = 0; i < kN; i += 97) {
+        EXPECT_TRUE(vs.contains(mkConfig(i, /*sleep=*/0xdead)));
+        EXPECT_FALSE(vs.insert(mkConfig(i)));
+        PackedConfig miss = mkConfig(i);
+        miss.pc ^= 1;
+        EXPECT_FALSE(vs.contains(miss));
+    }
+    EXPECT_EQ(vs.size(), kN);
+
+    // Resident bytes exclude the cold file: far below kN entries.
+    EXPECT_LT(vs.bytes(), uint64_t{kN} * sizeof(PackedConfig));
+}
+
+TEST(VisitedSetTest, AdmitMergesSleepWordsAcrossTiers)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    VisitedSet vs;
+    vs.configureSpill(&sp.file, 1);
+
+    // Fill exactly one flush worth with sleep word 0b11, pushing
+    // every entry into a cold run (hot table drains on the flush).
+    for (uint32_t i = 0; i < kFlushEntries; ++i)
+        ASSERT_TRUE(vs.insert(mkConfig(i, 0b11)));
+    ASSERT_EQ(vs.spilledEntries(), uint64_t{kFlushEntries});
+
+    // Cold merge: a covered arrival is a Duplicate; a shrinking one
+    // is Readmitted and carries the merged word back out, persisted
+    // via write-back (the second round proves persistence).
+    PackedConfig covered = mkConfig(5, 0b11);
+    EXPECT_EQ(vs.admit(covered), VisitedSet::Admit::Duplicate);
+    PackedConfig shrink = mkConfig(5, 0b01);
+    EXPECT_EQ(vs.admit(shrink), VisitedSet::Admit::Readmitted);
+    EXPECT_EQ(shrink.sleep, 0b01u);
+    PackedConfig again = mkConfig(5, 0b01);
+    EXPECT_EQ(vs.admit(again), VisitedSet::Admit::Duplicate);
+
+    // Hot merge: same protocol for an entry still in the hot tier.
+    PackedConfig fresh = mkConfig(1u << 20, 0b10);
+    EXPECT_EQ(vs.admit(fresh), VisitedSet::Admit::Inserted);
+    PackedConfig hotShrink = mkConfig(1u << 20, 0b00);
+    EXPECT_EQ(vs.admit(hotShrink), VisitedSet::Admit::Readmitted);
+    EXPECT_EQ(hotShrink.sleep, 0u);
+    PackedConfig hotAgain = mkConfig(1u << 20, 0b11);
+    EXPECT_EQ(vs.admit(hotAgain), VisitedSet::Admit::Duplicate);
+}
+
+TEST(VisitedSetTest, ForEachCoversBothTiers)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    VisitedSet vs;
+    vs.configureSpill(&sp.file, 1);
+    const uint32_t kN = kFlushEntries + 1000; // one run + hot tail
+    for (uint32_t i = 0; i < kN; ++i)
+        ASSERT_TRUE(vs.insert(mkConfig(i)));
+    ASSERT_EQ(vs.spilledEntries(), uint64_t{kFlushEntries});
+
+    std::set<uint32_t> seen;
+    vs.forEach([&](const PackedConfig &c) {
+        EXPECT_TRUE(seen.insert(c.state).second);
+    });
+    EXPECT_EQ(seen.size(), kN);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), kN - 1);
+}
+
+TEST(ConfigFrontierSpill, EmptyFrontierWithSpillConfigured)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    ConfigFrontier f(FrontierPolicy::DepthFirst);
+    f.configureSpill(&sp.file, 1);
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.spilledConfigs(), 0u);
+    f.push(mkConfig(1));
+    EXPECT_FALSE(f.empty());
+    PackedConfig c = f.pop();
+    EXPECT_EQ(c.state, 1u);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(ConfigFrontierSpill, SpillAndRefillPreserveTheQueuedSet)
+{
+    for (FrontierPolicy policy : {FrontierPolicy::DepthFirst,
+                                  FrontierPolicy::BreadthFirst}) {
+        ScratchSpill sp;
+        ASSERT_TRUE(sp.ok);
+        ConfigFrontier f(policy);
+        // A one-byte budget spills the cold half on every push past
+        // two live entries.
+        f.configureSpill(&sp.file, 1);
+        const uint32_t kN = 200;
+        for (uint32_t i = 0; i < kN; ++i)
+            f.push(mkConfig(i));
+        EXPECT_EQ(f.size(), size_t{kN});
+        EXPECT_GT(f.spilledConfigs(), 0u);
+        EXPECT_GT(f.spilledNow(), 0u);
+        EXPECT_EQ(f.spillBytes(),
+                  f.spilledConfigs() * sizeof(PackedConfig));
+
+        std::set<uint32_t> popped;
+        while (!f.empty())
+            EXPECT_TRUE(popped.insert(f.pop().state).second);
+        EXPECT_EQ(popped.size(), kN);
+        EXPECT_EQ(f.spilledNow(), 0u);
+        EXPECT_EQ(f.size(), 0u);
+    }
+}
+
+TEST(ConfigFrontierSpill, StealRefillsWhenAllWorkIsSpilled)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    ConfigFrontier f(FrontierPolicy::DepthFirst);
+    f.configureSpill(&sp.file, 1);
+    // Budget 1 byte: each push past the second spills half, leaving
+    // exactly one in-memory entry. Popping it leaves every queued
+    // config in spill blocks — the thief's refill path.
+    for (uint32_t i = 0; i < 4; ++i)
+        f.push(mkConfig(i));
+    (void)f.pop();
+    ASSERT_EQ(f.size(), f.spilledNow());
+    ASSERT_GT(f.spilledNow(), 0u);
+
+    std::vector<PackedConfig> loot;
+    size_t stolen = f.stealHalf(loot);
+    EXPECT_EQ(stolen, loot.size());
+    EXPECT_GT(stolen, 0u);
+    EXPECT_EQ(f.size() + stolen + 1, 4u);
+
+    // Nothing lost, nothing duplicated across pop/steal/drain.
+    std::set<uint32_t> seen;
+    seen.insert(mkConfig(3).state); // the first pop (DFS hot end)
+    for (const PackedConfig &c : loot)
+        EXPECT_TRUE(seen.insert(c.state).second);
+    while (!f.empty())
+        EXPECT_TRUE(seen.insert(f.pop().state).second);
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ConfigFrontierSpill, ForEachQueuedWalksColdToHotDeterministically)
+{
+    ScratchSpill sp;
+    ASSERT_TRUE(sp.ok);
+    ConfigFrontier f(FrontierPolicy::DepthFirst);
+    f.configureSpill(&sp.file, 1);
+    for (uint32_t i = 0; i < 100; ++i)
+        f.push(mkConfig(i));
+    std::vector<uint32_t> first, second;
+    f.forEachQueued(
+        [&](const PackedConfig &c) { first.push_back(c.state); });
+    f.forEachQueued(
+        [&](const PackedConfig &c) { second.push_back(c.state); });
+    EXPECT_EQ(first.size(), f.size());
+    EXPECT_EQ(first, second);
+    // The walk covers every queued config exactly once.
+    std::set<uint32_t> uniq(first.begin(), first.end());
+    EXPECT_EQ(uniq.size(), first.size());
+}
+
+TEST(ShardedFrontierTest, OversizedInboxDrainsDespitePendingFrontier)
+{
+    // Regression guard for the out-of-core inbox fix: a shard whose
+    // frontier never empties (the steady state of a spilling run)
+    // must still drain its inbox once it passes the drain threshold,
+    // or handed-off configs pile up unboundedly in RAM.
+    ShardedFrontier sf(2, FrontierPolicy::DepthFirst);
+    sf.pushLocal(0, mkConfig(1u << 24));
+    const uint32_t kSends = 5000; // > kInboxDrain = 4096
+    for (uint32_t i = 0; i < kSends; ++i)
+        sf.send(0, mkConfig(i));
+
+    std::atomic<size_t> admitted{0};
+    auto admit = [&](const PackedConfig &) {
+        admitted.fetch_add(1);
+        return true;
+    };
+    PackedConfig c;
+    ASSERT_TRUE(sf.pop(0, c, admit));
+    // One pop sufficed to pull the whole oversized inbox through
+    // admission, even though the local frontier still had work.
+    EXPECT_EQ(admitted.load(), size_t{kSends});
+    sf.done();
+
+    size_t drained = 1;
+    while (drained < kSends + 1 && sf.pop(0, c, admit)) {
+        ++drained;
+        sf.done();
+    }
+    EXPECT_EQ(drained, size_t{kSends} + 1);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/segmented.hh"
+#include "common/spill.hh"
+
+namespace
+{
+
+using cxl0::ensureDir;
+using cxl0::ScopedSpillArena;
+using cxl0::SegmentedArray;
+using cxl0::SpillArena;
+using cxl0::SpillFile;
+
+/** Fresh scratch directory per test, removed on scope exit. */
+struct TempDir
+{
+    TempDir()
+        : path("/tmp/cxl0-spill-test-" + std::to_string(::getpid()) +
+               "-" + std::to_string(counter++))
+    {
+        std::filesystem::remove_all(path);
+        ensureDir(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    static int counter;
+    std::string path;
+};
+int TempDir::counter = 0;
+
+TEST(SpillArena, MapsZeroedMemoryAndTracksBytes)
+{
+    TempDir dir;
+    SpillArena arena(dir.path);
+    ASSERT_TRUE(arena.valid());
+    EXPECT_EQ(arena.mappedBytes(), 0u);
+
+    constexpr size_t kBytes = 1 << 20;
+    auto *p = static_cast<unsigned char *>(arena.map(kBytes));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(arena.mappedBytes(), kBytes);
+    for (size_t i = 0; i < kBytes; i += 4096)
+        EXPECT_EQ(p[i], 0u);
+
+    p[0] = 42;
+    p[kBytes - 1] = 7;
+    arena.shed();
+    // MAP_SHARED file pages survive a shed: the data refaults from
+    // the page cache / backing file, it is not recomputed.
+    EXPECT_EQ(p[0], 42u);
+    EXPECT_EQ(p[kBytes - 1], 7u);
+
+    arena.unmap(p, kBytes);
+    EXPECT_EQ(arena.mappedBytes(), 0u);
+}
+
+TEST(SpillArena, BackingFilesAreUnlinkedAtCreation)
+{
+    TempDir dir;
+    SpillArena arena(dir.path);
+    ASSERT_TRUE(arena.valid());
+    void *p = arena.map(1 << 20);
+    ASSERT_NE(p, nullptr);
+    // The directory stays empty even while the mapping is live:
+    // cleanup is automatic on any exit, SIGKILL included.
+    size_t entries = 0;
+    for (auto &e : std::filesystem::directory_iterator(dir.path)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 0u);
+    arena.unmap(p, 1 << 20);
+}
+
+TEST(SpillArena, InvalidDirectoryFailsClosed)
+{
+    SpillArena arena("/proc/definitely/not/writable");
+    EXPECT_FALSE(arena.valid());
+    EXPECT_EQ(arena.map(1 << 20), nullptr);
+}
+
+TEST(SpillArena, InstallIsProcessGlobalAndScoped)
+{
+    EXPECT_EQ(SpillArena::installed(), nullptr);
+    TempDir dir;
+    {
+        ScopedSpillArena scoped(dir.path);
+        EXPECT_EQ(SpillArena::installed(), &scoped.arena());
+    }
+    EXPECT_EQ(SpillArena::installed(), nullptr);
+}
+
+TEST(SegmentedArrayTest, LargeSegmentsMapThroughInstalledArena)
+{
+    TempDir dir;
+    ScopedSpillArena scoped(dir.path);
+    // Segment capacities grow geometrically; pushing well past the
+    // 256 KiB spill threshold forces at least one mapped segment.
+    SegmentedArray<uint64_t, 6> arr;
+    constexpr size_t kCount = 200000; // 1.6 MB of u64
+    arr.ensure(kCount);
+    for (size_t i = 0; i < kCount; ++i)
+        arr[i] = i * 3 + 1;
+    EXPECT_GT(scoped.arena().mappedBytes(), 0u);
+
+    scoped.arena().shed();
+    for (size_t i = 0; i < kCount; i += 777)
+        EXPECT_EQ(arr[i], i * 3 + 1);
+}
+
+TEST(SpillFileTest, AppendReadAtRoundTrip)
+{
+    TempDir dir;
+    SpillFile f;
+    ASSERT_TRUE(f.open(dir.path + "/blocks", /*unlinkAfter=*/true));
+    ASSERT_TRUE(f.valid());
+
+    const std::string a = "first block";
+    const std::string b = "second, longer block of bytes";
+    uint64_t offA = f.append(a.data(), a.size());
+    uint64_t offB = f.append(b.data(), b.size());
+    EXPECT_EQ(offA, 0u);
+    EXPECT_EQ(offB, a.size());
+    EXPECT_EQ(f.size(), a.size() + b.size());
+
+    std::string out(b.size(), '\0');
+    ASSERT_TRUE(f.readAt(offB, out.data(), out.size()));
+    EXPECT_EQ(out, b);
+    out.assign(a.size(), '\0');
+    ASSERT_TRUE(f.readAt(offA, out.data(), out.size()));
+    EXPECT_EQ(out, a);
+
+    // Past-the-end reads fail cleanly instead of short-reading.
+    EXPECT_FALSE(f.readAt(f.size() - 2, out.data(), 4));
+}
+
+TEST(SpillFileTest, WriteAtUpdatesInPlace)
+{
+    TempDir dir;
+    SpillFile f;
+    ASSERT_TRUE(f.open(dir.path + "/blocks", /*unlinkAfter=*/true));
+    const char data[8] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+    f.append(data, sizeof data);
+
+    const char patch[2] = {'X', 'Y'};
+    ASSERT_TRUE(f.writeAt(2, patch, sizeof patch));
+    char out[8] = {};
+    ASSERT_TRUE(f.readAt(0, out, sizeof out));
+    EXPECT_EQ(std::memcmp(out, "abXYefgh", 8), 0);
+    EXPECT_EQ(f.size(), sizeof data); // size unchanged by writeAt
+
+    // writeAt only patches already-appended bytes.
+    EXPECT_FALSE(f.writeAt(7, patch, sizeof patch));
+}
+
+TEST(SpillFileTest, ClearResetsLogicalSize)
+{
+    TempDir dir;
+    SpillFile f;
+    ASSERT_TRUE(f.open(dir.path + "/blocks", /*unlinkAfter=*/true));
+    f.append("abc", 3);
+    f.clear();
+    EXPECT_EQ(f.size(), 0u);
+    uint64_t off = f.append("xy", 2);
+    EXPECT_EQ(off, 0u);
+    char out[2];
+    ASSERT_TRUE(f.readAt(0, out, 2));
+    EXPECT_EQ(std::memcmp(out, "xy", 2), 0);
+}
+
+TEST(EnsureDirTest, CreatesNestedAndToleratesExisting)
+{
+    TempDir dir;
+    const std::string nested = dir.path + "/a/b/c";
+    EXPECT_TRUE(ensureDir(nested));
+    EXPECT_TRUE(std::filesystem::is_directory(nested));
+    EXPECT_TRUE(ensureDir(nested)); // idempotent
+}
+
+} // namespace

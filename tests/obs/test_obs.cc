@@ -241,6 +241,9 @@ TEST(Progress, HeartbeatJsonlHasTheContractFields)
     EXPECT_NE(line.find("\"configs\":"), std::string::npos);
     EXPECT_NE(line.find("\"rss_bytes\":"), std::string::npos);
     EXPECT_NE(line.find("\"muted_panics\":"), std::string::npos);
+    EXPECT_NE(line.find("\"spilled_configs\":"), std::string::npos);
+    EXPECT_NE(line.find("\"spill_bytes\":"), std::string::npos);
+    EXPECT_NE(line.find("\"checkpoint_count\":"), std::string::npos);
     std::remove(path.c_str());
 }
 

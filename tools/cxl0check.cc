@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "common/spill.hh"
 #include "fuzz/farm.hh"
 #include "inject/campaign.hh"
 #include "lang/run.hh"
@@ -231,6 +232,26 @@ usage(const char *argv0)
         "  --impl V          refinement impl variant (base|lwb|psn)\n"
         "  --out FILE        write the aggregate JSON report\n"
         "  --stable-json     zero wall-clock fields in the JSON\n"
+        "  --spill-dir DIR   out-of-core mode: interning tables in\n"
+        "                    file-backed (mmap) segments under DIR,\n"
+        "                    frontiers spill their cold end there\n"
+        "                    when over budget; reports are identical\n"
+        "  --spill-budget-mb N  per-shard frontier bytes before the\n"
+        "                    cold half spills (default 32)\n"
+        "  --visited-budget-mb N  per-shard hot visited-set bytes\n"
+        "                    before a sorted run flushes to disk\n"
+        "                    (default 16)\n"
+        "  --checkpoint-every N  snapshot the search every N admitted\n"
+        "                    configurations (explorer; quiescent,\n"
+        "                    atomically replaced)\n"
+        "  --checkpoint-dir DIR  where snapshots and the final report\n"
+        "                    go (default: the --resume dir)\n"
+        "  --resume DIR      resume a killed run from its snapshot;\n"
+        "                    the completed run's report is\n"
+        "                    byte-identical to an uninterrupted one\n"
+        "  --halt-after-checkpoints N  stop right after the Nth\n"
+        "                    snapshot (in-process SIGKILL stand-in\n"
+        "                    for resume testing)\n"
         "  --export DIR      write the built-in litmus corpus to DIR\n"
         "  --dump FILE       print FILE's canonical form and exit\n"
         "  --quiet           only print failures and the summary\n",
@@ -719,6 +740,12 @@ fuzzUsage(const char *argv0)
         "  --max-configs N     per-run configuration budget\n"
         "  --alt-threads N     the N of the 1-vs-N thread gate\n"
         "  --time-budget-ms N  per-run wall-clock budget\n"
+        "  --soak              raise the generator bounds (bigger\n"
+        "                      systems, longer programs); runs that\n"
+        "                      outgrow the budgets are skipped, so\n"
+        "                      pair with --time-budget-ms (defaults\n"
+        "                      to 2000 when unset) and a larger\n"
+        "                      --max-configs\n"
         "  --no-reference      skip the deep-copy reference gate\n"
         "  --no-shrink         skip minimizing findings\n"
         "  --no-cache-trial    skip the verify-hits cache trial\n"
@@ -799,6 +826,7 @@ fuzzMain(int argc, char **argv)
     const char *replay_dir = nullptr;
     const char *corpus_dir = nullptr;
     bool stable_json = false;
+    bool soak = false;
     bool quiet = false;
 
     auto value = [&](int &i) -> const char * {
@@ -836,6 +864,8 @@ fuzzMain(int argc, char **argv)
         } else if (std::strcmp(a, "--time-budget-ms") == 0) {
             opts.diff.timeBudgetMs = static_cast<uint64_t>(
                 count(i, 1, std::numeric_limits<long long>::max()));
+        } else if (std::strcmp(a, "--soak") == 0) {
+            soak = true;
         } else if (std::strcmp(a, "--no-reference") == 0) {
             opts.diff.runReference = false;
         } else if (std::strcmp(a, "--no-shrink") == 0) {
@@ -865,6 +895,22 @@ fuzzMain(int argc, char **argv)
         } else {
             return fuzzUsage(argv[0]);
         }
+    }
+
+    if (soak) {
+        // Soak mode: push the generator past the default bounds (the
+        // defaults are sized to finish untruncated on the default
+        // budget; soak deliberately is not). The time budget keeps a
+        // pathological draw from stalling the whole farm — truncated
+        // baselines are counted skipped, never diverged.
+        opts.gen.maxMachines = 4;
+        opts.gen.maxAddrs = 3;
+        opts.gen.maxThreads = 4;
+        opts.gen.maxInstrsPerThread = 7;
+        opts.gen.maxRegs = 4;
+        opts.gen.maxValue = 3;
+        if (opts.diff.timeBudgetMs == 0)
+            opts.diff.timeBudgetMs = 2000;
     }
 
     tcli.begin("fuzz");
@@ -1311,6 +1357,50 @@ main(int argc, char **argv)
             out_path = value(i);
         } else if (std::strcmp(a, "--stable-json") == 0) {
             stable_json = true;
+        } else if (std::strcmp(a, "--spill-dir") == 0) {
+            opts.ooc.spillDir = value(i);
+        } else if (std::strcmp(a, "--spill-budget-mb") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1 || n > 1 << 20) {
+                std::fprintf(
+                    stderr,
+                    "error: --spill-budget-mb wants 1..1048576\n");
+                return 2;
+            }
+            opts.ooc.frontierSpillBudgetBytes =
+                static_cast<size_t>(n) << 20;
+        } else if (std::strcmp(a, "--visited-budget-mb") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1 || n > 1 << 20) {
+                std::fprintf(
+                    stderr,
+                    "error: --visited-budget-mb wants 1..1048576\n");
+                return 2;
+            }
+            opts.ooc.visitedSpillBudgetBytes =
+                static_cast<size_t>(n) << 20;
+        } else if (std::strcmp(a, "--checkpoint-every") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1) {
+                std::fprintf(
+                    stderr,
+                    "error: --checkpoint-every wants >= 1\n");
+                return 2;
+            }
+            opts.ooc.checkpointEvery = static_cast<size_t>(n);
+        } else if (std::strcmp(a, "--checkpoint-dir") == 0) {
+            opts.ooc.checkpointDir = value(i);
+        } else if (std::strcmp(a, "--resume") == 0) {
+            opts.ooc.resumeFrom = value(i);
+        } else if (std::strcmp(a, "--halt-after-checkpoints") == 0) {
+            long long n;
+            if (!parseCount(value(i), n) || n < 1) {
+                std::fprintf(
+                    stderr,
+                    "error: --halt-after-checkpoints wants >= 1\n");
+                return 2;
+            }
+            opts.ooc.haltAfterCheckpoints = static_cast<size_t>(n);
         } else if (tcli.tryParse(argc, argv, i)) {
             // Telemetry flags: handled by the helper.
         } else if (std::strcmp(a, "--export") == 0) {
@@ -1342,6 +1432,33 @@ main(int argc, char **argv)
 
     if (files.empty())
         return usage(argv[0]);
+
+    // A resumed run keeps snapshotting (and leaves its final report)
+    // in the directory it resumed from unless told otherwise.
+    if (opts.ooc.checkpointDir.empty() &&
+        !opts.ooc.resumeFrom.empty())
+        opts.ooc.checkpointDir = opts.ooc.resumeFrom;
+    if (opts.ooc.checkpointEvery > 0 &&
+        opts.ooc.checkpointDir.empty()) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every needs "
+                     "--checkpoint-dir (or --resume)\n");
+        return 2;
+    }
+
+    // The process-global arena makes the interning tables' large
+    // segments file-backed for every scenario in the batch; it must
+    // outlive all of their tables, hence this scope.
+    std::unique_ptr<ScopedSpillArena> arena;
+    if (!opts.ooc.spillDir.empty()) {
+        if (!ensureDir(opts.ooc.spillDir)) {
+            std::fprintf(stderr, "error: cannot create %s\n",
+                         opts.ooc.spillDir.c_str());
+            return 2;
+        }
+        arena =
+            std::make_unique<ScopedSpillArena>(opts.ooc.spillDir);
+    }
 
     tcli.begin("corpus");
     std::vector<CaseResult> cases;
